@@ -1,0 +1,109 @@
+// Ablation (motivates Section 3.1): how much signal energy do the first k
+// coefficients capture vs the best k, across the corpus families? Also
+// exercises the Section-8 variable-coefficient extension: how many best
+// coefficients are needed per family to reach a target energy fraction.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "querylog/corpus_generator.h"
+#include "repr/compressed.h"
+#include "repr/half_spectrum.h"
+
+namespace s2 {
+namespace {
+
+std::string FamilyOf(const std::string& name) {
+  const size_t underscore = name.find('_');
+  return underscore == std::string::npos ? name : name.substr(0, underscore);
+}
+
+double CapturedFraction(const repr::HalfSpectrum& spectrum,
+                        const std::vector<uint32_t>& kept) {
+  double captured = 0.0;
+  for (uint32_t k : kept) {
+    captured += spectrum.multiplicity(k) * std::norm(spectrum.coeff(k));
+  }
+  const double total = spectrum.Energy();
+  return total > 0 ? captured / total : 1.0;
+}
+
+}  // namespace
+}  // namespace s2
+
+int main(int argc, char** argv) {
+  using namespace s2;
+  const size_t db = bench::ArgSize(argc, argv, "--db", 2000);
+  bench::PrintHeader(
+      "Ablation: energy captured by first-k vs best-k coefficients, per "
+      "workload family");
+
+  qlog::CorpusSpec spec;
+  spec.num_series = db;
+  spec.n_days = 1024;
+  spec.seed = 51;
+  auto corpus = qlog::GenerateCorpus(spec);
+  if (!corpus.ok()) return 1;
+
+  struct FamilyStats {
+    size_t count = 0;
+    std::map<size_t, double> first_energy;
+    std::map<size_t, double> best_energy;
+    std::map<double, double> coeffs_for_energy;
+  };
+  const std::vector<size_t> ks = {4, 8, 16, 32, 64};
+  const std::vector<double> fractions = {0.8, 0.9, 0.95};
+  std::map<std::string, FamilyStats> by_family;
+
+  for (const auto& series : corpus->series()) {
+    const std::vector<double> z = dsp::Standardize(series.values);
+    auto spectrum = repr::HalfSpectrum::FromSeries(z);
+    if (!spectrum.ok()) continue;
+    FamilyStats& stats = by_family[FamilyOf(series.name)];
+    ++stats.count;
+    for (size_t k : ks) {
+      std::vector<uint32_t> first(k);
+      for (size_t i = 0; i < k; ++i) first[i] = static_cast<uint32_t>(i + 1);
+      stats.first_energy[k] += CapturedFraction(*spectrum, first);
+      auto best = repr::CompressedSpectrum::Compress(
+          *spectrum, repr::ReprKind::kBestKError, (k * 18 + 15) / 16);
+      if (best.ok()) stats.best_energy[k] += CapturedFraction(*spectrum, best->positions());
+    }
+    for (double fraction : fractions) {
+      auto variable = repr::CompressedSpectrum::CompressToEnergy(*spectrum, fraction);
+      if (variable.ok()) {
+        stats.coeffs_for_energy[fraction] +=
+            static_cast<double>(variable->positions().size());
+      }
+    }
+  }
+
+  for (const auto& [family, stats] : by_family) {
+    std::printf("\nfamily: %-10s (%zu series)\n", family.c_str(), stats.count);
+    std::printf("  %6s %14s %14s\n", "k", "first-k energy", "best-k energy");
+    for (size_t k : ks) {
+      std::printf("  %6zu %13.1f%% %13.1f%%\n", k,
+                  100.0 * stats.first_energy.at(k) / static_cast<double>(stats.count),
+                  100.0 * stats.best_energy.at(k) / static_cast<double>(stats.count));
+    }
+    std::printf("  variable representation (Section 8): avg best coefficients for");
+    for (double fraction : fractions) {
+      std::printf("  %.0f%%: %.1f", fraction * 100,
+                  stats.coeffs_for_energy.at(fraction) /
+                      static_cast<double>(stats.count));
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "\nReading: for periodic families (weekly/monthly/seasonal) the best "
+      "coefficients capture far more energy than the first ones at equal k — "
+      "the premise of Section 3.1. Aperiodic/random-walk families show a "
+      "smaller gap (their power concentrates at low frequencies anyway).\n");
+  return 0;
+}

@@ -1,0 +1,139 @@
+// Reproduces paper Figures 20 and 21: tightness of the lower and upper
+// Euclidean-distance bounds, measured as the cumulative distance over 100
+// random pairwise computations from the query database, for memory budgets
+// of 2*(8)+1, 2*(16)+1 and 2*(32)+1 doubles per sequence.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "dsp/stats.h"
+#include "querylog/corpus_generator.h"
+#include "repr/bounds.h"
+#include "repr/compressed.h"
+#include "repr/half_spectrum.h"
+
+namespace s2 {
+namespace {
+
+struct Pair {
+  repr::HalfSpectrum query;
+  repr::HalfSpectrum target;
+  double truth;
+};
+
+std::vector<Pair> MakePairs(size_t count, size_t n_days, uint64_t seed) {
+  qlog::CorpusSpec spec;
+  spec.num_series = 2 * count;
+  spec.n_days = n_days;
+  spec.seed = seed;
+  auto corpus = qlog::GenerateCorpus(spec);
+  std::vector<Pair> pairs;
+  if (!corpus.ok()) return pairs;
+  const auto rows = bench::StandardizedRows(*corpus);
+  for (size_t i = 0; i + 1 < rows.size(); i += 2) {
+    auto qa = repr::HalfSpectrum::FromSeries(rows[i]);
+    auto qb = repr::HalfSpectrum::FromSeries(rows[i + 1]);
+    if (!qa.ok() || !qb.ok()) continue;
+    const double truth = *dsp::Euclidean(rows[i], rows[i + 1]);
+    pairs.push_back(Pair{std::move(qa).ValueOrDie(), std::move(qb).ValueOrDie(),
+                         truth});
+  }
+  return pairs;
+}
+
+struct MethodSpec {
+  repr::BoundMethod method;
+  repr::ReprKind kind;
+  const char* label;
+};
+
+constexpr double kNaN = std::nan("");
+
+double CumulativeBound(const std::vector<Pair>& pairs, const MethodSpec& spec,
+                       size_t c, bool lower) {
+  double total = 0.0;
+  for (const Pair& p : pairs) {
+    auto compressed = repr::CompressedSpectrum::Compress(p.target, spec.kind, c);
+    if (!compressed.ok()) return kNaN;
+    auto bounds = repr::ComputeBounds(p.query, *compressed, spec.method);
+    if (!bounds.ok()) return kNaN;
+    total += lower ? bounds->lower : bounds->upper;
+  }
+  return total;
+}
+
+void Run(size_t num_pairs, size_t n_days) {
+  const std::vector<Pair> pairs = MakePairs(num_pairs, n_days, 2020);
+  double truth = 0.0;
+  for (const Pair& p : pairs) truth += p.truth;
+
+  const MethodSpec methods[] = {
+      {repr::BoundMethod::kGemini, repr::ReprKind::kFirstKMiddle, "GEMINI"},
+      {repr::BoundMethod::kWang, repr::ReprKind::kFirstKError, "Wang"},
+      {repr::BoundMethod::kBestError, repr::ReprKind::kBestKError, "BestError"},
+      {repr::BoundMethod::kBestMin, repr::ReprKind::kBestKMiddle, "BestMin"},
+      {repr::BoundMethod::kBestMinError, repr::ReprKind::kBestKError,
+       "BestMinError"},
+  };
+
+  for (size_t c : {8u, 16u, 32u}) {
+    std::printf("\n--- Memory = 2*(%zu)+1 doubles ---------------------------\n", c);
+    std::printf("%-16s %14s %14s\n", "method", "cumulative LB", "cumulative UB");
+    std::printf("%-16s %14.0f %14s   <- Full Euclidean\n", "(truth)", truth, "");
+    double best_lb_first = 0.0;
+    double best_lb_best = 0.0;
+    double best_ub_first = 1e300;
+    double best_ub_best = 1e300;
+    for (const MethodSpec& method : methods) {
+      const double lb = CumulativeBound(pairs, method, c, /*lower=*/true);
+      const double ub = CumulativeBound(pairs, method, c, /*lower=*/false);
+      const bool is_best_family = method.method != repr::BoundMethod::kGemini &&
+                                  method.method != repr::BoundMethod::kWang;
+      if (std::isfinite(ub)) {
+        if (is_best_family) {
+          best_ub_best = std::min(best_ub_best, ub);
+        } else {
+          best_ub_first = std::min(best_ub_first, ub);
+        }
+      }
+      if (is_best_family) {
+        best_lb_best = std::max(best_lb_best, lb);
+      } else {
+        best_lb_first = std::max(best_lb_first, lb);
+      }
+      if (std::isfinite(ub)) {
+        std::printf("%-16s %14.0f %14.0f\n", method.label, lb, ub);
+      } else {
+        std::printf("%-16s %14.0f %14s\n", method.label, lb, "N/A");
+      }
+    }
+    std::printf("LB improvement of best-coefficient methods: %+.2f%%\n",
+                100.0 * (best_lb_best - best_lb_first) / best_lb_first);
+    std::printf("UB improvement of best-coefficient methods: %+.2f%%\n",
+                100.0 * (best_ub_first - best_ub_best) / best_ub_first);
+  }
+}
+
+}  // namespace
+}  // namespace s2
+
+int main(int argc, char** argv) {
+  using namespace s2;
+  const size_t pairs = bench::ArgSize(argc, argv, "--pairs", 100);
+  const size_t n_days = bench::ArgSize(argc, argv, "--days", 1024);
+  bench::PrintHeader(
+      "Figures 20-21: tightness of lower/upper bounds (cumulative distance "
+      "over " +
+      std::to_string(pairs) + " random pairs, N = " + std::to_string(n_days) +
+      ")");
+  Run(pairs, n_days);
+  std::printf(
+      "\nExpected shape (paper): LB ordering GEMINI < Wang < Best*, with "
+      "BestMinError tightest (~6-10%% over Wang); UB ordering BestMinError < "
+      "BestMin < Wang (~13-18%% improvement); UB_BestError loose at small "
+      "budgets; all LB <= truth <= all UB.\n");
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Reproduces paper Figure 12 (the PSD histogram of non-periodic sequences
+// follows an exponential distribution) and Figure 13 (detected periods with
+// the exponential-tail power threshold, p = 1e-4, for "cinema",
+// "full moon", "nordstrom" and "dudley moore").
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "dsp/periodogram.h"
+#include "dsp/stats.h"
+#include "period/period_detector.h"
+#include "querylog/archetypes.h"
+#include "querylog/synthesizer.h"
+#include "timeseries/calendar.h"
+
+namespace s2 {
+namespace {
+
+// Figure 12: histogram of periodogram values for an aperiodic sequence,
+// with the exponential fit (lambda = 1/mean) printed alongside.
+void ShowPsdHistogram(const char* label, const std::vector<double>& x) {
+  auto psd = dsp::PeriodogramOf(dsp::Standardize(x));
+  if (!psd.ok()) return;
+  std::vector<double> values(psd->begin() + 1, psd->end());
+  const double mean = dsp::Mean(values);
+  const double max_value = *std::max_element(values.begin(), values.end());
+
+  constexpr int kBins = 12;
+  std::vector<int> histogram(kBins, 0);
+  for (double v : values) {
+    int bin = static_cast<int>(v / max_value * kBins);
+    histogram[std::min(bin, kBins - 1)] += 1;
+  }
+  std::printf("\n%s  (mean periodogram value mu = %.4f)\n", label, mean);
+  std::printf("  %-22s %-30s %10s %10s\n", "power range", "count", "observed",
+              "exp fit");
+  for (int b = 0; b < kBins; ++b) {
+    const double lo = max_value * b / kBins;
+    const double hi = max_value * (b + 1) / kBins;
+    const double expected =
+        static_cast<double>(values.size()) *
+        (std::exp(-lo / mean) - std::exp(-hi / mean));
+    std::string bar(static_cast<size_t>(std::min(30.0, histogram[b] / 4.0)), '#');
+    std::printf("  [%8.4f, %8.4f) %-30s %10d %10.1f\n", lo, hi, bar.c_str(),
+                histogram[b], expected);
+  }
+}
+
+void ShowDetectedPeriods(const char* label, const std::vector<double>& x) {
+  period::PeriodDetector detector;
+  auto psd = dsp::PeriodogramOf(dsp::Standardize(x));
+  auto hits = detector.Detect(x);
+  if (!psd.ok() || !hits.ok()) return;
+  const double threshold = detector.Threshold(*psd);
+  std::printf("\nQuery *%s*   threshold T_p = %.4f (p = %g)\n", label, threshold,
+              detector.options().false_alarm_probability);
+  std::printf("  periodogram  %s\n",
+              bench::Sparkline({psd->begin() + 1, psd->end()}, 80).c_str());
+  if (hits->empty()) {
+    std::printf("  no significant periods (correct for aperiodic queries)\n");
+    return;
+  }
+  int rank = 1;
+  for (const auto& hit : *hits) {
+    if (rank > 3) break;
+    std::printf("  P%d = %.2f days   (power %.4f, frequency %.4f)\n", rank,
+                hit.period, hit.power, hit.frequency);
+    ++rank;
+  }
+}
+
+}  // namespace
+}  // namespace s2
+
+int main() {
+  using namespace s2;
+  Rng rng(13);
+
+  bench::PrintHeader(
+      "Figure 12: periodogram histograms of non-periodic sequences vs the "
+      "exponential model");
+  {
+    // Three aperiodic signal classes, as in the paper's figure.
+    std::vector<double> white(1024);
+    for (double& v : white) v = rng.Normal(0, 1);
+    ShowPsdHistogram("Sequence 1: white noise", white);
+
+    auto aperiodic = qlog::Synthesize(qlog::MakeRandomAperiodic("s2", &rng), 0,
+                                      1024, &rng);
+    if (aperiodic.ok()) {
+      ShowPsdHistogram("Sequence 2: aperiodic query demand", aperiodic->values);
+    }
+
+    auto event = qlog::Synthesize(
+        qlog::MakeDudleyMoore(ts::DateToDayIndex({2002, 3, 27})), 0, 1024, &rng);
+    if (event.ok()) {
+      ShowPsdHistogram("Sequence 3: news-event query demand", event->values);
+    }
+  }
+
+  bench::PrintHeader(
+      "Figure 13: automatically discovered periods (99.99% confidence)");
+  {
+    // One calendar year of data (2002), as in the paper's figure.
+    Rng synth(14);
+    const int32_t start = ts::DateToDayIndex({2002, 1, 1});
+    auto cinema = qlog::Synthesize(qlog::MakeCinema(), start, 365, &synth);
+    if (cinema.ok()) ShowDetectedPeriods("cinema", cinema->values);
+    auto moon = qlog::Synthesize(qlog::MakeFullMoon(), start, 365, &synth);
+    if (moon.ok()) ShowDetectedPeriods("full moon", moon->values);
+    auto nordstrom = qlog::Synthesize(qlog::MakeNordstrom(), start, 365, &synth);
+    if (nordstrom.ok()) ShowDetectedPeriods("nordstrom", nordstrom->values);
+    auto dudley = qlog::Synthesize(
+        qlog::MakeDudleyMoore(ts::DateToDayIndex({2002, 3, 27})), start, 365,
+        &synth);
+    if (dudley.ok()) ShowDetectedPeriods("dudley moore", dudley->values);
+  }
+
+  std::printf(
+      "\nExpected shape (paper): cinema & nordstrom show P1=7 and the 3.5 "
+      "harmonic; full moon shows ~29.5-30.3; dudley moore shows no (short) "
+      "period despite its burst.\n");
+  return 0;
+}

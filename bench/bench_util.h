@@ -1,0 +1,151 @@
+#ifndef S2_BENCH_BENCH_UTIL_H_
+#define S2_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the experiment harnesses: ASCII plotting, small table
+// printers, corpus preparation and wall-clock timing. Each bench binary
+// reproduces one table/figure of the paper and prints the corresponding
+// rows/series to stdout.
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "dsp/stats.h"
+#include "querylog/corpus_generator.h"
+#include "timeseries/calendar.h"
+#include "timeseries/time_series.h"
+
+namespace s2::bench {
+
+/// Renders `values` as a one-line unicode sparkline of `width` columns.
+inline std::string Sparkline(const std::vector<double>& values, size_t width = 96) {
+  static const char* kLevels[] = {" ", "▁", "▂", "▃",
+                                  "▄", "▅", "▆", "▇",
+                                  "█"};
+  if (values.empty()) return "";
+  width = std::min(width, values.size());
+  const size_t bucket = (values.size() + width - 1) / width;
+  double lo = values[0];
+  double hi = values[0];
+  for (double v : values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  const double span = hi - lo > 0 ? hi - lo : 1.0;
+  std::string out;
+  for (size_t start = 0; start < values.size(); start += bucket) {
+    double max_in_bucket = values[start];
+    for (size_t i = start; i < std::min(values.size(), start + bucket); ++i) {
+      max_in_bucket = std::max(max_in_bucket, values[i]);
+    }
+    const int level =
+        static_cast<int>(std::round((max_in_bucket - lo) / span * 8.0));
+    out += kLevels[std::clamp(level, 0, 8)];
+  }
+  return out;
+}
+
+/// Renders a multi-row ASCII chart (height rows) of `values`, with an
+/// optional horizontal `threshold` line drawn as '-'.
+inline void PrintAsciiChart(const std::vector<double>& values, size_t height = 12,
+                            size_t width = 96, double threshold = NAN) {
+  if (values.empty()) return;
+  width = std::min(width, values.size());
+  const size_t bucket = (values.size() + width - 1) / width;
+  std::vector<double> cols;
+  for (size_t start = 0; start < values.size(); start += bucket) {
+    double m = values[start];
+    for (size_t i = start; i < std::min(values.size(), start + bucket); ++i) {
+      m = std::max(m, values[i]);
+    }
+    cols.push_back(m);
+  }
+  double lo = *std::min_element(cols.begin(), cols.end());
+  double hi = *std::max_element(cols.begin(), cols.end());
+  if (!std::isnan(threshold)) {
+    lo = std::min(lo, threshold);
+    hi = std::max(hi, threshold);
+  }
+  const double span = hi - lo > 0 ? hi - lo : 1.0;
+  for (size_t row = 0; row < height; ++row) {
+    const double level = hi - span * static_cast<double>(row) / (height - 1);
+    std::string line;
+    const bool is_threshold_row =
+        !std::isnan(threshold) &&
+        std::abs(level - threshold) <= span / (2.0 * (height - 1));
+    for (double c : cols) {
+      if (c >= level) {
+        line += "#";
+      } else if (is_threshold_row) {
+        line += "-";
+      } else {
+        line += " ";
+      }
+    }
+    std::printf("  %10.3f |%s\n", level, line.c_str());
+  }
+}
+
+/// Month tick ruler for one year of daily data, aligned to `width` columns.
+inline void PrintMonthRuler(size_t n_days, size_t width = 96) {
+  std::string ruler(std::min(width, n_days), ' ');
+  const char* kMonths = "JFMAMJJASOND";
+  for (int m = 0; m < 12; ++m) {
+    const size_t day = static_cast<size_t>(m * 30.4);
+    const size_t col = day * ruler.size() / n_days;
+    if (col < ruler.size()) ruler[col] = kMonths[m];
+  }
+  std::printf("  %10s |%s|\n", "", ruler.c_str());
+}
+
+/// Standardizes every series of a corpus into a row matrix.
+inline std::vector<std::vector<double>> StandardizedRows(const ts::Corpus& corpus) {
+  std::vector<std::vector<double>> rows;
+  rows.reserve(corpus.size());
+  for (const auto& series : corpus.series()) {
+    rows.push_back(dsp::Standardize(series.values));
+  }
+  return rows;
+}
+
+/// Wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Simple "--flag value" argument lookup with a default.
+inline size_t ArgSize(int argc, char** argv, const std::string& flag, size_t def) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (flag == argv[i]) return static_cast<size_t>(std::stoull(argv[i + 1]));
+  }
+  return def;
+}
+
+inline bool HasFlag(int argc, char** argv, const std::string& flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) return true;
+  }
+  return false;
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+}  // namespace s2::bench
+
+#endif  // S2_BENCH_BENCH_UTIL_H_

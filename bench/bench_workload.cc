@@ -1,0 +1,80 @@
+// Reproduces paper Figures 1-3: the demand curves for "cinema", "easter"
+// and "elvis" over one calendar year (2002), plus the multi-year views used
+// later. Prints ASCII charts of the synthesized archetypes and summary
+// statistics demonstrating the planted structure.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "dsp/stats.h"
+#include "querylog/archetypes.h"
+#include "querylog/synthesizer.h"
+#include "timeseries/calendar.h"
+
+namespace s2 {
+namespace {
+
+void ShowYear(const qlog::QueryArchetype& archetype, int year, Rng* rng) {
+  const int32_t start = ts::DateToDayIndex({year, 1, 1});
+  const size_t days = static_cast<size_t>(ts::DaysInYear(year));
+  auto series = qlog::Synthesize(archetype, start, days, rng);
+  if (!series.ok()) {
+    std::printf("synthesis failed: %s\n", series.status().ToString().c_str());
+    return;
+  }
+  std::printf("\nQuery: %s (%d)\n", archetype.name.c_str(), year);
+  bench::PrintAsciiChart(series->values, 10, 96);
+  bench::PrintMonthRuler(days, 96);
+
+  // Weekday profile: mean demand per day of week.
+  double by_dow[7] = {0};
+  int counts[7] = {0};
+  for (size_t i = 0; i < series->size(); ++i) {
+    const int dow = ts::DayOfWeek(start + static_cast<int32_t>(i));
+    by_dow[dow] += series->values[i];
+    ++counts[dow];
+  }
+  std::printf("  weekday means:");
+  static const char* kDays[] = {"Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"};
+  for (int d = 0; d < 7; ++d) {
+    std::printf(" %s=%.0f", kDays[d], by_dow[d] / counts[d]);
+  }
+  std::printf("\n");
+
+  // Peak day.
+  size_t argmax = 0;
+  for (size_t i = 1; i < series->size(); ++i) {
+    if (series->values[i] > series->values[argmax]) argmax = i;
+  }
+  std::printf("  peak demand on %s (%.0f requests)\n",
+              ts::FormatDayIndex(start + static_cast<int32_t>(argmax)).c_str(),
+              series->values[argmax]);
+}
+
+}  // namespace
+}  // namespace s2
+
+int main() {
+  using namespace s2;
+  bench::PrintHeader(
+      "Figures 1-3: query demand patterns for 2002 (synthetic MSN-log "
+      "archetypes)");
+  Rng rng(2002);
+
+  // Figure 1: "cinema" - 52 weekend peaks.
+  ShowYear(qlog::MakeCinema(), 2002, &rng);
+  // Figure 2: "easter" - spring accumulation, immediate drop.
+  ShowYear(qlog::MakeEaster(), 2002, &rng);
+  // Figure 3: "elvis" - peak on Aug 16 (death anniversary).
+  ShowYear(qlog::MakeElvis(), 2002, &rng);
+
+  bench::PrintHeader("Supporting archetypes used by later experiments");
+  ShowYear(qlog::MakeFullMoon(), 2002, &rng);
+  ShowYear(qlog::MakeNordstrom(), 2002, &rng);
+  ShowYear(qlog::MakeHalloween(), 2002, &rng);
+  ShowYear(qlog::MakeFlowers(), 2002, &rng);
+  // "dudley moore" died 2002-03-27.
+  ShowYear(qlog::MakeDudleyMoore(ts::DateToDayIndex({2002, 3, 27})), 2002, &rng);
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Automatic period mining across a corpus (Section 5): run the
+// exponential-threshold period detector over every query and aggregate
+// which periodicities dominate the workload — the kind of analysis the
+// paper motivates for search-engine capacity planning ("enforce higher
+// redundancy ... during the days that a higher query load is expected").
+//
+//   ./build/examples/period_miner [corpus_size]
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "period/period_detector.h"
+#include "querylog/corpus_generator.h"
+
+using namespace s2;
+
+namespace {
+
+std::string FamilyOf(const std::string& name) {
+  const size_t underscore = name.find('_');
+  return underscore == std::string::npos ? name : name.substr(0, underscore);
+}
+
+// Buckets a period into a human label.
+std::string PeriodBucket(double period) {
+  if (period < 4.5) return "half-week (~3.5d)";
+  if (period < 10) return "weekly (~7d)";
+  if (period < 20) return "biweekly (~14d)";
+  if (period < 45) return "monthly (~30d)";
+  if (period < 150) return "quarterly";
+  return "annual/trend";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const size_t corpus_size = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 4000;
+  qlog::CorpusSpec spec;
+  spec.num_series = corpus_size;
+  spec.n_days = 1024;
+  spec.seed = 55;
+  std::printf("mining periods in %zu series ...\n", spec.num_series);
+  auto corpus = qlog::GenerateCorpus(spec);
+  if (!corpus.ok()) return 1;
+
+  period::PeriodDetector detector;
+  std::map<std::string, size_t> bucket_counts;
+  std::map<std::string, std::map<std::string, size_t>> family_buckets;
+  size_t with_periods = 0;
+  for (const auto& series : corpus->series()) {
+    auto hits = detector.Detect(series.values);
+    if (!hits.ok()) continue;
+    if (!hits->empty()) ++with_periods;
+    const std::string family = FamilyOf(series.name);
+    for (const auto& hit : *hits) {
+      const std::string bucket = PeriodBucket(hit.period);
+      ++bucket_counts[bucket];
+      ++family_buckets[family][bucket];
+    }
+  }
+
+  std::printf("\n%zu of %zu queries show at least one significant period\n",
+              with_periods, corpus->size());
+  std::printf("\ndominant periodicities across the workload:\n");
+  std::vector<std::pair<std::string, size_t>> sorted(bucket_counts.begin(),
+                                                     bucket_counts.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  for (const auto& [bucket, count] : sorted) {
+    std::printf("  %-20s %6zu hits  %s\n", bucket.c_str(), count,
+                std::string(std::min<size_t>(50, count / 20), '#').c_str());
+  }
+
+  std::printf("\nper family:\n");
+  for (const auto& [family, buckets] : family_buckets) {
+    std::printf("  %-12s", family.c_str());
+    for (const auto& [bucket, count] : buckets) {
+      std::printf("  %s:%zu", bucket.c_str(), count);
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "\nReading: weekly archetypes drive the 7d and 3.5d harmonics, monthly "
+      "archetypes the ~30d bucket — the signal a capacity planner would use "
+      "to schedule per-class server redundancy.\n");
+  return 0;
+}

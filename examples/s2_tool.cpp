@@ -1,0 +1,329 @@
+// The S2 Similarity Tool (paper Section 7.5) as an interactive terminal
+// program. It offers the same three functionalities as the paper's C# GUI:
+//
+//   * identification of important periods,
+//   * similarity search,
+//   * burst detection & query-by-burst,
+//
+// plus inspection of the best-k reconstruction quality.
+//
+//   ./build/examples/s2_tool            # interactive shell
+//   echo "demo" | ./build/examples/s2_tool   # scripted demo
+//
+// Commands:
+//   list [prefix]          - list query names
+//   show <name>            - plot the demand curve
+//   similar <name> [k]     - k most similar queries
+//   periods <name>         - significant periods
+//   bursts <name> [long|short]
+//   qbb <name> [k]         - query-by-burst
+//   reconstruct <name> [c] - best-k reconstruction quality
+//   demo                   - run a scripted tour
+//   quit
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/rng.h"
+#include "core/s2_engine.h"
+#include "dsp/stats.h"
+#include "querylog/archetypes.h"
+#include "querylog/corpus_generator.h"
+#include "querylog/synthesizer.h"
+#include "repr/compressed.h"
+#include "repr/half_spectrum.h"
+#include "timeseries/calendar.h"
+
+using namespace s2;
+
+namespace {
+
+std::string Spark(const std::vector<double>& values, size_t width = 72) {
+  static const char* kLevels[] = {"▁", "▂", "▃", "▄", "▅", "▆", "▇", "█"};
+  if (values.empty()) return "";
+  width = std::min(width, values.size());
+  const size_t bucket = (values.size() + width - 1) / width;
+  double lo = values[0], hi = values[0];
+  for (double v : values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  const double span = hi - lo > 0 ? hi - lo : 1;
+  std::string out;
+  for (size_t s = 0; s < values.size(); s += bucket) {
+    double m = values[s];
+    for (size_t i = s; i < std::min(values.size(), s + bucket); ++i) {
+      m = std::max(m, values[i]);
+    }
+    out += kLevels[std::min<size_t>(7, static_cast<size_t>((m - lo) / span * 8))];
+  }
+  return out;
+}
+
+class Tool {
+ public:
+  explicit Tool(core::S2Engine engine) : engine_(std::move(engine)) {}
+
+  void Run() {
+    std::string line;
+    std::printf("s2> ");
+    std::fflush(stdout);
+    while (std::getline(std::cin, line)) {
+      if (!Dispatch(line)) break;
+      std::printf("s2> ");
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+
+  bool Dispatch(const std::string& line) {
+    std::istringstream in(line);
+    std::string command;
+    in >> command;
+    if (command.empty()) return true;
+    if (command == "quit" || command == "exit") return false;
+    if (command == "help") {
+      Help();
+    } else if (command == "list") {
+      std::string prefix;
+      in >> prefix;
+      List(prefix);
+    } else if (command == "show") {
+      Show(Rest(in));
+    } else if (command == "similar") {
+      auto [name, k] = NameAndCount(in, 5);
+      Similar(name, k);
+    } else if (command == "periods") {
+      Periods(Rest(in));
+    } else if (command == "bursts") {
+      std::string rest = Rest(in);
+      core::BurstHorizon horizon = core::BurstHorizon::kLongTerm;
+      if (rest.size() > 6 && rest.substr(rest.size() - 6) == " short") {
+        horizon = core::BurstHorizon::kShortTerm;
+        rest = rest.substr(0, rest.size() - 6);
+      } else if (rest.size() > 5 && rest.substr(rest.size() - 5) == " long") {
+        rest = rest.substr(0, rest.size() - 5);
+      }
+      Bursts(rest, horizon);
+    } else if (command == "qbb") {
+      auto [name, k] = NameAndCount(in, 5);
+      QueryByBurst(name, k);
+    } else if (command == "reconstruct") {
+      auto [name, c] = NameAndCount(in, 16);
+      Reconstruct(name, c);
+    } else if (command == "demo") {
+      Demo();
+    } else {
+      std::printf("unknown command '%s' (try 'help')\n", command.c_str());
+    }
+    return true;
+  }
+
+ private:
+  static std::string Rest(std::istringstream& in) {
+    std::string rest;
+    std::getline(in, rest);
+    const size_t start = rest.find_first_not_of(' ');
+    return start == std::string::npos ? "" : rest.substr(start);
+  }
+
+  // Parses "<multi word name> [count]" — the trailing token is a count only
+  // if numeric.
+  static std::pair<std::string, size_t> NameAndCount(std::istringstream& in,
+                                                     size_t default_count) {
+    std::string rest = Rest(in);
+    size_t count = default_count;
+    const size_t space = rest.find_last_of(' ');
+    if (space != std::string::npos) {
+      const std::string tail = rest.substr(space + 1);
+      char* end = nullptr;
+      const unsigned long parsed = std::strtoul(tail.c_str(), &end, 10);
+      if (end != tail.c_str() && *end == '\0') {
+        count = parsed;
+        rest = rest.substr(0, space);
+      }
+    }
+    return {rest, count};
+  }
+
+  void Help() {
+    std::printf(
+        "  list [prefix] | show <name> | similar <name> [k] | periods <name>\n"
+        "  bursts <name> [long|short] | qbb <name> [k] | reconstruct <name> [c]\n"
+        "  demo | quit\n");
+  }
+
+  void List(const std::string& prefix) {
+    size_t shown = 0;
+    for (ts::SeriesId id = 0; id < engine_.corpus().size() && shown < 40; ++id) {
+      const std::string& name = engine_.corpus().at(id).name;
+      if (name.rfind(prefix, 0) == 0) {
+        std::printf("  %s\n", name.c_str());
+        ++shown;
+      }
+    }
+  }
+
+  void Show(const std::string& name) {
+    auto id = engine_.FindByName(name);
+    if (!id.ok()) {
+      std::printf("  %s\n", id.status().ToString().c_str());
+      return;
+    }
+    const auto& series = engine_.corpus().at(*id);
+    std::printf("  %s  (%zu days from %s)\n", series.name.c_str(), series.size(),
+                ts::FormatDayIndex(series.start_day).c_str());
+    std::printf("  %s\n", Spark(series.values).c_str());
+  }
+
+  void Similar(const std::string& name, size_t k) {
+    auto id = engine_.FindByName(name);
+    if (!id.ok()) {
+      std::printf("  %s\n", id.status().ToString().c_str());
+      return;
+    }
+    index::VpTreeIndex::SearchStats stats;
+    auto neighbors = engine_.SimilarTo(*id, k, &stats);
+    if (!neighbors.ok()) return;
+    for (const auto& n : *neighbors) {
+      std::printf("  %-24s distance %.2f  %s\n",
+                  engine_.corpus().at(n.id).name.c_str(), n.distance,
+                  Spark(engine_.corpus().at(n.id).values, 48).c_str());
+    }
+    std::printf("  [index: %zu bound computations, %zu full fetches]\n",
+                stats.bound_computations, stats.full_retrievals);
+  }
+
+  void Periods(const std::string& name) {
+    auto id = engine_.FindByName(name);
+    if (!id.ok()) {
+      std::printf("  %s\n", id.status().ToString().c_str());
+      return;
+    }
+    auto periods = engine_.FindPeriods(*id);
+    if (!periods.ok()) return;
+    if (periods->empty()) {
+      std::printf("  no significant periods\n");
+      return;
+    }
+    for (const auto& p : *periods) {
+      std::printf("  period %8.2f days   power %8.2f\n", p.period, p.power);
+    }
+  }
+
+  void Bursts(const std::string& name, core::BurstHorizon horizon) {
+    auto id = engine_.FindByName(name);
+    if (!id.ok()) {
+      std::printf("  %s\n", id.status().ToString().c_str());
+      return;
+    }
+    auto bursts = engine_.BurstsOf(*id, horizon);
+    if (!bursts.ok()) return;
+    if (bursts->empty()) {
+      std::printf("  no bursts\n");
+      return;
+    }
+    for (const auto& b : *bursts) {
+      std::printf("  [%s .. %s]  height %+.2f  (%d days)\n",
+                  ts::FormatDayIndex(b.start).c_str(),
+                  ts::FormatDayIndex(b.end).c_str(), b.avg_value, b.length());
+    }
+  }
+
+  void QueryByBurst(const std::string& name, size_t k) {
+    auto id = engine_.FindByName(name);
+    if (!id.ok()) {
+      std::printf("  %s\n", id.status().ToString().c_str());
+      return;
+    }
+    auto matches = engine_.QueryByBurst(*id, k, core::BurstHorizon::kLongTerm);
+    if (!matches.ok()) return;
+    for (const auto& m : *matches) {
+      std::printf("  %-24s BSim %.3f\n",
+                  engine_.corpus().at(m.series_id).name.c_str(), m.bsim);
+    }
+  }
+
+  void Reconstruct(const std::string& name, size_t c) {
+    auto id = engine_.FindByName(name);
+    if (!id.ok()) {
+      std::printf("  %s\n", id.status().ToString().c_str());
+      return;
+    }
+    const std::vector<double> z = engine_.standardized(*id);
+    auto spectrum = repr::HalfSpectrum::FromSeries(z);
+    if (!spectrum.ok()) return;
+    auto compressed = repr::CompressedSpectrum::Compress(
+        *spectrum, repr::ReprKind::kBestKError, c);
+    if (!compressed.ok()) {
+      std::printf("  %s\n", compressed.status().ToString().c_str());
+      return;
+    }
+    auto reconstruction = compressed->Reconstruct();
+    if (!reconstruction.ok()) return;
+    std::printf("  original      %s\n", Spark(z).c_str());
+    std::printf("  best-%-2zu       %s   (error %.1f%% of energy)\n",
+                compressed->positions().size(), Spark(*reconstruction).c_str(),
+                100.0 * compressed->error() / spectrum->Energy());
+  }
+
+  void Demo() {
+    std::printf("--- show cinema\n");
+    Show("cinema");
+    std::printf("--- similar cinema\n");
+    Similar("cinema", 5);
+    std::printf("--- periods cinema\n");
+    Periods("cinema");
+    std::printf("--- periods full moon\n");
+    Periods("full moon");
+    std::printf("--- bursts easter\n");
+    Bursts("easter", core::BurstHorizon::kLongTerm);
+    std::printf("--- qbb christmas\n");
+    QueryByBurst("christmas", 5);
+    std::printf("--- reconstruct cinema 8\n");
+    Reconstruct("cinema", 8);
+  }
+
+  core::S2Engine engine_;
+};
+
+}  // namespace
+
+int main() {
+  Rng rng(75);
+  ts::Corpus corpus;
+  for (auto archetype :
+       {qlog::MakeCinema(), qlog::MakeEaster(), qlog::MakeElvis(),
+        qlog::MakeFullMoon(), qlog::MakeNordstrom(), qlog::MakeHalloween(),
+        qlog::MakeChristmas(), qlog::MakeFlowers(), qlog::MakeHurricane()}) {
+    auto series = qlog::Synthesize(archetype, 0, 1024, &rng);
+    if (series.ok()) corpus.Add(std::move(series).ValueOrDie());
+  }
+  qlog::CorpusSpec spec;
+  spec.num_series = 500;
+  spec.n_days = 1024;
+  spec.seed = 76;
+  auto filler = qlog::GenerateCorpus(spec);
+  if (filler.ok()) {
+    for (const auto& series : filler->series()) corpus.Add(series);
+  }
+
+  core::S2Engine::Options options;
+  options.index.budget_c = 16;
+  options.long_burst.min_avg_value = 0.5;
+  options.long_burst.min_length = 5;
+  auto engine = core::S2Engine::Build(std::move(corpus), options);
+  if (!engine.ok()) {
+    std::printf("build failed: %s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "S2 Similarity Tool - %zu queries indexed (%zu KiB compressed "
+      "features).\nType 'help' for commands, 'demo' for a tour.\n",
+      engine->corpus().size(), engine->index().CompressedBytes() / 1024);
+  Tool tool(std::move(engine).ValueOrDie());
+  tool.Run();
+  return 0;
+}

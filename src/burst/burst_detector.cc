@@ -1,0 +1,57 @@
+#include "burst/burst_detector.h"
+
+#include "dsp/moving_average.h"
+#include "dsp/stats.h"
+
+namespace s2::burst {
+
+Result<BurstDetector::Trace> BurstDetector::DetectWithTrace(
+    const std::vector<double>& x) const {
+  if (x.size() < options_.window) {
+    return Status::InvalidArgument("BurstDetector: sequence shorter than window");
+  }
+  const std::vector<double> z = options_.standardize ? dsp::Standardize(x) : x;
+  S2_ASSIGN_OR_RETURN(std::vector<double> ma,
+                      dsp::TrailingMovingAverage(z, options_.window));
+  const double cutoff = dsp::Mean(ma) + options_.cutoff_stds * dsp::StdDev(ma);
+
+  Trace trace;
+  trace.cutoff = cutoff;
+
+  // Compact consecutive over-cutoff days into [start, end, avg] triplets.
+  int32_t run_start = -1;
+  double run_sum = 0.0;
+  auto flush = [&](int32_t end_inclusive) {
+    if (run_start < 0) return;
+    BurstRegion region;
+    region.start = run_start;
+    region.end = end_inclusive;
+    region.avg_value = run_sum / static_cast<double>(region.length());
+    if (region.avg_value >= options_.min_avg_value &&
+        region.length() >= options_.min_length) {
+      trace.regions.push_back(region);
+    }
+    run_start = -1;
+    run_sum = 0.0;
+  };
+  for (size_t i = 0; i < ma.size(); ++i) {
+    if (ma[i] > cutoff) {
+      if (run_start < 0) run_start = static_cast<int32_t>(i);
+      run_sum += z[i];
+    } else {
+      flush(static_cast<int32_t>(i) - 1);
+    }
+  }
+  flush(static_cast<int32_t>(ma.size()) - 1);
+
+  trace.moving_average = std::move(ma);
+  return trace;
+}
+
+Result<std::vector<BurstRegion>> BurstDetector::Detect(
+    const std::vector<double>& x) const {
+  S2_ASSIGN_OR_RETURN(Trace trace, DetectWithTrace(x));
+  return std::move(trace.regions);
+}
+
+}  // namespace s2::burst

@@ -1,0 +1,36 @@
+#include "burst/burst_similarity.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace s2::burst {
+
+int32_t Overlap(const BurstRegion& a, const BurstRegion& b) {
+  const int32_t lo = std::max(a.start, b.start);
+  const int32_t hi = std::min(a.end, b.end);
+  return std::max(0, hi - lo + 1);
+}
+
+double Intersect(const BurstRegion& a, const BurstRegion& b) {
+  const double overlap = Overlap(a, b);
+  if (overlap == 0.0) return 0.0;
+  return 0.5 * (overlap / a.length() + overlap / b.length());
+}
+
+double ValueSimilarity(const BurstRegion& a, const BurstRegion& b) {
+  return 1.0 / (1.0 + std::abs(a.avg_value - b.avg_value));
+}
+
+double BSim(const std::vector<BurstRegion>& x, const std::vector<BurstRegion>& y) {
+  double total = 0.0;
+  for (const BurstRegion& a : x) {
+    for (const BurstRegion& b : y) {
+      const double intersect = Intersect(a, b);
+      if (intersect == 0.0) continue;
+      total += intersect * ValueSimilarity(a, b);
+    }
+  }
+  return total;
+}
+
+}  // namespace s2::burst

@@ -1,0 +1,31 @@
+#ifndef S2_BURST_BURST_SIMILARITY_H_
+#define S2_BURST_BURST_SIMILARITY_H_
+
+#include <vector>
+
+#include "burst/burst_detector.h"
+
+namespace s2::burst {
+
+/// Number of shared days between two bursts (0 when disjoint). Days are
+/// inclusive on both ends, matching `BurstRegion::length`.
+int32_t Overlap(const BurstRegion& a, const BurstRegion& b);
+
+/// The paper's `intersect`: the mean of the overlap fractions relative to
+/// each burst's length. In [0, 1]; 1 iff the bursts coincide exactly.
+double Intersect(const BurstRegion& a, const BurstRegion& b);
+
+/// The paper's `similarity`: closeness of the average burst values,
+/// `1 / (1 + |avg_a - avg_b|)`. (The paper prints the difference without the
+/// absolute value — an obvious typo, since a negative difference would make
+/// the "similarity" exceed 1 or diverge.) In (0, 1].
+double ValueSimilarity(const BurstRegion& a, const BurstRegion& b);
+
+/// The paper's burst similarity measure (Section 6.3):
+///   `BSim(X, Y) = sum_i sum_j Intersect(B_i, B_j) * ValueSimilarity(B_i, B_j)`.
+/// Only overlapping pairs contribute (Intersect is 0 otherwise). Symmetric.
+double BSim(const std::vector<BurstRegion>& x, const std::vector<BurstRegion>& y);
+
+}  // namespace s2::burst
+
+#endif  // S2_BURST_BURST_SIMILARITY_H_

@@ -1,0 +1,67 @@
+#include "burst/burst_table.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+namespace s2::burst {
+
+void BurstTable::Insert(ts::SeriesId series_id,
+                        const std::vector<BurstRegion>& regions, int32_t offset) {
+  for (const BurstRegion& region : regions) {
+    BurstRecord record;
+    record.series_id = series_id;
+    record.start = region.start + offset;
+    record.end = region.end + offset;
+    record.avg_value = region.avg_value;
+    records_.push_back(record);
+    start_index_.Insert(record.start,
+                        static_cast<uint32_t>(records_.size() - 1));
+  }
+}
+
+std::vector<BurstRecord> BurstTable::FindOverlapping(const BurstRegion& query) const {
+  // Index scan: startDate <= query.end; residual filter: endDate >= query.start.
+  std::vector<BurstRecord> out;
+  size_t scanned = 0;
+  start_index_.Scan(std::numeric_limits<int32_t>::min(), query.end,
+                    [&](int32_t /*start*/, uint32_t record_idx) {
+                      ++scanned;
+                      const BurstRecord& record = records_[record_idx];
+                      if (record.end >= query.start) out.push_back(record);
+                      return true;
+                    });
+  last_scanned_ = scanned;
+  return out;
+}
+
+std::vector<BurstMatch> BurstTable::QueryByBurst(
+    const std::vector<BurstRegion>& query_bursts, size_t k,
+    ts::SeriesId exclude) const {
+  std::unordered_map<ts::SeriesId, double> scores;
+  size_t scanned_total = 0;
+  for (const BurstRegion& q : query_bursts) {
+    const std::vector<BurstRecord> overlapping = FindOverlapping(q);
+    scanned_total += last_scanned_;
+    for (const BurstRecord& record : overlapping) {
+      if (record.series_id == exclude) continue;
+      const BurstRegion b = record.region();
+      const double intersect = Intersect(q, b);
+      if (intersect == 0.0) continue;
+      scores[record.series_id] += intersect * ValueSimilarity(q, b);
+    }
+  }
+  last_scanned_ = scanned_total;
+
+  std::vector<BurstMatch> matches;
+  matches.reserve(scores.size());
+  for (const auto& [id, score] : scores) matches.push_back({id, score});
+  std::sort(matches.begin(), matches.end(), [](const BurstMatch& a, const BurstMatch& b) {
+    if (a.bsim != b.bsim) return a.bsim > b.bsim;
+    return a.series_id < b.series_id;  // Deterministic order for ties.
+  });
+  if (k > 0 && matches.size() > k) matches.resize(k);
+  return matches;
+}
+
+}  // namespace s2::burst

@@ -1,0 +1,92 @@
+#ifndef S2_BURST_BURST_TABLE_H_
+#define S2_BURST_BURST_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "burst/burst_detector.h"
+#include "burst/burst_similarity.h"
+#include "common/result.h"
+#include "storage/bptree.h"
+#include "timeseries/time_series.h"
+
+namespace s2::burst {
+
+/// One row of the paper's DBMS burst table:
+/// `[sequenceID, startDate, endDate, average burst value]`.
+struct BurstRecord {
+  ts::SeriesId series_id = ts::kInvalidSeriesId;
+  int32_t start = 0;  ///< Absolute day index of the first burst day.
+  int32_t end = 0;    ///< Absolute day index of the last burst day.
+  double avg_value = 0.0;
+
+  BurstRegion region() const { return BurstRegion{start, end, avg_value}; }
+};
+
+/// A ranked query-by-burst answer.
+struct BurstMatch {
+  ts::SeriesId series_id = ts::kInvalidSeriesId;
+  double bsim = 0.0;
+};
+
+/// The relational burst store of Section 6.3: burst triplets as records,
+/// indexed with a B-tree on `startDate` so the SQL plan
+///
+///   SELECT B FROM Bursts B
+///   WHERE B.startDate <= Q.endDate AND B.endDate >= Q.startDate
+///
+/// becomes one index range scan plus a residual filter. `QueryByBurst`
+/// aggregates `BSim` per sequence over the qualifying records.
+class BurstTable {
+ public:
+  BurstTable() = default;
+
+  BurstTable(const BurstTable&) = delete;
+  BurstTable& operator=(const BurstTable&) = delete;
+  BurstTable(BurstTable&&) noexcept = default;
+  BurstTable& operator=(BurstTable&&) noexcept = default;
+
+  /// Inserts the burst triplets of one sequence. `offset` shifts
+  /// region-local positions into absolute day indices (pass the series'
+  /// `start_day`).
+  void Insert(ts::SeriesId series_id, const std::vector<BurstRegion>& regions,
+              int32_t offset);
+
+  /// All records overlapping `[query.start, query.end]`, via the start-date
+  /// index.
+  std::vector<BurstRecord> FindOverlapping(const BurstRegion& query) const;
+
+  /// Query-by-burst: ranks sequences by `BSim` against the query's burst
+  /// set. Only sequences with at least one overlapping burst can appear.
+  /// Returns the top `k` (or all positive-score matches when k == 0),
+  /// descending by score. `exclude` drops one id (typically the query's own
+  /// sequence when it is part of the table).
+  std::vector<BurstMatch> QueryByBurst(const std::vector<BurstRegion>& query_bursts,
+                                       size_t k,
+                                       ts::SeriesId exclude = ts::kInvalidSeriesId) const;
+
+  /// Number of stored burst records.
+  size_t size() const { return records_.size(); }
+
+  /// Bytes of the record heap (the paper's "significantly less storage
+  /// space" claim: 4 numbers per burst instead of the full sequence).
+  size_t StorageBytes() const { return records_.size() * sizeof(BurstRecord); }
+
+  /// Access to all records (diagnostics/tests).
+  const std::vector<BurstRecord>& records() const { return records_; }
+
+  /// Scan statistics of the last FindOverlapping/QueryByBurst call:
+  /// records touched by the index scan before the endDate filter.
+  size_t last_scanned() const { return last_scanned_; }
+
+ private:
+  std::vector<BurstRecord> records_;
+  // startDate -> record index. The B+-tree provides the ordered range scan
+  // the SQL plan needs.
+  storage::BPlusTree<int32_t, uint32_t> start_index_;
+  mutable size_t last_scanned_ = 0;
+};
+
+}  // namespace s2::burst
+
+#endif  // S2_BURST_BURST_TABLE_H_

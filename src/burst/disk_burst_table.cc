@@ -1,0 +1,187 @@
+#include "burst/disk_burst_table.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <unordered_map>
+
+#include "burst/burst_similarity.h"
+
+namespace s2::burst {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', '2', 'B', 'U', 'R', 'S', 'T', '1'};
+constexpr size_t kMetaCountOffset = 8;
+
+// Fixed on-disk record: series_id u32 | start i32 | end i32 | pad | avg f64.
+constexpr size_t kRecordBytes = 24;
+constexpr size_t kRecordsPerPage = (storage::kPageSize - 0) / kRecordBytes;
+
+// Record ids map to heap pages 1.. (page 0 is metadata).
+storage::PageId PageOf(uint64_t record_id) {
+  return static_cast<storage::PageId>(1 + record_id / kRecordsPerPage);
+}
+size_t SlotOf(uint64_t record_id) {
+  return (record_id % kRecordsPerPage) * kRecordBytes;
+}
+
+void EncodeRecord(const BurstRecord& record, char* out) {
+  std::memcpy(out, &record.series_id, 4);
+  std::memcpy(out + 4, &record.start, 4);
+  std::memcpy(out + 8, &record.end, 4);
+  const uint32_t pad = 0;
+  std::memcpy(out + 12, &pad, 4);
+  std::memcpy(out + 16, &record.avg_value, 8);
+}
+
+BurstRecord DecodeRecord(const char* in) {
+  BurstRecord record;
+  std::memcpy(&record.series_id, in, 4);
+  std::memcpy(&record.start, in + 4, 4);
+  std::memcpy(&record.end, in + 8, 4);
+  std::memcpy(&record.avg_value, in + 16, 8);
+  return record;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<DiskBurstTable>> DiskBurstTable::Open(
+    const std::string& prefix, size_t pool_pages) {
+  S2_ASSIGN_OR_RETURN(std::unique_ptr<storage::Pager> heap,
+                      storage::Pager::Open(prefix + ".heap", pool_pages));
+  S2_ASSIGN_OR_RETURN(std::unique_ptr<storage::DiskBPlusTree> index,
+                      storage::DiskBPlusTree::Open(prefix + ".idx", pool_pages));
+  std::unique_ptr<DiskBurstTable> table(
+      new DiskBurstTable(std::move(heap), std::move(index)));
+  if (table->heap_->num_pages() == 0) {
+    char* meta = nullptr;
+    S2_ASSIGN_OR_RETURN(storage::PageId meta_id, table->heap_->Allocate(&meta));
+    std::memcpy(meta, kMagic, sizeof(kMagic));
+    const uint64_t zero = 0;
+    std::memcpy(meta + kMetaCountOffset, &zero, sizeof(zero));
+    S2_RETURN_NOT_OK(table->heap_->Unpin(meta_id, /*dirty=*/true));
+    S2_RETURN_NOT_OK(table->heap_->FlushAll());
+  } else {
+    S2_RETURN_NOT_OK(table->LoadMeta());
+  }
+  return table;
+}
+
+Status DiskBurstTable::LoadMeta() {
+  S2_ASSIGN_OR_RETURN(char* meta, heap_->Fetch(0));
+  const bool ok = std::memcmp(meta, kMagic, sizeof(kMagic)) == 0;
+  if (ok) std::memcpy(&record_count_, meta + kMetaCountOffset, sizeof(record_count_));
+  S2_RETURN_NOT_OK(heap_->Unpin(0, false));
+  if (!ok) return Status::IoError("DiskBurstTable: bad heap magic");
+  return Status::OK();
+}
+
+Status DiskBurstTable::StoreMeta() {
+  S2_ASSIGN_OR_RETURN(char* meta, heap_->Fetch(0));
+  std::memcpy(meta + kMetaCountOffset, &record_count_, sizeof(record_count_));
+  return heap_->Unpin(0, /*dirty=*/true);
+}
+
+Result<uint64_t> DiskBurstTable::AppendRecord(const BurstRecord& record) {
+  const uint64_t record_id = record_count_;
+  const storage::PageId page_id = PageOf(record_id);
+  char* page = nullptr;
+  if (page_id >= heap_->num_pages()) {
+    S2_ASSIGN_OR_RETURN(storage::PageId allocated, heap_->Allocate(&page));
+    if (allocated != page_id) {
+      (void)heap_->Unpin(allocated, false);
+      return Status::Internal("DiskBurstTable: heap page allocation out of order");
+    }
+  } else {
+    S2_ASSIGN_OR_RETURN(page, heap_->Fetch(page_id));
+  }
+  EncodeRecord(record, page + SlotOf(record_id));
+  S2_RETURN_NOT_OK(heap_->Unpin(page_id, /*dirty=*/true));
+  ++record_count_;
+  S2_RETURN_NOT_OK(StoreMeta());
+  return record_id;
+}
+
+Result<BurstRecord> DiskBurstTable::ReadRecord(uint64_t record_id) {
+  if (record_id >= record_count_) {
+    return Status::OutOfRange("DiskBurstTable: record id out of range");
+  }
+  const storage::PageId page_id = PageOf(record_id);
+  S2_ASSIGN_OR_RETURN(char* page, heap_->Fetch(page_id));
+  const BurstRecord record = DecodeRecord(page + SlotOf(record_id));
+  S2_RETURN_NOT_OK(heap_->Unpin(page_id, false));
+  return record;
+}
+
+Status DiskBurstTable::Insert(ts::SeriesId series_id,
+                              const std::vector<BurstRegion>& regions,
+                              int32_t offset) {
+  for (const BurstRegion& region : regions) {
+    BurstRecord record;
+    record.series_id = series_id;
+    record.start = region.start + offset;
+    record.end = region.end + offset;
+    record.avg_value = region.avg_value;
+    S2_ASSIGN_OR_RETURN(uint64_t record_id, AppendRecord(record));
+    S2_RETURN_NOT_OK(index_->Insert(record.start, record_id));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<BurstRecord>> DiskBurstTable::FindOverlapping(
+    const BurstRegion& query) {
+  // Index scan: startDate <= query.end; residual filter on endDate.
+  std::vector<uint64_t> record_ids;
+  S2_RETURN_NOT_OK(index_->Scan(std::numeric_limits<int64_t>::min(), query.end,
+                                [&record_ids](int64_t, uint64_t record_id) {
+                                  record_ids.push_back(record_id);
+                                  return true;
+                                }));
+  std::vector<BurstRecord> out;
+  for (uint64_t record_id : record_ids) {
+    S2_ASSIGN_OR_RETURN(BurstRecord record, ReadRecord(record_id));
+    if (record.end >= query.start) out.push_back(record);
+  }
+  return out;
+}
+
+Result<std::vector<BurstMatch>> DiskBurstTable::QueryByBurst(
+    const std::vector<BurstRegion>& query_bursts, size_t k, ts::SeriesId exclude) {
+  std::unordered_map<ts::SeriesId, double> scores;
+  for (const BurstRegion& q : query_bursts) {
+    S2_ASSIGN_OR_RETURN(std::vector<BurstRecord> overlapping, FindOverlapping(q));
+    for (const BurstRecord& record : overlapping) {
+      if (record.series_id == exclude) continue;
+      const BurstRegion b = record.region();
+      const double intersect = Intersect(q, b);
+      if (intersect == 0.0) continue;
+      scores[record.series_id] += intersect * ValueSimilarity(q, b);
+    }
+  }
+  std::vector<BurstMatch> matches;
+  matches.reserve(scores.size());
+  for (const auto& [id, score] : scores) matches.push_back({id, score});
+  std::sort(matches.begin(), matches.end(),
+            [](const BurstMatch& a, const BurstMatch& b) {
+              if (a.bsim != b.bsim) return a.bsim > b.bsim;
+              return a.series_id < b.series_id;
+            });
+  if (k > 0 && matches.size() > k) matches.resize(k);
+  return matches;
+}
+
+Status DiskBurstTable::Flush() {
+  S2_RETURN_NOT_OK(heap_->FlushAll());
+  return index_->Flush();
+}
+
+uint64_t DiskBurstTable::disk_reads() const {
+  return heap_->disk_reads() + index_->pager()->disk_reads();
+}
+
+uint64_t DiskBurstTable::disk_writes() const {
+  return heap_->disk_writes() + index_->pager()->disk_writes();
+}
+
+}  // namespace s2::burst

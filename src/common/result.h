@@ -1,0 +1,91 @@
+#ifndef S2_COMMON_RESULT_H_
+#define S2_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace s2 {
+
+/// Either a value of type `T` or an error `Status`.
+///
+/// This is the value-returning counterpart of `Status`, modelled after
+/// `arrow::Result`. Construction from a `T` yields a successful result;
+/// construction from a non-OK `Status` yields an error. Accessing the value
+/// of an error result aborts, so callers must check `ok()` first (or use the
+/// `S2_ASSIGN_OR_RETURN` macro).
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result holding `value`.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs an error result. `status` must not be OK.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT(runtime/explicit)
+    if (std::get<Status>(repr_).ok()) std::abort();
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  /// True iff this result holds a value.
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The status: OK when a value is held, the error otherwise.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// The held value; aborts if this result is an error.
+  const T& value() const& {
+    CheckOk();
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    CheckOk();
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    CheckOk();
+    return std::get<T>(std::move(repr_));
+  }
+
+  /// Moves the held value out; aborts if this result is an error.
+  T ValueOrDie() && { return std::move(*this).value(); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) std::abort();
+  }
+  std::variant<T, Status> repr_;
+};
+
+}  // namespace s2
+
+#define S2_CONCAT_IMPL_(a, b) a##b
+#define S2_CONCAT_(a, b) S2_CONCAT_IMPL_(a, b)
+
+/// Evaluates `rexpr` (a `Result<T>`); on error returns its status from the
+/// current function, otherwise moves the value into `lhs`.
+///
+/// ```
+/// S2_ASSIGN_OR_RETURN(auto series, store.Read(id));
+/// ```
+#define S2_ASSIGN_OR_RETURN(lhs, rexpr)                               \
+  S2_ASSIGN_OR_RETURN_IMPL_(S2_CONCAT_(_s2_result_, __COUNTER__), lhs, rexpr)
+
+#define S2_ASSIGN_OR_RETURN_IMPL_(result, lhs, rexpr) \
+  auto result = (rexpr);                              \
+  if (!result.ok()) return result.status();           \
+  lhs = std::move(result).value()
+
+#endif  // S2_COMMON_RESULT_H_

@@ -1,0 +1,71 @@
+#ifndef S2_COMMON_RNG_H_
+#define S2_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace s2 {
+
+/// Deterministic random-number generator.
+///
+/// All randomness in the library (workload synthesis, sampling, benchmarks,
+/// tests) flows through this wrapper so that every run is reproducible from
+/// an explicit 64-bit seed. Not thread-safe; use one instance per thread.
+class Rng {
+ public:
+  /// Creates a generator seeded with `seed`.
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform real in [lo, hi).
+  double Uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Normal (Gaussian) with the given mean and standard deviation.
+  double Normal(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Exponential with rate `lambda` (mean 1/lambda).
+  double Exponential(double lambda) {
+    return std::exponential_distribution<double>(lambda)(engine_);
+  }
+
+  /// Poisson with the given mean.
+  int64_t Poisson(double mean) {
+    return std::poisson_distribution<int64_t>(mean)(engine_);
+  }
+
+  /// Bernoulli trial: true with probability `p`.
+  bool Bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// A fresh seed suitable for constructing an independent child generator.
+  uint64_t NextSeed() { return engine_(); }
+
+  /// Fisher-Yates shuffle of `items`.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    for (size_t i = items->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+      std::swap((*items)[i - 1], (*items)[j]);
+    }
+  }
+
+  /// The underlying engine, for use with <algorithm> utilities.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace s2
+
+#endif  // S2_COMMON_RNG_H_

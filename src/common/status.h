@@ -1,0 +1,108 @@
+#ifndef S2_COMMON_STATUS_H_
+#define S2_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace s2 {
+
+/// Machine-readable classification of an error.
+///
+/// The library does not throw exceptions across public API boundaries;
+/// fallible operations return a `Status` (or a `Result<T>`, see result.h)
+/// carrying one of these codes.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kNotFound = 3,
+  kAlreadyExists = 4,
+  kIoError = 5,
+  kInternal = 6,
+};
+
+/// Human-readable name of a status code (e.g. "InvalidArgument").
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Outcome of a fallible operation: either OK or an error code plus message.
+///
+/// `Status` is cheap to copy in the OK case (a single pointer compare against
+/// null); error states allocate a small shared state. Typical use:
+///
+/// ```
+/// Status s = store.Open(path);
+/// if (!s.ok()) return s;
+/// ```
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given code and message. `code` must not be
+  /// `StatusCode::kOk`; use the default constructor for success.
+  Status(StatusCode code, std::string message);
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  /// Factory helpers, one per error code.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status OutOfRange(std::string message) {
+    return Status(StatusCode::kOutOfRange, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  static Status AlreadyExists(std::string message) {
+    return Status(StatusCode::kAlreadyExists, std::move(message));
+  }
+  static Status IoError(std::string message) {
+    return Status(StatusCode::kIoError, std::move(message));
+  }
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+
+  /// True iff this status represents success.
+  bool ok() const { return state_ == nullptr; }
+
+  /// The error code (`kOk` when `ok()`).
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+
+  /// The error message (empty when `ok()`).
+  const std::string& message() const;
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  /// Two statuses are equal when their codes and messages are equal.
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code() == b.code() && a.message() == b.message();
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  // Null iff OK. shared_ptr keeps Status copyable without re-allocating.
+  std::shared_ptr<const State> state_;
+};
+
+}  // namespace s2
+
+/// Propagates a non-OK `Status` from the current function.
+#define S2_RETURN_NOT_OK(expr)                 \
+  do {                                         \
+    ::s2::Status _s2_status = (expr);          \
+    if (!_s2_status.ok()) return _s2_status;   \
+  } while (false)
+
+#endif  // S2_COMMON_STATUS_H_

@@ -1,0 +1,186 @@
+#include "core/s2_engine.h"
+
+#include <utility>
+
+#include "dsp/stats.h"
+
+namespace s2::core {
+
+Result<S2Engine> S2Engine::Build(ts::Corpus corpus, const Options& options) {
+  if (corpus.empty()) return Status::InvalidArgument("S2Engine: empty corpus");
+  const size_t length = corpus.at(0).size();
+  for (const ts::TimeSeries& series : corpus.series()) {
+    if (series.size() != length) {
+      return Status::InvalidArgument("S2Engine: all series must share one length");
+    }
+  }
+
+  S2Engine engine;
+  engine.options_ = options;
+  engine.long_detector_ = burst::BurstDetector(options.long_burst);
+  engine.short_detector_ = burst::BurstDetector(options.short_burst);
+  engine.period_detector_ = period::PeriodDetector(options.period);
+
+  // Standardize all sequences (the paper's preprocessing for both
+  // similarity and burst features).
+  engine.standardized_.reserve(corpus.size());
+  for (const ts::TimeSeries& series : corpus.series()) {
+    engine.standardized_.push_back(dsp::Standardize(series.values));
+  }
+
+  // Name catalog. Later duplicates keep their id unreachable by name, which
+  // matches a real log where query strings are unique.
+  for (ts::SeriesId id = 0; id < corpus.size(); ++id) {
+    engine.by_name_.emplace(corpus.at(id).name, id);
+  }
+
+  // Similarity index over the standardized data.
+  S2_ASSIGN_OR_RETURN(index::VpTreeIndex built,
+                      index::VpTreeIndex::Build(engine.standardized_, options.index));
+  engine.index_ = std::make_unique<index::VpTreeIndex>(std::move(built));
+
+  // DTW search helper (Section 8 extension), sharing the budget of the
+  // Euclidean index.
+  dtw::DtwKnnSearch::Options dtw_options;
+  dtw_options.window = options.dtw_window;
+  dtw_options.budget_c = options.index.budget_c;
+  S2_ASSIGN_OR_RETURN(dtw::DtwKnnSearch dtw_built,
+                      dtw::DtwKnnSearch::BuildFeatures(engine.standardized_,
+                                                       dtw_options));
+  engine.dtw_search_ = std::make_unique<dtw::DtwKnnSearch>(std::move(dtw_built));
+
+  // Verification source: RAM or disk.
+  if (options.disk_store_path.empty()) {
+    S2_ASSIGN_OR_RETURN(auto source,
+                        storage::InMemorySequenceSource::Create(engine.standardized_));
+    engine.mem_source_ = source.get();
+    engine.source_ = std::move(source);
+  } else {
+    S2_ASSIGN_OR_RETURN(auto source,
+                        storage::DiskSequenceStore::Create(options.disk_store_path,
+                                                           engine.standardized_));
+    engine.source_ = std::move(source);
+  }
+
+  // Burst stores for both horizons.
+  for (ts::SeriesId id = 0; id < corpus.size(); ++id) {
+    const ts::TimeSeries& series = corpus.at(id);
+    S2_ASSIGN_OR_RETURN(std::vector<burst::BurstRegion> long_regions,
+                        engine.long_detector_.Detect(series.values));
+    engine.long_bursts_.Insert(id, long_regions, series.start_day);
+    S2_ASSIGN_OR_RETURN(std::vector<burst::BurstRegion> short_regions,
+                        engine.short_detector_.Detect(series.values));
+    engine.short_bursts_.Insert(id, short_regions, series.start_day);
+  }
+
+  engine.corpus_ = std::move(corpus);
+  return engine;
+}
+
+Result<ts::SeriesId> S2Engine::FindByName(std::string_view name) const {
+  const auto it = by_name_.find(std::string(name));
+  if (it == by_name_.end()) {
+    return Status::NotFound("S2Engine: no series named '" + std::string(name) + "'");
+  }
+  return it->second;
+}
+
+Result<ts::SeriesId> S2Engine::AddSeries(ts::TimeSeries series) {
+  if (mem_source_ == nullptr) {
+    return Status::InvalidArgument(
+        "S2Engine::AddSeries: only supported for RAM-resident engines");
+  }
+  if (series.size() != standardized_.front().size()) {
+    return Status::InvalidArgument("S2Engine::AddSeries: series length mismatch");
+  }
+  std::vector<double> z = dsp::Standardize(series.values);
+  S2_ASSIGN_OR_RETURN(ts::SeriesId id, mem_source_->Append(z));
+  S2_RETURN_NOT_OK(index_->Insert(id, z, mem_source_));
+  {
+    S2_ASSIGN_OR_RETURN(repr::HalfSpectrum spectrum,
+                        repr::HalfSpectrum::FromSeries(z));
+    S2_ASSIGN_OR_RETURN(repr::CompressedSpectrum feature,
+                        repr::CompressedSpectrum::Compress(
+                            spectrum, repr::ReprKind::kBestKError,
+                            options_.index.budget_c));
+    S2_RETURN_NOT_OK(dtw_search_->AddFeature(std::move(feature)));
+  }
+
+  S2_ASSIGN_OR_RETURN(std::vector<burst::BurstRegion> long_regions,
+                      long_detector_.Detect(series.values));
+  long_bursts_.Insert(id, long_regions, series.start_day);
+  S2_ASSIGN_OR_RETURN(std::vector<burst::BurstRegion> short_regions,
+                      short_detector_.Detect(series.values));
+  short_bursts_.Insert(id, short_regions, series.start_day);
+
+  standardized_.push_back(std::move(z));
+  by_name_.emplace(series.name, id);
+  corpus_.Add(std::move(series));
+  return id;
+}
+
+Result<std::vector<index::Neighbor>> S2Engine::SimilarTo(
+    ts::SeriesId id, size_t k, index::VpTreeIndex::SearchStats* stats) const {
+  if (id >= corpus_.size()) return Status::NotFound("S2Engine: bad series id");
+  // Ask for k+1 and drop the series itself (its own nearest neighbor).
+  S2_ASSIGN_OR_RETURN(std::vector<index::Neighbor> neighbors,
+                      index_->Search(standardized_[id], k + 1, source_.get(), stats));
+  std::erase_if(neighbors, [id](const index::Neighbor& n) { return n.id == id; });
+  if (neighbors.size() > k) neighbors.resize(k);
+  return neighbors;
+}
+
+Result<std::vector<index::Neighbor>> S2Engine::SimilarToSeries(
+    const std::vector<double>& raw_values, size_t k,
+    index::VpTreeIndex::SearchStats* stats) const {
+  const std::vector<double> z = dsp::Standardize(raw_values);
+  return index_->Search(z, k, source_.get(), stats);
+}
+
+Result<std::vector<index::Neighbor>> S2Engine::SimilarToDtw(
+    ts::SeriesId id, size_t k, dtw::DtwKnnSearch::SearchStats* stats) const {
+  if (id >= corpus_.size()) return Status::NotFound("S2Engine: bad series id");
+  S2_ASSIGN_OR_RETURN(std::vector<index::Neighbor> neighbors,
+                      dtw_search_->Search(standardized_[id], k + 1, source_.get(),
+                                          stats));
+  std::erase_if(neighbors, [id](const index::Neighbor& n) { return n.id == id; });
+  if (neighbors.size() > k) neighbors.resize(k);
+  return neighbors;
+}
+
+Result<std::vector<period::PeriodHit>> S2Engine::FindPeriods(ts::SeriesId id) const {
+  if (id >= corpus_.size()) return Status::NotFound("S2Engine: bad series id");
+  return period_detector_.Detect(corpus_.at(id).values);
+}
+
+Result<std::vector<burst::BurstRegion>> S2Engine::BurstsOf(
+    ts::SeriesId id, BurstHorizon horizon) const {
+  if (id >= corpus_.size()) return Status::NotFound("S2Engine: bad series id");
+  const ts::TimeSeries& series = corpus_.at(id);
+  S2_ASSIGN_OR_RETURN(std::vector<burst::BurstRegion> regions,
+                      DetectorFor(horizon).Detect(series.values));
+  for (burst::BurstRegion& region : regions) {
+    region.start += series.start_day;
+    region.end += series.start_day;
+  }
+  return regions;
+}
+
+Result<std::vector<burst::BurstMatch>> S2Engine::QueryByBurst(
+    ts::SeriesId id, size_t k, BurstHorizon horizon) const {
+  S2_ASSIGN_OR_RETURN(std::vector<burst::BurstRegion> regions, BurstsOf(id, horizon));
+  return burst_table(horizon).QueryByBurst(regions, k, id);
+}
+
+Result<std::vector<burst::BurstMatch>> S2Engine::QueryByBurstSeries(
+    const ts::TimeSeries& series, size_t k, BurstHorizon horizon) const {
+  S2_ASSIGN_OR_RETURN(std::vector<burst::BurstRegion> regions,
+                      DetectorFor(horizon).Detect(series.values));
+  for (burst::BurstRegion& region : regions) {
+    region.start += series.start_day;
+    region.end += series.start_day;
+  }
+  return burst_table(horizon).QueryByBurst(regions, k);
+}
+
+}  // namespace s2::core

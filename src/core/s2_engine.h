@@ -1,0 +1,151 @@
+#ifndef S2_CORE_S2_ENGINE_H_
+#define S2_CORE_S2_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "burst/burst_detector.h"
+#include "burst/burst_table.h"
+#include "common/result.h"
+#include "dtw/dtw_search.h"
+#include "index/knn.h"
+#include "index/vp_tree.h"
+#include "period/period_detector.h"
+#include "storage/sequence_store.h"
+#include "timeseries/time_series.h"
+
+namespace s2::core {
+
+/// Which burst-detection horizon to use (Section 6.1: the paper's database
+/// keeps both a 30-day and a 7-day moving-average pass).
+enum class BurstHorizon { kLongTerm, kShortTerm };
+
+/// The S2 engine: the library façade corresponding to the paper's S2
+/// Similarity Tool (Section 7.5). It ingests a corpus of query-demand
+/// series and provides the three headline capabilities:
+///
+///   * similarity search over compressed spectral features (VP-tree index),
+///   * automatic discovery of significant periods,
+///   * burst detection and query-by-burst over a relational burst store.
+///
+/// All sequences are standardized at ingest; similarity is Euclidean
+/// distance between standardized sequences (exact — the index bounds only
+/// prune, never approximate).
+class S2Engine {
+ public:
+  struct Options {
+    index::VpTreeIndex::Options index;
+    period::PeriodDetector::Options period;
+    /// Sakoe-Chiba half-width for SimilarToDtw (Section 8 extension).
+    size_t dtw_window = 16;
+    burst::BurstDetector::Options long_burst{30, 1.5, true};
+    burst::BurstDetector::Options short_burst{7, 1.5, true};
+    /// When non-empty, the standardized sequences are spilled to this file
+    /// and verification reads come from disk (the paper's external-memory
+    /// configuration); otherwise everything stays in RAM.
+    std::string disk_store_path;
+  };
+
+  /// Ingests `corpus` and builds every derived structure. All series must
+  /// share one length.
+  static Result<S2Engine> Build(ts::Corpus corpus, const Options& options);
+
+  S2Engine(S2Engine&&) noexcept = default;
+  S2Engine& operator=(S2Engine&&) noexcept = default;
+
+  // --- Catalog -------------------------------------------------------------
+
+  /// Resolves a query string to its series id.
+  Result<ts::SeriesId> FindByName(std::string_view name) const;
+
+  /// Incrementally ingests one more series: standardizes it, inserts it
+  /// into the VP-tree (dynamic insert), detects its bursts into both burst
+  /// stores and registers its name. Only supported for RAM-resident engines
+  /// (empty `disk_store_path`); the series must match the corpus length.
+  /// Returns the new series id.
+  Result<ts::SeriesId> AddSeries(ts::TimeSeries series);
+
+  /// The ingested corpus.
+  const ts::Corpus& corpus() const { return corpus_; }
+
+  /// Standardized values of a series.
+  const std::vector<double>& standardized(ts::SeriesId id) const {
+    return standardized_[id];
+  }
+
+  // --- Similarity ----------------------------------------------------------
+
+  /// k nearest neighbors of an indexed series (itself excluded).
+  Result<std::vector<index::Neighbor>> SimilarTo(ts::SeriesId id, size_t k,
+                                                 index::VpTreeIndex::SearchStats*
+                                                     stats = nullptr) const;
+
+  /// k nearest neighbors of an external (raw, unstandardized) sequence.
+  Result<std::vector<index::Neighbor>> SimilarToSeries(
+      const std::vector<double>& raw_values, size_t k,
+      index::VpTreeIndex::SearchStats* stats = nullptr) const;
+
+  /// k nearest neighbors of an indexed series under *dynamic time warping*
+  /// (Section 8 extension): exact windowed-DTW search accelerated by the
+  /// compressed-representation upper bounds and LB_Keogh. Itself excluded.
+  Result<std::vector<index::Neighbor>> SimilarToDtw(
+      ts::SeriesId id, size_t k,
+      dtw::DtwKnnSearch::SearchStats* stats = nullptr) const;
+
+  // --- Periods ---------------------------------------------------------------
+
+  /// Significant periods of an indexed series (descending power).
+  Result<std::vector<period::PeriodHit>> FindPeriods(ts::SeriesId id) const;
+
+  // --- Bursts ----------------------------------------------------------------
+
+  /// Precomputed burst triplets of a series (positions are absolute days).
+  Result<std::vector<burst::BurstRegion>> BurstsOf(ts::SeriesId id,
+                                                   BurstHorizon horizon) const;
+
+  /// Query-by-burst against the corpus burst store, excluding `id` itself.
+  Result<std::vector<burst::BurstMatch>> QueryByBurst(ts::SeriesId id, size_t k,
+                                                      BurstHorizon horizon) const;
+
+  /// Query-by-burst for an external raw sequence.
+  Result<std::vector<burst::BurstMatch>> QueryByBurstSeries(
+      const ts::TimeSeries& series, size_t k, BurstHorizon horizon) const;
+
+  // --- Introspection ---------------------------------------------------------
+
+  const index::VpTreeIndex& index() const { return *index_; }
+  const burst::BurstTable& burst_table(BurstHorizon horizon) const {
+    return horizon == BurstHorizon::kLongTerm ? long_bursts_ : short_bursts_;
+  }
+  storage::SequenceSource* source() const { return source_.get(); }
+  const Options& options() const { return options_; }
+
+ private:
+  S2Engine() = default;
+
+  const burst::BurstDetector& DetectorFor(BurstHorizon horizon) const {
+    return horizon == BurstHorizon::kLongTerm ? long_detector_ : short_detector_;
+  }
+
+  Options options_;
+  ts::Corpus corpus_;
+  std::vector<std::vector<double>> standardized_;
+  // Non-owning alias of source_ when it is RAM-resident; enables AddSeries.
+  storage::InMemorySequenceSource* mem_source_ = nullptr;
+  std::unordered_map<std::string, ts::SeriesId> by_name_;
+  std::unique_ptr<index::VpTreeIndex> index_;
+  std::unique_ptr<dtw::DtwKnnSearch> dtw_search_;
+  std::unique_ptr<storage::SequenceSource> source_;
+  burst::BurstDetector long_detector_;
+  burst::BurstDetector short_detector_;
+  burst::BurstTable long_bursts_;
+  burst::BurstTable short_bursts_;
+  period::PeriodDetector period_detector_;
+};
+
+}  // namespace s2::core
+
+#endif  // S2_CORE_S2_ENGINE_H_

@@ -1,0 +1,132 @@
+#include "dsp/fft.h"
+
+#include <cmath>
+#include <numbers>
+#include <utility>
+
+namespace s2::dsp {
+
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+// Iterative radix-2 Cooley-Tukey, in place. data->size() must be a power of 2.
+void FftRadix2(std::vector<Complex>* data, FftDirection direction) {
+  std::vector<Complex>& a = *data;
+  const size_t n = a.size();
+  if (n <= 1) return;
+
+  // Bit-reversal permutation.
+  for (size_t i = 1, j = 0; i < n; ++i) {
+    size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+
+  const double sign = direction == FftDirection::kForward ? -1.0 : 1.0;
+  for (size_t len = 2; len <= n; len <<= 1) {
+    const double angle = sign * 2.0 * kPi / static_cast<double>(len);
+    const Complex wlen(std::cos(angle), std::sin(angle));
+    for (size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (size_t j = 0; j < len / 2; ++j) {
+        Complex u = a[i + j];
+        Complex v = a[i + j + len / 2] * w;
+        a[i + j] = u + v;
+        a[i + j + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+// Bluestein's chirp-z transform for arbitrary N, expressed as a circular
+// convolution of length m (a power of two >= 2N-1) evaluated with FftRadix2.
+void FftBluestein(std::vector<Complex>* data, FftDirection direction) {
+  std::vector<Complex>& x = *data;
+  const size_t n = x.size();
+  const double sign = direction == FftDirection::kForward ? -1.0 : 1.0;
+
+  // Chirp factors w[k] = exp(sign * j * pi * k^2 / n), so that
+  // X[k] = w[k] * sum_n (x[n] w[n]) conj(w[k-n]). Computing k^2 mod 2n keeps
+  // the argument small for large n.
+  std::vector<Complex> chirp(n);
+  for (size_t k = 0; k < n; ++k) {
+    const uint64_t k2 = (static_cast<uint64_t>(k) * k) % (2 * n);
+    const double angle = sign * kPi * static_cast<double>(k2) / static_cast<double>(n);
+    chirp[k] = Complex(std::cos(angle), std::sin(angle));
+  }
+
+  size_t m = 1;
+  while (m < 2 * n - 1) m <<= 1;
+
+  std::vector<Complex> a(m, Complex(0, 0));
+  std::vector<Complex> b(m, Complex(0, 0));
+  for (size_t k = 0; k < n; ++k) a[k] = x[k] * chirp[k];
+  b[0] = std::conj(chirp[0]);
+  for (size_t k = 1; k < n; ++k) b[k] = b[m - k] = std::conj(chirp[k]);
+
+  FftRadix2(&a, FftDirection::kForward);
+  FftRadix2(&b, FftDirection::kForward);
+  for (size_t k = 0; k < m; ++k) a[k] *= b[k];
+  FftRadix2(&a, FftDirection::kInverse);
+
+  const double inv_m = 1.0 / static_cast<double>(m);
+  for (size_t k = 0; k < n; ++k) x[k] = a[k] * inv_m * chirp[k];
+}
+
+}  // namespace
+
+Status Fft(std::vector<Complex>* data, FftDirection direction) {
+  if (data == nullptr || data->empty()) {
+    return Status::InvalidArgument("Fft: input must be non-empty");
+  }
+  if (IsPowerOfTwo(data->size())) {
+    FftRadix2(data, direction);
+  } else {
+    FftBluestein(data, direction);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<Complex>> ForwardDft(const std::vector<double>& x) {
+  if (x.empty()) return Status::InvalidArgument("ForwardDft: input must be non-empty");
+  std::vector<Complex> spectrum(x.begin(), x.end());
+  S2_RETURN_NOT_OK(Fft(&spectrum, FftDirection::kForward));
+  const double norm = 1.0 / std::sqrt(static_cast<double>(x.size()));
+  for (Complex& c : spectrum) c *= norm;
+  return spectrum;
+}
+
+Result<std::vector<double>> InverseDftReal(const std::vector<Complex>& spectrum) {
+  if (spectrum.empty()) {
+    return Status::InvalidArgument("InverseDftReal: input must be non-empty");
+  }
+  std::vector<Complex> work = spectrum;
+  S2_RETURN_NOT_OK(Fft(&work, FftDirection::kInverse));
+  // ForwardDft scaled by 1/sqrt(N); the unnormalized inverse contributes a
+  // factor of N, so dividing by sqrt(N) restores the original signal.
+  const double norm = 1.0 / std::sqrt(static_cast<double>(work.size()));
+  std::vector<double> x(work.size());
+  for (size_t i = 0; i < work.size(); ++i) x[i] = work[i].real() * norm;
+  return x;
+}
+
+std::vector<Complex> ForwardDftDirect(const std::vector<double>& x) {
+  const size_t n = x.size();
+  std::vector<Complex> spectrum(n);
+  const double norm = 1.0 / std::sqrt(static_cast<double>(n));
+  for (size_t k = 0; k < n; ++k) {
+    Complex sum(0, 0);
+    for (size_t i = 0; i < n; ++i) {
+      const double angle = -2.0 * kPi * static_cast<double>(k) *
+                           static_cast<double>(i) / static_cast<double>(n);
+      sum += x[i] * Complex(std::cos(angle), std::sin(angle));
+    }
+    spectrum[k] = sum * norm;
+  }
+  return spectrum;
+}
+
+}  // namespace s2::dsp

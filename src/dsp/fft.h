@@ -1,0 +1,52 @@
+#ifndef S2_DSP_FFT_H_
+#define S2_DSP_FFT_H_
+
+#include <complex>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace s2::dsp {
+
+using Complex = std::complex<double>;
+
+/// Direction of a Fourier transform.
+enum class FftDirection {
+  kForward,   ///< e^{-j 2 pi k n / N} kernel.
+  kInverse,   ///< e^{+j 2 pi k n / N} kernel.
+};
+
+/// In-place fast Fourier transform of `data`, any length >= 1.
+///
+/// Power-of-two lengths use an iterative radix-2 Cooley-Tukey; other lengths
+/// use Bluestein's chirp-z algorithm. The transform is *unnormalized*: a
+/// forward pass computes `X[k] = sum_n x[n] e^{-j2pikn/N}` and an inverse pass
+/// computes `x[n] = sum_k X[k] e^{+j2pikn/N}`; running forward then inverse
+/// scales the input by N.
+///
+/// Returns InvalidArgument for empty input.
+Status Fft(std::vector<Complex>* data, FftDirection direction);
+
+/// Normalized DFT of a real sequence, as defined in the paper:
+///   `X(k) = (1/sqrt(N)) sum_n x(n) e^{-j2pikn/N}`.
+///
+/// The normalization makes the transform unitary, so Euclidean distances and
+/// energies are preserved between the time and frequency domains (Parseval).
+/// Returns a vector of N complex coefficients.
+Result<std::vector<Complex>> ForwardDft(const std::vector<double>& x);
+
+/// Inverse of `ForwardDft`: reconstructs the real sequence from its full
+/// normalized spectrum. The (numerically tiny) imaginary residue is dropped.
+Result<std::vector<double>> InverseDftReal(const std::vector<Complex>& spectrum);
+
+/// Naive O(N^2) normalized DFT. Reference implementation used by tests to
+/// validate the FFT paths; do not use on large inputs.
+std::vector<Complex> ForwardDftDirect(const std::vector<double>& x);
+
+/// True iff `n` is a power of two (n >= 1).
+constexpr bool IsPowerOfTwo(size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+}  // namespace s2::dsp
+
+#endif  // S2_DSP_FFT_H_

@@ -1,0 +1,41 @@
+#include "dsp/moving_average.h"
+
+#include <algorithm>
+
+namespace s2::dsp {
+
+Result<std::vector<double>> TrailingMovingAverage(const std::vector<double>& x,
+                                                  size_t w) {
+  if (w == 0) return Status::InvalidArgument("TrailingMovingAverage: window must be > 0");
+  if (x.empty()) return Status::InvalidArgument("TrailingMovingAverage: empty input");
+  std::vector<double> out(x.size());
+  double running = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    running += x[i];
+    if (i >= w) running -= x[i - w];
+    const size_t span = std::min(i + 1, w);
+    out[i] = running / static_cast<double>(span);
+  }
+  return out;
+}
+
+Result<std::vector<double>> CenteredMovingAverage(const std::vector<double>& x,
+                                                  size_t w) {
+  if (w == 0) return Status::InvalidArgument("CenteredMovingAverage: window must be > 0");
+  if (x.empty()) return Status::InvalidArgument("CenteredMovingAverage: empty input");
+  const size_t n = x.size();
+  // Prefix sums make each clipped window O(1).
+  std::vector<double> prefix(n + 1, 0.0);
+  for (size_t i = 0; i < n; ++i) prefix[i + 1] = prefix[i] + x[i];
+  std::vector<double> out(n);
+  const size_t half_lo = (w - 1) / 2;
+  const size_t half_hi = w / 2;
+  for (size_t i = 0; i < n; ++i) {
+    const size_t lo = i >= half_lo ? i - half_lo : 0;
+    const size_t hi = std::min(n - 1, i + half_hi);
+    out[i] = (prefix[hi + 1] - prefix[lo]) / static_cast<double>(hi - lo + 1);
+  }
+  return out;
+}
+
+}  // namespace s2::dsp

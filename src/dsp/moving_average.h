@@ -1,0 +1,28 @@
+#ifndef S2_DSP_MOVING_AVERAGE_H_
+#define S2_DSP_MOVING_AVERAGE_H_
+
+#include <vector>
+
+#include "common/result.h"
+
+namespace s2::dsp {
+
+/// Trailing (causal) moving average with window `w`.
+///
+/// Output has the same length as the input; entry `i` is the mean of
+/// `x[max(0, i-w+1) .. i]`, i.e. the window is clipped at the start of the
+/// sequence so the early entries average over the available prefix. This is
+/// the `MA_w` used by the paper's burst detector (Section 6.1).
+///
+/// Returns InvalidArgument if `w == 0` or `x` is empty.
+Result<std::vector<double>> TrailingMovingAverage(const std::vector<double>& x,
+                                                  size_t w);
+
+/// Centered moving average with window `w` (clipped at both edges). Useful
+/// for smoothing in visual/diagnostic output.
+Result<std::vector<double>> CenteredMovingAverage(const std::vector<double>& x,
+                                                  size_t w);
+
+}  // namespace s2::dsp
+
+#endif  // S2_DSP_MOVING_AVERAGE_H_

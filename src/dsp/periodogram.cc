@@ -1,0 +1,25 @@
+#include "dsp/periodogram.h"
+
+#include <limits>
+
+namespace s2::dsp {
+
+std::vector<double> Periodogram(const std::vector<Complex>& spectrum) {
+  const size_t n = spectrum.size();
+  const size_t bins = n / 2 + 1;
+  std::vector<double> psd(bins);
+  for (size_t k = 0; k < bins && k < n; ++k) psd[k] = std::norm(spectrum[k]);
+  return psd;
+}
+
+Result<std::vector<double>> PeriodogramOf(const std::vector<double>& x) {
+  S2_ASSIGN_OR_RETURN(std::vector<Complex> spectrum, ForwardDft(x));
+  return Periodogram(spectrum);
+}
+
+double BinToPeriod(size_t k, size_t n) {
+  if (k == 0) return std::numeric_limits<double>::infinity();
+  return static_cast<double>(n) / static_cast<double>(k);
+}
+
+}  // namespace s2::dsp

@@ -1,0 +1,28 @@
+#ifndef S2_DSP_PERIODOGRAM_H_
+#define S2_DSP_PERIODOGRAM_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "dsp/fft.h"
+
+namespace s2::dsp {
+
+/// Power spectral density estimate (the periodogram) of a full normalized
+/// spectrum: `P(k) = ||X(k)||^2` for `k = 0 .. floor(N/2)`.
+///
+/// Only the first half of the spectrum is meaningful for real signals
+/// (Nyquist); bin k corresponds to frequency k/N and period N/k. Bin 0 is the
+/// DC component, which is ~0 for standardized sequences.
+std::vector<double> Periodogram(const std::vector<Complex>& spectrum);
+
+/// Convenience overload: computes the normalized DFT of `x` first.
+Result<std::vector<double>> PeriodogramOf(const std::vector<double>& x);
+
+/// The period (in samples) represented by periodogram bin `k` of an N-point
+/// transform: `N / k`. Bin 0 has no finite period; returns +infinity.
+double BinToPeriod(size_t k, size_t n);
+
+}  // namespace s2::dsp
+
+#endif  // S2_DSP_PERIODOGRAM_H_

@@ -1,0 +1,75 @@
+#include "dsp/stats.h"
+
+#include <cmath>
+
+namespace s2::dsp {
+
+double Mean(const std::vector<double>& x) {
+  if (x.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : x) sum += v;
+  return sum / static_cast<double>(x.size());
+}
+
+double Variance(const std::vector<double>& x) {
+  if (x.size() < 2) return 0.0;
+  const double mean = Mean(x);
+  double sum = 0.0;
+  for (double v : x) sum += (v - mean) * (v - mean);
+  return sum / static_cast<double>(x.size());
+}
+
+double StdDev(const std::vector<double>& x) { return std::sqrt(Variance(x)); }
+
+double Energy(const std::vector<double>& x) {
+  double sum = 0.0;
+  for (double v : x) sum += v * v;
+  return sum;
+}
+
+double MeanPower(const std::vector<double>& x) {
+  if (x.empty()) return 0.0;
+  return Energy(x) / static_cast<double>(x.size());
+}
+
+std::vector<double> Standardize(const std::vector<double>& x) {
+  std::vector<double> out(x.size(), 0.0);
+  const double stddev = StdDev(x);
+  if (stddev == 0.0) return out;
+  const double mean = Mean(x);
+  for (size_t i = 0; i < x.size(); ++i) out[i] = (x[i] - mean) / stddev;
+  return out;
+}
+
+Result<double> SquaredEuclidean(const std::vector<double>& a,
+                                const std::vector<double>& b) {
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument("SquaredEuclidean: length mismatch");
+  }
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+Result<double> Euclidean(const std::vector<double>& a, const std::vector<double>& b) {
+  S2_ASSIGN_OR_RETURN(double sq, SquaredEuclidean(a, b));
+  return std::sqrt(sq);
+}
+
+double EuclideanEarlyAbandon(const std::vector<double>& a,
+                             const std::vector<double>& b,
+                             double abandon_after_sq) {
+  double sum = 0.0;
+  const size_t n = a.size() < b.size() ? a.size() : b.size();
+  for (size_t i = 0; i < n; ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+    if (sum > abandon_after_sq) return std::sqrt(sum);
+  }
+  return std::sqrt(sum);
+}
+
+}  // namespace s2::dsp

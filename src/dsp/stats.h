@@ -1,0 +1,52 @@
+#ifndef S2_DSP_STATS_H_
+#define S2_DSP_STATS_H_
+
+#include <vector>
+
+#include "common/result.h"
+
+namespace s2::dsp {
+
+/// Arithmetic mean of `x`; 0 for empty input.
+double Mean(const std::vector<double>& x);
+
+/// Population variance (divides by N); 0 for inputs shorter than 2.
+double Variance(const std::vector<double>& x);
+
+/// Population standard deviation.
+double StdDev(const std::vector<double>& x);
+
+/// Sum of squares of the elements (the signal energy).
+double Energy(const std::vector<double>& x);
+
+/// Mean power `(1/N) * sum x_i^2`, as used by the period-detection threshold.
+double MeanPower(const std::vector<double>& x);
+
+/// Z-normalization: subtract the mean and divide by the standard deviation.
+///
+/// This is the standardization the paper applies before feature extraction to
+/// "compensate for the variation of counts for different queries". A constant
+/// sequence (stddev == 0) standardizes to all zeros.
+std::vector<double> Standardize(const std::vector<double>& x);
+
+/// Squared Euclidean distance between equal-length sequences.
+/// Returns InvalidArgument on length mismatch.
+Result<double> SquaredEuclidean(const std::vector<double>& a,
+                                const std::vector<double>& b);
+
+/// Euclidean distance between equal-length sequences.
+Result<double> Euclidean(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Partial Euclidean distance with early abandoning: accumulates squared
+/// differences and stops as soon as the running sum exceeds
+/// `abandon_after_sq` (pass +infinity to disable). Returns the exact distance
+/// when it is below the threshold, and any value > sqrt(abandon_after_sq)
+/// otherwise. Used by the linear-scan baseline and kNN verification, matching
+/// the early-termination optimization described in the paper's Section 7.4.
+double EuclideanEarlyAbandon(const std::vector<double>& a,
+                             const std::vector<double>& b,
+                             double abandon_after_sq);
+
+}  // namespace s2::dsp
+
+#endif  // S2_DSP_STATS_H_

@@ -1,0 +1,47 @@
+#include "dsp/wavelet.h"
+
+#include <cmath>
+
+#include "dsp/fft.h"
+
+namespace s2::dsp {
+
+namespace {
+const double kInvSqrt2 = 1.0 / std::sqrt(2.0);
+}  // namespace
+
+Result<std::vector<double>> HaarForward(const std::vector<double>& x) {
+  if (x.empty() || !IsPowerOfTwo(x.size())) {
+    return Status::InvalidArgument("HaarForward: length must be a power of two");
+  }
+  std::vector<double> coeffs = x;
+  std::vector<double> scratch(x.size());
+  // Each pass halves the approximation band: averages land in the front,
+  // details in the back half of the active region.
+  for (size_t len = x.size(); len > 1; len /= 2) {
+    for (size_t i = 0; i < len / 2; ++i) {
+      scratch[i] = (coeffs[2 * i] + coeffs[2 * i + 1]) * kInvSqrt2;
+      scratch[len / 2 + i] = (coeffs[2 * i] - coeffs[2 * i + 1]) * kInvSqrt2;
+    }
+    for (size_t i = 0; i < len; ++i) coeffs[i] = scratch[i];
+  }
+  return coeffs;
+}
+
+Result<std::vector<double>> HaarInverse(const std::vector<double>& coeffs) {
+  if (coeffs.empty() || !IsPowerOfTwo(coeffs.size())) {
+    return Status::InvalidArgument("HaarInverse: length must be a power of two");
+  }
+  std::vector<double> x = coeffs;
+  std::vector<double> scratch(coeffs.size());
+  for (size_t len = 2; len <= x.size(); len *= 2) {
+    for (size_t i = 0; i < len / 2; ++i) {
+      scratch[2 * i] = (x[i] + x[len / 2 + i]) * kInvSqrt2;
+      scratch[2 * i + 1] = (x[i] - x[len / 2 + i]) * kInvSqrt2;
+    }
+    for (size_t i = 0; i < len; ++i) x[i] = scratch[i];
+  }
+  return x;
+}
+
+}  // namespace s2::dsp

@@ -1,0 +1,33 @@
+#ifndef S2_DSP_WAVELET_H_
+#define S2_DSP_WAVELET_H_
+
+#include <vector>
+
+#include "common/result.h"
+
+namespace s2::dsp {
+
+/// Orthonormal Haar discrete wavelet transform.
+///
+/// The paper notes its bounding algorithms "can be adapted to any class of
+/// orthogonal decompositions (such as wavelets, PCA, etc.) with minimal or
+/// no adjustments"; this transform is the wavelet instantiation used by the
+/// repr module's `Basis::kOrthonormalReal` path.
+///
+/// The full multi-level decomposition of a power-of-two-length input is
+/// returned in the standard layout
+///   `[approximation, detail_L, detail_{L-1}, ..., detail_1]`
+/// (coarsest first), with the 1/sqrt(2) normalization that makes the
+/// transform orthonormal: energies and Euclidean distances are preserved
+/// exactly, so the compressed-representation distance bounds remain valid
+/// verbatim.
+///
+/// Returns InvalidArgument unless `x.size()` is a power of two (>= 1).
+Result<std::vector<double>> HaarForward(const std::vector<double>& x);
+
+/// Inverse of `HaarForward`.
+Result<std::vector<double>> HaarInverse(const std::vector<double>& coeffs);
+
+}  // namespace s2::dsp
+
+#endif  // S2_DSP_WAVELET_H_

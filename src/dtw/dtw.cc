@@ -1,0 +1,117 @@
+#include "dtw/dtw.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+
+namespace s2::dtw {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+double Sq(double v) { return v * v; }
+}  // namespace
+
+Result<double> DtwDistance(const std::vector<double>& a,
+                           const std::vector<double>& b, size_t window) {
+  return DtwDistanceEarlyAbandon(a, b, window, kInf);
+}
+
+Result<double> DtwDistanceEarlyAbandon(const std::vector<double>& a,
+                                       const std::vector<double>& b,
+                                       size_t window, double abandon_after) {
+  if (a.empty() || a.size() != b.size()) {
+    return Status::InvalidArgument("DtwDistance: sequences must be equal, non-empty");
+  }
+  const size_t n = a.size();
+  const size_t w = window == 0 ? n : std::max<size_t>(window, 1);
+  const double abandon_sq =
+      std::isinf(abandon_after) ? kInf : abandon_after * abandon_after;
+
+  // Rolling rows of the DP matrix; cells outside the band stay +inf.
+  std::vector<double> prev(n, kInf);
+  std::vector<double> curr(n, kInf);
+
+  for (size_t i = 0; i < n; ++i) {
+    const size_t j_lo = i >= w ? i - w : 0;
+    const size_t j_hi = std::min(n - 1, i + w);
+    double row_min = kInf;
+    for (size_t j = j_lo; j <= j_hi; ++j) {
+      const double cost = Sq(a[i] - b[j]);
+      double best_prev;
+      if (i == 0 && j == 0) {
+        best_prev = 0.0;
+      } else {
+        best_prev = kInf;
+        if (i > 0) best_prev = std::min(best_prev, prev[j]);          // Insertion.
+        if (j > 0) best_prev = std::min(best_prev, curr[j - 1]);      // Deletion.
+        if (i > 0 && j > 0) best_prev = std::min(best_prev, prev[j - 1]);  // Match.
+      }
+      curr[j] = best_prev == kInf ? kInf : best_prev + cost;
+      row_min = std::min(row_min, curr[j]);
+    }
+    if (row_min > abandon_sq) {
+      // Every continuation can only grow; report a value above the radius.
+      return std::sqrt(row_min);
+    }
+    std::swap(prev, curr);
+    std::fill(curr.begin(), curr.end(), kInf);
+  }
+  return std::sqrt(prev[n - 1]);
+}
+
+Result<Envelope> ComputeEnvelope(const std::vector<double>& q, size_t window) {
+  if (q.empty()) return Status::InvalidArgument("ComputeEnvelope: empty sequence");
+  const size_t n = q.size();
+  const size_t w = window == 0 ? n : window;
+  Envelope env;
+  env.upper.resize(n);
+  env.lower.resize(n);
+
+  // Monotonic deques over the sliding window [i-w, i+w].
+  std::deque<size_t> max_dq;
+  std::deque<size_t> min_dq;
+  size_t right = 0;  // First index not yet inserted.
+  for (size_t i = 0; i < n; ++i) {
+    const size_t lo = i >= w ? i - w : 0;
+    const size_t hi = std::min(n - 1, i + w);
+    while (right <= hi) {
+      while (!max_dq.empty() && q[max_dq.back()] <= q[right]) max_dq.pop_back();
+      max_dq.push_back(right);
+      while (!min_dq.empty() && q[min_dq.back()] >= q[right]) min_dq.pop_back();
+      min_dq.push_back(right);
+      ++right;
+    }
+    while (max_dq.front() < lo) max_dq.pop_front();
+    while (min_dq.front() < lo) min_dq.pop_front();
+    env.upper[i] = q[max_dq.front()];
+    env.lower[i] = q[min_dq.front()];
+  }
+  return env;
+}
+
+Result<double> LbKeogh(const Envelope& query_envelope,
+                       const std::vector<double>& candidate,
+                       double abandon_after) {
+  const size_t n = candidate.size();
+  if (n == 0 || query_envelope.upper.size() != n ||
+      query_envelope.lower.size() != n) {
+    return Status::InvalidArgument("LbKeogh: shape mismatch");
+  }
+  const double abandon_sq =
+      std::isinf(abandon_after) ? kInf : abandon_after * abandon_after;
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double c = candidate[i];
+    if (c > query_envelope.upper[i]) {
+      sum += Sq(c - query_envelope.upper[i]);
+    } else if (c < query_envelope.lower[i]) {
+      sum += Sq(query_envelope.lower[i] - c);
+    }
+    if (sum > abandon_sq) return std::sqrt(sum);
+  }
+  return std::sqrt(sum);
+}
+
+}  // namespace s2::dtw

@@ -1,0 +1,56 @@
+#ifndef S2_DTW_DTW_H_
+#define S2_DTW_DTW_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+
+namespace s2::dtw {
+
+/// Dynamic time warping distance (paper Section 8's "expensive distance
+/// measure"), with an optional Sakoe-Chiba band constraint.
+///
+/// `DtwDistance(a, b, w)` returns
+///   sqrt( min over monotone alignment paths of sum (a_i - b_j)^2 )
+/// where paths may deviate at most `window` steps from the diagonal
+/// (window == 0 means the unconstrained full matrix). Defined for
+/// equal-length sequences, like the rest of the library. Computed with an
+/// O(n * window) rolling-array dynamic program.
+///
+/// With squared point costs and the identity path always admissible,
+/// `DtwDistance(a, b, w) <= Euclidean(a, b)` for every window — which is
+/// what lets the Euclidean *upper* bounds of the compressed representations
+/// double as DTW upper bounds (see dtw_search.h).
+Result<double> DtwDistance(const std::vector<double>& a,
+                           const std::vector<double>& b, size_t window);
+
+/// Early-abandoning variant: returns early (with a value > `abandon_after`)
+/// as soon as every cell of a DP row exceeds `abandon_after`^2, since the
+/// final distance can then only be larger. Pass +infinity to disable.
+Result<double> DtwDistanceEarlyAbandon(const std::vector<double>& a,
+                                       const std::vector<double>& b,
+                                       size_t window, double abandon_after);
+
+/// The Keogh warping envelope of a sequence: for each position i,
+///   upper[i] = max(q[i-w .. i+w]),  lower[i] = min(q[i-w .. i+w])
+/// (clipped at the edges). Computed in O(n) with monotonic deques.
+struct Envelope {
+  std::vector<double> upper;
+  std::vector<double> lower;
+};
+Result<Envelope> ComputeEnvelope(const std::vector<double>& q, size_t window);
+
+/// LB_Keogh (Keogh, VLDB 2002): a lower bound on the windowed DTW distance
+/// between the enveloped query and `candidate`:
+///   sqrt( sum_i (c_i - upper_i)^2 if c_i > upper_i,
+///                (lower_i - c_i)^2 if c_i < lower_i, else 0 ).
+/// Costs O(n); supports early abandoning via `abandon_after` (+infinity to
+/// disable).
+Result<double> LbKeogh(const Envelope& query_envelope,
+                       const std::vector<double>& candidate,
+                       double abandon_after);
+
+}  // namespace s2::dtw
+
+#endif  // S2_DTW_DTW_H_

@@ -1,0 +1,91 @@
+#ifndef S2_DTW_DTW_SEARCH_H_
+#define S2_DTW_DTW_SEARCH_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "index/knn.h"
+#include "repr/bounds.h"
+#include "repr/compressed.h"
+#include "storage/sequence_store.h"
+
+namespace s2::dtw {
+
+/// Exact k-NN search under windowed DTW, realizing the paper's Section 8
+/// proposal: "a similar approach could prove useful in the computation of
+/// linear-cost lower and upper bounds for expensive distance measures like
+/// dynamic time warping".
+///
+/// The key observation: with squared point costs, the identity alignment is
+/// always admissible, so `DTW(q, t) <= Euclidean(q, t)` — which means every
+/// *upper* bound the compressed spectral representations give on the
+/// Euclidean distance (UB_BestMinError etc.) is also an upper bound on DTW,
+/// at a cost linear in the number of retained coefficients. The search
+/// cascade is:
+///
+///   1. Score every compressed object with the Euclidean UB; seed the
+///      best-so-far radius with the k-th smallest UB *before any DTW is
+///      computed*, and order candidates by ascending UB.
+///   2. Per candidate (fetched from the sequence store): LB_Keogh with early
+///      abandoning — skip the object when it exceeds the radius.
+///   3. Otherwise run the early-abandoning DTW dynamic program.
+///
+/// Every skip in (2) avoids an O(n*w) DP; every radius tightening in (1)
+/// makes (2) skip more. DTW is not a metric, so the VP-tree's triangle
+/// pruning does not apply — this is a filtered linear scan, as in Keogh's
+/// exact indexing framework the paper cites.
+class DtwKnnSearch {
+ public:
+  struct Options {
+    /// Sakoe-Chiba band half-width; 0 = unconstrained.
+    size_t window = 16;
+    /// Budget (Table 1 units) of the compressed features used for UB
+    /// seeding; only used by `BuildFeatures`.
+    size_t budget_c = 16;
+    /// Disable to measure the value of the compressed-UB seed (ablation).
+    bool use_compressed_upper_bounds = true;
+    /// Disable to measure the value of LB_Keogh (ablation).
+    bool use_lb_keogh = true;
+  };
+
+  struct SearchStats {
+    size_t upper_bounds_computed = 0;
+    size_t lb_keogh_computed = 0;
+    size_t lb_keogh_skips = 0;  ///< Candidates pruned without running the DP.
+    size_t dtw_computed = 0;
+  };
+
+  /// Builds the search helper over pre-compressed features (kBestKError or
+  /// kFirstKError kinds; anything `ComputeBounds` accepts with an upper
+  /// bound). `features[i]` must describe `source` row i.
+  static Result<DtwKnnSearch> Create(std::vector<repr::CompressedSpectrum> features,
+                                     Options options);
+
+  /// Convenience: compresses `rows` (standardized sequences) itself.
+  static Result<DtwKnnSearch> BuildFeatures(
+      const std::vector<std::vector<double>>& rows, Options options);
+
+  /// Appends the feature of one more sequence (id = current feature
+  /// count); used by incremental ingestion.
+  Status AddFeature(repr::CompressedSpectrum feature);
+
+  /// Exact k nearest neighbors of `query` under windowed DTW.
+  Result<std::vector<index::Neighbor>> Search(const std::vector<double>& query,
+                                              size_t k,
+                                              storage::SequenceSource* source,
+                                              SearchStats* stats) const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  DtwKnnSearch(std::vector<repr::CompressedSpectrum> features, Options options)
+      : features_(std::move(features)), options_(options) {}
+
+  std::vector<repr::CompressedSpectrum> features_;
+  Options options_;
+};
+
+}  // namespace s2::dtw
+
+#endif  // S2_DTW_DTW_SEARCH_H_

@@ -1,0 +1,55 @@
+#ifndef S2_INDEX_KNN_H_
+#define S2_INDEX_KNN_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "timeseries/time_series.h"
+
+namespace s2::index {
+
+/// One nearest-neighbor answer.
+struct Neighbor {
+  ts::SeriesId id = ts::kInvalidSeriesId;
+  double distance = 0.0;
+};
+
+/// A bounded best-k list ordered by ascending distance.
+///
+/// Keeps at most `k` neighbors; `Threshold()` is the current k-th distance
+/// (the pruning radius), +infinity until the list fills.
+class BestList {
+ public:
+  explicit BestList(size_t k) : k_(k) {}
+
+  /// Offers a candidate; keeps it if it beats the current k-th distance.
+  void Offer(ts::SeriesId id, double distance) {
+    if (items_.size() == k_ && distance >= Threshold()) return;
+    // Insert sorted; lists are tiny (k is small), linear insertion is fine.
+    auto it = std::lower_bound(
+        items_.begin(), items_.end(), distance,
+        [](const Neighbor& n, double d) { return n.distance < d; });
+    items_.insert(it, Neighbor{id, distance});
+    if (items_.size() > k_) items_.pop_back();
+  }
+
+  /// Current pruning radius: k-th best distance, +infinity while unfilled.
+  double Threshold() const {
+    if (items_.size() < k_) return std::numeric_limits<double>::infinity();
+    return items_.back().distance;
+  }
+
+  bool Full() const { return items_.size() == k_; }
+  const std::vector<Neighbor>& items() const { return items_; }
+  std::vector<Neighbor> Take() && { return std::move(items_); }
+
+ private:
+  size_t k_;
+  std::vector<Neighbor> items_;
+};
+
+}  // namespace s2::index
+
+#endif  // S2_INDEX_KNN_H_

@@ -1,0 +1,31 @@
+#include "index/linear_scan.h"
+
+#include <cmath>
+#include <limits>
+
+#include "dsp/stats.h"
+
+namespace s2::index {
+
+Result<std::vector<Neighbor>> LinearScan::Search(const std::vector<double>& query,
+                                                 size_t k) const {
+  if (k == 0) return Status::InvalidArgument("LinearScan: k must be > 0");
+  if (query.size() != source_->series_length()) {
+    return Status::InvalidArgument("LinearScan: query length mismatch");
+  }
+  BestList best(k);
+  const size_t n = source_->num_series();
+  for (size_t id = 0; id < n; ++id) {
+    S2_ASSIGN_OR_RETURN(std::vector<double> row,
+                        source_->Get(static_cast<ts::SeriesId>(id)));
+    const double threshold = best.Threshold();
+    const double abandon_sq = std::isinf(threshold)
+                                  ? std::numeric_limits<double>::infinity()
+                                  : threshold * threshold;
+    const double dist = dsp::EuclideanEarlyAbandon(query, row, abandon_sq);
+    best.Offer(static_cast<ts::SeriesId>(id), dist);
+  }
+  return std::move(best).Take();
+}
+
+}  // namespace s2::index

@@ -1,0 +1,30 @@
+#ifndef S2_INDEX_LINEAR_SCAN_H_
+#define S2_INDEX_LINEAR_SCAN_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "index/knn.h"
+#include "storage/sequence_store.h"
+
+namespace s2::index {
+
+/// The paper's baseline: sequential scan over the uncompressed sequences
+/// with early termination of each Euclidean computation once the running
+/// sum exceeds the best-so-far match (Section 7.4).
+class LinearScan {
+ public:
+  /// `source` must outlive this object.
+  explicit LinearScan(storage::SequenceSource* source) : source_(source) {}
+
+  /// Exact k nearest neighbors of `query` (ascending distance).
+  Result<std::vector<Neighbor>> Search(const std::vector<double>& query,
+                                       size_t k) const;
+
+ private:
+  storage::SequenceSource* source_;
+};
+
+}  // namespace s2::index
+
+#endif  // S2_INDEX_LINEAR_SCAN_H_

@@ -1,0 +1,618 @@
+#include "index/vp_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <numeric>
+
+#include "common/rng.h"
+#include "repr/feature_store.h"
+#include "dsp/stats.h"
+
+namespace s2::index {
+
+namespace {
+
+// Exact Euclidean distance used during construction (uncompressed data).
+double ExactDistance(const std::vector<double>& a, const std::vector<double>& b) {
+  return dsp::EuclideanEarlyAbandon(a, b, std::numeric_limits<double>::infinity());
+}
+
+}  // namespace
+
+struct VpTreeIndex::Builder {
+  const std::vector<std::vector<double>>& rows;
+  const VpTreeIndex::Options& options;
+  const std::vector<repr::HalfSpectrum>& spectra;
+  std::vector<VpTreeIndex::Node>* nodes;
+  Rng rng;
+
+  Builder(const std::vector<std::vector<double>>& r,
+          const VpTreeIndex::Options& o,
+          const std::vector<repr::HalfSpectrum>& s,
+          std::vector<VpTreeIndex::Node>* n)
+      : rows(r), options(o), spectra(s), nodes(n), rng(o.seed) {}
+
+  Result<repr::CompressedSpectrum> CompressOf(ts::SeriesId id) {
+    if (options.energy_fraction > 0.0) {
+      return repr::CompressedSpectrum::CompressToEnergy(spectra[id],
+                                                        options.energy_fraction);
+    }
+    return repr::CompressedSpectrum::Compress(spectra[id], options.repr_kind,
+                                              options.budget_c);
+  }
+
+  // The paper's vantage-point heuristic: among sampled candidates pick the
+  // one with the highest standard deviation of distances to the others ("an
+  // analogue of the largest eigenvector in SVD decomposition").
+  ts::SeriesId PickVantage(const std::vector<ts::SeriesId>& ids) {
+    const size_t n_cands = std::min(options.vantage_candidates, ids.size());
+    const size_t n_probe = std::min(options.deviation_sample, ids.size());
+    ts::SeriesId best_id = ids.front();
+    double best_dev = -1.0;
+    for (size_t c = 0; c < n_cands; ++c) {
+      const ts::SeriesId cand =
+          ids[static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(ids.size()) - 1))];
+      std::vector<double> dists;
+      dists.reserve(n_probe);
+      for (size_t p = 0; p < n_probe; ++p) {
+        const ts::SeriesId other =
+            ids[static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(ids.size()) - 1))];
+        if (other == cand) continue;
+        dists.push_back(ExactDistance(rows[cand], rows[other]));
+      }
+      const double dev = dsp::StdDev(dists);
+      if (dev > best_dev) {
+        best_dev = dev;
+        best_id = cand;
+      }
+    }
+    return best_id;
+  }
+
+  Result<int32_t> BuildNode(std::vector<ts::SeriesId> ids) {
+    if (ids.size() <= options.leaf_size) {
+      VpTreeIndex::Node node;
+      node.leaf = true;
+      node.bucket.reserve(ids.size());
+      for (ts::SeriesId id : ids) {
+        S2_ASSIGN_OR_RETURN(repr::CompressedSpectrum compressed, CompressOf(id));
+        node.bucket.push_back({id, std::move(compressed)});
+      }
+      nodes->push_back(std::move(node));
+      return static_cast<int32_t>(nodes->size() - 1);
+    }
+
+    const ts::SeriesId vp = PickVantage(ids);
+
+    // Exact distances to the vantage point; the vantage point is compressed
+    // only after the split is decided.
+    struct DistEntry {
+      ts::SeriesId id;
+      double dist;
+    };
+    std::vector<DistEntry> entries;
+    entries.reserve(ids.size() - 1);
+    for (ts::SeriesId id : ids) {
+      if (id == vp) continue;
+      entries.push_back({id, ExactDistance(rows[vp], rows[id])});
+    }
+
+    const size_t mid = entries.size() / 2;
+    std::nth_element(entries.begin(), entries.begin() + static_cast<ptrdiff_t>(mid),
+                     entries.end(),
+                     [](const DistEntry& a, const DistEntry& b) {
+                       return a.dist < b.dist;
+                     });
+    const double median = entries[mid].dist;
+
+    std::vector<ts::SeriesId> left_ids;
+    std::vector<ts::SeriesId> right_ids;
+    left_ids.reserve(mid);
+    right_ids.reserve(entries.size() - mid);
+    for (size_t i = 0; i < entries.size(); ++i) {
+      (i < mid ? left_ids : right_ids).push_back(entries[i].id);
+    }
+
+    S2_ASSIGN_OR_RETURN(repr::CompressedSpectrum compressed, CompressOf(vp));
+
+    // Reserve this node's slot before recursing so child ids are stable.
+    nodes->push_back(VpTreeIndex::Node{});
+    const int32_t node_id = static_cast<int32_t>(nodes->size() - 1);
+
+    int32_t left = -1;
+    int32_t right = -1;
+    if (!left_ids.empty()) {
+      S2_ASSIGN_OR_RETURN(left, BuildNode(std::move(left_ids)));
+    }
+    if (!right_ids.empty()) {
+      S2_ASSIGN_OR_RETURN(right, BuildNode(std::move(right_ids)));
+    }
+
+    VpTreeIndex::Node& node = (*nodes)[static_cast<size_t>(node_id)];
+    node.leaf = false;
+    node.vantage = {vp, std::move(compressed)};
+    node.median = median;
+    node.left = left;
+    node.right = right;
+    return node_id;
+  }
+};
+
+Result<VpTreeIndex> VpTreeIndex::Build(const std::vector<std::vector<double>>& rows,
+                                       const Options& options) {
+  if (rows.empty()) return Status::InvalidArgument("VpTreeIndex: empty input");
+  const size_t length = rows.front().size();
+  if (length == 0) return Status::InvalidArgument("VpTreeIndex: empty sequences");
+  for (const auto& row : rows) {
+    if (row.size() != length) {
+      return Status::InvalidArgument("VpTreeIndex: ragged input rows");
+    }
+  }
+  if (options.leaf_size == 0) {
+    return Status::InvalidArgument("VpTreeIndex: leaf_size must be > 0");
+  }
+
+  std::vector<repr::HalfSpectrum> spectra;
+  spectra.reserve(rows.size());
+  for (const auto& row : rows) {
+    S2_ASSIGN_OR_RETURN(repr::HalfSpectrum spectrum,
+                        repr::HalfSpectrum::FromSeriesInBasis(row, options.basis));
+    spectra.push_back(std::move(spectrum));
+  }
+
+  std::vector<Node> nodes;
+  Builder builder(rows, options, spectra, &nodes);
+  std::vector<ts::SeriesId> ids(rows.size());
+  std::iota(ids.begin(), ids.end(), 0u);
+  S2_ASSIGN_OR_RETURN(int32_t root, builder.BuildNode(std::move(ids)));
+
+  return VpTreeIndex(options, std::move(nodes), root, rows.size(),
+                     static_cast<uint32_t>(length));
+}
+
+void VpTreeIndex::SearchNode(int32_t node_id, const repr::HalfSpectrum& query,
+                             std::vector<Candidate>* candidates,
+                             BestList* upper_bounds, SearchStats* stats) const {
+  if (node_id < 0) return;
+  const Node& node = nodes_[static_cast<size_t>(node_id)];
+  ++stats->nodes_visited;
+
+  if (node.leaf) {
+    for (const Entry& entry : node.bucket) {
+      auto bounds = repr::ComputeBounds(query, entry.repr, options_.method);
+      if (!bounds.ok()) continue;  // Cannot happen for a well-formed index.
+      ++stats->bound_computations;
+      candidates->push_back({entry.id, bounds->lower, bounds->upper});
+      upper_bounds->Offer(entry.id, bounds->upper);
+    }
+    return;
+  }
+
+  auto bounds = repr::ComputeBounds(query, node.vantage.repr, options_.method);
+  if (!bounds.ok()) return;
+  ++stats->bound_computations;
+  if (!node.vantage_deleted) {
+    candidates->push_back({node.vantage.id, bounds->lower, bounds->upper});
+    upper_bounds->Offer(node.vantage.id, bounds->upper);
+  }
+
+  const double lb = bounds->lower;
+  const double ub = bounds->upper;
+  const double mu = node.median;
+
+  // The annulus heuristic: visit first the child whose distance region
+  // overlaps [LB, UB] the most (Section 4.1).
+  bool left_first = true;
+  if (options_.guided_traversal && std::isfinite(ub)) {
+    const double left_overlap = std::max(0.0, std::min(ub, mu) - lb);
+    const double right_overlap = std::max(0.0, ub - std::max(lb, mu));
+    left_first = left_overlap >= right_overlap;
+  }
+
+  // Prune rules (triangle inequality through the vantage point):
+  //   every object in the left subtree is within mu of the VP, so its
+  //   distance to Q is at least LB - mu; skip left when that exceeds the
+  //   best-so-far upper bound. Symmetrically skip right when mu - UB does.
+  auto visit_left = [&] {
+    if (lb - mu <= upper_bounds->Threshold()) {
+      SearchNode(node.left, query, candidates, upper_bounds, stats);
+    }
+  };
+  auto visit_right = [&] {
+    if (mu - ub <= upper_bounds->Threshold()) {
+      SearchNode(node.right, query, candidates, upper_bounds, stats);
+    }
+  };
+  if (left_first) {
+    visit_left();
+    visit_right();
+  } else {
+    visit_right();
+    visit_left();
+  }
+}
+
+Result<std::vector<VpTreeIndex::Candidate>> VpTreeIndex::CollectCandidates(
+    const std::vector<double>& query, size_t k, SearchStats* stats) const {
+  if (query.size() != series_length_) {
+    return Status::InvalidArgument("VpTreeIndex: query length mismatch");
+  }
+  if (k == 0) return Status::InvalidArgument("VpTreeIndex: k must be > 0");
+  SearchStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+
+  S2_ASSIGN_OR_RETURN(repr::HalfSpectrum spectrum,
+                      repr::HalfSpectrum::FromSeriesInBasis(query, options_.basis));
+  std::vector<Candidate> candidates;
+  BestList upper_bounds(k);
+  SearchNode(root_, spectrum, &candidates, &upper_bounds, stats);
+
+  // SUB filter: no object whose lower bound exceeds the k-th smallest upper
+  // bound can be a k-nearest neighbor.
+  const double sub = upper_bounds.Threshold();
+  std::erase_if(candidates, [sub](const Candidate& c) { return c.lower > sub; });
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) { return a.lower < b.lower; });
+  stats->candidates_surviving = candidates.size();
+  return candidates;
+}
+
+Result<std::vector<Neighbor>> VpTreeIndex::Search(const std::vector<double>& query,
+                                                  size_t k,
+                                                  storage::SequenceSource* source,
+                                                  SearchStats* stats) const {
+  SearchStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  if (source == nullptr) {
+    return Status::InvalidArgument("VpTreeIndex: source must not be null");
+  }
+  S2_ASSIGN_OR_RETURN(std::vector<Candidate> candidates,
+                      CollectCandidates(query, k, stats));
+
+  // Verification in ascending lower-bound order with early termination.
+  BestList best(k);
+  for (const Candidate& candidate : candidates) {
+    if (best.Full() && candidate.lower > best.Threshold()) break;
+    S2_ASSIGN_OR_RETURN(std::vector<double> row, source->Get(candidate.id));
+    ++stats->full_retrievals;
+    const double threshold = best.Threshold();
+    const double abandon_sq = std::isinf(threshold)
+                                  ? std::numeric_limits<double>::infinity()
+                                  : threshold * threshold;
+    const double dist = dsp::EuclideanEarlyAbandon(query, row, abandon_sq);
+    best.Offer(candidate.id, dist);
+  }
+  return std::move(best).Take();
+}
+
+Result<repr::CompressedSpectrum> VpTreeIndex::CompressRow(
+    const std::vector<double>& row) const {
+  S2_ASSIGN_OR_RETURN(repr::HalfSpectrum spectrum,
+                      repr::HalfSpectrum::FromSeriesInBasis(row, options_.basis));
+  if (options_.energy_fraction > 0.0) {
+    return repr::CompressedSpectrum::CompressToEnergy(spectrum,
+                                                      options_.energy_fraction);
+  }
+  return repr::CompressedSpectrum::Compress(spectrum, options_.repr_kind,
+                                            options_.budget_c);
+}
+
+bool VpTreeIndex::ContainsId(ts::SeriesId id) const {
+  for (const Node& node : nodes_) {
+    if (node.leaf) {
+      for (const Entry& entry : node.bucket) {
+        if (entry.id == id) return true;
+      }
+    } else if (node.vantage.id == id && !node.vantage_deleted) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Status VpTreeIndex::Insert(ts::SeriesId id, const std::vector<double>& row,
+                           storage::SequenceSource* source) {
+  if (row.size() != series_length_) {
+    return Status::InvalidArgument("VpTreeIndex::Insert: row length mismatch");
+  }
+  if (source == nullptr) {
+    return Status::InvalidArgument("VpTreeIndex::Insert: source must not be null");
+  }
+  if (ContainsId(id)) {
+    return Status::AlreadyExists("VpTreeIndex::Insert: id already indexed");
+  }
+
+  // Route by exact distance to each vantage point; the full vantage
+  // representations are fetched from the store.
+  int32_t node_id = root_;
+  while (!nodes_[static_cast<size_t>(node_id)].leaf) {
+    Node& node = nodes_[static_cast<size_t>(node_id)];
+    S2_ASSIGN_OR_RETURN(std::vector<double> vantage_row,
+                        source->Get(node.vantage.id));
+    const double dist = ExactDistance(row, vantage_row);
+    int32_t* child = dist < node.median ? &node.left : &node.right;
+    if (*child < 0) {
+      // Attach a fresh leaf on the empty side.
+      Node leaf;
+      leaf.leaf = true;
+      nodes_.push_back(std::move(leaf));
+      // nodes_ may have reallocated; re-resolve the parent before writing.
+      Node& parent = nodes_[static_cast<size_t>(node_id)];
+      child = dist < parent.median ? &parent.left : &parent.right;
+      *child = static_cast<int32_t>(nodes_.size() - 1);
+    }
+    node_id = *child;
+  }
+
+  S2_ASSIGN_OR_RETURN(repr::CompressedSpectrum compressed, CompressRow(row));
+  nodes_[static_cast<size_t>(node_id)].bucket.push_back(
+      {id, std::move(compressed)});
+  ++num_objects_;
+
+  if (nodes_[static_cast<size_t>(node_id)].bucket.size() > 2 * options_.leaf_size) {
+    S2_RETURN_NOT_OK(SplitLeaf(node_id, source));
+  }
+  return Status::OK();
+}
+
+Status VpTreeIndex::SplitLeaf(int32_t node_id, storage::SequenceSource* source) {
+  // Fetch the bucket's full rows once.
+  std::vector<Entry> bucket = std::move(nodes_[static_cast<size_t>(node_id)].bucket);
+  nodes_[static_cast<size_t>(node_id)].bucket.clear();
+  std::vector<std::vector<double>> rows;
+  rows.reserve(bucket.size());
+  for (const Entry& entry : bucket) {
+    S2_ASSIGN_OR_RETURN(std::vector<double> full, source->Get(entry.id));
+    rows.push_back(std::move(full));
+  }
+
+  // Vantage point: the member with the highest deviation of distances to
+  // the others (the construction heuristic, computed exactly here since the
+  // bucket is small).
+  size_t vantage_slot = 0;
+  double best_dev = -1.0;
+  for (size_t cand = 0; cand < rows.size(); ++cand) {
+    std::vector<double> dists;
+    dists.reserve(rows.size() - 1);
+    for (size_t other = 0; other < rows.size(); ++other) {
+      if (other != cand) dists.push_back(ExactDistance(rows[cand], rows[other]));
+    }
+    const double dev = dsp::StdDev(dists);
+    if (dev > best_dev) {
+      best_dev = dev;
+      vantage_slot = cand;
+    }
+  }
+
+  struct DistEntry {
+    size_t slot;
+    double dist;
+  };
+  std::vector<DistEntry> entries;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (i == vantage_slot) continue;
+    entries.push_back({i, ExactDistance(rows[vantage_slot], rows[i])});
+  }
+  const size_t mid = entries.size() / 2;
+  std::nth_element(
+      entries.begin(), entries.begin() + static_cast<ptrdiff_t>(mid), entries.end(),
+      [](const DistEntry& a, const DistEntry& b) { return a.dist < b.dist; });
+  const double median = entries[mid].dist;
+
+  Node left;
+  left.leaf = true;
+  Node right;
+  right.leaf = true;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    (i < mid ? left : right).bucket.push_back(std::move(bucket[entries[i].slot]));
+  }
+  nodes_.push_back(std::move(left));
+  const int32_t left_id = static_cast<int32_t>(nodes_.size() - 1);
+  nodes_.push_back(std::move(right));
+  const int32_t right_id = static_cast<int32_t>(nodes_.size() - 1);
+
+  Node& node = nodes_[static_cast<size_t>(node_id)];
+  node.leaf = false;
+  node.vantage = std::move(bucket[vantage_slot]);
+  node.vantage_deleted = false;
+  node.median = median;
+  node.left = left_id;
+  node.right = right_id;
+  return Status::OK();
+}
+
+Status VpTreeIndex::Remove(ts::SeriesId id) {
+  for (Node& node : nodes_) {
+    if (node.leaf) {
+      for (size_t i = 0; i < node.bucket.size(); ++i) {
+        if (node.bucket[i].id == id) {
+          node.bucket.erase(node.bucket.begin() + static_cast<ptrdiff_t>(i));
+          --num_objects_;
+          return Status::OK();
+        }
+      }
+    } else if (node.vantage.id == id && !node.vantage_deleted) {
+      node.vantage_deleted = true;
+      ++num_tombstones_;
+      --num_objects_;
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("VpTreeIndex::Remove: id not indexed");
+}
+
+namespace {
+
+constexpr char kIndexMagic[8] = {'S', '2', 'V', 'P', 'T', 'R', '0', '1'};
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+template <typename T>
+bool WriteScalar(std::FILE* f, T value) {
+  return std::fwrite(&value, sizeof(T), 1, f) == 1;
+}
+
+template <typename T>
+bool ReadScalar(std::FILE* f, T* value) {
+  return std::fread(value, sizeof(T), 1, f) == 1;
+}
+
+}  // namespace
+
+Status VpTreeIndex::Save(const std::string& path) const {
+  FilePtr file(std::fopen(path.c_str(), "wb"));
+  if (file == nullptr) {
+    return Status::IoError("VpTreeIndex::Save: cannot create " + path);
+  }
+  std::FILE* f = file.get();
+
+  bool ok = std::fwrite(kIndexMagic, 1, sizeof(kIndexMagic), f) ==
+                sizeof(kIndexMagic) &&
+            WriteScalar<uint8_t>(f, static_cast<uint8_t>(options_.repr_kind)) &&
+            WriteScalar<uint8_t>(f, static_cast<uint8_t>(options_.basis)) &&
+            WriteScalar<uint8_t>(f, static_cast<uint8_t>(options_.method)) &&
+            WriteScalar<uint64_t>(f, options_.budget_c) &&
+            WriteScalar(f, options_.energy_fraction) &&
+            WriteScalar<uint64_t>(f, options_.leaf_size) &&
+            WriteScalar<uint8_t>(f, options_.guided_traversal ? 1 : 0) &&
+            WriteScalar<uint32_t>(f, series_length_) &&
+            WriteScalar<uint64_t>(f, num_objects_) &&
+            WriteScalar<uint64_t>(f, num_tombstones_) &&
+            WriteScalar<int32_t>(f, root_) &&
+            WriteScalar<uint64_t>(f, nodes_.size());
+  if (!ok) return Status::IoError("VpTreeIndex::Save: short write");
+
+  for (const Node& node : nodes_) {
+    ok = WriteScalar<uint8_t>(f, node.leaf ? 1 : 0) &&
+         WriteScalar<uint8_t>(f, node.vantage_deleted ? 1 : 0) &&
+         WriteScalar(f, node.median) && WriteScalar(f, node.left) &&
+         WriteScalar(f, node.right);
+    if (!ok) return Status::IoError("VpTreeIndex::Save: short write");
+    if (node.leaf) {
+      if (!WriteScalar<uint64_t>(f, node.bucket.size())) {
+        return Status::IoError("VpTreeIndex::Save: short write");
+      }
+      for (const Entry& entry : node.bucket) {
+        if (!WriteScalar(f, entry.id)) {
+          return Status::IoError("VpTreeIndex::Save: short write");
+        }
+        S2_RETURN_NOT_OK(repr::WriteFeatureRecord(f, entry.repr));
+      }
+    } else {
+      if (!WriteScalar(f, node.vantage.id)) {
+        return Status::IoError("VpTreeIndex::Save: short write");
+      }
+      S2_RETURN_NOT_OK(repr::WriteFeatureRecord(f, node.vantage.repr));
+    }
+  }
+  return Status::OK();
+}
+
+Result<VpTreeIndex> VpTreeIndex::Load(const std::string& path) {
+  FilePtr file(std::fopen(path.c_str(), "rb"));
+  if (file == nullptr) {
+    return Status::IoError("VpTreeIndex::Load: cannot open " + path);
+  }
+  std::FILE* f = file.get();
+
+  char magic[sizeof(kIndexMagic)];
+  uint8_t repr_kind = 0;
+  uint8_t basis = 0;
+  uint8_t method = 0;
+  uint64_t budget_c = 0;
+  double energy_fraction = 0.0;
+  uint64_t leaf_size = 0;
+  uint8_t guided = 0;
+  uint32_t series_length = 0;
+  uint64_t num_objects = 0;
+  uint64_t num_tombstones = 0;
+  int32_t root = -1;
+  uint64_t node_count = 0;
+  bool ok = std::fread(magic, 1, sizeof(magic), f) == sizeof(magic) &&
+            std::memcmp(magic, kIndexMagic, sizeof(kIndexMagic)) == 0 &&
+            ReadScalar(f, &repr_kind) && ReadScalar(f, &basis) &&
+            ReadScalar(f, &method) && ReadScalar(f, &budget_c) &&
+            ReadScalar(f, &energy_fraction) && ReadScalar(f, &leaf_size) &&
+            ReadScalar(f, &guided) && ReadScalar(f, &series_length) &&
+            ReadScalar(f, &num_objects) && ReadScalar(f, &num_tombstones) &&
+            ReadScalar(f, &root) && ReadScalar(f, &node_count);
+  if (!ok || repr_kind > 3 || basis > 1 || method > 6) {
+    return Status::IoError("VpTreeIndex::Load: bad header in " + path);
+  }
+
+  Options options;
+  options.repr_kind = static_cast<repr::ReprKind>(repr_kind);
+  options.basis = static_cast<repr::Basis>(basis);
+  options.method = static_cast<repr::BoundMethod>(method);
+  options.budget_c = static_cast<size_t>(budget_c);
+  options.energy_fraction = energy_fraction;
+  options.leaf_size = static_cast<size_t>(leaf_size);
+  options.guided_traversal = guided != 0;
+
+  std::vector<Node> nodes;
+  nodes.reserve(node_count);
+  for (uint64_t i = 0; i < node_count; ++i) {
+    Node node;
+    uint8_t leaf = 0;
+    uint8_t deleted = 0;
+    if (!ReadScalar(f, &leaf) || !ReadScalar(f, &deleted) ||
+        !ReadScalar(f, &node.median) || !ReadScalar(f, &node.left) ||
+        !ReadScalar(f, &node.right)) {
+      return Status::IoError("VpTreeIndex::Load: truncated node");
+    }
+    node.leaf = leaf != 0;
+    node.vantage_deleted = deleted != 0;
+    if (node.leaf) {
+      uint64_t bucket_size = 0;
+      if (!ReadScalar(f, &bucket_size) || bucket_size > (1u << 24)) {
+        return Status::IoError("VpTreeIndex::Load: corrupt bucket");
+      }
+      node.bucket.reserve(bucket_size);
+      for (uint64_t b = 0; b < bucket_size; ++b) {
+        Entry entry;
+        if (!ReadScalar(f, &entry.id)) {
+          return Status::IoError("VpTreeIndex::Load: truncated entry");
+        }
+        S2_ASSIGN_OR_RETURN(entry.repr, repr::ReadFeatureRecord(f));
+        node.bucket.push_back(std::move(entry));
+      }
+    } else {
+      if (!ReadScalar(f, &node.vantage.id)) {
+        return Status::IoError("VpTreeIndex::Load: truncated vantage");
+      }
+      S2_ASSIGN_OR_RETURN(node.vantage.repr, repr::ReadFeatureRecord(f));
+    }
+    nodes.push_back(std::move(node));
+  }
+  if (root < -1 || root >= static_cast<int32_t>(nodes.size())) {
+    return Status::IoError("VpTreeIndex::Load: root out of range");
+  }
+  VpTreeIndex index(options, std::move(nodes), root,
+                    static_cast<size_t>(num_objects), series_length);
+  index.num_tombstones_ = static_cast<size_t>(num_tombstones);
+  return index;
+}
+
+size_t VpTreeIndex::CompressedBytes() const {
+  size_t total = 0;
+  for (const Node& node : nodes_) {
+    if (node.leaf) {
+      for (const Entry& entry : node.bucket) total += entry.repr.StorageBytes();
+    } else {
+      total += node.vantage.repr.StorageBytes();
+      total += sizeof(double);  // The split radius.
+    }
+  }
+  return total;
+}
+
+}  // namespace s2::index

@@ -1,0 +1,58 @@
+#include "period/period_detector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dsp/periodogram.h"
+#include "dsp/stats.h"
+
+namespace s2::period {
+
+double PeriodDetector::Threshold(const std::vector<double>& periodogram) const {
+  if (periodogram.size() <= 1) return 0.0;
+  // Mean over the non-DC bins; DC is ~0 after standardization and would
+  // otherwise bias the exponential fit.
+  double sum = 0.0;
+  for (size_t k = 1; k < periodogram.size(); ++k) sum += periodogram[k];
+  const double mu = sum / static_cast<double>(periodogram.size() - 1);
+  return -mu * std::log(options_.false_alarm_probability);
+}
+
+Result<std::vector<PeriodHit>> PeriodDetector::Detect(
+    const std::vector<double>& x) const {
+  if (x.size() < 4) {
+    return Status::InvalidArgument("PeriodDetector: sequence too short");
+  }
+  if (options_.false_alarm_probability <= 0.0 ||
+      options_.false_alarm_probability >= 1.0) {
+    return Status::InvalidArgument(
+        "PeriodDetector: false_alarm_probability must be in (0, 1)");
+  }
+
+  const std::vector<double> z = dsp::Standardize(x);
+  S2_ASSIGN_OR_RETURN(std::vector<double> psd, dsp::PeriodogramOf(z));
+  const double threshold = Threshold(psd);
+  const double n = static_cast<double>(x.size());
+  const double max_period = options_.max_period_fraction * n;
+
+  std::vector<PeriodHit> hits;
+  for (size_t k = 1; k < psd.size(); ++k) {
+    if (psd[k] <= threshold) continue;
+    const double period = dsp::BinToPeriod(k, x.size());
+    if (max_period > 0.0 && period > max_period) continue;
+    PeriodHit hit;
+    hit.period = period;
+    hit.frequency = static_cast<double>(k) / n;
+    hit.power = psd[k];
+    hit.bin = k;
+    hits.push_back(hit);
+  }
+  std::sort(hits.begin(), hits.end(),
+            [](const PeriodHit& a, const PeriodHit& b) { return a.power > b.power; });
+  if (options_.max_periods > 0 && hits.size() > options_.max_periods) {
+    hits.resize(options_.max_periods);
+  }
+  return hits;
+}
+
+}  // namespace s2::period

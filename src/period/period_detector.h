@@ -1,0 +1,62 @@
+#ifndef S2_PERIOD_PERIOD_DETECTOR_H_
+#define S2_PERIOD_PERIOD_DETECTOR_H_
+
+#include <vector>
+
+#include "common/result.h"
+
+namespace s2::period {
+
+/// A significant periodicity found in a sequence.
+struct PeriodHit {
+  double period = 0.0;   ///< In samples (days for query logs): N / bin.
+  double frequency = 0;  ///< Cycles per sample: bin / N.
+  double power = 0.0;    ///< Periodogram value at the bin.
+  size_t bin = 0;        ///< Periodogram bin index.
+};
+
+/// Automatic detection of important periods (paper Section 5).
+///
+/// The null model for "no periodicity" is i.i.d. Gaussian samples, whose
+/// periodogram values follow an exponential distribution. A periodogram bin
+/// is declared significant when its power exceeds the exponential tail
+/// threshold
+///     `T_p = -mu * ln(p)`
+/// where `mu` is the mean periodogram value (the exponential's mean) and `p`
+/// the accepted false-alarm probability (paper example: p = 1e-4 for 99.99%
+/// confidence). Bins are evaluated on the *standardized* sequence so DC
+/// carries no power.
+class PeriodDetector {
+ public:
+  struct Options {
+    /// False-alarm probability; lower = stricter threshold.
+    double false_alarm_probability = 1e-4;
+    /// Cap on the number of reported periods (0 = unlimited). The paper's
+    /// S2 tool surfaces the best-k periods.
+    size_t max_periods = 0;
+    /// Ignore periods longer than this fraction of the sequence (a bin
+    /// k = 1 or 2 "period" is usually a trend artifact, not a periodicity).
+    /// 0.5 means only periods up to N/2 are reported.
+    double max_period_fraction = 0.5;
+  };
+
+  PeriodDetector() = default;
+  explicit PeriodDetector(Options options) : options_(options) {}
+
+  /// Detects significant periods in `x` (raw counts; standardization is
+  /// applied internally). Hits are returned in descending power order.
+  Result<std::vector<PeriodHit>> Detect(const std::vector<double>& x) const;
+
+  /// The power threshold `T_p` for a given periodogram (excluding DC).
+  /// Exposed for plots/benches that display the threshold line (Fig. 13).
+  double Threshold(const std::vector<double>& periodogram) const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+};
+
+}  // namespace s2::period
+
+#endif  // S2_PERIOD_PERIOD_DETECTOR_H_

@@ -1,0 +1,238 @@
+#include "querylog/archetypes.h"
+
+#include <numbers>
+
+namespace s2::qlog {
+
+namespace {
+// Day-of-year anchors for recurring real-world events (non-leap reference).
+constexpr double kEasterDoy = 105;       // ~mid April.
+constexpr double kElvisDeathDoy = 229;   // Aug 16.
+constexpr double kHalloweenDoy = 304;    // Oct 31.
+constexpr double kChristmasDoy = 359;    // Dec 25.
+constexpr double kValentineDoy = 45;     // Feb 14.
+constexpr double kMothersDayDoy = 132;   // ~May 12.
+constexpr double kLunarPeriod = 29.53;
+}  // namespace
+
+QueryArchetype MakeCinema() {
+  QueryArchetype a;
+  a.name = "cinema";
+  a.base_rate = 400;
+  WeeklyComponent weekend;
+  // Monday..Sunday: demand concentrates on Friday & Saturday.
+  weekend.day_weights = {0.7, 0.65, 0.7, 0.8, 1.6, 1.9, 1.1};
+  a.weekly.push_back(weekend);
+  return a;
+}
+
+QueryArchetype MakeEaster() {
+  QueryArchetype a;
+  a.name = "easter";
+  a.base_rate = 60;
+  AnnualBurstComponent burst;
+  burst.peak_day_of_year = kEasterDoy;
+  burst.width_days = 25;      // Long build-up over the relevant months...
+  burst.amplitude = 8;
+  burst.sharp_drop = true;    // ...with an immediate drop after Easter.
+  a.annual_bursts.push_back(burst);
+  return a;
+}
+
+QueryArchetype MakeElvis() {
+  QueryArchetype a;
+  a.name = "elvis";
+  a.base_rate = 120;
+  AnnualBurstComponent spike;
+  spike.peak_day_of_year = kElvisDeathDoy;
+  spike.width_days = 2;
+  spike.amplitude = 6;
+  a.annual_bursts.push_back(spike);
+  a.random_walk_sigma = 0.02;
+  return a;
+}
+
+QueryArchetype MakeFullMoon() {
+  QueryArchetype a;
+  a.name = "full moon";
+  a.base_rate = 90;
+  SinusoidComponent lunar;
+  lunar.period_days = kLunarPeriod;
+  lunar.amplitude = 0.55;
+  a.sinusoids.push_back(lunar);
+  return a;
+}
+
+QueryArchetype MakeNordstrom() {
+  QueryArchetype a;
+  a.name = "nordstrom";
+  a.base_rate = 150;
+  WeeklyComponent weekly;
+  weekly.day_weights = {0.9, 0.85, 0.9, 1.0, 1.2, 1.5, 1.25};
+  a.weekly.push_back(weekly);
+  AnnualBurstComponent holidays;
+  holidays.peak_day_of_year = kChristmasDoy - 15;
+  holidays.width_days = 20;
+  holidays.amplitude = 1.2;
+  a.annual_bursts.push_back(holidays);
+  return a;
+}
+
+QueryArchetype MakeDudleyMoore(int32_t event_day) {
+  QueryArchetype a;
+  a.name = "dudley moore";
+  a.base_rate = 40;
+  a.random_walk_sigma = 0.015;
+  EventBurstComponent news;
+  news.day_index = event_day;
+  news.rise_days = 1;
+  news.decay_days = 4;
+  news.amplitude = 15;
+  a.events.push_back(news);
+  return a;
+}
+
+QueryArchetype MakeHalloween() {
+  QueryArchetype a;
+  a.name = "halloween";
+  a.base_rate = 70;
+  AnnualBurstComponent burst;
+  burst.peak_day_of_year = kHalloweenDoy;
+  burst.width_days = 18;
+  burst.amplitude = 7;
+  a.annual_bursts.push_back(burst);
+  return a;
+}
+
+QueryArchetype MakeChristmas() {
+  QueryArchetype a;
+  a.name = "christmas";
+  a.base_rate = 110;
+  AnnualBurstComponent burst;
+  burst.peak_day_of_year = kChristmasDoy;
+  burst.width_days = 22;
+  burst.amplitude = 9;
+  burst.sharp_drop = true;
+  a.annual_bursts.push_back(burst);
+  return a;
+}
+
+QueryArchetype MakeFlowers() {
+  QueryArchetype a;
+  a.name = "flowers";
+  a.base_rate = 130;
+  AnnualBurstComponent valentine;
+  valentine.peak_day_of_year = kValentineDoy;
+  valentine.width_days = 6;
+  valentine.amplitude = 4;
+  a.annual_bursts.push_back(valentine);
+  AnnualBurstComponent mothers_day;
+  mothers_day.peak_day_of_year = kMothersDayDoy;
+  mothers_day.width_days = 6;
+  mothers_day.amplitude = 3.2;
+  a.annual_bursts.push_back(mothers_day);
+  return a;
+}
+
+QueryArchetype MakeHurricane() {
+  QueryArchetype a;
+  a.name = "hurricane";
+  a.base_rate = 55;
+  AnnualBurstComponent season;
+  season.peak_day_of_year = 250;  // Early September.
+  season.width_days = 30;
+  season.amplitude = 5;
+  a.annual_bursts.push_back(season);
+  a.random_walk_sigma = 0.04;
+  return a;
+}
+
+QueryArchetype MakeWorldTradeCenter(int32_t event_day) {
+  QueryArchetype a;
+  a.name = "world trade center";
+  a.base_rate = 60;
+  EventBurstComponent attack;
+  attack.day_index = event_day;
+  attack.rise_days = 0.5;
+  attack.decay_days = 20;
+  attack.amplitude = 40;
+  a.events.push_back(attack);
+  return a;
+}
+
+QueryArchetype MakeRandomWeekly(const std::string& name, Rng* rng) {
+  QueryArchetype a;
+  a.name = name;
+  a.base_rate = rng->Uniform(50, 500);
+  WeeklyComponent weekly;
+  const bool weekend_peaking = rng->Bernoulli(0.6);
+  for (size_t d = 0; d < 7; ++d) {
+    const bool is_weekend = d >= 4 && d <= 5;  // Fri/Sat.
+    const double center = weekend_peaking == is_weekend ? 1.5 : 0.8;
+    weekly.day_weights[d] = center + rng->Uniform(-0.15, 0.15);
+  }
+  weekly.amplitude = rng->Uniform(0.6, 1.0);
+  a.weekly.push_back(weekly);
+  a.random_walk_sigma = rng->Uniform(0.0, 0.02);
+  return a;
+}
+
+QueryArchetype MakeRandomMonthly(const std::string& name, Rng* rng) {
+  QueryArchetype a;
+  a.name = name;
+  a.base_rate = rng->Uniform(40, 300);
+  SinusoidComponent monthly;
+  monthly.period_days = rng->Bernoulli(0.5) ? kLunarPeriod : rng->Uniform(27, 32);
+  monthly.phase = rng->Uniform(0, 2 * std::numbers::pi);
+  monthly.amplitude = rng->Uniform(0.3, 0.7);
+  a.sinusoids.push_back(monthly);
+  a.random_walk_sigma = rng->Uniform(0.0, 0.02);
+  return a;
+}
+
+QueryArchetype MakeRandomSeasonal(const std::string& name, Rng* rng) {
+  QueryArchetype a;
+  a.name = name;
+  a.base_rate = rng->Uniform(40, 250);
+  AnnualBurstComponent burst;
+  burst.peak_day_of_year = rng->Uniform(1, 366);
+  burst.width_days = rng->Uniform(5, 30);
+  burst.amplitude = rng->Uniform(2, 10);
+  burst.sharp_drop = rng->Bernoulli(0.3);
+  a.annual_bursts.push_back(burst);
+  if (rng->Bernoulli(0.3)) {  // Some seasonal queries also have a weekly cycle.
+    WeeklyComponent weekly;
+    for (size_t d = 0; d < 7; ++d) weekly.day_weights[d] = 1.0 + rng->Uniform(-0.2, 0.2);
+    a.weekly.push_back(weekly);
+  }
+  return a;
+}
+
+QueryArchetype MakeRandomEvent(const std::string& name, int32_t span_start,
+                               int32_t span_days, Rng* rng) {
+  QueryArchetype a;
+  a.name = name;
+  a.base_rate = rng->Uniform(20, 150);
+  a.random_walk_sigma = rng->Uniform(0.01, 0.05);
+  const int n_events = static_cast<int>(rng->UniformInt(1, 3));
+  for (int e = 0; e < n_events; ++e) {
+    EventBurstComponent news;
+    news.day_index = span_start + static_cast<int32_t>(rng->UniformInt(0, span_days - 1));
+    news.rise_days = rng->Uniform(0.5, 3);
+    news.decay_days = rng->Uniform(2, 25);
+    news.amplitude = rng->Uniform(5, 40);
+    a.events.push_back(news);
+  }
+  return a;
+}
+
+QueryArchetype MakeRandomAperiodic(const std::string& name, Rng* rng) {
+  QueryArchetype a;
+  a.name = name;
+  a.base_rate = rng->Uniform(20, 400);
+  a.random_walk_sigma = rng->Uniform(0.03, 0.12);
+  a.trend.slope_per_year = rng->Uniform(-0.2, 0.3);
+  return a;
+}
+
+}  // namespace s2::qlog

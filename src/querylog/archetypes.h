@@ -1,0 +1,67 @@
+#ifndef S2_QUERYLOG_ARCHETYPES_H_
+#define S2_QUERYLOG_ARCHETYPES_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.h"
+#include "querylog/components.h"
+
+namespace s2::qlog {
+
+/// Named archetypes reproducing the demand shapes of specific queries the
+/// paper discusses. These drive the figure-level benchmarks.
+///
+/// Each factory returns a fully-parameterized recipe; pass it to
+/// `Synthesize()` to obtain daily counts.
+
+/// "cinema" (Fig. 1): strong Friday/Saturday weekend peaks, 52 per year.
+QueryArchetype MakeCinema();
+
+/// "easter" (Figs. 2, 15): gradual build-up over the spring months with an
+/// immediate drop after the holiday.
+QueryArchetype MakeEaster();
+
+/// "elvis" (Fig. 3): sharp spike every Aug 16 (death anniversary).
+QueryArchetype MakeElvis();
+
+/// "full moon" (Figs. 13, 16): ~29.5-day lunar periodicity.
+QueryArchetype MakeFullMoon();
+
+/// "nordstrom" (Fig. 13): retail weekly cycle plus a holiday-season swell.
+QueryArchetype MakeNordstrom();
+
+/// "dudley moore" (Fig. 13): aperiodic background with one news spike at
+/// `event_day` (the actor's death).
+QueryArchetype MakeDudleyMoore(int32_t event_day);
+
+/// "halloween" (Fig. 14): October/November burst.
+QueryArchetype MakeHalloween();
+
+/// "christmas" (Fig. 19): December seasonal burst.
+QueryArchetype MakeChristmas();
+
+/// "flowers" (Fig. 16): bursts at Valentine's Day (Feb 14) and Mother's Day
+/// (~May 12).
+QueryArchetype MakeFlowers();
+
+/// "hurricane" (Fig. 19): late-summer hurricane-season bursts.
+QueryArchetype MakeHurricane();
+
+/// "world trade center" (Fig. 19): massive one-off news burst at
+/// `event_day` (2001-09-11 in the paper's data).
+QueryArchetype MakeWorldTradeCenter(int32_t event_day);
+
+/// Families of randomized archetypes used to populate large corpora. Each
+/// draws amplitudes/phases/anchors from `rng` so that no two corpus series
+/// are identical while family members stay mutually similar.
+QueryArchetype MakeRandomWeekly(const std::string& name, Rng* rng);
+QueryArchetype MakeRandomMonthly(const std::string& name, Rng* rng);
+QueryArchetype MakeRandomSeasonal(const std::string& name, Rng* rng);
+QueryArchetype MakeRandomEvent(const std::string& name, int32_t span_start,
+                               int32_t span_days, Rng* rng);
+QueryArchetype MakeRandomAperiodic(const std::string& name, Rng* rng);
+
+}  // namespace s2::qlog
+
+#endif  // S2_QUERYLOG_ARCHETYPES_H_

@@ -1,0 +1,78 @@
+#ifndef S2_QUERYLOG_COMPONENTS_H_
+#define S2_QUERYLOG_COMPONENTS_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace s2::qlog {
+
+/// Multiplicative day-of-week demand shape (0 = Monday .. 6 = Sunday).
+///
+/// `day_weights` scales the base intensity; e.g. the "cinema" archetype uses
+/// weights peaking on Friday/Saturday, producing the 52 weekend peaks of the
+/// paper's Figure 1.
+struct WeeklyComponent {
+  std::array<double, 7> day_weights = {1, 1, 1, 1, 1, 1, 1};
+  double amplitude = 1.0;  ///< Strength of the weekly modulation.
+};
+
+/// Additive sinusoidal component with an arbitrary period, e.g. the ~29.53
+/// day lunar cycle behind the "full moon" query.
+struct SinusoidComponent {
+  double period_days = 29.53;
+  double phase = 0.0;       ///< Radians.
+  double amplitude = 1.0;   ///< Relative to the base rate.
+};
+
+/// A burst recurring every year, shaped as a Gaussian bump centered on a day
+/// of year — "Easter", "Halloween", "Christmas gifts". An optional linear
+/// pre-ramp models the gradual build-up with sharp post-event drop the paper
+/// shows for "Easter" (Figure 2).
+struct AnnualBurstComponent {
+  double peak_day_of_year = 100;  ///< 1..366.
+  double width_days = 10;         ///< Gaussian sigma.
+  double amplitude = 5.0;         ///< Relative to the base rate.
+  bool sharp_drop = false;        ///< Truncate the bump after the peak.
+};
+
+/// A single, non-recurring event: sharp rise then exponential decay, e.g. a
+/// news story ("dudley moore", "world trade center").
+struct EventBurstComponent {
+  int32_t day_index = 0;     ///< Calendar day of the event.
+  double rise_days = 1.0;    ///< Ramp-up duration before the peak.
+  double decay_days = 7.0;   ///< Exponential decay constant after the peak.
+  double amplitude = 10.0;   ///< Relative to the base rate.
+};
+
+/// Linear drift of the base intensity, e.g. queries gaining popularity.
+struct TrendComponent {
+  double slope_per_year = 0.0;  ///< Fractional change of base rate per year.
+};
+
+/// A query archetype: the generative recipe for one demand curve.
+///
+/// The synthesized intensity on day d is
+///   base_rate * weekly(d) * (1 + trend(d))
+///   + base_rate * (sinusoids(d) + annual_bursts(d) + events(d))
+///   + random_walk(d)
+/// and the emitted count is Poisson(intensity) (or intensity + Gaussian noise
+/// when `poisson_counts` is false), clipped at zero.
+struct QueryArchetype {
+  std::string name;
+  double base_rate = 100.0;          ///< Mean daily request count.
+  double noise_sigma = 0.05;         ///< Gaussian noise, fraction of base rate.
+  double random_walk_sigma = 0.0;    ///< Per-day random-walk step, fraction of base.
+  bool poisson_counts = true;        ///< Sample counts from Poisson(intensity).
+
+  std::vector<WeeklyComponent> weekly;
+  std::vector<SinusoidComponent> sinusoids;
+  std::vector<AnnualBurstComponent> annual_bursts;
+  std::vector<EventBurstComponent> events;
+  TrendComponent trend;
+};
+
+}  // namespace s2::qlog
+
+#endif  // S2_QUERYLOG_COMPONENTS_H_

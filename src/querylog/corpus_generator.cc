@@ -1,0 +1,75 @@
+#include "querylog/corpus_generator.h"
+
+#include <cstdio>
+#include <string>
+
+#include "common/rng.h"
+#include "querylog/archetypes.h"
+#include "querylog/synthesizer.h"
+
+namespace s2::qlog {
+
+namespace {
+
+std::string FamilyName(const char* family, size_t ordinal) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%s_%06zu", family, ordinal);
+  return buffer;
+}
+
+}  // namespace
+
+QueryArchetype DrawArchetype(const CorpusSpec& spec, size_t ordinal, Rng* rng) {
+  const FamilyMix& m = spec.mix;
+  const double total = m.weekly + m.monthly + m.seasonal + m.event + m.aperiodic;
+  double r = rng->Uniform(0.0, total);
+  if ((r -= m.weekly) < 0) return MakeRandomWeekly(FamilyName("weekly", ordinal), rng);
+  if ((r -= m.monthly) < 0) return MakeRandomMonthly(FamilyName("monthly", ordinal), rng);
+  if ((r -= m.seasonal) < 0) {
+    return MakeRandomSeasonal(FamilyName("seasonal", ordinal), rng);
+  }
+  if ((r -= m.event) < 0) {
+    return MakeRandomEvent(FamilyName("event", ordinal), spec.start_day,
+                           static_cast<int32_t>(spec.n_days), rng);
+  }
+  return MakeRandomAperiodic(FamilyName("aperiodic", ordinal), rng);
+}
+
+Result<ts::Corpus> GenerateCorpus(const CorpusSpec& spec) {
+  if (spec.num_series == 0) {
+    return Status::InvalidArgument("GenerateCorpus: num_series must be > 0");
+  }
+  if (spec.n_days == 0) {
+    return Status::InvalidArgument("GenerateCorpus: n_days must be > 0");
+  }
+  Rng rng(spec.seed);
+  ts::Corpus corpus;
+  for (size_t i = 0; i < spec.num_series; ++i) {
+    QueryArchetype archetype = DrawArchetype(spec, i, &rng);
+    S2_ASSIGN_OR_RETURN(ts::TimeSeries series,
+                        Synthesize(archetype, spec.start_day, spec.n_days, &rng));
+    corpus.Add(std::move(series));
+  }
+  return corpus;
+}
+
+Result<std::vector<ts::TimeSeries>> GenerateQueries(const CorpusSpec& spec,
+                                                    size_t count) {
+  if (spec.n_days == 0) {
+    return Status::InvalidArgument("GenerateQueries: n_days must be > 0");
+  }
+  // Independent stream: held-out queries never coincide with corpus members.
+  Rng rng(spec.seed ^ 0x9e3779b97f4a7c15ULL);
+  std::vector<ts::TimeSeries> queries;
+  queries.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    QueryArchetype archetype = DrawArchetype(spec, i, &rng);
+    archetype.name = "query_" + archetype.name;
+    S2_ASSIGN_OR_RETURN(ts::TimeSeries series,
+                        Synthesize(archetype, spec.start_day, spec.n_days, &rng));
+    queries.push_back(std::move(series));
+  }
+  return queries;
+}
+
+}  // namespace s2::qlog

@@ -1,0 +1,52 @@
+#ifndef S2_QUERYLOG_CORPUS_GENERATOR_H_
+#define S2_QUERYLOG_CORPUS_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "querylog/components.h"
+#include "timeseries/time_series.h"
+
+namespace s2::qlog {
+
+/// Mixture weights over archetype families for whole-corpus synthesis.
+/// The defaults approximate the structure the paper reports in MSN logs:
+/// many strongly week-periodic queries, a sizeable aperiodic mass, plus
+/// seasonal/monthly/news-event minorities. Weights are normalized internally.
+struct FamilyMix {
+  double weekly = 0.35;
+  double monthly = 0.05;
+  double seasonal = 0.15;
+  double event = 0.15;
+  double aperiodic = 0.30;
+};
+
+/// Recipe for a synthetic corpus mirroring the paper's experimental data:
+/// sequences of length `n_days` (1024 in the paper, covering 2000-2002),
+/// `num_series` of them (up to 2^15 in the paper).
+struct CorpusSpec {
+  size_t num_series = 1024;
+  size_t n_days = 1024;
+  int32_t start_day = 0;  ///< Day index of the first sample (0 = 2000-01-01).
+  uint64_t seed = 42;
+  FamilyMix mix;
+};
+
+/// Generates a corpus per `spec`. Series names encode their family
+/// ("weekly_000123") so experiments can evaluate retrieval semantics.
+Result<ts::Corpus> GenerateCorpus(const CorpusSpec& spec);
+
+/// Generates `count` *held-out* query series drawn from the same family
+/// mixture but from an independent random stream — the paper evaluates with
+/// "queries not found in the database". Uses `spec.seed ^ salt` internally.
+Result<std::vector<ts::TimeSeries>> GenerateQueries(const CorpusSpec& spec,
+                                                    size_t count);
+
+/// Draws a single archetype from the family mixture. Exposed for tests.
+QueryArchetype DrawArchetype(const CorpusSpec& spec, size_t ordinal, Rng* rng);
+
+}  // namespace s2::qlog
+
+#endif  // S2_QUERYLOG_CORPUS_GENERATOR_H_

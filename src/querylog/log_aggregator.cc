@@ -1,0 +1,95 @@
+#include "querylog/log_aggregator.h"
+
+#include <algorithm>
+
+#include "querylog/synthesizer.h"
+
+namespace s2::qlog {
+
+Status LogAggregator::Add(const LogRecord& record) {
+  if (record.timestamp_seconds < 0) {
+    return Status::InvalidArgument("LogAggregator: negative timestamp");
+  }
+  if (record.query.empty()) {
+    return Status::InvalidArgument("LogAggregator: empty query string");
+  }
+  const int32_t day = static_cast<int32_t>(record.timestamp_seconds / kSecondsPerDay);
+  ++counts_[record.query][day];
+  ++totals_[record.query];
+  ++num_records_;
+  return Status::OK();
+}
+
+Status LogAggregator::AddAll(const std::vector<LogRecord>& records) {
+  for (const LogRecord& record : records) {
+    S2_RETURN_NOT_OK(Add(record));
+  }
+  return Status::OK();
+}
+
+Result<ts::TimeSeries> LogAggregator::SeriesFor(const std::string& query,
+                                                int32_t start_day,
+                                                int32_t end_day) const {
+  if (end_day < start_day) {
+    return Status::InvalidArgument("LogAggregator: end_day < start_day");
+  }
+  const auto it = counts_.find(query);
+  if (it == counts_.end()) {
+    return Status::NotFound("LogAggregator: query '" + query + "' never logged");
+  }
+  ts::TimeSeries series;
+  series.name = query;
+  series.start_day = start_day;
+  series.values.assign(static_cast<size_t>(end_day - start_day + 1), 0.0);
+  for (auto day_it = it->second.lower_bound(start_day);
+       day_it != it->second.end() && day_it->first <= end_day; ++day_it) {
+    series.values[static_cast<size_t>(day_it->first - start_day)] =
+        static_cast<double>(day_it->second);
+  }
+  return series;
+}
+
+Result<ts::Corpus> LogAggregator::BuildCorpus(int32_t start_day, int32_t end_day,
+                                              uint64_t min_total_count) const {
+  if (end_day < start_day) {
+    return Status::InvalidArgument("LogAggregator: end_day < start_day");
+  }
+  std::vector<std::string> names;
+  names.reserve(counts_.size());
+  for (const auto& [query, days] : counts_) {
+    if (totals_.at(query) >= min_total_count) names.push_back(query);
+  }
+  std::sort(names.begin(), names.end());
+
+  ts::Corpus corpus;
+  for (const std::string& name : names) {
+    S2_ASSIGN_OR_RETURN(ts::TimeSeries series, SeriesFor(name, start_day, end_day));
+    corpus.Add(std::move(series));
+  }
+  return corpus;
+}
+
+Result<std::vector<LogRecord>> GenerateLog(const QueryArchetype& archetype,
+                                           int32_t start_day, size_t n_days,
+                                           Rng* rng) {
+  if (n_days == 0) return Status::InvalidArgument("GenerateLog: n_days must be > 0");
+  if (rng == nullptr) return Status::InvalidArgument("GenerateLog: rng is null");
+  if (start_day < 0) {
+    return Status::InvalidArgument("GenerateLog: start_day must be >= 0");
+  }
+  std::vector<LogRecord> records;
+  for (size_t i = 0; i < n_days; ++i) {
+    const int32_t day = start_day + static_cast<int32_t>(i);
+    const int64_t count = rng->Poisson(IntensityOn(archetype, day));
+    for (int64_t r = 0; r < count; ++r) {
+      LogRecord record;
+      record.timestamp_seconds = static_cast<int64_t>(day) * kSecondsPerDay +
+                                 rng->UniformInt(0, kSecondsPerDay - 1);
+      record.query = archetype.name;
+      records.push_back(std::move(record));
+    }
+  }
+  return records;
+}
+
+}  // namespace s2::qlog

@@ -1,0 +1,79 @@
+#ifndef S2_QUERYLOG_LOG_AGGREGATOR_H_
+#define S2_QUERYLOG_LOG_AGGREGATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "querylog/components.h"
+#include "timeseries/time_series.h"
+
+namespace s2::qlog {
+
+/// One raw search-engine log record: a query string issued at a point in
+/// time. This is the paper's input format ("Using the query logs, we build a
+/// time series for each query word or phrase where the elements of the time
+/// series are the number of times that a query is issued on a day").
+struct LogRecord {
+  int64_t timestamp_seconds = 0;  ///< Seconds since day 0 (2000-01-01 00:00).
+  std::string query;
+};
+
+/// Seconds in a day.
+inline constexpr int64_t kSecondsPerDay = 86400;
+
+/// Streaming aggregation of raw log records into daily-count time series.
+///
+/// Records may arrive in any order; the aggregator keeps one day-indexed
+/// counter map per distinct query string and materializes a dense `Corpus`
+/// on demand. This is the storage-efficient, privacy-preserving aggregate
+/// the paper advocates retaining instead of the raw log.
+class LogAggregator {
+ public:
+  LogAggregator() = default;
+
+  /// Ingests one record. Negative timestamps are rejected.
+  Status Add(const LogRecord& record);
+
+  /// Ingests a batch.
+  Status AddAll(const std::vector<LogRecord>& records);
+
+  /// Number of distinct query strings seen.
+  size_t num_queries() const { return counts_.size(); }
+
+  /// Total records ingested.
+  uint64_t num_records() const { return num_records_; }
+
+  /// Daily counts of one query over [start_day, end_day] (inclusive), zeros
+  /// for silent days. NotFound if the query never appeared.
+  Result<ts::TimeSeries> SeriesFor(const std::string& query, int32_t start_day,
+                                   int32_t end_day) const;
+
+  /// Materializes a corpus over [start_day, end_day] with one series per
+  /// distinct query whose total count is at least `min_total_count` (the
+  /// paper's S2 tool works on the "top 80000+ sequences" — a volume cutoff).
+  /// Series appear in lexicographic query order.
+  Result<ts::Corpus> BuildCorpus(int32_t start_day, int32_t end_day,
+                                 uint64_t min_total_count) const;
+
+ private:
+  std::unordered_map<std::string, std::map<int32_t, uint32_t>> counts_;
+  std::unordered_map<std::string, uint64_t> totals_;
+  uint64_t num_records_ = 0;
+};
+
+/// Generates a raw log stream for `archetype` over `n_days` starting at
+/// `start_day`: for each day, a Poisson-distributed number of records with
+/// uniform intra-day timestamps. Useful for end-to-end pipeline tests and
+/// demos; real deployments would `Add` records from their own log tail.
+Result<std::vector<LogRecord>> GenerateLog(const QueryArchetype& archetype,
+                                           int32_t start_day, size_t n_days,
+                                           Rng* rng);
+
+}  // namespace s2::qlog
+
+#endif  // S2_QUERYLOG_LOG_AGGREGATOR_H_

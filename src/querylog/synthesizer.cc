@@ -1,0 +1,108 @@
+#include "querylog/synthesizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "timeseries/calendar.h"
+
+namespace s2::qlog {
+
+namespace {
+
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+double WeeklyFactor(const QueryArchetype& a, int32_t day_index) {
+  if (a.weekly.empty()) return 1.0;
+  double factor = 1.0;
+  const int dow = ts::DayOfWeek(day_index);
+  for (const WeeklyComponent& c : a.weekly) {
+    const double w = c.day_weights[static_cast<size_t>(dow)];
+    factor *= 1.0 + c.amplitude * (w - 1.0);
+  }
+  return factor;
+}
+
+double SinusoidTerm(const QueryArchetype& a, int32_t day_index) {
+  double sum = 0.0;
+  for (const SinusoidComponent& c : a.sinusoids) {
+    sum += c.amplitude * std::sin(kTwoPi * day_index / c.period_days + c.phase);
+  }
+  return sum;
+}
+
+double AnnualBurstTerm(const QueryArchetype& a, int32_t day_index) {
+  if (a.annual_bursts.empty()) return 0.0;
+  const int doy = ts::DayOfYear(day_index);
+  const ts::Date date = ts::DayIndexToDate(day_index);
+  const int year_len = ts::DaysInYear(date.year);
+  double sum = 0.0;
+  for (const AnnualBurstComponent& c : a.annual_bursts) {
+    // Circular distance within the year so bumps near Jan 1 wrap correctly.
+    double delta = doy - c.peak_day_of_year;
+    if (delta > year_len / 2.0) delta -= year_len;
+    if (delta < -year_len / 2.0) delta += year_len;
+    if (c.sharp_drop && delta > c.width_days / 2.0) continue;
+    sum += c.amplitude * std::exp(-delta * delta / (2.0 * c.width_days * c.width_days));
+  }
+  return sum;
+}
+
+double EventBurstTerm(const QueryArchetype& a, int32_t day_index) {
+  double sum = 0.0;
+  for (const EventBurstComponent& c : a.events) {
+    const double delta = static_cast<double>(day_index) - c.day_index;
+    if (delta < -c.rise_days || delta > 8.0 * c.decay_days) continue;
+    if (delta < 0) {
+      sum += c.amplitude * (1.0 + delta / c.rise_days);  // Linear ramp-up.
+    } else {
+      sum += c.amplitude * std::exp(-delta / c.decay_days);
+    }
+  }
+  return sum;
+}
+
+}  // namespace
+
+double IntensityOn(const QueryArchetype& a, int32_t day_index) {
+  const double years = static_cast<double>(day_index) / 365.25;
+  const double trend = 1.0 + a.trend.slope_per_year * years;
+  const double multiplicative = WeeklyFactor(a, day_index) * std::max(0.0, trend);
+  const double additive =
+      SinusoidTerm(a, day_index) + AnnualBurstTerm(a, day_index) + EventBurstTerm(a, day_index);
+  return std::max(0.0, a.base_rate * (multiplicative + additive));
+}
+
+Result<ts::TimeSeries> Synthesize(const QueryArchetype& a, int32_t start_day,
+                                  size_t n_days, Rng* rng) {
+  if (n_days == 0) return Status::InvalidArgument("Synthesize: n_days must be > 0");
+  if (rng == nullptr) return Status::InvalidArgument("Synthesize: rng must not be null");
+
+  ts::TimeSeries series;
+  series.name = a.name;
+  series.start_day = start_day;
+  series.values.resize(n_days);
+
+  double walk = 0.0;
+  for (size_t i = 0; i < n_days; ++i) {
+    const int32_t day = start_day + static_cast<int32_t>(i);
+    double intensity = IntensityOn(a, day);
+    if (a.random_walk_sigma > 0.0) {
+      walk += rng->Normal(0.0, a.random_walk_sigma * a.base_rate);
+      // Gentle mean reversion keeps the walk from dominating the signal.
+      walk *= 0.995;
+      intensity += walk;
+    }
+    intensity = std::max(0.0, intensity);
+    double count;
+    if (a.poisson_counts) {
+      count = static_cast<double>(rng->Poisson(intensity));
+    } else {
+      count = intensity + rng->Normal(0.0, a.noise_sigma * a.base_rate);
+    }
+    series.values[i] = std::max(0.0, count);
+  }
+  return series;
+}
+
+}  // namespace s2::qlog

@@ -1,0 +1,27 @@
+#ifndef S2_QUERYLOG_SYNTHESIZER_H_
+#define S2_QUERYLOG_SYNTHESIZER_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "querylog/components.h"
+#include "timeseries/time_series.h"
+
+namespace s2::qlog {
+
+/// Deterministic intensity (expected demand) of `archetype` on calendar day
+/// `day_index`, before count noise. Exposed so tests can verify planted
+/// structure independently of sampling noise.
+double IntensityOn(const QueryArchetype& archetype, int32_t day_index);
+
+/// Synthesizes `n_days` of daily counts for `archetype` starting at
+/// `start_day`, drawing sampling noise from `rng`.
+///
+/// Returns InvalidArgument for `n_days == 0`.
+Result<ts::TimeSeries> Synthesize(const QueryArchetype& archetype,
+                                  int32_t start_day, size_t n_days, Rng* rng);
+
+}  // namespace s2::qlog
+
+#endif  // S2_QUERYLOG_SYNTHESIZER_H_

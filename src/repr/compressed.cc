@@ -1,0 +1,272 @@
+#include "repr/compressed.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "dsp/wavelet.h"
+
+namespace s2::repr {
+
+namespace {
+
+// Positions 1..c (DC skipped; sequences are standardized so bin 0 is ~0).
+std::vector<uint32_t> FirstPositions(size_t c) {
+  std::vector<uint32_t> positions(c);
+  std::iota(positions.begin(), positions.end(), 1u);
+  return positions;
+}
+
+// The `k` bins of largest magnitude anywhere in the half spectrum
+// (including DC and Nyquist), returned in ascending position order.
+std::vector<uint32_t> BestPositions(const HalfSpectrum& spectrum, size_t k) {
+  std::vector<uint32_t> order(spectrum.num_bins());
+  std::iota(order.begin(), order.end(), 0u);
+  std::partial_sort(order.begin(), order.begin() + static_cast<ptrdiff_t>(k),
+                    order.end(), [&spectrum](uint32_t a, uint32_t b) {
+                      const double ma = std::abs(spectrum.coeff(a));
+                      const double mb = std::abs(spectrum.coeff(b));
+                      if (ma != mb) return ma > mb;
+                      return a < b;  // Deterministic tie-break.
+                    });
+  order.resize(k);
+  std::sort(order.begin(), order.end());
+  return order;
+}
+
+}  // namespace
+
+std::string_view ReprKindToString(ReprKind kind) {
+  switch (kind) {
+    case ReprKind::kFirstKMiddle:
+      return "GEMINI";
+    case ReprKind::kFirstKError:
+      return "Wang";
+    case ReprKind::kBestKMiddle:
+      return "BestMiddle";
+    case ReprKind::kBestKError:
+      return "BestError";
+  }
+  return "Unknown";
+}
+
+size_t BestCoefficientBudget(size_t c) {
+  // 16 bytes per first coefficient vs 16+2 per best coefficient (Section 7.1):
+  // floor(16c / 18) == floor(c / 1.125).
+  return (16 * c) / 18;
+}
+
+bool CompressedSpectrum::Holds(uint32_t k, size_t* slot) const {
+  const auto it = std::lower_bound(positions_.begin(), positions_.end(), k);
+  if (it == positions_.end() || *it != k) return false;
+  if (slot != nullptr) *slot = static_cast<size_t>(it - positions_.begin());
+  return true;
+}
+
+Result<CompressedSpectrum> CompressedSpectrum::Compress(const HalfSpectrum& spectrum,
+                                                        ReprKind kind, size_t c) {
+  if (c == 0) {
+    return Status::InvalidArgument("Compress: coefficient budget must be > 0");
+  }
+  const size_t bins = spectrum.num_bins();
+  const bool best = kind == ReprKind::kBestKMiddle || kind == ReprKind::kBestKError;
+  const size_t keep = best ? BestCoefficientBudget(c) : c;
+  if (keep == 0) {
+    return Status::InvalidArgument("Compress: budget too small for best-k storage");
+  }
+  if (keep >= bins) {
+    return Status::InvalidArgument("Compress: budget exceeds available bins");
+  }
+
+  const bool with_middle_kind =
+      kind == ReprKind::kFirstKMiddle || kind == ReprKind::kBestKMiddle;
+  if (with_middle_kind && spectrum.basis() == Basis::kOrthonormalReal) {
+    return Status::InvalidArgument(
+        "Compress: middle-coefficient kinds require the Fourier basis");
+  }
+
+  CompressedSpectrum out;
+  out.kind_ = kind;
+  out.basis_ = spectrum.basis();
+  out.n_ = spectrum.n();
+
+  if (best) {
+    out.positions_ = BestPositions(spectrum, keep);
+    // minPower over the selected best bins: every omitted bin is smaller.
+    double min_power = std::numeric_limits<double>::infinity();
+    for (uint32_t k : out.positions_) {
+      min_power = std::min(min_power, std::abs(spectrum.coeff(k)));
+    }
+    out.min_power_ = min_power;
+  } else {
+    out.positions_ = FirstPositions(keep);
+    out.min_power_ = std::numeric_limits<double>::infinity();
+  }
+
+  const bool with_middle =
+      kind == ReprKind::kFirstKMiddle || kind == ReprKind::kBestKMiddle;
+  if (with_middle) {
+    // Spend the spare double on the middle (Nyquist) coefficient, which is
+    // real for even-length inputs. If it is already retained, the
+    // representation simply uses one fewer double (paper, Section 7.1).
+    const uint32_t middle = static_cast<uint32_t>(spectrum.n() / 2);
+    if (middle < bins) {
+      const auto it =
+          std::lower_bound(out.positions_.begin(), out.positions_.end(), middle);
+      if (it == out.positions_.end() || *it != middle) {
+        out.positions_.insert(it, middle);
+      }
+    }
+  }
+
+  out.coeffs_.reserve(out.positions_.size());
+  for (uint32_t k : out.positions_) out.coeffs_.push_back(spectrum.coeff(k));
+
+  // T.err: weighted energy of everything not retained.
+  if (kind == ReprKind::kFirstKError || kind == ReprKind::kBestKError) {
+    double err = 0.0;
+    size_t next = 0;
+    for (size_t k = 0; k < bins; ++k) {
+      if (next < out.positions_.size() && out.positions_[next] == k) {
+        ++next;
+        continue;
+      }
+      err += spectrum.multiplicity(k) * std::norm(spectrum.coeff(k));
+    }
+    out.error_ = err;
+  } else {
+    out.error_ = std::numeric_limits<double>::quiet_NaN();
+  }
+  return out;
+}
+
+Result<CompressedSpectrum> CompressedSpectrum::CompressToEnergy(
+    const HalfSpectrum& spectrum, double energy_fraction) {
+  if (!(energy_fraction > 0.0 && energy_fraction < 1.0)) {
+    return Status::InvalidArgument(
+        "CompressToEnergy: energy_fraction must be in (0, 1)");
+  }
+  const size_t bins = spectrum.num_bins();
+  if (bins < 2) {
+    return Status::InvalidArgument("CompressToEnergy: sequence too short");
+  }
+  const double total = spectrum.Energy();
+
+  // Bins by descending magnitude.
+  std::vector<uint32_t> order(bins);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&spectrum](uint32_t a, uint32_t b) {
+    const double ma = std::abs(spectrum.coeff(a));
+    const double mb = std::abs(spectrum.coeff(b));
+    if (ma != mb) return ma > mb;
+    return a < b;
+  });
+
+  size_t keep = 0;
+  double captured = 0.0;
+  // A zero-energy (constant) sequence is fully captured by one coefficient.
+  while (keep < bins - 1 &&
+         (keep == 0 || (total > 0.0 && captured < energy_fraction * total))) {
+    captured += spectrum.multiplicity(order[keep]) *
+                std::norm(spectrum.coeff(order[keep]));
+    ++keep;
+  }
+
+  CompressedSpectrum out;
+  out.kind_ = ReprKind::kBestKError;
+  out.basis_ = spectrum.basis();
+  out.n_ = spectrum.n();
+  out.positions_.assign(order.begin(), order.begin() + static_cast<ptrdiff_t>(keep));
+  std::sort(out.positions_.begin(), out.positions_.end());
+  double min_power = std::numeric_limits<double>::infinity();
+  out.coeffs_.reserve(keep);
+  for (uint32_t k : out.positions_) {
+    out.coeffs_.push_back(spectrum.coeff(k));
+    min_power = std::min(min_power, std::abs(spectrum.coeff(k)));
+  }
+  out.min_power_ = min_power;
+  out.error_ = std::max(0.0, total - captured);
+  return out;
+}
+
+Result<CompressedSpectrum> CompressedSpectrum::FromParts(
+    ReprKind kind, uint32_t n, std::vector<uint32_t> positions,
+    std::vector<Complex> coeffs, double error, double min_power, Basis basis) {
+  if (n == 0) return Status::InvalidArgument("FromParts: n must be > 0");
+  if (positions.size() != coeffs.size()) {
+    return Status::InvalidArgument("FromParts: positions/coeffs size mismatch");
+  }
+  if (positions.empty()) {
+    return Status::InvalidArgument("FromParts: empty representation");
+  }
+  const uint32_t bins = basis == Basis::kOrthonormalReal ? n : n / 2 + 1;
+  for (size_t i = 0; i < positions.size(); ++i) {
+    if (positions[i] >= bins) {
+      return Status::InvalidArgument("FromParts: position out of range");
+    }
+    if (i > 0 && positions[i] <= positions[i - 1]) {
+      return Status::InvalidArgument("FromParts: positions must be ascending");
+    }
+  }
+  const bool best = kind == ReprKind::kBestKMiddle || kind == ReprKind::kBestKError;
+  const bool has_error =
+      kind == ReprKind::kFirstKError || kind == ReprKind::kBestKError;
+  if (has_error && !(error >= 0.0)) {
+    return Status::InvalidArgument("FromParts: error must be >= 0");
+  }
+  if (best && !(min_power >= 0.0)) {
+    return Status::InvalidArgument("FromParts: min_power must be >= 0");
+  }
+
+  CompressedSpectrum out;
+  out.kind_ = kind;
+  out.basis_ = basis;
+  out.n_ = n;
+  out.positions_ = std::move(positions);
+  out.coeffs_ = std::move(coeffs);
+  out.error_ = has_error ? error : std::numeric_limits<double>::quiet_NaN();
+  out.min_power_ = best ? min_power : std::numeric_limits<double>::infinity();
+  return out;
+}
+
+size_t CompressedSpectrum::StorageBytes() const {
+  const bool best = kind_ == ReprKind::kBestKMiddle || kind_ == ReprKind::kBestKError;
+  const bool with_middle =
+      kind_ == ReprKind::kFirstKMiddle || kind_ == ReprKind::kBestKMiddle;
+  size_t coeff_count = positions_.size();
+  size_t bytes = 0;
+  if (with_middle) {
+    // The middle coefficient is real: 8 bytes, no position needed.
+    const uint32_t middle = n_ / 2;
+    if (!positions_.empty() && positions_.back() == middle) {
+      coeff_count -= 1;
+      bytes += 8;
+    }
+  } else {
+    bytes += 8;  // The stored error.
+  }
+  bytes += coeff_count * (best ? 18 : 16);
+  return bytes;
+}
+
+Result<std::vector<double>> CompressedSpectrum::Reconstruct() const {
+  if (basis_ == Basis::kOrthonormalReal) {
+    std::vector<double> sparse(n_, 0.0);
+    for (size_t i = 0; i < positions_.size(); ++i) {
+      sparse[positions_[i]] = coeffs_[i].real();
+    }
+    return dsp::HaarInverse(sparse);
+  }
+  std::vector<Complex> full(n_, Complex(0, 0));
+  for (size_t i = 0; i < positions_.size(); ++i) {
+    const uint32_t k = positions_[i];
+    full[k] = coeffs_[i];
+    if (k != 0 && !(n_ % 2 == 0 && k == n_ / 2)) {
+      full[n_ - k] = std::conj(coeffs_[i]);
+    }
+  }
+  return dsp::InverseDftReal(full);
+}
+
+}  // namespace s2::repr

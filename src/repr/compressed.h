@@ -1,0 +1,134 @@
+#ifndef S2_REPR_COMPRESSED_H_
+#define S2_REPR_COMPRESSED_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "repr/half_spectrum.h"
+
+namespace s2::repr {
+
+/// Which coefficients a compressed representation retains, and which side
+/// information accompanies them. These mirror the five contenders of the
+/// paper's Section 7 (Table 1):
+///
+/// | kind               | coefficients      | extra double          |
+/// |--------------------|-------------------|-----------------------|
+/// | kFirstKMiddle      | c first           | middle (Nyquist) coeff|  GEMINI
+/// | kFirstKError       | c first           | omitted energy        |  Wang
+/// | kBestKMiddle       | floor(c/1.125) best | middle coeff        |  BestMin
+/// | kBestKError        | floor(c/1.125) best | omitted energy      |  BestError / BestMinError
+///
+/// "First" coefficients are bins 1..c (DC is skipped: sequences are
+/// standardized, so bin 0 carries no energy). "Best" coefficients are the
+/// bins of largest magnitude anywhere in the half spectrum. The best-k count
+/// is reduced by the 1.125 factor because each best coefficient must also
+/// record its 2-byte position (Section 7.1).
+enum class ReprKind {
+  kFirstKMiddle,
+  kFirstKError,
+  kBestKMiddle,
+  kBestKError,
+};
+
+/// Short human-readable name ("GEMINI", "Wang", "BestMiddle", "BestError").
+std::string_view ReprKindToString(ReprKind kind);
+
+/// Number of best coefficients that fit in the memory of `c` first
+/// coefficients: floor(c / 1.125) (each costs 16+2 bytes instead of 16).
+size_t BestCoefficientBudget(size_t c);
+
+/// A sequence's compressed spectral footprint: the retained coefficients
+/// plus (depending on kind) either the middle coefficient or the energy of
+/// everything omitted. This is what the index stores per object.
+class CompressedSpectrum {
+ public:
+  /// Constructs an empty (invalid) representation; useful only as a
+  /// placeholder to assign into. Use `Compress` to create real ones.
+  CompressedSpectrum() = default;
+
+  /// Compresses `spectrum` with the memory budget of `c` first coefficients
+  /// (i.e. 2c+1 doubles for every kind; see Table 1). Returns
+  /// InvalidArgument when c == 0 or c exceeds the available bins.
+  static Result<CompressedSpectrum> Compress(const HalfSpectrum& spectrum,
+                                             ReprKind kind, size_t c);
+
+  /// The paper's Section 8 extension: a *variable* number of best
+  /// coefficients — adds best coefficients (largest magnitude first) until
+  /// the representation contains at least `energy_fraction` of the signal
+  /// energy (equivalently, until the error drops below 1 - fraction). The
+  /// result is a kBestKError representation, so all Best* bounds and the
+  /// VP-tree work unchanged. `energy_fraction` must be in (0, 1); at least
+  /// one and at most num_bins()-1 coefficients are kept.
+  static Result<CompressedSpectrum> CompressToEnergy(const HalfSpectrum& spectrum,
+                                                     double energy_fraction);
+
+  /// Reassembles a representation from its serialized parts (see
+  /// feature_store.h). Positions must be strictly ascending and within
+  /// `n/2 + 1` bins; `coeffs` must parallel `positions`. For middle-kinds
+  /// `error` is ignored (stored as NaN); for first-kinds `min_power` is
+  /// ignored (stored as +infinity).
+  static Result<CompressedSpectrum> FromParts(ReprKind kind, uint32_t n,
+                                              std::vector<uint32_t> positions,
+                                              std::vector<Complex> coeffs,
+                                              double error, double min_power,
+                                              Basis basis = Basis::kFourierHalf);
+
+  ReprKind kind() const { return kind_; }
+
+  /// The orthonormal decomposition the coefficients come from.
+  Basis basis() const { return basis_; }
+
+  /// Original sequence length.
+  uint32_t n() const { return n_; }
+
+  /// Retained bin positions (ascending) and their coefficients.
+  const std::vector<uint32_t>& positions() const { return positions_; }
+  const std::vector<Complex>& coeffs() const { return coeffs_; }
+
+  /// True iff bin `k` is retained; `slot` receives its index when non-null.
+  bool Holds(uint32_t k, size_t* slot) const;
+
+  /// Weighted energy of all omitted coefficients (`T.err` in the paper).
+  /// Only meaningful for kinds that store it; NaN otherwise.
+  double error() const { return error_; }
+
+  /// Magnitude of the smallest *best* retained coefficient (`minPower`).
+  /// Every omitted coefficient has magnitude <= this. Only meaningful for
+  /// best-k kinds; +infinity otherwise (first-k kinds cannot bound omitted
+  /// magnitudes).
+  double min_power() const { return min_power_; }
+
+  /// Multiplicity of bin `k` (depends only on n and the basis).
+  double multiplicity(size_t k) const {
+    if (basis_ == Basis::kOrthonormalReal) return 1.0;
+    if (k == 0) return 1.0;
+    if (n_ % 2 == 0 && k == static_cast<size_t>(n_ / 2)) return 1.0;
+    return 2.0;
+  }
+
+  /// Bytes this representation occupies on disk, per the paper's accounting:
+  /// 16 bytes per coefficient, +2 per coefficient for best-k positions,
+  /// +8 for the middle coefficient or the stored error.
+  size_t StorageBytes() const;
+
+  /// Reconstructs the time-domain sequence using only the retained bins
+  /// (Figure 5's reconstruction quality experiment). The middle coefficient,
+  /// when stored, participates.
+  Result<std::vector<double>> Reconstruct() const;
+
+ private:
+  ReprKind kind_ = ReprKind::kBestKError;
+  Basis basis_ = Basis::kFourierHalf;
+  uint32_t n_ = 0;
+  std::vector<uint32_t> positions_;
+  std::vector<Complex> coeffs_;
+  double error_ = 0.0;
+  double min_power_ = 0.0;
+};
+
+}  // namespace s2::repr
+
+#endif  // S2_REPR_COMPRESSED_H_

@@ -1,0 +1,150 @@
+#include "repr/feature_store.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <memory>
+
+namespace s2::repr {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', '2', 'F', 'E', 'A', 'T', '0', '1'};
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+template <typename T>
+bool WriteScalar(std::FILE* f, T value) {
+  return std::fwrite(&value, sizeof(T), 1, f) == 1;
+}
+
+template <typename T>
+bool ReadScalar(std::FILE* f, T* value) {
+  return std::fread(value, sizeof(T), 1, f) == 1;
+}
+
+uint8_t KindToByte(ReprKind kind) { return static_cast<uint8_t>(kind); }
+
+Result<ReprKind> KindFromByte(uint8_t byte) {
+  switch (byte) {
+    case 0:
+      return ReprKind::kFirstKMiddle;
+    case 1:
+      return ReprKind::kFirstKError;
+    case 2:
+      return ReprKind::kBestKMiddle;
+    case 3:
+      return ReprKind::kBestKError;
+  }
+  return Status::IoError("feature store: unknown representation kind");
+}
+
+}  // namespace
+
+Status WriteFeatures(const std::string& path,
+                     const std::vector<CompressedSpectrum>& features) {
+  FilePtr file(std::fopen(path.c_str(), "wb"));
+  if (file == nullptr) {
+    return Status::IoError("WriteFeatures: cannot create " + path);
+  }
+  std::FILE* f = file.get();
+  if (std::fwrite(kMagic, 1, sizeof(kMagic), f) != sizeof(kMagic) ||
+      !WriteScalar<uint64_t>(f, features.size())) {
+    return Status::IoError("WriteFeatures: short write");
+  }
+  for (const CompressedSpectrum& feature : features) {
+    S2_RETURN_NOT_OK(WriteFeatureRecord(f, feature));
+  }
+  return Status::OK();
+}
+
+Status WriteFeatureRecord(std::FILE* f, const CompressedSpectrum& feature) {
+  if (feature.positions().size() > std::numeric_limits<uint16_t>::max()) {
+    return Status::InvalidArgument("WriteFeatureRecord: too many positions");
+  }
+  bool ok = WriteScalar(f, KindToByte(feature.kind())) &&
+            WriteScalar<uint8_t>(f, static_cast<uint8_t>(feature.basis())) &&
+            WriteScalar(f, feature.n()) &&
+            WriteScalar<uint16_t>(
+                f, static_cast<uint16_t>(feature.positions().size()));
+  for (uint32_t position : feature.positions()) {
+    ok = ok && WriteScalar<uint16_t>(f, static_cast<uint16_t>(position));
+  }
+  for (const Complex& coeff : feature.coeffs()) {
+    ok = ok && WriteScalar(f, coeff.real()) && WriteScalar(f, coeff.imag());
+  }
+  ok = ok && WriteScalar(f, feature.error()) && WriteScalar(f, feature.min_power());
+  if (!ok) return Status::IoError("WriteFeatureRecord: short write");
+  return Status::OK();
+}
+
+Result<CompressedSpectrum> ReadFeatureRecord(std::FILE* f) {
+  uint8_t kind_byte = 0;
+  uint8_t basis_byte = 0;
+  uint32_t n = 0;
+  uint16_t position_count = 0;
+  if (!ReadScalar(f, &kind_byte) || !ReadScalar(f, &basis_byte) ||
+      !ReadScalar(f, &n) || !ReadScalar(f, &position_count)) {
+    return Status::IoError("ReadFeatureRecord: truncated feature header");
+  }
+  S2_ASSIGN_OR_RETURN(ReprKind kind, KindFromByte(kind_byte));
+  if (basis_byte > 1) return Status::IoError("ReadFeatureRecord: unknown basis");
+  const Basis basis = static_cast<Basis>(basis_byte);
+
+  std::vector<uint32_t> positions(position_count);
+  for (uint16_t p = 0; p < position_count; ++p) {
+    uint16_t position = 0;
+    if (!ReadScalar(f, &position)) {
+      return Status::IoError("ReadFeatureRecord: truncated positions");
+    }
+    positions[p] = position;
+  }
+  std::vector<Complex> coeffs(position_count);
+  for (uint16_t p = 0; p < position_count; ++p) {
+    double re = 0;
+    double im = 0;
+    if (!ReadScalar(f, &re) || !ReadScalar(f, &im)) {
+      return Status::IoError("ReadFeatureRecord: truncated coefficients");
+    }
+    coeffs[p] = Complex(re, im);
+  }
+  double error = 0;
+  double min_power = 0;
+  if (!ReadScalar(f, &error) || !ReadScalar(f, &min_power)) {
+    return Status::IoError("ReadFeatureRecord: truncated footer");
+  }
+  // NaN error / infinite min_power round-trip through FromParts defaults.
+  if (std::isnan(error)) error = 0.0;
+  if (std::isinf(min_power)) min_power = 0.0;
+  return CompressedSpectrum::FromParts(kind, n, std::move(positions),
+                                       std::move(coeffs), error, min_power, basis);
+}
+
+Result<std::vector<CompressedSpectrum>> ReadFeatures(const std::string& path) {
+  FilePtr file(std::fopen(path.c_str(), "rb"));
+  if (file == nullptr) return Status::IoError("ReadFeatures: cannot open " + path);
+  std::FILE* f = file.get();
+
+  char magic[sizeof(kMagic)];
+  uint64_t count = 0;
+  if (std::fread(magic, 1, sizeof(magic), f) != sizeof(magic) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0 || !ReadScalar(f, &count)) {
+    return Status::IoError("ReadFeatures: bad header in " + path);
+  }
+
+  std::vector<CompressedSpectrum> features;
+  features.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    S2_ASSIGN_OR_RETURN(CompressedSpectrum feature, ReadFeatureRecord(f));
+    features.push_back(std::move(feature));
+  }
+  return features;
+}
+
+}  // namespace s2::repr

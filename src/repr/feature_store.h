@@ -1,0 +1,42 @@
+#ifndef S2_REPR_FEATURE_STORE_H_
+#define S2_REPR_FEATURE_STORE_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "repr/compressed.h"
+
+namespace s2::repr {
+
+/// Binary persistence for compressed spectral features.
+///
+/// The paper's S2 tool keeps "the compressed features ... stored locally for
+/// faster access" and achieves realtime responses for 80000+ sequences from
+/// them. These functions serialize a feature set so an index can be reloaded
+/// without re-running the DFT over the raw corpus.
+///
+/// Format (native endianness):
+///   magic "S2FEAT01" | u64 feature_count
+///   per feature: u8 kind | u32 n | u16 position_count |
+///                u16 positions[] | double (re, im) pairs[] |
+///                double error | double min_power
+///
+/// Positions use 2 bytes each, matching the paper's Table 1 accounting
+/// (best coefficients cost 16+2 bytes).
+Status WriteFeatures(const std::string& path,
+                     const std::vector<CompressedSpectrum>& features);
+
+/// Reads a feature set previously written by `WriteFeatures`.
+Result<std::vector<CompressedSpectrum>> ReadFeatures(const std::string& path);
+
+/// Record-level primitives for embedding single features inside other file
+/// formats (used by the VP-tree serializer). `file` must be positioned at
+/// the record boundary.
+Status WriteFeatureRecord(std::FILE* file, const CompressedSpectrum& feature);
+Result<CompressedSpectrum> ReadFeatureRecord(std::FILE* file);
+
+}  // namespace s2::repr
+
+#endif  // S2_REPR_FEATURE_STORE_H_

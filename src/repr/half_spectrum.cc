@@ -1,0 +1,93 @@
+#include "repr/half_spectrum.h"
+
+#include <cmath>
+
+#include "dsp/wavelet.h"
+
+namespace s2::repr {
+
+Result<HalfSpectrum> HalfSpectrum::FromSeries(const std::vector<double>& x) {
+  S2_ASSIGN_OR_RETURN(std::vector<Complex> full, dsp::ForwardDft(x));
+  const size_t bins = x.size() / 2 + 1;
+  full.resize(bins);
+  return HalfSpectrum(static_cast<uint32_t>(x.size()), std::move(full),
+                      Basis::kFourierHalf);
+}
+
+Result<HalfSpectrum> HalfSpectrum::FromParts(uint32_t n, std::vector<Complex> coeffs) {
+  if (n == 0) return Status::InvalidArgument("HalfSpectrum: n must be > 0");
+  if (coeffs.size() != static_cast<size_t>(n / 2 + 1)) {
+    return Status::InvalidArgument("HalfSpectrum: expected n/2+1 coefficients");
+  }
+  return HalfSpectrum(n, std::move(coeffs), Basis::kFourierHalf);
+}
+
+Result<HalfSpectrum> HalfSpectrum::FromOrthonormalReal(std::vector<double> coeffs) {
+  if (coeffs.empty()) {
+    return Status::InvalidArgument("HalfSpectrum: empty coefficient vector");
+  }
+  std::vector<Complex> complex_coeffs;
+  complex_coeffs.reserve(coeffs.size());
+  for (double c : coeffs) complex_coeffs.emplace_back(c, 0.0);
+  return HalfSpectrum(static_cast<uint32_t>(coeffs.size()),
+                      std::move(complex_coeffs), Basis::kOrthonormalReal);
+}
+
+Result<HalfSpectrum> HalfSpectrum::FromSeriesInBasis(const std::vector<double>& x,
+                                                     Basis basis) {
+  switch (basis) {
+    case Basis::kFourierHalf:
+      return FromSeries(x);
+    case Basis::kOrthonormalReal: {
+      S2_ASSIGN_OR_RETURN(std::vector<double> coeffs, dsp::HaarForward(x));
+      return FromOrthonormalReal(std::move(coeffs));
+    }
+  }
+  return Status::InvalidArgument("HalfSpectrum: unknown basis");
+}
+
+double HalfSpectrum::Energy() const {
+  double energy = 0.0;
+  for (size_t k = 0; k < coeffs_.size(); ++k) {
+    energy += multiplicity(k) * std::norm(coeffs_[k]);
+  }
+  return energy;
+}
+
+Result<double> HalfSpectrum::DistanceTo(const HalfSpectrum& other) const {
+  if (n_ != other.n_ || basis_ != other.basis_) {
+    return Status::InvalidArgument("HalfSpectrum::DistanceTo: shape/basis mismatch");
+  }
+  double sum = 0.0;
+  for (size_t k = 0; k < coeffs_.size(); ++k) {
+    sum += multiplicity(k) * std::norm(coeffs_[k] - other.coeffs_[k]);
+  }
+  return std::sqrt(sum);
+}
+
+Result<std::vector<double>> HalfSpectrum::ReconstructFrom(
+    const std::vector<uint32_t>& kept) const {
+  if (basis_ == Basis::kOrthonormalReal) {
+    std::vector<double> sparse(n_, 0.0);
+    for (uint32_t k : kept) {
+      if (k >= coeffs_.size()) {
+        return Status::InvalidArgument("ReconstructFrom: bin position out of range");
+      }
+      sparse[k] = coeffs_[k].real();
+    }
+    return dsp::HaarInverse(sparse);
+  }
+  std::vector<Complex> full(n_, Complex(0, 0));
+  for (uint32_t k : kept) {
+    if (k >= coeffs_.size()) {
+      return Status::InvalidArgument("ReconstructFrom: bin position out of range");
+    }
+    full[k] = coeffs_[k];
+    if (k != 0 && !(n_ % 2 == 0 && k == n_ / 2)) {
+      full[n_ - k] = std::conj(coeffs_[k]);
+    }
+  }
+  return dsp::InverseDftReal(full);
+}
+
+}  // namespace s2::repr

@@ -1,0 +1,107 @@
+#ifndef S2_REPR_HALF_SPECTRUM_H_
+#define S2_REPR_HALF_SPECTRUM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "dsp/fft.h"
+
+namespace s2::repr {
+
+using dsp::Complex;
+
+/// Which orthonormal decomposition a spectrum's coefficients come from.
+///
+/// The bound algorithms of Section 3 only require that Euclidean distance be
+/// preserved by the decomposition, so they run unchanged on any orthonormal
+/// basis (the paper: "can be adapted to any class of orthogonal
+/// decompositions ... with minimal or no adjustments").
+enum class Basis {
+  /// Conjugate-symmetric half of the normalized DFT; interior bins carry
+  /// multiplicity 2.
+  kFourierHalf,
+  /// A real orthonormal transform (e.g. the Haar DWT of dsp/wavelet.h); all
+  /// coefficients carry multiplicity 1 and zero imaginary part.
+  kOrthonormalReal,
+};
+
+/// The non-redundant half of a real sequence's normalized DFT.
+///
+/// For a real sequence of length N the spectrum is conjugate-symmetric:
+/// `X[k] == conj(X[N-k])`. Retaining bins `k = 0 .. floor(N/2)` loses
+/// nothing; a bin's *multiplicity* says how many full-spectrum coefficients
+/// it stands for (1 for DC and — when N is even — the Nyquist bin, else 2).
+/// Parseval for the normalized transform gives
+///   `sum_k multiplicity(k) * |X[k]|^2 == sum_n x[n]^2`,
+/// so Euclidean distances computed with multiplicity weights in this domain
+/// equal time-domain distances exactly. All compressed representations and
+/// distance bounds in this module work in this weighted half-spectrum space;
+/// it is the "exploit the symmetric property" trick of Rafiei et al. that
+/// the paper's storage accounting (Section 7.1) relies on.
+class HalfSpectrum {
+ public:
+  /// Computes the half spectrum of `x` (any length >= 1).
+  static Result<HalfSpectrum> FromSeries(const std::vector<double>& x);
+
+  /// Builds from raw parts; `coeffs.size()` must equal `n/2 + 1`.
+  static Result<HalfSpectrum> FromParts(uint32_t n, std::vector<Complex> coeffs);
+
+  /// Wraps the coefficients of a real orthonormal transform (multiplicity 1
+  /// everywhere). `n` equals the coefficient count.
+  static Result<HalfSpectrum> FromOrthonormalReal(std::vector<double> coeffs);
+
+  /// Transforms `x` into the requested basis: the normalized DFT for
+  /// kFourierHalf, the Haar DWT (power-of-two lengths only) for
+  /// kOrthonormalReal.
+  static Result<HalfSpectrum> FromSeriesInBasis(const std::vector<double>& x,
+                                                Basis basis);
+
+  /// The decomposition this spectrum lives in.
+  Basis basis() const { return basis_; }
+
+  /// Original (time-domain) sequence length.
+  uint32_t n() const { return n_; }
+
+  /// Number of retained bins, `n/2 + 1`.
+  size_t num_bins() const { return coeffs_.size(); }
+
+  /// Coefficient at bin `k`.
+  const Complex& coeff(size_t k) const { return coeffs_[k]; }
+  const std::vector<Complex>& coeffs() const { return coeffs_; }
+
+  /// How many full-spectrum coefficients bin `k` represents (1 or 2).
+  double multiplicity(size_t k) const {
+    if (basis_ == Basis::kOrthonormalReal) return 1.0;
+    if (k == 0) return 1.0;
+    if (n_ % 2 == 0 && k == static_cast<size_t>(n_ / 2)) return 1.0;
+    return 2.0;
+  }
+
+  /// Total signal energy `sum_k m_k |X_k|^2` (== time-domain energy).
+  double Energy() const;
+
+  /// Exact Euclidean distance to another half spectrum of the same shape
+  /// (equals the time-domain Euclidean distance of the two sequences).
+  Result<double> DistanceTo(const HalfSpectrum& other) const;
+
+  /// Reconstructs the time-domain sequence keeping only the bins listed in
+  /// `kept` (all other bins zeroed). Fourier spectra are mirrored into a
+  /// full conjugate-symmetric spectrum and inverted with the FFT; real-basis
+  /// spectra are inverted with the Haar DWT. Passing all bins reproduces the
+  /// original sequence up to round-off. Out-of-range positions yield
+  /// InvalidArgument.
+  Result<std::vector<double>> ReconstructFrom(const std::vector<uint32_t>& kept) const;
+
+ private:
+  HalfSpectrum(uint32_t n, std::vector<Complex> coeffs, Basis basis)
+      : n_(n), coeffs_(std::move(coeffs)), basis_(basis) {}
+
+  uint32_t n_;
+  std::vector<Complex> coeffs_;
+  Basis basis_ = Basis::kFourierHalf;
+};
+
+}  // namespace s2::repr
+
+#endif  // S2_REPR_HALF_SPECTRUM_H_

@@ -1,0 +1,417 @@
+#ifndef S2_STORAGE_BPTREE_H_
+#define S2_STORAGE_BPTREE_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace s2::storage {
+
+/// An in-memory B+-tree with multimap semantics.
+///
+/// This is the index structure the paper's burst store relies on ("This
+/// procedure is extremely efficient, if we create an index (basically a
+/// B-tree) on the startDate and endDate attributes", Section 6.3). Values
+/// live only in the leaves; leaves are forward-chained so range scans are a
+/// single descent plus a linked-list walk.
+///
+/// * Duplicate keys are allowed (multimap semantics).
+/// * `Order` is the maximum number of keys per node; nodes split at
+///   `Order` and rebalance (borrow/merge) below `Order / 2`.
+/// * Not thread-safe; external synchronization is required for concurrent
+///   mutation.
+///
+/// `Key` must be totally ordered by `<`; `Value` must be copyable.
+template <typename Key, typename Value, size_t Order = 64>
+class BPlusTree {
+  static_assert(Order >= 4, "BPlusTree requires Order >= 4");
+
+ public:
+  BPlusTree() : root_(std::make_unique<Node>(/*leaf=*/true)) {}
+
+  BPlusTree(const BPlusTree&) = delete;
+  BPlusTree& operator=(const BPlusTree&) = delete;
+  BPlusTree(BPlusTree&&) noexcept = default;
+  BPlusTree& operator=(BPlusTree&&) noexcept = default;
+
+  /// Inserts a (key, value) pair. Duplicate keys are kept; equal keys are
+  /// stored adjacently in insertion-independent (key-sorted) order.
+  void Insert(const Key& key, const Value& value) {
+    SplitResult split = InsertInto(root_.get(), key, value);
+    if (split.happened) {
+      auto new_root = std::make_unique<Node>(/*leaf=*/false);
+      new_root->keys.push_back(split.separator);
+      new_root->children.push_back(std::move(root_));
+      new_root->children.push_back(std::move(split.right));
+      root_ = std::move(new_root);
+    }
+    ++size_;
+  }
+
+  /// Erases one pair matching (key, value). Returns true if a pair was
+  /// removed. With duplicate keys, exactly one matching occurrence goes.
+  bool Erase(const Key& key, const Value& value) {
+    if (!EraseFrom(root_.get(), key, value)) return false;
+    // Collapse a root that lost its last separator.
+    if (!root_->leaf && root_->children.size() == 1) {
+      root_ = std::move(root_->children.front());
+    }
+    --size_;
+    return true;
+  }
+
+  /// Number of stored pairs.
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// True iff at least one pair has exactly this key.
+  bool Contains(const Key& key) const {
+    bool found = false;
+    Scan(key, key, [&found](const Key&, const Value&) {
+      found = true;
+      return false;  // Stop at the first hit.
+    });
+    return found;
+  }
+
+  /// Number of pairs with exactly this key.
+  size_t Count(const Key& key) const {
+    size_t n = 0;
+    Scan(key, key, [&n](const Key&, const Value&) {
+      ++n;
+      return true;
+    });
+    return n;
+  }
+
+  /// Visits all pairs with `lo <= key <= hi` in key order.
+  /// `fn(key, value)` returns false to stop early.
+  template <typename Fn>
+  void Scan(const Key& lo, const Key& hi, Fn&& fn) const {
+    const Node* leaf = DescendToLeaf(lo);
+    size_t idx = static_cast<size_t>(
+        std::lower_bound(leaf->keys.begin(), leaf->keys.end(), lo) -
+        leaf->keys.begin());
+    while (leaf != nullptr) {
+      for (; idx < leaf->keys.size(); ++idx) {
+        if (hi < leaf->keys[idx]) return;
+        if (!fn(leaf->keys[idx], leaf->values[idx])) return;
+      }
+      leaf = leaf->next;
+      idx = 0;
+    }
+  }
+
+  /// Visits all pairs with `key >= lo` in key order.
+  template <typename Fn>
+  void ScanFrom(const Key& lo, Fn&& fn) const {
+    const Node* leaf = DescendToLeaf(lo);
+    size_t idx = static_cast<size_t>(
+        std::lower_bound(leaf->keys.begin(), leaf->keys.end(), lo) -
+        leaf->keys.begin());
+    while (leaf != nullptr) {
+      for (; idx < leaf->keys.size(); ++idx) {
+        if (!fn(leaf->keys[idx], leaf->values[idx])) return;
+      }
+      leaf = leaf->next;
+      idx = 0;
+    }
+  }
+
+  /// Visits every pair in key order.
+  template <typename Fn>
+  void ScanAll(Fn&& fn) const {
+    const Node* leaf = LeftmostLeaf();
+    while (leaf != nullptr) {
+      for (size_t i = 0; i < leaf->keys.size(); ++i) {
+        if (!fn(leaf->keys[i], leaf->values[i])) return;
+      }
+      leaf = leaf->next;
+    }
+  }
+
+  /// Tree height (1 for a lone leaf). For diagnostics and tests.
+  size_t Height() const {
+    size_t h = 1;
+    const Node* node = root_.get();
+    while (!node->leaf) {
+      node = node->children.front().get();
+      ++h;
+    }
+    return h;
+  }
+
+  /// Validates all structural invariants (sortedness, fill factors,
+  /// separator consistency, leaf chaining). Tests call this after random
+  /// workloads; returns false on any violation.
+  bool CheckInvariants() const {
+    const Key* prev_leaf_key = nullptr;
+    const Node* expected_next = nullptr;
+    return CheckNode(root_.get(), /*is_root=*/true, nullptr, nullptr,
+                     &prev_leaf_key, &expected_next) &&
+           CountPairs(root_.get()) == size_;
+  }
+
+ private:
+  struct Node {
+    explicit Node(bool is_leaf) : leaf(is_leaf) {}
+    bool leaf;
+    std::vector<Key> keys;
+    // Leaf payloads; empty for internal nodes.
+    std::vector<Value> values;
+    // Children of internal nodes; empty for leaves. children.size() ==
+    // keys.size() + 1. All keys in children[i] are <= keys[i] (duplicates of
+    // a separator may live on its left), and all keys in children[i+1] are
+    // >= keys[i].
+    std::vector<std::unique_ptr<Node>> children;
+    // Leaf chain.
+    Node* next = nullptr;
+  };
+
+  struct SplitResult {
+    bool happened = false;
+    Key separator{};
+    std::unique_ptr<Node> right;
+  };
+
+  // Minimum keys in a non-root node. (Order-1)/2 guarantees that merging an
+  // underflowed node with a minimally-filled sibling (plus, for internal
+  // nodes, the separator pulled down from the parent) never exceeds the
+  // Order-1 post-split maximum.
+  static constexpr size_t kMinKeys = (Order - 1) / 2;
+
+  const Node* LeftmostLeaf() const {
+    const Node* node = root_.get();
+    while (!node->leaf) node = node->children.front().get();
+    return node;
+  }
+
+  // Finds the leftmost leaf that can contain keys >= lo.
+  const Node* DescendToLeaf(const Key& lo) const {
+    const Node* node = root_.get();
+    while (!node->leaf) {
+      const size_t idx = static_cast<size_t>(
+          std::lower_bound(node->keys.begin(), node->keys.end(), lo) -
+          node->keys.begin());
+      node = node->children[idx].get();
+    }
+    return node;
+  }
+
+  SplitResult InsertInto(Node* node, const Key& key, const Value& value) {
+    if (node->leaf) {
+      const size_t pos = static_cast<size_t>(
+          std::upper_bound(node->keys.begin(), node->keys.end(), key) -
+          node->keys.begin());
+      node->keys.insert(node->keys.begin() + static_cast<ptrdiff_t>(pos), key);
+      node->values.insert(node->values.begin() + static_cast<ptrdiff_t>(pos), value);
+      return MaybeSplit(node);
+    }
+    const size_t idx = static_cast<size_t>(
+        std::upper_bound(node->keys.begin(), node->keys.end(), key) -
+        node->keys.begin());
+    SplitResult child_split = InsertInto(node->children[idx].get(), key, value);
+    if (child_split.happened) {
+      node->keys.insert(node->keys.begin() + static_cast<ptrdiff_t>(idx),
+                        child_split.separator);
+      node->children.insert(node->children.begin() + static_cast<ptrdiff_t>(idx) + 1,
+                            std::move(child_split.right));
+    }
+    return MaybeSplit(node);
+  }
+
+  SplitResult MaybeSplit(Node* node) {
+    SplitResult result;
+    if (node->keys.size() < Order) return result;
+
+    const size_t mid = node->keys.size() / 2;
+    auto right = std::make_unique<Node>(node->leaf);
+    if (node->leaf) {
+      right->keys.assign(node->keys.begin() + static_cast<ptrdiff_t>(mid),
+                         node->keys.end());
+      right->values.assign(node->values.begin() + static_cast<ptrdiff_t>(mid),
+                           node->values.end());
+      node->keys.resize(mid);
+      node->values.resize(mid);
+      right->next = node->next;
+      node->next = right.get();
+      result.separator = right->keys.front();
+    } else {
+      // The middle key moves up; it does not stay in either half.
+      result.separator = node->keys[mid];
+      right->keys.assign(node->keys.begin() + static_cast<ptrdiff_t>(mid) + 1,
+                         node->keys.end());
+      right->children.reserve(node->children.size() - mid - 1);
+      for (size_t i = mid + 1; i < node->children.size(); ++i) {
+        right->children.push_back(std::move(node->children[i]));
+      }
+      node->keys.resize(mid);
+      node->children.resize(mid + 1);
+    }
+    result.happened = true;
+    result.right = std::move(right);
+    return result;
+  }
+
+  bool EraseFrom(Node* node, const Key& key, const Value& value) {
+    if (node->leaf) {
+      // Duplicates of `key` sit in a contiguous run; remove the first pair
+      // whose value matches.
+      auto first = std::lower_bound(node->keys.begin(), node->keys.end(), key);
+      for (auto it = first; it != node->keys.end() && !(key < *it); ++it) {
+        const size_t i = static_cast<size_t>(it - node->keys.begin());
+        if (node->values[i] == value) {
+          node->keys.erase(it);
+          node->values.erase(node->values.begin() + static_cast<ptrdiff_t>(i));
+          return true;
+        }
+      }
+      return false;
+    }
+    // Duplicates of `key` may straddle several children: try each child that
+    // could contain the key, from the first candidate to the last.
+    const size_t first_idx = static_cast<size_t>(
+        std::lower_bound(node->keys.begin(), node->keys.end(), key) -
+        node->keys.begin());
+    const size_t last_idx = static_cast<size_t>(
+        std::upper_bound(node->keys.begin(), node->keys.end(), key) -
+        node->keys.begin());
+    for (size_t idx = first_idx; idx <= last_idx; ++idx) {
+      if (EraseFrom(node->children[idx].get(), key, value)) {
+        RebalanceChild(node, idx);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void RebalanceChild(Node* parent, size_t idx) {
+    Node* child = parent->children[idx].get();
+    if (child->keys.size() >= kMinKeys) return;
+    // A leaf root may legitimately hold fewer than kMinKeys; handled by the
+    // caller (root collapse).
+
+    Node* left = idx > 0 ? parent->children[idx - 1].get() : nullptr;
+    Node* right = idx + 1 < parent->children.size() ? parent->children[idx + 1].get()
+                                                    : nullptr;
+
+    if (left != nullptr && left->keys.size() > kMinKeys) {
+      BorrowFromLeft(parent, idx, left, child);
+      return;
+    }
+    if (right != nullptr && right->keys.size() > kMinKeys) {
+      BorrowFromRight(parent, idx, child, right);
+      return;
+    }
+    if (left != nullptr) {
+      MergeChildren(parent, idx - 1);
+    } else if (right != nullptr) {
+      MergeChildren(parent, idx);
+    }
+  }
+
+  void BorrowFromLeft(Node* parent, size_t idx, Node* left, Node* child) {
+    if (child->leaf) {
+      child->keys.insert(child->keys.begin(), left->keys.back());
+      child->values.insert(child->values.begin(), left->values.back());
+      left->keys.pop_back();
+      left->values.pop_back();
+      parent->keys[idx - 1] = child->keys.front();
+    } else {
+      // Rotate through the separator.
+      child->keys.insert(child->keys.begin(), parent->keys[idx - 1]);
+      parent->keys[idx - 1] = left->keys.back();
+      left->keys.pop_back();
+      child->children.insert(child->children.begin(),
+                             std::move(left->children.back()));
+      left->children.pop_back();
+    }
+  }
+
+  void BorrowFromRight(Node* parent, size_t idx, Node* child, Node* right) {
+    if (child->leaf) {
+      child->keys.push_back(right->keys.front());
+      child->values.push_back(right->values.front());
+      right->keys.erase(right->keys.begin());
+      right->values.erase(right->values.begin());
+      parent->keys[idx] = right->keys.front();
+    } else {
+      child->keys.push_back(parent->keys[idx]);
+      parent->keys[idx] = right->keys.front();
+      right->keys.erase(right->keys.begin());
+      child->children.push_back(std::move(right->children.front()));
+      right->children.erase(right->children.begin());
+    }
+  }
+
+  // Merges children[i+1] into children[i] and drops separator keys[i].
+  void MergeChildren(Node* parent, size_t i) {
+    Node* left = parent->children[i].get();
+    Node* right = parent->children[i + 1].get();
+    if (left->leaf) {
+      left->keys.insert(left->keys.end(), right->keys.begin(), right->keys.end());
+      left->values.insert(left->values.end(), right->values.begin(),
+                          right->values.end());
+      left->next = right->next;
+    } else {
+      left->keys.push_back(parent->keys[i]);
+      left->keys.insert(left->keys.end(), right->keys.begin(), right->keys.end());
+      for (auto& grandchild : right->children) {
+        left->children.push_back(std::move(grandchild));
+      }
+    }
+    parent->keys.erase(parent->keys.begin() + static_cast<ptrdiff_t>(i));
+    parent->children.erase(parent->children.begin() + static_cast<ptrdiff_t>(i) + 1);
+  }
+
+  size_t CountPairs(const Node* node) const {
+    if (node->leaf) return node->keys.size();
+    size_t total = 0;
+    for (const auto& child : node->children) total += CountPairs(child.get());
+    return total;
+  }
+
+  bool CheckNode(const Node* node, bool is_root, const Key* lower,
+                 const Key* upper, const Key** prev_leaf_key,
+                 const Node** expected_next) const {
+    if (!std::is_sorted(node->keys.begin(), node->keys.end())) return false;
+    if (node->keys.size() > Order - 1) return false;
+    if (!is_root && node->keys.size() < kMinKeys) return false;
+    // Bound checks: every key must respect the separator window.
+    for (const Key& k : node->keys) {
+      if (lower != nullptr && k < *lower) return false;
+      if (upper != nullptr && *upper < k) return false;
+    }
+    if (node->leaf) {
+      if (node->values.size() != node->keys.size()) return false;
+      // Global leaf-key ordering via the chain.
+      for (const Key& k : node->keys) {
+        if (*prev_leaf_key != nullptr && k < **prev_leaf_key) return false;
+        *prev_leaf_key = &k;
+      }
+      if (*expected_next != nullptr && node != *expected_next) return false;
+      *expected_next = node->next;
+      return true;
+    }
+    if (node->children.size() != node->keys.size() + 1) return false;
+    for (size_t i = 0; i < node->children.size(); ++i) {
+      const Key* lo = i == 0 ? lower : &node->keys[i - 1];
+      const Key* hi = i == node->keys.size() ? upper : &node->keys[i];
+      if (!CheckNode(node->children[i].get(), false, lo, hi, prev_leaf_key,
+                     expected_next)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  std::unique_ptr<Node> root_;
+  size_t size_ = 0;
+};
+
+}  // namespace s2::storage
+
+#endif  // S2_STORAGE_BPTREE_H_

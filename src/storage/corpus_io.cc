@@ -1,0 +1,90 @@
+#include "storage/corpus_io.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+namespace s2::storage {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', '2', 'C', 'O', 'R', 'P', '0', '1'};
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+template <typename T>
+bool WriteScalar(std::FILE* f, T value) {
+  return std::fwrite(&value, sizeof(T), 1, f) == 1;
+}
+
+template <typename T>
+bool ReadScalar(std::FILE* f, T* value) {
+  return std::fread(value, sizeof(T), 1, f) == 1;
+}
+
+}  // namespace
+
+Status WriteCorpus(const std::string& path, const ts::Corpus& corpus) {
+  FilePtr file(std::fopen(path.c_str(), "wb"));
+  if (file == nullptr) return Status::IoError("WriteCorpus: cannot create " + path);
+  std::FILE* f = file.get();
+
+  if (std::fwrite(kMagic, 1, sizeof(kMagic), f) != sizeof(kMagic) ||
+      !WriteScalar<uint64_t>(f, corpus.size())) {
+    return Status::IoError("WriteCorpus: short write");
+  }
+  for (const ts::TimeSeries& series : corpus.series()) {
+    const uint32_t name_length = static_cast<uint32_t>(series.name.size());
+    const uint64_t value_count = series.values.size();
+    const bool ok =
+        WriteScalar(f, name_length) &&
+        std::fwrite(series.name.data(), 1, name_length, f) == name_length &&
+        WriteScalar(f, series.start_day) && WriteScalar(f, value_count) &&
+        std::fwrite(series.values.data(), sizeof(double), series.values.size(), f) ==
+            series.values.size();
+    if (!ok) return Status::IoError("WriteCorpus: short write");
+  }
+  return Status::OK();
+}
+
+Result<ts::Corpus> ReadCorpus(const std::string& path) {
+  FilePtr file(std::fopen(path.c_str(), "rb"));
+  if (file == nullptr) return Status::IoError("ReadCorpus: cannot open " + path);
+  std::FILE* f = file.get();
+
+  char magic[sizeof(kMagic)];
+  uint64_t count = 0;
+  if (std::fread(magic, 1, sizeof(magic), f) != sizeof(magic) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0 || !ReadScalar(f, &count)) {
+    return Status::IoError("ReadCorpus: bad header in " + path);
+  }
+  ts::Corpus corpus;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint32_t name_length = 0;
+    if (!ReadScalar(f, &name_length) || name_length > (1u << 20)) {
+      return Status::IoError("ReadCorpus: corrupt series header");
+    }
+    ts::TimeSeries series;
+    series.name.resize(name_length);
+    uint64_t value_count = 0;
+    if (std::fread(series.name.data(), 1, name_length, f) != name_length ||
+        !ReadScalar(f, &series.start_day) || !ReadScalar(f, &value_count) ||
+        value_count > (1ull << 32)) {
+      return Status::IoError("ReadCorpus: corrupt series header");
+    }
+    series.values.resize(value_count);
+    if (std::fread(series.values.data(), sizeof(double), value_count, f) !=
+        value_count) {
+      return Status::IoError("ReadCorpus: truncated values");
+    }
+    corpus.Add(std::move(series));
+  }
+  return corpus;
+}
+
+}  // namespace s2::storage

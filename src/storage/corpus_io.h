@@ -1,0 +1,27 @@
+#ifndef S2_STORAGE_CORPUS_IO_H_
+#define S2_STORAGE_CORPUS_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "timeseries/time_series.h"
+
+namespace s2::storage {
+
+/// Binary serialization of a whole corpus (names, start days, daily counts).
+///
+/// Format (native endianness):
+///   magic "S2CORP01" | u64 series_count
+///   per series: u32 name_length | name bytes | i32 start_day |
+///               u64 value_count | doubles
+///
+/// The S2 tool keeps its sequence database on disk and reloads it across
+/// sessions; this is the corresponding library facility.
+Status WriteCorpus(const std::string& path, const ts::Corpus& corpus);
+
+/// Reads a corpus previously written by `WriteCorpus`.
+Result<ts::Corpus> ReadCorpus(const std::string& path);
+
+}  // namespace s2::storage
+
+#endif  // S2_STORAGE_CORPUS_IO_H_

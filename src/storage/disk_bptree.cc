@@ -1,0 +1,477 @@
+#include "storage/disk_bptree.h"
+
+#include <cstring>
+#include <vector>
+
+namespace s2::storage {
+
+namespace {
+
+// --- Meta page (page 0) ---------------------------------------------------
+constexpr char kMagic[8] = {'S', '2', 'B', 'P', 'T', 'R', '0', '1'};
+constexpr size_t kMetaMagicOffset = 0;
+constexpr size_t kMetaRootOffset = 8;
+constexpr size_t kMetaSizeOffset = 12;
+
+// --- Node pages -------------------------------------------------------------
+// header: u8 type | u8 pad | u16 count | PageId next
+constexpr uint8_t kLeafType = 1;
+constexpr uint8_t kInternalType = 2;
+constexpr size_t kTypeOffset = 0;
+constexpr size_t kCountOffset = 2;
+constexpr size_t kNextOffset = 4;
+constexpr size_t kPayloadOffset = 8;
+
+// Leaf payload: (i64 key, u64 value) pairs.
+constexpr size_t kLeafEntryBytes = 16;
+constexpr size_t kLeafCapacity = (kPageSize - kPayloadOffset) / kLeafEntryBytes;
+
+// Internal payload: child0 PageId, then (i64 key, PageId child) entries.
+constexpr size_t kInternalEntryBytes = 12;
+constexpr size_t kInternalCapacity =
+    (kPageSize - kPayloadOffset - sizeof(PageId)) / kInternalEntryBytes;
+
+template <typename T>
+T ReadAt(const char* page, size_t offset) {
+  T value;
+  std::memcpy(&value, page + offset, sizeof(T));
+  return value;
+}
+
+template <typename T>
+void WriteAt(char* page, size_t offset, T value) {
+  std::memcpy(page + offset, &value, sizeof(T));
+}
+
+uint8_t NodeType(const char* page) { return ReadAt<uint8_t>(page, kTypeOffset); }
+uint16_t Count(const char* page) { return ReadAt<uint16_t>(page, kCountOffset); }
+void SetCount(char* page, uint16_t count) { WriteAt(page, kCountOffset, count); }
+PageId Next(const char* page) { return ReadAt<PageId>(page, kNextOffset); }
+void SetNext(char* page, PageId next) { WriteAt(page, kNextOffset, next); }
+
+void InitNode(char* page, uint8_t type) {
+  std::memset(page, 0, kPageSize);
+  WriteAt<uint8_t>(page, kTypeOffset, type);
+  SetCount(page, 0);
+  SetNext(page, kInvalidPageId);
+}
+
+// Leaf accessors.
+int64_t LeafKey(const char* page, size_t i) {
+  return ReadAt<int64_t>(page, kPayloadOffset + i * kLeafEntryBytes);
+}
+uint64_t LeafValue(const char* page, size_t i) {
+  return ReadAt<uint64_t>(page, kPayloadOffset + i * kLeafEntryBytes + 8);
+}
+void SetLeafEntry(char* page, size_t i, int64_t key, uint64_t value) {
+  WriteAt(page, kPayloadOffset + i * kLeafEntryBytes, key);
+  WriteAt(page, kPayloadOffset + i * kLeafEntryBytes + 8, value);
+}
+
+// Internal accessors: children are indexed 0..count, keys 0..count-1.
+PageId Child(const char* page, size_t i) {
+  if (i == 0) return ReadAt<PageId>(page, kPayloadOffset);
+  return ReadAt<PageId>(
+      page, kPayloadOffset + sizeof(PageId) + (i - 1) * kInternalEntryBytes + 8);
+}
+void SetChild(char* page, size_t i, PageId child) {
+  if (i == 0) {
+    WriteAt(page, kPayloadOffset, child);
+  } else {
+    WriteAt(page,
+            kPayloadOffset + sizeof(PageId) + (i - 1) * kInternalEntryBytes + 8,
+            child);
+  }
+}
+int64_t InternalKey(const char* page, size_t i) {
+  return ReadAt<int64_t>(page,
+                         kPayloadOffset + sizeof(PageId) + i * kInternalEntryBytes);
+}
+void SetInternalKey(char* page, size_t i, int64_t key) {
+  WriteAt(page, kPayloadOffset + sizeof(PageId) + i * kInternalEntryBytes, key);
+}
+
+// First slot in a leaf with key >= target.
+size_t LeafLowerBound(const char* page, int64_t key) {
+  size_t lo = 0;
+  size_t hi = Count(page);
+  while (lo < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (LeafKey(page, mid) < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+// First slot in a leaf with key > target.
+size_t LeafUpperBound(const char* page, int64_t key) {
+  size_t lo = 0;
+  size_t hi = Count(page);
+  while (lo < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (LeafKey(page, mid) <= key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+// Child index for routing: inserts go right of equal separators.
+size_t RouteUpper(const char* page, int64_t key) {
+  size_t lo = 0;
+  size_t hi = Count(page);
+  while (lo < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (InternalKey(page, mid) <= key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+// Child index for scans: first separator >= key.
+size_t RouteLower(const char* page, int64_t key) {
+  size_t lo = 0;
+  size_t hi = Count(page);
+  while (lo < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (InternalKey(page, mid) < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+// RAII unpin guard.
+class Pin {
+ public:
+  Pin(Pager* pager, PageId id, char* data) : pager_(pager), id_(id), data_(data) {}
+  ~Pin() {
+    if (pager_ != nullptr) (void)pager_->Unpin(id_, dirty_);
+  }
+  Pin(const Pin&) = delete;
+  Pin& operator=(const Pin&) = delete;
+
+  char* data() { return data_; }
+  const char* data() const { return data_; }
+  void MarkDirty() { dirty_ = true; }
+  PageId id() const { return id_; }
+
+ private:
+  Pager* pager_;
+  PageId id_;
+  char* data_;
+  bool dirty_ = false;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<DiskBPlusTree>> DiskBPlusTree::Open(const std::string& path,
+                                                           size_t pool_pages) {
+  if (pool_pages < 8) {
+    return Status::InvalidArgument("DiskBPlusTree: pool_pages must be >= 8");
+  }
+  S2_ASSIGN_OR_RETURN(std::unique_ptr<Pager> pager, Pager::Open(path, pool_pages));
+  std::unique_ptr<DiskBPlusTree> tree(new DiskBPlusTree(std::move(pager)));
+  if (tree->pager_->num_pages() == 0) {
+    S2_RETURN_NOT_OK(tree->InitializeNewFile());
+  } else {
+    S2_RETURN_NOT_OK(tree->LoadMeta());
+  }
+  return tree;
+}
+
+Status DiskBPlusTree::InitializeNewFile() {
+  char* meta = nullptr;
+  S2_ASSIGN_OR_RETURN(PageId meta_id, pager_->Allocate(&meta));
+  if (meta_id != 0) return Status::Internal("DiskBPlusTree: meta page must be 0");
+  std::memcpy(meta + kMetaMagicOffset, kMagic, sizeof(kMagic));
+
+  char* root = nullptr;
+  S2_ASSIGN_OR_RETURN(PageId root_id, pager_->Allocate(&root));
+  InitNode(root, kLeafType);
+  S2_RETURN_NOT_OK(pager_->Unpin(root_id, /*dirty=*/true));
+
+  root_ = root_id;
+  size_ = 0;
+  WriteAt(meta, kMetaRootOffset, root_);
+  WriteAt(meta, kMetaSizeOffset, size_);
+  S2_RETURN_NOT_OK(pager_->Unpin(meta_id, /*dirty=*/true));
+  return pager_->FlushAll();
+}
+
+Status DiskBPlusTree::LoadMeta() {
+  S2_ASSIGN_OR_RETURN(char* meta, pager_->Fetch(0));
+  Pin pin(pager_.get(), 0, meta);
+  if (std::memcmp(meta + kMetaMagicOffset, kMagic, sizeof(kMagic)) != 0) {
+    return Status::IoError("DiskBPlusTree: bad magic");
+  }
+  root_ = ReadAt<PageId>(meta, kMetaRootOffset);
+  size_ = ReadAt<uint64_t>(meta, kMetaSizeOffset);
+  if (root_ == kInvalidPageId || root_ >= pager_->num_pages()) {
+    return Status::IoError("DiskBPlusTree: corrupt root pointer");
+  }
+  return Status::OK();
+}
+
+Status DiskBPlusTree::StoreMeta() {
+  S2_ASSIGN_OR_RETURN(char* meta, pager_->Fetch(0));
+  Pin pin(pager_.get(), 0, meta);
+  WriteAt(meta, kMetaRootOffset, root_);
+  WriteAt(meta, kMetaSizeOffset, size_);
+  pin.MarkDirty();
+  return Status::OK();
+}
+
+Result<DiskBPlusTree::SplitResult> DiskBPlusTree::InsertInto(PageId page_id,
+                                                             int64_t key,
+                                                             uint64_t value) {
+  S2_ASSIGN_OR_RETURN(char* page, pager_->Fetch(page_id));
+  Pin pin(pager_.get(), page_id, page);
+  SplitResult result;
+
+  if (NodeType(page) == kLeafType) {
+    const size_t count = Count(page);
+    const size_t pos = LeafUpperBound(page, key);
+    // Shift right and insert.
+    std::memmove(page + kPayloadOffset + (pos + 1) * kLeafEntryBytes,
+                 page + kPayloadOffset + pos * kLeafEntryBytes,
+                 (count - pos) * kLeafEntryBytes);
+    SetLeafEntry(page, pos, key, value);
+    SetCount(page, static_cast<uint16_t>(count + 1));
+    pin.MarkDirty();
+
+    if (count + 1 < kLeafCapacity) return result;
+
+    // Split the full leaf.
+    char* right = nullptr;
+    S2_ASSIGN_OR_RETURN(PageId right_id, pager_->Allocate(&right));
+    Pin right_pin(pager_.get(), right_id, right);
+    InitNode(right, kLeafType);
+    const size_t total = count + 1;
+    const size_t mid = total / 2;
+    std::memcpy(right + kPayloadOffset, page + kPayloadOffset + mid * kLeafEntryBytes,
+                (total - mid) * kLeafEntryBytes);
+    SetCount(right, static_cast<uint16_t>(total - mid));
+    SetNext(right, Next(page));
+    SetCount(page, static_cast<uint16_t>(mid));
+    SetNext(page, right_id);
+    right_pin.MarkDirty();
+
+    result.happened = true;
+    result.separator = LeafKey(right, 0);
+    result.right = right_id;
+    return result;
+  }
+
+  // Internal node.
+  const size_t idx = RouteUpper(page, key);
+  const PageId child = Child(page, idx);
+  S2_ASSIGN_OR_RETURN(SplitResult child_split, InsertInto(child, key, value));
+  if (!child_split.happened) return result;
+
+  const size_t count = Count(page);
+  // Shift entries right of idx and insert (separator, right child).
+  std::memmove(
+      page + kPayloadOffset + sizeof(PageId) + (idx + 1) * kInternalEntryBytes,
+      page + kPayloadOffset + sizeof(PageId) + idx * kInternalEntryBytes,
+      (count - idx) * kInternalEntryBytes);
+  SetInternalKey(page, idx, child_split.separator);
+  SetChild(page, idx + 1, child_split.right);
+  SetCount(page, static_cast<uint16_t>(count + 1));
+  pin.MarkDirty();
+
+  if (count + 1 < kInternalCapacity) return result;
+
+  // Split the full internal node; the middle key moves up.
+  char* right = nullptr;
+  S2_ASSIGN_OR_RETURN(PageId right_id, pager_->Allocate(&right));
+  Pin right_pin(pager_.get(), right_id, right);
+  InitNode(right, kInternalType);
+  const size_t total = count + 1;
+  const size_t mid = total / 2;
+  result.separator = InternalKey(page, mid);
+
+  SetChild(right, 0, Child(page, mid + 1));
+  for (size_t i = mid + 1; i < total; ++i) {
+    SetInternalKey(right, i - mid - 1, InternalKey(page, i));
+    SetChild(right, i - mid, Child(page, i + 1));
+  }
+  SetCount(right, static_cast<uint16_t>(total - mid - 1));
+  SetCount(page, static_cast<uint16_t>(mid));
+  right_pin.MarkDirty();
+
+  result.happened = true;
+  result.right = right_id;
+  return result;
+}
+
+Status DiskBPlusTree::Insert(int64_t key, uint64_t value) {
+  S2_ASSIGN_OR_RETURN(SplitResult split, InsertInto(root_, key, value));
+  if (split.happened) {
+    char* new_root = nullptr;
+    S2_ASSIGN_OR_RETURN(PageId new_root_id, pager_->Allocate(&new_root));
+    Pin pin(pager_.get(), new_root_id, new_root);
+    InitNode(new_root, kInternalType);
+    SetChild(new_root, 0, root_);
+    SetInternalKey(new_root, 0, split.separator);
+    SetChild(new_root, 1, split.right);
+    SetCount(new_root, 1);
+    pin.MarkDirty();
+    root_ = new_root_id;
+  }
+  ++size_;
+  return StoreMeta();
+}
+
+Result<bool> DiskBPlusTree::EraseFrom(PageId page_id, int64_t key, uint64_t value) {
+  S2_ASSIGN_OR_RETURN(char* page, pager_->Fetch(page_id));
+  Pin pin(pager_.get(), page_id, page);
+
+  if (NodeType(page) == kLeafType) {
+    const size_t count = Count(page);
+    for (size_t i = LeafLowerBound(page, key); i < count && LeafKey(page, i) == key;
+         ++i) {
+      if (LeafValue(page, i) == value) {
+        std::memmove(page + kPayloadOffset + i * kLeafEntryBytes,
+                     page + kPayloadOffset + (i + 1) * kLeafEntryBytes,
+                     (count - i - 1) * kLeafEntryBytes);
+        SetCount(page, static_cast<uint16_t>(count - 1));
+        pin.MarkDirty();
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Duplicates may straddle children: try every child that could hold key.
+  const size_t first = RouteLower(page, key);
+  const size_t last = RouteUpper(page, key);
+  for (size_t idx = first; idx <= last; ++idx) {
+    S2_ASSIGN_OR_RETURN(bool erased, EraseFrom(Child(page, idx), key, value));
+    if (erased) return true;
+  }
+  return false;
+}
+
+Result<bool> DiskBPlusTree::Erase(int64_t key, uint64_t value) {
+  S2_ASSIGN_OR_RETURN(bool erased, EraseFrom(root_, key, value));
+  if (erased) {
+    --size_;
+    S2_RETURN_NOT_OK(StoreMeta());
+  }
+  return erased;
+}
+
+Result<PageId> DiskBPlusTree::DescendToLeaf(int64_t key) {
+  PageId page_id = root_;
+  for (;;) {
+    S2_ASSIGN_OR_RETURN(char* page, pager_->Fetch(page_id));
+    Pin pin(pager_.get(), page_id, page);
+    if (NodeType(page) == kLeafType) return page_id;
+    page_id = Child(page, RouteLower(page, key));
+  }
+}
+
+Result<PageId> DiskBPlusTree::LeftmostLeaf() {
+  PageId page_id = root_;
+  for (;;) {
+    S2_ASSIGN_OR_RETURN(char* page, pager_->Fetch(page_id));
+    Pin pin(pager_.get(), page_id, page);
+    if (NodeType(page) == kLeafType) return page_id;
+    page_id = Child(page, 0);
+  }
+}
+
+Status DiskBPlusTree::Scan(int64_t lo, int64_t hi,
+                           const std::function<bool(int64_t, uint64_t)>& fn) {
+  S2_ASSIGN_OR_RETURN(PageId leaf_id, DescendToLeaf(lo));
+  bool first = true;
+  while (leaf_id != kInvalidPageId) {
+    S2_ASSIGN_OR_RETURN(char* page, pager_->Fetch(leaf_id));
+    Pin pin(pager_.get(), leaf_id, page);
+    const size_t count = Count(page);
+    size_t i = first ? LeafLowerBound(page, lo) : 0;
+    first = false;
+    for (; i < count; ++i) {
+      const int64_t key = LeafKey(page, i);
+      if (key > hi) return Status::OK();
+      if (!fn(key, LeafValue(page, i))) return Status::OK();
+    }
+    leaf_id = Next(page);
+  }
+  return Status::OK();
+}
+
+Status DiskBPlusTree::ScanAll(const std::function<bool(int64_t, uint64_t)>& fn) {
+  S2_ASSIGN_OR_RETURN(PageId leaf_id, LeftmostLeaf());
+  while (leaf_id != kInvalidPageId) {
+    S2_ASSIGN_OR_RETURN(char* page, pager_->Fetch(leaf_id));
+    Pin pin(pager_.get(), leaf_id, page);
+    const size_t count = Count(page);
+    for (size_t i = 0; i < count; ++i) {
+      if (!fn(LeafKey(page, i), LeafValue(page, i))) return Status::OK();
+    }
+    leaf_id = Next(page);
+  }
+  return Status::OK();
+}
+
+Status DiskBPlusTree::Flush() { return pager_->FlushAll(); }
+
+Result<bool> DiskBPlusTree::CheckNode(PageId page_id, const int64_t* lo,
+                                      const int64_t* hi, uint64_t* pair_count) {
+  S2_ASSIGN_OR_RETURN(char* page, pager_->Fetch(page_id));
+  Pin pin(pager_.get(), page_id, page);
+  const size_t count = Count(page);
+
+  if (NodeType(page) == kLeafType) {
+    *pair_count += count;
+    for (size_t i = 0; i < count; ++i) {
+      const int64_t key = LeafKey(page, i);
+      if (i > 0 && LeafKey(page, i - 1) > key) return false;
+      if (lo != nullptr && key < *lo) return false;
+      if (hi != nullptr && key > *hi) return false;
+    }
+    return true;
+  }
+  if (NodeType(page) != kInternalType || count == 0) return false;
+  for (size_t i = 1; i < count; ++i) {
+    if (InternalKey(page, i - 1) > InternalKey(page, i)) return false;
+  }
+  for (size_t i = 0; i <= count; ++i) {
+    int64_t child_lo_value = 0;
+    int64_t child_hi_value = 0;
+    const int64_t* child_lo = lo;
+    const int64_t* child_hi = hi;
+    if (i > 0) {
+      child_lo_value = InternalKey(page, i - 1);
+      child_lo = &child_lo_value;
+    }
+    if (i < count) {
+      child_hi_value = InternalKey(page, i);
+      child_hi = &child_hi_value;
+    }
+    S2_ASSIGN_OR_RETURN(bool ok,
+                        CheckNode(Child(page, i), child_lo, child_hi, pair_count));
+    if (!ok) return false;
+  }
+  return true;
+}
+
+Result<bool> DiskBPlusTree::CheckInvariants() {
+  uint64_t pairs = 0;
+  S2_ASSIGN_OR_RETURN(bool ok, CheckNode(root_, nullptr, nullptr, &pairs));
+  return ok && pairs == size_;
+}
+
+}  // namespace s2::storage

@@ -1,0 +1,94 @@
+#ifndef S2_STORAGE_DISK_BPTREE_H_
+#define S2_STORAGE_DISK_BPTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "storage/pager.h"
+
+namespace s2::storage {
+
+/// A disk-resident B+-tree over the buffer pool of pager.h — the
+/// database-grade counterpart of the in-memory `BPlusTree`, with the fixed
+/// schema the burst store needs: `int64 key -> uint64 value`, multimap
+/// semantics.
+///
+/// Layout: page 0 holds the tree metadata (magic, root, pair count); every
+/// other page is a node. Leaves store (key, value) pairs and are forward
+/// chained for range scans; internal nodes store separator keys and child
+/// page ids. Nodes split when full. `Erase` removes pairs lazily (no
+/// merge/borrow): structurally simpler, and the burst workload is
+/// append-mostly — space is reclaimed by rebuilding, as in many production
+/// LSM/B-tree hybrids.
+///
+/// Durability is flush-granular (see Pager); call `Flush` after batches.
+class DiskBPlusTree {
+ public:
+  /// Opens (or creates) a tree at `path`. `pool_pages` is the buffer-pool
+  /// capacity; at least 8 frames are required (a root-to-leaf path plus
+  /// split scratch must fit pinned).
+  static Result<std::unique_ptr<DiskBPlusTree>> Open(const std::string& path,
+                                                     size_t pool_pages = 64);
+
+  DiskBPlusTree(const DiskBPlusTree&) = delete;
+  DiskBPlusTree& operator=(const DiskBPlusTree&) = delete;
+
+  /// Inserts one pair; duplicates are kept.
+  Status Insert(int64_t key, uint64_t value);
+
+  /// Removes one pair matching (key, value); returns whether one was found.
+  Result<bool> Erase(int64_t key, uint64_t value);
+
+  /// Visits all pairs with lo <= key <= hi in key order; the callback
+  /// returns false to stop early.
+  Status Scan(int64_t lo, int64_t hi,
+              const std::function<bool(int64_t, uint64_t)>& fn);
+
+  /// Visits every pair in key order.
+  Status ScanAll(const std::function<bool(int64_t, uint64_t)>& fn);
+
+  /// Number of stored pairs.
+  uint64_t size() const { return size_; }
+
+  /// Persists all dirty pages.
+  Status Flush();
+
+  /// The underlying pager (I/O statistics for benches/tests).
+  Pager* pager() { return pager_.get(); }
+
+  /// Structural self-check (sortedness, separator windows, leaf chain);
+  /// used by tests. Reads the whole tree.
+  Result<bool> CheckInvariants();
+
+ private:
+  explicit DiskBPlusTree(std::unique_ptr<Pager> pager) : pager_(std::move(pager)) {}
+
+  struct SplitResult {
+    bool happened = false;
+    int64_t separator = 0;
+    PageId right = kInvalidPageId;
+  };
+
+  Status InitializeNewFile();
+  Status LoadMeta();
+  Status StoreMeta();
+
+  Result<SplitResult> InsertInto(PageId page_id, int64_t key, uint64_t value);
+  Result<bool> EraseFrom(PageId page_id, int64_t key, uint64_t value);
+  Result<PageId> LeftmostLeaf();
+  Result<PageId> DescendToLeaf(int64_t key);
+
+  Result<bool> CheckNode(PageId page_id, const int64_t* lo, const int64_t* hi,
+                         uint64_t* pair_count);
+
+  std::unique_ptr<Pager> pager_;
+  PageId root_ = kInvalidPageId;
+  uint64_t size_ = 0;
+};
+
+}  // namespace s2::storage
+
+#endif  // S2_STORAGE_DISK_BPTREE_H_

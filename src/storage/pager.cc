@@ -1,0 +1,157 @@
+#include "storage/pager.h"
+
+#include <cstring>
+
+namespace s2::storage {
+
+Pager::Pager(std::string path, std::FILE* file, size_t pool_pages,
+             size_t num_pages)
+    : path_(std::move(path)), file_(file), num_pages_(num_pages) {
+  frames_.resize(pool_pages);
+  for (Frame& frame : frames_) {
+    frame.data = std::make_unique<char[]>(kPageSize);
+  }
+  // Initially every frame is free; represent free frames as LRU entries with
+  // kInvalidPageId so eviction naturally picks them first.
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    lru_.push_back(i);
+    lru_pos_[i] = std::prev(lru_.end());
+  }
+}
+
+Result<std::unique_ptr<Pager>> Pager::Open(const std::string& path,
+                                           size_t pool_pages) {
+  if (pool_pages < 2) {
+    return Status::InvalidArgument("Pager: pool must hold at least 2 pages");
+  }
+  std::FILE* file = std::fopen(path.c_str(), "r+b");
+  if (file == nullptr) file = std::fopen(path.c_str(), "w+b");
+  if (file == nullptr) return Status::IoError("Pager: cannot open " + path);
+  if (std::fseek(file, 0, SEEK_END) != 0) {
+    std::fclose(file);
+    return Status::IoError("Pager: seek failed on " + path);
+  }
+  const long size = std::ftell(file);
+  if (size < 0 || static_cast<size_t>(size) % kPageSize != 0) {
+    std::fclose(file);
+    return Status::IoError("Pager: file size is not page aligned: " + path);
+  }
+  return std::unique_ptr<Pager>(new Pager(path, file, pool_pages,
+                                          static_cast<size_t>(size) / kPageSize));
+}
+
+Pager::~Pager() {
+  (void)FlushAll();
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void Pager::TouchLru(size_t frame_idx) {
+  const auto it = lru_pos_.find(frame_idx);
+  if (it != lru_pos_.end()) lru_.erase(it->second);
+  lru_.push_back(frame_idx);
+  lru_pos_[frame_idx] = std::prev(lru_.end());
+}
+
+Status Pager::WriteBack(Frame* frame) {
+  if (!frame->dirty || frame->page_id == kInvalidPageId) return Status::OK();
+  const uint64_t offset = static_cast<uint64_t>(frame->page_id) * kPageSize;
+  if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0 ||
+      std::fwrite(frame->data.get(), 1, kPageSize, file_) != kPageSize) {
+    return Status::IoError("Pager: write-back failed");
+  }
+  ++disk_writes_;
+  frame->dirty = false;
+  return Status::OK();
+}
+
+Result<size_t> Pager::FrameFor(PageId id) {
+  const auto hit = frame_of_page_.find(id);
+  if (hit != frame_of_page_.end()) {
+    ++cache_hits_;
+    TouchLru(hit->second);
+    return hit->second;
+  }
+
+  // Evict the least recently used unpinned frame.
+  size_t victim = frames_.size();
+  for (size_t idx : lru_) {
+    if (frames_[idx].pin_count == 0) {
+      victim = idx;
+      break;
+    }
+  }
+  if (victim == frames_.size()) {
+    return Status::Internal("Pager: buffer pool exhausted (all pages pinned)");
+  }
+  Frame& frame = frames_[victim];
+  S2_RETURN_NOT_OK(WriteBack(&frame));
+  if (frame.page_id != kInvalidPageId) frame_of_page_.erase(frame.page_id);
+
+  // Load the requested page.
+  const uint64_t offset = static_cast<uint64_t>(id) * kPageSize;
+  if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0 ||
+      std::fread(frame.data.get(), 1, kPageSize, file_) != kPageSize) {
+    frame.page_id = kInvalidPageId;
+    return Status::IoError("Pager: read failed for page " + std::to_string(id));
+  }
+  ++disk_reads_;
+  frame.page_id = id;
+  frame.dirty = false;
+  frame_of_page_[id] = victim;
+  TouchLru(victim);
+  return victim;
+}
+
+Result<PageId> Pager::Allocate(char** data) {
+  const PageId id = static_cast<PageId>(num_pages_);
+  // Extend the file with a zeroed page.
+  std::vector<char> zeros(kPageSize, 0);
+  if (std::fseek(file_, 0, SEEK_END) != 0 ||
+      std::fwrite(zeros.data(), 1, kPageSize, file_) != kPageSize) {
+    return Status::IoError("Pager: cannot extend file");
+  }
+  ++disk_writes_;
+  ++num_pages_;
+  S2_ASSIGN_OR_RETURN(size_t frame_idx, FrameFor(id));
+  Frame& frame = frames_[frame_idx];
+  ++frame.pin_count;
+  if (data != nullptr) *data = frame.data.get();
+  return id;
+}
+
+Result<char*> Pager::Fetch(PageId id) {
+  if (id >= num_pages_) {
+    return Status::OutOfRange("Pager: page " + std::to_string(id) +
+                              " beyond end of file");
+  }
+  S2_ASSIGN_OR_RETURN(size_t frame_idx, FrameFor(id));
+  Frame& frame = frames_[frame_idx];
+  ++frame.pin_count;
+  return frame.data.get();
+}
+
+Status Pager::Unpin(PageId id, bool dirty) {
+  const auto it = frame_of_page_.find(id);
+  if (it == frame_of_page_.end()) {
+    return Status::InvalidArgument("Pager: unpin of non-resident page");
+  }
+  Frame& frame = frames_[it->second];
+  if (frame.pin_count <= 0) {
+    return Status::InvalidArgument("Pager: unpin without matching pin");
+  }
+  --frame.pin_count;
+  frame.dirty = frame.dirty || dirty;
+  return Status::OK();
+}
+
+Status Pager::FlushAll() {
+  for (Frame& frame : frames_) {
+    S2_RETURN_NOT_OK(WriteBack(&frame));
+  }
+  if (file_ != nullptr && std::fflush(file_) != 0) {
+    return Status::IoError("Pager: fflush failed");
+  }
+  return Status::OK();
+}
+
+}  // namespace s2::storage

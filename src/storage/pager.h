@@ -1,0 +1,105 @@
+#ifndef S2_STORAGE_PAGER_H_
+#define S2_STORAGE_PAGER_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+
+namespace s2::storage {
+
+/// Fixed database page size.
+inline constexpr size_t kPageSize = 4096;
+
+/// Identifier of a page within a paged file; page 0 is conventionally the
+/// client's metadata page.
+using PageId = uint32_t;
+inline constexpr PageId kInvalidPageId = static_cast<PageId>(-1);
+
+/// A paged file with an LRU buffer pool — the storage substrate under the
+/// disk-resident B+-tree (disk_bptree.h).
+///
+/// * `Fetch` pins a page frame in memory; `Unpin` releases it and marks it
+///   dirty when modified. Pinned pages are never evicted.
+/// * On a pool miss the least-recently-used unpinned frame is evicted,
+///   writing it back first if dirty.
+/// * `FlushAll` persists every dirty frame; the destructor flushes too.
+/// * Read/write/hit counters expose the I/O behaviour to tests and benches.
+///
+/// Not thread-safe. No write-ahead logging: a crash between Unpin and
+/// FlushAll can lose recent modifications (torn pages are not possible
+/// because pages are written in a single fwrite, but durability is
+/// flush-granular). That matches the burst store's usage as a rebuildable
+/// derived index.
+class Pager {
+ public:
+  /// Opens (or creates) the paged file with a pool of `pool_pages` frames.
+  static Result<std::unique_ptr<Pager>> Open(const std::string& path,
+                                             size_t pool_pages);
+
+  ~Pager();
+
+  Pager(const Pager&) = delete;
+  Pager& operator=(const Pager&) = delete;
+
+  /// Appends a zeroed page to the file and returns its id. The new page is
+  /// fetched (pinned) into the pool; callers must Unpin it.
+  Result<PageId> Allocate(char** data);
+
+  /// Pins the page and returns its frame data (kPageSize bytes).
+  Result<char*> Fetch(PageId id);
+
+  /// Releases a pin. `dirty` marks the frame for write-back.
+  Status Unpin(PageId id, bool dirty);
+
+  /// Writes every dirty frame to disk.
+  Status FlushAll();
+
+  /// Number of pages in the file.
+  size_t num_pages() const { return num_pages_; }
+
+  uint64_t disk_reads() const { return disk_reads_; }
+  uint64_t disk_writes() const { return disk_writes_; }
+  uint64_t cache_hits() const { return cache_hits_; }
+  void ResetCounters() {
+    disk_reads_ = 0;
+    disk_writes_ = 0;
+    cache_hits_ = 0;
+  }
+
+ private:
+  struct Frame {
+    PageId page_id = kInvalidPageId;
+    int pin_count = 0;
+    bool dirty = false;
+    std::unique_ptr<char[]> data;
+  };
+
+  Pager(std::string path, std::FILE* file, size_t pool_pages, size_t num_pages);
+
+  Result<size_t> FrameFor(PageId id);  // Loads into the pool if needed.
+  Status WriteBack(Frame* frame);
+  void TouchLru(size_t frame_idx);
+
+  std::string path_;
+  std::FILE* file_;
+  size_t num_pages_;
+  std::vector<Frame> frames_;
+  std::unordered_map<PageId, size_t> frame_of_page_;
+  // LRU order of frame indices; back = most recently used.
+  std::list<size_t> lru_;
+  std::unordered_map<size_t, std::list<size_t>::iterator> lru_pos_;
+
+  uint64_t disk_reads_ = 0;
+  uint64_t disk_writes_ = 0;
+  uint64_t cache_hits_ = 0;
+};
+
+}  // namespace s2::storage
+
+#endif  // S2_STORAGE_PAGER_H_

@@ -1,0 +1,110 @@
+#include "storage/sequence_store.h"
+
+#include <cstring>
+
+namespace s2::storage {
+
+namespace {
+constexpr char kMagic[8] = {'S', '2', 'S', 'E', 'Q', '0', '0', '1'};
+constexpr size_t kHeaderBytes = sizeof(kMagic) + 2 * sizeof(uint64_t);
+}  // namespace
+
+Result<std::unique_ptr<InMemorySequenceSource>> InMemorySequenceSource::Create(
+    std::vector<std::vector<double>> rows) {
+  size_t length = rows.empty() ? 0 : rows.front().size();
+  for (const auto& row : rows) {
+    if (row.size() != length) {
+      return Status::InvalidArgument(
+          "InMemorySequenceSource: all rows must have equal length");
+    }
+  }
+  return std::unique_ptr<InMemorySequenceSource>(
+      new InMemorySequenceSource(std::move(rows), length));
+}
+
+Result<ts::SeriesId> InMemorySequenceSource::Append(std::vector<double> row) {
+  if (rows_.empty() && length_ == 0) length_ = row.size();
+  if (row.size() != length_) {
+    return Status::InvalidArgument("InMemorySequenceSource: row length mismatch");
+  }
+  rows_.push_back(std::move(row));
+  return static_cast<ts::SeriesId>(rows_.size() - 1);
+}
+
+Result<std::vector<double>> InMemorySequenceSource::Get(ts::SeriesId id) {
+  if (id >= rows_.size()) {
+    return Status::NotFound("InMemorySequenceSource: id out of range");
+  }
+  ++reads_;
+  return rows_[id];
+}
+
+Result<std::unique_ptr<DiskSequenceStore>> DiskSequenceStore::Create(
+    const std::string& path, const std::vector<std::vector<double>>& rows) {
+  const size_t length = rows.empty() ? 0 : rows.front().size();
+  for (const auto& row : rows) {
+    if (row.size() != length) {
+      return Status::InvalidArgument(
+          "DiskSequenceStore: all rows must have equal length");
+    }
+  }
+  std::FILE* out = std::fopen(path.c_str(), "wb");
+  if (out == nullptr) {
+    return Status::IoError("DiskSequenceStore: cannot create " + path);
+  }
+  const uint64_t count = rows.size();
+  const uint64_t len = length;
+  bool ok = std::fwrite(kMagic, 1, sizeof(kMagic), out) == sizeof(kMagic) &&
+            std::fwrite(&count, sizeof(count), 1, out) == 1 &&
+            std::fwrite(&len, sizeof(len), 1, out) == 1;
+  for (const auto& row : rows) {
+    if (!ok) break;
+    ok = std::fwrite(row.data(), sizeof(double), row.size(), out) == row.size();
+  }
+  if (std::fclose(out) != 0) ok = false;
+  if (!ok) return Status::IoError("DiskSequenceStore: short write to " + path);
+  return Open(path);
+}
+
+Result<std::unique_ptr<DiskSequenceStore>> DiskSequenceStore::Open(
+    const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::IoError("DiskSequenceStore: cannot open " + path);
+  }
+  char magic[sizeof(kMagic)];
+  uint64_t count = 0;
+  uint64_t length = 0;
+  const bool ok = std::fread(magic, 1, sizeof(magic), file) == sizeof(magic) &&
+                  std::memcmp(magic, kMagic, sizeof(kMagic)) == 0 &&
+                  std::fread(&count, sizeof(count), 1, file) == 1 &&
+                  std::fread(&length, sizeof(length), 1, file) == 1;
+  if (!ok) {
+    std::fclose(file);
+    return Status::IoError("DiskSequenceStore: bad header in " + path);
+  }
+  return std::unique_ptr<DiskSequenceStore>(new DiskSequenceStore(
+      path, file, static_cast<size_t>(count), static_cast<size_t>(length)));
+}
+
+DiskSequenceStore::~DiskSequenceStore() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Result<std::vector<double>> DiskSequenceStore::Get(ts::SeriesId id) {
+  if (id >= count_) return Status::NotFound("DiskSequenceStore: id out of range");
+  const uint64_t offset =
+      kHeaderBytes + static_cast<uint64_t>(id) * length_ * sizeof(double);
+  if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
+    return Status::IoError("DiskSequenceStore: seek failed");
+  }
+  std::vector<double> row(length_);
+  if (std::fread(row.data(), sizeof(double), length_, file_) != length_) {
+    return Status::IoError("DiskSequenceStore: short read");
+  }
+  ++reads_;
+  bytes_read_ += length_ * sizeof(double);
+  return row;
+}
+
+}  // namespace s2::storage

@@ -1,0 +1,113 @@
+#ifndef S2_STORAGE_SEQUENCE_STORE_H_
+#define S2_STORAGE_SEQUENCE_STORE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "timeseries/time_series.h"
+
+namespace s2::storage {
+
+/// Abstract provider of full (uncompressed) sequences by id.
+///
+/// Index search verifies candidates against the full representation; the
+/// paper retrieves those "from the disk, in the order suggested by their
+/// lower bounds". This interface lets the same search code run against an
+/// on-disk store (Fig. 23 "Index on Disk" / "Linear Scan") or RAM-resident
+/// data, while exposing read counters for I/O accounting.
+class SequenceSource {
+ public:
+  virtual ~SequenceSource() = default;
+
+  /// Fetches the sequence with the given id.
+  virtual Result<std::vector<double>> Get(ts::SeriesId id) = 0;
+
+  /// Number of sequences available.
+  virtual size_t num_series() const = 0;
+
+  /// Length (number of samples) of every sequence.
+  virtual size_t series_length() const = 0;
+
+  /// Number of `Get` calls since construction or the last reset.
+  virtual uint64_t read_count() const = 0;
+  virtual void ResetCounters() = 0;
+};
+
+/// RAM-resident sequence source.
+class InMemorySequenceSource : public SequenceSource {
+ public:
+  /// All rows must share one length; returns InvalidArgument otherwise.
+  static Result<std::unique_ptr<InMemorySequenceSource>> Create(
+      std::vector<std::vector<double>> rows);
+
+  Result<std::vector<double>> Get(ts::SeriesId id) override;
+  size_t num_series() const override { return rows_.size(); }
+  size_t series_length() const override { return length_; }
+  uint64_t read_count() const override { return reads_; }
+  void ResetCounters() override { reads_ = 0; }
+
+  /// Appends a row and returns its id. The row must match the store's
+  /// length (an empty store adopts the first row's length).
+  Result<ts::SeriesId> Append(std::vector<double> row);
+
+ private:
+  InMemorySequenceSource(std::vector<std::vector<double>> rows, size_t length)
+      : rows_(std::move(rows)), length_(length) {}
+  std::vector<std::vector<double>> rows_;
+  size_t length_;
+  uint64_t reads_ = 0;
+};
+
+/// A fixed-record binary file of sequences, fetched with positioned reads.
+///
+/// Layout: 8-byte magic, u64 count, u64 length, then `count` records of
+/// `length` doubles in native byte order. Random `Get` performs one seek and
+/// one record-sized read, mirroring the random I/O of the paper's
+/// verification phase.
+class DiskSequenceStore : public SequenceSource {
+ public:
+  /// Writes `rows` to `path` and opens the resulting store.
+  static Result<std::unique_ptr<DiskSequenceStore>> Create(
+      const std::string& path, const std::vector<std::vector<double>>& rows);
+
+  /// Opens an existing store file.
+  static Result<std::unique_ptr<DiskSequenceStore>> Open(const std::string& path);
+
+  ~DiskSequenceStore() override;
+
+  DiskSequenceStore(const DiskSequenceStore&) = delete;
+  DiskSequenceStore& operator=(const DiskSequenceStore&) = delete;
+
+  Result<std::vector<double>> Get(ts::SeriesId id) override;
+  size_t num_series() const override { return count_; }
+  size_t series_length() const override { return length_; }
+  uint64_t read_count() const override { return reads_; }
+  void ResetCounters() override {
+    reads_ = 0;
+    bytes_read_ = 0;
+  }
+
+  /// Bytes fetched from disk since the last reset.
+  uint64_t bytes_read() const { return bytes_read_; }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  DiskSequenceStore(std::string path, std::FILE* file, size_t count, size_t length)
+      : path_(std::move(path)), file_(file), count_(count), length_(length) {}
+
+  std::string path_;
+  std::FILE* file_;
+  size_t count_;
+  size_t length_;
+  uint64_t reads_ = 0;
+  uint64_t bytes_read_ = 0;
+};
+
+}  // namespace s2::storage
+
+#endif  // S2_STORAGE_SEQUENCE_STORE_H_

@@ -1,0 +1,72 @@
+#include "timeseries/calendar.h"
+
+#include <array>
+#include <cstdio>
+
+namespace s2::ts {
+
+namespace {
+constexpr std::array<int, 12> kDaysPerMonth = {31, 28, 31, 30, 31, 30,
+                                               31, 31, 30, 31, 30, 31};
+}  // namespace
+
+int DaysInMonth(int year, int month) {
+  if (month == 2 && IsLeapYear(year)) return 29;
+  return kDaysPerMonth[static_cast<size_t>(month - 1)];
+}
+
+int32_t DateToDayIndex(const Date& date) {
+  int32_t days = 0;
+  if (date.year >= kEpochYear) {
+    for (int y = kEpochYear; y < date.year; ++y) days += DaysInYear(y);
+  } else {
+    for (int y = date.year; y < kEpochYear; ++y) days -= DaysInYear(y);
+  }
+  for (int m = 1; m < date.month; ++m) days += DaysInMonth(date.year, m);
+  return days + date.day - 1;
+}
+
+Date DayIndexToDate(int32_t day_index) {
+  Date date;
+  date.year = kEpochYear;
+  int32_t remaining = day_index;
+  while (remaining < 0) {
+    --date.year;
+    remaining += DaysInYear(date.year);
+  }
+  while (remaining >= DaysInYear(date.year)) {
+    remaining -= DaysInYear(date.year);
+    ++date.year;
+  }
+  date.month = 1;
+  while (remaining >= DaysInMonth(date.year, date.month)) {
+    remaining -= DaysInMonth(date.year, date.month);
+    ++date.month;
+  }
+  date.day = remaining + 1;
+  return date;
+}
+
+int DayOfYear(int32_t day_index) {
+  const Date date = DayIndexToDate(day_index);
+  int doy = date.day;
+  for (int m = 1; m < date.month; ++m) doy += DaysInMonth(date.year, m);
+  return doy;
+}
+
+int DayOfWeek(int32_t day_index) {
+  // 2000-01-01 (day 0) was a Saturday = 5 in Monday-based numbering.
+  int dow = (5 + day_index) % 7;
+  if (dow < 0) dow += 7;
+  return dow;
+}
+
+std::string FormatDayIndex(int32_t day_index) {
+  const Date date = DayIndexToDate(day_index);
+  char buffer[16];
+  std::snprintf(buffer, sizeof(buffer), "%04d-%02d-%02d", date.year, date.month,
+                date.day);
+  return buffer;
+}
+
+}  // namespace s2::ts

@@ -1,0 +1,54 @@
+#ifndef S2_TIMESERIES_CALENDAR_H_
+#define S2_TIMESERIES_CALENDAR_H_
+
+#include <cstdint>
+#include <string>
+
+namespace s2::ts {
+
+/// Calendar utilities for anchoring synthetic workloads to real dates.
+///
+/// Day indices count from `kEpochYear`-01-01 (day 0). The paper's corpora
+/// span 2000-2002, so we use 2000-01-01 as the epoch. Proper Gregorian leap
+/// years are honored, which matters for annual-anchor components ("Elvis"
+/// peaks every Aug 16) over multi-year spans.
+inline constexpr int kEpochYear = 2000;
+
+/// True iff `year` is a Gregorian leap year.
+constexpr bool IsLeapYear(int year) {
+  return (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+}
+
+/// Number of days in `year` (365 or 366).
+constexpr int DaysInYear(int year) { return IsLeapYear(year) ? 366 : 365; }
+
+/// Number of days in the given month (1-12) of `year`.
+int DaysInMonth(int year, int month);
+
+/// A calendar date.
+struct Date {
+  int year = kEpochYear;
+  int month = 1;  ///< 1-12.
+  int day = 1;    ///< 1-based day of month.
+};
+
+/// Converts a (valid) date to its day index relative to the epoch.
+int32_t DateToDayIndex(const Date& date);
+
+/// Converts a day index back to a calendar date. Negative indices address
+/// days before the epoch.
+Date DayIndexToDate(int32_t day_index);
+
+/// 1-based day-of-year (1..366) of the given day index.
+int DayOfYear(int32_t day_index);
+
+/// Day of week of the given day index: 0 = Monday .. 6 = Sunday.
+/// (2000-01-01 was a Saturday.)
+int DayOfWeek(int32_t day_index);
+
+/// "YYYY-MM-DD" rendering, for logs and benchmark output.
+std::string FormatDayIndex(int32_t day_index);
+
+}  // namespace s2::ts
+
+#endif  // S2_TIMESERIES_CALENDAR_H_

@@ -1,0 +1,68 @@
+#ifndef S2_TIMESERIES_TIME_SERIES_H_
+#define S2_TIMESERIES_TIME_SERIES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace s2::ts {
+
+/// Identifier of a series within a corpus/store. Dense, 0-based.
+using SeriesId = uint32_t;
+
+/// Sentinel for "no series".
+inline constexpr SeriesId kInvalidSeriesId = static_cast<SeriesId>(-1);
+
+/// A daily-demand time series for one query string.
+///
+/// `values[i]` is the number of times the query was issued on day
+/// `start_day + i` (days are indices into the corpus calendar; see
+/// calendar.h). The struct is a passive data carrier: all fields are public
+/// and no invariants beyond "values non-empty for a useful series" are
+/// enforced.
+struct TimeSeries {
+  std::string name;             ///< The query text (e.g. "cinema").
+  int32_t start_day = 0;        ///< Calendar day index of values[0].
+  std::vector<double> values;   ///< Daily request counts.
+
+  size_t size() const { return values.size(); }
+};
+
+/// A collection of time series sharing a calendar, addressed by SeriesId.
+class Corpus {
+ public:
+  Corpus() = default;
+
+  /// Appends a series and returns its id.
+  SeriesId Add(TimeSeries series) {
+    series_.push_back(std::move(series));
+    return static_cast<SeriesId>(series_.size() - 1);
+  }
+
+  /// Number of series.
+  size_t size() const { return series_.size(); }
+  bool empty() const { return series_.empty(); }
+
+  /// Access by id; id must be < size().
+  const TimeSeries& at(SeriesId id) const { return series_[id]; }
+  TimeSeries& at(SeriesId id) { return series_[id]; }
+
+  /// Checked access.
+  Result<const TimeSeries*> Get(SeriesId id) const {
+    if (id >= series_.size()) {
+      return Status::NotFound("Corpus: no series with id " + std::to_string(id));
+    }
+    return &series_[id];
+  }
+
+  const std::vector<TimeSeries>& series() const { return series_; }
+
+ private:
+  std::vector<TimeSeries> series_;
+};
+
+}  // namespace s2::ts
+
+#endif  // S2_TIMESERIES_TIME_SERIES_H_

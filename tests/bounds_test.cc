@@ -1,0 +1,307 @@
+#include "repr/bounds.h"
+
+#include <cmath>
+#include <numbers>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dsp/stats.h"
+#include "querylog/corpus_generator.h"
+
+namespace s2::repr {
+namespace {
+
+std::vector<double> RandomWalk(size_t n, Rng* rng) {
+  std::vector<double> x(n);
+  double v = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    v += rng->Normal(0, 1);
+    x[i] = v;
+  }
+  return dsp::Standardize(x);
+}
+
+std::vector<double> PeriodicMix(size_t n, Rng* rng) {
+  std::vector<double> x(n);
+  const double p1 = rng->Uniform(3, 40);
+  const double p2 = rng->Uniform(3, 40);
+  const double a1 = rng->Uniform(0.5, 3);
+  const double a2 = rng->Uniform(0.5, 3);
+  const double phase1 = rng->Uniform(0, 2 * std::numbers::pi);
+  const double phase2 = rng->Uniform(0, 2 * std::numbers::pi);
+  for (size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i);
+    x[i] = a1 * std::sin(2 * std::numbers::pi * t / p1 + phase1) +
+           a2 * std::sin(2 * std::numbers::pi * t / p2 + phase2) +
+           rng->Normal(0, 0.4);
+  }
+  return dsp::Standardize(x);
+}
+
+HalfSpectrum SpectrumOf(const std::vector<double>& x) {
+  auto s = HalfSpectrum::FromSeries(x);
+  EXPECT_TRUE(s.ok());
+  return std::move(s).ValueOrDie();
+}
+
+ReprKind KindFor(BoundMethod method) {
+  switch (method) {
+    case BoundMethod::kGemini:
+      return ReprKind::kFirstKMiddle;
+    case BoundMethod::kWang:
+      return ReprKind::kFirstKError;
+    case BoundMethod::kBestMin:
+      return ReprKind::kBestKMiddle;
+    case BoundMethod::kBestError:
+    case BoundMethod::kBestMinError:
+    case BoundMethod::kBestMinErrorLiteral:
+    case BoundMethod::kBestMinErrorWaterfill:
+      return ReprKind::kBestKError;
+  }
+  return ReprKind::kBestKError;
+}
+
+// ---------------------------------------------------------------------------
+// Property suite: every sound method must bracket the true distance on
+// randomized data of several signal classes, lengths and budgets.
+// ---------------------------------------------------------------------------
+
+using SandwichParam = std::tuple<BoundMethod, size_t /*n*/, size_t /*c*/>;
+
+class BoundsSandwichTest : public ::testing::TestWithParam<SandwichParam> {};
+
+TEST_P(BoundsSandwichTest, LowerAndUpperBracketTrueDistance) {
+  const auto [method, n, c] = GetParam();
+  const ReprKind kind = KindFor(method);
+  Rng rng(static_cast<uint64_t>(n * 1000 + c));
+  const double tol = 1e-7;
+
+  for (int trial = 0; trial < 60; ++trial) {
+    const bool periodic = trial % 2 == 0;
+    const std::vector<double> a =
+        periodic ? PeriodicMix(n, &rng) : RandomWalk(n, &rng);
+    const std::vector<double> b =
+        trial % 3 == 0 ? RandomWalk(n, &rng) : PeriodicMix(n, &rng);
+    const HalfSpectrum query = SpectrumOf(a);
+    const HalfSpectrum target = SpectrumOf(b);
+    auto compressed = CompressedSpectrum::Compress(target, kind, c);
+    ASSERT_TRUE(compressed.ok());
+    auto bounds = ComputeBounds(query, *compressed, method);
+    ASSERT_TRUE(bounds.ok());
+
+    const double truth = *dsp::Euclidean(a, b);
+    EXPECT_LE(bounds->lower, truth + tol)
+        << BoundMethodToString(method) << " trial " << trial << " n=" << n
+        << " c=" << c;
+    if (std::isfinite(bounds->upper)) {
+      EXPECT_GE(bounds->upper, truth - tol)
+          << BoundMethodToString(method) << " trial " << trial;
+    }
+    EXPECT_LE(bounds->lower, bounds->upper + tol);
+    EXPECT_GE(bounds->lower, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSoundMethods, BoundsSandwichTest,
+    ::testing::Combine(
+        ::testing::Values(BoundMethod::kGemini, BoundMethod::kWang,
+                          BoundMethod::kBestMin, BoundMethod::kBestError,
+                          BoundMethod::kBestMinError,
+                          BoundMethod::kBestMinErrorWaterfill),
+        ::testing::Values(128u, 365u, 1024u),
+        ::testing::Values(8u, 16u, 32u)));
+
+// ---------------------------------------------------------------------------
+// Tightness-ordering properties.
+// ---------------------------------------------------------------------------
+
+struct PreparedPair {
+  std::vector<double> a;
+  std::vector<double> b;
+  double truth;
+};
+
+std::vector<PreparedPair> MakePairs(size_t n, size_t count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<PreparedPair> pairs;
+  for (size_t i = 0; i < count; ++i) {
+    PreparedPair p;
+    p.a = PeriodicMix(n, &rng);
+    p.b = i % 2 == 0 ? PeriodicMix(n, &rng) : RandomWalk(n, &rng);
+    p.truth = *dsp::Euclidean(p.a, p.b);
+    pairs.push_back(std::move(p));
+  }
+  return pairs;
+}
+
+DistanceBounds BoundsFor(const PreparedPair& p, BoundMethod method, size_t c) {
+  const HalfSpectrum query = SpectrumOf(p.a);
+  auto compressed =
+      CompressedSpectrum::Compress(SpectrumOf(p.b), KindFor(method), c);
+  EXPECT_TRUE(compressed.ok());
+  auto bounds = ComputeBounds(query, *compressed, method);
+  EXPECT_TRUE(bounds.ok());
+  return *bounds;
+}
+
+TEST(BoundsOrderingTest, BestMinErrorDominatesBestMinAndBestError) {
+  // BestMinError uses strictly more information than either BestMin or
+  // BestError, so its bracket must never be looser.
+  const auto pairs = MakePairs(365, 40, 101);
+  for (const PreparedPair& p : pairs) {
+    const DistanceBounds combined = BoundsFor(p, BoundMethod::kBestMinError, 16);
+    const DistanceBounds error_only = BoundsFor(p, BoundMethod::kBestError, 16);
+    EXPECT_GE(combined.lower, error_only.lower - 1e-9);
+    EXPECT_LE(combined.upper, error_only.upper + 1e-9);
+  }
+}
+
+TEST(BoundsOrderingTest, WaterfillUpperIsTightestSound) {
+  const auto pairs = MakePairs(365, 40, 102);
+  for (const PreparedPair& p : pairs) {
+    const DistanceBounds combined = BoundsFor(p, BoundMethod::kBestMinError, 16);
+    const DistanceBounds waterfill =
+        BoundsFor(p, BoundMethod::kBestMinErrorWaterfill, 16);
+    EXPECT_LE(waterfill.upper, combined.upper + 1e-7);
+    EXPECT_GE(waterfill.upper, p.truth - 1e-7);
+  }
+}
+
+TEST(BoundsOrderingTest, MoreCoefficientsTightenBoundsOnAverage) {
+  const auto pairs = MakePairs(1024, 30, 103);
+  for (BoundMethod method :
+       {BoundMethod::kWang, BoundMethod::kBestMinError}) {
+    double lb8 = 0.0;
+    double lb32 = 0.0;
+    double ub8 = 0.0;
+    double ub32 = 0.0;
+    for (const PreparedPair& p : pairs) {
+      const DistanceBounds small = BoundsFor(p, method, 8);
+      const DistanceBounds large = BoundsFor(p, method, 32);
+      lb8 += small.lower;
+      lb32 += large.lower;
+      ub8 += small.upper;
+      ub32 += large.upper;
+    }
+    EXPECT_GE(lb32, lb8) << BoundMethodToString(method);
+    EXPECT_LE(ub32, ub8) << BoundMethodToString(method);
+  }
+}
+
+TEST(BoundsOrderingTest, BestMethodsBeatFirstMethodsOnPeriodicData) {
+  // The paper's headline: on periodic sequences the best-coefficient lower
+  // bounds are cumulatively tighter than the first-coefficient ones.
+  const auto pairs = MakePairs(1024, 50, 104);
+  double cumulative_wang = 0.0;
+  double cumulative_bme = 0.0;
+  double cumulative_truth = 0.0;
+  for (const PreparedPair& p : pairs) {
+    cumulative_wang += BoundsFor(p, BoundMethod::kWang, 16).lower;
+    cumulative_bme += BoundsFor(p, BoundMethod::kBestMinError, 16).lower;
+    cumulative_truth += p.truth;
+  }
+  EXPECT_GT(cumulative_bme, cumulative_wang);
+  EXPECT_LE(cumulative_bme, cumulative_truth);
+}
+
+// ---------------------------------------------------------------------------
+// Edge cases and validation.
+// ---------------------------------------------------------------------------
+
+TEST(BoundsValidationTest, IncompatibleMethodRejected) {
+  Rng rng(7);
+  const HalfSpectrum s = SpectrumOf(PeriodicMix(64, &rng));
+  auto gem = CompressedSpectrum::Compress(s, ReprKind::kFirstKMiddle, 4);
+  ASSERT_TRUE(gem.ok());
+  EXPECT_FALSE(ComputeBounds(s, *gem, BoundMethod::kWang).ok());
+  EXPECT_FALSE(ComputeBounds(s, *gem, BoundMethod::kBestMin).ok());
+  EXPECT_FALSE(ComputeBounds(s, *gem, BoundMethod::kBestMinError).ok());
+  EXPECT_TRUE(ComputeBounds(s, *gem, BoundMethod::kGemini).ok());
+}
+
+TEST(BoundsValidationTest, LengthMismatchRejected) {
+  Rng rng(8);
+  const HalfSpectrum a = SpectrumOf(PeriodicMix(64, &rng));
+  const HalfSpectrum b = SpectrumOf(PeriodicMix(128, &rng));
+  auto compressed = CompressedSpectrum::Compress(b, ReprKind::kBestKError, 8);
+  ASSERT_TRUE(compressed.ok());
+  EXPECT_FALSE(ComputeBounds(a, *compressed, BoundMethod::kBestMinError).ok());
+}
+
+TEST(BoundsValidationTest, SelfDistanceBracketsZero) {
+  Rng rng(9);
+  const std::vector<double> x = PeriodicMix(256, &rng);
+  const HalfSpectrum s = SpectrumOf(x);
+  for (BoundMethod method :
+       {BoundMethod::kWang, BoundMethod::kBestError, BoundMethod::kBestMinError,
+        BoundMethod::kBestMinErrorWaterfill}) {
+    auto compressed = CompressedSpectrum::Compress(s, KindFor(method), 16);
+    ASSERT_TRUE(compressed.ok());
+    auto bounds = ComputeBounds(s, *compressed, method);
+    ASSERT_TRUE(bounds.ok());
+    EXPECT_NEAR(bounds->lower, 0.0, 1e-7) << BoundMethodToString(method);
+    EXPECT_GE(bounds->upper, 0.0);
+  }
+}
+
+TEST(BoundsValidationTest, GeminiUpperIsInfinite) {
+  Rng rng(10);
+  const HalfSpectrum s = SpectrumOf(PeriodicMix(64, &rng));
+  auto gem = CompressedSpectrum::Compress(s, ReprKind::kFirstKMiddle, 4);
+  ASSERT_TRUE(gem.ok());
+  auto bounds = ComputeBounds(s, *gem, BoundMethod::kGemini);
+  ASSERT_TRUE(bounds.ok());
+  EXPECT_TRUE(std::isinf(bounds->upper));
+}
+
+TEST(BoundsValidationTest, MethodNamesAreStable) {
+  EXPECT_EQ(BoundMethodToString(BoundMethod::kGemini), "GEMINI");
+  EXPECT_EQ(BoundMethodToString(BoundMethod::kBestMinError), "BestMinError");
+}
+
+// The literal Figure 9 pseudocode is close to the sound variant on typical
+// data (its corner cases are rare); verify it runs and roughly agrees, and
+// document (not assert) soundness.
+TEST(BoundsLiteralTest, LiteralVariantComputesAndIsClose) {
+  const auto pairs = MakePairs(365, 20, 105);
+  for (const PreparedPair& p : pairs) {
+    const DistanceBounds sound = BoundsFor(p, BoundMethod::kBestMinError, 16);
+    const DistanceBounds literal =
+        BoundsFor(p, BoundMethod::kBestMinErrorLiteral, 16);
+    EXPECT_NEAR(literal.lower, sound.lower, 0.6 * (1.0 + sound.lower));
+    EXPECT_GT(literal.upper, 0.0);
+  }
+}
+
+// Realistic end-to-end check on synthesized query-log data.
+TEST(BoundsIntegrationTest, QueryLogCorpusSandwich) {
+  qlog::CorpusSpec spec;
+  spec.num_series = 40;
+  spec.n_days = 512;
+  spec.seed = 77;
+  auto corpus = qlog::GenerateCorpus(spec);
+  ASSERT_TRUE(corpus.ok());
+  auto queries = qlog::GenerateQueries(spec, 5);
+  ASSERT_TRUE(queries.ok());
+  for (const auto& query : *queries) {
+    const std::vector<double> qz = dsp::Standardize(query.values);
+    const HalfSpectrum qs = SpectrumOf(qz);
+    for (const auto& member : corpus->series()) {
+      const std::vector<double> mz = dsp::Standardize(member.values);
+      auto compressed =
+          CompressedSpectrum::Compress(SpectrumOf(mz), ReprKind::kBestKError, 16);
+      ASSERT_TRUE(compressed.ok());
+      auto bounds = ComputeBounds(qs, *compressed, BoundMethod::kBestMinError);
+      ASSERT_TRUE(bounds.ok());
+      const double truth = *dsp::Euclidean(qz, mz);
+      EXPECT_LE(bounds->lower, truth + 1e-7);
+      EXPECT_GE(bounds->upper, truth - 1e-7);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace s2::repr

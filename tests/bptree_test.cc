@@ -1,0 +1,228 @@
+#include "storage/bptree.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace s2::storage {
+namespace {
+
+using IntTree = BPlusTree<int32_t, uint32_t, 8>;  // Small order stresses splits.
+
+std::vector<std::pair<int32_t, uint32_t>> Collect(const IntTree& tree) {
+  std::vector<std::pair<int32_t, uint32_t>> out;
+  tree.ScanAll([&out](int32_t k, uint32_t v) {
+    out.emplace_back(k, v);
+    return true;
+  });
+  return out;
+}
+
+TEST(BPlusTreeTest, EmptyTree) {
+  IntTree tree;
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_TRUE(tree.empty());
+  EXPECT_FALSE(tree.Contains(1));
+  EXPECT_EQ(tree.Height(), 1u);
+  EXPECT_TRUE(tree.CheckInvariants());
+  EXPECT_TRUE(Collect(tree).empty());
+}
+
+TEST(BPlusTreeTest, InsertAndScanSorted) {
+  IntTree tree;
+  for (int32_t k : {5, 3, 9, 1, 7, 2, 8, 4, 6, 0}) {
+    tree.Insert(k, static_cast<uint32_t>(k * 10));
+  }
+  EXPECT_EQ(tree.size(), 10u);
+  const auto all = Collect(tree);
+  ASSERT_EQ(all.size(), 10u);
+  for (size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(all[i].first, static_cast<int32_t>(i));
+    EXPECT_EQ(all[i].second, static_cast<uint32_t>(i * 10));
+  }
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(BPlusTreeTest, DuplicateKeysAllKept) {
+  IntTree tree;
+  for (uint32_t v = 0; v < 20; ++v) tree.Insert(7, v);
+  EXPECT_EQ(tree.Count(7), 20u);
+  EXPECT_EQ(tree.size(), 20u);
+  std::set<uint32_t> values;
+  tree.Scan(7, 7, [&values](int32_t, uint32_t v) {
+    values.insert(v);
+    return true;
+  });
+  EXPECT_EQ(values.size(), 20u);
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(BPlusTreeTest, RangeScanBoundsInclusive) {
+  IntTree tree;
+  for (int32_t k = 0; k < 100; ++k) tree.Insert(k, static_cast<uint32_t>(k));
+  std::vector<int32_t> seen;
+  tree.Scan(10, 20, [&seen](int32_t k, uint32_t) {
+    seen.push_back(k);
+    return true;
+  });
+  ASSERT_EQ(seen.size(), 11u);
+  EXPECT_EQ(seen.front(), 10);
+  EXPECT_EQ(seen.back(), 20);
+}
+
+TEST(BPlusTreeTest, ScanEarlyStop) {
+  IntTree tree;
+  for (int32_t k = 0; k < 50; ++k) tree.Insert(k, 0);
+  int visited = 0;
+  tree.Scan(0, 49, [&visited](int32_t, uint32_t) {
+    ++visited;
+    return visited < 5;
+  });
+  EXPECT_EQ(visited, 5);
+}
+
+TEST(BPlusTreeTest, ScanFromSuffix) {
+  IntTree tree;
+  for (int32_t k = 0; k < 30; ++k) tree.Insert(k, 0);
+  std::vector<int32_t> seen;
+  tree.ScanFrom(25, [&seen](int32_t k, uint32_t) {
+    seen.push_back(k);
+    return true;
+  });
+  EXPECT_EQ(seen, (std::vector<int32_t>{25, 26, 27, 28, 29}));
+}
+
+TEST(BPlusTreeTest, EraseSpecificPair) {
+  IntTree tree;
+  tree.Insert(1, 100);
+  tree.Insert(1, 200);
+  tree.Insert(2, 300);
+  EXPECT_TRUE(tree.Erase(1, 200));
+  EXPECT_FALSE(tree.Erase(1, 200));  // Already gone.
+  EXPECT_FALSE(tree.Erase(9, 1));    // Never existed.
+  EXPECT_EQ(tree.Count(1), 1u);
+  EXPECT_EQ(tree.size(), 2u);
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(BPlusTreeTest, GrowsAndShrinksThroughManyLevels) {
+  IntTree tree;
+  const int n = 5000;
+  for (int32_t k = 0; k < n; ++k) tree.Insert(k, static_cast<uint32_t>(k));
+  EXPECT_GT(tree.Height(), 3u);
+  EXPECT_TRUE(tree.CheckInvariants());
+  for (int32_t k = 0; k < n; ++k) {
+    ASSERT_TRUE(tree.Erase(k, static_cast<uint32_t>(k))) << k;
+  }
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+// Model check: a randomized workload of inserts/erases/scans must agree with
+// std::multimap at every step.
+class BPlusTreeModelTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BPlusTreeModelTest, AgreesWithMultimap) {
+  Rng rng(GetParam());
+  IntTree tree;
+  std::multimap<int32_t, uint32_t> model;
+  uint32_t next_value = 0;
+
+  for (int step = 0; step < 4000; ++step) {
+    const double action = rng.Uniform(0, 1);
+    const int32_t key = static_cast<int32_t>(rng.UniformInt(-50, 50));
+    if (action < 0.6) {
+      tree.Insert(key, next_value);
+      model.emplace(key, next_value);
+      ++next_value;
+    } else if (action < 0.9 && !model.empty()) {
+      // Erase a specific existing pair half the time, a random (likely
+      // missing) pair otherwise.
+      if (rng.Bernoulli(0.5)) {
+        auto it = model.begin();
+        std::advance(it, rng.UniformInt(0, static_cast<int64_t>(model.size()) - 1));
+        EXPECT_TRUE(tree.Erase(it->first, it->second));
+        model.erase(it);
+      } else {
+        const uint32_t value = static_cast<uint32_t>(rng.UniformInt(0, 100000));
+        bool in_model = false;
+        for (auto [it, end] = model.equal_range(key); it != end; ++it) {
+          if (it->second == value) {
+            in_model = true;
+            model.erase(it);
+            break;
+          }
+        }
+        EXPECT_EQ(tree.Erase(key, value), in_model);
+      }
+    } else {
+      // Range scan agreement.
+      int32_t lo = static_cast<int32_t>(rng.UniformInt(-60, 60));
+      int32_t hi = static_cast<int32_t>(rng.UniformInt(-60, 60));
+      if (lo > hi) std::swap(lo, hi);
+      std::multiset<std::pair<int32_t, uint32_t>> expect;
+      for (auto it = model.lower_bound(lo); it != model.end() && it->first <= hi;
+           ++it) {
+        expect.insert(*it);
+      }
+      std::multiset<std::pair<int32_t, uint32_t>> got;
+      tree.Scan(lo, hi, [&got](int32_t k, uint32_t v) {
+        got.emplace(k, v);
+        return true;
+      });
+      EXPECT_EQ(got, expect);
+    }
+    ASSERT_EQ(tree.size(), model.size());
+  }
+  ASSERT_TRUE(tree.CheckInvariants());
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomWorkloads, BPlusTreeModelTest,
+                         ::testing::Values(1u, 2u, 3u, 17u, 99u));
+
+// The default order (64) must behave identically; spot-check with a bulk load.
+TEST(BPlusTreeTest, DefaultOrderBulk) {
+  BPlusTree<int32_t, uint32_t> tree;
+  Rng rng(5);
+  std::multimap<int32_t, uint32_t> model;
+  for (uint32_t i = 0; i < 20000; ++i) {
+    const int32_t key = static_cast<int32_t>(rng.UniformInt(0, 1000));
+    tree.Insert(key, i);
+    model.emplace(key, i);
+  }
+  EXPECT_TRUE(tree.CheckInvariants());
+  EXPECT_EQ(tree.size(), model.size());
+  std::multiset<std::pair<int32_t, uint32_t>> expect(model.begin(), model.end());
+  std::multiset<std::pair<int32_t, uint32_t>> got;
+  tree.ScanAll([&got](int32_t k, uint32_t v) {
+    got.emplace(k, v);
+    return true;
+  });
+  EXPECT_EQ(got, expect);
+}
+
+TEST(BPlusTreeTest, StringKeys) {
+  BPlusTree<std::string, int, 4> tree;
+  tree.Insert("easter", 1);
+  tree.Insert("cinema", 2);
+  tree.Insert("elvis", 3);
+  tree.Insert("bank", 4);
+  tree.Insert("president", 5);
+  std::vector<std::string> keys;
+  tree.ScanAll([&keys](const std::string& k, int) {
+    keys.push_back(k);
+    return true;
+  });
+  EXPECT_EQ(keys, (std::vector<std::string>{"bank", "cinema", "easter", "elvis",
+                                            "president"}));
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+}  // namespace
+}  // namespace s2::storage

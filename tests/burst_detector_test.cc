@@ -1,0 +1,219 @@
+#include "burst/burst_detector.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "querylog/archetypes.h"
+#include "querylog/synthesizer.h"
+#include "timeseries/calendar.h"
+
+namespace s2::burst {
+namespace {
+
+std::vector<double> FlatWithBump(size_t n, size_t bump_start, size_t bump_len,
+                                 double height, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x(n);
+  for (size_t i = 0; i < n; ++i) x[i] = 100.0 + rng.Normal(0, 2.0);
+  for (size_t i = bump_start; i < bump_start + bump_len && i < n; ++i) {
+    x[i] += height;
+  }
+  return x;
+}
+
+TEST(BurstDetectorTest, RejectsTooShortInput) {
+  BurstDetector detector(BurstDetector::Options{30, 1.5, true});
+  EXPECT_FALSE(detector.Detect(std::vector<double>(10, 1.0)).ok());
+}
+
+TEST(BurstDetectorTest, QuietSequenceHasFewBursts) {
+  Rng rng(1);
+  std::vector<double> x(365);
+  for (double& v : x) v = 100.0 + rng.Normal(0, 2.0);
+  auto regions = BurstDetector::LongTerm().Detect(x);
+  ASSERT_TRUE(regions.ok());
+  // Gaussian noise can nick the cutoff, but nothing substantial.
+  size_t burst_days = 0;
+  for (const BurstRegion& r : *regions) burst_days += static_cast<size_t>(r.length());
+  EXPECT_LE(burst_days, 30u);
+}
+
+TEST(BurstDetectorTest, FindsPlantedBump) {
+  const std::vector<double> x = FlatWithBump(365, 200, 40, 80.0, 2);
+  auto regions = BurstDetector::LongTerm().Detect(x);
+  ASSERT_TRUE(regions.ok());
+  ASSERT_FALSE(regions->empty());
+  // The widest detected region must cover the bump's core. The trailing MA
+  // lags by up to the window length on both edges.
+  const BurstRegion* widest = &regions->front();
+  for (const BurstRegion& r : *regions) {
+    if (r.length() > widest->length()) widest = &r;
+  }
+  EXPECT_GE(widest->start, 195);
+  EXPECT_LE(widest->start, 235);
+  EXPECT_GE(widest->end, 220);
+  EXPECT_LE(widest->end, 275);
+  EXPECT_GT(widest->avg_value, 1.0);  // Standardized height well above mean.
+}
+
+TEST(BurstDetectorTest, ShortWindowLocalizesBetter) {
+  const std::vector<double> x = FlatWithBump(365, 200, 10, 100.0, 3);
+  auto long_regions = BurstDetector::LongTerm().Detect(x);
+  auto short_regions = BurstDetector::ShortTerm().Detect(x);
+  ASSERT_TRUE(long_regions.ok());
+  ASSERT_TRUE(short_regions.ok());
+  ASSERT_FALSE(short_regions->empty());
+  const BurstRegion& s = short_regions->front();
+  EXPECT_GE(s.start, 198);
+  EXPECT_LE(s.end, 220);
+}
+
+TEST(BurstDetectorTest, HigherCutoffFindsFewerBurstDays) {
+  const std::vector<double> x = FlatWithBump(365, 100, 60, 30.0, 4);
+  auto loose = BurstDetector(BurstDetector::Options{30, 1.0, true}).Detect(x);
+  auto strict = BurstDetector(BurstDetector::Options{30, 2.5, true}).Detect(x);
+  ASSERT_TRUE(loose.ok());
+  ASSERT_TRUE(strict.ok());
+  size_t loose_days = 0;
+  size_t strict_days = 0;
+  for (const BurstRegion& r : *loose) loose_days += static_cast<size_t>(r.length());
+  for (const BurstRegion& r : *strict) strict_days += static_cast<size_t>(r.length());
+  EXPECT_GE(loose_days, strict_days);
+}
+
+TEST(BurstDetectorTest, RegionsAreDisjointAndOrdered) {
+  Rng rng(5);
+  std::vector<double> x(730);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = 100.0 + rng.Normal(0, 5.0) +
+           (i % 180 < 20 ? 60.0 : 0.0);  // Several planted episodes.
+  }
+  auto regions = BurstDetector::ShortTerm().Detect(x);
+  ASSERT_TRUE(regions.ok());
+  for (size_t i = 0; i < regions->size(); ++i) {
+    EXPECT_LE((*regions)[i].start, (*regions)[i].end);
+    if (i > 0) {
+      EXPECT_GT((*regions)[i].start, (*regions)[i - 1].end + 1);
+    }
+  }
+}
+
+TEST(BurstDetectorTest, TraceExposesMovingAverageAndCutoff) {
+  const std::vector<double> x = FlatWithBump(365, 200, 40, 80.0, 6);
+  auto trace = BurstDetector::LongTerm().DetectWithTrace(x);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_EQ(trace->moving_average.size(), x.size());
+  EXPECT_GT(trace->cutoff, 0.0);  // mean + 1.5 std of a standardized MA.
+  // Every reported day is above the cutoff.
+  for (const BurstRegion& r : trace->regions) {
+    for (int32_t i = r.start; i <= r.end; ++i) {
+      EXPECT_GT(trace->moving_average[static_cast<size_t>(i)], trace->cutoff);
+    }
+  }
+}
+
+TEST(BurstDetectorTest, HalloweenArchetypeBurstsInLateOctober) {
+  // Paper Fig. 14: the Halloween burst lands in October/November.
+  Rng rng(7);
+  auto series = qlog::Synthesize(qlog::MakeHalloween(),
+                                 ts::DateToDayIndex({2002, 1, 1}), 365, &rng);
+  ASSERT_TRUE(series.ok());
+  auto regions = BurstDetector::LongTerm().Detect(series->values);
+  ASSERT_TRUE(regions.ok());
+  ASSERT_FALSE(regions->empty());
+  const BurstRegion* widest = &regions->front();
+  for (const BurstRegion& r : *regions) {
+    if (r.length() > widest->length()) widest = &r;
+  }
+  const int oct1 = 273;
+  const int dec1 = 334;
+  EXPECT_GE(widest->start, oct1 - 15);
+  EXPECT_LE(widest->end, dec1 + 10);
+}
+
+TEST(BurstDetectorTest, EasterArchetypeBurstsEachSpringOverThreeYears) {
+  // Paper Fig. 15: "Easter" 2000-2002 shows one burst per spring.
+  Rng rng(8);
+  auto series = qlog::Synthesize(qlog::MakeEaster(), 0, 1024, &rng);
+  ASSERT_TRUE(series.ok());
+  auto regions = BurstDetector::LongTerm().Detect(series->values);
+  ASSERT_TRUE(regions.ok());
+  // At least one burst in each year's spring window (days ~60-150 mod year).
+  int springs_hit = 0;
+  for (int year = 0; year < 3; ++year) {
+    const int32_t base = ts::DateToDayIndex({2000 + year, 1, 1});
+    bool hit = false;
+    for (const BurstRegion& r : *regions) {
+      if (r.end >= base + 50 && r.start <= base + 160) hit = true;
+    }
+    springs_hit += hit ? 1 : 0;
+  }
+  EXPECT_EQ(springs_hit, 3);
+}
+
+TEST(BurstDetectorTest, MinAvgValueFiltersShallowRegions) {
+  const std::vector<double> x = FlatWithBump(365, 200, 40, 80.0, 10);
+  BurstDetector::Options loose{30, 1.5, true};
+  BurstDetector::Options filtered{30, 1.5, true};
+  filtered.min_avg_value = 1.0;
+  auto all = BurstDetector(loose).Detect(x);
+  auto tall_only = BurstDetector(filtered).Detect(x);
+  ASSERT_TRUE(all.ok());
+  ASSERT_TRUE(tall_only.ok());
+  EXPECT_LE(tall_only->size(), all->size());
+  ASSERT_FALSE(tall_only->empty());  // The real bump survives.
+  for (const BurstRegion& r : *tall_only) EXPECT_GE(r.avg_value, 1.0);
+}
+
+TEST(BurstDetectorTest, MinLengthFiltersWeeklyRippleArtifacts) {
+  // A pure weekend-peaked weekly series: the 30-day MA ripples with a 7-day
+  // cycle, producing 1-day "bursts" every week. min_length removes them.
+  Rng rng(11);
+  std::vector<double> x(730);
+  for (size_t i = 0; i < x.size(); ++i) {
+    const bool weekend = i % 7 == 4 || i % 7 == 5;
+    x[i] = (weekend ? 250.0 : 100.0) + rng.Normal(0, 4.0);
+  }
+  BurstDetector::Options plain{30, 1.5, true};
+  auto ripple = BurstDetector(plain).Detect(x);
+  ASSERT_TRUE(ripple.ok());
+
+  BurstDetector::Options guarded = plain;
+  guarded.min_length = 5;
+  auto clean = BurstDetector(guarded).Detect(x);
+  ASSERT_TRUE(clean.ok());
+  EXPECT_LT(clean->size(), std::max<size_t>(ripple->size(), 1));
+  for (const BurstRegion& r : *clean) EXPECT_GE(r.length(), 5);
+}
+
+TEST(BurstDetectorTest, MinLengthKeepsGenuineLongBursts) {
+  const std::vector<double> x = FlatWithBump(365, 150, 40, 90.0, 12);
+  BurstDetector::Options guarded{30, 1.5, true};
+  guarded.min_length = 5;
+  guarded.min_avg_value = 0.5;
+  auto regions = BurstDetector(guarded).Detect(x);
+  ASSERT_TRUE(regions.ok());
+  ASSERT_FALSE(regions->empty());
+  EXPECT_GE(regions->front().length(), 20);
+}
+
+TEST(BurstDetectorTest, StandardizationMakesDetectionScaleInvariant) {
+  const std::vector<double> x = FlatWithBump(365, 150, 30, 50.0, 9);
+  std::vector<double> scaled(x.size());
+  for (size_t i = 0; i < x.size(); ++i) scaled[i] = 1000.0 * x[i];
+  auto a = BurstDetector::LongTerm().Detect(x);
+  auto b = BurstDetector::LongTerm().Detect(scaled);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ((*a)[i].start, (*b)[i].start);
+    EXPECT_EQ((*a)[i].end, (*b)[i].end);
+    EXPECT_NEAR((*a)[i].avg_value, (*b)[i].avg_value, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace s2::burst

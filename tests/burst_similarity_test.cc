@@ -1,0 +1,91 @@
+#include "burst/burst_similarity.h"
+
+#include <gtest/gtest.h>
+
+namespace s2::burst {
+namespace {
+
+BurstRegion R(int32_t start, int32_t end, double avg) { return {start, end, avg}; }
+
+TEST(BurstSimilarityTest, OverlapCases) {
+  // Fig. 17: fully overlapping, partially overlapping, disjoint.
+  EXPECT_EQ(Overlap(R(10, 20, 1), R(10, 20, 1)), 11);  // Identical.
+  EXPECT_EQ(Overlap(R(10, 20, 1), R(12, 18, 1)), 7);   // Contained.
+  EXPECT_EQ(Overlap(R(10, 20, 1), R(15, 30, 1)), 6);   // Partial.
+  EXPECT_EQ(Overlap(R(10, 20, 1), R(20, 25, 1)), 1);   // Touching endpoint.
+  EXPECT_EQ(Overlap(R(10, 20, 1), R(21, 30, 1)), 0);   // Adjacent, disjoint.
+  EXPECT_EQ(Overlap(R(10, 20, 1), R(40, 50, 1)), 0);   // Far apart.
+}
+
+TEST(BurstSimilarityTest, OverlapIsSymmetric) {
+  const BurstRegion a = R(5, 15, 1);
+  const BurstRegion b = R(10, 30, 2);
+  EXPECT_EQ(Overlap(a, b), Overlap(b, a));
+}
+
+TEST(BurstSimilarityTest, IntersectRangeAndIdentity) {
+  const BurstRegion a = R(10, 19, 1.0);  // Length 10.
+  EXPECT_DOUBLE_EQ(Intersect(a, a), 1.0);
+  const BurstRegion b = R(15, 24, 1.0);  // Length 10, overlap 5.
+  EXPECT_DOUBLE_EQ(Intersect(a, b), 0.5);
+  EXPECT_DOUBLE_EQ(Intersect(a, R(30, 40, 1.0)), 0.0);
+}
+
+TEST(BurstSimilarityTest, IntersectAsymmetricLengths) {
+  const BurstRegion big = R(0, 99, 1.0);    // Length 100.
+  const BurstRegion small = R(0, 9, 1.0);   // Length 10, fully inside.
+  // 0.5 * (10/100 + 10/10) = 0.55.
+  EXPECT_DOUBLE_EQ(Intersect(big, small), 0.55);
+  EXPECT_DOUBLE_EQ(Intersect(small, big), 0.55);
+}
+
+TEST(BurstSimilarityTest, ValueSimilarityBasics) {
+  EXPECT_DOUBLE_EQ(ValueSimilarity(R(0, 1, 2.0), R(0, 1, 2.0)), 1.0);
+  EXPECT_DOUBLE_EQ(ValueSimilarity(R(0, 1, 3.0), R(0, 1, 1.0)), 1.0 / 3.0);
+  // Absolute difference: order must not matter (the paper's formula without
+  // abs would diverge here).
+  EXPECT_DOUBLE_EQ(ValueSimilarity(R(0, 1, 1.0), R(0, 1, 3.0)),
+                   ValueSimilarity(R(0, 1, 3.0), R(0, 1, 1.0)));
+  EXPECT_LE(ValueSimilarity(R(0, 1, -5.0), R(0, 1, 5.0)), 1.0);
+  EXPECT_GT(ValueSimilarity(R(0, 1, -5.0), R(0, 1, 5.0)), 0.0);
+}
+
+TEST(BurstSimilarityTest, BSimIdenticalSetsScoreHighest) {
+  const std::vector<BurstRegion> x = {R(10, 20, 2.0), R(100, 120, 1.5)};
+  const double self = BSim(x, x);
+  EXPECT_DOUBLE_EQ(self, 2.0);  // Each burst contributes intersect=1 * sim=1.
+  const std::vector<BurstRegion> shifted = {R(12, 22, 2.0), R(105, 125, 1.5)};
+  EXPECT_LT(BSim(x, shifted), self);
+  EXPECT_GT(BSim(x, shifted), 0.0);
+}
+
+TEST(BurstSimilarityTest, BSimSymmetric) {
+  const std::vector<BurstRegion> x = {R(10, 20, 2.0), R(50, 60, 1.0)};
+  const std::vector<BurstRegion> y = {R(15, 30, 1.8)};
+  EXPECT_DOUBLE_EQ(BSim(x, y), BSim(y, x));
+}
+
+TEST(BurstSimilarityTest, BSimDisjointIsZero) {
+  const std::vector<BurstRegion> x = {R(10, 20, 2.0)};
+  const std::vector<BurstRegion> y = {R(30, 40, 2.0)};
+  EXPECT_DOUBLE_EQ(BSim(x, y), 0.0);
+  EXPECT_DOUBLE_EQ(BSim(x, {}), 0.0);
+  EXPECT_DOUBLE_EQ(BSim({}, {}), 0.0);
+}
+
+TEST(BurstSimilarityTest, BSimPrefersAlignedOverMisaligned) {
+  const std::vector<BurstRegion> query = {R(100, 130, 2.0)};
+  const std::vector<BurstRegion> aligned = {R(102, 128, 1.9)};
+  const std::vector<BurstRegion> misaligned = {R(125, 160, 1.9)};
+  EXPECT_GT(BSim(query, aligned), BSim(query, misaligned));
+}
+
+TEST(BurstSimilarityTest, BSimPrefersSimilarHeights) {
+  const std::vector<BurstRegion> query = {R(100, 130, 2.0)};
+  const std::vector<BurstRegion> same_height = {R(100, 130, 2.0)};
+  const std::vector<BurstRegion> taller = {R(100, 130, 6.0)};
+  EXPECT_GT(BSim(query, same_height), BSim(query, taller));
+}
+
+}  // namespace
+}  // namespace s2::burst

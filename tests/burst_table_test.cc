@@ -1,0 +1,149 @@
+#include "burst/burst_table.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace s2::burst {
+namespace {
+
+BurstRegion R(int32_t start, int32_t end, double avg) { return {start, end, avg}; }
+
+TEST(BurstTableTest, EmptyTable) {
+  BurstTable table;
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_TRUE(table.FindOverlapping(R(0, 100, 1.0)).empty());
+  EXPECT_TRUE(table.QueryByBurst({R(0, 100, 1.0)}, 5).empty());
+}
+
+TEST(BurstTableTest, InsertWithOffsetShiftsDates) {
+  BurstTable table;
+  table.Insert(3, {R(10, 20, 1.5)}, 1000);
+  ASSERT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.records()[0].start, 1010);
+  EXPECT_EQ(table.records()[0].end, 1020);
+  EXPECT_EQ(table.records()[0].series_id, 3u);
+}
+
+TEST(BurstTableTest, FindOverlappingMatchesSqlPredicate) {
+  BurstTable table;
+  table.Insert(0, {R(10, 20, 1.0)}, 0);
+  table.Insert(1, {R(15, 30, 1.0)}, 0);
+  table.Insert(2, {R(40, 50, 1.0)}, 0);
+  table.Insert(3, {R(0, 9, 1.0)}, 0);
+
+  const auto hits = table.FindOverlapping(R(12, 22, 1.0));
+  std::vector<ts::SeriesId> ids;
+  for (const BurstRecord& r : hits) ids.push_back(r.series_id);
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(ids, (std::vector<ts::SeriesId>{0, 1}));
+}
+
+TEST(BurstTableTest, BoundaryOverlapIsInclusive) {
+  BurstTable table;
+  table.Insert(0, {R(10, 20, 1.0)}, 0);
+  EXPECT_EQ(table.FindOverlapping(R(20, 25, 1.0)).size(), 1u);  // Shares day 20.
+  EXPECT_EQ(table.FindOverlapping(R(21, 25, 1.0)).size(), 0u);
+  EXPECT_EQ(table.FindOverlapping(R(5, 10, 1.0)).size(), 1u);   // Shares day 10.
+  EXPECT_EQ(table.FindOverlapping(R(5, 9, 1.0)).size(), 0u);
+}
+
+TEST(BurstTableTest, AgreesWithFullScan) {
+  Rng rng(1);
+  BurstTable table;
+  std::vector<BurstRecord> all;
+  for (ts::SeriesId id = 0; id < 200; ++id) {
+    std::vector<BurstRegion> regions;
+    const int n = static_cast<int>(rng.UniformInt(0, 3));
+    for (int b = 0; b < n; ++b) {
+      const int32_t start = static_cast<int32_t>(rng.UniformInt(0, 1000));
+      const int32_t len = static_cast<int32_t>(rng.UniformInt(1, 60));
+      regions.push_back(R(start, start + len - 1, rng.Uniform(0.5, 4.0)));
+    }
+    table.Insert(id, regions, 0);
+    for (const BurstRegion& r : regions) {
+      all.push_back(BurstRecord{id, r.start, r.end, r.avg_value});
+    }
+  }
+  for (int trial = 0; trial < 50; ++trial) {
+    const int32_t qs = static_cast<int32_t>(rng.UniformInt(0, 1000));
+    const int32_t qe = qs + static_cast<int32_t>(rng.UniformInt(0, 100));
+    const BurstRegion query = R(qs, qe, 1.0);
+    auto indexed = table.FindOverlapping(query);
+    size_t expected = 0;
+    for (const BurstRecord& r : all) {
+      if (r.start <= qe && r.end >= qs) ++expected;
+    }
+    EXPECT_EQ(indexed.size(), expected) << "trial " << trial;
+  }
+}
+
+TEST(BurstTableTest, QueryByBurstRanksAlignedSeriesFirst) {
+  BurstTable table;
+  table.Insert(0, {R(100, 130, 2.0)}, 0);  // Perfectly aligned.
+  table.Insert(1, {R(120, 160, 2.0)}, 0);  // Partial overlap.
+  table.Insert(2, {R(500, 520, 2.0)}, 0);  // No overlap.
+  const auto matches = table.QueryByBurst({R(100, 130, 2.0)}, 10);
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_EQ(matches[0].series_id, 0u);
+  EXPECT_EQ(matches[1].series_id, 1u);
+  EXPECT_GT(matches[0].bsim, matches[1].bsim);
+}
+
+TEST(BurstTableTest, QueryByBurstAggregatesAcrossBursts) {
+  BurstTable table;
+  // Series 0 overlaps both query bursts; series 1 only one.
+  table.Insert(0, {R(10, 20, 1.0), R(100, 110, 1.0)}, 0);
+  table.Insert(1, {R(10, 20, 1.0)}, 0);
+  const auto matches =
+      table.QueryByBurst({R(10, 20, 1.0), R(100, 110, 1.0)}, 10);
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_EQ(matches[0].series_id, 0u);
+  EXPECT_NEAR(matches[0].bsim, 2.0, 1e-12);
+  EXPECT_NEAR(matches[1].bsim, 1.0, 1e-12);
+}
+
+TEST(BurstTableTest, QueryByBurstExcludesSelf) {
+  BurstTable table;
+  table.Insert(0, {R(10, 20, 1.0)}, 0);
+  table.Insert(1, {R(12, 22, 1.0)}, 0);
+  const auto matches = table.QueryByBurst({R(10, 20, 1.0)}, 10, /*exclude=*/0);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].series_id, 1u);
+}
+
+TEST(BurstTableTest, TopKTruncates) {
+  BurstTable table;
+  for (ts::SeriesId id = 0; id < 20; ++id) {
+    table.Insert(id, {R(100, 120 + static_cast<int32_t>(id), 2.0)}, 0);
+  }
+  const auto matches = table.QueryByBurst({R(100, 120, 2.0)}, 5);
+  EXPECT_EQ(matches.size(), 5u);
+  // Descending scores.
+  for (size_t i = 1; i < matches.size(); ++i) {
+    EXPECT_GE(matches[i - 1].bsim, matches[i].bsim);
+  }
+}
+
+TEST(BurstTableTest, StorageIsCompact) {
+  BurstTable table;
+  table.Insert(0, {R(10, 20, 1.0), R(30, 40, 2.0)}, 0);
+  // Two records, far below the footprint of a 1024-double sequence.
+  EXPECT_LE(table.StorageBytes(), 2 * sizeof(BurstRecord));
+  EXPECT_LT(table.StorageBytes(), 1024 * sizeof(double));
+}
+
+TEST(BurstTableTest, ScanStatisticsExposed) {
+  BurstTable table;
+  for (ts::SeriesId id = 0; id < 100; ++id) {
+    table.Insert(id, {R(static_cast<int32_t>(id * 10), static_cast<int32_t>(id * 10 + 5), 1.0)}, 0);
+  }
+  table.FindOverlapping(R(0, 50, 1.0));
+  // The index scan stops at startDate <= 50: only ~6 records touched.
+  EXPECT_LE(table.last_scanned(), 7u);
+}
+
+}  // namespace
+}  // namespace s2::burst

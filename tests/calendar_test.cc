@@ -1,0 +1,73 @@
+#include "timeseries/calendar.h"
+
+#include <gtest/gtest.h>
+
+namespace s2::ts {
+namespace {
+
+TEST(CalendarTest, LeapYears) {
+  EXPECT_TRUE(IsLeapYear(2000));   // Divisible by 400.
+  EXPECT_FALSE(IsLeapYear(1900));  // Divisible by 100 but not 400.
+  EXPECT_TRUE(IsLeapYear(2004));
+  EXPECT_FALSE(IsLeapYear(2001));
+  EXPECT_EQ(DaysInYear(2000), 366);
+  EXPECT_EQ(DaysInYear(2001), 365);
+}
+
+TEST(CalendarTest, DaysInMonth) {
+  EXPECT_EQ(DaysInMonth(2000, 2), 29);
+  EXPECT_EQ(DaysInMonth(2001, 2), 28);
+  EXPECT_EQ(DaysInMonth(2002, 1), 31);
+  EXPECT_EQ(DaysInMonth(2002, 4), 30);
+  EXPECT_EQ(DaysInMonth(2002, 12), 31);
+}
+
+TEST(CalendarTest, EpochIsDayZero) {
+  EXPECT_EQ(DateToDayIndex({2000, 1, 1}), 0);
+  EXPECT_EQ(DateToDayIndex({2000, 1, 2}), 1);
+  EXPECT_EQ(DateToDayIndex({2000, 12, 31}), 365);
+  EXPECT_EQ(DateToDayIndex({2001, 1, 1}), 366);
+  EXPECT_EQ(DateToDayIndex({2002, 1, 1}), 366 + 365);
+}
+
+TEST(CalendarTest, RoundTripAllDaysOfThreeYears) {
+  for (int32_t day = 0; day < 366 + 365 + 365; ++day) {
+    const Date date = DayIndexToDate(day);
+    EXPECT_EQ(DateToDayIndex(date), day);
+  }
+}
+
+TEST(CalendarTest, NegativeIndicesAddressEarlierYears) {
+  const Date date = DayIndexToDate(-1);
+  EXPECT_EQ(date.year, 1999);
+  EXPECT_EQ(date.month, 12);
+  EXPECT_EQ(date.day, 31);
+  EXPECT_EQ(DateToDayIndex(date), -1);
+}
+
+TEST(CalendarTest, DayOfWeekAnchors) {
+  // 2000-01-01 was a Saturday (5 in Monday-based numbering).
+  EXPECT_EQ(DayOfWeek(0), 5);
+  // 2000-01-03 was a Monday.
+  EXPECT_EQ(DayOfWeek(2), 0);
+  // 2001-09-11 was a Tuesday.
+  EXPECT_EQ(DayOfWeek(DateToDayIndex({2001, 9, 11})), 1);
+  // Negative days wrap correctly: 1999-12-31 was a Friday.
+  EXPECT_EQ(DayOfWeek(-1), 4);
+}
+
+TEST(CalendarTest, DayOfYear) {
+  EXPECT_EQ(DayOfYear(0), 1);
+  EXPECT_EQ(DayOfYear(DateToDayIndex({2000, 12, 31})), 366);
+  EXPECT_EQ(DayOfYear(DateToDayIndex({2001, 12, 31})), 365);
+  // Aug 16 2002 ("Elvis day"): 31+28+31+30+31+30+31+16 = 228.
+  EXPECT_EQ(DayOfYear(DateToDayIndex({2002, 8, 16})), 228);
+}
+
+TEST(CalendarTest, Formatting) {
+  EXPECT_EQ(FormatDayIndex(0), "2000-01-01");
+  EXPECT_EQ(FormatDayIndex(DateToDayIndex({2001, 9, 11})), "2001-09-11");
+}
+
+}  // namespace
+}  // namespace s2::ts

@@ -1,0 +1,225 @@
+#include "repr/compressed.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dsp/stats.h"
+
+namespace s2::repr {
+namespace {
+
+std::vector<double> PeriodicSeries(size_t n, uint64_t seed) {
+  // Strongly periodic signal with power away from the low frequencies —
+  // the regime where best-k beats first-k.
+  Rng rng(seed);
+  std::vector<double> x(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i);
+    x[i] = 3.0 * std::sin(2.0 * std::numbers::pi * t / 7.0) +
+           1.5 * std::sin(2.0 * std::numbers::pi * t / 30.0) +
+           rng.Normal(0, 0.3);
+  }
+  return dsp::Standardize(x);
+}
+
+HalfSpectrum SpectrumOf(const std::vector<double>& x) {
+  auto s = HalfSpectrum::FromSeries(x);
+  EXPECT_TRUE(s.ok());
+  return std::move(s).ValueOrDie();
+}
+
+TEST(CompressedTest, BestCoefficientBudgetMatchesPaper) {
+  // Section 7.1: floor(c / 1.125).
+  EXPECT_EQ(BestCoefficientBudget(8), 7u);
+  EXPECT_EQ(BestCoefficientBudget(16), 14u);
+  EXPECT_EQ(BestCoefficientBudget(32), 28u);
+  EXPECT_EQ(BestCoefficientBudget(9), 8u);
+  EXPECT_EQ(BestCoefficientBudget(1), 0u);
+}
+
+TEST(CompressedTest, RejectsBadBudgets) {
+  const HalfSpectrum s = SpectrumOf(PeriodicSeries(64, 1));
+  EXPECT_FALSE(CompressedSpectrum::Compress(s, ReprKind::kFirstKMiddle, 0).ok());
+  // keep >= bins.
+  EXPECT_FALSE(CompressedSpectrum::Compress(s, ReprKind::kFirstKMiddle, 40).ok());
+  // Best budget of 1 rounds to 0 coefficients.
+  EXPECT_FALSE(CompressedSpectrum::Compress(s, ReprKind::kBestKError, 1).ok());
+}
+
+TEST(CompressedTest, FirstKTakesLeadingBinsPlusMiddle) {
+  const HalfSpectrum s = SpectrumOf(PeriodicSeries(64, 2));
+  auto c = CompressedSpectrum::Compress(s, ReprKind::kFirstKMiddle, 5);
+  ASSERT_TRUE(c.ok());
+  // Positions 1..5 plus the Nyquist bin 32.
+  EXPECT_EQ(c->positions(), (std::vector<uint32_t>{1, 2, 3, 4, 5, 32}));
+  EXPECT_TRUE(std::isnan(c->error()));
+  EXPECT_TRUE(std::isinf(c->min_power()));
+}
+
+TEST(CompressedTest, FirstKErrorStoresOmittedEnergy) {
+  const std::vector<double> x = PeriodicSeries(128, 3);
+  const HalfSpectrum s = SpectrumOf(x);
+  auto c = CompressedSpectrum::Compress(s, ReprKind::kFirstKError, 6);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->positions(), (std::vector<uint32_t>{1, 2, 3, 4, 5, 6}));
+  // Stored error + kept energy == total energy.
+  double kept = 0.0;
+  for (size_t i = 0; i < c->positions().size(); ++i) {
+    kept += c->multiplicity(c->positions()[i]) * std::norm(c->coeffs()[i]);
+  }
+  EXPECT_NEAR(kept + c->error(), s.Energy(), 1e-8 * (1.0 + s.Energy()));
+}
+
+TEST(CompressedTest, BestKSelectsLargestMagnitudes) {
+  const HalfSpectrum s = SpectrumOf(PeriodicSeries(256, 4));
+  auto c = CompressedSpectrum::Compress(s, ReprKind::kBestKError, 9);  // 8 best.
+  ASSERT_TRUE(c.ok());
+  ASSERT_EQ(c->positions().size(), 8u);
+  // minProperty: every omitted bin magnitude <= min over kept.
+  double min_kept = 1e300;
+  for (uint32_t k : c->positions()) {
+    min_kept = std::min(min_kept, std::abs(s.coeff(k)));
+  }
+  EXPECT_DOUBLE_EQ(c->min_power(), min_kept);
+  for (uint32_t k = 0; k < s.num_bins(); ++k) {
+    if (!c->Holds(k, nullptr)) {
+      EXPECT_LE(std::abs(s.coeff(k)), min_kept + 1e-12) << "bin " << k;
+    }
+  }
+}
+
+TEST(CompressedTest, BestKMiddleAlwaysContainsNyquist) {
+  const HalfSpectrum s = SpectrumOf(PeriodicSeries(64, 5));
+  auto c = CompressedSpectrum::Compress(s, ReprKind::kBestKMiddle, 5);  // 4 best.
+  ASSERT_TRUE(c.ok());
+  EXPECT_TRUE(c->Holds(32, nullptr));
+  EXPECT_TRUE(std::isnan(c->error()));
+  EXPECT_TRUE(std::isfinite(c->min_power()));
+}
+
+TEST(CompressedTest, HoldsReportsSlot) {
+  const HalfSpectrum s = SpectrumOf(PeriodicSeries(64, 6));
+  auto c = CompressedSpectrum::Compress(s, ReprKind::kFirstKError, 4);
+  ASSERT_TRUE(c.ok());
+  size_t slot = 99;
+  EXPECT_TRUE(c->Holds(3, &slot));
+  EXPECT_EQ(slot, 2u);
+  EXPECT_FALSE(c->Holds(10, &slot));
+}
+
+TEST(CompressedTest, EqualMemoryAccountingAcrossKinds) {
+  // Table 1: every kind must occupy (at most) the same 2c+1 doubles.
+  const HalfSpectrum s = SpectrumOf(PeriodicSeries(2048, 7));
+  for (size_t c : {8u, 16u, 32u}) {
+    const size_t budget_bytes = (2 * c + 1) * 8;
+    for (ReprKind kind : {ReprKind::kFirstKMiddle, ReprKind::kFirstKError,
+                          ReprKind::kBestKMiddle, ReprKind::kBestKError}) {
+      auto compressed = CompressedSpectrum::Compress(s, kind, c);
+      ASSERT_TRUE(compressed.ok());
+      EXPECT_LE(compressed->StorageBytes(), budget_bytes)
+          << ReprKindToString(kind) << " c=" << c;
+      // And not wastefully small either (>= 80% of the budget).
+      EXPECT_GE(compressed->StorageBytes(), budget_bytes * 4 / 5)
+          << ReprKindToString(kind) << " c=" << c;
+    }
+  }
+}
+
+TEST(CompressedTest, BestKReconstructionBeatsFirstKOnPeriodicData) {
+  // Figure 5's claim: fewer best coefficients reconstruct better than more
+  // first coefficients on periodic sequences.
+  for (uint64_t seed : {10u, 11u, 12u, 13u}) {
+    const std::vector<double> x = PeriodicSeries(365, seed);
+    const HalfSpectrum s = SpectrumOf(x);
+    auto first = CompressedSpectrum::Compress(s, ReprKind::kFirstKMiddle, 5);
+    auto best = CompressedSpectrum::Compress(s, ReprKind::kBestKMiddle, 5);  // 4 best.
+    ASSERT_TRUE(first.ok());
+    ASSERT_TRUE(best.ok());
+    auto first_rec = first->Reconstruct();
+    auto best_rec = best->Reconstruct();
+    ASSERT_TRUE(first_rec.ok());
+    ASSERT_TRUE(best_rec.ok());
+    const double err_first = *dsp::Euclidean(x, *first_rec);
+    const double err_best = *dsp::Euclidean(x, *best_rec);
+    EXPECT_LT(err_best, err_first) << "seed " << seed;
+  }
+}
+
+TEST(CompressedTest, ReconstructionErrorEqualsStoredError) {
+  // For error-kinds, the stored T.err equals the squared reconstruction
+  // residual (orthogonality of the Fourier basis).
+  const std::vector<double> x = PeriodicSeries(256, 14);
+  const HalfSpectrum s = SpectrumOf(x);
+  auto c = CompressedSpectrum::Compress(s, ReprKind::kBestKError, 9);
+  ASSERT_TRUE(c.ok());
+  auto rec = c->Reconstruct();
+  ASSERT_TRUE(rec.ok());
+  const double residual_sq = *dsp::SquaredEuclidean(x, *rec);
+  EXPECT_NEAR(residual_sq, c->error(), 1e-6 * (1.0 + c->error()));
+}
+
+TEST(CompressToEnergyTest, ValidatesFraction) {
+  const HalfSpectrum s = SpectrumOf(PeriodicSeries(64, 20));
+  EXPECT_FALSE(CompressedSpectrum::CompressToEnergy(s, 0.0).ok());
+  EXPECT_FALSE(CompressedSpectrum::CompressToEnergy(s, 1.0).ok());
+  EXPECT_FALSE(CompressedSpectrum::CompressToEnergy(s, -0.5).ok());
+}
+
+TEST(CompressToEnergyTest, CapturesRequestedEnergy) {
+  const HalfSpectrum s = SpectrumOf(PeriodicSeries(365, 21));
+  for (double fraction : {0.5, 0.8, 0.95, 0.99}) {
+    auto c = CompressedSpectrum::CompressToEnergy(s, fraction);
+    ASSERT_TRUE(c.ok());
+    // error() is the *uncaptured* energy: <= (1 - fraction) of the total.
+    EXPECT_LE(c->error(), (1.0 - fraction) * s.Energy() + 1e-9) << fraction;
+    EXPECT_EQ(c->kind(), ReprKind::kBestKError);
+  }
+}
+
+TEST(CompressToEnergyTest, ConcentratedSignalNeedsFewCoefficients) {
+  // A near-pure sinusoid stores ~1-2 coefficients for 90% energy; a noise
+  // signal needs many more.
+  std::vector<double> sine(256);
+  for (size_t i = 0; i < sine.size(); ++i) {
+    sine[i] = std::sin(2.0 * std::numbers::pi * static_cast<double>(i) / 8.0);
+  }
+  auto concentrated = CompressedSpectrum::CompressToEnergy(SpectrumOf(sine), 0.9);
+  ASSERT_TRUE(concentrated.ok());
+  EXPECT_LE(concentrated->positions().size(), 2u);
+
+  Rng rng(22);
+  std::vector<double> noise(256);
+  for (double& v : noise) v = rng.Normal(0, 1);
+  auto spread = CompressedSpectrum::CompressToEnergy(SpectrumOf(noise), 0.9);
+  ASSERT_TRUE(spread.ok());
+  EXPECT_GT(spread->positions().size(), 20u);
+}
+
+TEST(CompressToEnergyTest, MinPropertyHolds) {
+  const HalfSpectrum s = SpectrumOf(PeriodicSeries(365, 23));
+  auto c = CompressedSpectrum::CompressToEnergy(s, 0.8);
+  ASSERT_TRUE(c.ok());
+  for (uint32_t k = 0; k < s.num_bins(); ++k) {
+    if (!c->Holds(k, nullptr)) {
+      EXPECT_LE(std::abs(s.coeff(k)), c->min_power() + 1e-12);
+    }
+  }
+}
+
+TEST(CompressToEnergyTest, HigherFractionKeepsMoreCoefficients) {
+  const HalfSpectrum s = SpectrumOf(PeriodicSeries(512, 24));
+  auto lo = CompressedSpectrum::CompressToEnergy(s, 0.6);
+  auto hi = CompressedSpectrum::CompressToEnergy(s, 0.99);
+  ASSERT_TRUE(lo.ok());
+  ASSERT_TRUE(hi.ok());
+  EXPECT_LT(lo->positions().size(), hi->positions().size());
+  EXPECT_GT(lo->error(), hi->error());
+}
+
+}  // namespace
+}  // namespace s2::repr

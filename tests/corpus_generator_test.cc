@@ -1,0 +1,112 @@
+#include "querylog/corpus_generator.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace s2::qlog {
+namespace {
+
+TEST(CorpusGeneratorTest, RejectsEmptySpecs) {
+  CorpusSpec spec;
+  spec.num_series = 0;
+  EXPECT_FALSE(GenerateCorpus(spec).ok());
+  spec.num_series = 4;
+  spec.n_days = 0;
+  EXPECT_FALSE(GenerateCorpus(spec).ok());
+}
+
+TEST(CorpusGeneratorTest, ProducesRequestedCorpus) {
+  CorpusSpec spec;
+  spec.num_series = 50;
+  spec.n_days = 128;
+  auto corpus = GenerateCorpus(spec);
+  ASSERT_TRUE(corpus.ok());
+  EXPECT_EQ(corpus->size(), 50u);
+  for (const auto& series : corpus->series()) {
+    EXPECT_EQ(series.size(), 128u);
+    EXPECT_FALSE(series.name.empty());
+  }
+}
+
+TEST(CorpusGeneratorTest, DeterministicForSameSeed) {
+  CorpusSpec spec;
+  spec.num_series = 20;
+  spec.n_days = 64;
+  spec.seed = 99;
+  auto a = GenerateCorpus(spec);
+  auto b = GenerateCorpus(spec);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ(a->at(static_cast<ts::SeriesId>(i)).values,
+              b->at(static_cast<ts::SeriesId>(i)).values);
+    EXPECT_EQ(a->at(static_cast<ts::SeriesId>(i)).name,
+              b->at(static_cast<ts::SeriesId>(i)).name);
+  }
+}
+
+TEST(CorpusGeneratorTest, DifferentSeedsDiffer) {
+  CorpusSpec spec;
+  spec.num_series = 5;
+  spec.n_days = 64;
+  spec.seed = 1;
+  auto a = GenerateCorpus(spec);
+  spec.seed = 2;
+  auto b = GenerateCorpus(spec);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a->at(0).values, b->at(0).values);
+}
+
+TEST(CorpusGeneratorTest, NamesEncodeFamilies) {
+  CorpusSpec spec;
+  spec.num_series = 200;
+  spec.n_days = 32;
+  auto corpus = GenerateCorpus(spec);
+  ASSERT_TRUE(corpus.ok());
+  size_t weekly = 0;
+  size_t aperiodic = 0;
+  size_t seasonal = 0;
+  for (const auto& series : corpus->series()) {
+    if (series.name.starts_with("weekly_")) ++weekly;
+    if (series.name.starts_with("aperiodic_")) ++aperiodic;
+    if (series.name.starts_with("seasonal_")) ++seasonal;
+  }
+  // Default mix: 35% weekly, 30% aperiodic, 15% seasonal, with sampling slack.
+  EXPECT_GT(weekly, 40u);
+  EXPECT_GT(aperiodic, 30u);
+  EXPECT_GT(seasonal, 10u);
+}
+
+TEST(CorpusGeneratorTest, MixWeightsAreHonored) {
+  CorpusSpec spec;
+  spec.num_series = 100;
+  spec.n_days = 32;
+  spec.mix = {1.0, 0.0, 0.0, 0.0, 0.0};  // Weekly only.
+  auto corpus = GenerateCorpus(spec);
+  ASSERT_TRUE(corpus.ok());
+  for (const auto& series : corpus->series()) {
+    EXPECT_TRUE(series.name.starts_with("weekly_")) << series.name;
+  }
+}
+
+TEST(CorpusGeneratorTest, HeldOutQueriesDifferFromCorpus) {
+  CorpusSpec spec;
+  spec.num_series = 30;
+  spec.n_days = 64;
+  auto corpus = GenerateCorpus(spec);
+  auto queries = GenerateQueries(spec, 10);
+  ASSERT_TRUE(corpus.ok());
+  ASSERT_TRUE(queries.ok());
+  EXPECT_EQ(queries->size(), 10u);
+  for (const auto& query : *queries) {
+    EXPECT_TRUE(query.name.starts_with("query_"));
+    for (const auto& member : corpus->series()) {
+      EXPECT_NE(query.values, member.values);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace s2::qlog

@@ -1,0 +1,83 @@
+#include "storage/corpus_io.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "querylog/corpus_generator.h"
+
+namespace s2::storage {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(CorpusIoTest, RoundTrip) {
+  qlog::CorpusSpec spec;
+  spec.num_series = 25;
+  spec.n_days = 100;
+  spec.seed = 9;
+  auto corpus = qlog::GenerateCorpus(spec);
+  ASSERT_TRUE(corpus.ok());
+
+  const std::string path = TempPath("s2_corpus_roundtrip.bin");
+  ASSERT_TRUE(WriteCorpus(path, *corpus).ok());
+  auto loaded = ReadCorpus(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), corpus->size());
+  for (ts::SeriesId id = 0; id < corpus->size(); ++id) {
+    EXPECT_EQ(loaded->at(id).name, corpus->at(id).name);
+    EXPECT_EQ(loaded->at(id).start_day, corpus->at(id).start_day);
+    EXPECT_EQ(loaded->at(id).values, corpus->at(id).values);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CorpusIoTest, EmptyCorpusRoundTrip) {
+  const std::string path = TempPath("s2_corpus_empty.bin");
+  ASSERT_TRUE(WriteCorpus(path, ts::Corpus()).ok());
+  auto loaded = ReadCorpus(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->empty());
+  std::remove(path.c_str());
+}
+
+TEST(CorpusIoTest, MissingFileIsIoError) {
+  EXPECT_EQ(ReadCorpus("/no/such/dir/corpus.bin").status().code(),
+            StatusCode::kIoError);
+}
+
+TEST(CorpusIoTest, BadMagicRejected) {
+  const std::string path = TempPath("s2_corpus_badmagic.bin");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fwrite("BADMAGIC", 1, 8, f);
+  std::fclose(f);
+  EXPECT_EQ(ReadCorpus(path).status().code(), StatusCode::kIoError);
+  std::remove(path.c_str());
+}
+
+TEST(CorpusIoTest, TruncatedFileRejected) {
+  qlog::CorpusSpec spec;
+  spec.num_series = 4;
+  spec.n_days = 50;
+  auto corpus = qlog::GenerateCorpus(spec);
+  ASSERT_TRUE(corpus.ok());
+  const std::string path = TempPath("s2_corpus_trunc.bin");
+  ASSERT_TRUE(WriteCorpus(path, *corpus).ok());
+  // Chop the file in half.
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size / 2);
+  EXPECT_EQ(ReadCorpus(path).status().code(), StatusCode::kIoError);
+  std::remove(path.c_str());
+}
+
+TEST(CorpusIoTest, UnwritablePathIsIoError) {
+  EXPECT_EQ(WriteCorpus("/no/such/dir/corpus.bin", ts::Corpus()).code(),
+            StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace s2::storage

@@ -1,0 +1,280 @@
+#include "storage/disk_bptree.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace s2::storage {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+class DiskBPlusTreeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = TempPath("s2_disk_bptree_" +
+                     std::string(::testing::UnitTest::GetInstance()
+                                     ->current_test_info()
+                                     ->name()) +
+                     ".db");
+    std::remove(path_.c_str());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+std::vector<std::pair<int64_t, uint64_t>> CollectAll(DiskBPlusTree* tree) {
+  std::vector<std::pair<int64_t, uint64_t>> out;
+  EXPECT_TRUE(tree->ScanAll([&out](int64_t k, uint64_t v) {
+                    out.emplace_back(k, v);
+                    return true;
+                  })
+                  .ok());
+  return out;
+}
+
+TEST_F(DiskBPlusTreeTest, OpenValidates) {
+  EXPECT_FALSE(DiskBPlusTree::Open(path_, 4).ok());  // Pool too small.
+  EXPECT_FALSE(DiskBPlusTree::Open("/no/such/dir/tree.db").ok());
+}
+
+TEST_F(DiskBPlusTreeTest, EmptyTree) {
+  auto tree = DiskBPlusTree::Open(path_);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ((*tree)->size(), 0u);
+  EXPECT_TRUE(CollectAll(tree->get()).empty());
+  auto ok = (*tree)->CheckInvariants();
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(*ok);
+}
+
+TEST_F(DiskBPlusTreeTest, InsertAndScanSorted) {
+  auto tree = DiskBPlusTree::Open(path_);
+  ASSERT_TRUE(tree.ok());
+  for (int64_t k : {5, 3, 9, 1, 7, 2, 8, 4, 6, 0}) {
+    ASSERT_TRUE((*tree)->Insert(k, static_cast<uint64_t>(k * 10)).ok());
+  }
+  const auto all = CollectAll(tree->get());
+  ASSERT_EQ(all.size(), 10u);
+  for (size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(all[i].first, static_cast<int64_t>(i));
+    EXPECT_EQ(all[i].second, i * 10);
+  }
+}
+
+TEST_F(DiskBPlusTreeTest, RangeScanInclusive) {
+  auto tree = DiskBPlusTree::Open(path_);
+  ASSERT_TRUE(tree.ok());
+  for (int64_t k = 0; k < 100; ++k) ASSERT_TRUE((*tree)->Insert(k, 0).ok());
+  std::vector<int64_t> seen;
+  ASSERT_TRUE((*tree)
+                  ->Scan(10, 20,
+                         [&seen](int64_t k, uint64_t) {
+                           seen.push_back(k);
+                           return true;
+                         })
+                  .ok());
+  ASSERT_EQ(seen.size(), 11u);
+  EXPECT_EQ(seen.front(), 10);
+  EXPECT_EQ(seen.back(), 20);
+}
+
+TEST_F(DiskBPlusTreeTest, ManyInsertsForceMultiLevelSplits) {
+  auto tree = DiskBPlusTree::Open(path_);
+  ASSERT_TRUE(tree.ok());
+  Rng rng(1);
+  std::multimap<int64_t, uint64_t> model;
+  for (uint64_t i = 0; i < 50000; ++i) {
+    const int64_t key = rng.UniformInt(0, 5000);
+    ASSERT_TRUE((*tree)->Insert(key, i).ok());
+    model.emplace(key, i);
+  }
+  EXPECT_EQ((*tree)->size(), model.size());
+  auto ok = (*tree)->CheckInvariants();
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(*ok);
+  // The file must span multiple levels of pages.
+  EXPECT_GT((*tree)->pager()->num_pages(), 200u);
+
+  // Full contents agree with the model.
+  auto it = model.begin();
+  bool match = true;
+  ASSERT_TRUE((*tree)
+                  ->ScanAll([&](int64_t k, uint64_t) {
+                    if (it == model.end() || it->first != k) {
+                      match = false;
+                      return false;
+                    }
+                    ++it;
+                    return true;
+                  })
+                  .ok());
+  EXPECT_TRUE(match);
+  EXPECT_EQ(it, model.end());
+}
+
+TEST_F(DiskBPlusTreeTest, DuplicateKeys) {
+  auto tree = DiskBPlusTree::Open(path_);
+  ASSERT_TRUE(tree.ok());
+  for (uint64_t v = 0; v < 600; ++v) {
+    ASSERT_TRUE((*tree)->Insert(7, v).ok());  // More than two leaves of dups.
+  }
+  std::set<uint64_t> values;
+  ASSERT_TRUE((*tree)
+                  ->Scan(7, 7,
+                         [&values](int64_t, uint64_t v) {
+                           values.insert(v);
+                           return true;
+                         })
+                  .ok());
+  EXPECT_EQ(values.size(), 600u);
+  auto ok = (*tree)->CheckInvariants();
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(*ok);
+}
+
+TEST_F(DiskBPlusTreeTest, EraseSpecificPairs) {
+  auto tree = DiskBPlusTree::Open(path_);
+  ASSERT_TRUE(tree.ok());
+  ASSERT_TRUE((*tree)->Insert(1, 100).ok());
+  ASSERT_TRUE((*tree)->Insert(1, 200).ok());
+  ASSERT_TRUE((*tree)->Insert(2, 300).ok());
+  auto erased = (*tree)->Erase(1, 200);
+  ASSERT_TRUE(erased.ok());
+  EXPECT_TRUE(*erased);
+  erased = (*tree)->Erase(1, 200);
+  ASSERT_TRUE(erased.ok());
+  EXPECT_FALSE(*erased);
+  EXPECT_EQ((*tree)->size(), 2u);
+  const auto all = CollectAll(tree->get());
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].second, 100u);
+  EXPECT_EQ(all[1].second, 300u);
+}
+
+TEST_F(DiskBPlusTreeTest, PersistenceAcrossReopen) {
+  {
+    auto tree = DiskBPlusTree::Open(path_);
+    ASSERT_TRUE(tree.ok());
+    for (int64_t k = 0; k < 2000; ++k) {
+      ASSERT_TRUE((*tree)->Insert(k, static_cast<uint64_t>(k + 1)).ok());
+    }
+    ASSERT_TRUE((*tree)->Flush().ok());
+  }  // Destructor also flushes.
+  auto reopened = DiskBPlusTree::Open(path_);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->size(), 2000u);
+  const auto all = CollectAll(reopened->get());
+  ASSERT_EQ(all.size(), 2000u);
+  EXPECT_EQ(all[0].first, 0);
+  EXPECT_EQ(all[1999].second, 2000u);
+  auto ok = (*reopened)->CheckInvariants();
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(*ok);
+}
+
+TEST_F(DiskBPlusTreeTest, TinyBufferPoolStillCorrect) {
+  // Pool of 8 frames with a tree of thousands of pairs: constant eviction.
+  auto tree = DiskBPlusTree::Open(path_, 8);
+  ASSERT_TRUE(tree.ok());
+  Rng rng(2);
+  std::multimap<int64_t, uint64_t> model;
+  for (uint64_t i = 0; i < 10000; ++i) {
+    const int64_t key = rng.UniformInt(-1000, 1000);
+    ASSERT_TRUE((*tree)->Insert(key, i).ok());
+    model.emplace(key, i);
+  }
+  EXPECT_GT((*tree)->pager()->disk_reads(), 0u);
+  EXPECT_GT((*tree)->pager()->disk_writes(), 0u);
+  // Spot-check random ranges against the model.
+  for (int trial = 0; trial < 20; ++trial) {
+    int64_t lo = rng.UniformInt(-1100, 1100);
+    int64_t hi = lo + rng.UniformInt(0, 300);
+    size_t expected = 0;
+    for (auto it = model.lower_bound(lo); it != model.end() && it->first <= hi; ++it) {
+      ++expected;
+    }
+    size_t got = 0;
+    ASSERT_TRUE((*tree)
+                    ->Scan(lo, hi,
+                           [&got](int64_t, uint64_t) {
+                             ++got;
+                             return true;
+                           })
+                    .ok());
+    EXPECT_EQ(got, expected) << "trial " << trial;
+  }
+}
+
+TEST_F(DiskBPlusTreeTest, RandomInsertEraseModelCheck) {
+  auto tree = DiskBPlusTree::Open(path_, 16);
+  ASSERT_TRUE(tree.ok());
+  Rng rng(3);
+  std::multimap<int64_t, uint64_t> model;
+  uint64_t next = 0;
+  for (int step = 0; step < 20000; ++step) {
+    if (model.empty() || rng.Bernoulli(0.65)) {
+      const int64_t key = rng.UniformInt(-200, 200);
+      ASSERT_TRUE((*tree)->Insert(key, next).ok());
+      model.emplace(key, next);
+      ++next;
+    } else {
+      auto it = model.begin();
+      std::advance(it, rng.UniformInt(0, static_cast<int64_t>(model.size()) - 1));
+      auto erased = (*tree)->Erase(it->first, it->second);
+      ASSERT_TRUE(erased.ok());
+      EXPECT_TRUE(*erased);
+      model.erase(it);
+    }
+    ASSERT_EQ((*tree)->size(), model.size());
+  }
+  auto ok = (*tree)->CheckInvariants();
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(*ok);
+  std::multiset<std::pair<int64_t, uint64_t>> expect(model.begin(), model.end());
+  std::multiset<std::pair<int64_t, uint64_t>> got;
+  ASSERT_TRUE((*tree)
+                  ->ScanAll([&got](int64_t k, uint64_t v) {
+                    got.emplace(k, v);
+                    return true;
+                  })
+                  .ok());
+  EXPECT_EQ(got, expect);
+}
+
+TEST_F(DiskBPlusTreeTest, ScanEarlyStop) {
+  auto tree = DiskBPlusTree::Open(path_);
+  ASSERT_TRUE(tree.ok());
+  for (int64_t k = 0; k < 50; ++k) ASSERT_TRUE((*tree)->Insert(k, 0).ok());
+  int visited = 0;
+  ASSERT_TRUE((*tree)
+                  ->Scan(0, 49,
+                         [&visited](int64_t, uint64_t) {
+                           ++visited;
+                           return visited < 5;
+                         })
+                  .ok());
+  EXPECT_EQ(visited, 5);
+}
+
+TEST_F(DiskBPlusTreeTest, CacheHitsDominateHotWorkload) {
+  auto tree = DiskBPlusTree::Open(path_, 64);
+  ASSERT_TRUE(tree.ok());
+  for (int64_t k = 0; k < 1000; ++k) ASSERT_TRUE((*tree)->Insert(k, 0).ok());
+  (*tree)->pager()->ResetCounters();
+  for (int repeat = 0; repeat < 50; ++repeat) {
+    ASSERT_TRUE((*tree)->Scan(100, 120, [](int64_t, uint64_t) { return true; }).ok());
+  }
+  EXPECT_GT((*tree)->pager()->cache_hits(),
+            50 * ((*tree)->pager()->disk_reads() + 1));
+}
+
+}  // namespace
+}  // namespace s2::storage

@@ -1,0 +1,132 @@
+#include "burst/disk_burst_table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace s2::burst {
+namespace {
+
+BurstRegion R(int32_t start, int32_t end, double avg) { return {start, end, avg}; }
+
+class DiskBurstTableTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    prefix_ = (std::filesystem::temp_directory_path() /
+               ("s2_disk_burst_" +
+                std::string(::testing::UnitTest::GetInstance()
+                                ->current_test_info()
+                                ->name())))
+                  .string();
+    Cleanup();
+  }
+  void TearDown() override { Cleanup(); }
+  void Cleanup() {
+    std::remove((prefix_ + ".heap").c_str());
+    std::remove((prefix_ + ".idx").c_str());
+  }
+  std::string prefix_;
+};
+
+TEST_F(DiskBurstTableTest, EmptyStore) {
+  auto table = DiskBurstTable::Open(prefix_);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->size(), 0u);
+  auto hits = (*table)->FindOverlapping(R(0, 100, 1.0));
+  ASSERT_TRUE(hits.ok());
+  EXPECT_TRUE(hits->empty());
+}
+
+TEST_F(DiskBurstTableTest, ParityWithInMemoryTable) {
+  auto disk = DiskBurstTable::Open(prefix_);
+  ASSERT_TRUE(disk.ok());
+  BurstTable memory;
+
+  Rng rng(1);
+  for (ts::SeriesId id = 0; id < 300; ++id) {
+    std::vector<BurstRegion> regions;
+    const int n = static_cast<int>(rng.UniformInt(0, 4));
+    for (int b = 0; b < n; ++b) {
+      const int32_t start = static_cast<int32_t>(rng.UniformInt(0, 2000));
+      const int32_t len = static_cast<int32_t>(rng.UniformInt(1, 90));
+      regions.push_back(R(start, start + len - 1, rng.Uniform(0.5, 4.0)));
+    }
+    const int32_t offset = static_cast<int32_t>(rng.UniformInt(-10, 10));
+    memory.Insert(id, regions, offset);
+    ASSERT_TRUE((*disk)->Insert(id, regions, offset).ok());
+  }
+  ASSERT_EQ((*disk)->size(), memory.size());
+
+  for (int trial = 0; trial < 40; ++trial) {
+    const int32_t qs = static_cast<int32_t>(rng.UniformInt(-20, 2000));
+    const int32_t qe = qs + static_cast<int32_t>(rng.UniformInt(0, 200));
+    const BurstRegion query = R(qs, qe, rng.Uniform(0.5, 3.0));
+
+    auto disk_hits = (*disk)->FindOverlapping(query);
+    ASSERT_TRUE(disk_hits.ok());
+    const auto memory_hits = memory.FindOverlapping(query);
+    ASSERT_EQ(disk_hits->size(), memory_hits.size()) << trial;
+
+    auto disk_matches = (*disk)->QueryByBurst({query}, 10);
+    ASSERT_TRUE(disk_matches.ok());
+    const auto memory_matches = memory.QueryByBurst({query}, 10);
+    ASSERT_EQ(disk_matches->size(), memory_matches.size()) << trial;
+    for (size_t i = 0; i < memory_matches.size(); ++i) {
+      EXPECT_EQ((*disk_matches)[i].series_id, memory_matches[i].series_id);
+      EXPECT_NEAR((*disk_matches)[i].bsim, memory_matches[i].bsim, 1e-12);
+    }
+  }
+}
+
+TEST_F(DiskBurstTableTest, PersistenceAcrossReopen) {
+  {
+    auto table = DiskBurstTable::Open(prefix_);
+    ASSERT_TRUE(table.ok());
+    ASSERT_TRUE((*table)->Insert(1, {R(100, 130, 2.0)}, 0).ok());
+    ASSERT_TRUE((*table)->Insert(2, {R(120, 160, 1.5), R(500, 520, 3.0)}, 0).ok());
+    ASSERT_TRUE((*table)->Flush().ok());
+  }
+  auto reopened = DiskBurstTable::Open(prefix_);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->size(), 3u);
+  auto matches = (*reopened)->QueryByBurst({R(100, 130, 2.0)}, 10);
+  ASSERT_TRUE(matches.ok());
+  ASSERT_EQ(matches->size(), 2u);
+  EXPECT_EQ((*matches)[0].series_id, 1u);
+}
+
+TEST_F(DiskBurstTableTest, ManyRecordsSpanManyPages) {
+  auto table = DiskBurstTable::Open(prefix_, 16);
+  ASSERT_TRUE(table.ok());
+  Rng rng(2);
+  for (ts::SeriesId id = 0; id < 2000; ++id) {
+    const int32_t start = static_cast<int32_t>(rng.UniformInt(0, 10000));
+    ASSERT_TRUE((*table)
+                    ->Insert(id, {R(start, start + 10, rng.Uniform(1, 3))}, 0)
+                    .ok());
+  }
+  EXPECT_EQ((*table)->size(), 2000u);
+  EXPECT_GT((*table)->disk_writes(), 0u);
+  // Count everything via a huge window.
+  auto hits = (*table)->FindOverlapping(R(-100000, 100000, 1.0));
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->size(), 2000u);
+}
+
+TEST_F(DiskBurstTableTest, ExcludeFiltersSelf) {
+  auto table = DiskBurstTable::Open(prefix_);
+  ASSERT_TRUE(table.ok());
+  ASSERT_TRUE((*table)->Insert(0, {R(10, 20, 1.0)}, 0).ok());
+  ASSERT_TRUE((*table)->Insert(1, {R(12, 22, 1.0)}, 0).ok());
+  auto matches = (*table)->QueryByBurst({R(10, 20, 1.0)}, 10, /*exclude=*/0);
+  ASSERT_TRUE(matches.ok());
+  ASSERT_EQ(matches->size(), 1u);
+  EXPECT_EQ((*matches)[0].series_id, 1u);
+}
+
+}  // namespace
+}  // namespace s2::burst

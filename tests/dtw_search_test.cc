@@ -1,0 +1,164 @@
+#include "dtw/dtw_search.h"
+
+#include <algorithm>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "dsp/stats.h"
+#include "dtw/dtw.h"
+#include "querylog/corpus_generator.h"
+#include "storage/sequence_store.h"
+
+namespace s2::dtw {
+namespace {
+
+struct Fixture {
+  std::vector<std::vector<double>> rows;
+  std::vector<std::vector<double>> queries;
+  std::unique_ptr<storage::InMemorySequenceSource> source;
+};
+
+Fixture MakeFixture(size_t num_series, size_t n_days, size_t num_queries,
+                    uint64_t seed) {
+  qlog::CorpusSpec spec;
+  spec.num_series = num_series;
+  spec.n_days = n_days;
+  spec.seed = seed;
+  auto corpus = qlog::GenerateCorpus(spec);
+  EXPECT_TRUE(corpus.ok());
+  Fixture fx;
+  for (const auto& series : corpus->series()) {
+    fx.rows.push_back(dsp::Standardize(series.values));
+  }
+  auto queries = qlog::GenerateQueries(spec, num_queries);
+  EXPECT_TRUE(queries.ok());
+  for (const auto& q : *queries) fx.queries.push_back(dsp::Standardize(q.values));
+  auto source = storage::InMemorySequenceSource::Create(fx.rows);
+  EXPECT_TRUE(source.ok());
+  fx.source = std::move(source).ValueOrDie();
+  return fx;
+}
+
+std::vector<std::pair<double, ts::SeriesId>> BruteForceDtw(
+    const Fixture& fx, const std::vector<double>& query, size_t window, size_t k) {
+  std::vector<std::pair<double, ts::SeriesId>> dists;
+  for (ts::SeriesId id = 0; id < fx.rows.size(); ++id) {
+    dists.emplace_back(*DtwDistance(query, fx.rows[id], window), id);
+  }
+  std::sort(dists.begin(), dists.end());
+  dists.resize(std::min(k, dists.size()));
+  return dists;
+}
+
+TEST(DtwKnnSearchTest, ValidatesArguments) {
+  Fixture fx = MakeFixture(20, 64, 1, 1);
+  DtwKnnSearch::Options options;
+  auto search = DtwKnnSearch::BuildFeatures(fx.rows, options);
+  ASSERT_TRUE(search.ok());
+  EXPECT_FALSE(search->Search(fx.queries[0], 0, fx.source.get(), nullptr).ok());
+  EXPECT_FALSE(search->Search(fx.queries[0], 1, nullptr, nullptr).ok());
+  EXPECT_FALSE(
+      search->Search(std::vector<double>(5, 0.0), 1, fx.source.get(), nullptr).ok());
+}
+
+TEST(DtwKnnSearchTest, RejectsBoundlessFeatureKinds) {
+  Fixture fx = MakeFixture(5, 64, 0, 2);
+  std::vector<repr::CompressedSpectrum> features;
+  for (const auto& row : fx.rows) {
+    auto spectrum = repr::HalfSpectrum::FromSeries(row);
+    ASSERT_TRUE(spectrum.ok());
+    auto compressed = repr::CompressedSpectrum::Compress(
+        *spectrum, repr::ReprKind::kFirstKMiddle, 8);  // GEMINI: no UB.
+    ASSERT_TRUE(compressed.ok());
+    features.push_back(std::move(compressed).ValueOrDie());
+  }
+  EXPECT_FALSE(DtwKnnSearch::Create(std::move(features), {}).ok());
+}
+
+class DtwExactnessTest : public ::testing::TestWithParam<size_t /*window*/> {};
+
+TEST_P(DtwExactnessTest, MatchesBruteForce) {
+  const size_t window = GetParam();
+  Fixture fx = MakeFixture(120, 128, 6, 42);
+  DtwKnnSearch::Options options;
+  options.window = window;
+  options.budget_c = 16;
+  auto search = DtwKnnSearch::BuildFeatures(fx.rows, options);
+  ASSERT_TRUE(search.ok());
+
+  for (const auto& query : fx.queries) {
+    for (size_t k : {1u, 5u}) {
+      const auto expected = BruteForceDtw(fx, query, window, k);
+      auto got = search->Search(query, k, fx.source.get(), nullptr);
+      ASSERT_TRUE(got.ok());
+      ASSERT_EQ(got->size(), expected.size());
+      for (size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_NEAR((*got)[i].distance, expected[i].first, 1e-9)
+            << "w=" << window << " k=" << k << " rank " << i;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, DtwExactnessTest, ::testing::Values(4u, 16u));
+
+TEST(DtwKnnSearchTest, AblationsStayExact) {
+  Fixture fx = MakeFixture(80, 128, 4, 7);
+  for (bool use_ub : {true, false}) {
+    for (bool use_lb : {true, false}) {
+      DtwKnnSearch::Options options;
+      options.window = 8;
+      options.use_compressed_upper_bounds = use_ub;
+      options.use_lb_keogh = use_lb;
+      auto search = DtwKnnSearch::BuildFeatures(fx.rows, options);
+      ASSERT_TRUE(search.ok());
+      for (const auto& query : fx.queries) {
+        const auto expected = BruteForceDtw(fx, query, 8, 3);
+        auto got = search->Search(query, 3, fx.source.get(), nullptr);
+        ASSERT_TRUE(got.ok());
+        ASSERT_EQ(got->size(), expected.size());
+        for (size_t i = 0; i < expected.size(); ++i) {
+          EXPECT_NEAR((*got)[i].distance, expected[i].first, 1e-9)
+              << "ub=" << use_ub << " lb=" << use_lb;
+        }
+      }
+    }
+  }
+}
+
+TEST(DtwKnnSearchTest, PruningActuallySkipsDpComputations) {
+  Fixture fx = MakeFixture(300, 256, 5, 11);
+  DtwKnnSearch::Options options;
+  options.window = 16;
+  auto search = DtwKnnSearch::BuildFeatures(fx.rows, options);
+  ASSERT_TRUE(search.ok());
+  size_t total_dtw = 0;
+  for (const auto& query : fx.queries) {
+    DtwKnnSearch::SearchStats stats;
+    auto got = search->Search(query, 1, fx.source.get(), &stats);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(stats.upper_bounds_computed, 300u);
+    EXPECT_EQ(stats.lb_keogh_computed, stats.lb_keogh_skips + stats.dtw_computed);
+    total_dtw += stats.dtw_computed;
+  }
+  // The cascade must skip the DP for a substantial fraction of candidates
+  // (the exact rate depends on the workload; the ablation bench quantifies it).
+  EXPECT_LT(total_dtw, 5u * 300u * 3 / 4);
+}
+
+TEST(DtwKnnSearchTest, SelfQueryFindsSelf) {
+  Fixture fx = MakeFixture(50, 128, 0, 13);
+  DtwKnnSearch::Options options;
+  options.window = 8;
+  auto search = DtwKnnSearch::BuildFeatures(fx.rows, options);
+  ASSERT_TRUE(search.ok());
+  for (ts::SeriesId id = 0; id < 50; id += 11) {
+    auto got = search->Search(fx.rows[id], 1, fx.source.get(), nullptr);
+    ASSERT_TRUE(got.ok());
+    EXPECT_NEAR((*got)[0].distance, 0.0, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace s2::dtw

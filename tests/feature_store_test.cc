@@ -1,0 +1,163 @@
+#include "repr/feature_store.h"
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "dsp/stats.h"
+#include "querylog/corpus_generator.h"
+#include "repr/bounds.h"
+
+namespace s2::repr {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::vector<CompressedSpectrum> MakeFeatures(ReprKind kind, size_t c,
+                                             size_t count) {
+  qlog::CorpusSpec spec;
+  spec.num_series = count;
+  spec.n_days = 256;
+  spec.seed = 77;
+  auto corpus = qlog::GenerateCorpus(spec);
+  EXPECT_TRUE(corpus.ok());
+  std::vector<CompressedSpectrum> features;
+  for (const auto& series : corpus->series()) {
+    auto spectrum = HalfSpectrum::FromSeries(dsp::Standardize(series.values));
+    EXPECT_TRUE(spectrum.ok());
+    auto compressed = CompressedSpectrum::Compress(*spectrum, kind, c);
+    EXPECT_TRUE(compressed.ok());
+    features.push_back(std::move(compressed).ValueOrDie());
+  }
+  return features;
+}
+
+void ExpectEqualFeature(const CompressedSpectrum& a, const CompressedSpectrum& b) {
+  EXPECT_EQ(a.kind(), b.kind());
+  EXPECT_EQ(a.n(), b.n());
+  EXPECT_EQ(a.positions(), b.positions());
+  ASSERT_EQ(a.coeffs().size(), b.coeffs().size());
+  for (size_t i = 0; i < a.coeffs().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.coeffs()[i].real(), b.coeffs()[i].real());
+    EXPECT_DOUBLE_EQ(a.coeffs()[i].imag(), b.coeffs()[i].imag());
+  }
+  if (std::isnan(a.error())) {
+    EXPECT_TRUE(std::isnan(b.error()));
+  } else {
+    EXPECT_DOUBLE_EQ(a.error(), b.error());
+  }
+  if (std::isinf(a.min_power())) {
+    EXPECT_TRUE(std::isinf(b.min_power()));
+  } else {
+    EXPECT_DOUBLE_EQ(a.min_power(), b.min_power());
+  }
+}
+
+TEST(FeatureStoreTest, RoundTripAllKinds) {
+  for (ReprKind kind : {ReprKind::kFirstKMiddle, ReprKind::kFirstKError,
+                        ReprKind::kBestKMiddle, ReprKind::kBestKError}) {
+    const auto features = MakeFeatures(kind, 8, 12);
+    const std::string path = TempPath("s2_features_roundtrip.bin");
+    ASSERT_TRUE(WriteFeatures(path, features).ok());
+    auto loaded = ReadFeatures(path);
+    ASSERT_TRUE(loaded.ok());
+    ASSERT_EQ(loaded->size(), features.size());
+    for (size_t i = 0; i < features.size(); ++i) {
+      ExpectEqualFeature(features[i], (*loaded)[i]);
+    }
+    std::remove(path.c_str());
+  }
+}
+
+TEST(FeatureStoreTest, ReloadedFeaturesGiveIdenticalBounds) {
+  const auto features = MakeFeatures(ReprKind::kBestKError, 16, 10);
+  const std::string path = TempPath("s2_features_bounds.bin");
+  ASSERT_TRUE(WriteFeatures(path, features).ok());
+  auto loaded = ReadFeatures(path);
+  ASSERT_TRUE(loaded.ok());
+
+  qlog::CorpusSpec spec;
+  spec.num_series = 1;
+  spec.n_days = 256;
+  spec.seed = 99;
+  auto queries = qlog::GenerateQueries(spec, 3);
+  ASSERT_TRUE(queries.ok());
+  for (const auto& query : *queries) {
+    auto spectrum = HalfSpectrum::FromSeries(dsp::Standardize(query.values));
+    ASSERT_TRUE(spectrum.ok());
+    for (size_t i = 0; i < features.size(); ++i) {
+      auto a = ComputeBounds(*spectrum, features[i], BoundMethod::kBestMinError);
+      auto b = ComputeBounds(*spectrum, (*loaded)[i], BoundMethod::kBestMinError);
+      ASSERT_TRUE(a.ok());
+      ASSERT_TRUE(b.ok());
+      EXPECT_DOUBLE_EQ(a->lower, b->lower);
+      EXPECT_DOUBLE_EQ(a->upper, b->upper);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FeatureStoreTest, EmptySetRoundTrips) {
+  const std::string path = TempPath("s2_features_empty.bin");
+  ASSERT_TRUE(WriteFeatures(path, {}).ok());
+  auto loaded = ReadFeatures(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->empty());
+  std::remove(path.c_str());
+}
+
+TEST(FeatureStoreTest, CorruptFilesRejected) {
+  EXPECT_EQ(ReadFeatures("/no/such/file.bin").status().code(), StatusCode::kIoError);
+  const std::string path = TempPath("s2_features_corrupt.bin");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fwrite("WRONGMAG", 1, 8, f);
+  std::fclose(f);
+  EXPECT_EQ(ReadFeatures(path).status().code(), StatusCode::kIoError);
+  std::remove(path.c_str());
+}
+
+TEST(FeatureStoreTest, TruncationDetected) {
+  const auto features = MakeFeatures(ReprKind::kBestKError, 8, 6);
+  const std::string path = TempPath("s2_features_trunc.bin");
+  ASSERT_TRUE(WriteFeatures(path, features).ok());
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size - 10);
+  EXPECT_EQ(ReadFeatures(path).status().code(), StatusCode::kIoError);
+  std::remove(path.c_str());
+}
+
+TEST(FromPartsTest, Validation) {
+  std::vector<uint32_t> positions = {1, 3, 5};
+  std::vector<Complex> coeffs = {{1, 0}, {0, 1}, {1, 1}};
+  EXPECT_TRUE(CompressedSpectrum::FromParts(ReprKind::kBestKError, 64, positions,
+                                            coeffs, 1.0, 0.5)
+                  .ok());
+  // Size mismatch.
+  EXPECT_FALSE(CompressedSpectrum::FromParts(ReprKind::kBestKError, 64, {1, 2},
+                                             coeffs, 1.0, 0.5)
+                   .ok());
+  // Out of range (bins = 33 for n=64).
+  EXPECT_FALSE(CompressedSpectrum::FromParts(ReprKind::kBestKError, 64, {1, 3, 40},
+                                             coeffs, 1.0, 0.5)
+                   .ok());
+  // Not ascending.
+  EXPECT_FALSE(CompressedSpectrum::FromParts(ReprKind::kBestKError, 64, {5, 3, 1},
+                                             coeffs, 1.0, 0.5)
+                   .ok());
+  // Negative error.
+  EXPECT_FALSE(CompressedSpectrum::FromParts(ReprKind::kBestKError, 64, positions,
+                                             coeffs, -1.0, 0.5)
+                   .ok());
+  // Empty.
+  EXPECT_FALSE(
+      CompressedSpectrum::FromParts(ReprKind::kBestKError, 64, {}, {}, 1.0, 0.5)
+          .ok());
+}
+
+}  // namespace
+}  // namespace s2::repr

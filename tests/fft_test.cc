@@ -1,0 +1,149 @@
+#include "dsp/fft.h"
+
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dsp/stats.h"
+
+namespace s2::dsp {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+std::vector<double> RandomSeries(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x(n);
+  for (double& v : x) v = rng.Normal(0.0, 1.0);
+  return x;
+}
+
+double MaxAbsDiff(const std::vector<Complex>& a, const std::vector<Complex>& b) {
+  double worst = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) worst = std::max(worst, std::abs(a[i] - b[i]));
+  return worst;
+}
+
+TEST(FftTest, RejectsEmptyInput) {
+  std::vector<Complex> empty;
+  EXPECT_EQ(Fft(&empty, FftDirection::kForward).code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(ForwardDft({}).ok());
+  EXPECT_FALSE(InverseDftReal({}).ok());
+}
+
+TEST(FftTest, SingleElementIsIdentity) {
+  auto spectrum = ForwardDft({3.5});
+  ASSERT_TRUE(spectrum.ok());
+  EXPECT_NEAR(spectrum->at(0).real(), 3.5, kTol);
+  EXPECT_NEAR(spectrum->at(0).imag(), 0.0, kTol);
+}
+
+TEST(FftTest, MatchesDirectDftPowerOfTwo) {
+  const std::vector<double> x = RandomSeries(64, 1);
+  auto fast = ForwardDft(x);
+  ASSERT_TRUE(fast.ok());
+  const std::vector<Complex> direct = ForwardDftDirect(x);
+  EXPECT_LT(MaxAbsDiff(*fast, direct), 1e-8);
+}
+
+TEST(FftTest, MatchesDirectDftNonPowerOfTwo) {
+  for (size_t n : {3u, 5u, 12u, 17u, 100u, 365u}) {
+    const std::vector<double> x = RandomSeries(n, 2 + n);
+    auto fast = ForwardDft(x);
+    ASSERT_TRUE(fast.ok()) << n;
+    const std::vector<Complex> direct = ForwardDftDirect(x);
+    EXPECT_LT(MaxAbsDiff(*fast, direct), 1e-7) << "length " << n;
+  }
+}
+
+TEST(FftTest, RoundTripRecoversSignal) {
+  for (size_t n : {8u, 365u, 1024u, 1000u}) {
+    const std::vector<double> x = RandomSeries(n, 77 + n);
+    auto spectrum = ForwardDft(x);
+    ASSERT_TRUE(spectrum.ok());
+    auto back = InverseDftReal(*spectrum);
+    ASSERT_TRUE(back.ok());
+    ASSERT_EQ(back->size(), n);
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(back->at(i), x[i], 1e-8) << "length " << n << " index " << i;
+    }
+  }
+}
+
+TEST(FftTest, ParsevalEnergyPreserved) {
+  // The normalized transform is unitary: time-domain energy == spectral energy.
+  for (size_t n : {16u, 365u, 1024u}) {
+    const std::vector<double> x = RandomSeries(n, 5 + n);
+    auto spectrum = ForwardDft(x);
+    ASSERT_TRUE(spectrum.ok());
+    double spectral = 0.0;
+    for (const Complex& c : *spectrum) spectral += std::norm(c);
+    EXPECT_NEAR(spectral, Energy(x), 1e-6 * Energy(x));
+  }
+}
+
+TEST(FftTest, ConjugateSymmetryForRealInput) {
+  const size_t n = 128;
+  const std::vector<double> x = RandomSeries(n, 9);
+  auto spectrum = ForwardDft(x);
+  ASSERT_TRUE(spectrum.ok());
+  for (size_t k = 1; k < n; ++k) {
+    EXPECT_NEAR(std::abs((*spectrum)[k] - std::conj((*spectrum)[n - k])), 0.0, 1e-9);
+  }
+  // DC and Nyquist bins are real.
+  EXPECT_NEAR((*spectrum)[0].imag(), 0.0, kTol);
+  EXPECT_NEAR((*spectrum)[n / 2].imag(), 0.0, 1e-9);
+}
+
+TEST(FftTest, PureSinusoidConcentratesInOneBin) {
+  const size_t n = 256;
+  const size_t cycles = 16;
+  std::vector<double> x(n);
+  for (size_t i = 0; i < n; ++i) {
+    x[i] = std::sin(2.0 * std::numbers::pi * static_cast<double>(cycles) *
+                    static_cast<double>(i) / static_cast<double>(n));
+  }
+  auto spectrum = ForwardDft(x);
+  ASSERT_TRUE(spectrum.ok());
+  // All energy should land in bins `cycles` and `n - cycles`.
+  for (size_t k = 0; k < n; ++k) {
+    const double mag = std::abs((*spectrum)[k]);
+    if (k == cycles || k == n - cycles) {
+      EXPECT_GT(mag, 1.0);
+    } else {
+      EXPECT_LT(mag, 1e-9) << "bin " << k;
+    }
+  }
+}
+
+TEST(FftTest, LinearityOfTransform) {
+  const size_t n = 200;  // Exercises the Bluestein path.
+  const std::vector<double> a = RandomSeries(n, 31);
+  const std::vector<double> b = RandomSeries(n, 32);
+  std::vector<double> combo(n);
+  for (size_t i = 0; i < n; ++i) combo[i] = 2.0 * a[i] - 3.0 * b[i];
+  auto fa = ForwardDft(a);
+  auto fb = ForwardDft(b);
+  auto fc = ForwardDft(combo);
+  ASSERT_TRUE(fa.ok());
+  ASSERT_TRUE(fb.ok());
+  ASSERT_TRUE(fc.ok());
+  for (size_t k = 0; k < n; ++k) {
+    const Complex expected = 2.0 * (*fa)[k] - 3.0 * (*fb)[k];
+    EXPECT_NEAR(std::abs((*fc)[k] - expected), 0.0, 1e-8);
+  }
+}
+
+TEST(FftTest, IsPowerOfTwoHelper) {
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(2));
+  EXPECT_TRUE(IsPowerOfTwo(1024));
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_FALSE(IsPowerOfTwo(3));
+  EXPECT_FALSE(IsPowerOfTwo(1000));
+}
+
+}  // namespace
+}  // namespace s2::dsp

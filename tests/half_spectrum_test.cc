@@ -1,0 +1,122 @@
+#include "repr/half_spectrum.h"
+
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dsp/stats.h"
+
+namespace s2::repr {
+namespace {
+
+std::vector<double> RandomSeries(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x(n);
+  for (double& v : x) v = rng.Normal(0, 1);
+  return x;
+}
+
+TEST(HalfSpectrumTest, ShapeEvenAndOdd) {
+  auto even = HalfSpectrum::FromSeries(RandomSeries(64, 1));
+  ASSERT_TRUE(even.ok());
+  EXPECT_EQ(even->n(), 64u);
+  EXPECT_EQ(even->num_bins(), 33u);
+  auto odd = HalfSpectrum::FromSeries(RandomSeries(65, 2));
+  ASSERT_TRUE(odd.ok());
+  EXPECT_EQ(odd->num_bins(), 33u);
+}
+
+TEST(HalfSpectrumTest, MultiplicityEdges) {
+  auto even = HalfSpectrum::FromSeries(RandomSeries(64, 3));
+  ASSERT_TRUE(even.ok());
+  EXPECT_DOUBLE_EQ(even->multiplicity(0), 1.0);   // DC.
+  EXPECT_DOUBLE_EQ(even->multiplicity(32), 1.0);  // Nyquist.
+  EXPECT_DOUBLE_EQ(even->multiplicity(1), 2.0);
+  EXPECT_DOUBLE_EQ(even->multiplicity(31), 2.0);
+  auto odd = HalfSpectrum::FromSeries(RandomSeries(65, 4));
+  ASSERT_TRUE(odd.ok());
+  EXPECT_DOUBLE_EQ(odd->multiplicity(0), 1.0);
+  EXPECT_DOUBLE_EQ(odd->multiplicity(32), 2.0);  // No Nyquist for odd n.
+}
+
+TEST(HalfSpectrumTest, EnergyMatchesTimeDomain) {
+  for (size_t n : {16u, 64u, 365u, 1024u}) {
+    const std::vector<double> x = RandomSeries(n, 5 + n);
+    auto spectrum = HalfSpectrum::FromSeries(x);
+    ASSERT_TRUE(spectrum.ok());
+    EXPECT_NEAR(spectrum->Energy(), dsp::Energy(x), 1e-7 * dsp::Energy(x)) << n;
+  }
+}
+
+TEST(HalfSpectrumTest, DistanceEqualsTimeDomainEuclidean) {
+  for (size_t n : {32u, 365u, 512u}) {
+    const std::vector<double> a = RandomSeries(n, 10 + n);
+    const std::vector<double> b = RandomSeries(n, 20 + n);
+    auto sa = HalfSpectrum::FromSeries(a);
+    auto sb = HalfSpectrum::FromSeries(b);
+    ASSERT_TRUE(sa.ok());
+    ASSERT_TRUE(sb.ok());
+    auto spectral = sa->DistanceTo(*sb);
+    ASSERT_TRUE(spectral.ok());
+    const double direct = *dsp::Euclidean(a, b);
+    EXPECT_NEAR(*spectral, direct, 1e-8 * (1.0 + direct)) << n;
+  }
+}
+
+TEST(HalfSpectrumTest, DistanceRejectsLengthMismatch) {
+  auto a = HalfSpectrum::FromSeries(RandomSeries(32, 1));
+  auto b = HalfSpectrum::FromSeries(RandomSeries(64, 2));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_FALSE(a->DistanceTo(*b).ok());
+}
+
+TEST(HalfSpectrumTest, FromPartsValidates) {
+  EXPECT_FALSE(HalfSpectrum::FromParts(0, {}).ok());
+  EXPECT_FALSE(HalfSpectrum::FromParts(8, std::vector<Complex>(3)).ok());
+  EXPECT_TRUE(HalfSpectrum::FromParts(8, std::vector<Complex>(5)).ok());
+}
+
+TEST(HalfSpectrumTest, ReconstructAllBinsRecoversSignal) {
+  for (size_t n : {64u, 100u}) {
+    const std::vector<double> x = RandomSeries(n, 30 + n);
+    auto spectrum = HalfSpectrum::FromSeries(x);
+    ASSERT_TRUE(spectrum.ok());
+    std::vector<uint32_t> all(spectrum->num_bins());
+    std::iota(all.begin(), all.end(), 0u);
+    auto back = spectrum->ReconstructFrom(all);
+    ASSERT_TRUE(back.ok());
+    for (size_t i = 0; i < n; ++i) EXPECT_NEAR((*back)[i], x[i], 1e-8);
+  }
+}
+
+TEST(HalfSpectrumTest, ReconstructSubsetReducesEnergyCorrectly) {
+  // Keeping a subset S reproduces exactly the projection onto those bins:
+  // residual energy == energy of the omitted bins (orthogonality).
+  const std::vector<double> x = RandomSeries(128, 9);
+  auto spectrum = HalfSpectrum::FromSeries(x);
+  ASSERT_TRUE(spectrum.ok());
+  const std::vector<uint32_t> kept = {1, 5, 9, 20};
+  auto approx = spectrum->ReconstructFrom(kept);
+  ASSERT_TRUE(approx.ok());
+  double kept_energy = 0.0;
+  for (uint32_t k : kept) {
+    kept_energy += spectrum->multiplicity(k) * std::norm(spectrum->coeff(k));
+  }
+  EXPECT_NEAR(dsp::Energy(*approx), kept_energy, 1e-7 * (1.0 + kept_energy));
+  // Residual = total - kept (Pythagoras in the orthogonal basis).
+  const double residual = *dsp::SquaredEuclidean(x, *approx);
+  EXPECT_NEAR(residual, spectrum->Energy() - kept_energy,
+              1e-6 * (1.0 + spectrum->Energy()));
+}
+
+TEST(HalfSpectrumTest, ReconstructRejectsBadPositions) {
+  auto spectrum = HalfSpectrum::FromSeries(RandomSeries(32, 3));
+  ASSERT_TRUE(spectrum.ok());
+  EXPECT_FALSE(spectrum->ReconstructFrom({99}).ok());
+}
+
+}  // namespace
+}  // namespace s2::repr

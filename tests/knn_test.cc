@@ -1,0 +1,98 @@
+#include "index/knn.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "timeseries/time_series.h"
+
+namespace s2::index {
+namespace {
+
+TEST(BestListTest, EmptyThresholdIsInfinite) {
+  BestList list(3);
+  EXPECT_TRUE(std::isinf(list.Threshold()));
+  EXPECT_FALSE(list.Full());
+  EXPECT_TRUE(list.items().empty());
+}
+
+TEST(BestListTest, KeepsAscendingOrder) {
+  BestList list(5);
+  for (double d : {3.0, 1.0, 4.0, 1.5, 2.0}) list.Offer(0, d);
+  ASSERT_EQ(list.items().size(), 5u);
+  for (size_t i = 1; i < list.items().size(); ++i) {
+    EXPECT_LE(list.items()[i - 1].distance, list.items()[i].distance);
+  }
+  EXPECT_DOUBLE_EQ(list.Threshold(), 4.0);
+  EXPECT_TRUE(list.Full());
+}
+
+TEST(BestListTest, EvictsWorstWhenFull) {
+  BestList list(2);
+  list.Offer(1, 5.0);
+  list.Offer(2, 3.0);
+  list.Offer(3, 1.0);  // Evicts 5.0.
+  ASSERT_EQ(list.items().size(), 2u);
+  EXPECT_EQ(list.items()[0].id, 3u);
+  EXPECT_EQ(list.items()[1].id, 2u);
+  EXPECT_DOUBLE_EQ(list.Threshold(), 3.0);
+}
+
+TEST(BestListTest, RejectsWorseThanThreshold) {
+  BestList list(2);
+  list.Offer(1, 1.0);
+  list.Offer(2, 2.0);
+  list.Offer(3, 2.0);  // Equal to the threshold: rejected.
+  list.Offer(4, 9.0);
+  ASSERT_EQ(list.items().size(), 2u);
+  EXPECT_EQ(list.items()[1].id, 2u);
+}
+
+TEST(BestListTest, KOneBehavesLikeRunningMin) {
+  BestList list(1);
+  for (double d : {7.0, 3.0, 5.0, 2.0, 6.0}) {
+    list.Offer(static_cast<ts::SeriesId>(d), d);
+  }
+  ASSERT_EQ(list.items().size(), 1u);
+  EXPECT_DOUBLE_EQ(list.items()[0].distance, 2.0);
+}
+
+TEST(BestListTest, InfiniteDistancesHandled) {
+  BestList list(2);
+  const double inf = std::numeric_limits<double>::infinity();
+  list.Offer(1, inf);
+  list.Offer(2, inf);
+  list.Offer(3, 1.0);
+  ASSERT_EQ(list.items().size(), 2u);
+  EXPECT_DOUBLE_EQ(list.items()[0].distance, 1.0);
+}
+
+TEST(BestListTest, TakeMovesItemsOut) {
+  BestList list(3);
+  list.Offer(1, 2.0);
+  list.Offer(2, 1.0);
+  std::vector<Neighbor> taken = std::move(list).Take();
+  ASSERT_EQ(taken.size(), 2u);
+  EXPECT_EQ(taken[0].id, 2u);
+  EXPECT_EQ(taken[1].id, 1u);
+}
+
+TEST(CorpusTest, AddAndLookup) {
+  ts::Corpus corpus;
+  EXPECT_TRUE(corpus.empty());
+  const ts::SeriesId a = corpus.Add({"alpha", 0, {1.0, 2.0}});
+  const ts::SeriesId b = corpus.Add({"beta", 5, {3.0, 4.0}});
+  EXPECT_EQ(corpus.size(), 2u);
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(corpus.at(a).name, "alpha");
+  EXPECT_EQ(corpus.at(b).start_day, 5);
+  auto found = corpus.Get(1);
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ((*found)->name, "beta");
+  EXPECT_EQ(corpus.Get(2).status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace s2::index

@@ -1,0 +1,123 @@
+#include "querylog/log_aggregator.h"
+
+#include <gtest/gtest.h>
+
+#include "dsp/stats.h"
+#include "querylog/archetypes.h"
+#include "querylog/synthesizer.h"
+
+namespace s2::qlog {
+namespace {
+
+LogRecord R(int64_t day, int64_t second_of_day, const std::string& query) {
+  return LogRecord{day * kSecondsPerDay + second_of_day, query};
+}
+
+TEST(LogAggregatorTest, RejectsBadRecords) {
+  LogAggregator agg;
+  EXPECT_FALSE(agg.Add(LogRecord{-1, "x"}).ok());
+  EXPECT_FALSE(agg.Add(LogRecord{0, ""}).ok());
+  EXPECT_EQ(agg.num_records(), 0u);
+}
+
+TEST(LogAggregatorTest, CountsPerDay) {
+  LogAggregator agg;
+  ASSERT_TRUE(agg.Add(R(0, 100, "cinema")).ok());
+  ASSERT_TRUE(agg.Add(R(0, 50000, "cinema")).ok());
+  ASSERT_TRUE(agg.Add(R(2, 10, "cinema")).ok());
+  ASSERT_TRUE(agg.Add(R(1, 10, "easter")).ok());
+  EXPECT_EQ(agg.num_queries(), 2u);
+  EXPECT_EQ(agg.num_records(), 4u);
+
+  auto series = agg.SeriesFor("cinema", 0, 3);
+  ASSERT_TRUE(series.ok());
+  EXPECT_EQ(series->values, (std::vector<double>{2.0, 0.0, 1.0, 0.0}));
+}
+
+TEST(LogAggregatorTest, DayBoundaryAssignment) {
+  LogAggregator agg;
+  ASSERT_TRUE(agg.Add(R(5, kSecondsPerDay - 1, "q")).ok());  // 23:59:59 day 5.
+  ASSERT_TRUE(agg.Add(R(6, 0, "q")).ok());                   // 00:00:00 day 6.
+  auto series = agg.SeriesFor("q", 5, 6);
+  ASSERT_TRUE(series.ok());
+  EXPECT_EQ(series->values, (std::vector<double>{1.0, 1.0}));
+}
+
+TEST(LogAggregatorTest, UnknownQueryIsNotFound) {
+  LogAggregator agg;
+  EXPECT_EQ(agg.SeriesFor("nope", 0, 1).status().code(), StatusCode::kNotFound);
+}
+
+TEST(LogAggregatorTest, WindowClipsOutOfRangeDays) {
+  LogAggregator agg;
+  ASSERT_TRUE(agg.Add(R(0, 0, "q")).ok());
+  ASSERT_TRUE(agg.Add(R(10, 0, "q")).ok());
+  ASSERT_TRUE(agg.Add(R(20, 0, "q")).ok());
+  auto series = agg.SeriesFor("q", 5, 15);
+  ASSERT_TRUE(series.ok());
+  EXPECT_EQ(series->size(), 11u);
+  EXPECT_DOUBLE_EQ(series->values[5], 1.0);  // Day 10.
+  EXPECT_DOUBLE_EQ(dsp::Energy(series->values), 1.0);
+  EXPECT_FALSE(agg.SeriesFor("q", 10, 5).ok());
+}
+
+TEST(LogAggregatorTest, BuildCorpusAppliesVolumeCutoff) {
+  LogAggregator agg;
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(agg.Add(R(i, 0, "popular")).ok());
+  ASSERT_TRUE(agg.Add(R(0, 0, "rare")).ok());
+  auto corpus = agg.BuildCorpus(0, 9, /*min_total_count=*/5);
+  ASSERT_TRUE(corpus.ok());
+  ASSERT_EQ(corpus->size(), 1u);
+  EXPECT_EQ(corpus->at(0).name, "popular");
+
+  auto all = agg.BuildCorpus(0, 9, 0);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 2u);
+  // Lexicographic order.
+  EXPECT_EQ(all->at(0).name, "popular");
+  EXPECT_EQ(all->at(1).name, "rare");
+}
+
+TEST(LogAggregatorTest, EndToEndPipelineMatchesDirectSynthesis) {
+  // GenerateLog -> aggregate must reproduce the archetype's demand shape:
+  // the aggregated daily total over a year approximates the intensity sum.
+  Rng rng(3);
+  const QueryArchetype cinema = MakeCinema();
+  auto log = GenerateLog(cinema, 0, 56, &rng);
+  ASSERT_TRUE(log.ok());
+  LogAggregator agg;
+  ASSERT_TRUE(agg.AddAll(*log).ok());
+  auto series = agg.SeriesFor("cinema", 0, 55);
+  ASSERT_TRUE(series.ok());
+
+  // Expected totals from the deterministic intensity.
+  double expected = 0.0;
+  for (int32_t day = 0; day < 56; ++day) expected += IntensityOn(cinema, day);
+  const double observed = dsp::Mean(series->values) * 56;
+  EXPECT_NEAR(observed, expected, 0.05 * expected);
+  EXPECT_EQ(static_cast<uint64_t>(observed), agg.num_records());
+}
+
+TEST(LogAggregatorTest, GenerateLogValidates) {
+  Rng rng(4);
+  QueryArchetype a;
+  a.name = "x";
+  EXPECT_FALSE(GenerateLog(a, 0, 0, &rng).ok());
+  EXPECT_FALSE(GenerateLog(a, 0, 5, nullptr).ok());
+  EXPECT_FALSE(GenerateLog(a, -3, 5, &rng).ok());
+}
+
+TEST(LogAggregatorTest, TimestampsStayWithinTheirDay) {
+  Rng rng(5);
+  auto log = GenerateLog(MakeCinema(), 7, 3, &rng);
+  ASSERT_TRUE(log.ok());
+  ASSERT_FALSE(log->empty());
+  for (const LogRecord& record : *log) {
+    const int64_t day = record.timestamp_seconds / kSecondsPerDay;
+    EXPECT_GE(day, 7);
+    EXPECT_LE(day, 9);
+  }
+}
+
+}  // namespace
+}  // namespace s2::qlog

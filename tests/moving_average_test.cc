@@ -1,0 +1,88 @@
+#include "dsp/moving_average.h"
+
+#include <gtest/gtest.h>
+
+namespace s2::dsp {
+namespace {
+
+TEST(MovingAverageTest, RejectsBadArguments) {
+  EXPECT_FALSE(TrailingMovingAverage({}, 3).ok());
+  EXPECT_FALSE(TrailingMovingAverage({1.0}, 0).ok());
+  EXPECT_FALSE(CenteredMovingAverage({}, 3).ok());
+  EXPECT_FALSE(CenteredMovingAverage({1.0}, 0).ok());
+}
+
+TEST(MovingAverageTest, WindowOneIsIdentity) {
+  const std::vector<double> x = {1.0, 5.0, 2.0};
+  auto ma = TrailingMovingAverage(x, 1);
+  ASSERT_TRUE(ma.ok());
+  EXPECT_EQ(*ma, x);
+}
+
+TEST(MovingAverageTest, TrailingClipsAtStart) {
+  const std::vector<double> x = {2.0, 4.0, 6.0, 8.0};
+  auto ma = TrailingMovingAverage(x, 3);
+  ASSERT_TRUE(ma.ok());
+  EXPECT_DOUBLE_EQ((*ma)[0], 2.0);            // Window {2}.
+  EXPECT_DOUBLE_EQ((*ma)[1], 3.0);            // Window {2,4}.
+  EXPECT_DOUBLE_EQ((*ma)[2], 4.0);            // Window {2,4,6}.
+  EXPECT_DOUBLE_EQ((*ma)[3], 6.0);            // Window {4,6,8}.
+}
+
+TEST(MovingAverageTest, TrailingWindowLargerThanInput) {
+  const std::vector<double> x = {1.0, 3.0};
+  auto ma = TrailingMovingAverage(x, 10);
+  ASSERT_TRUE(ma.ok());
+  EXPECT_DOUBLE_EQ((*ma)[0], 1.0);
+  EXPECT_DOUBLE_EQ((*ma)[1], 2.0);
+}
+
+TEST(MovingAverageTest, TrailingSmoothsConstantSequenceExactly) {
+  const std::vector<double> x(50, 3.25);
+  auto ma = TrailingMovingAverage(x, 7);
+  ASSERT_TRUE(ma.ok());
+  for (double v : *ma) EXPECT_DOUBLE_EQ(v, 3.25);
+}
+
+TEST(MovingAverageTest, TrailingMatchesNaiveImplementation) {
+  std::vector<double> x;
+  for (int i = 0; i < 40; ++i) x.push_back(static_cast<double>((i * 37) % 11));
+  const size_t w = 5;
+  auto ma = TrailingMovingAverage(x, w);
+  ASSERT_TRUE(ma.ok());
+  for (size_t i = 0; i < x.size(); ++i) {
+    const size_t lo = i + 1 >= w ? i + 1 - w : 0;
+    double sum = 0.0;
+    for (size_t j = lo; j <= i; ++j) sum += x[j];
+    EXPECT_NEAR((*ma)[i], sum / static_cast<double>(i - lo + 1), 1e-12) << i;
+  }
+}
+
+TEST(MovingAverageTest, CenteredMatchesNaiveImplementation) {
+  std::vector<double> x;
+  for (int i = 0; i < 33; ++i) x.push_back(static_cast<double>((i * 53) % 17));
+  const size_t w = 7;
+  auto ma = CenteredMovingAverage(x, w);
+  ASSERT_TRUE(ma.ok());
+  for (size_t i = 0; i < x.size(); ++i) {
+    const size_t lo = i >= (w - 1) / 2 ? i - (w - 1) / 2 : 0;
+    const size_t hi = std::min(x.size() - 1, i + w / 2);
+    double sum = 0.0;
+    for (size_t j = lo; j <= hi; ++j) sum += x[j];
+    EXPECT_NEAR((*ma)[i], sum / static_cast<double>(hi - lo + 1), 1e-12) << i;
+  }
+}
+
+TEST(MovingAverageTest, TrailingLagsBehindRisingEdge) {
+  // A step from 0 to 1: the trailing MA reaches 1 only after `w` samples.
+  std::vector<double> x(20, 0.0);
+  for (size_t i = 10; i < 20; ++i) x[i] = 1.0;
+  auto ma = TrailingMovingAverage(x, 4);
+  ASSERT_TRUE(ma.ok());
+  EXPECT_DOUBLE_EQ((*ma)[9], 0.0);
+  EXPECT_DOUBLE_EQ((*ma)[10], 0.25);
+  EXPECT_DOUBLE_EQ((*ma)[13], 1.0);
+}
+
+}  // namespace
+}  // namespace s2::dsp

@@ -1,0 +1,178 @@
+#include "index/mvp_tree.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "dsp/stats.h"
+#include "index/linear_scan.h"
+#include "index/vp_tree.h"
+#include "querylog/corpus_generator.h"
+#include "storage/sequence_store.h"
+
+namespace s2::index {
+namespace {
+
+struct Fixture {
+  std::vector<std::vector<double>> rows;
+  std::vector<std::vector<double>> queries;
+  std::unique_ptr<storage::InMemorySequenceSource> source;
+};
+
+Fixture MakeFixture(size_t num_series, size_t n_days, size_t num_queries,
+                    uint64_t seed) {
+  qlog::CorpusSpec spec;
+  spec.num_series = num_series;
+  spec.n_days = n_days;
+  spec.seed = seed;
+  auto corpus = qlog::GenerateCorpus(spec);
+  EXPECT_TRUE(corpus.ok());
+  Fixture fx;
+  for (const auto& series : corpus->series()) {
+    fx.rows.push_back(dsp::Standardize(series.values));
+  }
+  auto queries = qlog::GenerateQueries(spec, num_queries);
+  EXPECT_TRUE(queries.ok());
+  for (const auto& q : *queries) fx.queries.push_back(dsp::Standardize(q.values));
+  auto source = storage::InMemorySequenceSource::Create(fx.rows);
+  EXPECT_TRUE(source.ok());
+  fx.source = std::move(source).ValueOrDie();
+  return fx;
+}
+
+TEST(MvpTreeTest, BuildRejectsBadInput) {
+  MvpTreeIndex::Options options;
+  EXPECT_FALSE(MvpTreeIndex::Build({}, options).ok());
+  EXPECT_FALSE(MvpTreeIndex::Build({{}}, options).ok());
+  EXPECT_FALSE(MvpTreeIndex::Build({{1.0, 2.0}, {1.0}}, options).ok());
+  MvpTreeIndex::Options bad = options;
+  bad.leaf_size = 0;
+  EXPECT_FALSE(
+      MvpTreeIndex::Build(std::vector<std::vector<double>>(4, {1.0, 2.0}), bad).ok());
+}
+
+TEST(MvpTreeTest, SearchValidatesArguments) {
+  Fixture fx = MakeFixture(40, 128, 1, 1);
+  MvpTreeIndex::Options options;
+  options.budget_c = 8;
+  auto index = MvpTreeIndex::Build(fx.rows, options);
+  ASSERT_TRUE(index.ok());
+  EXPECT_FALSE(
+      index->Search(std::vector<double>(5, 0.0), 1, fx.source.get(), nullptr).ok());
+  EXPECT_FALSE(index->Search(fx.queries[0], 0, fx.source.get(), nullptr).ok());
+  EXPECT_FALSE(index->Search(fx.queries[0], 1, nullptr, nullptr).ok());
+}
+
+class MvpExactnessTest : public ::testing::TestWithParam<size_t /*budget*/> {};
+
+TEST_P(MvpExactnessTest, MatchesLinearScan) {
+  const size_t budget = GetParam();
+  Fixture fx = MakeFixture(400, 256, 10, 42);
+  MvpTreeIndex::Options options;
+  options.budget_c = budget;
+  options.leaf_size = 6;
+  auto index = MvpTreeIndex::Build(fx.rows, options);
+  ASSERT_TRUE(index.ok());
+  LinearScan scan(fx.source.get());
+
+  for (const auto& query : fx.queries) {
+    for (size_t k : {1u, 5u}) {
+      auto expected = scan.Search(query, k);
+      auto got = index->Search(query, k, fx.source.get(), nullptr);
+      ASSERT_TRUE(expected.ok());
+      ASSERT_TRUE(got.ok());
+      ASSERT_EQ(got->size(), expected->size());
+      for (size_t i = 0; i < got->size(); ++i) {
+        EXPECT_NEAR((*got)[i].distance, (*expected)[i].distance, 1e-9)
+            << "budget=" << budget << " k=" << k << " rank " << i;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, MvpExactnessTest, ::testing::Values(8u, 16u, 32u));
+
+TEST(MvpTreeTest, IndexedObjectFindsItself) {
+  Fixture fx = MakeFixture(100, 128, 0, 9);
+  MvpTreeIndex::Options options;
+  options.budget_c = 16;
+  auto index = MvpTreeIndex::Build(fx.rows, options);
+  ASSERT_TRUE(index.ok());
+  for (ts::SeriesId id = 0; id < 100; id += 9) {
+    auto got = index->Search(fx.rows[id], 1, fx.source.get(), nullptr);
+    ASSERT_TRUE(got.ok());
+    EXPECT_NEAR((*got)[0].distance, 0.0, 1e-9) << id;
+  }
+}
+
+TEST(MvpTreeTest, SmallCorpusSingleLeaf) {
+  Fixture fx = MakeFixture(5, 64, 2, 15);
+  MvpTreeIndex::Options options;
+  options.budget_c = 8;
+  auto index = MvpTreeIndex::Build(fx.rows, options);
+  ASSERT_TRUE(index.ok());
+  LinearScan scan(fx.source.get());
+  for (const auto& query : fx.queries) {
+    auto expected = scan.Search(query, 2);
+    auto got = index->Search(query, 2, fx.source.get(), nullptr);
+    ASSERT_TRUE(expected.ok());
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ((*got)[0].id, (*expected)[0].id);
+  }
+}
+
+TEST(MvpTreeTest, GuidedTraversalOffStillExact) {
+  Fixture fx = MakeFixture(150, 128, 5, 17);
+  MvpTreeIndex::Options options;
+  options.guided_traversal = false;
+  options.budget_c = 8;
+  auto index = MvpTreeIndex::Build(fx.rows, options);
+  ASSERT_TRUE(index.ok());
+  LinearScan scan(fx.source.get());
+  for (const auto& query : fx.queries) {
+    auto expected = scan.Search(query, 1);
+    auto got = index->Search(query, 1, fx.source.get(), nullptr);
+    ASSERT_TRUE(expected.ok());
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ((*got)[0].id, (*expected)[0].id);
+  }
+}
+
+TEST(MvpTreeTest, ComparableOrBetterPruningThanVpTree) {
+  Fixture fx = MakeFixture(1000, 256, 10, 21);
+  MvpTreeIndex::Options mvp_options;
+  mvp_options.budget_c = 16;
+  VpTreeIndex::Options vp_options;
+  vp_options.budget_c = 16;
+  auto mvp = MvpTreeIndex::Build(fx.rows, mvp_options);
+  auto vp = VpTreeIndex::Build(fx.rows, vp_options);
+  ASSERT_TRUE(mvp.ok());
+  ASSERT_TRUE(vp.ok());
+
+  size_t mvp_bounds = 0;
+  size_t vp_bounds = 0;
+  for (const auto& query : fx.queries) {
+    MvpTreeIndex::SearchStats ms;
+    VpTreeIndex::SearchStats vs;
+    ASSERT_TRUE(mvp->Search(query, 1, fx.source.get(), &ms).ok());
+    ASSERT_TRUE(vp->Search(query, 1, fx.source.get(), &vs).ok());
+    mvp_bounds += ms.bound_computations;
+    vp_bounds += vs.bound_computations;
+  }
+  // Not asserting strict superiority (data dependent), but the MVP tree must
+  // be in the same ballpark — no pathological blow-up.
+  EXPECT_LT(mvp_bounds, vp_bounds * 3 / 2);
+}
+
+TEST(MvpTreeTest, CompressedBytesIsCompact) {
+  Fixture fx = MakeFixture(256, 512, 0, 23);
+  MvpTreeIndex::Options options;
+  options.budget_c = 16;
+  auto index = MvpTreeIndex::Build(fx.rows, options);
+  ASSERT_TRUE(index.ok());
+  EXPECT_LT(index->CompressedBytes(), 256 * 512 * sizeof(double) / 3);
+  EXPECT_EQ(index->size(), 256u);
+}
+
+}  // namespace
+}  // namespace s2::index

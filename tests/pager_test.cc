@@ -1,0 +1,165 @@
+#include "storage/pager.h"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+namespace s2::storage {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+class PagerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = TempPath("s2_pager_" +
+                     std::string(::testing::UnitTest::GetInstance()
+                                     ->current_test_info()
+                                     ->name()) +
+                     ".db");
+    std::remove(path_.c_str());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST_F(PagerTest, OpenValidates) {
+  EXPECT_FALSE(Pager::Open(path_, 1).ok());
+  EXPECT_FALSE(Pager::Open("/no/such/dir/pager.db", 4).ok());
+}
+
+TEST_F(PagerTest, AllocateAndFetch) {
+  auto pager = Pager::Open(path_, 4);
+  ASSERT_TRUE(pager.ok());
+  EXPECT_EQ((*pager)->num_pages(), 0u);
+
+  char* data = nullptr;
+  auto id = (*pager)->Allocate(&data);
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*id, 0u);
+  ASSERT_NE(data, nullptr);
+  // New pages arrive zeroed.
+  for (size_t i = 0; i < kPageSize; ++i) EXPECT_EQ(data[i], 0);
+  std::memcpy(data, "hello", 5);
+  ASSERT_TRUE((*pager)->Unpin(*id, /*dirty=*/true).ok());
+
+  auto fetched = (*pager)->Fetch(*id);
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_EQ(std::memcmp(*fetched, "hello", 5), 0);
+  ASSERT_TRUE((*pager)->Unpin(*id, false).ok());
+}
+
+TEST_F(PagerTest, FetchOutOfRange) {
+  auto pager = Pager::Open(path_, 4);
+  ASSERT_TRUE(pager.ok());
+  EXPECT_EQ((*pager)->Fetch(0).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(PagerTest, UnpinValidation) {
+  auto pager = Pager::Open(path_, 4);
+  ASSERT_TRUE(pager.ok());
+  char* data = nullptr;
+  auto id = (*pager)->Allocate(&data);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE((*pager)->Unpin(*id, true).ok());
+  // Double unpin is an error.
+  EXPECT_FALSE((*pager)->Unpin(*id, false).ok());
+  // Unpin of a page that was never fetched.
+  EXPECT_FALSE((*pager)->Unpin(999, false).ok());
+}
+
+TEST_F(PagerTest, EvictionWritesBackDirtyPages) {
+  auto pager = Pager::Open(path_, 2);
+  ASSERT_TRUE(pager.ok());
+  // Create 6 pages, each stamped with its id, with a 2-frame pool.
+  for (uint32_t p = 0; p < 6; ++p) {
+    char* data = nullptr;
+    auto id = (*pager)->Allocate(&data);
+    ASSERT_TRUE(id.ok());
+    std::memcpy(data, &p, sizeof(p));
+    ASSERT_TRUE((*pager)->Unpin(*id, true).ok());
+  }
+  // Read them all back; every page must carry its stamp despite evictions.
+  for (uint32_t p = 0; p < 6; ++p) {
+    auto data = (*pager)->Fetch(p);
+    ASSERT_TRUE(data.ok());
+    uint32_t stamp = 0;
+    std::memcpy(&stamp, *data, sizeof(stamp));
+    EXPECT_EQ(stamp, p);
+    ASSERT_TRUE((*pager)->Unpin(p, false).ok());
+  }
+  EXPECT_GT((*pager)->disk_writes(), 0u);
+  EXPECT_GT((*pager)->disk_reads(), 0u);
+}
+
+TEST_F(PagerTest, PinnedPagesAreNotEvicted) {
+  auto pager = Pager::Open(path_, 2);
+  ASSERT_TRUE(pager.ok());
+  char* a = nullptr;
+  char* b = nullptr;
+  auto id_a = (*pager)->Allocate(&a);
+  auto id_b = (*pager)->Allocate(&b);
+  ASSERT_TRUE(id_a.ok());
+  ASSERT_TRUE(id_b.ok());
+  // Both frames pinned: a third page cannot be brought in.
+  char* c = nullptr;
+  EXPECT_EQ((*pager)->Allocate(&c).status().code(), StatusCode::kInternal);
+  ASSERT_TRUE((*pager)->Unpin(*id_a, false).ok());
+  // Now there is a victim.
+  auto id_c = (*pager)->Allocate(&c);
+  EXPECT_TRUE(id_c.ok());
+  ASSERT_TRUE((*pager)->Unpin(*id_b, false).ok());
+  ASSERT_TRUE((*pager)->Unpin(*id_c, false).ok());
+}
+
+TEST_F(PagerTest, PersistenceAcrossReopen) {
+  {
+    auto pager = Pager::Open(path_, 4);
+    ASSERT_TRUE(pager.ok());
+    char* data = nullptr;
+    auto id = (*pager)->Allocate(&data);
+    ASSERT_TRUE(id.ok());
+    std::memcpy(data, "durable", 7);
+    ASSERT_TRUE((*pager)->Unpin(*id, true).ok());
+    ASSERT_TRUE((*pager)->FlushAll().ok());
+  }
+  auto reopened = Pager::Open(path_, 4);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->num_pages(), 1u);
+  auto data = (*reopened)->Fetch(0);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(std::memcmp(*data, "durable", 7), 0);
+  ASSERT_TRUE((*reopened)->Unpin(0, false).ok());
+}
+
+TEST_F(PagerTest, CacheHitAccounting) {
+  auto pager = Pager::Open(path_, 4);
+  ASSERT_TRUE(pager.ok());
+  char* data = nullptr;
+  auto id = (*pager)->Allocate(&data);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE((*pager)->Unpin(*id, true).ok());
+  (*pager)->ResetCounters();
+  for (int i = 0; i < 10; ++i) {
+    auto fetched = (*pager)->Fetch(*id);
+    ASSERT_TRUE(fetched.ok());
+    ASSERT_TRUE((*pager)->Unpin(*id, false).ok());
+  }
+  EXPECT_EQ((*pager)->cache_hits(), 10u);
+  EXPECT_EQ((*pager)->disk_reads(), 0u);
+}
+
+TEST_F(PagerTest, NonAlignedFileRejected) {
+  std::FILE* f = std::fopen(path_.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fwrite("partial", 1, 7, f);
+  std::fclose(f);
+  EXPECT_EQ(Pager::Open(path_, 4).status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace s2::storage

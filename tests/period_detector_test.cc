@@ -1,0 +1,189 @@
+#include "period/period_detector.h"
+
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dsp/periodogram.h"
+#include "dsp/stats.h"
+#include "querylog/archetypes.h"
+#include "querylog/synthesizer.h"
+
+namespace s2::period {
+namespace {
+
+std::vector<double> Noise(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x(n);
+  for (double& v : x) v = rng.Normal(0, 1);
+  return x;
+}
+
+std::vector<double> WithCycle(size_t n, double period, double amplitude,
+                              uint64_t seed) {
+  std::vector<double> x = Noise(n, seed);
+  for (size_t i = 0; i < n; ++i) {
+    x[i] += amplitude *
+            std::sin(2.0 * std::numbers::pi * static_cast<double>(i) / period);
+  }
+  return x;
+}
+
+TEST(PeriodDetectorTest, ValidatesArguments) {
+  PeriodDetector detector;
+  EXPECT_FALSE(detector.Detect({1.0, 2.0}).ok());
+  PeriodDetector::Options bad;
+  bad.false_alarm_probability = 0.0;
+  EXPECT_FALSE(PeriodDetector(bad).Detect(Noise(64, 1)).ok());
+  bad.false_alarm_probability = 1.5;
+  EXPECT_FALSE(PeriodDetector(bad).Detect(Noise(64, 1)).ok());
+}
+
+TEST(PeriodDetectorTest, FindsPlantedWeeklyPeriod) {
+  PeriodDetector detector;
+  auto hits = detector.Detect(WithCycle(365, 7.0, 2.0, 2));
+  ASSERT_TRUE(hits.ok());
+  ASSERT_FALSE(hits->empty());
+  EXPECT_NEAR(hits->front().period, 7.0, 0.1);
+}
+
+TEST(PeriodDetectorTest, FindsMultiplePlantedPeriods) {
+  std::vector<double> x = WithCycle(1024, 7.0, 2.0, 3);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] += 1.5 * std::sin(2.0 * std::numbers::pi * static_cast<double>(i) / 32.0);
+  }
+  PeriodDetector detector;
+  auto hits = detector.Detect(x);
+  ASSERT_TRUE(hits.ok());
+  ASSERT_GE(hits->size(), 2u);
+  bool saw7 = false;
+  bool saw32 = false;
+  for (const PeriodHit& hit : *hits) {
+    if (std::abs(hit.period - 7.0) < 0.2) saw7 = true;
+    if (std::abs(hit.period - 32.0) < 1.0) saw32 = true;
+  }
+  EXPECT_TRUE(saw7);
+  EXPECT_TRUE(saw32);
+}
+
+TEST(PeriodDetectorTest, NoFalseAlarmsOnPureNoise) {
+  // Over many noise-only sequences, the detector should almost never fire
+  // (the threshold is set for 1e-4 per bin; with ~512 bins expect ~0.05
+  // hits per sequence).
+  PeriodDetector detector;
+  size_t total_hits = 0;
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    auto hits = detector.Detect(Noise(1024, 100 + seed));
+    ASSERT_TRUE(hits.ok());
+    total_hits += hits->size();
+  }
+  EXPECT_LE(total_hits, 3u);
+}
+
+TEST(PeriodDetectorTest, RandomWalkProducesOnlyLongPeriodArtifacts) {
+  // Random walks have 1/f^2-ish spectra: a handful of the *longest* periods
+  // can cross the exponential threshold (the paper's own Fig. 13 reports
+  // 91- and 121-day periods of this kind), but no spurious short
+  // periodicities may appear.
+  Rng rng(5);
+  size_t total_hits = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<double> x(512);
+    double v = 0.0;
+    for (double& e : x) {
+      v += rng.Normal(0, 1);
+      e = v;
+    }
+    PeriodDetector detector;
+    auto hits = detector.Detect(x);
+    ASSERT_TRUE(hits.ok());
+    total_hits += hits->size();
+    for (const PeriodHit& hit : *hits) {
+      EXPECT_GT(hit.period, 30.0) << "spurious short period in trial " << trial;
+    }
+  }
+  EXPECT_LE(total_hits, 40u);  // A few long-period trend artifacts per walk.
+}
+
+TEST(PeriodDetectorTest, ThresholdFormulaMatchesPaper) {
+  // T_p = -mu * ln(p) with mu the mean periodogram value (excluding DC).
+  PeriodDetector::Options options;
+  options.false_alarm_probability = 1e-4;
+  PeriodDetector detector(options);
+  const std::vector<double> psd = {0.0, 0.01, 0.03, 0.02};  // mu = 0.02.
+  EXPECT_NEAR(detector.Threshold(psd), -0.02 * std::log(1e-4), 1e-12);
+  EXPECT_NEAR(detector.Threshold(psd), 0.1842, 1e-3);
+}
+
+TEST(PeriodDetectorTest, StricterProbabilityRaisesThreshold) {
+  const std::vector<double> psd = {0.0, 0.01, 0.03, 0.02};
+  PeriodDetector loose(PeriodDetector::Options{1e-2, 0, 0.5});
+  PeriodDetector strict(PeriodDetector::Options{1e-6, 0, 0.5});
+  EXPECT_LT(loose.Threshold(psd), strict.Threshold(psd));
+}
+
+TEST(PeriodDetectorTest, MaxPeriodsCapsOutput) {
+  std::vector<double> x = WithCycle(1024, 7.0, 3.0, 6);
+  PeriodDetector::Options options;
+  options.max_periods = 1;
+  auto hits = PeriodDetector(options).Detect(x);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->size(), 1u);
+}
+
+TEST(PeriodDetectorTest, HitsSortedByDescendingPower) {
+  std::vector<double> x = WithCycle(1024, 7.0, 2.0, 8);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] += 0.8 * std::sin(2.0 * std::numbers::pi * static_cast<double>(i) / 64.0);
+  }
+  auto hits = PeriodDetector().Detect(x);
+  ASSERT_TRUE(hits.ok());
+  for (size_t i = 1; i < hits->size(); ++i) {
+    EXPECT_GE((*hits)[i - 1].power, (*hits)[i].power);
+  }
+}
+
+TEST(PeriodDetectorTest, CinemaArchetypeShowsWeeklyPeriod) {
+  // Paper Fig. 13: "cinema" has P1 = 7 with the 3.5-day harmonic.
+  Rng rng(9);
+  auto series = qlog::Synthesize(qlog::MakeCinema(), 0, 1024, &rng);
+  ASSERT_TRUE(series.ok());
+  auto hits = PeriodDetector().Detect(series->values);
+  ASSERT_TRUE(hits.ok());
+  ASSERT_FALSE(hits->empty());
+  EXPECT_NEAR(hits->front().period, 7.0, 0.1);
+  bool saw_harmonic = false;
+  for (const PeriodHit& hit : *hits) {
+    if (std::abs(hit.period - 3.5) < 0.05) saw_harmonic = true;
+  }
+  EXPECT_TRUE(saw_harmonic);
+}
+
+TEST(PeriodDetectorTest, FullMoonArchetypeShowsLunarPeriod) {
+  Rng rng(10);
+  auto series = qlog::Synthesize(qlog::MakeFullMoon(), 0, 1024, &rng);
+  ASSERT_TRUE(series.ok());
+  auto hits = PeriodDetector().Detect(series->values);
+  ASSERT_TRUE(hits.ok());
+  ASSERT_FALSE(hits->empty());
+  EXPECT_NEAR(hits->front().period, 29.53, 1.5);
+}
+
+TEST(PeriodDetectorTest, AperiodicArchetypeStaysQuiet) {
+  // Paper Fig. 13's "dudley moore": a burst is not a periodicity.
+  Rng rng(11);
+  auto archetype = qlog::MakeDudleyMoore(500);
+  auto series = qlog::Synthesize(archetype, 0, 1024, &rng);
+  ASSERT_TRUE(series.ok());
+  auto hits = PeriodDetector().Detect(series->values);
+  ASSERT_TRUE(hits.ok());
+  // The news burst and the slow random-walk drift may register as a couple
+  // of long-period artifacts, but nothing resembling a true periodicity.
+  EXPECT_LE(hits->size(), 3u);
+  for (const PeriodHit& hit : *hits) EXPECT_GT(hit.period, 50.0);
+}
+
+}  // namespace
+}  // namespace s2::period

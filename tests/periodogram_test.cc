@@ -1,0 +1,88 @@
+#include "dsp/periodogram.h"
+
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dsp/stats.h"
+
+namespace s2::dsp {
+namespace {
+
+std::vector<double> Sinusoid(size_t n, double period, double amplitude) {
+  std::vector<double> x(n);
+  for (size_t i = 0; i < n; ++i) {
+    x[i] = amplitude * std::sin(2.0 * std::numbers::pi * static_cast<double>(i) / period);
+  }
+  return x;
+}
+
+TEST(PeriodogramTest, SizeIsHalfPlusOne) {
+  auto psd = PeriodogramOf(std::vector<double>(64, 1.0));
+  ASSERT_TRUE(psd.ok());
+  EXPECT_EQ(psd->size(), 33u);
+  auto odd = PeriodogramOf(std::vector<double>(65, 1.0));
+  ASSERT_TRUE(odd.ok());
+  EXPECT_EQ(odd->size(), 33u);
+}
+
+TEST(PeriodogramTest, ConstantSignalIsAllDc) {
+  auto psd = PeriodogramOf(std::vector<double>(32, 2.0));
+  ASSERT_TRUE(psd.ok());
+  EXPECT_GT((*psd)[0], 0.0);
+  for (size_t k = 1; k < psd->size(); ++k) EXPECT_NEAR((*psd)[k], 0.0, 1e-18);
+}
+
+TEST(PeriodogramTest, PeakAtPlantedPeriod) {
+  const size_t n = 512;
+  const double period = 8.0;  // Bin 64.
+  auto psd = PeriodogramOf(Sinusoid(n, period, 1.0));
+  ASSERT_TRUE(psd.ok());
+  size_t argmax = 0;
+  for (size_t k = 1; k < psd->size(); ++k) {
+    if ((*psd)[k] > (*psd)[argmax]) argmax = k;
+  }
+  EXPECT_EQ(argmax, 64u);
+  EXPECT_NEAR(BinToPeriod(argmax, n), period, 1e-9);
+}
+
+TEST(PeriodogramTest, WeeklyPeakInYearLongSeries) {
+  // 365 days with a 7-day cycle: the peak lands at bin 52 (period 7.02).
+  const size_t n = 365;
+  auto psd = PeriodogramOf(Sinusoid(n, 7.0, 1.0));
+  ASSERT_TRUE(psd.ok());
+  size_t argmax = 1;
+  for (size_t k = 1; k < psd->size(); ++k) {
+    if ((*psd)[k] > (*psd)[argmax]) argmax = k;
+  }
+  EXPECT_EQ(argmax, 52u);
+  EXPECT_NEAR(BinToPeriod(argmax, n), 7.02, 0.01);
+}
+
+TEST(PeriodogramTest, SumEqualsSignalEnergyForStandardizedInput) {
+  // With conjugate symmetry, sum_k m_k P_k == energy; summing the half-range
+  // with doubled interior bins reproduces Parseval.
+  Rng rng(11);
+  std::vector<double> x(256);
+  for (double& v : x) v = rng.Normal(0, 1);
+  auto spectrum = ForwardDft(x);
+  ASSERT_TRUE(spectrum.ok());
+  const std::vector<double> psd = Periodogram(*spectrum);
+  double total = 0.0;
+  for (size_t k = 0; k < psd.size(); ++k) {
+    const bool edge = k == 0 || k == x.size() / 2;
+    total += (edge ? 1.0 : 2.0) * psd[k];
+  }
+  EXPECT_NEAR(total, Energy(x), 1e-6 * Energy(x));
+}
+
+TEST(PeriodogramTest, BinToPeriodEdgeCases) {
+  EXPECT_TRUE(std::isinf(BinToPeriod(0, 100)));
+  EXPECT_DOUBLE_EQ(BinToPeriod(1, 100), 100.0);
+  EXPECT_DOUBLE_EQ(BinToPeriod(50, 100), 2.0);
+}
+
+}  // namespace
+}  // namespace s2::dsp

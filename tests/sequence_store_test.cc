@@ -1,0 +1,116 @@
+#include "storage/sequence_store.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace s2::storage {
+namespace {
+
+std::vector<std::vector<double>> MakeRows(size_t count, size_t length,
+                                          uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> rows(count, std::vector<double>(length));
+  for (auto& row : rows) {
+    for (double& v : row) v = rng.Normal(0, 1);
+  }
+  return rows;
+}
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(InMemorySequenceSourceTest, BasicRoundTrip) {
+  auto rows = MakeRows(5, 16, 1);
+  auto source = InMemorySequenceSource::Create(rows);
+  ASSERT_TRUE(source.ok());
+  EXPECT_EQ((*source)->num_series(), 5u);
+  EXPECT_EQ((*source)->series_length(), 16u);
+  for (ts::SeriesId id = 0; id < 5; ++id) {
+    auto row = (*source)->Get(id);
+    ASSERT_TRUE(row.ok());
+    EXPECT_EQ(*row, rows[id]);
+  }
+  EXPECT_EQ((*source)->read_count(), 5u);
+  (*source)->ResetCounters();
+  EXPECT_EQ((*source)->read_count(), 0u);
+}
+
+TEST(InMemorySequenceSourceTest, RejectsRaggedRows) {
+  std::vector<std::vector<double>> ragged = {{1.0, 2.0}, {3.0}};
+  EXPECT_FALSE(InMemorySequenceSource::Create(ragged).ok());
+}
+
+TEST(InMemorySequenceSourceTest, OutOfRangeIdIsNotFound) {
+  auto source = InMemorySequenceSource::Create(MakeRows(3, 4, 2));
+  ASSERT_TRUE(source.ok());
+  EXPECT_EQ((*source)->Get(3).status().code(), StatusCode::kNotFound);
+}
+
+TEST(DiskSequenceStoreTest, CreateWriteReadRoundTrip) {
+  const std::string path = TempPath("s2_store_roundtrip.bin");
+  const auto rows = MakeRows(17, 64, 3);
+  auto store = DiskSequenceStore::Create(path, rows);
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ((*store)->num_series(), 17u);
+  EXPECT_EQ((*store)->series_length(), 64u);
+  // Random-access pattern.
+  for (ts::SeriesId id : {16u, 0u, 9u, 3u, 16u}) {
+    auto row = (*store)->Get(id);
+    ASSERT_TRUE(row.ok());
+    EXPECT_EQ(*row, rows[id]);
+  }
+  EXPECT_EQ((*store)->read_count(), 5u);
+  EXPECT_EQ((*store)->bytes_read(), 5u * 64u * sizeof(double));
+  std::remove(path.c_str());
+}
+
+TEST(DiskSequenceStoreTest, ReopenExistingFile) {
+  const std::string path = TempPath("s2_store_reopen.bin");
+  const auto rows = MakeRows(4, 8, 4);
+  { auto created = DiskSequenceStore::Create(path, rows); ASSERT_TRUE(created.ok()); }
+  auto reopened = DiskSequenceStore::Open(path);
+  ASSERT_TRUE(reopened.ok());
+  auto row = (*reopened)->Get(2);
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(*row, rows[2]);
+  std::remove(path.c_str());
+}
+
+TEST(DiskSequenceStoreTest, MissingFileIsIoError) {
+  EXPECT_EQ(DiskSequenceStore::Open("/nonexistent/path/nope.bin").status().code(),
+            StatusCode::kIoError);
+}
+
+TEST(DiskSequenceStoreTest, CorruptHeaderRejected) {
+  const std::string path = TempPath("s2_store_corrupt.bin");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fwrite("NOTMAGIC", 1, 8, f);
+  std::fclose(f);
+  EXPECT_EQ(DiskSequenceStore::Open(path).status().code(), StatusCode::kIoError);
+  std::remove(path.c_str());
+}
+
+TEST(DiskSequenceStoreTest, OutOfRangeIdIsNotFound) {
+  const std::string path = TempPath("s2_store_range.bin");
+  auto store = DiskSequenceStore::Create(path, MakeRows(2, 4, 5));
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ((*store)->Get(2).status().code(), StatusCode::kNotFound);
+  std::remove(path.c_str());
+}
+
+TEST(DiskSequenceStoreTest, RejectsRaggedRows) {
+  const std::string path = TempPath("s2_store_ragged.bin");
+  std::vector<std::vector<double>> ragged = {{1.0, 2.0}, {3.0}};
+  EXPECT_FALSE(DiskSequenceStore::Create(path, ragged).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace s2::storage

@@ -1,0 +1,100 @@
+#include "dsp/stats.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace s2::dsp {
+namespace {
+
+TEST(StatsTest, MeanBasics) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({5.0}), 5.0);
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Mean({-1.0, 1.0}), 0.0);
+}
+
+TEST(StatsTest, VarianceBasics) {
+  EXPECT_DOUBLE_EQ(Variance({}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({42.0}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({1.0, 1.0, 1.0}), 0.0);
+  // Population variance of {1,2,3,4}: mean 2.5, sum sq dev = 5 -> 1.25.
+  EXPECT_DOUBLE_EQ(Variance({1.0, 2.0, 3.0, 4.0}), 1.25);
+  EXPECT_DOUBLE_EQ(StdDev({1.0, 2.0, 3.0, 4.0}), std::sqrt(1.25));
+}
+
+TEST(StatsTest, EnergyAndMeanPower) {
+  EXPECT_DOUBLE_EQ(Energy({3.0, 4.0}), 25.0);
+  EXPECT_DOUBLE_EQ(MeanPower({3.0, 4.0}), 12.5);
+  EXPECT_DOUBLE_EQ(MeanPower({}), 0.0);
+}
+
+TEST(StatsTest, StandardizeProducesZeroMeanUnitVariance) {
+  Rng rng(3);
+  std::vector<double> x(500);
+  for (double& v : x) v = rng.Uniform(10.0, 200.0);
+  const std::vector<double> z = Standardize(x);
+  EXPECT_NEAR(Mean(z), 0.0, 1e-12);
+  EXPECT_NEAR(Variance(z), 1.0, 1e-9);
+}
+
+TEST(StatsTest, StandardizeConstantSequenceIsAllZeros) {
+  const std::vector<double> z = Standardize({7.0, 7.0, 7.0});
+  for (double v : z) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(StatsTest, StandardizePreservesShape) {
+  // Standardization is affine: relative ordering and ratios of deviations
+  // are preserved.
+  const std::vector<double> x = {1.0, 5.0, 3.0};
+  const std::vector<double> z = Standardize(x);
+  EXPECT_LT(z[0], z[2]);
+  EXPECT_LT(z[2], z[1]);
+  EXPECT_NEAR((z[1] - z[2]) / (z[2] - z[0]), (x[1] - x[2]) / (x[2] - x[0]), 1e-12);
+}
+
+TEST(StatsTest, EuclideanMatchesHandComputed) {
+  auto d = Euclidean({0.0, 0.0}, {3.0, 4.0});
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ(*d, 5.0);
+  auto sq = SquaredEuclidean({1.0, 1.0}, {2.0, 2.0});
+  ASSERT_TRUE(sq.ok());
+  EXPECT_DOUBLE_EQ(*sq, 2.0);
+}
+
+TEST(StatsTest, EuclideanRejectsLengthMismatch) {
+  EXPECT_FALSE(Euclidean({1.0}, {1.0, 2.0}).ok());
+  EXPECT_FALSE(SquaredEuclidean({}, {1.0}).ok());
+}
+
+TEST(StatsTest, EarlyAbandonExactWhenUnderThreshold) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  const std::vector<double> b = {4.0, 6.0, 3.0};
+  const double exact = *Euclidean(a, b);
+  EXPECT_DOUBLE_EQ(
+      EuclideanEarlyAbandon(a, b, std::numeric_limits<double>::infinity()), exact);
+  EXPECT_DOUBLE_EQ(EuclideanEarlyAbandon(a, b, exact * exact + 1.0), exact);
+}
+
+TEST(StatsTest, EarlyAbandonOverestimatesWhenAbandoned) {
+  Rng rng(4);
+  std::vector<double> a(256);
+  std::vector<double> b(256);
+  for (size_t i = 0; i < a.size(); ++i) {
+    a[i] = rng.Normal(0, 1);
+    b[i] = rng.Normal(0, 1);
+  }
+  const double exact = *Euclidean(a, b);
+  const double threshold = exact / 2.0;
+  const double result = EuclideanEarlyAbandon(a, b, threshold * threshold);
+  // When abandoned, the returned value exceeds the abandon radius (so the
+  // caller's Offer() rejects it) but never exceeds the true distance.
+  EXPECT_GT(result, threshold);
+  EXPECT_LE(result, exact + 1e-12);
+}
+
+}  // namespace
+}  // namespace s2::dsp

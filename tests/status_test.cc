@@ -1,0 +1,88 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+
+namespace s2 {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryHelpersCarryCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("bad").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::IoError("y").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::OutOfRange("z").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::AlreadyExists("w").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::Internal("v").code(), StatusCode::kInternal);
+  const Status s = Status::InvalidArgument("bad argument");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.message(), "bad argument");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad argument");
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  const Status s = Status::NotFound("missing");
+  const Status t = s;  // NOLINT(performance-unnecessary-copy-initialization)
+  EXPECT_EQ(t, s);
+  EXPECT_EQ(t.message(), "missing");
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto fails = []() -> Status { return Status::Internal("boom"); };
+  auto wrapper = [&]() -> Status {
+    S2_RETURN_NOT_OK(fails());
+    return Status::OK();
+  };
+  EXPECT_EQ(wrapper().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto producer = [](bool ok) -> Result<int> {
+    if (ok) return 7;
+    return Status::InvalidArgument("no");
+  };
+  auto consumer = [&](bool ok) -> Result<int> {
+    S2_ASSIGN_OR_RETURN(int v, producer(ok));
+    return v * 2;
+  };
+  EXPECT_EQ(consumer(true).value(), 14);
+  EXPECT_EQ(consumer(false).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, MoveOnlyTypes) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(5);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).ValueOrDie();
+  EXPECT_EQ(*v, 5);
+}
+
+TEST(StatusCodeTest, Names) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kInvalidArgument), "InvalidArgument");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kInternal), "Internal");
+}
+
+}  // namespace
+}  // namespace s2

@@ -1,0 +1,144 @@
+#include "querylog/synthesizer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "dsp/periodogram.h"
+#include "dsp/stats.h"
+#include "querylog/archetypes.h"
+#include "timeseries/calendar.h"
+
+namespace s2::qlog {
+namespace {
+
+TEST(SynthesizerTest, RejectsBadArguments) {
+  Rng rng(1);
+  QueryArchetype a;
+  a.name = "x";
+  EXPECT_FALSE(Synthesize(a, 0, 0, &rng).ok());
+  EXPECT_FALSE(Synthesize(a, 0, 10, nullptr).ok());
+}
+
+TEST(SynthesizerTest, ProducesRequestedShape) {
+  Rng rng(2);
+  QueryArchetype a;
+  a.name = "plain";
+  a.base_rate = 100;
+  auto series = Synthesize(a, 31, 365, &rng);
+  ASSERT_TRUE(series.ok());
+  EXPECT_EQ(series->name, "plain");
+  EXPECT_EQ(series->start_day, 31);
+  EXPECT_EQ(series->size(), 365u);
+}
+
+TEST(SynthesizerTest, CountsAreNonNegative) {
+  Rng rng(3);
+  QueryArchetype a = MakeRandomAperiodic("noise", &rng);
+  auto series = Synthesize(a, 0, 1024, &rng);
+  ASSERT_TRUE(series.ok());
+  for (double v : series->values) EXPECT_GE(v, 0.0);
+}
+
+TEST(SynthesizerTest, DeterministicGivenSeed) {
+  QueryArchetype a = MakeCinema();
+  Rng rng1(42);
+  Rng rng2(42);
+  auto s1 = Synthesize(a, 0, 200, &rng1);
+  auto s2 = Synthesize(a, 0, 200, &rng2);
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  EXPECT_EQ(s1->values, s2->values);
+}
+
+TEST(SynthesizerTest, BaseRateControlsVolume) {
+  Rng rng(4);
+  QueryArchetype a;
+  a.name = "big";
+  a.base_rate = 1000;
+  auto series = Synthesize(a, 0, 365, &rng);
+  ASSERT_TRUE(series.ok());
+  EXPECT_NEAR(dsp::Mean(series->values), 1000.0, 50.0);
+}
+
+TEST(SynthesizerTest, WeeklyIntensityFollowsDayOfWeek) {
+  const QueryArchetype a = MakeCinema();
+  // Friday intensity should exceed Monday intensity in every week.
+  for (int32_t week = 0; week < 50; ++week) {
+    int32_t monday = -1;
+    int32_t friday = -1;
+    for (int32_t d = week * 7; d < week * 7 + 7; ++d) {
+      if (ts::DayOfWeek(d) == 0) monday = d;
+      if (ts::DayOfWeek(d) == 4) friday = d;
+    }
+    ASSERT_GE(monday, 0);
+    ASSERT_GE(friday, 0);
+    EXPECT_GT(IntensityOn(a, friday), IntensityOn(a, monday));
+  }
+}
+
+TEST(SynthesizerTest, AnnualBurstPeaksNearAnchor) {
+  const QueryArchetype a = MakeHalloween();
+  // Intensity at Halloween should dominate mid-year intensity.
+  const int32_t halloween_2002 = ts::DateToDayIndex({2002, 10, 31});
+  const int32_t midsummer_2002 = ts::DateToDayIndex({2002, 7, 1});
+  EXPECT_GT(IntensityOn(a, halloween_2002), 3.0 * IntensityOn(a, midsummer_2002));
+}
+
+TEST(SynthesizerTest, AnnualBurstRecursEveryYear) {
+  const QueryArchetype a = MakeElvis();
+  for (int year : {2000, 2001, 2002}) {
+    const int32_t aug16 = ts::DateToDayIndex({year, 8, 16});
+    const int32_t july1 = ts::DateToDayIndex({year, 7, 1});
+    EXPECT_GT(IntensityOn(a, aug16), 2.0 * IntensityOn(a, july1)) << year;
+  }
+}
+
+TEST(SynthesizerTest, SharpDropCutsPostPeakDemand) {
+  const QueryArchetype a = MakeEaster();
+  const int32_t peak = ts::DateToDayIndex({2001, 4, 15});
+  const int32_t month_after = peak + 30;
+  const int32_t month_before = peak - 30;
+  // Build-up before the peak, silence after it.
+  EXPECT_GT(IntensityOn(a, month_before), IntensityOn(a, month_after));
+}
+
+TEST(SynthesizerTest, EventBurstIsLocalizedAndDecays) {
+  const int32_t event_day = 500;
+  const QueryArchetype a = MakeDudleyMoore(event_day);
+  const double base = IntensityOn(a, 100);
+  EXPECT_GT(IntensityOn(a, event_day), 5.0 * base);
+  EXPECT_GT(IntensityOn(a, event_day), IntensityOn(a, event_day + 5));
+  EXPECT_NEAR(IntensityOn(a, event_day + 200), base, base * 0.01);
+}
+
+TEST(SynthesizerTest, LunarPeriodicityDetectableInSpectrum) {
+  Rng rng(5);
+  const QueryArchetype a = MakeFullMoon();
+  auto series = Synthesize(a, 0, 1024, &rng);
+  ASSERT_TRUE(series.ok());
+  auto psd = dsp::PeriodogramOf(dsp::Standardize(series->values));
+  ASSERT_TRUE(psd.ok());
+  size_t argmax = 1;
+  for (size_t k = 1; k < psd->size(); ++k) {
+    if ((*psd)[k] > (*psd)[argmax]) argmax = k;
+  }
+  const double period = dsp::BinToPeriod(argmax, 1024);
+  EXPECT_NEAR(period, 29.53, 1.5);
+}
+
+TEST(SynthesizerTest, GaussianNoiseModeWhenPoissonDisabled) {
+  Rng rng(6);
+  QueryArchetype a;
+  a.name = "gauss";
+  a.base_rate = 200;
+  a.poisson_counts = false;
+  a.noise_sigma = 0.01;
+  auto series = Synthesize(a, 0, 512, &rng);
+  ASSERT_TRUE(series.ok());
+  // With tiny Gaussian noise, values hug the base rate tightly.
+  for (double v : series->values) EXPECT_NEAR(v, 200.0, 200.0 * 0.06);
+}
+
+}  // namespace
+}  // namespace s2::qlog

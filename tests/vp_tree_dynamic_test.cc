@@ -1,0 +1,190 @@
+#include <algorithm>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dsp/stats.h"
+#include "index/linear_scan.h"
+#include "index/vp_tree.h"
+#include "querylog/corpus_generator.h"
+#include "storage/sequence_store.h"
+
+namespace s2::index {
+namespace {
+
+std::vector<std::vector<double>> MakeRows(size_t count, size_t n_days,
+                                          uint64_t seed) {
+  qlog::CorpusSpec spec;
+  spec.num_series = count;
+  spec.n_days = n_days;
+  spec.seed = seed;
+  auto corpus = qlog::GenerateCorpus(spec);
+  EXPECT_TRUE(corpus.ok());
+  std::vector<std::vector<double>> rows;
+  for (const auto& series : corpus->series()) {
+    rows.push_back(dsp::Standardize(series.values));
+  }
+  return rows;
+}
+
+// Ground truth over an explicit id set.
+std::vector<ts::SeriesId> BruteForceKnn(const std::vector<std::vector<double>>& rows,
+                                        const std::vector<ts::SeriesId>& live,
+                                        const std::vector<double>& query, size_t k) {
+  std::vector<std::pair<double, ts::SeriesId>> dists;
+  for (ts::SeriesId id : live) {
+    dists.emplace_back(*dsp::Euclidean(query, rows[id]), id);
+  }
+  std::sort(dists.begin(), dists.end());
+  std::vector<ts::SeriesId> out;
+  for (size_t i = 0; i < std::min(k, dists.size()); ++i) out.push_back(dists[i].second);
+  return out;
+}
+
+class VpTreeDynamicTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    rows_ = MakeRows(160, 128, 31);
+    auto source = storage::InMemorySequenceSource::Create(rows_);
+    ASSERT_TRUE(source.ok());
+    source_ = std::move(source).ValueOrDie();
+
+    // Build over the first 100; the rest arrive dynamically.
+    std::vector<std::vector<double>> initial(rows_.begin(), rows_.begin() + 100);
+    VpTreeIndex::Options options;
+    options.budget_c = 16;
+    options.leaf_size = 4;
+    auto index = VpTreeIndex::Build(initial, options);
+    ASSERT_TRUE(index.ok());
+    index_ = std::make_unique<VpTreeIndex>(std::move(index).ValueOrDie());
+    for (ts::SeriesId id = 0; id < 100; ++id) live_.push_back(id);
+  }
+
+  void CheckExactness(size_t k) {
+    for (ts::SeriesId query_id : {0u, 50u, 120u, 159u}) {
+      const auto expected = BruteForceKnn(rows_, live_, rows_[query_id], k);
+      auto got = index_->Search(rows_[query_id], k, source_.get(), nullptr);
+      ASSERT_TRUE(got.ok());
+      ASSERT_EQ(got->size(), expected.size());
+      for (size_t i = 0; i < expected.size(); ++i) {
+        const double want = *dsp::Euclidean(rows_[query_id], rows_[expected[i]]);
+        EXPECT_NEAR((*got)[i].distance, want, 1e-9) << "rank " << i;
+      }
+    }
+  }
+
+  std::vector<std::vector<double>> rows_;
+  std::unique_ptr<storage::InMemorySequenceSource> source_;
+  std::unique_ptr<VpTreeIndex> index_;
+  std::vector<ts::SeriesId> live_;
+};
+
+TEST_F(VpTreeDynamicTest, InsertValidates) {
+  EXPECT_EQ(index_->Insert(200, std::vector<double>(5, 0.0), source_.get()).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(index_->Insert(200, rows_[100], nullptr).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(index_->Insert(50, rows_[50], source_.get()).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(VpTreeDynamicTest, InsertedObjectsAreFound) {
+  for (ts::SeriesId id = 100; id < 160; ++id) {
+    ASSERT_TRUE(index_->Insert(id, rows_[id], source_.get()).ok()) << id;
+    live_.push_back(id);
+  }
+  EXPECT_EQ(index_->size(), 160u);
+  CheckExactness(1);
+  CheckExactness(5);
+  // Every inserted object must find itself at distance 0.
+  for (ts::SeriesId id = 100; id < 160; ++id) {
+    auto got = index_->Search(rows_[id], 1, source_.get(), nullptr);
+    ASSERT_TRUE(got.ok());
+    EXPECT_NEAR((*got)[0].distance, 0.0, 1e-9);
+  }
+}
+
+TEST_F(VpTreeDynamicTest, RemoveLeafObject) {
+  // Id 0..99 are indexed; remove a handful and verify they never come back.
+  for (ts::SeriesId id : {3u, 17u, 42u, 77u}) {
+    ASSERT_TRUE(index_->Remove(id).ok());
+    live_.erase(std::find(live_.begin(), live_.end(), id));
+  }
+  EXPECT_EQ(index_->size(), 96u);
+  CheckExactness(3);
+  for (ts::SeriesId id : {3u, 17u, 42u, 77u}) {
+    auto got = index_->Search(rows_[id], 3, source_.get(), nullptr);
+    ASSERT_TRUE(got.ok());
+    for (const auto& n : *got) EXPECT_NE(n.id, id);
+  }
+}
+
+TEST_F(VpTreeDynamicTest, RemoveUnknownIdIsNotFound) {
+  EXPECT_EQ(index_->Remove(999).code(), StatusCode::kNotFound);
+}
+
+TEST_F(VpTreeDynamicTest, RemoveVantagePointTombstones) {
+  // Remove every id once; all removals must succeed regardless of whether
+  // the id is a leaf object or a vantage point.
+  for (ts::SeriesId id = 0; id < 100; ++id) {
+    ASSERT_TRUE(index_->Remove(id).ok()) << id;
+  }
+  EXPECT_EQ(index_->size(), 0u);
+  EXPECT_GT(index_->num_tombstones(), 0u);
+  // Double removal fails.
+  EXPECT_EQ(index_->Remove(0).code(), StatusCode::kNotFound);
+}
+
+TEST_F(VpTreeDynamicTest, MixedWorkloadStaysExact) {
+  Rng rng(99);
+  std::vector<ts::SeriesId> pending;
+  for (ts::SeriesId id = 100; id < 160; ++id) pending.push_back(id);
+
+  for (int step = 0; step < 120; ++step) {
+    const bool do_insert = !pending.empty() && (live_.size() < 40 || rng.Bernoulli(0.55));
+    if (do_insert) {
+      const ts::SeriesId id = pending.back();
+      pending.pop_back();
+      ASSERT_TRUE(index_->Insert(id, rows_[id], source_.get()).ok());
+      live_.push_back(id);
+    } else if (!live_.empty()) {
+      const size_t slot =
+          static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(live_.size()) - 1));
+      ASSERT_TRUE(index_->Remove(live_[slot]).ok());
+      live_.erase(live_.begin() + static_cast<ptrdiff_t>(slot));
+    }
+  }
+  ASSERT_EQ(index_->size(), live_.size());
+  CheckExactness(1);
+  CheckExactness(5);
+}
+
+TEST_F(VpTreeDynamicTest, SplitsPreserveExactnessUnderHeavyInsertion) {
+  // Insert enough into one index to force many leaf splits.
+  const auto extra = MakeRows(200, 128, 77);
+  std::vector<std::vector<double>> all_rows = rows_;
+  all_rows.insert(all_rows.end(), extra.begin(), extra.end());
+  auto big_source = storage::InMemorySequenceSource::Create(all_rows);
+  ASSERT_TRUE(big_source.ok());
+
+  for (ts::SeriesId id = 100; id < 360; ++id) {
+    ASSERT_TRUE(index_->Insert(id, all_rows[id], big_source->get()).ok()) << id;
+  }
+  EXPECT_EQ(index_->size(), 360u);
+
+  // Exactness vs linear scan over everything.
+  LinearScan scan(big_source->get());
+  for (ts::SeriesId query_id : {10u, 150u, 359u}) {
+    auto expected = scan.Search(all_rows[query_id], 5);
+    auto got = index_->Search(all_rows[query_id], 5, big_source->get(), nullptr);
+    ASSERT_TRUE(expected.ok());
+    ASSERT_TRUE(got.ok());
+    for (size_t i = 0; i < 5; ++i) {
+      EXPECT_NEAR((*got)[i].distance, (*expected)[i].distance, 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace s2::index

@@ -1,0 +1,265 @@
+#include "index/vp_tree.h"
+
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dsp/stats.h"
+#include "index/linear_scan.h"
+#include "querylog/corpus_generator.h"
+
+namespace s2::index {
+namespace {
+
+struct Fixture {
+  std::vector<std::vector<double>> rows;
+  std::vector<std::vector<double>> queries;
+  std::unique_ptr<storage::InMemorySequenceSource> source;
+};
+
+Fixture MakeFixture(size_t num_series, size_t n_days, size_t num_queries,
+                    uint64_t seed) {
+  qlog::CorpusSpec spec;
+  spec.num_series = num_series;
+  spec.n_days = n_days;
+  spec.seed = seed;
+  auto corpus = qlog::GenerateCorpus(spec);
+  EXPECT_TRUE(corpus.ok());
+  Fixture fx;
+  for (const auto& series : corpus->series()) {
+    fx.rows.push_back(dsp::Standardize(series.values));
+  }
+  auto queries = qlog::GenerateQueries(spec, num_queries);
+  EXPECT_TRUE(queries.ok());
+  for (const auto& query : *queries) {
+    fx.queries.push_back(dsp::Standardize(query.values));
+  }
+  auto source = storage::InMemorySequenceSource::Create(fx.rows);
+  EXPECT_TRUE(source.ok());
+  fx.source = std::move(source).ValueOrDie();
+  return fx;
+}
+
+TEST(VpTreeTest, BuildRejectsBadInput) {
+  VpTreeIndex::Options options;
+  EXPECT_FALSE(VpTreeIndex::Build({}, options).ok());
+  EXPECT_FALSE(VpTreeIndex::Build({{}}, options).ok());
+  EXPECT_FALSE(VpTreeIndex::Build({{1.0, 2.0}, {1.0}}, options).ok());
+  VpTreeIndex::Options bad_leaf = options;
+  bad_leaf.leaf_size = 0;
+  std::vector<std::vector<double>> rows(4, std::vector<double>(64, 0.0));
+  EXPECT_FALSE(VpTreeIndex::Build(rows, bad_leaf).ok());
+}
+
+TEST(VpTreeTest, SearchValidatesArguments) {
+  Fixture fx = MakeFixture(32, 128, 1, 1);
+  VpTreeIndex::Options options;
+  options.budget_c = 8;
+  auto index = VpTreeIndex::Build(fx.rows, options);
+  ASSERT_TRUE(index.ok());
+  EXPECT_FALSE(index->Search(std::vector<double>(5, 0.0), 1, fx.source.get(),
+                             nullptr)
+                   .ok());
+  EXPECT_FALSE(index->Search(fx.queries[0], 0, fx.source.get(), nullptr).ok());
+  EXPECT_FALSE(index->Search(fx.queries[0], 1, nullptr, nullptr).ok());
+}
+
+// Exactness: the VP-tree must return exactly the linear-scan ground truth
+// for every bound method, representation and k.
+using ExactnessParam = std::tuple<repr::BoundMethod, size_t /*k*/, size_t /*c*/>;
+
+class VpTreeExactnessTest : public ::testing::TestWithParam<ExactnessParam> {};
+
+TEST_P(VpTreeExactnessTest, MatchesLinearScan) {
+  const auto [method, k, c] = GetParam();
+  Fixture fx = MakeFixture(300, 256, 12, 42);
+
+  VpTreeIndex::Options options;
+  options.method = method;
+  options.budget_c = c;
+  switch (method) {
+    case repr::BoundMethod::kGemini:
+      options.repr_kind = repr::ReprKind::kFirstKMiddle;
+      break;
+    case repr::BoundMethod::kWang:
+      options.repr_kind = repr::ReprKind::kFirstKError;
+      break;
+    case repr::BoundMethod::kBestMin:
+      options.repr_kind = repr::ReprKind::kBestKMiddle;
+      break;
+    default:
+      options.repr_kind = repr::ReprKind::kBestKError;
+  }
+  auto index = VpTreeIndex::Build(fx.rows, options);
+  ASSERT_TRUE(index.ok());
+  LinearScan scan(fx.source.get());
+
+  for (const auto& query : fx.queries) {
+    auto expected = scan.Search(query, k);
+    auto got = index->Search(query, k, fx.source.get(), nullptr);
+    ASSERT_TRUE(expected.ok());
+    ASSERT_TRUE(got.ok());
+    ASSERT_EQ(got->size(), expected->size());
+    for (size_t i = 0; i < got->size(); ++i) {
+      // Distances must agree exactly; ids may differ only under exact ties.
+      EXPECT_NEAR((*got)[i].distance, (*expected)[i].distance, 1e-9)
+          << "rank " << i;
+    }
+    EXPECT_EQ((*got)[0].id, (*expected)[0].id);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MethodsAndBudgets, VpTreeExactnessTest,
+    ::testing::Combine(
+        ::testing::Values(repr::BoundMethod::kGemini, repr::BoundMethod::kWang,
+                          repr::BoundMethod::kBestMin,
+                          repr::BoundMethod::kBestError,
+                          repr::BoundMethod::kBestMinError),
+        ::testing::Values(1u, 5u),
+        ::testing::Values(8u, 16u)));
+
+TEST(VpTreeTest, GuidedTraversalOffStillExact) {
+  Fixture fx = MakeFixture(200, 128, 6, 7);
+  VpTreeIndex::Options options;
+  options.guided_traversal = false;
+  options.budget_c = 8;
+  auto index = VpTreeIndex::Build(fx.rows, options);
+  ASSERT_TRUE(index.ok());
+  LinearScan scan(fx.source.get());
+  for (const auto& query : fx.queries) {
+    auto expected = scan.Search(query, 1);
+    auto got = index->Search(query, 1, fx.source.get(), nullptr);
+    ASSERT_TRUE(expected.ok());
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ((*got)[0].id, (*expected)[0].id);
+  }
+}
+
+TEST(VpTreeTest, IndexedObjectFindsItself) {
+  Fixture fx = MakeFixture(100, 128, 0, 9);
+  VpTreeIndex::Options options;
+  options.budget_c = 16;
+  auto index = VpTreeIndex::Build(fx.rows, options);
+  ASSERT_TRUE(index.ok());
+  for (ts::SeriesId id = 0; id < 100; id += 7) {
+    auto got = index->Search(fx.rows[id], 1, fx.source.get(), nullptr);
+    ASSERT_TRUE(got.ok());
+    EXPECT_NEAR((*got)[0].distance, 0.0, 1e-9);
+  }
+}
+
+TEST(VpTreeTest, PruningActuallyHappens) {
+  Fixture fx = MakeFixture(1000, 256, 5, 11);
+  VpTreeIndex::Options options;
+  options.budget_c = 32;
+  options.method = repr::BoundMethod::kBestMinError;
+  auto index = VpTreeIndex::Build(fx.rows, options);
+  ASSERT_TRUE(index.ok());
+  for (const auto& query : fx.queries) {
+    VpTreeIndex::SearchStats stats;
+    fx.source->ResetCounters();
+    auto got = index->Search(query, 1, fx.source.get(), &stats);
+    ASSERT_TRUE(got.ok());
+    // Verification must touch far fewer sequences than the database size.
+    EXPECT_LT(stats.full_retrievals, 1000u / 4);
+    EXPECT_EQ(stats.full_retrievals, fx.source->read_count());
+  }
+}
+
+TEST(VpTreeTest, CompressedBytesIsCompact) {
+  Fixture fx = MakeFixture(256, 512, 0, 13);
+  VpTreeIndex::Options options;
+  options.budget_c = 16;
+  auto index = VpTreeIndex::Build(fx.rows, options);
+  ASSERT_TRUE(index.ok());
+  const size_t raw_bytes = 256 * 512 * sizeof(double);
+  // (2c+1) doubles per object plus the split radii: far below the raw data.
+  EXPECT_LT(index->CompressedBytes(), raw_bytes / 3);
+  EXPECT_GT(index->CompressedBytes(), 0u);
+}
+
+TEST(VpTreeTest, SmallCorpusSingleLeaf) {
+  Fixture fx = MakeFixture(4, 64, 2, 15);
+  VpTreeIndex::Options options;
+  options.leaf_size = 8;  // Everything in the root leaf.
+  options.budget_c = 8;
+  auto index = VpTreeIndex::Build(fx.rows, options);
+  ASSERT_TRUE(index.ok());
+  LinearScan scan(fx.source.get());
+  for (const auto& query : fx.queries) {
+    auto expected = scan.Search(query, 2);
+    auto got = index->Search(query, 2, fx.source.get(), nullptr);
+    ASSERT_TRUE(expected.ok());
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ((*got)[0].id, (*expected)[0].id);
+    EXPECT_EQ((*got)[1].id, (*expected)[1].id);
+  }
+}
+
+TEST(VpTreeTest, VariableEnergyRepresentationStaysExact) {
+  // Section 8 extension: per-object variable coefficient counts, indexed by
+  // the same tree, must still return exact nearest neighbors.
+  Fixture fx = MakeFixture(250, 256, 8, 23);
+  VpTreeIndex::Options options;
+  options.energy_fraction = 0.9;
+  options.method = repr::BoundMethod::kBestMinError;
+  auto index = VpTreeIndex::Build(fx.rows, options);
+  ASSERT_TRUE(index.ok());
+  LinearScan scan(fx.source.get());
+  for (const auto& query : fx.queries) {
+    auto expected = scan.Search(query, 3);
+    auto got = index->Search(query, 3, fx.source.get(), nullptr);
+    ASSERT_TRUE(expected.ok());
+    ASSERT_TRUE(got.ok());
+    for (size_t i = 0; i < got->size(); ++i) {
+      EXPECT_NEAR((*got)[i].distance, (*expected)[i].distance, 1e-9);
+    }
+  }
+}
+
+TEST(LinearScanTest, ValidatesArguments) {
+  Fixture fx = MakeFixture(8, 64, 1, 17);
+  LinearScan scan(fx.source.get());
+  EXPECT_FALSE(scan.Search(fx.queries[0], 0).ok());
+  EXPECT_FALSE(scan.Search(std::vector<double>(3, 0.0), 1).ok());
+}
+
+TEST(LinearScanTest, ReturnsAscendingDistances) {
+  Fixture fx = MakeFixture(64, 128, 3, 19);
+  LinearScan scan(fx.source.get());
+  for (const auto& query : fx.queries) {
+    auto got = scan.Search(query, 10);
+    ASSERT_TRUE(got.ok());
+    ASSERT_EQ(got->size(), 10u);
+    for (size_t i = 1; i < got->size(); ++i) {
+      EXPECT_LE((*got)[i - 1].distance, (*got)[i].distance);
+    }
+  }
+}
+
+TEST(LinearScanTest, BruteForceAgreement) {
+  Fixture fx = MakeFixture(50, 64, 4, 21);
+  LinearScan scan(fx.source.get());
+  for (const auto& query : fx.queries) {
+    auto got = scan.Search(query, 1);
+    ASSERT_TRUE(got.ok());
+    // Brute force without early abandoning.
+    double best = 1e300;
+    ts::SeriesId best_id = 0;
+    for (ts::SeriesId id = 0; id < fx.rows.size(); ++id) {
+      const double d = *dsp::Euclidean(query, fx.rows[id]);
+      if (d < best) {
+        best = d;
+        best_id = id;
+      }
+    }
+    EXPECT_EQ((*got)[0].id, best_id);
+    EXPECT_NEAR((*got)[0].distance, best, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace s2::index

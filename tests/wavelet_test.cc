@@ -1,0 +1,183 @@
+#include "dsp/wavelet.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dsp/stats.h"
+#include "repr/bounds.h"
+#include "repr/compressed.h"
+#include "repr/half_spectrum.h"
+
+namespace s2::dsp {
+namespace {
+
+std::vector<double> RandomSeries(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x(n);
+  for (double& v : x) v = rng.Normal(0, 1);
+  return x;
+}
+
+TEST(WaveletTest, RejectsNonPowerOfTwo) {
+  EXPECT_FALSE(HaarForward({}).ok());
+  EXPECT_FALSE(HaarForward(std::vector<double>(3, 1.0)).ok());
+  EXPECT_FALSE(HaarForward(std::vector<double>(365, 1.0)).ok());
+  EXPECT_FALSE(HaarInverse(std::vector<double>(12, 1.0)).ok());
+}
+
+TEST(WaveletTest, SingleElementIsIdentity) {
+  auto coeffs = HaarForward({4.2});
+  ASSERT_TRUE(coeffs.ok());
+  EXPECT_DOUBLE_EQ((*coeffs)[0], 4.2);
+}
+
+TEST(WaveletTest, KnownSmallTransform) {
+  // x = [1,2,3,4]: level 1 -> approx [3/√2, 7/√2], detail [-1/√2, -1/√2];
+  // level 2 -> approx [10/2=5], detail [(3-7)/2=-2].
+  auto coeffs = HaarForward({1, 2, 3, 4});
+  ASSERT_TRUE(coeffs.ok());
+  const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+  EXPECT_NEAR((*coeffs)[0], 5.0, 1e-12);
+  EXPECT_NEAR((*coeffs)[1], -2.0, 1e-12);
+  EXPECT_NEAR((*coeffs)[2], -inv_sqrt2, 1e-12);
+  EXPECT_NEAR((*coeffs)[3], -inv_sqrt2, 1e-12);
+}
+
+TEST(WaveletTest, RoundTrip) {
+  for (size_t n : {2u, 8u, 64u, 1024u}) {
+    const std::vector<double> x = RandomSeries(n, 10 + n);
+    auto coeffs = HaarForward(x);
+    ASSERT_TRUE(coeffs.ok());
+    auto back = HaarInverse(*coeffs);
+    ASSERT_TRUE(back.ok());
+    for (size_t i = 0; i < n; ++i) EXPECT_NEAR((*back)[i], x[i], 1e-10) << n;
+  }
+}
+
+TEST(WaveletTest, OrthonormalityPreservesEnergyAndDistance) {
+  const std::vector<double> a = RandomSeries(256, 1);
+  const std::vector<double> b = RandomSeries(256, 2);
+  auto wa = HaarForward(a);
+  auto wb = HaarForward(b);
+  ASSERT_TRUE(wa.ok());
+  ASSERT_TRUE(wb.ok());
+  EXPECT_NEAR(Energy(*wa), Energy(a), 1e-9 * Energy(a));
+  EXPECT_NEAR(*Euclidean(*wa, *wb), *Euclidean(a, b), 1e-9);
+}
+
+TEST(WaveletTest, ConstantSignalConcentratesInApproximation) {
+  auto coeffs = HaarForward(std::vector<double>(64, 3.0));
+  ASSERT_TRUE(coeffs.ok());
+  EXPECT_NEAR((*coeffs)[0], 3.0 * 8.0, 1e-9);  // 3 * sqrt(64).
+  for (size_t i = 1; i < coeffs->size(); ++i) EXPECT_NEAR((*coeffs)[i], 0.0, 1e-12);
+}
+
+TEST(WaveletTest, StepSignalSparseInHaar) {
+  // A step function has very few nonzero Haar coefficients.
+  std::vector<double> x(64, -1.0);
+  for (size_t i = 32; i < 64; ++i) x[i] = 1.0;
+  auto coeffs = HaarForward(x);
+  ASSERT_TRUE(coeffs.ok());
+  size_t nonzero = 0;
+  for (double c : *coeffs) nonzero += std::abs(c) > 1e-9 ? 1 : 0;
+  EXPECT_LE(nonzero, 2u);
+}
+
+// --- Integration with the repr module (the paper's "any orthogonal
+// decomposition" claim). ---
+
+TEST(WaveletReprTest, SpectrumShapeAndEnergy) {
+  const std::vector<double> x = RandomSeries(128, 5);
+  auto spectrum = repr::HalfSpectrum::FromSeriesInBasis(
+      x, repr::Basis::kOrthonormalReal);
+  ASSERT_TRUE(spectrum.ok());
+  EXPECT_EQ(spectrum->basis(), repr::Basis::kOrthonormalReal);
+  EXPECT_EQ(spectrum->num_bins(), 128u);
+  EXPECT_DOUBLE_EQ(spectrum->multiplicity(0), 1.0);
+  EXPECT_DOUBLE_EQ(spectrum->multiplicity(64), 1.0);
+  EXPECT_NEAR(spectrum->Energy(), Energy(x), 1e-9 * Energy(x));
+}
+
+TEST(WaveletReprTest, DistanceMatchesTimeDomain) {
+  const std::vector<double> a = RandomSeries(256, 6);
+  const std::vector<double> b = RandomSeries(256, 7);
+  auto sa = repr::HalfSpectrum::FromSeriesInBasis(a, repr::Basis::kOrthonormalReal);
+  auto sb = repr::HalfSpectrum::FromSeriesInBasis(b, repr::Basis::kOrthonormalReal);
+  ASSERT_TRUE(sa.ok());
+  ASSERT_TRUE(sb.ok());
+  EXPECT_NEAR(*sa->DistanceTo(*sb), *Euclidean(a, b), 1e-9);
+}
+
+TEST(WaveletReprTest, MiddleKindsRejected) {
+  auto spectrum = repr::HalfSpectrum::FromSeriesInBasis(
+      RandomSeries(64, 8), repr::Basis::kOrthonormalReal);
+  ASSERT_TRUE(spectrum.ok());
+  EXPECT_FALSE(repr::CompressedSpectrum::Compress(
+                   *spectrum, repr::ReprKind::kBestKMiddle, 8)
+                   .ok());
+  EXPECT_TRUE(repr::CompressedSpectrum::Compress(
+                  *spectrum, repr::ReprKind::kBestKError, 8)
+                  .ok());
+}
+
+TEST(WaveletReprTest, BoundsBracketTrueDistanceInWaveletBasis) {
+  Rng rng(9);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<double> a(512);
+    std::vector<double> b(512);
+    for (size_t i = 0; i < a.size(); ++i) {
+      a[i] = std::sin(static_cast<double>(i) / 5.0) + rng.Normal(0, 0.5);
+      b[i] = (i % 100 < 30 ? 2.0 : 0.0) + rng.Normal(0, 0.5);
+    }
+    a = Standardize(a);
+    b = Standardize(b);
+    auto qa = repr::HalfSpectrum::FromSeriesInBasis(a, repr::Basis::kOrthonormalReal);
+    auto tb = repr::HalfSpectrum::FromSeriesInBasis(b, repr::Basis::kOrthonormalReal);
+    ASSERT_TRUE(qa.ok());
+    ASSERT_TRUE(tb.ok());
+    auto compressed =
+        repr::CompressedSpectrum::Compress(*tb, repr::ReprKind::kBestKError, 16);
+    ASSERT_TRUE(compressed.ok());
+    const double truth = *Euclidean(a, b);
+    for (repr::BoundMethod method :
+         {repr::BoundMethod::kBestError, repr::BoundMethod::kBestMin,
+          repr::BoundMethod::kBestMinError}) {
+      auto bounds = repr::ComputeBounds(*qa, *compressed, method);
+      ASSERT_TRUE(bounds.ok());
+      EXPECT_LE(bounds->lower, truth + 1e-7) << trial;
+      EXPECT_GE(bounds->upper, truth - 1e-7) << trial;
+    }
+  }
+}
+
+TEST(WaveletReprTest, BasisMismatchRejected) {
+  const std::vector<double> x = RandomSeries(64, 11);
+  auto fourier = repr::HalfSpectrum::FromSeries(x);
+  auto haar = repr::HalfSpectrum::FromSeriesInBasis(x, repr::Basis::kOrthonormalReal);
+  ASSERT_TRUE(fourier.ok());
+  ASSERT_TRUE(haar.ok());
+  auto compressed =
+      repr::CompressedSpectrum::Compress(*haar, repr::ReprKind::kBestKError, 8);
+  ASSERT_TRUE(compressed.ok());
+  EXPECT_FALSE(
+      repr::ComputeBounds(*fourier, *compressed, repr::BoundMethod::kBestMinError)
+          .ok());
+}
+
+TEST(WaveletReprTest, SparseReconstructionIsProjection) {
+  const std::vector<double> x = RandomSeries(128, 12);
+  auto spectrum = repr::HalfSpectrum::FromSeriesInBasis(
+      x, repr::Basis::kOrthonormalReal);
+  ASSERT_TRUE(spectrum.ok());
+  auto compressed = repr::CompressedSpectrum::CompressToEnergy(*spectrum, 0.9);
+  ASSERT_TRUE(compressed.ok());
+  auto reconstruction = compressed->Reconstruct();
+  ASSERT_TRUE(reconstruction.ok());
+  const double residual = *SquaredEuclidean(x, *reconstruction);
+  EXPECT_NEAR(residual, compressed->error(), 1e-6 * (1.0 + compressed->error()));
+}
+
+}  // namespace
+}  // namespace s2::dsp
