@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_basis.dir/bench_ablation_basis.cc.o"
+  "CMakeFiles/bench_ablation_basis.dir/bench_ablation_basis.cc.o.d"
+  "bench_ablation_basis"
+  "bench_ablation_basis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_basis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_coeffs.cc" "bench/CMakeFiles/bench_ablation_coeffs.dir/bench_ablation_coeffs.cc.o" "gcc" "bench/CMakeFiles/bench_ablation_coeffs.dir/bench_ablation_coeffs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/s2_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/burst/CMakeFiles/s2_burst.dir/DependInfo.cmake"
+  "/root/repo/build/src/dtw/CMakeFiles/s2_dtw.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/s2_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/period/CMakeFiles/s2_period.dir/DependInfo.cmake"
+  "/root/repo/build/src/querylog/CMakeFiles/s2_querylog.dir/DependInfo.cmake"
+  "/root/repo/build/src/repr/CMakeFiles/s2_repr.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/s2_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/timeseries/CMakeFiles/s2_timeseries.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/s2_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/s2_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_coeffs.dir/bench_ablation_coeffs.cc.o"
+  "CMakeFiles/bench_ablation_coeffs.dir/bench_ablation_coeffs.cc.o.d"
+  "bench_ablation_coeffs"
+  "bench_ablation_coeffs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_coeffs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_vp.dir/bench_ablation_vp.cc.o"
+  "CMakeFiles/bench_ablation_vp.dir/bench_ablation_vp.cc.o.d"
+  "bench_ablation_vp"
+  "bench_ablation_vp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_vp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dtw.dir/bench_dtw.cc.o"
+  "CMakeFiles/bench_dtw.dir/bench_dtw.cc.o.d"
+  "bench_dtw"
+  "bench_dtw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dtw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

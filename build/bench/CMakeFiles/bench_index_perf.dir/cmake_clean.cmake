@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_index_perf.dir/bench_index_perf.cc.o"
+  "CMakeFiles/bench_index_perf.dir/bench_index_perf.cc.o.d"
+  "bench_index_perf"
+  "bench_index_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_index_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

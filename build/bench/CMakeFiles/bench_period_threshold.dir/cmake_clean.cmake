@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_period_threshold.dir/bench_period_threshold.cc.o"
+  "CMakeFiles/bench_period_threshold.dir/bench_period_threshold.cc.o.d"
+  "bench_period_threshold"
+  "bench_period_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_period_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_query_by_burst.dir/bench_query_by_burst.cc.o"
+  "CMakeFiles/bench_query_by_burst.dir/bench_query_by_burst.cc.o.d"
+  "bench_query_by_burst"
+  "bench_query_by_burst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_query_by_burst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

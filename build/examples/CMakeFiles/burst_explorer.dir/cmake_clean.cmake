@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/burst_explorer.dir/burst_explorer.cpp.o"
+  "CMakeFiles/burst_explorer.dir/burst_explorer.cpp.o.d"
+  "burst_explorer"
+  "burst_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/burst_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

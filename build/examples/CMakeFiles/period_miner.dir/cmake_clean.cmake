@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/period_miner.dir/period_miner.cpp.o"
+  "CMakeFiles/period_miner.dir/period_miner.cpp.o.d"
+  "period_miner"
+  "period_miner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/period_miner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

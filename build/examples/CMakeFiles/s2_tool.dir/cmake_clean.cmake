@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s2_tool.dir/s2_tool.cpp.o"
+  "CMakeFiles/s2_tool.dir/s2_tool.cpp.o.d"
+  "s2_tool"
+  "s2_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s2_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

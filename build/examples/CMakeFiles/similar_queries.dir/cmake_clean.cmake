@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/similar_queries.dir/similar_queries.cpp.o"
+  "CMakeFiles/similar_queries.dir/similar_queries.cpp.o.d"
+  "similar_queries"
+  "similar_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/similar_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/burst/burst_detector.cc" "src/burst/CMakeFiles/s2_burst.dir/burst_detector.cc.o" "gcc" "src/burst/CMakeFiles/s2_burst.dir/burst_detector.cc.o.d"
+  "/root/repo/src/burst/burst_similarity.cc" "src/burst/CMakeFiles/s2_burst.dir/burst_similarity.cc.o" "gcc" "src/burst/CMakeFiles/s2_burst.dir/burst_similarity.cc.o.d"
+  "/root/repo/src/burst/burst_table.cc" "src/burst/CMakeFiles/s2_burst.dir/burst_table.cc.o" "gcc" "src/burst/CMakeFiles/s2_burst.dir/burst_table.cc.o.d"
+  "/root/repo/src/burst/disk_burst_table.cc" "src/burst/CMakeFiles/s2_burst.dir/disk_burst_table.cc.o" "gcc" "src/burst/CMakeFiles/s2_burst.dir/disk_burst_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/s2_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/s2_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/s2_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/timeseries/CMakeFiles/s2_timeseries.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

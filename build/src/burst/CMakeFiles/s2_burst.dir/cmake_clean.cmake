@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s2_burst.dir/burst_detector.cc.o"
+  "CMakeFiles/s2_burst.dir/burst_detector.cc.o.d"
+  "CMakeFiles/s2_burst.dir/burst_similarity.cc.o"
+  "CMakeFiles/s2_burst.dir/burst_similarity.cc.o.d"
+  "CMakeFiles/s2_burst.dir/burst_table.cc.o"
+  "CMakeFiles/s2_burst.dir/burst_table.cc.o.d"
+  "CMakeFiles/s2_burst.dir/disk_burst_table.cc.o"
+  "CMakeFiles/s2_burst.dir/disk_burst_table.cc.o.d"
+  "libs2_burst.a"
+  "libs2_burst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s2_burst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

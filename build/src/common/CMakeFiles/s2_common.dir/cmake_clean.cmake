@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s2_common.dir/status.cc.o"
+  "CMakeFiles/s2_common.dir/status.cc.o.d"
+  "libs2_common.a"
+  "libs2_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s2_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s2_core.dir/s2_engine.cc.o"
+  "CMakeFiles/s2_core.dir/s2_engine.cc.o.d"
+  "libs2_core.a"
+  "libs2_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s2_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

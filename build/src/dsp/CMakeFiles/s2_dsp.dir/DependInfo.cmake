@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsp/fft.cc" "src/dsp/CMakeFiles/s2_dsp.dir/fft.cc.o" "gcc" "src/dsp/CMakeFiles/s2_dsp.dir/fft.cc.o.d"
+  "/root/repo/src/dsp/moving_average.cc" "src/dsp/CMakeFiles/s2_dsp.dir/moving_average.cc.o" "gcc" "src/dsp/CMakeFiles/s2_dsp.dir/moving_average.cc.o.d"
+  "/root/repo/src/dsp/periodogram.cc" "src/dsp/CMakeFiles/s2_dsp.dir/periodogram.cc.o" "gcc" "src/dsp/CMakeFiles/s2_dsp.dir/periodogram.cc.o.d"
+  "/root/repo/src/dsp/stats.cc" "src/dsp/CMakeFiles/s2_dsp.dir/stats.cc.o" "gcc" "src/dsp/CMakeFiles/s2_dsp.dir/stats.cc.o.d"
+  "/root/repo/src/dsp/wavelet.cc" "src/dsp/CMakeFiles/s2_dsp.dir/wavelet.cc.o" "gcc" "src/dsp/CMakeFiles/s2_dsp.dir/wavelet.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/s2_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s2_dsp.dir/fft.cc.o"
+  "CMakeFiles/s2_dsp.dir/fft.cc.o.d"
+  "CMakeFiles/s2_dsp.dir/moving_average.cc.o"
+  "CMakeFiles/s2_dsp.dir/moving_average.cc.o.d"
+  "CMakeFiles/s2_dsp.dir/periodogram.cc.o"
+  "CMakeFiles/s2_dsp.dir/periodogram.cc.o.d"
+  "CMakeFiles/s2_dsp.dir/stats.cc.o"
+  "CMakeFiles/s2_dsp.dir/stats.cc.o.d"
+  "CMakeFiles/s2_dsp.dir/wavelet.cc.o"
+  "CMakeFiles/s2_dsp.dir/wavelet.cc.o.d"
+  "libs2_dsp.a"
+  "libs2_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s2_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

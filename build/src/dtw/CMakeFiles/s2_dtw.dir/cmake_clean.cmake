@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s2_dtw.dir/dtw.cc.o"
+  "CMakeFiles/s2_dtw.dir/dtw.cc.o.d"
+  "CMakeFiles/s2_dtw.dir/dtw_search.cc.o"
+  "CMakeFiles/s2_dtw.dir/dtw_search.cc.o.d"
+  "libs2_dtw.a"
+  "libs2_dtw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s2_dtw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

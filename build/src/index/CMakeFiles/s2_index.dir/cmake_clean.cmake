@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s2_index.dir/linear_scan.cc.o"
+  "CMakeFiles/s2_index.dir/linear_scan.cc.o.d"
+  "CMakeFiles/s2_index.dir/mvp_tree.cc.o"
+  "CMakeFiles/s2_index.dir/mvp_tree.cc.o.d"
+  "CMakeFiles/s2_index.dir/vp_tree.cc.o"
+  "CMakeFiles/s2_index.dir/vp_tree.cc.o.d"
+  "libs2_index.a"
+  "libs2_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s2_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s2_period.dir/period_detector.cc.o"
+  "CMakeFiles/s2_period.dir/period_detector.cc.o.d"
+  "libs2_period.a"
+  "libs2_period.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s2_period.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/querylog/archetypes.cc" "src/querylog/CMakeFiles/s2_querylog.dir/archetypes.cc.o" "gcc" "src/querylog/CMakeFiles/s2_querylog.dir/archetypes.cc.o.d"
+  "/root/repo/src/querylog/corpus_generator.cc" "src/querylog/CMakeFiles/s2_querylog.dir/corpus_generator.cc.o" "gcc" "src/querylog/CMakeFiles/s2_querylog.dir/corpus_generator.cc.o.d"
+  "/root/repo/src/querylog/log_aggregator.cc" "src/querylog/CMakeFiles/s2_querylog.dir/log_aggregator.cc.o" "gcc" "src/querylog/CMakeFiles/s2_querylog.dir/log_aggregator.cc.o.d"
+  "/root/repo/src/querylog/synthesizer.cc" "src/querylog/CMakeFiles/s2_querylog.dir/synthesizer.cc.o" "gcc" "src/querylog/CMakeFiles/s2_querylog.dir/synthesizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/s2_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/timeseries/CMakeFiles/s2_timeseries.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

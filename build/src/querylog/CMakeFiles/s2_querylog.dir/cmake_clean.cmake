@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s2_querylog.dir/archetypes.cc.o"
+  "CMakeFiles/s2_querylog.dir/archetypes.cc.o.d"
+  "CMakeFiles/s2_querylog.dir/corpus_generator.cc.o"
+  "CMakeFiles/s2_querylog.dir/corpus_generator.cc.o.d"
+  "CMakeFiles/s2_querylog.dir/log_aggregator.cc.o"
+  "CMakeFiles/s2_querylog.dir/log_aggregator.cc.o.d"
+  "CMakeFiles/s2_querylog.dir/synthesizer.cc.o"
+  "CMakeFiles/s2_querylog.dir/synthesizer.cc.o.d"
+  "libs2_querylog.a"
+  "libs2_querylog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s2_querylog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/repr/bounds.cc" "src/repr/CMakeFiles/s2_repr.dir/bounds.cc.o" "gcc" "src/repr/CMakeFiles/s2_repr.dir/bounds.cc.o.d"
+  "/root/repo/src/repr/compressed.cc" "src/repr/CMakeFiles/s2_repr.dir/compressed.cc.o" "gcc" "src/repr/CMakeFiles/s2_repr.dir/compressed.cc.o.d"
+  "/root/repo/src/repr/feature_store.cc" "src/repr/CMakeFiles/s2_repr.dir/feature_store.cc.o" "gcc" "src/repr/CMakeFiles/s2_repr.dir/feature_store.cc.o.d"
+  "/root/repo/src/repr/half_spectrum.cc" "src/repr/CMakeFiles/s2_repr.dir/half_spectrum.cc.o" "gcc" "src/repr/CMakeFiles/s2_repr.dir/half_spectrum.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/s2_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/s2_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

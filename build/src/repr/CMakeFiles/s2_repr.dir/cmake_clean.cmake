@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s2_repr.dir/bounds.cc.o"
+  "CMakeFiles/s2_repr.dir/bounds.cc.o.d"
+  "CMakeFiles/s2_repr.dir/compressed.cc.o"
+  "CMakeFiles/s2_repr.dir/compressed.cc.o.d"
+  "CMakeFiles/s2_repr.dir/feature_store.cc.o"
+  "CMakeFiles/s2_repr.dir/feature_store.cc.o.d"
+  "CMakeFiles/s2_repr.dir/half_spectrum.cc.o"
+  "CMakeFiles/s2_repr.dir/half_spectrum.cc.o.d"
+  "libs2_repr.a"
+  "libs2_repr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s2_repr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

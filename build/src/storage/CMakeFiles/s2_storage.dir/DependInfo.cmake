@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/corpus_io.cc" "src/storage/CMakeFiles/s2_storage.dir/corpus_io.cc.o" "gcc" "src/storage/CMakeFiles/s2_storage.dir/corpus_io.cc.o.d"
+  "/root/repo/src/storage/disk_bptree.cc" "src/storage/CMakeFiles/s2_storage.dir/disk_bptree.cc.o" "gcc" "src/storage/CMakeFiles/s2_storage.dir/disk_bptree.cc.o.d"
+  "/root/repo/src/storage/pager.cc" "src/storage/CMakeFiles/s2_storage.dir/pager.cc.o" "gcc" "src/storage/CMakeFiles/s2_storage.dir/pager.cc.o.d"
+  "/root/repo/src/storage/sequence_store.cc" "src/storage/CMakeFiles/s2_storage.dir/sequence_store.cc.o" "gcc" "src/storage/CMakeFiles/s2_storage.dir/sequence_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/s2_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/timeseries/CMakeFiles/s2_timeseries.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

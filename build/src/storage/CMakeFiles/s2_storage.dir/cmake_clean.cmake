@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s2_storage.dir/corpus_io.cc.o"
+  "CMakeFiles/s2_storage.dir/corpus_io.cc.o.d"
+  "CMakeFiles/s2_storage.dir/disk_bptree.cc.o"
+  "CMakeFiles/s2_storage.dir/disk_bptree.cc.o.d"
+  "CMakeFiles/s2_storage.dir/pager.cc.o"
+  "CMakeFiles/s2_storage.dir/pager.cc.o.d"
+  "CMakeFiles/s2_storage.dir/sequence_store.cc.o"
+  "CMakeFiles/s2_storage.dir/sequence_store.cc.o.d"
+  "libs2_storage.a"
+  "libs2_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s2_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

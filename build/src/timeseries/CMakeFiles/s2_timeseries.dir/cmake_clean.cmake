@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s2_timeseries.dir/calendar.cc.o"
+  "CMakeFiles/s2_timeseries.dir/calendar.cc.o.d"
+  "libs2_timeseries.a"
+  "libs2_timeseries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s2_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

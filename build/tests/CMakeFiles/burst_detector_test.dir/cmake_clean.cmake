@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/burst_detector_test.dir/burst_detector_test.cc.o"
+  "CMakeFiles/burst_detector_test.dir/burst_detector_test.cc.o.d"
+  "burst_detector_test"
+  "burst_detector_test.pdb"
+  "burst_detector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/burst_detector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

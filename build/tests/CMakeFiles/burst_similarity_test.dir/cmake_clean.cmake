@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/burst_similarity_test.dir/burst_similarity_test.cc.o"
+  "CMakeFiles/burst_similarity_test.dir/burst_similarity_test.cc.o.d"
+  "burst_similarity_test"
+  "burst_similarity_test.pdb"
+  "burst_similarity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/burst_similarity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

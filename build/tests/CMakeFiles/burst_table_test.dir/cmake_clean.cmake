@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/burst_table_test.dir/burst_table_test.cc.o"
+  "CMakeFiles/burst_table_test.dir/burst_table_test.cc.o.d"
+  "burst_table_test"
+  "burst_table_test.pdb"
+  "burst_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/burst_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

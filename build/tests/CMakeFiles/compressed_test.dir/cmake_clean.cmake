@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compressed_test.dir/compressed_test.cc.o"
+  "CMakeFiles/compressed_test.dir/compressed_test.cc.o.d"
+  "compressed_test"
+  "compressed_test.pdb"
+  "compressed_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compressed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

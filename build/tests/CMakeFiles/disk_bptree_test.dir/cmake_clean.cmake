@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disk_bptree_test.dir/disk_bptree_test.cc.o"
+  "CMakeFiles/disk_bptree_test.dir/disk_bptree_test.cc.o.d"
+  "disk_bptree_test"
+  "disk_bptree_test.pdb"
+  "disk_bptree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disk_bptree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disk_burst_table_test.dir/disk_burst_table_test.cc.o"
+  "CMakeFiles/disk_burst_table_test.dir/disk_burst_table_test.cc.o.d"
+  "disk_burst_table_test"
+  "disk_burst_table_test.pdb"
+  "disk_burst_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disk_burst_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/log_aggregator_test.dir/log_aggregator_test.cc.o"
+  "CMakeFiles/log_aggregator_test.dir/log_aggregator_test.cc.o.d"
+  "log_aggregator_test"
+  "log_aggregator_test.pdb"
+  "log_aggregator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/log_aggregator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moving_average_test.dir/moving_average_test.cc.o"
+  "CMakeFiles/moving_average_test.dir/moving_average_test.cc.o.d"
+  "moving_average_test"
+  "moving_average_test.pdb"
+  "moving_average_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moving_average_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvp_tree_test.dir/mvp_tree_test.cc.o"
+  "CMakeFiles/mvp_tree_test.dir/mvp_tree_test.cc.o.d"
+  "mvp_tree_test"
+  "mvp_tree_test.pdb"
+  "mvp_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvp_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/period_detector_test.dir/period_detector_test.cc.o"
+  "CMakeFiles/period_detector_test.dir/period_detector_test.cc.o.d"
+  "period_detector_test"
+  "period_detector_test.pdb"
+  "period_detector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/period_detector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s2_engine_test.dir/s2_engine_test.cc.o"
+  "CMakeFiles/s2_engine_test.dir/s2_engine_test.cc.o.d"
+  "s2_engine_test"
+  "s2_engine_test.pdb"
+  "s2_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s2_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

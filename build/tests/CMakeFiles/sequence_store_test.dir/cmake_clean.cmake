@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sequence_store_test.dir/sequence_store_test.cc.o"
+  "CMakeFiles/sequence_store_test.dir/sequence_store_test.cc.o.d"
+  "sequence_store_test"
+  "sequence_store_test.pdb"
+  "sequence_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sequence_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
