@@ -9,6 +9,7 @@
 //
 //   ./build/examples/s2_tool            # interactive shell
 //   echo "demo" | ./build/examples/s2_tool   # scripted demo
+//   ./build/examples/s2_tool --serve 4  # server mode: 4 worker threads
 //
 // Commands:
 //   list [prefix]          - list query names
@@ -20,14 +21,25 @@
 //   reconstruct <name> [c] - best-k reconstruction quality
 //   demo                   - run a scripted tour
 //   quit
+//
+// Server mode (--serve [threads]) dispatches similar/periods/bursts/qbb
+// through the s2::service scheduler (thread pool + result cache) and adds:
+//   load <n> [k]           - fire n concurrent similar-queries, print qps
+//   metrics                - plain-text metrics snapshot
 
+#include <cctype>
+#include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "common/rng.h"
 #include "core/s2_engine.h"
+#include "service/s2_server.h"
 #include "dsp/stats.h"
 #include "querylog/archetypes.h"
 #include "querylog/corpus_generator.h"
@@ -64,7 +76,14 @@ std::string Spark(const std::vector<double>& values, size_t width = 72) {
 
 class Tool {
  public:
-  explicit Tool(core::S2Engine engine) : engine_(std::move(engine)) {}
+  /// `serve_threads == 0` keeps the classic inline mode; otherwise queries
+  /// dispatch through the s2::service scheduler.
+  Tool(core::S2Engine engine, size_t serve_threads) : serving_(serve_threads > 0) {
+    service::S2Server::Options options;
+    options.scheduler.threads = serve_threads > 0 ? serve_threads : 1;
+    options.cache_capacity = serving_ ? 1024 : 0;
+    server_ = service::S2Server::Create(std::move(engine), options);
+  }
 
   void Run() {
     std::string line;
@@ -115,6 +134,13 @@ class Tool {
       Reconstruct(name, c);
     } else if (command == "demo") {
       Demo();
+    } else if (serving_ && command == "metrics") {
+      std::printf("%s", server_->MetricsText().c_str());
+    } else if (serving_ && command == "load") {
+      size_t n = 200, k = 10;
+      if (!(in >> n)) n = 200;
+      if (!(in >> k)) k = 10;
+      Load(n, k);
     } else {
       std::printf("unknown command '%s' (try 'help')\n", command.c_str());
     }
@@ -153,12 +179,15 @@ class Tool {
         "  list [prefix] | show <name> | similar <name> [k] | periods <name>\n"
         "  bursts <name> [long|short] | qbb <name> [k] | reconstruct <name> [c]\n"
         "  demo | quit\n");
+    if (serving_) {
+      std::printf("  load <n> [k] | metrics     (server mode)\n");
+    }
   }
 
   void List(const std::string& prefix) {
     size_t shown = 0;
-    for (ts::SeriesId id = 0; id < engine_.corpus().size() && shown < 40; ++id) {
-      const std::string& name = engine_.corpus().at(id).name;
+    for (ts::SeriesId id = 0; id < engine().corpus().size() && shown < 40; ++id) {
+      const std::string& name = engine().corpus().at(id).name;
       if (name.rfind(prefix, 0) == 0) {
         std::printf("  %s\n", name.c_str());
         ++shown;
@@ -167,65 +196,148 @@ class Tool {
   }
 
   void Show(const std::string& name) {
-    auto id = engine_.FindByName(name);
+    auto id = engine().FindByName(name);
     if (!id.ok()) {
       std::printf("  %s\n", id.status().ToString().c_str());
       return;
     }
-    const auto& series = engine_.corpus().at(*id);
+    const auto& series = engine().corpus().at(*id);
     std::printf("  %s  (%zu days from %s)\n", series.name.c_str(), series.size(),
                 ts::FormatDayIndex(series.start_day).c_str());
     std::printf("  %s\n", Spark(series.values).c_str());
   }
 
   void Similar(const std::string& name, size_t k) {
-    auto id = engine_.FindByName(name);
+    auto id = engine().FindByName(name);
     if (!id.ok()) {
       std::printf("  %s\n", id.status().ToString().c_str());
       return;
     }
+    if (serving_) {
+      service::QueryRequest request;
+      request.kind = service::RequestKind::kSimilarTo;
+      request.id = *id;
+      request.k = k;
+      auto ticket = server_->Submit(request);
+      if (!ticket.ok()) {
+        std::printf("  %s\n", ticket.status().ToString().c_str());
+        return;
+      }
+      service::QueryResponse response = ticket->Get();
+      if (!response.status.ok()) {
+        std::printf("  %s\n", response.status.ToString().c_str());
+        return;
+      }
+      for (const auto& n : response.neighbors) {
+        std::printf("  %-24s distance %.2f  %s\n",
+                    engine().corpus().at(n.id).name.c_str(), n.distance,
+                    Spark(engine().corpus().at(n.id).values, 48).c_str());
+      }
+      std::printf("  [%s, %lld us]\n",
+                  response.cache_hit ? "cache hit" : "engine",
+                  static_cast<long long>(response.latency.count()));
+      return;
+    }
     index::VpTreeIndex::SearchStats stats;
-    auto neighbors = engine_.SimilarTo(*id, k, &stats);
+    auto neighbors = engine().SimilarTo(*id, k, &stats);
     if (!neighbors.ok()) return;
     for (const auto& n : *neighbors) {
       std::printf("  %-24s distance %.2f  %s\n",
-                  engine_.corpus().at(n.id).name.c_str(), n.distance,
-                  Spark(engine_.corpus().at(n.id).values, 48).c_str());
+                  engine().corpus().at(n.id).name.c_str(), n.distance,
+                  Spark(engine().corpus().at(n.id).values, 48).c_str());
     }
     std::printf("  [index: %zu bound computations, %zu full fetches]\n",
                 stats.bound_computations, stats.full_retrievals);
   }
 
+  // Fires `n` concurrent SimilarTo requests over a hot-key set and prints
+  // aggregate throughput — a one-command load generator for the server.
+  void Load(size_t n, size_t k) {
+    const size_t corpus_size = engine().corpus().size();
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<service::RequestTicket> tickets;
+    tickets.reserve(n);
+    size_t rejected = 0;
+    for (size_t i = 0; i < n; ++i) {
+      service::QueryRequest request;
+      request.kind = service::RequestKind::kSimilarTo;
+      request.id = static_cast<ts::SeriesId>(i % std::min<size_t>(corpus_size, 16));
+      request.k = k;
+      auto ticket = server_->Submit(request);
+      if (ticket.ok()) {
+        tickets.push_back(std::move(*ticket));
+      } else {
+        ++rejected;
+      }
+    }
+    size_t ok = 0;
+    for (auto& ticket : tickets) {
+      if (ticket.Get().status.ok()) ++ok;
+    }
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    std::printf(
+        "  %zu ok, %zu rejected (backpressure) in %.3f s  ->  %.0f qps\n", ok,
+        rejected, seconds, static_cast<double>(ok) / seconds);
+    std::printf("  cache: %llu hits / %llu misses\n",
+                static_cast<unsigned long long>(server_->cache().hits()),
+                static_cast<unsigned long long>(server_->cache().misses()));
+  }
+
   void Periods(const std::string& name) {
-    auto id = engine_.FindByName(name);
+    auto id = engine().FindByName(name);
     if (!id.ok()) {
       std::printf("  %s\n", id.status().ToString().c_str());
       return;
     }
-    auto periods = engine_.FindPeriods(*id);
-    if (!periods.ok()) return;
-    if (periods->empty()) {
+    std::vector<period::PeriodHit> periods;
+    if (serving_) {
+      service::QueryRequest request;
+      request.kind = service::RequestKind::kPeriodsOf;
+      request.id = *id;
+      service::QueryResponse response = server_->Execute(request);
+      if (!response.status.ok()) return;
+      periods = std::move(response.periods);
+    } else {
+      auto direct = engine().FindPeriods(*id);
+      if (!direct.ok()) return;
+      periods = std::move(direct).value();
+    }
+    if (periods.empty()) {
       std::printf("  no significant periods\n");
       return;
     }
-    for (const auto& p : *periods) {
+    for (const auto& p : periods) {
       std::printf("  period %8.2f days   power %8.2f\n", p.period, p.power);
     }
   }
 
   void Bursts(const std::string& name, core::BurstHorizon horizon) {
-    auto id = engine_.FindByName(name);
+    auto id = engine().FindByName(name);
     if (!id.ok()) {
       std::printf("  %s\n", id.status().ToString().c_str());
       return;
     }
-    auto bursts = engine_.BurstsOf(*id, horizon);
-    if (!bursts.ok()) return;
-    if (bursts->empty()) {
+    std::vector<burst::BurstRegion> regions;
+    if (serving_) {
+      service::QueryRequest request;
+      request.kind = service::RequestKind::kBurstsOf;
+      request.id = *id;
+      request.horizon = horizon;
+      service::QueryResponse response = server_->Execute(request);
+      if (!response.status.ok()) return;
+      regions = std::move(response.bursts);
+    } else {
+      auto direct = engine().BurstsOf(*id, horizon);
+      if (!direct.ok()) return;
+      regions = std::move(direct).value();
+    }
+    if (regions.empty()) {
       std::printf("  no bursts\n");
       return;
     }
-    for (const auto& b : *bursts) {
+    for (const auto& b : regions) {
       std::printf("  [%s .. %s]  height %+.2f  (%d days)\n",
                   ts::FormatDayIndex(b.start).c_str(),
                   ts::FormatDayIndex(b.end).c_str(), b.avg_value, b.length());
@@ -233,26 +345,38 @@ class Tool {
   }
 
   void QueryByBurst(const std::string& name, size_t k) {
-    auto id = engine_.FindByName(name);
+    auto id = engine().FindByName(name);
     if (!id.ok()) {
       std::printf("  %s\n", id.status().ToString().c_str());
       return;
     }
-    auto matches = engine_.QueryByBurst(*id, k, core::BurstHorizon::kLongTerm);
-    if (!matches.ok()) return;
-    for (const auto& m : *matches) {
+    std::vector<burst::BurstMatch> matches;
+    if (serving_) {
+      service::QueryRequest request;
+      request.kind = service::RequestKind::kQueryByBurst;
+      request.id = *id;
+      request.k = k;
+      service::QueryResponse response = server_->Execute(request);
+      if (!response.status.ok()) return;
+      matches = std::move(response.burst_matches);
+    } else {
+      auto direct = engine().QueryByBurst(*id, k, core::BurstHorizon::kLongTerm);
+      if (!direct.ok()) return;
+      matches = std::move(direct).value();
+    }
+    for (const auto& m : matches) {
       std::printf("  %-24s BSim %.3f\n",
-                  engine_.corpus().at(m.series_id).name.c_str(), m.bsim);
+                  engine().corpus().at(m.series_id).name.c_str(), m.bsim);
     }
   }
 
   void Reconstruct(const std::string& name, size_t c) {
-    auto id = engine_.FindByName(name);
+    auto id = engine().FindByName(name);
     if (!id.ok()) {
       std::printf("  %s\n", id.status().ToString().c_str());
       return;
     }
-    const std::vector<double> z = engine_.standardized(*id);
+    const std::vector<double> z = engine().standardized(*id);
     auto spectrum = repr::HalfSpectrum::FromSeries(z);
     if (!spectrum.ok()) return;
     auto compressed = repr::CompressedSpectrum::Compress(
@@ -286,12 +410,25 @@ class Tool {
     Reconstruct("cinema", 8);
   }
 
-  core::S2Engine engine_;
+  const core::S2Engine& engine() const { return server_->engine(); }
+
+  std::unique_ptr<service::S2Server> server_;
+  bool serving_;
 };
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  size_t serve_threads = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--serve") == 0) {
+      serve_threads = 4;
+      if (i + 1 < argc && std::isdigit(static_cast<unsigned char>(argv[i + 1][0]))) {
+        serve_threads = std::strtoul(argv[i + 1], nullptr, 10);
+      }
+    }
+  }
+
   Rng rng(75);
   ts::Corpus corpus;
   for (auto archetype :
@@ -323,7 +460,11 @@ int main() {
       "S2 Similarity Tool - %zu queries indexed (%zu KiB compressed "
       "features).\nType 'help' for commands, 'demo' for a tour.\n",
       engine->corpus().size(), engine->index().CompressedBytes() / 1024);
-  Tool tool(std::move(engine).ValueOrDie());
+  if (serve_threads > 0) {
+    std::printf("Server mode: %zu worker threads, result cache on.\n",
+                serve_threads);
+  }
+  Tool tool(std::move(engine).ValueOrDie(), serve_threads);
   tool.Run();
   return 0;
 }

@@ -20,18 +20,24 @@ void BurstTable::Insert(ts::SeriesId series_id,
   }
 }
 
-std::vector<BurstRecord> BurstTable::FindOverlapping(const BurstRegion& query) const {
+std::vector<BurstRecord> BurstTable::FindOverlappingCounted(
+    const BurstRegion& query, size_t* scanned) const {
   // Index scan: startDate <= query.end; residual filter: endDate >= query.start.
   std::vector<BurstRecord> out;
-  size_t scanned = 0;
   start_index_.Scan(std::numeric_limits<int32_t>::min(), query.end,
                     [&](int32_t /*start*/, uint32_t record_idx) {
-                      ++scanned;
+                      ++*scanned;
                       const BurstRecord& record = records_[record_idx];
                       if (record.end >= query.start) out.push_back(record);
                       return true;
                     });
-  last_scanned_ = scanned;
+  return out;
+}
+
+std::vector<BurstRecord> BurstTable::FindOverlapping(const BurstRegion& query) const {
+  size_t scanned = 0;
+  std::vector<BurstRecord> out = FindOverlappingCounted(query, &scanned);
+  last_scanned_.store(scanned, std::memory_order_relaxed);
   return out;
 }
 
@@ -41,8 +47,8 @@ std::vector<BurstMatch> BurstTable::QueryByBurst(
   std::unordered_map<ts::SeriesId, double> scores;
   size_t scanned_total = 0;
   for (const BurstRegion& q : query_bursts) {
-    const std::vector<BurstRecord> overlapping = FindOverlapping(q);
-    scanned_total += last_scanned_;
+    const std::vector<BurstRecord> overlapping =
+        FindOverlappingCounted(q, &scanned_total);
     for (const BurstRecord& record : overlapping) {
       if (record.series_id == exclude) continue;
       const BurstRegion b = record.region();
@@ -51,7 +57,7 @@ std::vector<BurstMatch> BurstTable::QueryByBurst(
       scores[record.series_id] += intersect * ValueSimilarity(q, b);
     }
   }
-  last_scanned_ = scanned_total;
+  last_scanned_.store(scanned_total, std::memory_order_relaxed);
 
   std::vector<BurstMatch> matches;
   matches.reserve(scores.size());

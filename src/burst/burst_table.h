@@ -1,6 +1,7 @@
 #ifndef S2_BURST_BURST_TABLE_H_
 #define S2_BURST_BURST_TABLE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -43,8 +44,19 @@ class BurstTable {
 
   BurstTable(const BurstTable&) = delete;
   BurstTable& operator=(const BurstTable&) = delete;
-  BurstTable(BurstTable&&) noexcept = default;
-  BurstTable& operator=(BurstTable&&) noexcept = default;
+  // Hand-written moves: the atomic scan counter is not movable by default.
+  // Moving is not thread-safe (single-owner operation, like Insert).
+  BurstTable(BurstTable&& other) noexcept
+      : records_(std::move(other.records_)),
+        start_index_(std::move(other.start_index_)),
+        last_scanned_(other.last_scanned_.load(std::memory_order_relaxed)) {}
+  BurstTable& operator=(BurstTable&& other) noexcept {
+    records_ = std::move(other.records_);
+    start_index_ = std::move(other.start_index_);
+    last_scanned_.store(other.last_scanned_.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+    return *this;
+  }
 
   /// Inserts the burst triplets of one sequence. `offset` shifts
   /// region-local positions into absolute day indices (pass the series'
@@ -76,15 +88,24 @@ class BurstTable {
   const std::vector<BurstRecord>& records() const { return records_; }
 
   /// Scan statistics of the last FindOverlapping/QueryByBurst call:
-  /// records touched by the index scan before the endDate filter.
-  size_t last_scanned() const { return last_scanned_; }
+  /// records touched by the index scan before the endDate filter. Under
+  /// concurrent queries this reports *some* recent call's count (each query
+  /// stores atomically; interleavings do not corrupt the value).
+  size_t last_scanned() const {
+    return last_scanned_.load(std::memory_order_relaxed);
+  }
 
  private:
+  // FindOverlapping core that reports the scan count to the caller instead
+  // of the shared counter, keeping QueryByBurst accurate under concurrency.
+  std::vector<BurstRecord> FindOverlappingCounted(const BurstRegion& query,
+                                                  size_t* scanned) const;
+
   std::vector<BurstRecord> records_;
   // startDate -> record index. The B+-tree provides the ordered range scan
   // the SQL plan needs.
   storage::BPlusTree<int32_t, uint32_t> start_index_;
-  mutable size_t last_scanned_ = 0;
+  mutable std::atomic<size_t> last_scanned_ = 0;
 };
 
 }  // namespace s2::burst

@@ -21,6 +21,11 @@ enum class StatusCode {
   kAlreadyExists = 4,
   kIoError = 5,
   kInternal = 6,
+  // Serving-layer codes (src/service): admission control and request
+  // lifecycle outcomes of the concurrent query server.
+  kUnavailable = 7,       ///< Transient overload/shutdown; retrying may work.
+  kDeadlineExceeded = 8,  ///< The request's deadline passed before completion.
+  kCancelled = 9,         ///< The caller cancelled the request.
 };
 
 /// Human-readable name of a status code (e.g. "InvalidArgument").
@@ -68,6 +73,15 @@ class Status {
   }
   static Status Internal(std::string message) {
     return Status(StatusCode::kInternal, std::move(message));
+  }
+  static Status Unavailable(std::string message) {
+    return Status(StatusCode::kUnavailable, std::move(message));
+  }
+  static Status DeadlineExceeded(std::string message) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(message));
+  }
+  static Status Cancelled(std::string message) {
+    return Status(StatusCode::kCancelled, std::move(message));
   }
 
   /// True iff this status represents success.

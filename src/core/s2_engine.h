@@ -34,6 +34,27 @@ enum class BurstHorizon { kLongTerm, kShortTerm };
 /// All sequences are standardized at ingest; similarity is Euclidean
 /// distance between standardized sequences (exact — the index bounds only
 /// prune, never approximate).
+///
+/// ## Reentrancy contract (audited for the `s2::service` layer)
+///
+/// All `const` member functions — `SimilarTo`, `SimilarToSeries`,
+/// `SimilarToDtw`, `FindPeriods`, `BurstsOf`, `QueryByBurst`,
+/// `QueryByBurstSeries`, `FindByName` and the accessors — are safe to call
+/// concurrently from any number of threads, provided no thread is
+/// concurrently calling `AddSeries` (or moving the engine). They keep all
+/// search scratch state (best-lists, candidate buffers, DP tables) on the
+/// stack; the only shared state they touch is instrumentation:
+///
+///   * `SequenceSource` read counters (atomic),
+///   * `BurstTable::last_scanned()` (atomic; reports "some recent query"),
+///   * `DiskSequenceStore` record fetches (positioned `pread`, no shared
+///     file-position cursor).
+///
+/// `AddSeries` is a *writer*: it mutates the VP-tree, both burst tables,
+/// the catalog and the standardized rows, and must be externally serialized
+/// against all readers (e.g. `service::S2Server` holds a shared_mutex in
+/// write mode around it). Per-call `SearchStats` out-params are owned by the
+/// caller and need no synchronization.
 class S2Engine {
  public:
   struct Options {

@@ -1,0 +1,78 @@
+#include "service/metrics.h"
+
+#include <bit>
+#include <sstream>
+
+namespace s2::service {
+
+namespace {
+
+size_t BucketFor(uint64_t micros) {
+  if (micros == 0) return 0;
+  const size_t idx = std::bit_width(micros) - 1;  // floor(log2(micros))
+  return idx < LatencyHistogram::kBuckets ? idx : LatencyHistogram::kBuckets - 1;
+}
+
+uint64_t BucketUpperEdge(size_t bucket) { return uint64_t{2} << bucket; }
+
+}  // namespace
+
+void LatencyHistogram::Record(uint64_t micros) {
+  buckets_[BucketFor(micros)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(micros, std::memory_order_relaxed);
+  uint64_t seen = max_.load(std::memory_order_relaxed);
+  while (micros > seen &&
+         !max_.compare_exchange_weak(seen, micros, std::memory_order_relaxed)) {
+  }
+}
+
+uint64_t LatencyHistogram::Percentile(double p) const {
+  const uint64_t total = count();
+  if (total == 0) return 0;
+  if (p < 0) p = 0;
+  if (p > 100) p = 100;
+  // Rank of the target sample, 1-based.
+  uint64_t rank = static_cast<uint64_t>(p / 100.0 * static_cast<double>(total));
+  if (rank == 0) rank = 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen >= rank) return BucketUpperEdge(i);
+  }
+  return max_micros();
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+LatencyHistogram* MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<LatencyHistogram>();
+  return slot.get();
+}
+
+std::string MetricsRegistry::TextSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  for (const auto& [name, counter] : counters_) {
+    out << name << ' ' << counter->value() << '\n';
+  }
+  for (const auto& [name, hist] : histograms_) {
+    const uint64_t n = hist->count();
+    out << name << "_count " << n << '\n';
+    out << name << "_p50_us " << hist->Percentile(50) << '\n';
+    out << name << "_p95_us " << hist->Percentile(95) << '\n';
+    out << name << "_p99_us " << hist->Percentile(99) << '\n';
+    out << name << "_max_us " << hist->max_micros() << '\n';
+    out << name << "_mean_us " << (n == 0 ? 0 : hist->sum_micros() / n) << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace s2::service

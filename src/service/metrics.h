@@ -1,0 +1,85 @@
+#ifndef S2_SERVICE_METRICS_H_
+#define S2_SERVICE_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace s2::service {
+
+/// A monotonically increasing counter. All operations are lock-free and
+/// safe from any thread; relaxed ordering is enough because counters are
+/// pure instrumentation, never used for synchronization.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// A latency histogram with power-of-two microsecond buckets.
+///
+/// Bucket `i` covers `[2^i, 2^(i+1))` microseconds (bucket 0 also absorbs
+/// 0 us). 40 buckets cover up to ~12.7 days, far beyond any request.
+/// `Record` is lock-free; percentile reads walk a racy-but-consistent-enough
+/// snapshot (each bucket load is atomic; instrumentation-grade accuracy).
+class LatencyHistogram {
+ public:
+  static constexpr size_t kBuckets = 40;
+
+  void Record(uint64_t micros);
+
+  /// Total number of recorded samples.
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+  /// Sum of all recorded values in microseconds.
+  uint64_t sum_micros() const { return sum_.load(std::memory_order_relaxed); }
+
+  /// Largest recorded value in microseconds.
+  uint64_t max_micros() const { return max_.load(std::memory_order_relaxed); }
+
+  /// The `p`-th percentile (p in [0, 100]) in microseconds, estimated as the
+  /// upper edge of the bucket holding the p-th sample. 0 when empty.
+  uint64_t Percentile(double p) const;
+
+ private:
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
+};
+
+/// A named registry of counters and latency histograms.
+///
+/// Registration (first `counter()`/`histogram()` call per name) takes a
+/// mutex; the returned pointers are stable for the registry's lifetime, so
+/// hot paths register once and then update lock-free. `TextSnapshot` renders
+/// every metric as `name value` lines (histograms expand to `_count`,
+/// `_p50/_p95/_p99`, `_max` and `_mean` suffixes, all in microseconds).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* counter(const std::string& name);
+  LatencyHistogram* histogram(const std::string& name);
+
+  std::string TextSnapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  // std::map keeps the snapshot alphabetically ordered and deterministic.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+};
+
+}  // namespace s2::service
+
+#endif  // S2_SERVICE_METRICS_H_

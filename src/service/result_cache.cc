@@ -1,0 +1,61 @@
+#include "service/result_cache.h"
+
+namespace s2::service {
+
+ResultCache::ResultCache(size_t capacity, MetricsRegistry* metrics)
+    : capacity_(capacity) {
+  if (metrics != nullptr) {
+    hit_counter_ = metrics->counter("cache_hits");
+    miss_counter_ = metrics->counter("cache_misses");
+    eviction_counter_ = metrics->counter("cache_evictions");
+    invalidation_counter_ = metrics->counter("cache_invalidations");
+  }
+}
+
+std::optional<QueryResponse> ResultCache::Lookup(const CacheKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = map_.find(key);
+  if (it == map_.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    if (miss_counter_ != nullptr) miss_counter_->Increment();
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // Touch: move to front.
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  if (hit_counter_ != nullptr) hit_counter_->Increment();
+  QueryResponse response = it->second->second;
+  response.cache_hit = true;
+  return response;
+}
+
+void ResultCache::Insert(const CacheKey& key, const QueryResponse& response) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = map_.find(key);
+  if (it != map_.end()) {
+    it->second->second = response;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, response);
+  map_.emplace(key, lru_.begin());
+  if (lru_.size() > capacity_) {
+    map_.erase(lru_.back().first);
+    lru_.pop_back();
+    if (eviction_counter_ != nullptr) eviction_counter_->Increment();
+  }
+}
+
+void ResultCache::Invalidate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  map_.clear();
+  lru_.clear();
+  if (invalidation_counter_ != nullptr) invalidation_counter_->Increment();
+}
+
+size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+}  // namespace s2::service

@@ -1,0 +1,105 @@
+#ifndef S2_SERVICE_RESULT_CACHE_H_
+#define S2_SERVICE_RESULT_CACHE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "service/metrics.h"
+#include "service/scheduler.h"
+
+namespace s2::service {
+
+/// Identity of a cacheable request. Two requests with equal keys must
+/// produce identical responses against an unchanged engine.
+struct CacheKey {
+  RequestKind kind = RequestKind::kSimilarTo;
+  /// Indexed series id, or a hash for external-sequence queries.
+  uint64_t id = 0;
+  size_t k = 0;
+  /// BurstHorizon for burst kinds; 0 otherwise.
+  int horizon = 0;
+  /// Hash of any extra parameters that shape the answer (reserved for
+  /// external-series queries and per-request engine overrides).
+  uint64_t param_hash = 0;
+
+  friend bool operator==(const CacheKey& a, const CacheKey& b) {
+    return a.kind == b.kind && a.id == b.id && a.k == b.k &&
+           a.horizon == b.horizon && a.param_hash == b.param_hash;
+  }
+};
+
+struct CacheKeyHash {
+  size_t operator()(const CacheKey& key) const {
+    // FNV-1a over the five fields; cheap and well-mixed for these widths.
+    uint64_t h = 1469598103934665603ull;
+    const auto mix = [&h](uint64_t v) {
+      h ^= v;
+      h *= 1099511628211ull;
+    };
+    mix(static_cast<uint64_t>(key.kind));
+    mix(key.id);
+    mix(key.k);
+    mix(static_cast<uint64_t>(key.horizon));
+    mix(key.param_hash);
+    return static_cast<size_t>(h);
+  }
+};
+
+/// A thread-safe LRU cache of query responses.
+///
+/// One mutex guards the map + recency list; entries store full
+/// `QueryResponse` payloads (answers are small: k neighbors / a few period
+/// or burst records). `Lookup` returns a copy flagged `cache_hit = true`.
+/// Only successful responses should be inserted. `Invalidate` empties the
+/// cache — the engine's `AddSeries` can change any k-NN or query-by-burst
+/// answer, so the server calls it on every ingest.
+class ResultCache {
+ public:
+  /// `capacity` is the maximum number of entries (0 disables caching:
+  /// lookups miss, inserts are dropped). `metrics` may be null; when given,
+  /// it must outlive the cache and receives `cache_hits` / `cache_misses` /
+  /// `cache_evictions` / `cache_invalidations` counters.
+  explicit ResultCache(size_t capacity, MetricsRegistry* metrics = nullptr);
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Returns the cached response (marked as a hit) or nullopt.
+  std::optional<QueryResponse> Lookup(const CacheKey& key);
+
+  /// Inserts/refreshes an entry, evicting the least recently used entry
+  /// beyond capacity.
+  void Insert(const CacheKey& key, const QueryResponse& response);
+
+  /// Drops every entry (engine mutation invalidates all answers).
+  void Invalidate();
+
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  using Entry = std::pair<CacheKey, QueryResponse>;
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // Front = most recently used.
+  std::unordered_map<CacheKey, std::list<Entry>::iterator, CacheKeyHash> map_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  Counter* hit_counter_ = nullptr;
+  Counter* miss_counter_ = nullptr;
+  Counter* eviction_counter_ = nullptr;
+  Counter* invalidation_counter_ = nullptr;
+};
+
+}  // namespace s2::service
+
+#endif  // S2_SERVICE_RESULT_CACHE_H_

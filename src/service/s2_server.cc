@@ -1,0 +1,99 @@
+#include "service/s2_server.h"
+
+#include <mutex>
+#include <utility>
+
+namespace s2::service {
+
+namespace {
+
+CacheKey KeyFor(const QueryRequest& request) {
+  CacheKey key;
+  key.kind = request.kind;
+  key.id = request.id;
+  key.k = request.k;
+  key.horizon = (request.kind == RequestKind::kBurstsOf ||
+                 request.kind == RequestKind::kQueryByBurst)
+                    ? static_cast<int>(request.horizon)
+                    : 0;
+  return key;
+}
+
+/// Copies a Result's payload into the response or records its error.
+template <typename T>
+void Fill(Result<T> result, T* payload, QueryResponse* response) {
+  if (result.ok()) {
+    *payload = std::move(result).value();
+  } else {
+    response->status = result.status();
+  }
+}
+
+}  // namespace
+
+std::unique_ptr<S2Server> S2Server::Create(core::S2Engine engine,
+                                           const Options& options) {
+  return std::unique_ptr<S2Server>(new S2Server(std::move(engine), options));
+}
+
+S2Server::S2Server(core::S2Engine engine, const Options& options)
+    : engine_(std::move(engine)),
+      cache_(options.cache_capacity, &metrics_),
+      engine_calls_(metrics_.counter("server_engine_calls")) {
+  // The scheduler is built last: its workers may call Execute (via the
+  // handler) as soon as requests arrive, so everything above must be live.
+  scheduler_ = std::make_unique<Scheduler>(
+      options.scheduler,
+      [this](const QueryRequest& request) { return Execute(request); },
+      &metrics_);
+}
+
+QueryResponse S2Server::Execute(const QueryRequest& request) {
+  QueryResponse response;
+  const CacheKey key = KeyFor(request);
+  if (std::optional<QueryResponse> hit = cache_.Lookup(key)) {
+    return *std::move(hit);
+  }
+
+  {
+    std::shared_lock<std::shared_mutex> lock(engine_mu_);
+    engine_calls_->Increment();
+    switch (request.kind) {
+      case RequestKind::kSimilarTo:
+        Fill(engine_.SimilarTo(request.id, request.k), &response.neighbors,
+             &response);
+        break;
+      case RequestKind::kSimilarToDtw:
+        Fill(engine_.SimilarToDtw(request.id, request.k), &response.neighbors,
+             &response);
+        break;
+      case RequestKind::kPeriodsOf:
+        Fill(engine_.FindPeriods(request.id), &response.periods, &response);
+        break;
+      case RequestKind::kBurstsOf:
+        Fill(engine_.BurstsOf(request.id, request.horizon), &response.bursts,
+             &response);
+        break;
+      case RequestKind::kQueryByBurst:
+        Fill(engine_.QueryByBurst(request.id, request.k, request.horizon),
+             &response.burst_matches, &response);
+        break;
+    }
+    // Insert before releasing the shared lock: inserting after release could
+    // race an AddSeries invalidation and re-publish a stale answer.
+    if (response.status.ok()) cache_.Insert(key, response);
+  }
+
+  return response;
+}
+
+Result<ts::SeriesId> S2Server::AddSeries(ts::TimeSeries series) {
+  std::unique_lock<std::shared_mutex> lock(engine_mu_);
+  S2_ASSIGN_OR_RETURN(ts::SeriesId id, engine_.AddSeries(std::move(series)));
+  // Invalidate while still holding the writer lock: a reader admitted after
+  // us must not see a stale answer re-inserted for the old corpus.
+  cache_.Invalidate();
+  return id;
+}
+
+}  // namespace s2::service

@@ -1,0 +1,82 @@
+#ifndef S2_SERVICE_S2_SERVER_H_
+#define S2_SERVICE_S2_SERVER_H_
+
+#include <memory>
+#include <shared_mutex>
+#include <string>
+
+#include "common/result.h"
+#include "core/s2_engine.h"
+#include "service/metrics.h"
+#include "service/result_cache.h"
+#include "service/scheduler.h"
+
+namespace s2::service {
+
+/// The concurrent query server: wraps a built `S2Engine` with a thread
+/// pool + scheduler (admission control, deadlines, cancellation), an LRU
+/// result cache and a metrics registry — the serving substrate the paper's
+/// interactive S2 tool would need at MSN-log scale.
+///
+/// Concurrency model: query execution takes the engine lock in shared mode
+/// (the engine's const read paths are reentrant — see the contract in
+/// s2_engine.h); `AddSeries` takes it exclusively and invalidates the whole
+/// result cache before returning. Cache hits bypass the engine entirely:
+/// no lock, no VP-tree traversal, no sequence-store reads.
+class S2Server {
+ public:
+  struct Options {
+    Scheduler::Options scheduler;
+    /// Result-cache entries; 0 disables caching.
+    size_t cache_capacity = 1024;
+  };
+
+  /// Takes ownership of a built engine.
+  static std::unique_ptr<S2Server> Create(core::S2Engine engine,
+                                          const Options& options);
+
+  S2Server(const S2Server&) = delete;
+  S2Server& operator=(const S2Server&) = delete;
+
+  ~S2Server() { Shutdown(); }
+
+  /// Asynchronous entry point: admits the request to the scheduler.
+  /// Unavailable when the in-flight window is full (backpressure).
+  Result<RequestTicket> Submit(const QueryRequest& request) {
+    return scheduler_->Submit(request);
+  }
+
+  /// Synchronous entry point: cache lookup, then engine execution under the
+  /// shared lock. Also the handler the scheduler's workers run.
+  QueryResponse Execute(const QueryRequest& request);
+
+  /// Ingests one more series (exclusive engine access) and invalidates the
+  /// result cache. Fails while requests cannot be drained (never blocks
+  /// forever: waits for in-flight readers, new readers queue behind it).
+  Result<ts::SeriesId> AddSeries(ts::TimeSeries series);
+
+  /// Graceful shutdown: drains admitted requests, joins workers. Idempotent.
+  void Shutdown() { scheduler_->Shutdown(); }
+
+  const core::S2Engine& engine() const { return engine_; }
+  MetricsRegistry& metrics() { return metrics_; }
+  ResultCache& cache() { return cache_; }
+  const Scheduler& scheduler() const { return *scheduler_; }
+
+  /// Plain-text metrics snapshot (counters + latency percentiles).
+  std::string MetricsText() const { return metrics_.TextSnapshot(); }
+
+ private:
+  S2Server(core::S2Engine engine, const Options& options);
+
+  core::S2Engine engine_;
+  MetricsRegistry metrics_;
+  ResultCache cache_;
+  std::shared_mutex engine_mu_;
+  Counter* engine_calls_ = nullptr;  ///< Executions that reached the engine.
+  std::unique_ptr<Scheduler> scheduler_;
+};
+
+}  // namespace s2::service
+
+#endif  // S2_SERVICE_S2_SERVER_H_

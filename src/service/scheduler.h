@@ -1,0 +1,168 @@
+#ifndef S2_SERVICE_SCHEDULER_H_
+#define S2_SERVICE_SCHEDULER_H_
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "burst/burst_table.h"
+#include "common/result.h"
+#include "core/s2_engine.h"
+#include "index/knn.h"
+#include "period/period_detector.h"
+#include "service/metrics.h"
+#include "service/thread_pool.h"
+#include "timeseries/time_series.h"
+
+namespace s2::service {
+
+/// The request types the serving layer accepts — one per S2Engine read
+/// capability (paper Section 7.5: the S2 tool's period / similarity / burst
+/// functionalities).
+enum class RequestKind {
+  kSimilarTo,
+  kSimilarToDtw,
+  kPeriodsOf,
+  kBurstsOf,
+  kQueryByBurst,
+};
+
+/// Stable lowercase name of a request kind (used in metric names).
+std::string_view RequestKindToString(RequestKind kind);
+
+/// A typed query against the serving layer.
+struct QueryRequest {
+  RequestKind kind = RequestKind::kSimilarTo;
+  ts::SeriesId id = ts::kInvalidSeriesId;
+  /// Neighbor/match count for similarity and query-by-burst kinds.
+  size_t k = 10;
+  /// Burst horizon for kBurstsOf / kQueryByBurst.
+  core::BurstHorizon horizon = core::BurstHorizon::kLongTerm;
+  /// Soft deadline measured from submission; zero means "no deadline". A
+  /// request still queued when its deadline passes fails with
+  /// DeadlineExceeded instead of executing (execution itself is never
+  /// interrupted mid-flight).
+  std::chrono::milliseconds timeout{0};
+};
+
+/// The answer to a QueryRequest. Exactly one payload vector is populated,
+/// matching the request kind; the others stay empty.
+struct QueryResponse {
+  Status status;
+  std::vector<index::Neighbor> neighbors;        ///< kSimilarTo / kSimilarToDtw
+  std::vector<period::PeriodHit> periods;        ///< kPeriodsOf
+  std::vector<burst::BurstRegion> bursts;        ///< kBurstsOf
+  std::vector<burst::BurstMatch> burst_matches;  ///< kQueryByBurst
+  /// True when the answer came from the result cache (no engine work).
+  bool cache_hit = false;
+  /// Wall time spent executing (queue wait excluded; 0 for cache hits
+  /// measured below timer resolution).
+  std::chrono::microseconds latency{0};
+};
+
+/// Handle to an admitted request: a future for the response plus a
+/// best-effort cancellation flag. `Cancel` prevents execution if the
+/// request is still queued; a request already running completes normally.
+class RequestTicket {
+ public:
+  RequestTicket() = default;
+
+  /// Blocks until the response is ready.
+  QueryResponse Get() { return future_.get(); }
+
+  /// True while the response has not been retrieved.
+  bool valid() const { return future_.valid(); }
+
+  /// Non-blocking readiness probe.
+  bool Ready() const {
+    return future_.valid() &&
+           future_.wait_for(std::chrono::seconds(0)) == std::future_status::ready;
+  }
+
+  /// Requests cancellation. Queued requests fail with Cancelled; running
+  /// requests are unaffected.
+  void Cancel() {
+    if (cancelled_ != nullptr) cancelled_->store(true, std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Scheduler;
+  std::future<QueryResponse> future_;
+  std::shared_ptr<std::atomic<bool>> cancelled_;
+};
+
+/// Admission control + dispatch for the serving layer.
+///
+/// The scheduler owns a fixed-size ThreadPool and a bounded admission
+/// window: at most `queue_capacity` requests may be in flight (queued or
+/// executing). Excess submissions are rejected immediately with
+/// Unavailable — backpressure the caller can act on, instead of an
+/// ever-growing queue. Each admitted request is executed by the injected
+/// handler on a pool thread; deadlines and cancellation are checked when a
+/// worker picks the request up.
+///
+/// Metrics (when a registry is supplied):
+///   server_accepted / server_rejected / server_completed
+///   server_expired  / server_cancelled
+///   server_requests_<kind>
+///   server_latency  (histogram over handler execution time)
+class Scheduler {
+ public:
+  struct Options {
+    size_t threads = 4;
+    /// Maximum in-flight (admitted, not yet completed) requests.
+    size_t queue_capacity = 256;
+  };
+
+  /// `handler` runs on pool threads and must be thread-safe; it produces
+  /// the response for one request. `metrics` may be null (no accounting);
+  /// when given, it must outlive the scheduler.
+  Scheduler(const Options& options, std::function<QueryResponse(const QueryRequest&)> handler,
+            MetricsRegistry* metrics);
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  ~Scheduler();
+
+  /// Admits a request. Fails with Unavailable when the in-flight window is
+  /// full or the scheduler is shut down.
+  Result<RequestTicket> Submit(const QueryRequest& request);
+
+  /// Graceful shutdown: rejects new work, drains everything admitted (every
+  /// outstanding future is fulfilled), joins the workers. Idempotent.
+  void Shutdown();
+
+  /// Requests admitted and not yet completed.
+  size_t in_flight() const { return in_flight_.load(std::memory_order_relaxed); }
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+  std::function<QueryResponse(const QueryRequest&)> handler_;
+
+  // Metric handles, pre-registered so the hot path never touches the
+  // registry mutex. All null when metrics_ is null.
+  Counter* accepted_ = nullptr;
+  Counter* rejected_ = nullptr;
+  Counter* completed_ = nullptr;
+  Counter* expired_ = nullptr;
+  Counter* cancelled_count_ = nullptr;
+  std::array<Counter*, 5> kind_counters_{};
+  LatencyHistogram* latency_ = nullptr;
+
+  std::atomic<size_t> in_flight_{0};
+  std::atomic<bool> shutdown_{false};
+  ThreadPool pool_;
+};
+
+}  // namespace s2::service
+
+#endif  // S2_SERVICE_SCHEDULER_H_

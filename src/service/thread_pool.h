@@ -1,0 +1,59 @@
+#ifndef S2_SERVICE_THREAD_POOL_H_
+#define S2_SERVICE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace s2::service {
+
+/// A fixed-size thread pool with a single shared FIFO task queue.
+///
+/// Deliberately simple (no work stealing): serving-layer tasks are
+/// coarse-grained whole requests, so a shared queue under one mutex is
+/// nowhere near contention-bound and keeps FIFO fairness, which the
+/// scheduler's deadline semantics rely on.
+///
+/// Shutdown is graceful: `Shutdown()` stops admission, lets the workers
+/// drain every task already queued, then joins them. The destructor calls
+/// `Shutdown()` if the caller has not.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool();
+
+  /// Enqueues a task. Returns false (task dropped, never run) when the pool
+  /// is shutting down — callers must complete any associated promise
+  /// themselves in that case.
+  bool Submit(std::function<void()> task);
+
+  /// Drains the queue and joins all workers. Idempotent.
+  void Shutdown();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Tasks currently queued (not yet picked up by a worker).
+  size_t queue_depth() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> tasks_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+};
+
+}  // namespace s2::service
+
+#endif  // S2_SERVICE_THREAD_POOL_H_

@@ -1,5 +1,7 @@
 #include "storage/sequence_store.h"
 
+#include <unistd.h>
+
 #include <cstring>
 
 namespace s2::storage {
@@ -35,7 +37,7 @@ Result<std::vector<double>> InMemorySequenceSource::Get(ts::SeriesId id) {
   if (id >= rows_.size()) {
     return Status::NotFound("InMemorySequenceSource: id out of range");
   }
-  ++reads_;
+  reads_.fetch_add(1, std::memory_order_relaxed);
   return rows_[id];
 }
 
@@ -95,15 +97,20 @@ Result<std::vector<double>> DiskSequenceStore::Get(ts::SeriesId id) {
   if (id >= count_) return Status::NotFound("DiskSequenceStore: id out of range");
   const uint64_t offset =
       kHeaderBytes + static_cast<uint64_t>(id) * length_ * sizeof(double);
-  if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
-    return Status::IoError("DiskSequenceStore: seek failed");
-  }
   std::vector<double> row(length_);
-  if (std::fread(row.data(), sizeof(double), length_, file_) != length_) {
-    return Status::IoError("DiskSequenceStore: short read");
+  // pread is atomic w.r.t. the offset, so concurrent Gets on the shared fd
+  // never interleave seek/read pairs.
+  size_t done = 0;
+  const size_t want = length_ * sizeof(double);
+  char* dst = reinterpret_cast<char*>(row.data());
+  while (done < want) {
+    const ssize_t n = ::pread(fileno(file_), dst + done, want - done,
+                              static_cast<off_t>(offset + done));
+    if (n <= 0) return Status::IoError("DiskSequenceStore: short read");
+    done += static_cast<size_t>(n);
   }
-  ++reads_;
-  bytes_read_ += length_ * sizeof(double);
+  reads_.fetch_add(1, std::memory_order_relaxed);
+  bytes_read_.fetch_add(want, std::memory_order_relaxed);
   return row;
 }
 

@@ -1,6 +1,7 @@
 #ifndef S2_STORAGE_SEQUENCE_STORE_H_
 #define S2_STORAGE_SEQUENCE_STORE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <memory>
@@ -19,6 +20,11 @@ namespace s2::storage {
 /// lower bounds". This interface lets the same search code run against an
 /// on-disk store (Fig. 23 "Index on Disk" / "Linear Scan") or RAM-resident
 /// data, while exposing read counters for I/O accounting.
+///
+/// Thread safety: `Get` may be called concurrently from multiple threads as
+/// long as no thread is mutating the store (e.g. `Append`); read counters
+/// are atomic. `ResetCounters` is safe but racy against in-flight reads
+/// (counts may be slightly off — acceptable for instrumentation).
 class SequenceSource {
  public:
   virtual ~SequenceSource() = default;
@@ -47,8 +53,10 @@ class InMemorySequenceSource : public SequenceSource {
   Result<std::vector<double>> Get(ts::SeriesId id) override;
   size_t num_series() const override { return rows_.size(); }
   size_t series_length() const override { return length_; }
-  uint64_t read_count() const override { return reads_; }
-  void ResetCounters() override { reads_ = 0; }
+  uint64_t read_count() const override {
+    return reads_.load(std::memory_order_relaxed);
+  }
+  void ResetCounters() override { reads_.store(0, std::memory_order_relaxed); }
 
   /// Appends a row and returns its id. The row must match the store's
   /// length (an empty store adopts the first row's length).
@@ -59,15 +67,16 @@ class InMemorySequenceSource : public SequenceSource {
       : rows_(std::move(rows)), length_(length) {}
   std::vector<std::vector<double>> rows_;
   size_t length_;
-  uint64_t reads_ = 0;
+  std::atomic<uint64_t> reads_ = 0;
 };
 
 /// A fixed-record binary file of sequences, fetched with positioned reads.
 ///
 /// Layout: 8-byte magic, u64 count, u64 length, then `count` records of
-/// `length` doubles in native byte order. Random `Get` performs one seek and
-/// one record-sized read, mirroring the random I/O of the paper's
-/// verification phase.
+/// `length` doubles in native byte order. Random `Get` performs one
+/// positioned read (`pread`) of a whole record, mirroring the random I/O of
+/// the paper's verification phase. `pread` carries its own offset, so
+/// concurrent `Get` calls never race on a shared file position.
 class DiskSequenceStore : public SequenceSource {
  public:
   /// Writes `rows` to `path` and opens the resulting store.
@@ -85,14 +94,18 @@ class DiskSequenceStore : public SequenceSource {
   Result<std::vector<double>> Get(ts::SeriesId id) override;
   size_t num_series() const override { return count_; }
   size_t series_length() const override { return length_; }
-  uint64_t read_count() const override { return reads_; }
+  uint64_t read_count() const override {
+    return reads_.load(std::memory_order_relaxed);
+  }
   void ResetCounters() override {
-    reads_ = 0;
-    bytes_read_ = 0;
+    reads_.store(0, std::memory_order_relaxed);
+    bytes_read_.store(0, std::memory_order_relaxed);
   }
 
   /// Bytes fetched from disk since the last reset.
-  uint64_t bytes_read() const { return bytes_read_; }
+  uint64_t bytes_read() const {
+    return bytes_read_.load(std::memory_order_relaxed);
+  }
 
   const std::string& path() const { return path_; }
 
@@ -104,8 +117,8 @@ class DiskSequenceStore : public SequenceSource {
   std::FILE* file_;
   size_t count_;
   size_t length_;
-  uint64_t reads_ = 0;
-  uint64_t bytes_read_ = 0;
+  std::atomic<uint64_t> reads_ = 0;
+  std::atomic<uint64_t> bytes_read_ = 0;
 };
 
 }  // namespace s2::storage

@@ -1,0 +1,127 @@
+#include "service/result_cache.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace s2::service {
+namespace {
+
+CacheKey Key(uint64_t id, size_t k = 5,
+             RequestKind kind = RequestKind::kSimilarTo) {
+  CacheKey key;
+  key.kind = kind;
+  key.id = id;
+  key.k = k;
+  return key;
+}
+
+QueryResponse NeighborResponse(ts::SeriesId id) {
+  QueryResponse response;
+  response.neighbors.push_back({id, 1.5});
+  return response;
+}
+
+TEST(ResultCacheTest, MissThenHit) {
+  ResultCache cache(4);
+  EXPECT_FALSE(cache.Lookup(Key(1)).has_value());
+  cache.Insert(Key(1), NeighborResponse(9));
+  auto hit = cache.Lookup(Key(1));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(hit->cache_hit);
+  ASSERT_EQ(hit->neighbors.size(), 1u);
+  EXPECT_EQ(hit->neighbors[0].id, 9u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(ResultCacheTest, KeyDiscriminatesKindKAndHorizon) {
+  ResultCache cache(8);
+  cache.Insert(Key(1, 5, RequestKind::kSimilarTo), NeighborResponse(2));
+  EXPECT_FALSE(cache.Lookup(Key(1, 6, RequestKind::kSimilarTo)).has_value());
+  EXPECT_FALSE(cache.Lookup(Key(1, 5, RequestKind::kSimilarToDtw)).has_value());
+  CacheKey long_horizon = Key(1, 5, RequestKind::kQueryByBurst);
+  long_horizon.horizon = 0;
+  CacheKey short_horizon = long_horizon;
+  short_horizon.horizon = 1;
+  cache.Insert(long_horizon, NeighborResponse(3));
+  EXPECT_FALSE(cache.Lookup(short_horizon).has_value());
+  EXPECT_TRUE(cache.Lookup(long_horizon).has_value());
+}
+
+TEST(ResultCacheTest, EvictsLeastRecentlyUsed) {
+  ResultCache cache(3);
+  cache.Insert(Key(1), NeighborResponse(1));
+  cache.Insert(Key(2), NeighborResponse(2));
+  cache.Insert(Key(3), NeighborResponse(3));
+  // Touch 1 so 2 becomes the LRU entry.
+  EXPECT_TRUE(cache.Lookup(Key(1)).has_value());
+  cache.Insert(Key(4), NeighborResponse(4));
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_FALSE(cache.Lookup(Key(2)).has_value());  // evicted
+  EXPECT_TRUE(cache.Lookup(Key(1)).has_value());
+  EXPECT_TRUE(cache.Lookup(Key(3)).has_value());
+  EXPECT_TRUE(cache.Lookup(Key(4)).has_value());
+}
+
+TEST(ResultCacheTest, ReinsertRefreshesValueWithoutGrowth) {
+  ResultCache cache(2);
+  cache.Insert(Key(1), NeighborResponse(10));
+  cache.Insert(Key(1), NeighborResponse(20));
+  EXPECT_EQ(cache.size(), 1u);
+  auto hit = cache.Lookup(Key(1));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->neighbors[0].id, 20u);
+}
+
+TEST(ResultCacheTest, InvalidateEmptiesCache) {
+  MetricsRegistry metrics;
+  ResultCache cache(4, &metrics);
+  cache.Insert(Key(1), NeighborResponse(1));
+  cache.Insert(Key(2), NeighborResponse(2));
+  cache.Invalidate();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Lookup(Key(1)).has_value());
+  EXPECT_EQ(metrics.counter("cache_invalidations")->value(), 1u);
+}
+
+TEST(ResultCacheTest, ZeroCapacityDisablesCaching) {
+  ResultCache cache(0);
+  cache.Insert(Key(1), NeighborResponse(1));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Lookup(Key(1)).has_value());
+}
+
+TEST(ResultCacheTest, ConcurrentMixedOperationsStayConsistent) {
+  ResultCache cache(64);
+  std::atomic<uint64_t> lookups{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&cache, &lookups, t] {
+      for (int i = 0; i < 500; ++i) {
+        const uint64_t id = static_cast<uint64_t>((t * 31 + i) % 100);
+        if (i % 3 == 0) {
+          cache.Insert(Key(id), NeighborResponse(static_cast<ts::SeriesId>(id)));
+        } else if (i % 7 == 0) {
+          cache.Invalidate();
+        } else {
+          lookups.fetch_add(1);
+          auto hit = cache.Lookup(Key(id));
+          // Any hit must carry the value inserted under this key.
+          if (hit.has_value()) {
+            ASSERT_EQ(hit->neighbors.size(), 1u);
+            EXPECT_EQ(hit->neighbors[0].id, id);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_LE(cache.size(), 64u);
+  EXPECT_EQ(cache.hits() + cache.misses(), lookups.load());
+}
+
+}  // namespace
+}  // namespace s2::service

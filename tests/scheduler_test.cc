@@ -1,0 +1,196 @@
+#include "service/scheduler.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace s2::service {
+namespace {
+
+using std::chrono::milliseconds;
+
+QueryRequest SimilarRequest(ts::SeriesId id = 0, size_t k = 5) {
+  QueryRequest request;
+  request.kind = RequestKind::kSimilarTo;
+  request.id = id;
+  request.k = k;
+  return request;
+}
+
+TEST(SchedulerTest, ExecutesViaHandlerAndReportsLatency) {
+  Scheduler::Options options;
+  options.threads = 2;
+  MetricsRegistry metrics;
+  Scheduler scheduler(
+      options,
+      [](const QueryRequest& request) {
+        QueryResponse response;
+        response.neighbors.push_back({request.id, 1.0});
+        return response;
+      },
+      &metrics);
+  auto ticket = scheduler.Submit(SimilarRequest(42));
+  ASSERT_TRUE(ticket.ok());
+  QueryResponse response = ticket->Get();
+  EXPECT_TRUE(response.status.ok());
+  ASSERT_EQ(response.neighbors.size(), 1u);
+  EXPECT_EQ(response.neighbors[0].id, 42u);
+  EXPECT_EQ(metrics.counter("server_accepted")->value(), 1u);
+  EXPECT_EQ(metrics.counter("server_completed")->value(), 1u);
+  EXPECT_EQ(metrics.counter("server_requests_similar_to")->value(), 1u);
+  EXPECT_EQ(metrics.histogram("server_latency")->count(), 1u);
+}
+
+TEST(SchedulerTest, BackpressureRejectsWhenWindowFull) {
+  Scheduler::Options options;
+  options.threads = 1;
+  options.queue_capacity = 2;
+  std::atomic<bool> release{false};
+  MetricsRegistry metrics;
+  Scheduler scheduler(
+      options,
+      [&release](const QueryRequest&) {
+        while (!release.load()) std::this_thread::sleep_for(milliseconds(1));
+        return QueryResponse{};
+      },
+      &metrics);
+
+  auto first = scheduler.Submit(SimilarRequest());   // occupies the worker
+  auto second = scheduler.Submit(SimilarRequest());  // fills the window
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  auto third = scheduler.Submit(SimilarRequest());  // over capacity
+  ASSERT_FALSE(third.ok());
+  EXPECT_EQ(third.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(metrics.counter("server_rejected")->value(), 1u);
+
+  release.store(true);
+  EXPECT_TRUE(first->Get().status.ok());
+  EXPECT_TRUE(second->Get().status.ok());
+  // The window drained; submissions are accepted again.
+  EXPECT_TRUE(scheduler.Submit(SimilarRequest()).ok());
+}
+
+TEST(SchedulerTest, DeadlineExpiresWhileQueued) {
+  Scheduler::Options options;
+  options.threads = 1;
+  std::atomic<bool> release{false};
+  MetricsRegistry metrics;
+  Scheduler scheduler(
+      options,
+      [&release](const QueryRequest&) {
+        while (!release.load()) std::this_thread::sleep_for(milliseconds(1));
+        return QueryResponse{};
+      },
+      &metrics);
+
+  auto blocker = scheduler.Submit(SimilarRequest());
+  ASSERT_TRUE(blocker.ok());
+  QueryRequest hurried = SimilarRequest();
+  hurried.timeout = milliseconds(1);
+  auto expired = scheduler.Submit(hurried);
+  ASSERT_TRUE(expired.ok());
+  std::this_thread::sleep_for(milliseconds(20));  // Let the deadline pass.
+  release.store(true);
+  EXPECT_TRUE(blocker->Get().status.ok());
+  EXPECT_EQ(expired->Get().status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(metrics.counter("server_expired")->value(), 1u);
+}
+
+TEST(SchedulerTest, CancelPreventsQueuedExecution) {
+  Scheduler::Options options;
+  options.threads = 1;
+  std::atomic<bool> release{false};
+  std::atomic<int> executed{0};
+  MetricsRegistry metrics;
+  Scheduler scheduler(
+      options,
+      [&](const QueryRequest&) {
+        executed.fetch_add(1);
+        while (!release.load()) std::this_thread::sleep_for(milliseconds(1));
+        return QueryResponse{};
+      },
+      &metrics);
+
+  auto blocker = scheduler.Submit(SimilarRequest());
+  auto doomed = scheduler.Submit(SimilarRequest());
+  ASSERT_TRUE(blocker.ok());
+  ASSERT_TRUE(doomed.ok());
+  doomed->Cancel();
+  release.store(true);
+  EXPECT_TRUE(blocker->Get().status.ok());
+  EXPECT_EQ(doomed->Get().status.code(), StatusCode::kCancelled);
+  EXPECT_EQ(executed.load(), 1);  // The cancelled request never ran.
+  EXPECT_EQ(metrics.counter("server_cancelled")->value(), 1u);
+}
+
+TEST(SchedulerTest, ShutdownWithInflightWorkFulfillsEveryFuture) {
+  Scheduler::Options options;
+  options.threads = 2;
+  Scheduler scheduler(
+      options,
+      [](const QueryRequest&) {
+        std::this_thread::sleep_for(milliseconds(5));
+        QueryResponse response;
+        response.neighbors.push_back({7, 0.0});
+        return response;
+      },
+      nullptr);
+
+  std::vector<RequestTicket> tickets;
+  for (int i = 0; i < 16; ++i) {
+    auto ticket = scheduler.Submit(SimilarRequest());
+    ASSERT_TRUE(ticket.ok());
+    tickets.push_back(std::move(*ticket));
+  }
+  scheduler.Shutdown();  // Graceful drain: no broken promises.
+  for (RequestTicket& ticket : tickets) {
+    QueryResponse response = ticket.Get();
+    EXPECT_TRUE(response.status.ok());
+    ASSERT_EQ(response.neighbors.size(), 1u);
+  }
+  EXPECT_EQ(scheduler.in_flight(), 0u);
+  // Post-shutdown submission is refused outright.
+  auto late = scheduler.Submit(SimilarRequest());
+  EXPECT_FALSE(late.ok());
+  EXPECT_EQ(late.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(SchedulerTest, ConcurrentSubmittersNeverExceedWindow) {
+  Scheduler::Options options;
+  options.threads = 4;
+  options.queue_capacity = 32;
+  std::atomic<size_t> peak{0};
+  Scheduler* raw = nullptr;
+  Scheduler scheduler(
+      options,
+      [&](const QueryRequest&) {
+        const size_t now = raw->in_flight();
+        size_t seen = peak.load();
+        while (now > seen && !peak.compare_exchange_weak(seen, now)) {
+        }
+        return QueryResponse{};
+      },
+      nullptr);
+  raw = &scheduler;
+
+  std::vector<std::thread> submitters;
+  std::atomic<int> rejected{0};
+  for (int t = 0; t < 8; ++t) {
+    submitters.emplace_back([&] {
+      for (int i = 0; i < 200; ++i) {
+        auto ticket = scheduler.Submit(SimilarRequest());
+        if (!ticket.ok()) rejected.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  scheduler.Shutdown();
+  EXPECT_LE(peak.load(), options.queue_capacity);
+}
+
+}  // namespace
+}  // namespace s2::service

@@ -1,0 +1,84 @@
+#include "service/thread_pool.h"
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <set>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace s2::service {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(pool.Submit([&ran] { ran.fetch_add(1); }));
+  }
+  pool.Shutdown();
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::promise<void> done;
+  ASSERT_TRUE(pool.Submit([&done] { done.set_value(); }));
+  done.get_future().wait();
+}
+
+TEST(ThreadPoolTest, TasksRunOnMultipleThreads) {
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::set<std::thread::id> seen;
+  std::atomic<int> gate{0};
+  for (int i = 0; i < 4; ++i) {
+    pool.Submit([&] {
+      gate.fetch_add(1);
+      // Hold every worker until all four tasks are in flight, forcing each
+      // onto a distinct thread.
+      while (gate.load() < 4) std::this_thread::yield();
+      std::lock_guard<std::mutex> lock(mu);
+      seen.insert(std::this_thread::get_id());
+    });
+  }
+  pool.Shutdown();
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsQueuedTasks) {
+  ThreadPool pool(1);
+  std::atomic<int> ran{0};
+  // The first task blocks the only worker so the rest stay queued.
+  pool.Submit([&ran] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    ran.fetch_add(1);
+  });
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(pool.Submit([&ran] { ran.fetch_add(1); }));
+  }
+  pool.Shutdown();  // Graceful: everything already queued still runs.
+  EXPECT_EQ(ran.load(), 21);
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownIsRejected) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  EXPECT_FALSE(pool.Submit([] {}));
+}
+
+TEST(ThreadPoolTest, DestructorJoinsWithoutExplicitShutdown) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 10; ++i) {
+      pool.Submit([&ran] { ran.fetch_add(1); });
+    }
+  }  // ~ThreadPool drains and joins.
+  EXPECT_EQ(ran.load(), 10);
+}
+
+}  // namespace
+}  // namespace s2::service
