@@ -1,8 +1,11 @@
 #include "burst/burst_table.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <unordered_map>
+
+#include "diag/validate.h"
 
 namespace s2::burst {
 
@@ -68,6 +71,50 @@ std::vector<BurstMatch> BurstTable::QueryByBurst(
   });
   if (k > 0 && matches.size() > k) matches.resize(k);
   return matches;
+}
+
+Status BurstTable::Validate() const {
+  diag::Validator v("BurstTable");
+  for (size_t i = 0; i < records_.size(); ++i) {
+    const BurstRecord& record = records_[i];
+    v.Check(record.series_id != ts::kInvalidSeriesId)
+        << "record " << i << " has an invalid series id";
+    v.Check(record.start <= record.end)
+        << "record " << i << " has an inverted interval [" << record.start
+        << ", " << record.end << "]";
+    v.Check(std::isfinite(record.avg_value))
+        << "record " << i << " has a non-finite average burst value";
+  }
+
+  // The index and the heap must agree exactly: one index entry per record,
+  // keyed by its start date, scanned back in non-decreasing key order.
+  S2_RETURN_NOT_OK(start_index_.Validate());
+  std::vector<uint8_t> indexed(records_.size(), 0);
+  int32_t prev_key = std::numeric_limits<int32_t>::min();
+  start_index_.Scan(
+      std::numeric_limits<int32_t>::min(), std::numeric_limits<int32_t>::max(),
+      [&](int32_t key, uint32_t record_idx) {
+        v.Check(key >= prev_key)
+            << "index scan keys decrease at " << key << " after " << prev_key;
+        prev_key = key;
+        if (record_idx >= records_.size()) {
+          v.AddViolation("index entry points past the record heap (record " +
+                         std::to_string(record_idx) + " of " +
+                         std::to_string(records_.size()) + ")");
+          return true;
+        }
+        v.Check(indexed[record_idx] == 0)
+            << "record " << record_idx << " indexed twice";
+        indexed[record_idx] = 1;
+        v.Check(records_[record_idx].start == key)
+            << "index key " << key << " != record " << record_idx
+            << " start date " << records_[record_idx].start;
+        return true;
+      });
+  for (size_t i = 0; i < indexed.size(); ++i) {
+    v.Check(indexed[i] != 0) << "record " << i << " missing from the index";
+  }
+  return v.ToStatus();
 }
 
 }  // namespace s2::burst

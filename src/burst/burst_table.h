@@ -95,7 +95,16 @@ class BurstTable {
     return last_scanned_.load(std::memory_order_relaxed);
   }
 
+  /// Structural self-check: every record has a valid series id and
+  /// `start <= end` with a finite average; the start-date index and the
+  /// record heap agree exactly (one entry per record, key == start, scan
+  /// keys non-decreasing), including the B+-tree's own `Validate()`.
+  /// Reports the exact violations as `Status::Corruption`.
+  Status Validate() const;
+
  private:
+  friend struct BurstTableTestPeer;  // Corruption injection in validator tests.
+
   // FindOverlapping core that reports the scan count to the caller instead
   // of the shared counter, keeping QueryByBurst accurate under concurrency.
   std::vector<BurstRecord> FindOverlappingCounted(const BurstRegion& query,

@@ -1,11 +1,14 @@
 #include "burst/disk_burst_table.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <limits>
 #include <unordered_map>
+#include <utility>
 
 #include "burst/burst_similarity.h"
+#include "diag/validate.h"
 
 namespace s2::burst {
 
@@ -73,7 +76,16 @@ Status DiskBurstTable::LoadMeta() {
   const bool ok = std::memcmp(meta, kMagic, sizeof(kMagic)) == 0;
   if (ok) std::memcpy(&record_count_, meta + kMetaCountOffset, sizeof(record_count_));
   S2_RETURN_NOT_OK(heap_->Unpin(0, false));
-  if (!ok) return Status::IoError("DiskBurstTable: bad heap magic");
+  if (!ok) return Status::Corruption("DiskBurstTable: bad heap magic");
+  // The declared count must fit in the heap pages actually on disk, or
+  // every ReadRecord past the end would fault below the range check.
+  const uint64_t max_records =
+      (static_cast<uint64_t>(heap_->num_pages()) - 1) * kRecordsPerPage;
+  if (record_count_ > max_records) {
+    return Status::Corruption(
+        "DiskBurstTable: record count " + std::to_string(record_count_) +
+        " exceeds the heap capacity of " + std::to_string(max_records));
+  }
   return Status::OK();
 }
 
@@ -169,6 +181,75 @@ Result<std::vector<BurstMatch>> DiskBurstTable::QueryByBurst(
             });
   if (k > 0 && matches.size() > k) matches.resize(k);
   return matches;
+}
+
+Status DiskBurstTable::Validate() {
+  diag::Validator v("DiskBurstTable");
+
+  // Heap metadata.
+  if (heap_->num_pages() == 0) {
+    return diag::CorruptionError("DiskBurstTable", "heap has no metadata page");
+  }
+  {
+    S2_ASSIGN_OR_RETURN(char* meta, heap_->Fetch(0));
+    uint64_t stored_count = 0;
+    const bool magic_ok = std::memcmp(meta, kMagic, sizeof(kMagic)) == 0;
+    std::memcpy(&stored_count, meta + kMetaCountOffset, sizeof(stored_count));
+    S2_RETURN_NOT_OK(heap_->Unpin(0, false));
+    v.Check(magic_ok) << "bad heap magic";
+    v.Check(stored_count == record_count_)
+        << "heap metadata stores " << stored_count << " records, table claims "
+        << record_count_;
+  }
+  const uint64_t max_records =
+      (static_cast<uint64_t>(heap_->num_pages()) - 1) * kRecordsPerPage;
+  v.Check(record_count_ <= max_records)
+      << "record count " << record_count_ << " exceeds the heap capacity of "
+      << max_records;
+  if (!v.ok()) return v.ToStatus();
+
+  // Every record must be well-formed.
+  for (uint64_t id = 0; id < record_count_; ++id) {
+    S2_ASSIGN_OR_RETURN(BurstRecord record, ReadRecord(id));
+    v.Check(record.series_id != ts::kInvalidSeriesId)
+        << "record " << id << " has an invalid series id";
+    v.Check(record.start <= record.end)
+        << "record " << id << " has an inverted interval [" << record.start
+        << ", " << record.end << "]";
+    v.Check(std::isfinite(record.avg_value))
+        << "record " << id << " has a non-finite average burst value";
+  }
+
+  // The index tree itself, then its exact agreement with the heap.
+  S2_RETURN_NOT_OK(index_->Validate());
+  v.Check(index_->size() == record_count_)
+      << "index holds " << index_->size() << " entries for " << record_count_
+      << " heap records";
+  std::vector<uint8_t> indexed(record_count_, 0);
+  std::vector<std::pair<int64_t, uint64_t>> entries;
+  S2_RETURN_NOT_OK(index_->ScanAll([&entries](int64_t key, uint64_t record_id) {
+    entries.push_back({key, record_id});
+    return true;
+  }));
+  for (const auto& [key, record_id] : entries) {
+    if (record_id >= record_count_) {
+      v.AddViolation("index entry points past the heap (record " +
+                     std::to_string(record_id) + " of " +
+                     std::to_string(record_count_) + ")");
+      continue;
+    }
+    v.Check(indexed[record_id] == 0) << "record " << record_id
+                                     << " indexed twice";
+    indexed[record_id] = 1;
+    S2_ASSIGN_OR_RETURN(BurstRecord record, ReadRecord(record_id));
+    v.Check(record.start == key)
+        << "index key " << key << " != record " << record_id << " start date "
+        << record.start;
+  }
+  for (uint64_t id = 0; id < record_count_ && id < indexed.size(); ++id) {
+    v.Check(indexed[id] != 0) << "record " << id << " missing from the index";
+  }
+  return v.ToStatus();
 }
 
 Status DiskBurstTable::Flush() {

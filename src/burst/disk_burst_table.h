@@ -56,6 +56,13 @@ class DiskBurstTable {
   uint64_t disk_reads() const;
   uint64_t disk_writes() const;
 
+  /// Structural self-check across both files: heap metadata (magic, record
+  /// count vs heap pages), every record well-formed (valid id, start <= end,
+  /// finite average), the index tree's own `Validate()`, and exact
+  /// heap/index agreement (one entry per record, key == start date).
+  /// Reports the exact violations as `Status::Corruption`.
+  Status Validate();
+
  private:
   DiskBurstTable(std::unique_ptr<storage::Pager> heap,
                  std::unique_ptr<storage::DiskBPlusTree> index)

@@ -16,8 +16,10 @@ namespace s2 {
 /// construction from a non-OK `Status` yields an error. Accessing the value
 /// of an error result aborts, so callers must check `ok()` first (or use the
 /// `S2_ASSIGN_OR_RETURN` macro).
+/// Like `Status`, `Result` is `[[nodiscard]]`: discarding one silently drops
+/// both the value and any error it carries.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs a successful result holding `value`.
   Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)

@@ -26,6 +26,11 @@ enum class StatusCode {
   kUnavailable = 7,       ///< Transient overload/shutdown; retrying may work.
   kDeadlineExceeded = 8,  ///< The request's deadline passed before completion.
   kCancelled = 9,         ///< The caller cancelled the request.
+  // Diagnostics-layer code (src/diag): persistent state failed a structural
+  // check — bad magic, out-of-range pointer, broken ordering invariant.
+  // Unlike kIoError (the *transport* failed) this means the *bytes* are
+  // wrong; retrying will not help and the image should be quarantined.
+  kCorruption = 10,
 };
 
 /// Human-readable name of a status code (e.g. "InvalidArgument").
@@ -40,7 +45,12 @@ std::string_view StatusCodeToString(StatusCode code);
 /// Status s = store.Open(path);
 /// if (!s.ok()) return s;
 /// ```
-class Status {
+///
+/// The class itself is `[[nodiscard]]`: every function returning a `Status`
+/// must have its result checked (or explicitly discarded with a `(void)`
+/// cast). Combined with `-Werror=unused-result` this makes silently dropped
+/// errors a compile failure.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;
@@ -82,6 +92,9 @@ class Status {
   }
   static Status Cancelled(std::string message) {
     return Status(StatusCode::kCancelled, std::move(message));
+  }
+  static Status Corruption(std::string message) {
+    return Status(StatusCode::kCorruption, std::move(message));
   }
 
   /// True iff this status represents success.

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "diag/check.h"
+#include "diag/validate.h"
 #include "dsp/stats.h"
 
 namespace s2::core {
@@ -74,7 +76,37 @@ Result<S2Engine> S2Engine::Build(ts::Corpus corpus, const Options& options) {
   }
 
   engine.corpus_ = std::move(corpus);
+  S2_DCHECK_OK(engine.ValidateInvariants());
   return engine;
+}
+
+Status S2Engine::ValidateInvariants() const {
+  S2_RETURN_NOT_OK(index_->Validate());
+  S2_RETURN_NOT_OK(long_bursts_.Validate());
+  S2_RETURN_NOT_OK(short_bursts_.Validate());
+
+  diag::Validator v("S2Engine");
+  v.Check(corpus_.size() == standardized_.size())
+      << "corpus holds " << corpus_.size() << " series but "
+      << standardized_.size() << " standardized rows exist";
+  v.Check(index_->size() == corpus_.size())
+      << "index holds " << index_->size() << " objects for a corpus of "
+      << corpus_.size();
+  const size_t length = standardized_.empty() ? 0 : standardized_.front().size();
+  for (size_t id = 0; id < standardized_.size(); ++id) {
+    v.Check(standardized_[id].size() == length)
+        << "standardized row " << id << " has length "
+        << standardized_[id].size() << ", expected " << length;
+  }
+  for (const auto& [name, id] : by_name_) {
+    v.Check(id < corpus_.size())
+        << "catalog name '" << name << "' maps to out-of-range id " << id;
+  }
+  v.Check(source_ != nullptr && source_->num_series() == corpus_.size())
+      << "sequence source holds "
+      << (source_ == nullptr ? 0 : source_->num_series())
+      << " series for a corpus of " << corpus_.size();
+  return v.ToStatus();
 }
 
 Result<ts::SeriesId> S2Engine::FindByName(std::string_view name) const {
@@ -116,6 +148,7 @@ Result<ts::SeriesId> S2Engine::AddSeries(ts::TimeSeries series) {
   standardized_.push_back(std::move(z));
   by_name_.emplace(series.name, id);
   corpus_.Add(std::move(series));
+  S2_DCHECK_OK(ValidateInvariants());
   return id;
 }
 

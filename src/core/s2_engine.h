@@ -144,6 +144,14 @@ class S2Engine {
   storage::SequenceSource* source() const { return source_.get(); }
   const Options& options() const { return options_; }
 
+  /// Cross-structure self-check: validates the VP-tree (structure only —
+  /// the exact-distance pass is the index's own opt-in) and both burst
+  /// tables, then the engine-level agreement between them: catalog names
+  /// resolving to in-range ids, one standardized row of the corpus length
+  /// per series, and the index population matching the corpus. `Build` and
+  /// `AddSeries` run this under `S2_DCHECK_OK` in checked builds.
+  Status ValidateInvariants() const;
+
  private:
   S2Engine() = default;
 

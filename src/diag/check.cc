@@ -1,0 +1,44 @@
+#include "diag/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace s2::diag {
+
+namespace {
+
+void DefaultHandler(const CheckFailure& failure) {
+  const std::string report = FormatCheckFailure(failure);
+  std::fprintf(stderr, "%s\n", report.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+CheckFailureHandler g_handler = &DefaultHandler;
+
+}  // namespace
+
+std::string FormatCheckFailure(const CheckFailure& failure) {
+  std::string out = failure.location.file;
+  out += ':';
+  out += std::to_string(failure.location.line);
+  out += failure.is_dcheck ? ": S2_DCHECK(" : ": S2_CHECK(";
+  out += failure.condition;
+  out += ") failed in ";
+  out += failure.location.function;
+  if (!failure.message.empty()) {
+    out += ": ";
+    out += failure.message;
+  }
+  return out;
+}
+
+CheckFailureHandler SetCheckFailureHandler(CheckFailureHandler handler) {
+  CheckFailureHandler previous = g_handler;
+  g_handler = handler != nullptr ? handler : &DefaultHandler;
+  return previous;
+}
+
+void ReportCheckFailure(const CheckFailure& failure) { g_handler(failure); }
+
+}  // namespace s2::diag

@@ -1,0 +1,144 @@
+#ifndef S2_DIAG_CHECK_H_
+#define S2_DIAG_CHECK_H_
+
+#include <sstream>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace s2::diag {
+
+/// Where a check was written (captured by the S2_CHECK macros; the library
+/// targets C++20 with GCC 12 where `std::source_location` is available, but
+/// macro capture keeps the *caller's* location through helper functions and
+/// costs nothing in the happy path).
+struct SourceLocation {
+  const char* file = "";
+  int line = 0;
+  const char* function = "";
+};
+
+/// A structured assertion-failure report. The default handler renders it to
+/// stderr and aborts; tests install a capturing handler to assert on the
+/// exact condition/location instead of dying.
+struct CheckFailure {
+  SourceLocation location;
+  /// The literal condition text, e.g. "pin_count >= 0".
+  std::string condition;
+  /// The streamed message, e.g. "frame 3 of page 17".
+  std::string message;
+  /// True for S2_DCHECK failures (debug-only checks).
+  bool is_dcheck = false;
+};
+
+/// "file:line: S2_CHECK(cond) failed in function: message".
+std::string FormatCheckFailure(const CheckFailure& failure);
+
+/// Receives every check failure. Handlers may return (the macro then
+/// continues after the failed check), which is how tests observe failures;
+/// the default handler never returns.
+using CheckFailureHandler = void (*)(const CheckFailure& failure);
+
+/// Installs `handler` (nullptr restores the default abort handler) and
+/// returns the previous one. Not thread-safe; intended for test setup.
+CheckFailureHandler SetCheckFailureHandler(CheckFailureHandler handler);
+
+/// Routes a failure to the installed handler. Used by the macros; callable
+/// directly by code that detects a violation without a boolean condition.
+void ReportCheckFailure(const CheckFailure& failure);
+
+namespace internal {
+
+/// Collects the streamed message of one failing check and fires the handler
+/// from its destructor, so `S2_CHECK(x) << "detail " << v;` reports after
+/// the whole message is assembled.
+class CheckStream {
+ public:
+  CheckStream(SourceLocation location, const char* condition, bool is_dcheck)
+      : location_(location), condition_(condition), is_dcheck_(is_dcheck) {}
+  ~CheckStream() {
+    ReportCheckFailure(
+        CheckFailure{location_, condition_, stream_.str(), is_dcheck_});
+  }
+  CheckStream(const CheckStream&) = delete;
+  CheckStream& operator=(const CheckStream&) = delete;
+
+  template <typename T>
+  CheckStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  SourceLocation location_;
+  const char* condition_;
+  bool is_dcheck_;
+  std::ostringstream stream_;
+};
+
+/// `operator&` binds looser than `<<`, letting the ternary in S2_CHECK
+/// swallow the whole stream expression as one void operand.
+struct Voidify {
+  void operator&(const CheckStream&) {}
+};
+
+}  // namespace internal
+}  // namespace s2::diag
+
+#define S2_DIAG_SOURCE_LOCATION() \
+  ::s2::diag::SourceLocation { __FILE__, __LINE__, __func__ }
+
+#define S2_DIAG_CHECK_IMPL_(cond, text, is_dcheck)          \
+  (__builtin_expect(static_cast<bool>(cond), 1))            \
+      ? (void)0                                             \
+      : ::s2::diag::internal::Voidify() &                   \
+            ::s2::diag::internal::CheckStream(              \
+                S2_DIAG_SOURCE_LOCATION(), text, is_dcheck)
+
+/// Always-on invariant assertion. Streams an optional message:
+///   S2_CHECK(count <= capacity) << "page " << id;
+#define S2_CHECK(cond) S2_DIAG_CHECK_IMPL_((cond), #cond, false)
+
+/// Always-on assertion that `expr` (a Status or Result) is OK; the failure
+/// report carries the status text.
+#define S2_CHECK_OK(expr)                                          \
+  ::s2::diag::internal::CheckOkImpl((expr), S2_DIAG_SOURCE_LOCATION(), \
+                                    #expr, false)
+
+// S2_DCHECK compiles away in optimized builds unless explicitly kept:
+// sanitizer configurations define S2_DIAG_DCHECK_ENABLED so the self-checks
+// run exactly where the extra cost buys detection power.
+#if !defined(NDEBUG) || defined(S2_DIAG_DCHECK_ENABLED)
+#define S2_DIAG_DCHECK_IS_ON 1
+#define S2_DCHECK(cond) S2_DIAG_CHECK_IMPL_((cond), #cond, true)
+#define S2_DCHECK_OK(expr)                                             \
+  ::s2::diag::internal::CheckOkImpl((expr), S2_DIAG_SOURCE_LOCATION(), \
+                                    #expr, true)
+#else
+#define S2_DIAG_DCHECK_IS_ON 0
+#define S2_DCHECK(cond) \
+  S2_DIAG_CHECK_IMPL_(true || (cond), #cond, true)
+#define S2_DCHECK_OK(expr) \
+  do {                     \
+  } while (false)
+#endif
+
+namespace s2::diag::internal {
+
+inline void CheckOkImpl(const ::s2::Status& status, SourceLocation location,
+                        const char* expr_text, bool is_dcheck) {
+  if (__builtin_expect(status.ok(), 1)) return;
+  ReportCheckFailure(CheckFailure{location, expr_text,
+                                  status.ToString(), is_dcheck});
+}
+
+template <typename T>
+void CheckOkImpl(const ::s2::Result<T>& result, SourceLocation location,
+                 const char* expr_text, bool is_dcheck) {
+  CheckOkImpl(result.status(), location, expr_text, is_dcheck);
+}
+
+}  // namespace s2::diag::internal
+
+#endif  // S2_DIAG_CHECK_H_

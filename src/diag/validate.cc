@@ -1,0 +1,35 @@
+#include "diag/validate.h"
+
+namespace s2::diag {
+
+void Validator::AddViolation(std::string detail) {
+  ++violation_count_;
+  if (violations_.size() < kMaxViolations) {
+    violations_.push_back(std::move(detail));
+  }
+}
+
+Status Validator::ToStatus() const {
+  if (ok()) return Status::OK();
+  std::string message = structure_;
+  message += ": ";
+  for (size_t i = 0; i < violations_.size(); ++i) {
+    if (i > 0) message += "; ";
+    message += violations_[i];
+  }
+  if (violation_count_ > violations_.size()) {
+    message += "; +";
+    message += std::to_string(violation_count_ - violations_.size());
+    message += " more violation(s)";
+  }
+  return Status::Corruption(std::move(message));
+}
+
+Status CorruptionError(std::string_view structure, std::string_view detail) {
+  std::string message(structure);
+  message += ": ";
+  message += detail;
+  return Status::Corruption(std::move(message));
+}
+
+}  // namespace s2::diag

@@ -1,0 +1,90 @@
+#ifndef S2_DIAG_VALIDATE_H_
+#define S2_DIAG_VALIDATE_H_
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace s2::diag {
+
+/// Shared substrate of the `Validate()` structural validators (VP/MVP-tree,
+/// B+-trees, pager, sequence store, burst tables).
+///
+/// A validator is named after the structure it checks and collects precise
+/// violation messages:
+///
+/// ```
+/// diag::Validator v("DiskBPlusTree");
+/// v.Check(key_prev <= key) << "page " << id << " slot " << i
+///                          << ": keys out of order";
+/// return v.ToStatus();  // OK, or Corruption("DiskBPlusTree: page 7 ...")
+/// ```
+///
+/// The stream after `Check` is only materialized when the condition fails,
+/// so clean validation runs allocate nothing per check. All violations (up
+/// to a cap) are reported in one `Status`, which lets tests assert on the
+/// *exact* violation text and operators see every broken invariant at once.
+class Validator {
+ public:
+  /// Message collector for one failing check; no-op for passing checks.
+  class Proxy {
+   public:
+    explicit Proxy(Validator* owner)
+        : owner_(owner),
+          stream_(owner != nullptr ? new std::ostringstream : nullptr) {}
+    ~Proxy() {
+      if (owner_ != nullptr) owner_->AddViolation(stream_->str());
+    }
+    Proxy(Proxy&&) = delete;
+    Proxy& operator=(Proxy&&) = delete;
+
+    template <typename T>
+    Proxy& operator<<(const T& value) {
+      if (stream_ != nullptr) *stream_ << value;
+      return *this;
+    }
+
+   private:
+    Validator* owner_;
+    std::unique_ptr<std::ostringstream> stream_;
+  };
+
+  explicit Validator(std::string_view structure) : structure_(structure) {}
+
+  /// Records a violation when `condition` is false; stream the description
+  /// of what broke (it is dropped when the condition holds).
+  Proxy Check(bool condition) { return Proxy(condition ? nullptr : this); }
+
+  /// Records a violation unconditionally.
+  void AddViolation(std::string detail);
+
+  /// True while no violation has been recorded.
+  bool ok() const { return violation_count_ == 0; }
+
+  /// Violations recorded so far (capped at `kMaxViolations`; the count is
+  /// exact even beyond the cap).
+  const std::vector<std::string>& violations() const { return violations_; }
+  size_t violation_count() const { return violation_count_; }
+
+  /// OK when clean; otherwise `Corruption("<structure>: v1; v2; ...")`.
+  Status ToStatus() const;
+
+  /// Most violations kept verbatim; later ones only counted.
+  static constexpr size_t kMaxViolations = 8;
+
+ private:
+  std::string structure_;
+  std::vector<std::string> violations_;
+  size_t violation_count_ = 0;
+};
+
+/// Canonical single-violation corruption status: "<structure>: <detail>".
+Status CorruptionError(std::string_view structure, std::string_view detail);
+
+}  // namespace s2::diag
+
+#endif  // S2_DIAG_VALIDATE_H_

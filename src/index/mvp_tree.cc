@@ -4,8 +4,10 @@
 #include <cmath>
 #include <limits>
 #include <numeric>
+#include <unordered_set>
 
 #include "common/rng.h"
+#include "diag/validate.h"
 #include "dsp/stats.h"
 
 namespace s2::index {
@@ -300,6 +302,124 @@ Result<std::vector<Neighbor>> MvpTreeIndex::Search(const std::vector<double>& qu
     best.Offer(candidate.id, dist);
   }
   return std::move(best).Take();
+}
+
+Status MvpTreeIndex::Validate(storage::SequenceSource* source) const {
+  diag::Validator v("MvpTreeIndex");
+  const int32_t limit = static_cast<int32_t>(nodes_.size());
+  v.Check(root_ >= -1 && root_ < limit)
+      << "root " << root_ << " out of range (have " << limit << " nodes)";
+  if (!v.ok()) return v.ToStatus();
+
+  std::vector<uint8_t> visited(nodes_.size(), 0);
+  std::unordered_set<ts::SeriesId> seen_ids;
+  size_t objects = 0;
+  std::vector<int32_t> stack;
+  if (root_ >= 0) stack.push_back(root_);
+  while (!stack.empty()) {
+    const int32_t id = stack.back();
+    stack.pop_back();
+    if (id < 0 || id >= limit) {
+      v.AddViolation("child pointer " + std::to_string(id) + " out of range");
+      continue;
+    }
+    if (visited[static_cast<size_t>(id)] != 0) {
+      v.AddViolation("node " + std::to_string(id) +
+                     " reachable twice (cycle or shared child)");
+      continue;
+    }
+    visited[static_cast<size_t>(id)] = 1;
+    const Node& node = nodes_[static_cast<size_t>(id)];
+    if (node.leaf) {
+      for (int c = 0; c < 4; ++c) {
+        v.Check(node.children[c] == -1) << "leaf node " << id << " has children";
+      }
+      for (const Entry& entry : node.bucket) {
+        ++objects;
+        v.Check(seen_ids.insert(entry.id).second)
+            << "series " << entry.id << " indexed twice";
+      }
+    } else {
+      v.Check(std::isfinite(node.mu1) && node.mu1 >= 0.0)
+          << "internal node " << id << " has invalid vp1 radius " << node.mu1;
+      v.Check(std::isfinite(node.mu2_left) && node.mu2_left >= 0.0 &&
+              std::isfinite(node.mu2_right) && node.mu2_right >= 0.0)
+          << "internal node " << id << " has invalid vp2 radii";
+      v.Check(node.bucket.empty())
+          << "internal node " << id << " carries a leaf bucket";
+      ++objects;
+      v.Check(seen_ids.insert(node.vp1.id).second)
+          << "series " << node.vp1.id << " indexed twice";
+      if (node.has_vp2) {
+        ++objects;
+        v.Check(seen_ids.insert(node.vp2.id).second)
+            << "series " << node.vp2.id << " indexed twice";
+      }
+      for (int c = 0; c < 4; ++c) {
+        if (node.children[c] != -1) stack.push_back(node.children[c]);
+      }
+    }
+  }
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    v.Check(visited[i] != 0) << "node " << i << " unreachable from the root";
+  }
+  v.Check(objects == num_objects_)
+      << "census finds " << objects << " objects, index claims " << num_objects_;
+
+  // Two-vantage metric invariant with exact distances: child c holds the
+  // population with d1 on the (c < 2 ? near : far) side of mu1 and d2 on the
+  // (c even ? near : far) side of the matching mu2.
+  if (source != nullptr && v.ok()) {
+    constexpr double kSlack = 1e-9;
+    for (int32_t id = 0; id < limit; ++id) {
+      const Node& node = nodes_[static_cast<size_t>(id)];
+      if (node.leaf) continue;
+      S2_ASSIGN_OR_RETURN(std::vector<double> vp1_row, source->Get(node.vp1.id));
+      std::vector<double> vp2_row;
+      if (node.has_vp2) {
+        S2_ASSIGN_OR_RETURN(vp2_row, source->Get(node.vp2.id));
+      }
+      for (int c = 0; c < 4; ++c) {
+        if (node.children[c] == -1) continue;
+        const bool near1 = c < 2;
+        const bool near2 = (c % 2) == 0;
+        const double mu2 = near1 ? node.mu2_left : node.mu2_right;
+        std::vector<int32_t> sub{node.children[c]};
+        while (!sub.empty()) {
+          const int32_t cur = sub.back();
+          sub.pop_back();
+          const Node& n = nodes_[static_cast<size_t>(cur)];
+          std::vector<ts::SeriesId> ids;
+          if (n.leaf) {
+            for (const Entry& entry : n.bucket) ids.push_back(entry.id);
+          } else {
+            ids.push_back(n.vp1.id);
+            if (n.has_vp2) ids.push_back(n.vp2.id);
+            for (int cc = 0; cc < 4; ++cc) {
+              if (n.children[cc] != -1) sub.push_back(n.children[cc]);
+            }
+          }
+          for (ts::SeriesId object : ids) {
+            S2_ASSIGN_OR_RETURN(std::vector<double> row, source->Get(object));
+            const double d1 = ExactDistance(vp1_row, row);
+            v.Check(near1 ? d1 <= node.mu1 + kSlack : d1 >= node.mu1 - kSlack)
+                << "series " << object << " in child " << c << " of node " << id
+                << " violates the vp1 window (d1 " << d1 << ", mu1 "
+                << node.mu1 << ")";
+            if (node.has_vp2) {
+              const double d2 = ExactDistance(vp2_row, row);
+              v.Check(near2 ? d2 <= mu2 + kSlack : d2 >= mu2 - kSlack)
+                  << "series " << object << " in child " << c << " of node "
+                  << id << " violates the vp2 window (d2 " << d2 << ", mu2 "
+                  << mu2 << ")";
+            }
+          }
+          if (!v.ok()) return v.ToStatus();
+        }
+      }
+    }
+  }
+  return v.ToStatus();
 }
 
 size_t MvpTreeIndex::CompressedBytes() const {

@@ -66,7 +66,18 @@ class MvpTreeIndex {
   size_t size() const { return num_objects_; }
   const Options& options() const { return options_; }
 
+  /// Structural self-check: child pointers in range, no node reachable
+  /// twice, every node reachable, the object census matching `size()`,
+  /// leaves childless and internals bucket-free, split radii finite and
+  /// non-negative, and no id indexed twice. With a non-null `source`, also
+  /// verifies the two-vantage metric invariant with exact distances: each
+  /// child's population respects its distance window around vp1 (mu1) and
+  /// vp2 (mu2_left / mu2_right). Reports violations as `Status::Corruption`.
+  Status Validate(storage::SequenceSource* source = nullptr) const;
+
  private:
+  friend struct MvpTreeTestPeer;  // Corruption injection in validator tests.
+
   struct Builder;
 
   struct Entry {

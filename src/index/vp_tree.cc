@@ -7,8 +7,10 @@
 #include <cstring>
 #include <memory>
 #include <numeric>
+#include <unordered_set>
 
 #include "common/rng.h"
+#include "diag/validate.h"
 #include "repr/feature_store.h"
 #include "dsp/stats.h"
 
@@ -524,6 +526,14 @@ Result<VpTreeIndex> VpTreeIndex::Load(const std::string& path) {
   }
   std::FILE* f = file.get();
 
+  if (std::fseek(f, 0, SEEK_END) != 0) {
+    return Status::IoError("VpTreeIndex::Load: seek failed on " + path);
+  }
+  const long file_size = std::ftell(f);
+  if (file_size < 0 || std::fseek(f, 0, SEEK_SET) != 0) {
+    return Status::IoError("VpTreeIndex::Load: cannot determine size of " + path);
+  }
+
   char magic[sizeof(kIndexMagic)];
   uint8_t repr_kind = 0;
   uint8_t basis = 0;
@@ -546,7 +556,25 @@ Result<VpTreeIndex> VpTreeIndex::Load(const std::string& path) {
             ReadScalar(f, &num_objects) && ReadScalar(f, &num_tombstones) &&
             ReadScalar(f, &root) && ReadScalar(f, &node_count);
   if (!ok || repr_kind > 3 || basis > 1 || method > 6) {
-    return Status::IoError("VpTreeIndex::Load: bad header in " + path);
+    return Status::Corruption("VpTreeIndex::Load: bad header in " + path);
+  }
+  // Bound the declared node count by the bytes actually present (the
+  // smallest node is an empty leaf), so a corrupt header cannot trigger a
+  // huge reserve.
+  constexpr uint64_t kMinNodeBytes = 2 * sizeof(uint8_t) + sizeof(double) +
+                                     2 * sizeof(int32_t) + sizeof(uint64_t);
+  constexpr uint64_t kHeaderBytes = sizeof(kIndexMagic) + 3 * sizeof(uint8_t) +
+                                    2 * sizeof(uint64_t) + sizeof(double) +
+                                    sizeof(uint8_t) + sizeof(uint32_t) +
+                                    2 * sizeof(uint64_t) + sizeof(int32_t) +
+                                    sizeof(uint64_t);
+  if (node_count > (static_cast<uint64_t>(file_size) - kHeaderBytes) /
+                       kMinNodeBytes ||
+      node_count > static_cast<uint64_t>(
+                       std::numeric_limits<int32_t>::max())) {
+    return Status::Corruption("VpTreeIndex::Load: node count " +
+                              std::to_string(node_count) +
+                              " exceeds the file size in " + path);
   }
 
   Options options;
@@ -567,39 +595,165 @@ Result<VpTreeIndex> VpTreeIndex::Load(const std::string& path) {
     if (!ReadScalar(f, &leaf) || !ReadScalar(f, &deleted) ||
         !ReadScalar(f, &node.median) || !ReadScalar(f, &node.left) ||
         !ReadScalar(f, &node.right)) {
-      return Status::IoError("VpTreeIndex::Load: truncated node");
+      return Status::Corruption("VpTreeIndex::Load: truncated node");
     }
     node.leaf = leaf != 0;
     node.vantage_deleted = deleted != 0;
     if (node.leaf) {
       uint64_t bucket_size = 0;
       if (!ReadScalar(f, &bucket_size) || bucket_size > (1u << 24)) {
-        return Status::IoError("VpTreeIndex::Load: corrupt bucket");
+        return Status::Corruption("VpTreeIndex::Load: corrupt bucket");
       }
       node.bucket.reserve(bucket_size);
       for (uint64_t b = 0; b < bucket_size; ++b) {
         Entry entry;
         if (!ReadScalar(f, &entry.id)) {
-          return Status::IoError("VpTreeIndex::Load: truncated entry");
+          return Status::Corruption("VpTreeIndex::Load: truncated entry");
         }
         S2_ASSIGN_OR_RETURN(entry.repr, repr::ReadFeatureRecord(f));
         node.bucket.push_back(std::move(entry));
       }
     } else {
       if (!ReadScalar(f, &node.vantage.id)) {
-        return Status::IoError("VpTreeIndex::Load: truncated vantage");
+        return Status::Corruption("VpTreeIndex::Load: truncated vantage");
       }
       S2_ASSIGN_OR_RETURN(node.vantage.repr, repr::ReadFeatureRecord(f));
     }
     nodes.push_back(std::move(node));
   }
   if (root < -1 || root >= static_cast<int32_t>(nodes.size())) {
-    return Status::IoError("VpTreeIndex::Load: root out of range");
+    return Status::Corruption("VpTreeIndex::Load: root out of range");
+  }
+  // Child pointers must stay inside the node array: an out-of-range id
+  // would be followed blindly by Search/Insert.
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const Node& node = nodes[i];
+    const int32_t limit = static_cast<int32_t>(nodes.size());
+    if (node.left < -1 || node.left >= limit || node.right < -1 ||
+        node.right >= limit) {
+      return Status::Corruption("VpTreeIndex::Load: node " + std::to_string(i) +
+                                " has an out-of-range child in " + path);
+    }
   }
   VpTreeIndex index(options, std::move(nodes), root,
                     static_cast<size_t>(num_objects), series_length);
   index.num_tombstones_ = static_cast<size_t>(num_tombstones);
   return index;
+}
+
+Status VpTreeIndex::Validate(storage::SequenceSource* source) const {
+  diag::Validator v("VpTreeIndex");
+  const int32_t limit = static_cast<int32_t>(nodes_.size());
+  v.Check(root_ >= -1 && root_ < limit)
+      << "root " << root_ << " out of range (have " << limit << " nodes)";
+  if (!v.ok()) return v.ToStatus();
+
+  // Reachability walk: every node exactly once, counting objects and
+  // tombstones along the way.
+  std::vector<uint8_t> visited(nodes_.size(), 0);
+  std::unordered_set<ts::SeriesId> seen_ids;
+  size_t objects = 0;
+  size_t tombstones = 0;
+  std::vector<int32_t> stack;
+  if (root_ >= 0) stack.push_back(root_);
+  while (!stack.empty()) {
+    const int32_t id = stack.back();
+    stack.pop_back();
+    if (id < 0 || id >= limit) {
+      v.AddViolation("child pointer " + std::to_string(id) + " out of range");
+      continue;
+    }
+    if (visited[static_cast<size_t>(id)] != 0) {
+      v.AddViolation("node " + std::to_string(id) +
+                     " reachable twice (cycle or shared child)");
+      continue;
+    }
+    visited[static_cast<size_t>(id)] = 1;
+    const Node& node = nodes_[static_cast<size_t>(id)];
+    if (node.leaf) {
+      v.Check(node.left == -1 && node.right == -1)
+          << "leaf node " << id << " has children";
+      for (const Entry& entry : node.bucket) {
+        ++objects;
+        v.Check(seen_ids.insert(entry.id).second)
+            << "series " << entry.id << " indexed twice";
+      }
+    } else {
+      v.Check(std::isfinite(node.median) && node.median >= 0.0)
+          << "internal node " << id << " has invalid split radius "
+          << node.median;
+      v.Check(node.bucket.empty())
+          << "internal node " << id << " carries a leaf bucket";
+      if (node.vantage_deleted) {
+        ++tombstones;
+      } else {
+        ++objects;
+        v.Check(seen_ids.insert(node.vantage.id).second)
+            << "series " << node.vantage.id << " indexed twice";
+      }
+      if (node.left != -1) stack.push_back(node.left);
+      if (node.right != -1) stack.push_back(node.right);
+    }
+  }
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    v.Check(visited[i] != 0) << "node " << i << " unreachable from the root";
+  }
+  v.Check(objects == num_objects_)
+      << "census finds " << objects << " objects, index claims " << num_objects_;
+  v.Check(tombstones == num_tombstones_)
+      << "census finds " << tombstones << " tombstones, index claims "
+      << num_tombstones_;
+
+  // Metric invariant, checked with exact distances when full sequences are
+  // available: the construction and insertion both route dist < median to
+  // the left child, so every left-subtree object lies within the radius and
+  // every right-subtree object at (or beyond) it.
+  if (source != nullptr && v.ok()) {
+    constexpr double kSlack = 1e-9;  // FP noise across distance re-computation.
+    for (int32_t id = 0; id < limit; ++id) {
+      const Node& node = nodes_[static_cast<size_t>(id)];
+      if (node.leaf) continue;
+      S2_ASSIGN_OR_RETURN(std::vector<double> vantage_row,
+                          source->Get(node.vantage.id));
+      for (int side = 0; side < 2; ++side) {
+        const int32_t child = side == 0 ? node.left : node.right;
+        if (child == -1) continue;
+        // Collect the subtree's object ids.
+        std::vector<int32_t> sub{child};
+        while (!sub.empty()) {
+          const int32_t cur = sub.back();
+          sub.pop_back();
+          const Node& n = nodes_[static_cast<size_t>(cur)];
+          std::vector<ts::SeriesId> ids;
+          if (n.leaf) {
+            for (const Entry& entry : n.bucket) ids.push_back(entry.id);
+          } else {
+            if (!n.vantage_deleted) ids.push_back(n.vantage.id);
+            if (n.left != -1) sub.push_back(n.left);
+            if (n.right != -1) sub.push_back(n.right);
+          }
+          for (ts::SeriesId object : ids) {
+            S2_ASSIGN_OR_RETURN(std::vector<double> row, source->Get(object));
+            const double dist = ExactDistance(vantage_row, row);
+            if (side == 0) {
+              v.Check(dist <= node.median + kSlack)
+                  << "series " << object << " sits in the left subtree of node "
+                  << id << " but lies " << dist << " from the vantage point"
+                  << " (radius " << node.median << ")";
+            } else {
+              v.Check(dist >= node.median - kSlack)
+                  << "series " << object
+                  << " sits in the right subtree of node " << id
+                  << " but lies " << dist << " from the vantage point"
+                  << " (radius " << node.median << ")";
+            }
+          }
+          if (!v.ok()) return v.ToStatus();
+        }
+      }
+    }
+  }
+  return v.ToStatus();
 }
 
 size_t VpTreeIndex::CompressedBytes() const {

@@ -128,6 +128,17 @@ class VpTreeIndex {
   /// Loads an index previously written by `Save`.
   static Result<VpTreeIndex> Load(const std::string& path);
 
+  /// Structural self-check: child pointers in range, no node reachable
+  /// twice, every node reachable from the root, object/tombstone counts
+  /// matching the per-node census, leaves childless and internals
+  /// bucket-free, split radii finite and non-negative, and no id indexed
+  /// twice. When `source` is non-null, additionally verifies the metric
+  /// invariant with exact distances: every object in a left subtree lies
+  /// within its vantage radius, every right-subtree object at or beyond it
+  /// (one `Get` per indexed object — expensive, test/debug use). Reports the
+  /// exact violations as `Status::Corruption`.
+  Status Validate(storage::SequenceSource* source = nullptr) const;
+
   /// Total bytes of all compressed representations held by the index (the
   /// paper's compact-index size claim), excluding pointer overhead.
   size_t CompressedBytes() const;
@@ -138,6 +149,8 @@ class VpTreeIndex {
   const Options& options() const { return options_; }
 
  private:
+  friend struct VpTreeTestPeer;  // Corruption injection in validator tests.
+
   struct Builder;  // Construction helper, defined in vp_tree.cc.
 
   struct Entry {

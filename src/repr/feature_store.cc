@@ -42,7 +42,7 @@ Result<ReprKind> KindFromByte(uint8_t byte) {
     case 3:
       return ReprKind::kBestKError;
   }
-  return Status::IoError("feature store: unknown representation kind");
+  return Status::Corruption("feature store: unknown representation kind");
 }
 
 }  // namespace
@@ -91,17 +91,19 @@ Result<CompressedSpectrum> ReadFeatureRecord(std::FILE* f) {
   uint16_t position_count = 0;
   if (!ReadScalar(f, &kind_byte) || !ReadScalar(f, &basis_byte) ||
       !ReadScalar(f, &n) || !ReadScalar(f, &position_count)) {
-    return Status::IoError("ReadFeatureRecord: truncated feature header");
+    return Status::Corruption("ReadFeatureRecord: truncated feature header");
   }
   S2_ASSIGN_OR_RETURN(ReprKind kind, KindFromByte(kind_byte));
-  if (basis_byte > 1) return Status::IoError("ReadFeatureRecord: unknown basis");
+  if (basis_byte > 1) {
+    return Status::Corruption("ReadFeatureRecord: unknown basis");
+  }
   const Basis basis = static_cast<Basis>(basis_byte);
 
   std::vector<uint32_t> positions(position_count);
   for (uint16_t p = 0; p < position_count; ++p) {
     uint16_t position = 0;
     if (!ReadScalar(f, &position)) {
-      return Status::IoError("ReadFeatureRecord: truncated positions");
+      return Status::Corruption("ReadFeatureRecord: truncated positions");
     }
     positions[p] = position;
   }
@@ -110,14 +112,14 @@ Result<CompressedSpectrum> ReadFeatureRecord(std::FILE* f) {
     double re = 0;
     double im = 0;
     if (!ReadScalar(f, &re) || !ReadScalar(f, &im)) {
-      return Status::IoError("ReadFeatureRecord: truncated coefficients");
+      return Status::Corruption("ReadFeatureRecord: truncated coefficients");
     }
     coeffs[p] = Complex(re, im);
   }
   double error = 0;
   double min_power = 0;
   if (!ReadScalar(f, &error) || !ReadScalar(f, &min_power)) {
-    return Status::IoError("ReadFeatureRecord: truncated footer");
+    return Status::Corruption("ReadFeatureRecord: truncated footer");
   }
   // NaN error / infinite min_power round-trip through FromParts defaults.
   if (std::isnan(error)) error = 0.0;
@@ -131,11 +133,34 @@ Result<std::vector<CompressedSpectrum>> ReadFeatures(const std::string& path) {
   if (file == nullptr) return Status::IoError("ReadFeatures: cannot open " + path);
   std::FILE* f = file.get();
 
+  if (std::fseek(f, 0, SEEK_END) != 0) {
+    return Status::IoError("ReadFeatures: seek failed on " + path);
+  }
+  const long file_size = std::ftell(f);
+  if (file_size < 0 || std::fseek(f, 0, SEEK_SET) != 0) {
+    return Status::IoError("ReadFeatures: cannot determine size of " + path);
+  }
+
   char magic[sizeof(kMagic)];
   uint64_t count = 0;
   if (std::fread(magic, 1, sizeof(magic), f) != sizeof(magic) ||
-      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0 || !ReadScalar(f, &count)) {
-    return Status::IoError("ReadFeatures: bad header in " + path);
+      !ReadScalar(f, &count)) {
+    return Status::Corruption("ReadFeatures: truncated header in " + path);
+  }
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("ReadFeatures: bad magic in " + path);
+  }
+  // Bound the declared count by the bytes actually present, so a corrupt
+  // header cannot trigger a huge reserve. The smallest possible record is
+  // its fixed header plus the two footer doubles.
+  constexpr uint64_t kMinRecordBytes = 2 * sizeof(uint8_t) + sizeof(uint32_t) +
+                                       sizeof(uint16_t) + 2 * sizeof(double);
+  const uint64_t remaining =
+      static_cast<uint64_t>(file_size) - sizeof(kMagic) - sizeof(uint64_t);
+  if (count > remaining / kMinRecordBytes) {
+    return Status::Corruption("ReadFeatures: feature count " +
+                              std::to_string(count) +
+                              " exceeds the file size in " + path);
   }
 
   std::vector<CompressedSpectrum> features;

@@ -3,6 +3,8 @@
 #include <mutex>
 #include <utility>
 
+#include "diag/check.h"
+
 namespace s2::service {
 
 namespace {
@@ -90,6 +92,9 @@ QueryResponse S2Server::Execute(const QueryRequest& request) {
 Result<ts::SeriesId> S2Server::AddSeries(ts::TimeSeries series) {
   std::unique_lock<std::shared_mutex> lock(engine_mu_);
   S2_ASSIGN_OR_RETURN(ts::SeriesId id, engine_.AddSeries(std::move(series)));
+  // Checked builds re-validate the whole engine while no reader can observe
+  // it (we still hold the writer lock).
+  S2_DCHECK_OK(engine_.ValidateInvariants());
   // Invalidate while still holding the writer lock: a reader admitted after
   // us must not see a stale answer re-inserted for the old corpus.
   cache_.Invalidate();

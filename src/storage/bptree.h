@@ -5,10 +5,16 @@
 #include <cassert>
 #include <cstddef>
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
+#include "common/status.h"
+#include "diag/validate.h"
+
 namespace s2::storage {
+
+struct BPlusTreeTestPeer;  // Grants tests access for corruption injection.
 
 /// An in-memory B+-tree with multimap semantics.
 ///
@@ -145,17 +151,28 @@ class BPlusTree {
   }
 
   /// Validates all structural invariants (sortedness, fill factors,
-  /// separator consistency, leaf chaining). Tests call this after random
-  /// workloads; returns false on any violation.
-  bool CheckInvariants() const {
+  /// separator consistency, leaf chaining) and reports every violation with
+  /// the path of the offending node, e.g.
+  /// `Corruption: BPlusTree: root.child[1]: keys not sorted`.
+  Status Validate() const {
+    diag::Validator v("BPlusTree");
     const Key* prev_leaf_key = nullptr;
     const Node* expected_next = nullptr;
-    return CheckNode(root_.get(), /*is_root=*/true, nullptr, nullptr,
-                     &prev_leaf_key, &expected_next) &&
-           CountPairs(root_.get()) == size_;
+    ValidateNode(root_.get(), /*is_root=*/true, nullptr, nullptr,
+                 &prev_leaf_key, &expected_next, "root", &v);
+    v.Check(expected_next == nullptr) << "leaf chain does not terminate";
+    const size_t pairs = CountPairs(root_.get());
+    v.Check(pairs == size_)
+        << "stored pair count " << pairs << " != size() " << size_;
+    return v.ToStatus();
   }
 
+  /// Boolean convenience wrapper around `Validate()` (kept for existing
+  /// call sites and quick asserts).
+  bool CheckInvariants() const { return Validate().ok(); }
+
  private:
+  friend struct BPlusTreeTestPeer;
   struct Node {
     explicit Node(bool is_leaf) : leaf(is_leaf) {}
     bool leaf;
@@ -374,38 +391,54 @@ class BPlusTree {
     return total;
   }
 
-  bool CheckNode(const Node* node, bool is_root, const Key* lower,
-                 const Key* upper, const Key** prev_leaf_key,
-                 const Node** expected_next) const {
-    if (!std::is_sorted(node->keys.begin(), node->keys.end())) return false;
-    if (node->keys.size() > Order - 1) return false;
-    if (!is_root && node->keys.size() < kMinKeys) return false;
+  void ValidateNode(const Node* node, bool is_root, const Key* lower,
+                    const Key* upper, const Key** prev_leaf_key,
+                    const Node** expected_next, const std::string& path,
+                    diag::Validator* v) const {
+    v->Check(std::is_sorted(node->keys.begin(), node->keys.end()))
+        << path << ": keys not sorted";
+    v->Check(node->keys.size() <= Order - 1)
+        << path << ": overfull node (" << node->keys.size() << " keys, max "
+        << Order - 1 << ")";
+    v->Check(is_root || node->keys.size() >= kMinKeys)
+        << path << ": underfull node (" << node->keys.size() << " keys, min "
+        << kMinKeys << ")";
     // Bound checks: every key must respect the separator window.
-    for (const Key& k : node->keys) {
-      if (lower != nullptr && k < *lower) return false;
-      if (upper != nullptr && *upper < k) return false;
+    for (size_t i = 0; i < node->keys.size(); ++i) {
+      const Key& k = node->keys[i];
+      v->Check(lower == nullptr || !(k < *lower))
+          << path << " slot " << i << ": key below the separator window";
+      v->Check(upper == nullptr || !(*upper < k))
+          << path << " slot " << i << ": key above the separator window";
     }
     if (node->leaf) {
-      if (node->values.size() != node->keys.size()) return false;
+      v->Check(node->values.size() == node->keys.size())
+          << path << ": leaf has " << node->keys.size() << " keys but "
+          << node->values.size() << " values";
       // Global leaf-key ordering via the chain.
       for (const Key& k : node->keys) {
-        if (*prev_leaf_key != nullptr && k < **prev_leaf_key) return false;
+        v->Check(*prev_leaf_key == nullptr || !(k < **prev_leaf_key))
+            << path << ": leaf chain order violated";
         *prev_leaf_key = &k;
       }
-      if (*expected_next != nullptr && node != *expected_next) return false;
+      v->Check(*expected_next == nullptr || node == *expected_next)
+          << path << ": leaf chain skips or revisits a leaf";
       *expected_next = node->next;
-      return true;
+      return;
     }
-    if (node->children.size() != node->keys.size() + 1) return false;
+    if (node->children.size() != node->keys.size() + 1) {
+      v->AddViolation(path + ": internal fanout mismatch (" +
+                      std::to_string(node->keys.size()) + " keys, " +
+                      std::to_string(node->children.size()) + " children)");
+      return;  // Child windows are meaningless; do not descend.
+    }
     for (size_t i = 0; i < node->children.size(); ++i) {
       const Key* lo = i == 0 ? lower : &node->keys[i - 1];
       const Key* hi = i == node->keys.size() ? upper : &node->keys[i];
-      if (!CheckNode(node->children[i].get(), false, lo, hi, prev_leaf_key,
-                     expected_next)) {
-        return false;
-      }
+      ValidateNode(node->children[i].get(), false, lo, hi, prev_leaf_key,
+                   expected_next, path + ".child[" + std::to_string(i) + "]",
+                   v);
     }
-    return true;
   }
 
   std::unique_ptr<Node> root_;

@@ -57,31 +57,67 @@ Result<ts::Corpus> ReadCorpus(const std::string& path) {
   if (file == nullptr) return Status::IoError("ReadCorpus: cannot open " + path);
   std::FILE* f = file.get();
 
+  // Every declared length below is bounded by the bytes actually remaining
+  // in the file, so a corrupt header can never trigger a huge allocation —
+  // it fails as Corruption before the resize.
+  if (std::fseek(f, 0, SEEK_END) != 0) {
+    return Status::IoError("ReadCorpus: seek failed on " + path);
+  }
+  const long file_size = std::ftell(f);
+  if (file_size < 0 || std::fseek(f, 0, SEEK_SET) != 0) {
+    return Status::IoError("ReadCorpus: cannot determine size of " + path);
+  }
+
   char magic[sizeof(kMagic)];
   uint64_t count = 0;
   if (std::fread(magic, 1, sizeof(magic), f) != sizeof(magic) ||
-      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0 || !ReadScalar(f, &count)) {
-    return Status::IoError("ReadCorpus: bad header in " + path);
+      !ReadScalar(f, &count)) {
+    return Status::Corruption("ReadCorpus: truncated header in " + path);
+  }
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("ReadCorpus: bad magic in " + path);
+  }
+  uint64_t remaining = static_cast<uint64_t>(file_size) - sizeof(kMagic) -
+                       sizeof(uint64_t);
+  // Each series costs at least its fixed-size header fields.
+  constexpr uint64_t kMinSeriesBytes =
+      sizeof(uint32_t) + sizeof(int32_t) + sizeof(uint64_t);
+  if (count > remaining / kMinSeriesBytes) {
+    return Status::Corruption("ReadCorpus: series count " +
+                              std::to_string(count) +
+                              " exceeds the file size in " + path);
   }
   ts::Corpus corpus;
   for (uint64_t i = 0; i < count; ++i) {
     uint32_t name_length = 0;
-    if (!ReadScalar(f, &name_length) || name_length > (1u << 20)) {
-      return Status::IoError("ReadCorpus: corrupt series header");
+    if (!ReadScalar(f, &name_length)) {
+      return Status::Corruption("ReadCorpus: truncated series header in " + path);
+    }
+    remaining -= sizeof(uint32_t);
+    if (name_length > remaining) {
+      return Status::Corruption("ReadCorpus: name length " +
+                                std::to_string(name_length) +
+                                " exceeds the remaining file in " + path);
     }
     ts::TimeSeries series;
     series.name.resize(name_length);
     uint64_t value_count = 0;
     if (std::fread(series.name.data(), 1, name_length, f) != name_length ||
-        !ReadScalar(f, &series.start_day) || !ReadScalar(f, &value_count) ||
-        value_count > (1ull << 32)) {
-      return Status::IoError("ReadCorpus: corrupt series header");
+        !ReadScalar(f, &series.start_day) || !ReadScalar(f, &value_count)) {
+      return Status::Corruption("ReadCorpus: truncated series header in " + path);
+    }
+    remaining -= name_length + sizeof(series.start_day) + sizeof(value_count);
+    if (value_count > remaining / sizeof(double)) {
+      return Status::Corruption("ReadCorpus: value count " +
+                                std::to_string(value_count) +
+                                " exceeds the remaining file in " + path);
     }
     series.values.resize(value_count);
     if (std::fread(series.values.data(), sizeof(double), value_count, f) !=
         value_count) {
-      return Status::IoError("ReadCorpus: truncated values");
+      return Status::Corruption("ReadCorpus: truncated values in " + path);
     }
+    remaining -= value_count * sizeof(double);
     corpus.Add(std::move(series));
   }
   return corpus;

@@ -1,11 +1,17 @@
 #include "storage/disk_bptree.h"
 
+#include <algorithm>
 #include <cstring>
 #include <vector>
 
 namespace s2::storage {
 
 namespace {
+
+// Upper bound on the depth of any legitimate tree: fanout >= 2 and page ids
+// are 32-bit, so 64 levels can never be reached. Exceeding it means a child
+// pointer loops back into the tree.
+constexpr size_t kMaxDepth = 64;
 
 // --- Meta page (page 0) ---------------------------------------------------
 constexpr char kMagic[8] = {'S', '2', 'B', 'P', 'T', 'R', '0', '1'};
@@ -151,6 +157,37 @@ size_t RouteLower(const char* page, int64_t key) {
   return lo;
 }
 
+// Header sanity for a node page loaded from disk. Capacity bounds are
+// strict (stored nodes are always post-split, i.e. below capacity), which
+// also guarantees the insert path's memmove stays inside the page.
+Status CheckNodeHeader(const char* page, PageId page_id, size_t num_pages) {
+  const uint8_t type = NodeType(page);
+  if (type != kLeafType && type != kInternalType) {
+    return diag::CorruptionError(
+        "DiskBPlusTree",
+        "page " + std::to_string(page_id) + " has unknown node type " +
+            std::to_string(type));
+  }
+  const size_t count = Count(page);
+  const size_t capacity = type == kLeafType ? kLeafCapacity : kInternalCapacity;
+  if (count >= capacity) {
+    return diag::CorruptionError(
+        "DiskBPlusTree", "page " + std::to_string(page_id) + " is overfull (" +
+                             std::to_string(count) + " entries, capacity " +
+                             std::to_string(capacity) + ")");
+  }
+  if (type == kLeafType) {
+    const PageId next = Next(page);
+    if (next != kInvalidPageId && (next == 0 || next >= num_pages)) {
+      return diag::CorruptionError(
+          "DiskBPlusTree", "page " + std::to_string(page_id) +
+                               " chains to out-of-range page " +
+                               std::to_string(next));
+    }
+  }
+  return Status::OK();
+}
+
 // RAII unpin guard.
 class Pin {
  public:
@@ -213,12 +250,23 @@ Status DiskBPlusTree::LoadMeta() {
   S2_ASSIGN_OR_RETURN(char* meta, pager_->Fetch(0));
   Pin pin(pager_.get(), 0, meta);
   if (std::memcmp(meta + kMetaMagicOffset, kMagic, sizeof(kMagic)) != 0) {
-    return Status::IoError("DiskBPlusTree: bad magic");
+    return Status::Corruption("DiskBPlusTree: bad magic in meta page");
   }
   root_ = ReadAt<PageId>(meta, kMetaRootOffset);
   size_ = ReadAt<uint64_t>(meta, kMetaSizeOffset);
-  if (root_ == kInvalidPageId || root_ >= pager_->num_pages()) {
-    return Status::IoError("DiskBPlusTree: corrupt root pointer");
+  if (root_ == 0 || root_ == kInvalidPageId || root_ >= pager_->num_pages()) {
+    return Status::Corruption("DiskBPlusTree: root pointer " +
+                              std::to_string(root_) + " out of range (file has " +
+                              std::to_string(pager_->num_pages()) + " pages)");
+  }
+  // A sound tree cannot hold more pairs than its node pages can carry.
+  const uint64_t max_pairs =
+      static_cast<uint64_t>(pager_->num_pages()) * kLeafCapacity;
+  if (size_ > max_pairs) {
+    return Status::Corruption("DiskBPlusTree: pair count " +
+                              std::to_string(size_) +
+                              " impossible for a file of " +
+                              std::to_string(pager_->num_pages()) + " pages");
   }
   return Status::OK();
 }
@@ -232,10 +280,32 @@ Status DiskBPlusTree::StoreMeta() {
   return Status::OK();
 }
 
+Result<char*> DiskBPlusTree::FetchNode(PageId page_id) {
+  if (page_id == 0 || page_id == kInvalidPageId ||
+      page_id >= pager_->num_pages()) {
+    return diag::CorruptionError(
+        "DiskBPlusTree",
+        "node pointer to invalid page " + std::to_string(page_id) +
+            " (file has " + std::to_string(pager_->num_pages()) + " pages)");
+  }
+  S2_ASSIGN_OR_RETURN(char* page, pager_->Fetch(page_id));
+  Status header = CheckNodeHeader(page, page_id, pager_->num_pages());
+  if (!header.ok()) {
+    (void)pager_->Unpin(page_id, /*dirty=*/false);
+    return header;
+  }
+  return page;
+}
+
 Result<DiskBPlusTree::SplitResult> DiskBPlusTree::InsertInto(PageId page_id,
                                                              int64_t key,
-                                                             uint64_t value) {
-  S2_ASSIGN_OR_RETURN(char* page, pager_->Fetch(page_id));
+                                                             uint64_t value,
+                                                             size_t depth) {
+  if (depth > kMaxDepth) {
+    return diag::CorruptionError("DiskBPlusTree",
+                                 "cycle detected on the insert path");
+  }
+  S2_ASSIGN_OR_RETURN(char* page, FetchNode(page_id));
   Pin pin(pager_.get(), page_id, page);
   SplitResult result;
 
@@ -274,9 +344,15 @@ Result<DiskBPlusTree::SplitResult> DiskBPlusTree::InsertInto(PageId page_id,
   }
 
   // Internal node.
+  if (Count(page) == 0) {
+    return diag::CorruptionError(
+        "DiskBPlusTree",
+        "internal page " + std::to_string(page_id) + " has no separators");
+  }
   const size_t idx = RouteUpper(page, key);
   const PageId child = Child(page, idx);
-  S2_ASSIGN_OR_RETURN(SplitResult child_split, InsertInto(child, key, value));
+  S2_ASSIGN_OR_RETURN(SplitResult child_split,
+                      InsertInto(child, key, value, depth + 1));
   if (!child_split.happened) return result;
 
   const size_t count = Count(page);
@@ -316,7 +392,7 @@ Result<DiskBPlusTree::SplitResult> DiskBPlusTree::InsertInto(PageId page_id,
 }
 
 Status DiskBPlusTree::Insert(int64_t key, uint64_t value) {
-  S2_ASSIGN_OR_RETURN(SplitResult split, InsertInto(root_, key, value));
+  S2_ASSIGN_OR_RETURN(SplitResult split, InsertInto(root_, key, value, 0));
   if (split.happened) {
     char* new_root = nullptr;
     S2_ASSIGN_OR_RETURN(PageId new_root_id, pager_->Allocate(&new_root));
@@ -333,8 +409,13 @@ Status DiskBPlusTree::Insert(int64_t key, uint64_t value) {
   return StoreMeta();
 }
 
-Result<bool> DiskBPlusTree::EraseFrom(PageId page_id, int64_t key, uint64_t value) {
-  S2_ASSIGN_OR_RETURN(char* page, pager_->Fetch(page_id));
+Result<bool> DiskBPlusTree::EraseFrom(PageId page_id, int64_t key, uint64_t value,
+                                      size_t depth) {
+  if (depth > kMaxDepth) {
+    return diag::CorruptionError("DiskBPlusTree",
+                                 "cycle detected on the erase path");
+  }
+  S2_ASSIGN_OR_RETURN(char* page, FetchNode(page_id));
   Pin pin(pager_.get(), page_id, page);
 
   if (NodeType(page) == kLeafType) {
@@ -357,14 +438,15 @@ Result<bool> DiskBPlusTree::EraseFrom(PageId page_id, int64_t key, uint64_t valu
   const size_t first = RouteLower(page, key);
   const size_t last = RouteUpper(page, key);
   for (size_t idx = first; idx <= last; ++idx) {
-    S2_ASSIGN_OR_RETURN(bool erased, EraseFrom(Child(page, idx), key, value));
+    S2_ASSIGN_OR_RETURN(bool erased,
+                        EraseFrom(Child(page, idx), key, value, depth + 1));
     if (erased) return true;
   }
   return false;
 }
 
 Result<bool> DiskBPlusTree::Erase(int64_t key, uint64_t value) {
-  S2_ASSIGN_OR_RETURN(bool erased, EraseFrom(root_, key, value));
+  S2_ASSIGN_OR_RETURN(bool erased, EraseFrom(root_, key, value, 0));
   if (erased) {
     --size_;
     S2_RETURN_NOT_OK(StoreMeta());
@@ -374,31 +456,42 @@ Result<bool> DiskBPlusTree::Erase(int64_t key, uint64_t value) {
 
 Result<PageId> DiskBPlusTree::DescendToLeaf(int64_t key) {
   PageId page_id = root_;
-  for (;;) {
-    S2_ASSIGN_OR_RETURN(char* page, pager_->Fetch(page_id));
+  for (size_t depth = 0; depth <= kMaxDepth; ++depth) {
+    S2_ASSIGN_OR_RETURN(char* page, FetchNode(page_id));
     Pin pin(pager_.get(), page_id, page);
     if (NodeType(page) == kLeafType) return page_id;
     page_id = Child(page, RouteLower(page, key));
   }
+  return diag::CorruptionError("DiskBPlusTree", "cycle detected while descending");
 }
 
 Result<PageId> DiskBPlusTree::LeftmostLeaf() {
   PageId page_id = root_;
-  for (;;) {
-    S2_ASSIGN_OR_RETURN(char* page, pager_->Fetch(page_id));
+  for (size_t depth = 0; depth <= kMaxDepth; ++depth) {
+    S2_ASSIGN_OR_RETURN(char* page, FetchNode(page_id));
     Pin pin(pager_.get(), page_id, page);
     if (NodeType(page) == kLeafType) return page_id;
     page_id = Child(page, 0);
   }
+  return diag::CorruptionError("DiskBPlusTree", "cycle detected while descending");
 }
 
 Status DiskBPlusTree::Scan(int64_t lo, int64_t hi,
                            const std::function<bool(int64_t, uint64_t)>& fn) {
   S2_ASSIGN_OR_RETURN(PageId leaf_id, DescendToLeaf(lo));
   bool first = true;
-  while (leaf_id != kInvalidPageId) {
-    S2_ASSIGN_OR_RETURN(char* page, pager_->Fetch(leaf_id));
+  // A sound chain visits every leaf at most once; more hops mean a cycle.
+  for (size_t hops = 0; leaf_id != kInvalidPageId; ++hops) {
+    if (hops > pager_->num_pages()) {
+      return diag::CorruptionError("DiskBPlusTree", "cycle in the leaf chain");
+    }
+    S2_ASSIGN_OR_RETURN(char* page, FetchNode(leaf_id));
     Pin pin(pager_.get(), leaf_id, page);
+    if (NodeType(page) != kLeafType) {
+      return diag::CorruptionError(
+          "DiskBPlusTree",
+          "leaf chain reaches internal page " + std::to_string(leaf_id));
+    }
     const size_t count = Count(page);
     size_t i = first ? LeafLowerBound(page, lo) : 0;
     first = false;
@@ -414,9 +507,17 @@ Status DiskBPlusTree::Scan(int64_t lo, int64_t hi,
 
 Status DiskBPlusTree::ScanAll(const std::function<bool(int64_t, uint64_t)>& fn) {
   S2_ASSIGN_OR_RETURN(PageId leaf_id, LeftmostLeaf());
-  while (leaf_id != kInvalidPageId) {
-    S2_ASSIGN_OR_RETURN(char* page, pager_->Fetch(leaf_id));
+  for (size_t hops = 0; leaf_id != kInvalidPageId; ++hops) {
+    if (hops > pager_->num_pages()) {
+      return diag::CorruptionError("DiskBPlusTree", "cycle in the leaf chain");
+    }
+    S2_ASSIGN_OR_RETURN(char* page, FetchNode(leaf_id));
     Pin pin(pager_.get(), leaf_id, page);
+    if (NodeType(page) != kLeafType) {
+      return diag::CorruptionError(
+          "DiskBPlusTree",
+          "leaf chain reaches internal page " + std::to_string(leaf_id));
+    }
     const size_t count = Count(page);
     for (size_t i = 0; i < count; ++i) {
       if (!fn(LeafKey(page, i), LeafValue(page, i))) return Status::OK();
@@ -428,25 +529,73 @@ Status DiskBPlusTree::ScanAll(const std::function<bool(int64_t, uint64_t)>& fn) 
 
 Status DiskBPlusTree::Flush() { return pager_->FlushAll(); }
 
-Result<bool> DiskBPlusTree::CheckNode(PageId page_id, const int64_t* lo,
-                                      const int64_t* hi, uint64_t* pair_count) {
-  S2_ASSIGN_OR_RETURN(char* page, pager_->Fetch(page_id));
-  Pin pin(pager_.get(), page_id, page);
-  const size_t count = Count(page);
+Status DiskBPlusTree::ValidateNode(PageId page_id, const int64_t* lo,
+                                   const int64_t* hi, uint64_t* pair_count,
+                                   std::vector<PageId>* leaves,
+                                   std::vector<uint8_t>* visited, size_t depth,
+                                   diag::Validator* v) {
+  if (page_id == 0 || page_id == kInvalidPageId ||
+      page_id >= pager_->num_pages()) {
+    v->AddViolation("child pointer to invalid page " + std::to_string(page_id));
+    return Status::OK();
+  }
+  if ((*visited)[page_id] != 0) {
+    v->AddViolation("page " + std::to_string(page_id) +
+                    " reachable twice (cycle or shared child)");
+    return Status::OK();
+  }
+  (*visited)[page_id] = 1;
+  if (depth > kMaxDepth) {
+    v->AddViolation("tree deeper than " + std::to_string(kMaxDepth) +
+                    " levels (cycle)");
+    return Status::OK();
+  }
 
-  if (NodeType(page) == kLeafType) {
+  // Copy the page and unpin immediately: validation may recurse deeper than
+  // the pool holds frames, and must not care.
+  std::vector<char> copy(kPageSize);
+  {
+    S2_ASSIGN_OR_RETURN(char* raw, pager_->Fetch(page_id));
+    std::memcpy(copy.data(), raw, kPageSize);
+    S2_RETURN_NOT_OK(pager_->Unpin(page_id, /*dirty=*/false));
+  }
+  const char* page = copy.data();
+  const std::string where = "page " + std::to_string(page_id);
+
+  const uint8_t type = NodeType(page);
+  if (type != kLeafType && type != kInternalType) {
+    v->AddViolation(where + " has unknown node type " + std::to_string(type));
+    return Status::OK();
+  }
+  const size_t count = Count(page);
+  const size_t capacity = type == kLeafType ? kLeafCapacity : kInternalCapacity;
+  if (count >= capacity) {
+    v->AddViolation(where + " is overfull (" + std::to_string(count) +
+                    " entries, capacity " + std::to_string(capacity) + ")");
+    return Status::OK();  // Entry offsets past capacity are meaningless.
+  }
+
+  if (type == kLeafType) {
     *pair_count += count;
+    leaves->push_back(page_id);
     for (size_t i = 0; i < count; ++i) {
       const int64_t key = LeafKey(page, i);
-      if (i > 0 && LeafKey(page, i - 1) > key) return false;
-      if (lo != nullptr && key < *lo) return false;
-      if (hi != nullptr && key > *hi) return false;
+      v->Check(i == 0 || LeafKey(page, i - 1) <= key)
+          << where << " slot " << i << ": leaf keys out of order";
+      v->Check(lo == nullptr || key >= *lo)
+          << where << " slot " << i << ": key " << key
+          << " below the separator window";
+      v->Check(hi == nullptr || key <= *hi)
+          << where << " slot " << i << ": key " << key
+          << " above the separator window";
     }
-    return true;
+    return Status::OK();
   }
-  if (NodeType(page) != kInternalType || count == 0) return false;
+
+  v->Check(count > 0) << where << ": internal node with no separators";
   for (size_t i = 1; i < count; ++i) {
-    if (InternalKey(page, i - 1) > InternalKey(page, i)) return false;
+    v->Check(InternalKey(page, i - 1) <= InternalKey(page, i))
+        << where << " slot " << i << ": separators out of order";
   }
   for (size_t i = 0; i <= count; ++i) {
     int64_t child_lo_value = 0;
@@ -461,17 +610,59 @@ Result<bool> DiskBPlusTree::CheckNode(PageId page_id, const int64_t* lo,
       child_hi_value = InternalKey(page, i);
       child_hi = &child_hi_value;
     }
-    S2_ASSIGN_OR_RETURN(bool ok,
-                        CheckNode(Child(page, i), child_lo, child_hi, pair_count));
-    if (!ok) return false;
+    S2_RETURN_NOT_OK(ValidateNode(Child(page, i), child_lo, child_hi,
+                                  pair_count, leaves, visited, depth + 1, v));
   }
-  return true;
+  return Status::OK();
+}
+
+Status DiskBPlusTree::Validate() {
+  diag::Validator v("DiskBPlusTree");
+  v.Check(root_ != 0 && root_ != kInvalidPageId && root_ < pager_->num_pages())
+      << "root pointer " << root_ << " out of range";
+  if (!v.ok()) return v.ToStatus();
+
+  uint64_t pairs = 0;
+  std::vector<PageId> leaves;
+  std::vector<uint8_t> visited(pager_->num_pages(), 0);
+  S2_RETURN_NOT_OK(
+      ValidateNode(root_, nullptr, nullptr, &pairs, &leaves, &visited, 0, &v));
+  v.Check(pairs == size_) << "stored pair count " << pairs
+                          << " != metadata size " << size_;
+
+  // The forward leaf chain must enumerate exactly the in-order leaves.
+  size_t chain_idx = 0;
+  PageId chain = leaves.empty() ? kInvalidPageId : leaves.front();
+  while (chain != kInvalidPageId && chain_idx < leaves.size()) {
+    if (chain != leaves[chain_idx]) {
+      v.AddViolation("leaf chain diverges at hop " + std::to_string(chain_idx) +
+                     ": expected page " + std::to_string(leaves[chain_idx]) +
+                     ", found page " + std::to_string(chain));
+      return v.ToStatus();
+    }
+    std::vector<char> copy(kPageSize);
+    {
+      S2_ASSIGN_OR_RETURN(char* raw, pager_->Fetch(chain));
+      std::memcpy(copy.data(), raw, kPageSize);
+      S2_RETURN_NOT_OK(pager_->Unpin(chain, /*dirty=*/false));
+    }
+    chain = Next(copy.data());
+    ++chain_idx;
+  }
+  v.Check(chain == kInvalidPageId)
+      << "leaf chain continues past the last in-order leaf (to page " << chain
+      << ")";
+  v.Check(chain_idx == leaves.size())
+      << "leaf chain ends after " << chain_idx << " of " << leaves.size()
+      << " leaves";
+  return v.ToStatus();
 }
 
 Result<bool> DiskBPlusTree::CheckInvariants() {
-  uint64_t pairs = 0;
-  S2_ASSIGN_OR_RETURN(bool ok, CheckNode(root_, nullptr, nullptr, &pairs));
-  return ok && pairs == size_;
+  Status status = Validate();
+  if (status.ok()) return true;
+  if (status.code() == StatusCode::kCorruption) return false;
+  return status;
 }
 
 }  // namespace s2::storage

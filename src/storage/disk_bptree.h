@@ -5,8 +5,10 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/result.h"
+#include "diag/validate.h"
 #include "storage/pager.h"
 
 namespace s2::storage {
@@ -59,8 +61,15 @@ class DiskBPlusTree {
   /// The underlying pager (I/O statistics for benches/tests).
   Pager* pager() { return pager_.get(); }
 
-  /// Structural self-check (sortedness, separator windows, leaf chain);
-  /// used by tests. Reads the whole tree.
+  /// Structural self-check: node types and fill bounds, key sortedness,
+  /// separator windows, reachability (no cycles, no shared children), pair
+  /// count vs metadata, and the leaf forward chain against the in-order
+  /// traversal. Reads the whole tree; reports the exact violations as
+  /// `Status::Corruption` and I/O failures as their own codes.
+  Status Validate();
+
+  /// Boolean wrapper around `Validate()`: true when structurally sound,
+  /// false on corruption, error status on I/O failure.
   Result<bool> CheckInvariants();
 
  private:
@@ -76,13 +85,25 @@ class DiskBPlusTree {
   Status LoadMeta();
   Status StoreMeta();
 
-  Result<SplitResult> InsertInto(PageId page_id, int64_t key, uint64_t value);
-  Result<bool> EraseFrom(PageId page_id, int64_t key, uint64_t value);
+  /// Pins a node page after verifying its header (valid page id, node type,
+  /// fill bound, leaf-chain pointer range). Corrupt pages come back as
+  /// `Status::Corruption` with the page id, never as out-of-bounds reads.
+  Result<char*> FetchNode(PageId page_id);
+
+  Result<SplitResult> InsertInto(PageId page_id, int64_t key, uint64_t value,
+                                 size_t depth);
+  Result<bool> EraseFrom(PageId page_id, int64_t key, uint64_t value,
+                         size_t depth);
   Result<PageId> LeftmostLeaf();
   Result<PageId> DescendToLeaf(int64_t key);
 
-  Result<bool> CheckNode(PageId page_id, const int64_t* lo, const int64_t* hi,
-                         uint64_t* pair_count);
+  /// Validate() worker: checks one subtree against the separator window
+  /// [lo, hi], accumulating violations. Operates on unpinned page copies so
+  /// arbitrarily deep (even corrupt, cyclic) trees cannot exhaust the pool.
+  Status ValidateNode(PageId page_id, const int64_t* lo, const int64_t* hi,
+                      uint64_t* pair_count, std::vector<PageId>* leaves,
+                      std::vector<uint8_t>* visited, size_t depth,
+                      diag::Validator* validator);
 
   std::unique_ptr<Pager> pager_;
   PageId root_ = kInvalidPageId;

@@ -1,6 +1,11 @@
 #include "storage/pager.h"
 
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <cstring>
+
+#include "diag/validate.h"
 
 namespace s2::storage {
 
@@ -32,12 +37,23 @@ Result<std::unique_ptr<Pager>> Pager::Open(const std::string& path,
     return Status::IoError("Pager: seek failed on " + path);
   }
   const long size = std::ftell(file);
-  if (size < 0 || static_cast<size_t>(size) % kPageSize != 0) {
+  if (size < 0) {
     std::fclose(file);
-    return Status::IoError("Pager: file size is not page aligned: " + path);
+    return Status::IoError("Pager: cannot determine size of " + path);
   }
-  return std::unique_ptr<Pager>(new Pager(path, file, pool_pages,
-                                          static_cast<size_t>(size) / kPageSize));
+  if (static_cast<size_t>(size) % kPageSize != 0) {
+    std::fclose(file);
+    return Status::Corruption(
+        "Pager: truncated or misaligned file (size " + std::to_string(size) +
+        " is not a multiple of " + std::to_string(kPageSize) + "): " + path);
+  }
+  const size_t num_pages = static_cast<size_t>(size) / kPageSize;
+  if (num_pages >= static_cast<size_t>(kInvalidPageId)) {
+    std::fclose(file);
+    return Status::Corruption("Pager: page count exceeds the PageId range: " +
+                              path);
+  }
+  return std::unique_ptr<Pager>(new Pager(path, file, pool_pages, num_pages));
 }
 
 Pager::~Pager() {
@@ -142,6 +158,64 @@ Status Pager::Unpin(PageId id, bool dirty) {
   --frame.pin_count;
   frame.dirty = frame.dirty || dirty;
   return Status::OK();
+}
+
+Status Pager::Validate() const {
+  diag::Validator v("Pager");
+  // Frame table: every mapped page resolves to a frame that agrees.
+  for (const auto& [page_id, frame_idx] : frame_of_page_) {
+    v.Check(page_id < num_pages_)
+        << "frame table maps out-of-range page " << page_id << " (file has "
+        << num_pages_ << " pages)";
+    if (frame_idx >= frames_.size()) {
+      v.AddViolation("frame table points past the pool (frame " +
+                     std::to_string(frame_idx) + ")");
+      continue;
+    }
+    v.Check(frames_[frame_idx].page_id == page_id)
+        << "frame " << frame_idx << " holds page " << frames_[frame_idx].page_id
+        << " but the frame table expects page " << page_id;
+  }
+  // Frames: non-negative pins; every resident page is in the frame table.
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    const Frame& frame = frames_[i];
+    v.Check(frame.pin_count >= 0)
+        << "frame " << i << " has negative pin count " << frame.pin_count;
+    v.Check(frame.data != nullptr) << "frame " << i << " has no buffer";
+    if (frame.page_id != kInvalidPageId) {
+      const auto it = frame_of_page_.find(frame.page_id);
+      v.Check(it != frame_of_page_.end() && it->second == i)
+          << "frame " << i << " holds page " << frame.page_id
+          << " without a frame-table entry";
+    }
+  }
+  // LRU list: a permutation of the frame indices, mirrored by lru_pos_.
+  v.Check(lru_.size() == frames_.size())
+      << "LRU list tracks " << lru_.size() << " frames, pool has "
+      << frames_.size();
+  std::vector<bool> seen(frames_.size(), false);
+  for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+    const size_t idx = *it;
+    if (idx >= frames_.size()) {
+      v.AddViolation("LRU entry " + std::to_string(idx) + " out of range");
+      continue;
+    }
+    v.Check(!seen[idx]) << "frame " << idx << " appears twice in the LRU list";
+    seen[idx] = true;
+    const auto pos = lru_pos_.find(idx);
+    v.Check(pos != lru_pos_.end() && pos->second == it)
+        << "stale LRU position for frame " << idx;
+  }
+  // File: its size must agree with num_pages() (Allocate extends eagerly).
+  struct stat st = {};
+  if (file_ == nullptr || ::fstat(fileno(file_), &st) != 0) {
+    v.AddViolation("cannot stat the backing file");
+  } else {
+    v.Check(static_cast<uint64_t>(st.st_size) == num_pages_ * kPageSize)
+        << "file size " << st.st_size << " != " << num_pages_ << " pages x "
+        << kPageSize << " bytes";
+  }
+  return v.ToStatus();
 }
 
 Status Pager::FlushAll() {

@@ -63,6 +63,11 @@ class Pager {
   /// Number of pages in the file.
   size_t num_pages() const { return num_pages_; }
 
+  /// Structural self-check: buffer-pool bookkeeping (frame table, LRU list,
+  /// pin counts, page-id ranges) and the file-size/page-count agreement.
+  /// Reports the exact violation as `Status::Corruption`.
+  Status Validate() const;
+
   uint64_t disk_reads() const { return disk_reads_; }
   uint64_t disk_writes() const { return disk_writes_; }
   uint64_t cache_hits() const { return cache_hits_; }

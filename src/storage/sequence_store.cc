@@ -1,8 +1,11 @@
 #include "storage/sequence_store.h"
 
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <cstring>
+
+#include "diag/validate.h"
 
 namespace s2::storage {
 
@@ -78,15 +81,81 @@ Result<std::unique_ptr<DiskSequenceStore>> DiskSequenceStore::Open(
   uint64_t count = 0;
   uint64_t length = 0;
   const bool ok = std::fread(magic, 1, sizeof(magic), file) == sizeof(magic) &&
-                  std::memcmp(magic, kMagic, sizeof(kMagic)) == 0 &&
                   std::fread(&count, sizeof(count), 1, file) == 1 &&
                   std::fread(&length, sizeof(length), 1, file) == 1;
   if (!ok) {
     std::fclose(file);
-    return Status::IoError("DiskSequenceStore: bad header in " + path);
+    return Status::Corruption("DiskSequenceStore: truncated header in " + path);
+  }
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    std::fclose(file);
+    return Status::Corruption("DiskSequenceStore: bad magic in " + path);
+  }
+  // The declared geometry must match the bytes actually on disk: a corrupt
+  // count or length would otherwise surface later as short reads (or worse,
+  // a gigantic allocation per Get).
+  struct stat st = {};
+  if (::fstat(fileno(file), &st) != 0) {
+    std::fclose(file);
+    return Status::IoError("DiskSequenceStore: cannot stat " + path);
+  }
+  const uint64_t file_size = static_cast<uint64_t>(st.st_size);
+  if (count != 0 &&
+      (length > (UINT64_MAX - kHeaderBytes) / sizeof(double) / count)) {
+    std::fclose(file);
+    return Status::Corruption(
+        "DiskSequenceStore: count x length overflows in " + path);
+  }
+  const uint64_t expected =
+      kHeaderBytes + count * length * sizeof(double);
+  if (file_size != expected) {
+    std::fclose(file);
+    return Status::Corruption(
+        "DiskSequenceStore: file size " + std::to_string(file_size) +
+        " != expected " + std::to_string(expected) + " in " + path);
   }
   return std::unique_ptr<DiskSequenceStore>(new DiskSequenceStore(
       path, file, static_cast<size_t>(count), static_cast<size_t>(length)));
+}
+
+Status DiskSequenceStore::Validate() const {
+  diag::Validator v("DiskSequenceStore");
+  char header[kHeaderBytes] = {};
+  size_t done = 0;
+  while (done < kHeaderBytes) {
+    const ssize_t n = ::pread(fileno(file_), header + done, kHeaderBytes - done,
+                              static_cast<off_t>(done));
+    if (n < 0) return Status::IoError("DiskSequenceStore: cannot read header");
+    if (n == 0) break;
+    done += static_cast<size_t>(n);
+  }
+  v.Check(done == kHeaderBytes)
+      << "file shorter than the " << kHeaderBytes << "-byte header";
+  if (done == kHeaderBytes) {
+    uint64_t count = 0;
+    uint64_t length = 0;
+    std::memcpy(&count, header + sizeof(kMagic), sizeof(count));
+    std::memcpy(&length, header + sizeof(kMagic) + sizeof(count),
+                sizeof(length));
+    v.Check(std::memcmp(header, kMagic, sizeof(kMagic)) == 0)
+        << "bad magic in the on-disk header";
+    v.Check(count == count_) << "on-disk count " << count
+                             << " != in-memory count " << count_;
+    v.Check(length == length_)
+        << "on-disk length " << length << " != in-memory length " << length_;
+  }
+  struct stat st = {};
+  if (::fstat(fileno(file_), &st) != 0) {
+    v.AddViolation("cannot stat the backing file");
+  } else {
+    const uint64_t expected =
+        kHeaderBytes +
+        static_cast<uint64_t>(count_) * length_ * sizeof(double);
+    v.Check(static_cast<uint64_t>(st.st_size) == expected)
+        << "file size " << st.st_size << " != " << expected << " (" << count_
+        << " records of " << length_ << " doubles)";
+  }
+  return v.ToStatus();
 }
 
 DiskSequenceStore::~DiskSequenceStore() {

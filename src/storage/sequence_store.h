@@ -109,6 +109,12 @@ class DiskSequenceStore : public SequenceSource {
 
   const std::string& path() const { return path_; }
 
+  /// Structural self-check: re-reads the header from disk (magic, count,
+  /// length must match the in-memory view) and verifies the file size equals
+  /// header + count * length records. Reports the exact violations as
+  /// `Status::Corruption`.
+  Status Validate() const;
+
  private:
   DiskSequenceStore(std::string path, std::FILE* file, size_t count, size_t length)
       : path_(std::move(path)), file_(file), count_(count), length_(length) {}

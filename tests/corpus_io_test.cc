@@ -55,7 +55,7 @@ TEST(CorpusIoTest, BadMagicRejected) {
   ASSERT_NE(f, nullptr);
   std::fwrite("BADMAGIC", 1, 8, f);
   std::fclose(f);
-  EXPECT_EQ(ReadCorpus(path).status().code(), StatusCode::kIoError);
+  EXPECT_EQ(ReadCorpus(path).status().code(), StatusCode::kCorruption);
   std::remove(path.c_str());
 }
 
@@ -70,7 +70,7 @@ TEST(CorpusIoTest, TruncatedFileRejected) {
   // Chop the file in half.
   const auto size = std::filesystem::file_size(path);
   std::filesystem::resize_file(path, size / 2);
-  EXPECT_EQ(ReadCorpus(path).status().code(), StatusCode::kIoError);
+  EXPECT_EQ(ReadCorpus(path).status().code(), StatusCode::kCorruption);
   std::remove(path.c_str());
 }
 

@@ -1,0 +1,139 @@
+#include "diag/check.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace s2::diag {
+namespace {
+
+// The handler API is a plain function pointer, so captures go through a
+// global. Each test clears it in the fixture.
+std::vector<CheckFailure>* g_failures = nullptr;
+
+void CaptureFailure(const CheckFailure& failure) {
+  g_failures->push_back(failure);
+}
+
+class CheckTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    g_failures = &failures_;
+    previous_ = SetCheckFailureHandler(&CaptureFailure);
+  }
+  void TearDown() override {
+    SetCheckFailureHandler(previous_);
+    g_failures = nullptr;
+  }
+  std::vector<CheckFailure> failures_;
+  CheckFailureHandler previous_ = nullptr;
+};
+
+TEST_F(CheckTest, PassingCheckReportsNothing) {
+  S2_CHECK(1 + 1 == 2) << "never streamed";
+  EXPECT_TRUE(failures_.empty());
+}
+
+TEST_F(CheckTest, FailingCheckReportsConditionAndMessage) {
+  const int line_before = __LINE__;
+  S2_CHECK(2 + 2 == 5) << "arithmetic " << 42;
+  ASSERT_EQ(failures_.size(), 1u);
+  const CheckFailure& failure = failures_.front();
+  EXPECT_EQ(failure.condition, "2 + 2 == 5");
+  EXPECT_EQ(failure.message, "arithmetic 42");
+  EXPECT_FALSE(failure.is_dcheck);
+  EXPECT_EQ(failure.location.line, line_before + 1);
+  EXPECT_NE(std::string(failure.location.file).find("diag_test.cc"),
+            std::string::npos);
+}
+
+TEST_F(CheckTest, FailureWithoutMessageStillReports) {
+  S2_CHECK(false);
+  ASSERT_EQ(failures_.size(), 1u);
+  EXPECT_EQ(failures_.front().condition, "false");
+  EXPECT_TRUE(failures_.front().message.empty());
+}
+
+TEST_F(CheckTest, ConditionIsEvaluatedExactlyOnce) {
+  int evaluations = 0;
+  S2_CHECK(++evaluations > 0) << "passes";
+  EXPECT_EQ(evaluations, 1);
+  S2_CHECK(++evaluations < 0) << "fails";
+  EXPECT_EQ(evaluations, 2);
+  EXPECT_EQ(failures_.size(), 1u);
+}
+
+TEST_F(CheckTest, MessageIsNotBuiltOnSuccess) {
+  int streamed = 0;
+  auto expensive = [&streamed]() {
+    ++streamed;
+    return "detail";
+  };
+  // The ternary short-circuits the whole stream expression on success.
+  S2_CHECK(true) << expensive();
+  EXPECT_EQ(streamed, 0);
+  S2_CHECK(false) << expensive();
+  EXPECT_EQ(streamed, 1);
+}
+
+TEST_F(CheckTest, CheckOkReportsStatusText) {
+  S2_CHECK_OK(Status::OK());
+  EXPECT_TRUE(failures_.empty());
+  S2_CHECK_OK(Status::NotFound("missing thing"));
+  ASSERT_EQ(failures_.size(), 1u);
+  EXPECT_NE(failures_.front().message.find("missing thing"), std::string::npos);
+}
+
+TEST_F(CheckTest, CheckOkAcceptsResult) {
+  Result<int> good = 7;
+  S2_CHECK_OK(good);
+  EXPECT_TRUE(failures_.empty());
+  Result<int> bad = Status::Corruption("broken bytes");
+  S2_CHECK_OK(bad);
+  ASSERT_EQ(failures_.size(), 1u);
+  EXPECT_NE(failures_.front().message.find("broken bytes"), std::string::npos);
+}
+
+TEST_F(CheckTest, DcheckTagsReportWhenEnabled) {
+#if S2_DIAG_DCHECK_IS_ON
+  S2_DCHECK(false) << "debug-only";
+  ASSERT_EQ(failures_.size(), 1u);
+  EXPECT_TRUE(failures_.front().is_dcheck);
+#else
+  int evaluations = 0;
+  S2_DCHECK(++evaluations > 0) << "compiled away";
+  EXPECT_EQ(evaluations, 0);  // Condition must not run in release builds.
+  EXPECT_TRUE(failures_.empty());
+#endif
+}
+
+TEST_F(CheckTest, FormatContainsAllParts) {
+  const CheckFailure failure{
+      SourceLocation{"pager.cc", 42, "Validate"}, "pin_count >= 0",
+      "frame 3", false};
+  const std::string text = FormatCheckFailure(failure);
+  EXPECT_NE(text.find("pager.cc:42"), std::string::npos);
+  EXPECT_NE(text.find("S2_CHECK(pin_count >= 0)"), std::string::npos);
+  EXPECT_NE(text.find("Validate"), std::string::npos);
+  EXPECT_NE(text.find("frame 3"), std::string::npos);
+}
+
+TEST_F(CheckTest, DcheckFormatUsesDcheckName) {
+  const CheckFailure failure{SourceLocation{"a.cc", 1, "f"}, "x", "", true};
+  EXPECT_NE(FormatCheckFailure(failure).find("S2_DCHECK(x)"),
+            std::string::npos);
+}
+
+TEST_F(CheckTest, HandlerSwapReturnsPrevious) {
+  // SetUp installed CaptureFailure; swapping again must hand it back.
+  CheckFailureHandler current = SetCheckFailureHandler(nullptr);
+  EXPECT_EQ(current, &CaptureFailure);
+  SetCheckFailureHandler(&CaptureFailure);
+}
+
+}  // namespace
+}  // namespace s2::diag

@@ -117,7 +117,7 @@ TEST(FeatureStoreTest, CorruptFilesRejected) {
   ASSERT_NE(f, nullptr);
   std::fwrite("WRONGMAG", 1, 8, f);
   std::fclose(f);
-  EXPECT_EQ(ReadFeatures(path).status().code(), StatusCode::kIoError);
+  EXPECT_EQ(ReadFeatures(path).status().code(), StatusCode::kCorruption);
   std::remove(path.c_str());
 }
 
@@ -127,7 +127,7 @@ TEST(FeatureStoreTest, TruncationDetected) {
   ASSERT_TRUE(WriteFeatures(path, features).ok());
   const auto size = std::filesystem::file_size(path);
   std::filesystem::resize_file(path, size - 10);
-  EXPECT_EQ(ReadFeatures(path).status().code(), StatusCode::kIoError);
+  EXPECT_EQ(ReadFeatures(path).status().code(), StatusCode::kCorruption);
   std::remove(path.c_str());
 }
 

@@ -1,0 +1,70 @@
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "fuzz_util.h"
+#include "storage/corpus_io.h"
+#include "timeseries/time_series.h"
+
+namespace s2::storage {
+namespace {
+
+// Corruption fuzzing for the corpus file format: every mutated image must
+// come back as a Status from ReadCorpus — never a crash, out-of-bounds read
+// (caught by the sanitizer configurations), or runaway allocation.
+
+ts::Corpus MakeCorpus(s2::Rng* rng) {
+  ts::Corpus corpus;
+  for (int i = 0; i < 8; ++i) {
+    ts::TimeSeries series;
+    series.name = "query-" + std::to_string(i);
+    series.start_day = static_cast<int32_t>(rng->UniformInt(0, 100));
+    series.values.resize(64);
+    for (double& x : series.values) x = rng->Normal(0.0, 1.0);
+    corpus.Add(std::move(series));
+  }
+  return corpus;
+}
+
+TEST(FuzzCorpusIo, MutatedImagesNeverCrashTheLoader) {
+  s2::Rng rng(0xC0DECAFE);
+  const std::string path = fuzz::TempPath("s2_fuzz_corpus.bin");
+  ASSERT_TRUE(WriteCorpus(path, MakeCorpus(&rng)).ok());
+  const std::vector<char> image = fuzz::ReadFileBytes(path);
+  ASSERT_FALSE(image.empty());
+
+  for (int round = 0; round < 200; ++round) {
+    fuzz::WriteFileBytes(path, fuzz::Mutate(image, &rng));
+    const Result<ts::Corpus> loaded = ReadCorpus(path);
+    if (loaded.ok()) {
+      // A flip that survives parsing must still yield a bounded corpus.
+      EXPECT_LE(loaded->size(), 1u << 20);
+    } else {
+      EXPECT_NE(loaded.status().code(), StatusCode::kOk);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FuzzCorpusIo, TruncationAtEveryHeaderBoundaryIsAnError) {
+  s2::Rng rng(7);
+  const std::string path = fuzz::TempPath("s2_fuzz_corpus_trunc.bin");
+  ASSERT_TRUE(WriteCorpus(path, MakeCorpus(&rng)).ok());
+  const std::vector<char> image = fuzz::ReadFileBytes(path);
+
+  for (size_t cut : {0ul, 4ul, 8ul, 12ul, 16ul, 20ul, 30ul}) {
+    if (cut >= image.size()) continue;
+    fuzz::WriteFileBytes(path,
+                         std::vector<char>(image.begin(),
+                                           image.begin() +
+                                               static_cast<ptrdiff_t>(cut)));
+    EXPECT_FALSE(ReadCorpus(path).ok()) << "cut at " << cut;
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace s2::storage

@@ -1,0 +1,147 @@
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "fuzz_util.h"
+#include "storage/disk_bptree.h"
+
+namespace s2::storage {
+namespace {
+
+// Corruption fuzzing for the disk B+-tree: a mutated page file must never
+// crash Open, Scan, Insert or Validate — corrupt pages surface as Status.
+// The descent depth guards and leaf-chain hop counters are exactly what
+// these byte flips exercise.
+
+std::string BuildTreeFile(const std::string& path, s2::Rng* rng) {
+  std::remove(path.c_str());
+  auto tree = DiskBPlusTree::Open(path, 16);
+  EXPECT_TRUE(tree.ok());
+  for (int i = 0; i < 600; ++i) {
+    EXPECT_TRUE(
+        (*tree)->Insert(rng->UniformInt(-1000, 1000), static_cast<uint64_t>(i))
+            .ok());
+  }
+  EXPECT_TRUE((*tree)->Flush().ok());
+  return path;
+}
+
+TEST(FuzzDiskBPlusTree, MutatedImagesNeverCrash) {
+  s2::Rng rng(0xB7EE5EED);
+  const std::string path = fuzz::TempPath("s2_fuzz_bptree.db");
+  BuildTreeFile(path, &rng);
+  const std::vector<char> image = fuzz::ReadFileBytes(path);
+  ASSERT_FALSE(image.empty());
+
+  for (int round = 0; round < 150; ++round) {
+    fuzz::WriteFileBytes(path, fuzz::Mutate(image, &rng));
+    auto tree = DiskBPlusTree::Open(path, 16);
+    if (!tree.ok()) {
+      EXPECT_NE(tree.status().code(), StatusCode::kOk);
+      continue;
+    }
+    // All of these may fail (with any error code) but must not fault.
+    (void)(*tree)->Validate();
+    uint64_t scanned = 0;
+    (void)(*tree)->ScanAll([&scanned](int64_t, uint64_t) {
+      ++scanned;
+      return scanned < 10000;
+    });
+    (void)(*tree)->Scan(-100, 100, [](int64_t, uint64_t) { return true; });
+    (void)(*tree)->Insert(42, 42);
+    (void)(*tree)->Erase(42, 42);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FuzzDiskBPlusTree, ValidateDetectsSwappedLeafKeys) {
+  s2::Rng rng(11);
+  const std::string path = fuzz::TempPath("s2_fuzz_bptree_swap.db");
+  std::remove(path.c_str());
+  {
+    auto tree = DiskBPlusTree::Open(path, 16);
+    ASSERT_TRUE(tree.ok());
+    for (int64_t k = 0; k < 10; ++k) {
+      ASSERT_TRUE((*tree)->Insert(k, static_cast<uint64_t>(k)).ok());
+    }
+    ASSERT_TRUE((*tree)->Flush().ok());
+    EXPECT_TRUE((*tree)->Validate().ok());
+  }
+  // Ten pairs fit one leaf: page 1, pairs at offset 8, 16 bytes each
+  // (key i64, value u64). Swap the first two keys on disk.
+  std::vector<char> image = fuzz::ReadFileBytes(path);
+  ASSERT_GE(image.size(), 2 * kPageSize);
+  char* leaf = image.data() + kPageSize;
+  std::swap_ranges(leaf + 8, leaf + 16, leaf + 24);
+  fuzz::WriteFileBytes(path, image);
+
+  auto tree = DiskBPlusTree::Open(path, 16);
+  ASSERT_TRUE(tree.ok());
+  const Status status = (*tree)->Validate();
+  ASSERT_EQ(status.code(), StatusCode::kCorruption);
+  EXPECT_NE(status.message().find("out of order"), std::string::npos);
+  auto invariants = (*tree)->CheckInvariants();
+  ASSERT_TRUE(invariants.ok());
+  EXPECT_FALSE(*invariants);
+  std::remove(path.c_str());
+}
+
+TEST(FuzzDiskBPlusTree, ValidateDetectsLeafChainCycle) {
+  const std::string path = fuzz::TempPath("s2_fuzz_bptree_cycle.db");
+  std::remove(path.c_str());
+  {
+    auto tree = DiskBPlusTree::Open(path, 16);
+    ASSERT_TRUE(tree.ok());
+    for (int64_t k = 0; k < 10; ++k) {
+      ASSERT_TRUE((*tree)->Insert(k, static_cast<uint64_t>(k)).ok());
+    }
+    ASSERT_TRUE((*tree)->Flush().ok());
+  }
+  // Point the lone leaf's next pointer back at itself (offset 4: PageId).
+  std::vector<char> image = fuzz::ReadFileBytes(path);
+  ASSERT_GE(image.size(), 2 * kPageSize);
+  const PageId self = 1;
+  std::memcpy(image.data() + kPageSize + 4, &self, sizeof(self));
+  fuzz::WriteFileBytes(path, image);
+
+  auto tree = DiskBPlusTree::Open(path, 16);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ((*tree)->Validate().code(), StatusCode::kCorruption);
+  // A full scan must terminate (hop counter) instead of looping forever.
+  const Status scan = (*tree)->ScanAll([](int64_t, uint64_t) { return true; });
+  EXPECT_EQ(scan.code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(FuzzDiskBPlusTree, ValidateDetectsMetaSizeMismatch) {
+  const std::string path = fuzz::TempPath("s2_fuzz_bptree_meta.db");
+  std::remove(path.c_str());
+  {
+    auto tree = DiskBPlusTree::Open(path, 16);
+    ASSERT_TRUE(tree.ok());
+    for (int64_t k = 0; k < 10; ++k) {
+      ASSERT_TRUE((*tree)->Insert(k, static_cast<uint64_t>(k)).ok());
+    }
+    ASSERT_TRUE((*tree)->Flush().ok());
+  }
+  // Meta page: magic at 0, root PageId at 8, pair count u64 at 12.
+  std::vector<char> image = fuzz::ReadFileBytes(path);
+  const uint64_t wrong = 99;
+  std::memcpy(image.data() + 12, &wrong, sizeof(wrong));
+  fuzz::WriteFileBytes(path, image);
+
+  auto tree = DiskBPlusTree::Open(path, 16);
+  ASSERT_TRUE(tree.ok());
+  const Status status = (*tree)->Validate();
+  ASSERT_EQ(status.code(), StatusCode::kCorruption);
+  EXPECT_NE(status.message().find("metadata size"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace s2::storage

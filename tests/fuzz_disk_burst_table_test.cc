@@ -1,0 +1,120 @@
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "burst/disk_burst_table.h"
+#include "common/rng.h"
+#include "fuzz_util.h"
+
+namespace s2::burst {
+namespace {
+
+// Corruption fuzzing for the two-file disk burst store: mutated heap or
+// index images must surface as Status from Open/Validate/FindOverlapping —
+// never as a crash or out-of-bounds access.
+
+void BuildStore(const std::string& prefix, s2::Rng* rng) {
+  std::remove((prefix + ".heap").c_str());
+  std::remove((prefix + ".idx").c_str());
+  auto table = DiskBurstTable::Open(prefix, 16);
+  ASSERT_TRUE(table.ok());
+  for (uint32_t id = 0; id < 20; ++id) {
+    std::vector<BurstRegion> regions;
+    int32_t day = static_cast<int32_t>(rng->UniformInt(0, 50));
+    for (int b = 0; b < 3; ++b) {
+      const int32_t len = static_cast<int32_t>(rng->UniformInt(1, 10));
+      regions.push_back(
+          BurstRegion{day, day + len - 1, rng->Uniform(1.0, 5.0)});
+      day += len + static_cast<int32_t>(rng->UniformInt(1, 20));
+    }
+    ASSERT_TRUE((*table)->Insert(id, regions, 0).ok());
+  }
+  ASSERT_TRUE((*table)->Flush().ok());
+  ASSERT_TRUE((*table)->Validate().ok());
+}
+
+void ExerciseMutations(const std::string& prefix, const std::string& victim,
+                       uint64_t seed) {
+  s2::Rng rng(seed);
+  const std::vector<char> image = fuzz::ReadFileBytes(victim);
+  ASSERT_FALSE(image.empty());
+  for (int round = 0; round < 120; ++round) {
+    fuzz::WriteFileBytes(victim, fuzz::Mutate(image, &rng));
+    auto table = DiskBurstTable::Open(prefix, 16);
+    if (!table.ok()) {
+      EXPECT_NE(table.status().code(), StatusCode::kOk);
+      continue;
+    }
+    (void)(*table)->Validate();
+    (void)(*table)->FindOverlapping(BurstRegion{0, 200, 1.0});
+    (void)(*table)->QueryByBurst({BurstRegion{10, 40, 2.0}}, 3);
+  }
+  // Restore the pristine image so the caller can mutate the other file.
+  fuzz::WriteFileBytes(victim, image);
+}
+
+TEST(FuzzDiskBurstTable, MutatedHeapNeverCrashes) {
+  s2::Rng rng(0xB025713B);
+  const std::string prefix = fuzz::TempPath("s2_fuzz_burst_heap");
+  BuildStore(prefix, &rng);
+  ExerciseMutations(prefix, prefix + ".heap", 0xAB5EED01);
+  std::remove((prefix + ".heap").c_str());
+  std::remove((prefix + ".idx").c_str());
+}
+
+TEST(FuzzDiskBurstTable, MutatedIndexNeverCrashes) {
+  s2::Rng rng(0xB025713C);
+  const std::string prefix = fuzz::TempPath("s2_fuzz_burst_idx");
+  BuildStore(prefix, &rng);
+  ExerciseMutations(prefix, prefix + ".idx", 0xAB5EED02);
+  std::remove((prefix + ".heap").c_str());
+  std::remove((prefix + ".idx").c_str());
+}
+
+TEST(FuzzDiskBurstTable, InflatedRecordCountIsCorruption) {
+  s2::Rng rng(0xB025713D);
+  const std::string prefix = fuzz::TempPath("s2_fuzz_burst_count");
+  BuildStore(prefix, &rng);
+  // Heap page 0: magic at 0, record count u64 at 8. Declare more records
+  // than the heap pages can possibly hold.
+  const std::string heap_path = prefix + ".heap";
+  std::vector<char> image = fuzz::ReadFileBytes(heap_path);
+  const uint64_t huge = 1ull << 32;
+  std::memcpy(image.data() + 8, &huge, sizeof(huge));
+  fuzz::WriteFileBytes(heap_path, image);
+
+  auto table = DiskBurstTable::Open(prefix, 16);
+  ASSERT_FALSE(table.ok());
+  EXPECT_EQ(table.status().code(), StatusCode::kCorruption);
+  std::remove(heap_path.c_str());
+  std::remove((prefix + ".idx").c_str());
+}
+
+TEST(FuzzDiskBurstTable, ValidateDetectsHeapIndexDisagreement) {
+  s2::Rng rng(0xB025713E);
+  const std::string prefix = fuzz::TempPath("s2_fuzz_burst_agree");
+  BuildStore(prefix, &rng);
+  // Shift record 0's start date on the heap (page 1, offset 0: series u32,
+  // offset 4: start i32) without touching the index.
+  const std::string heap_path = prefix + ".heap";
+  std::vector<char> image = fuzz::ReadFileBytes(heap_path);
+  ASSERT_GE(image.size(), 2 * storage::kPageSize);
+  int32_t start = 0;
+  std::memcpy(&start, image.data() + storage::kPageSize + 4, sizeof(start));
+  start += 1000;
+  std::memcpy(image.data() + storage::kPageSize + 4, &start, sizeof(start));
+  fuzz::WriteFileBytes(heap_path, image);
+
+  auto table = DiskBurstTable::Open(prefix, 16);
+  ASSERT_TRUE(table.ok());
+  const Status status = (*table)->Validate();
+  ASSERT_EQ(status.code(), StatusCode::kCorruption);
+  std::remove(heap_path.c_str());
+  std::remove((prefix + ".idx").c_str());
+}
+
+}  // namespace
+}  // namespace s2::burst

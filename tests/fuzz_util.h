@@ -1,0 +1,58 @@
+#ifndef S2_TESTS_FUZZ_UTIL_H_
+#define S2_TESTS_FUZZ_UTIL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace s2::fuzz {
+
+/// Deterministic corruption injection for the on-disk format fuzz tests:
+/// every mutation derives from an explicit `s2::Rng` seed, so a sanitizer
+/// failure reproduces from the test log alone.
+
+inline std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+inline std::vector<char> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<char>(std::istreambuf_iterator<char>(in),
+                           std::istreambuf_iterator<char>());
+}
+
+inline void WriteFileBytes(const std::string& path,
+                           const std::vector<char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// One seeded mutation of `image`: either flips 1-8 random bytes to random
+/// values, or truncates the image at a random point. Empty images are
+/// returned unchanged.
+inline std::vector<char> Mutate(const std::vector<char>& image, s2::Rng* rng) {
+  std::vector<char> mutated = image;
+  if (mutated.empty()) return mutated;
+  if (rng->Bernoulli(0.25)) {
+    const size_t cut = static_cast<size_t>(
+        rng->UniformInt(0, static_cast<int64_t>(mutated.size()) - 1));
+    mutated.resize(cut);
+    return mutated;
+  }
+  const int flips = static_cast<int>(rng->UniformInt(1, 8));
+  for (int i = 0; i < flips; ++i) {
+    const size_t at = static_cast<size_t>(
+        rng->UniformInt(0, static_cast<int64_t>(mutated.size()) - 1));
+    mutated[at] = static_cast<char>(rng->UniformInt(0, 255));
+  }
+  return mutated;
+}
+
+}  // namespace s2::fuzz
+
+#endif  // S2_TESTS_FUZZ_UTIL_H_

@@ -1,0 +1,88 @@
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "fuzz_util.h"
+#include "index/vp_tree.h"
+#include "storage/sequence_store.h"
+
+namespace s2::index {
+namespace {
+
+// Corruption fuzzing for the serialized VP-tree index: Load on a mutated
+// image either fails with a Status, or yields an index whose Validate and
+// Search never crash.
+
+std::vector<std::vector<double>> MakeRows(int n, int length, uint64_t seed) {
+  s2::Rng rng(seed);
+  std::vector<std::vector<double>> rows(n, std::vector<double>(length));
+  for (auto& row : rows) {
+    for (double& x : row) x = rng.Normal(0.0, 1.0);
+  }
+  return rows;
+}
+
+TEST(FuzzVpTreeIo, MutatedImagesNeverCrashLoadOrSearch) {
+  s2::Rng rng(0x7EE5EED5);
+  const auto rows = MakeRows(40, 32, 99);
+  VpTreeIndex::Options options;
+  options.budget_c = 4;
+  options.leaf_size = 4;
+  auto built = VpTreeIndex::Build(rows, options);
+  ASSERT_TRUE(built.ok());
+
+  const std::string path = fuzz::TempPath("s2_fuzz_vptree.idx");
+  ASSERT_TRUE(built->Save(path).ok());
+  const std::vector<char> image = fuzz::ReadFileBytes(path);
+  ASSERT_FALSE(image.empty());
+
+  auto source = storage::InMemorySequenceSource::Create(rows);
+  ASSERT_TRUE(source.ok());
+
+  for (int round = 0; round < 150; ++round) {
+    fuzz::WriteFileBytes(path, fuzz::Mutate(image, &rng));
+    auto loaded = VpTreeIndex::Load(path);
+    if (!loaded.ok()) {
+      EXPECT_NE(loaded.status().code(), StatusCode::kOk);
+      continue;
+    }
+    // A surviving image must still be structurally safe to walk.
+    (void)loaded->Validate();
+    (void)loaded->Search(rows[0], 3, source->get(), nullptr);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FuzzVpTreeIo, TruncatedHeaderIsRejected) {
+  const auto rows = MakeRows(16, 16, 5);
+  VpTreeIndex::Options options;
+  options.budget_c = 3;
+  options.leaf_size = 4;
+  auto built = VpTreeIndex::Build(rows, options);
+  ASSERT_TRUE(built.ok());
+
+  const std::string path = fuzz::TempPath("s2_fuzz_vptree_trunc.idx");
+  ASSERT_TRUE(built->Save(path).ok());
+  const std::vector<char> image = fuzz::ReadFileBytes(path);
+
+  for (size_t cut : {0ul, 2ul, 4ul, 8ul, 16ul, 24ul}) {
+    if (cut >= image.size()) continue;
+    fuzz::WriteFileBytes(path,
+                         std::vector<char>(image.begin(),
+                                           image.begin() +
+                                               static_cast<ptrdiff_t>(cut)));
+    auto loaded = VpTreeIndex::Load(path);
+    EXPECT_FALSE(loaded.ok()) << "cut at " << cut;
+    if (!loaded.ok()) {
+      EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption)
+          << "cut at " << cut;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace s2::index

@@ -153,12 +153,47 @@ TEST_F(PagerTest, CacheHitAccounting) {
   EXPECT_EQ((*pager)->disk_reads(), 0u);
 }
 
+TEST_F(PagerTest, ValidatePassesThroughNormalUse) {
+  auto pager = Pager::Open(path_, 2);
+  ASSERT_TRUE(pager.ok());
+  EXPECT_TRUE((*pager)->Validate().ok());
+  char* data = nullptr;
+  auto id = (*pager)->Allocate(&data);
+  ASSERT_TRUE(id.ok());
+  // Valid while a page is pinned, after unpin, and after eviction traffic.
+  EXPECT_TRUE((*pager)->Validate().ok());
+  ASSERT_TRUE((*pager)->Unpin(*id, true).ok());
+  for (uint32_t p = 0; p < 5; ++p) {
+    char* extra = nullptr;
+    ASSERT_TRUE((*pager)->Allocate(&extra).ok());
+    ASSERT_TRUE((*pager)->Unpin(p + 1, true).ok());
+  }
+  EXPECT_TRUE((*pager)->Validate().ok());
+  ASSERT_TRUE((*pager)->FlushAll().ok());
+  EXPECT_TRUE((*pager)->Validate().ok());
+}
+
+TEST_F(PagerTest, ValidateDetectsExternalTruncation) {
+  auto pager = Pager::Open(path_, 2);
+  ASSERT_TRUE(pager.ok());
+  for (uint32_t p = 0; p < 4; ++p) {
+    char* data = nullptr;
+    ASSERT_TRUE((*pager)->Allocate(&data).ok());
+    ASSERT_TRUE((*pager)->Unpin(p, true).ok());
+  }
+  ASSERT_TRUE((*pager)->FlushAll().ok());
+  // Chop one page off the file behind the pager's back.
+  std::filesystem::resize_file(path_, 3 * kPageSize);
+  const Status status = (*pager)->Validate();
+  EXPECT_EQ(status.code(), StatusCode::kCorruption);
+}
+
 TEST_F(PagerTest, NonAlignedFileRejected) {
   std::FILE* f = std::fopen(path_.c_str(), "wb");
   ASSERT_NE(f, nullptr);
   std::fwrite("partial", 1, 7, f);
   std::fclose(f);
-  EXPECT_EQ(Pager::Open(path_, 4).status().code(), StatusCode::kIoError);
+  EXPECT_EQ(Pager::Open(path_, 4).status().code(), StatusCode::kCorruption);
 }
 
 }  // namespace

@@ -93,7 +93,8 @@ TEST(DiskSequenceStoreTest, CorruptHeaderRejected) {
   ASSERT_NE(f, nullptr);
   std::fwrite("NOTMAGIC", 1, 8, f);
   std::fclose(f);
-  EXPECT_EQ(DiskSequenceStore::Open(path).status().code(), StatusCode::kIoError);
+  EXPECT_EQ(DiskSequenceStore::Open(path).status().code(),
+            StatusCode::kCorruption);
   std::remove(path.c_str());
 }
 

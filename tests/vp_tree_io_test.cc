@@ -136,7 +136,7 @@ TEST(VpTreeIoTest, CorruptFilesRejected) {
   ASSERT_NE(f, nullptr);
   std::fwrite("GARBAGE!", 1, 8, f);
   std::fclose(f);
-  EXPECT_EQ(VpTreeIndex::Load(path).status().code(), StatusCode::kIoError);
+  EXPECT_EQ(VpTreeIndex::Load(path).status().code(), StatusCode::kCorruption);
   std::remove(path.c_str());
 }
 
@@ -150,7 +150,7 @@ TEST(VpTreeIoTest, TruncationDetected) {
   ASSERT_TRUE(built->Save(path).ok());
   const auto size = std::filesystem::file_size(path);
   std::filesystem::resize_file(path, size * 2 / 3);
-  EXPECT_EQ(VpTreeIndex::Load(path).status().code(), StatusCode::kIoError);
+  EXPECT_EQ(VpTreeIndex::Load(path).status().code(), StatusCode::kCorruption);
   std::remove(path.c_str());
 }
 

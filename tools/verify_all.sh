@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Full correctness matrix: builds and runs the test suite under
+#   1. plain Debug (assertions + S2_DCHECK on),
+#   2. AddressSanitizer,
+#   3. ThreadSanitizer,
+#   4. UndefinedBehaviorSanitizer,
+# then runs clang-tidy via tools/lint.sh. Exits nonzero on the first
+# configuration that fails to build or test, or if lint fails.
+#
+# Usage: tools/verify_all.sh [jobs]
+set -u
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="${1:-$(nproc 2> /dev/null || echo 4)}"
+failed=0
+
+run_config() {
+  local label="$1" build_dir="$2" sanitize="$3"
+  echo "==== [${label}] configure + build + ctest ===="
+  if ! cmake -S "${repo_root}" -B "${build_dir}" \
+      -DCMAKE_BUILD_TYPE=Debug \
+      -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+      -DS2_SANITIZE="${sanitize}" > "${build_dir}.configure.log" 2>&1; then
+    echo "FAIL [${label}]: configure (see ${build_dir}.configure.log)" >&2
+    return 1
+  fi
+  if ! cmake --build "${build_dir}" -j "${jobs}" > "${build_dir}.build.log" 2>&1; then
+    echo "FAIL [${label}]: build (see ${build_dir}.build.log)" >&2
+    return 1
+  fi
+  if ! ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}" \
+      > "${build_dir}.ctest.log" 2>&1; then
+    echo "FAIL [${label}]: tests (see ${build_dir}.ctest.log)" >&2
+    return 1
+  fi
+  echo "PASS [${label}]"
+}
+
+run_config "plain" "${repo_root}/build-verify-plain" "" || failed=1
+run_config "asan" "${repo_root}/build-verify-asan" "address" || failed=1
+run_config "tsan" "${repo_root}/build-verify-tsan" "thread" || failed=1
+run_config "ubsan" "${repo_root}/build-verify-ubsan" "undefined" || failed=1
+
+echo "==== [lint] clang-tidy ===="
+if ! "${repo_root}/tools/lint.sh" "${repo_root}/build-verify-plain"; then
+  echo "FAIL [lint]" >&2
+  failed=1
+fi
+
+if [ "${failed}" -ne 0 ]; then
+  echo "verify_all.sh: FAILURES detected." >&2
+  exit 1
+fi
+echo "verify_all.sh: all configurations green."
