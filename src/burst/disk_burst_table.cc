@@ -51,10 +51,51 @@ BurstRecord DecodeRecord(const char* in) {
 
 Result<std::unique_ptr<DiskBurstTable>> DiskBurstTable::Open(
     const std::string& prefix, size_t pool_pages) {
-  S2_ASSIGN_OR_RETURN(std::unique_ptr<storage::Pager> heap,
-                      storage::Pager::Open(prefix + ".heap", pool_pages));
-  S2_ASSIGN_OR_RETURN(std::unique_ptr<storage::DiskBPlusTree> index,
-                      storage::DiskBPlusTree::Open(prefix + ".idx", pool_pages));
+  Options options;
+  options.pool_pages = pool_pages;
+  return Open(prefix, options);
+}
+
+Result<std::unique_ptr<DiskBurstTable>> DiskBurstTable::Open(
+    const std::string& prefix, Options options) {
+  io::Env* env = options.env != nullptr ? options.env : io::Env::Default();
+  storage::Pager::Options heap_options;
+  heap_options.env = options.env;
+  heap_options.durable = options.durable;
+  S2_ASSIGN_OR_RETURN(
+      std::unique_ptr<storage::Pager> heap,
+      storage::Pager::Open(prefix + ".heap", options.pool_pages, heap_options));
+
+  const std::string idx_path = prefix + ".idx";
+  storage::DiskBPlusTree::Options index_options;
+  index_options.env = options.env;
+  index_options.durable = options.durable;
+  index_options.pool_pages = options.pool_pages;
+  // Discards every on-disk trace of the index (published file, pending
+  // commit, shadow copy) and opens an empty tree in its place.
+  auto fresh_index = [&]() -> Result<std::unique_ptr<storage::DiskBPlusTree>> {
+    S2_RETURN_NOT_OK(env->Remove(idx_path));
+    S2_RETURN_NOT_OK(env->Remove(idx_path + ".tmp"));
+    S2_RETURN_NOT_OK(env->Remove(idx_path + ".shadow"));
+    return storage::DiskBPlusTree::Open(idx_path, index_options);
+  };
+
+  // The index is fully derivable from the heap, so a corrupt index file is
+  // recoverable, not fatal: replace it and repopulate from the heap below.
+  // Any other open failure (I/O) propagates.
+  bool rebuild = false;
+  std::unique_ptr<storage::DiskBPlusTree> index;
+  Result<std::unique_ptr<storage::DiskBPlusTree>> opened =
+      storage::DiskBPlusTree::Open(idx_path, index_options);
+  if (opened.ok()) {
+    index = std::move(*opened);
+  } else if (opened.status().code() == StatusCode::kCorruption) {
+    rebuild = true;
+    S2_ASSIGN_OR_RETURN(index, fresh_index());
+  } else {
+    return opened.status();
+  }
+
   std::unique_ptr<DiskBurstTable> table(
       new DiskBurstTable(std::move(heap), std::move(index)));
   if (table->heap_->num_pages() == 0) {
@@ -68,7 +109,32 @@ Result<std::unique_ptr<DiskBurstTable>> DiskBurstTable::Open(
   } else {
     S2_RETURN_NOT_OK(table->LoadMeta());
   }
+
+  // Flush commits the heap strictly before the index, so a crash between the
+  // two commits leaves the index one generation behind the heap. A
+  // cardinality disagreement therefore means the index cannot be trusted;
+  // replace it and rebuild. (Equal counts with mismatched keys are genuine
+  // corruption and stay visible to Validate.)
+  if (!rebuild && table->index_->size() != table->record_count_) {
+    rebuild = true;
+    table->index_.reset();  // Publishes (stale) state; superseded next line.
+    S2_ASSIGN_OR_RETURN(table->index_, fresh_index());
+  }
+  if (rebuild) {
+    S2_RETURN_NOT_OK(table->RebuildIndex());
+    table->index_rebuilt_ = true;
+  }
   return table;
+}
+
+// Repopulates the (empty) index from the heap: one entry per record, keyed
+// by start date — the same pairs Insert would have produced.
+Status DiskBurstTable::RebuildIndex() {
+  for (uint64_t id = 0; id < record_count_; ++id) {
+    S2_ASSIGN_OR_RETURN(BurstRecord record, ReadRecord(id));
+    S2_RETURN_NOT_OK(index_->Insert(record.start, id));
+  }
+  return index_->Flush();
 }
 
 Status DiskBurstTable::LoadMeta() {
@@ -253,7 +319,9 @@ Status DiskBurstTable::Validate() {
 }
 
 Status DiskBurstTable::Flush() {
-  S2_RETURN_NOT_OK(heap_->FlushAll());
+  // Heap first: the index is derivable from the heap but not vice versa, so
+  // a crash between the two commits is always recoverable (Open rebuilds).
+  S2_RETURN_NOT_OK(heap_->Sync());
   return index_->Flush();
 }
 

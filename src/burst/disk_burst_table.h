@@ -23,12 +23,27 @@ namespace s2::burst {
 /// `endDate >= Q.startDate` filter against the heap records.
 ///
 /// Durability is flush-granular (call `Flush` after ingest batches); both
-/// files reopen seamlessly.
+/// files reopen seamlessly. In the default durable mode each file publishes
+/// complete generations via the pager's shadow-copy protocol — `Flush`
+/// commits the heap strictly before the index, and because the index is
+/// fully derivable from the heap, `Open` self-heals a crash between the two
+/// commits (or a corrupt index file) by rebuilding the index from the heap.
 class DiskBurstTable {
  public:
+  struct Options {
+    /// Filesystem to operate in; null means `io::Env::Default()`.
+    io::Env* env = nullptr;
+    /// Crash-safe shadow publishing for both files (see Pager).
+    bool durable = true;
+    /// Buffer-pool capacity per file.
+    size_t pool_pages = 64;
+  };
+
   /// Opens (or creates) the store at `<prefix>.heap` / `<prefix>.idx`.
   static Result<std::unique_ptr<DiskBurstTable>> Open(const std::string& prefix,
                                                       size_t pool_pages = 64);
+  static Result<std::unique_ptr<DiskBurstTable>> Open(const std::string& prefix,
+                                                      Options options);
 
   DiskBurstTable(const DiskBurstTable&) = delete;
   DiskBurstTable& operator=(const DiskBurstTable&) = delete;
@@ -63,6 +78,10 @@ class DiskBurstTable {
   /// Reports the exact violations as `Status::Corruption`.
   Status Validate();
 
+  /// Times `Open` had to rebuild the index from the heap (0 on a clean
+  /// open) — surfaced so tests and operators can see self-heals happening.
+  bool index_rebuilt() const { return index_rebuilt_; }
+
  private:
   DiskBurstTable(std::unique_ptr<storage::Pager> heap,
                  std::unique_ptr<storage::DiskBPlusTree> index)
@@ -72,10 +91,12 @@ class DiskBurstTable {
   Status StoreMeta();
   Result<BurstRecord> ReadRecord(uint64_t record_id);
   Result<uint64_t> AppendRecord(const BurstRecord& record);
+  Status RebuildIndex();
 
   std::unique_ptr<storage::Pager> heap_;
   std::unique_ptr<storage::DiskBPlusTree> index_;
   uint64_t record_count_ = 0;
+  bool index_rebuilt_ = false;
 };
 
 }  // namespace s2::burst

@@ -30,6 +30,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Cancelled";
     case StatusCode::kCorruption:
       return "Corruption";
+    case StatusCode::kIoTransient:
+      return "IoTransient";
   }
   return "Unknown";
 }

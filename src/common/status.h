@@ -31,6 +31,12 @@ enum class StatusCode {
   // Unlike kIoError (the *transport* failed) this means the *bytes* are
   // wrong; retrying will not help and the image should be quarantined.
   kCorruption = 10,
+  // I/O-layer code (src/io): the transport failed in a way that is expected
+  // to be temporary — an interrupted syscall (EINTR), a would-block
+  // (EAGAIN), an injected transient fault. Unlike kIoError, retrying the
+  // same operation has a real chance of succeeding; resilience::RetryPolicy
+  // keys off this code (see IsRetryable below).
+  kIoTransient = 11,
 };
 
 /// Human-readable name of a status code (e.g. "InvalidArgument").
@@ -96,6 +102,9 @@ class [[nodiscard]] Status {
   static Status Corruption(std::string message) {
     return Status(StatusCode::kCorruption, std::move(message));
   }
+  static Status TransientIo(std::string message) {
+    return Status(StatusCode::kIoTransient, std::move(message));
+  }
 
   /// True iff this status represents success.
   bool ok() const { return state_ == nullptr; }
@@ -122,6 +131,16 @@ class [[nodiscard]] Status {
   // Null iff OK. shared_ptr keeps Status copyable without re-allocating.
   std::shared_ptr<const State> state_;
 };
+
+/// True when retrying the failed operation has a real chance of succeeding:
+/// the error is an overloaded-but-alive server (`kUnavailable`) or a
+/// transient transport fault (`kIoTransient`). Hard I/O errors, corruption
+/// and semantic errors (bad argument, not found, ...) are not retryable —
+/// re-running the same operation would deterministically fail again.
+inline bool IsRetryable(const Status& status) {
+  return status.code() == StatusCode::kUnavailable ||
+         status.code() == StatusCode::kIoTransient;
+}
 
 }  // namespace s2
 

@@ -1,10 +1,13 @@
 #include "core/s2_engine.h"
 
+#include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "diag/check.h"
 #include "diag/validate.h"
 #include "dsp/stats.h"
+#include "dtw/dtw.h"
 
 namespace s2::core {
 
@@ -60,8 +63,14 @@ Result<S2Engine> S2Engine::Build(ts::Corpus corpus, const Options& options) {
   } else {
     S2_ASSIGN_OR_RETURN(auto source,
                         storage::DiskSequenceStore::Create(options.disk_store_path,
-                                                           engine.standardized_));
-    engine.source_ = std::move(source);
+                                                           engine.standardized_,
+                                                           options.env));
+    // Disk reads can fail transiently (EINTR, injected faults); wrap them in
+    // the retry decorator so one blip does not abort a whole query.
+    auto retrying = std::make_unique<resilience::RetryingSequenceSource>(
+        std::move(source), options.retry);
+    engine.retry_source_ = retrying.get();
+    engine.source_ = std::move(retrying);
   }
 
   // Burst stores for both horizons.
@@ -168,6 +177,58 @@ Result<std::vector<index::Neighbor>> S2Engine::SimilarToSeries(
     index::VpTreeIndex::SearchStats* stats) const {
   const std::vector<double> z = dsp::Standardize(raw_values);
   return index_->Search(z, k, source_.get(), stats);
+}
+
+namespace {
+
+// Exact Euclidean k-NN by linear scan over RAM-resident rows; `exclude`
+// drops the query series itself. Cannot touch disk, cannot fail.
+std::vector<index::Neighbor> ExactScan(
+    const std::vector<std::vector<double>>& rows,
+    const std::vector<double>& query, size_t k, ts::SeriesId exclude) {
+  index::BestList best(k);
+  for (ts::SeriesId id = 0; id < rows.size(); ++id) {
+    if (id == exclude) continue;
+    const std::vector<double>& row = rows[id];
+    const size_t n = std::min(row.size(), query.size());
+    double sum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const double d = row[i] - query[i];
+      sum += d * d;
+    }
+    best.Offer(id, std::sqrt(sum));
+  }
+  return std::move(best).Take();
+}
+
+}  // namespace
+
+Result<std::vector<index::Neighbor>> S2Engine::SimilarToExact(
+    ts::SeriesId id, size_t k) const {
+  if (id >= corpus_.size()) return Status::NotFound("S2Engine: bad series id");
+  return ExactScan(standardized_, standardized_[id], k, id);
+}
+
+Result<std::vector<index::Neighbor>> S2Engine::SimilarToSeriesExact(
+    const std::vector<double>& raw_values, size_t k) const {
+  const std::vector<double> z = dsp::Standardize(raw_values);
+  return ExactScan(standardized_, z, k, ts::kInvalidSeriesId);
+}
+
+Result<std::vector<index::Neighbor>> S2Engine::SimilarToDtwExact(
+    ts::SeriesId id, size_t k) const {
+  if (id >= corpus_.size()) return Status::NotFound("S2Engine: bad series id");
+  const std::vector<double>& query = standardized_[id];
+  index::BestList best(k);
+  for (ts::SeriesId other = 0; other < standardized_.size(); ++other) {
+    if (other == id) continue;
+    S2_ASSIGN_OR_RETURN(double d,
+                        dtw::DtwDistanceEarlyAbandon(query, standardized_[other],
+                                                     options_.dtw_window,
+                                                     best.Threshold()));
+    best.Offer(other, d);
+  }
+  return std::move(best).Take();
 }
 
 Result<std::vector<index::Neighbor>> S2Engine::SimilarToDtw(

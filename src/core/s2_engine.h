@@ -14,6 +14,7 @@
 #include "index/knn.h"
 #include "index/vp_tree.h"
 #include "period/period_detector.h"
+#include "resilience/retrying_source.h"
 #include "storage/sequence_store.h"
 #include "timeseries/time_series.h"
 
@@ -68,6 +69,12 @@ class S2Engine {
     /// and verification reads come from disk (the paper's external-memory
     /// configuration); otherwise everything stays in RAM.
     std::string disk_store_path;
+    /// Filesystem the disk store lives in; null means the POSIX
+    /// environment. Tests substitute `io::MemEnv` / `io::FaultInjectingEnv`.
+    io::Env* env = nullptr;
+    /// Retry policy for transient faults on the disk verification path
+    /// (disk-resident engines only; see resilience::RetryingSequenceSource).
+    resilience::RetryPolicy retry;
   };
 
   /// Ingests `corpus` and builds every derived structure. All series must
@@ -109,6 +116,25 @@ class S2Engine {
       const std::vector<double>& raw_values, size_t k,
       index::VpTreeIndex::SearchStats* stats = nullptr) const;
 
+  /// Degraded-mode answer: exact k-NN by linear scan over the RAM-resident
+  /// standardized rows. No index traversal, no sequence-store I/O — this
+  /// path cannot fail on disk faults, which is exactly why the serving
+  /// layer falls back to it when the indexed path hits I/O trouble. O(N·len)
+  /// per query, but the answer set is identical to `SimilarTo` (both are
+  /// exact Euclidean k-NN).
+  Result<std::vector<index::Neighbor>> SimilarToExact(ts::SeriesId id,
+                                                      size_t k) const;
+
+  /// Degraded-mode counterpart of `SimilarToSeries` (same linear scan).
+  Result<std::vector<index::Neighbor>> SimilarToSeriesExact(
+      const std::vector<double>& raw_values, size_t k) const;
+
+  /// Degraded-mode counterpart of `SimilarToDtw`: exact windowed-DTW k-NN
+  /// by early-abandoning linear scan over the RAM rows — same answers, no
+  /// index, no disk.
+  Result<std::vector<index::Neighbor>> SimilarToDtwExact(ts::SeriesId id,
+                                                         size_t k) const;
+
   /// k nearest neighbors of an indexed series under *dynamic time warping*
   /// (Section 8 extension): exact windowed-DTW search accelerated by the
   /// compressed-representation upper bounds and LB_Keogh. Itself excluded.
@@ -142,6 +168,11 @@ class S2Engine {
     return horizon == BurstHorizon::kLongTerm ? long_bursts_ : short_bursts_;
   }
   storage::SequenceSource* source() const { return source_.get(); }
+  /// The retrying decorator around the disk store; null for RAM-resident
+  /// engines (whose source cannot fail). Exposes retry/giveup counters.
+  const resilience::RetryingSequenceSource* retry_source() const {
+    return retry_source_;
+  }
   const Options& options() const { return options_; }
 
   /// Cross-structure self-check: validates the VP-tree (structure only —
@@ -164,6 +195,8 @@ class S2Engine {
   std::vector<std::vector<double>> standardized_;
   // Non-owning alias of source_ when it is RAM-resident; enables AddSeries.
   storage::InMemorySequenceSource* mem_source_ = nullptr;
+  // Non-owning alias of source_ when it is disk-resident (retry decorator).
+  resilience::RetryingSequenceSource* retry_source_ = nullptr;
   std::unordered_map<std::string, ts::SeriesId> by_name_;
   std::unique_ptr<index::VpTreeIndex> index_;
   std::unique_ptr<dtw::DtwKnnSearch> dtw_search_;

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <cstdio>
 #include <cstring>
 #include <memory>
 #include <numeric>
@@ -11,6 +10,8 @@
 
 #include "common/rng.h"
 #include "diag/validate.h"
+#include "io/durable.h"
+#include "io/serial.h"
 #include "repr/feature_store.h"
 #include "dsp/stats.h"
 
@@ -451,88 +452,74 @@ namespace {
 
 constexpr char kIndexMagic[8] = {'S', '2', 'V', 'P', 'T', 'R', '0', '1'};
 
-struct FileCloser {
-  void operator()(std::FILE* f) const {
-    if (f != nullptr) std::fclose(f);
-  }
-};
-using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
-
 template <typename T>
-bool WriteScalar(std::FILE* f, T value) {
-  return std::fwrite(&value, sizeof(T), 1, f) == 1;
+bool PutScalar(io::File* f, T value) {
+  return io::WriteScalar(f, value).ok();
 }
 
 template <typename T>
-bool ReadScalar(std::FILE* f, T* value) {
-  return std::fread(value, sizeof(T), 1, f) == 1;
+bool GetScalar(io::File* f, T* value) {
+  return io::ReadScalar(f, value).ok();
 }
 
 }  // namespace
 
-Status VpTreeIndex::Save(const std::string& path) const {
-  FilePtr file(std::fopen(path.c_str(), "wb"));
-  if (file == nullptr) {
-    return Status::IoError("VpTreeIndex::Save: cannot create " + path);
-  }
-  std::FILE* f = file.get();
+Status VpTreeIndex::Save(const std::string& path, io::Env* env) const {
+  if (env == nullptr) env = io::Env::Default();
+  // Serialize into RAM, then commit the image as one generation: readers of
+  // `path` only ever observe a complete index, and a crash mid-save leaves
+  // the previous generation in place.
+  io::BufferFile buffer;
+  io::File* f = &buffer;
 
-  bool ok = std::fwrite(kIndexMagic, 1, sizeof(kIndexMagic), f) ==
-                sizeof(kIndexMagic) &&
-            WriteScalar<uint8_t>(f, static_cast<uint8_t>(options_.repr_kind)) &&
-            WriteScalar<uint8_t>(f, static_cast<uint8_t>(options_.basis)) &&
-            WriteScalar<uint8_t>(f, static_cast<uint8_t>(options_.method)) &&
-            WriteScalar<uint64_t>(f, options_.budget_c) &&
-            WriteScalar(f, options_.energy_fraction) &&
-            WriteScalar<uint64_t>(f, options_.leaf_size) &&
-            WriteScalar<uint8_t>(f, options_.guided_traversal ? 1 : 0) &&
-            WriteScalar<uint32_t>(f, series_length_) &&
-            WriteScalar<uint64_t>(f, num_objects_) &&
-            WriteScalar<uint64_t>(f, num_tombstones_) &&
-            WriteScalar<int32_t>(f, root_) &&
-            WriteScalar<uint64_t>(f, nodes_.size());
+  bool ok = io::WriteExact(f, kIndexMagic, sizeof(kIndexMagic)).ok() &&
+            PutScalar<uint8_t>(f, static_cast<uint8_t>(options_.repr_kind)) &&
+            PutScalar<uint8_t>(f, static_cast<uint8_t>(options_.basis)) &&
+            PutScalar<uint8_t>(f, static_cast<uint8_t>(options_.method)) &&
+            PutScalar<uint64_t>(f, options_.budget_c) &&
+            PutScalar(f, options_.energy_fraction) &&
+            PutScalar<uint64_t>(f, options_.leaf_size) &&
+            PutScalar<uint8_t>(f, options_.guided_traversal ? 1 : 0) &&
+            PutScalar<uint32_t>(f, series_length_) &&
+            PutScalar<uint64_t>(f, num_objects_) &&
+            PutScalar<uint64_t>(f, num_tombstones_) &&
+            PutScalar<int32_t>(f, root_) &&
+            PutScalar<uint64_t>(f, nodes_.size());
   if (!ok) return Status::IoError("VpTreeIndex::Save: short write");
 
   for (const Node& node : nodes_) {
-    ok = WriteScalar<uint8_t>(f, node.leaf ? 1 : 0) &&
-         WriteScalar<uint8_t>(f, node.vantage_deleted ? 1 : 0) &&
-         WriteScalar(f, node.median) && WriteScalar(f, node.left) &&
-         WriteScalar(f, node.right);
+    ok = PutScalar<uint8_t>(f, node.leaf ? 1 : 0) &&
+         PutScalar<uint8_t>(f, node.vantage_deleted ? 1 : 0) &&
+         PutScalar(f, node.median) && PutScalar(f, node.left) &&
+         PutScalar(f, node.right);
     if (!ok) return Status::IoError("VpTreeIndex::Save: short write");
     if (node.leaf) {
-      if (!WriteScalar<uint64_t>(f, node.bucket.size())) {
+      if (!PutScalar<uint64_t>(f, node.bucket.size())) {
         return Status::IoError("VpTreeIndex::Save: short write");
       }
       for (const Entry& entry : node.bucket) {
-        if (!WriteScalar(f, entry.id)) {
+        if (!PutScalar(f, entry.id)) {
           return Status::IoError("VpTreeIndex::Save: short write");
         }
         S2_RETURN_NOT_OK(repr::WriteFeatureRecord(f, entry.repr));
       }
     } else {
-      if (!WriteScalar(f, node.vantage.id)) {
+      if (!PutScalar(f, node.vantage.id)) {
         return Status::IoError("VpTreeIndex::Save: short write");
       }
       S2_RETURN_NOT_OK(repr::WriteFeatureRecord(f, node.vantage.repr));
     }
   }
-  return Status::OK();
+  return io::durable::CommitNext(env, path, std::move(buffer).TakeBytes());
 }
 
-Result<VpTreeIndex> VpTreeIndex::Load(const std::string& path) {
-  FilePtr file(std::fopen(path.c_str(), "rb"));
-  if (file == nullptr) {
-    return Status::IoError("VpTreeIndex::Load: cannot open " + path);
-  }
-  std::FILE* f = file.get();
-
-  if (std::fseek(f, 0, SEEK_END) != 0) {
-    return Status::IoError("VpTreeIndex::Load: seek failed on " + path);
-  }
-  const long file_size = std::ftell(f);
-  if (file_size < 0 || std::fseek(f, 0, SEEK_SET) != 0) {
-    return Status::IoError("VpTreeIndex::Load: cannot determine size of " + path);
-  }
+Result<VpTreeIndex> VpTreeIndex::Load(const std::string& path, io::Env* env) {
+  if (env == nullptr) env = io::Env::Default();
+  std::vector<char> bytes;
+  S2_RETURN_NOT_OK(io::durable::LoadLatest(env, path, &bytes));
+  io::BufferFile buffer(std::move(bytes));
+  io::File* f = &buffer;
+  const uint64_t file_size = buffer.bytes().size();
 
   char magic[sizeof(kIndexMagic)];
   uint8_t repr_kind = 0;
@@ -547,14 +534,14 @@ Result<VpTreeIndex> VpTreeIndex::Load(const std::string& path) {
   uint64_t num_tombstones = 0;
   int32_t root = -1;
   uint64_t node_count = 0;
-  bool ok = std::fread(magic, 1, sizeof(magic), f) == sizeof(magic) &&
+  bool ok = io::ReadExact(f, magic, sizeof(magic)).ok() &&
             std::memcmp(magic, kIndexMagic, sizeof(kIndexMagic)) == 0 &&
-            ReadScalar(f, &repr_kind) && ReadScalar(f, &basis) &&
-            ReadScalar(f, &method) && ReadScalar(f, &budget_c) &&
-            ReadScalar(f, &energy_fraction) && ReadScalar(f, &leaf_size) &&
-            ReadScalar(f, &guided) && ReadScalar(f, &series_length) &&
-            ReadScalar(f, &num_objects) && ReadScalar(f, &num_tombstones) &&
-            ReadScalar(f, &root) && ReadScalar(f, &node_count);
+            GetScalar(f, &repr_kind) && GetScalar(f, &basis) &&
+            GetScalar(f, &method) && GetScalar(f, &budget_c) &&
+            GetScalar(f, &energy_fraction) && GetScalar(f, &leaf_size) &&
+            GetScalar(f, &guided) && GetScalar(f, &series_length) &&
+            GetScalar(f, &num_objects) && GetScalar(f, &num_tombstones) &&
+            GetScalar(f, &root) && GetScalar(f, &node_count);
   if (!ok || repr_kind > 3 || basis > 1 || method > 6) {
     return Status::Corruption("VpTreeIndex::Load: bad header in " + path);
   }
@@ -568,8 +555,7 @@ Result<VpTreeIndex> VpTreeIndex::Load(const std::string& path) {
                                     sizeof(uint8_t) + sizeof(uint32_t) +
                                     2 * sizeof(uint64_t) + sizeof(int32_t) +
                                     sizeof(uint64_t);
-  if (node_count > (static_cast<uint64_t>(file_size) - kHeaderBytes) /
-                       kMinNodeBytes ||
+  if (node_count > (file_size - kHeaderBytes) / kMinNodeBytes ||
       node_count > static_cast<uint64_t>(
                        std::numeric_limits<int32_t>::max())) {
     return Status::Corruption("VpTreeIndex::Load: node count " +
@@ -592,29 +578,29 @@ Result<VpTreeIndex> VpTreeIndex::Load(const std::string& path) {
     Node node;
     uint8_t leaf = 0;
     uint8_t deleted = 0;
-    if (!ReadScalar(f, &leaf) || !ReadScalar(f, &deleted) ||
-        !ReadScalar(f, &node.median) || !ReadScalar(f, &node.left) ||
-        !ReadScalar(f, &node.right)) {
+    if (!GetScalar(f, &leaf) || !GetScalar(f, &deleted) ||
+        !GetScalar(f, &node.median) || !GetScalar(f, &node.left) ||
+        !GetScalar(f, &node.right)) {
       return Status::Corruption("VpTreeIndex::Load: truncated node");
     }
     node.leaf = leaf != 0;
     node.vantage_deleted = deleted != 0;
     if (node.leaf) {
       uint64_t bucket_size = 0;
-      if (!ReadScalar(f, &bucket_size) || bucket_size > (1u << 24)) {
+      if (!GetScalar(f, &bucket_size) || bucket_size > (1u << 24)) {
         return Status::Corruption("VpTreeIndex::Load: corrupt bucket");
       }
       node.bucket.reserve(bucket_size);
       for (uint64_t b = 0; b < bucket_size; ++b) {
         Entry entry;
-        if (!ReadScalar(f, &entry.id)) {
+        if (!GetScalar(f, &entry.id)) {
           return Status::Corruption("VpTreeIndex::Load: truncated entry");
         }
         S2_ASSIGN_OR_RETURN(entry.repr, repr::ReadFeatureRecord(f));
         node.bucket.push_back(std::move(entry));
       }
     } else {
-      if (!ReadScalar(f, &node.vantage.id)) {
+      if (!GetScalar(f, &node.vantage.id)) {
         return Status::Corruption("VpTreeIndex::Load: truncated vantage");
       }
       S2_ASSIGN_OR_RETURN(node.vantage.repr, repr::ReadFeatureRecord(f));

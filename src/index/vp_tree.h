@@ -122,11 +122,15 @@ class VpTreeIndex {
   /// Serializes the whole index (options, topology, compressed features) so
   /// a later session can `Load` it without re-running the DFT or the
   /// exact-distance construction — the S2 tool's "compressed features are
-  /// stored locally" deployment mode.
-  Status Save(const std::string& path) const;
+  /// stored locally" deployment mode. Commits through the crash-safe
+  /// generation container (`io::durable`): a crash mid-save leaves the
+  /// previous image loadable. `env` defaults to the POSIX filesystem.
+  Status Save(const std::string& path, io::Env* env = nullptr) const;
 
-  /// Loads an index previously written by `Save`.
-  static Result<VpTreeIndex> Load(const std::string& path);
+  /// Loads an index previously written by `Save` (newest valid generation;
+  /// legacy headerless images load as generation 0).
+  static Result<VpTreeIndex> Load(const std::string& path,
+                                  io::Env* env = nullptr);
 
   /// Structural self-check: child pointers in range, no node reachable
   /// twice, every node reachable from the root, object/tombstone counts

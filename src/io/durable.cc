@@ -1,0 +1,172 @@
+#include "io/durable.h"
+
+#include <cstring>
+
+namespace s2::io::durable {
+
+namespace {
+
+struct Header {
+  uint64_t generation = 0;
+  uint64_t payload_size = 0;
+  uint64_t checksum = 0;
+};
+
+uint64_t HeaderChecksum(const Header& header, const void* payload) {
+  uint64_t h = Fnv1a64(&header.generation, sizeof(header.generation));
+  h = Fnv1a64(&header.payload_size, sizeof(header.payload_size), h);
+  return Fnv1a64(payload, static_cast<size_t>(header.payload_size), h);
+}
+
+void EncodeHeader(const Header& header, char out[kGenHeaderBytes]) {
+  std::memcpy(out, kGenMagic, sizeof(kGenMagic));
+  std::memcpy(out + 8, &header.generation, 8);
+  std::memcpy(out + 16, &header.payload_size, 8);
+  std::memcpy(out + 24, &header.checksum, 8);
+}
+
+// One validated candidate file. `is_container` is false for legacy
+// (headerless) files, whose whole content is the generation-0 payload.
+struct Candidate {
+  std::unique_ptr<File> file;
+  Header header;
+  bool is_container = false;
+};
+
+/// Opens and fully validates one candidate path. Returns NotFound when the
+/// file is absent, Corruption when present but invalid.
+Result<Candidate> Validate(Env* env, const std::string& path) {
+  Candidate c;
+  S2_ASSIGN_OR_RETURN(c.file, env->Open(path, OpenMode::kRead));
+  S2_ASSIGN_OR_RETURN(uint64_t size, c.file->Size());
+  char magic[8];
+  if (size >= sizeof(magic)) {
+    S2_RETURN_NOT_OK(ReadExactAt(c.file.get(), magic, sizeof(magic), 0));
+  }
+  if (size < sizeof(magic) ||
+      std::memcmp(magic, kGenMagic, sizeof(magic)) != 0) {
+    // Legacy/pre-container image: the whole file is the payload. Its own
+    // format parser does the integrity checking.
+    c.header.generation = 0;
+    c.header.payload_size = size;
+    c.is_container = false;
+    return c;
+  }
+  if (size < kGenHeaderBytes) {
+    return Status::Corruption("generation container truncated in header: " +
+                              path);
+  }
+  char raw[kGenHeaderBytes];
+  S2_RETURN_NOT_OK(ReadExactAt(c.file.get(), raw, sizeof(raw), 0));
+  std::memcpy(&c.header.generation, raw + 8, 8);
+  std::memcpy(&c.header.payload_size, raw + 16, 8);
+  std::memcpy(&c.header.checksum, raw + 24, 8);
+  if (c.header.payload_size != size - kGenHeaderBytes) {
+    return Status::Corruption(
+        "generation container size mismatch in " + path + ": header claims " +
+        std::to_string(c.header.payload_size) + " payload bytes, file holds " +
+        std::to_string(size - kGenHeaderBytes));
+  }
+  std::vector<char> payload(static_cast<size_t>(c.header.payload_size));
+  if (!payload.empty()) {
+    S2_RETURN_NOT_OK(ReadExactAt(c.file.get(), payload.data(), payload.size(),
+                                 kGenHeaderBytes));
+  }
+  const uint64_t want = HeaderChecksum(c.header, payload.data());
+  if (want != c.header.checksum) {
+    return Status::Corruption("generation container checksum mismatch in " +
+                              path);
+  }
+  c.is_container = true;
+  return c;
+}
+
+/// The newest valid candidate among `<path>` and `<path>.tmp`. A left-over
+/// tmp with a strictly higher generation means the crash happened after the
+/// new generation was fully synced but before the rename — both states are
+/// committed enough to serve.
+Result<Candidate> BestCandidate(Env* env, const std::string& path) {
+  Result<Candidate> main = Validate(env, path);
+  Result<Candidate> tmp = Validate(env, path + ".tmp");
+  const bool tmp_usable = tmp.ok() && tmp->is_container;
+  if (main.ok()) {
+    if (tmp_usable && tmp->header.generation > main->header.generation) {
+      return tmp;
+    }
+    return main;
+  }
+  if (tmp_usable) return tmp;
+  return main.status();
+}
+
+}  // namespace
+
+uint64_t Fnv1a64(const void* data, size_t n, uint64_t seed) {
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= bytes[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+Status Commit(Env* env, const std::string& path, const void* payload,
+              size_t payload_size, uint64_t generation) {
+  Header header;
+  header.generation = generation;
+  header.payload_size = payload_size;
+  header.checksum = HeaderChecksum(header, payload);
+  char raw[kGenHeaderBytes];
+  EncodeHeader(header, raw);
+
+  const std::string tmp = path + ".tmp";
+  {
+    S2_ASSIGN_OR_RETURN(std::unique_ptr<File> file,
+                        env->Open(tmp, OpenMode::kTruncate));
+    S2_RETURN_NOT_OK(WriteExactAt(file.get(), raw, sizeof(raw), 0));
+    if (payload_size > 0) {
+      S2_RETURN_NOT_OK(
+          WriteExactAt(file.get(), payload, payload_size, kGenHeaderBytes));
+    }
+    S2_RETURN_NOT_OK(file->Sync());
+  }
+  return env->Rename(tmp, path);
+}
+
+uint64_t CurrentGeneration(Env* env, const std::string& path) {
+  Result<Candidate> best = BestCandidate(env, path);
+  if (!best.ok()) return 0;
+  return best->header.generation;
+}
+
+Status CommitNext(Env* env, const std::string& path,
+                  const std::vector<char>& payload) {
+  const uint64_t next = CurrentGeneration(env, path) + 1;
+  return Commit(env, path, payload.data(), payload.size(), next);
+}
+
+Status LoadLatest(Env* env, const std::string& path, std::vector<char>* out,
+                  uint64_t* generation_out) {
+  S2_ASSIGN_OR_RETURN(Candidate best, BestCandidate(env, path));
+  const uint64_t offset = best.is_container ? kGenHeaderBytes : 0;
+  out->resize(static_cast<size_t>(best.header.payload_size));
+  if (!out->empty()) {
+    S2_RETURN_NOT_OK(
+        ReadExactAt(best.file.get(), out->data(), out->size(), offset));
+  }
+  if (generation_out != nullptr) *generation_out = best.header.generation;
+  return Status::OK();
+}
+
+Result<OpenInfo> OpenLatest(Env* env, const std::string& path) {
+  S2_ASSIGN_OR_RETURN(Candidate best, BestCandidate(env, path));
+  OpenInfo info;
+  info.payload_offset = best.is_container ? kGenHeaderBytes : 0;
+  info.payload_size = best.header.payload_size;
+  info.generation = best.header.generation;
+  info.file = std::move(best.file);
+  return info;
+}
+
+}  // namespace s2::io::durable

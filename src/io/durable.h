@@ -1,0 +1,75 @@
+#ifndef S2_IO_DURABLE_H_
+#define S2_IO_DURABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "io/env.h"
+
+namespace s2::io::durable {
+
+/// The crash-safe generation container every snapshot-style store writes
+/// through.
+///
+/// On-disk layout of a committed file:
+///
+///   "S2GENF01" | u64 generation | u64 payload_size | u64 fnv1a64 | payload
+///
+/// where the checksum covers (generation, payload_size, payload). `Commit`
+/// writes the container to `<path>.tmp`, fsyncs it, then atomically renames
+/// it over `<path>` — so after a crash at any point `<path>` is either the
+/// previous complete generation or the new complete generation, never a torn
+/// mix. `LoadLatest`/`OpenLatest` validate `<path>` and a left-over
+/// `<path>.tmp` and pick the highest checksum-valid generation.
+///
+/// Legacy compatibility: a file whose first bytes are not the container
+/// magic is treated as a generation-0 payload in its entirety. This keeps
+/// pre-container images (and the fuzz corpora that mutate raw format bytes)
+/// loading through the same code path.
+
+inline constexpr char kGenMagic[8] = {'S', '2', 'G', 'E', 'N', 'F', '0', '1'};
+inline constexpr uint64_t kGenHeaderBytes = 32;
+
+/// FNV-1a 64-bit, the container's payload checksum.
+uint64_t Fnv1a64(const void* data, size_t n, uint64_t seed = 0xcbf29ce484222325ull);
+
+/// Commits `payload` as generation `generation` of `path`
+/// (write-temp -> fsync -> atomic rename).
+Status Commit(Env* env, const std::string& path, const void* payload,
+              size_t payload_size, uint64_t generation);
+
+/// The generation number currently committed at `path`: 0 when the file is
+/// absent or legacy/invalid, the header's generation otherwise.
+uint64_t CurrentGeneration(Env* env, const std::string& path);
+
+/// Commits `payload` as `CurrentGeneration(path) + 1`.
+Status CommitNext(Env* env, const std::string& path,
+                  const std::vector<char>& payload);
+
+/// Loads the payload of the newest valid generation of `path` into `out`
+/// (checking `<path>.tmp` as a fallback candidate). `generation_out` (may be
+/// null) receives its generation. NotFound when no candidate exists;
+/// Corruption when candidates exist but none validates.
+Status LoadLatest(Env* env, const std::string& path, std::vector<char>* out,
+                  uint64_t* generation_out = nullptr);
+
+/// An open handle onto the newest valid generation, for stores that read
+/// records by offset instead of slurping the payload (DiskSequenceStore).
+/// Offsets into the payload start at `payload_offset`.
+struct OpenInfo {
+  std::unique_ptr<File> file;
+  uint64_t payload_offset = 0;
+  uint64_t payload_size = 0;
+  uint64_t generation = 0;
+};
+
+/// Opens the newest valid generation of `path` read-only. Validation reads
+/// the header and (for container files) verifies the checksum over the full
+/// payload once at open.
+Result<OpenInfo> OpenLatest(Env* env, const std::string& path);
+
+}  // namespace s2::io::durable
+
+#endif  // S2_IO_DURABLE_H_

@@ -1,0 +1,270 @@
+#include "io/env.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace s2::io {
+
+namespace {
+
+std::string ErrnoText(const char* op, const std::string& path, int err) {
+  std::string out(op);
+  out += " failed for ";
+  out += path;
+  out += ": ";
+  out += std::strerror(err);
+  out += " (errno ";
+  out += std::to_string(err);
+  out += ")";
+  return out;
+}
+
+/// Maps an errno from a failed syscall to the repository's error taxonomy:
+/// interruptions and would-blocks are transient (retryable), everything
+/// else is a hard I/O error. The errno text always survives into the
+/// message — "short read" with no cause is exactly the anti-pattern this
+/// layer removes.
+Status ErrnoStatus(const char* op, const std::string& path, int err) {
+  if (err == EINTR || err == EAGAIN || err == EWOULDBLOCK) {
+    return Status::TransientIo(ErrnoText(op, path, err));
+  }
+  return Status::IoError(ErrnoText(op, path, err));
+}
+
+class PosixFile : public File {
+ public:
+  PosixFile(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+
+  ~PosixFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Result<size_t> Read(void* buf, size_t n) override {
+    const ssize_t got = ::read(fd_, buf, n);
+    if (got < 0) return ErrnoStatus("read", path_, errno);
+    return static_cast<size_t>(got);
+  }
+
+  Result<size_t> Write(const void* buf, size_t n) override {
+    const ssize_t put = ::write(fd_, buf, n);
+    if (put < 0) return ErrnoStatus("write", path_, errno);
+    return static_cast<size_t>(put);
+  }
+
+  Result<size_t> ReadAt(void* buf, size_t n, uint64_t offset) override {
+    const ssize_t got = ::pread(fd_, buf, n, static_cast<off_t>(offset));
+    if (got < 0) return ErrnoStatus("pread", path_, errno);
+    return static_cast<size_t>(got);
+  }
+
+  Result<size_t> WriteAt(const void* buf, size_t n, uint64_t offset) override {
+    const ssize_t put = ::pwrite(fd_, buf, n, static_cast<off_t>(offset));
+    if (put < 0) return ErrnoStatus("pwrite", path_, errno);
+    return static_cast<size_t>(put);
+  }
+
+  Status Seek(uint64_t offset) override {
+    if (::lseek(fd_, static_cast<off_t>(offset), SEEK_SET) < 0) {
+      return ErrnoStatus("lseek", path_, errno);
+    }
+    return Status::OK();
+  }
+
+  Result<uint64_t> Size() override {
+    struct stat st = {};
+    if (::fstat(fd_, &st) != 0) return ErrnoStatus("fstat", path_, errno);
+    return static_cast<uint64_t>(st.st_size);
+  }
+
+  Status Sync() override {
+    if (::fsync(fd_) != 0) return ErrnoStatus("fsync", path_, errno);
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+class PosixEnv : public Env {
+ public:
+  Result<std::unique_ptr<File>> Open(const std::string& path,
+                                     OpenMode mode) override {
+    int flags = 0;
+    switch (mode) {
+      case OpenMode::kRead:
+        flags = O_RDONLY;
+        break;
+      case OpenMode::kReadWrite:
+        flags = O_RDWR | O_CREAT;
+        break;
+      case OpenMode::kTruncate:
+        flags = O_RDWR | O_CREAT | O_TRUNC;
+        break;
+    }
+    int fd = -1;
+    do {
+      fd = ::open(path.c_str(), flags, 0644);
+    } while (fd < 0 && errno == EINTR);
+    if (fd < 0) {
+      // A missing file is NotFound only when the caller asked to read it;
+      // for write modes a missing parent directory (also ENOENT) is a real
+      // I/O failure.
+      if (errno == ENOENT && mode == OpenMode::kRead) {
+        return Status::NotFound("open failed for " + path + ": no such file");
+      }
+      return ErrnoStatus("open", path, errno);
+    }
+    return std::unique_ptr<File>(new PosixFile(fd, path));
+  }
+
+  Status Rename(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return ErrnoStatus("rename", from + " -> " + to, errno);
+    }
+    return Status::OK();
+  }
+
+  Status Remove(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+      return ErrnoStatus("unlink", path, errno);
+    }
+    return Status::OK();
+  }
+
+  bool FileExists(const std::string& path) override {
+    struct stat st = {};
+    return ::stat(path.c_str(), &st) == 0;
+  }
+};
+
+}  // namespace
+
+Status Env::CopyFile(const std::string& from, const std::string& to) {
+  S2_ASSIGN_OR_RETURN(std::unique_ptr<File> src, Open(from, OpenMode::kRead));
+  S2_ASSIGN_OR_RETURN(std::unique_ptr<File> dst, Open(to, OpenMode::kTruncate));
+  std::vector<char> buf(1 << 16);
+  uint64_t offset = 0;
+  for (;;) {
+    S2_ASSIGN_OR_RETURN(size_t got, src->ReadAt(buf.data(), buf.size(), offset));
+    if (got == 0) break;
+    S2_RETURN_NOT_OK(WriteExactAt(dst.get(), buf.data(), got, offset));
+    offset += got;
+  }
+  return dst->Sync();
+}
+
+Status Env::DropUnsynced() {
+  return Status::InvalidArgument(
+      "Env::DropUnsynced: crash simulation is only supported by simulation "
+      "environments (MemEnv)");
+}
+
+Env* Env::Default() {
+  static PosixEnv* env = new PosixEnv();
+  return env;
+}
+
+Status ReadExact(File* file, void* buf, size_t n) {
+  char* dst = static_cast<char*>(buf);
+  size_t done = 0;
+  while (done < n) {
+    S2_ASSIGN_OR_RETURN(size_t got, file->Read(dst + done, n - done));
+    if (got == 0) {
+      return Status::Corruption("truncated read: wanted " + std::to_string(n) +
+                                " bytes, file ended after " +
+                                std::to_string(done));
+    }
+    done += got;
+  }
+  return Status::OK();
+}
+
+Status ReadExactAt(File* file, void* buf, size_t n, uint64_t offset) {
+  char* dst = static_cast<char*>(buf);
+  size_t done = 0;
+  while (done < n) {
+    S2_ASSIGN_OR_RETURN(size_t got,
+                        file->ReadAt(dst + done, n - done, offset + done));
+    if (got == 0) {
+      return Status::Corruption("truncated read at offset " +
+                                std::to_string(offset) + ": wanted " +
+                                std::to_string(n) + " bytes, got " +
+                                std::to_string(done));
+    }
+    done += got;
+  }
+  return Status::OK();
+}
+
+Status WriteExact(File* file, const void* buf, size_t n) {
+  const char* src = static_cast<const char*>(buf);
+  size_t done = 0;
+  while (done < n) {
+    S2_ASSIGN_OR_RETURN(size_t put, file->Write(src + done, n - done));
+    if (put == 0) return Status::IoError("write made no progress");
+    done += put;
+  }
+  return Status::OK();
+}
+
+Status WriteExactAt(File* file, const void* buf, size_t n, uint64_t offset) {
+  const char* src = static_cast<const char*>(buf);
+  size_t done = 0;
+  while (done < n) {
+    S2_ASSIGN_OR_RETURN(size_t put,
+                        file->WriteAt(src + done, n - done, offset + done));
+    if (put == 0) return Status::IoError("write made no progress");
+    done += put;
+  }
+  return Status::OK();
+}
+
+Status ReadFileToBuffer(Env* env, const std::string& path,
+                        std::vector<char>* out) {
+  S2_ASSIGN_OR_RETURN(std::unique_ptr<File> file,
+                      env->Open(path, OpenMode::kRead));
+  S2_ASSIGN_OR_RETURN(uint64_t size, file->Size());
+  out->resize(static_cast<size_t>(size));
+  if (size == 0) return Status::OK();
+  return ReadExactAt(file.get(), out->data(), out->size(), 0);
+}
+
+Result<size_t> BufferFile::Read(void* buf, size_t n) {
+  S2_ASSIGN_OR_RETURN(size_t got, ReadAt(buf, n, pos_));
+  pos_ += got;
+  return got;
+}
+
+Result<size_t> BufferFile::Write(const void* buf, size_t n) {
+  S2_ASSIGN_OR_RETURN(size_t put, WriteAt(buf, n, pos_));
+  pos_ += put;
+  return put;
+}
+
+Result<size_t> BufferFile::ReadAt(void* buf, size_t n, uint64_t offset) {
+  if (offset >= bytes_.size()) return static_cast<size_t>(0);
+  const size_t got = std::min(n, bytes_.size() - static_cast<size_t>(offset));
+  std::memcpy(buf, bytes_.data() + offset, got);
+  return got;
+}
+
+Result<size_t> BufferFile::WriteAt(const void* buf, size_t n, uint64_t offset) {
+  const size_t end = static_cast<size_t>(offset) + n;
+  if (end > bytes_.size()) bytes_.resize(end);
+  std::memcpy(bytes_.data() + offset, buf, n);
+  return n;
+}
+
+Status BufferFile::Seek(uint64_t offset) {
+  pos_ = static_cast<size_t>(offset);
+  return Status::OK();
+}
+
+}  // namespace s2::io

@@ -1,0 +1,142 @@
+#ifndef S2_IO_ENV_H_
+#define S2_IO_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace s2::io {
+
+/// How a file is opened (see `Env::Open`).
+enum class OpenMode {
+  kRead,       ///< Existing file, read-only; fails with NotFound if absent.
+  kReadWrite,  ///< Read/write; created (empty) when absent, never truncated.
+  kTruncate,   ///< Read/write; created when absent, truncated when present.
+};
+
+/// An open file — the virtual seam every on-disk format routes through.
+///
+/// All five persistent formats (pager, sequence store, disk B+-tree, disk
+/// burst table, VP-tree image, corpus/feature snapshots) perform their I/O
+/// exclusively against this interface, so a test can substitute an
+/// in-memory filesystem (`MemEnv`) or a deterministic fault injector
+/// (`FaultInjectingEnv`) without touching the formats themselves.
+///
+/// Semantics follow POSIX: `Read`/`Write` may legitimately transfer fewer
+/// bytes than requested (short I/O); use the `ReadExact`/`WriteExact`
+/// helpers below when a partial transfer is an error. Transient failures
+/// (EINTR, EAGAIN, injected faults) surface as `StatusCode::kIoTransient`,
+/// hard failures as `kIoError` with the errno text in the message.
+///
+/// Thread safety: `ReadAt`/`WriteAt` carry their own offset and are safe to
+/// call concurrently (mirroring `pread`/`pwrite`); the positional
+/// `Read`/`Write`/`Seek` share one cursor and must be externally serialized.
+class File {
+ public:
+  virtual ~File() = default;
+
+  /// Reads up to `n` bytes at the cursor, advancing it. Returns the number
+  /// of bytes read; 0 signals end-of-file.
+  virtual Result<size_t> Read(void* buf, size_t n) = 0;
+
+  /// Writes up to `n` bytes at the cursor, advancing it.
+  virtual Result<size_t> Write(const void* buf, size_t n) = 0;
+
+  /// Positioned read (no cursor; safe concurrently).
+  virtual Result<size_t> ReadAt(void* buf, size_t n, uint64_t offset) = 0;
+
+  /// Positioned write (no cursor; safe concurrently).
+  virtual Result<size_t> WriteAt(const void* buf, size_t n, uint64_t offset) = 0;
+
+  /// Moves the cursor to an absolute offset.
+  virtual Status Seek(uint64_t offset) = 0;
+
+  /// Current size of the file in bytes.
+  virtual Result<uint64_t> Size() = 0;
+
+  /// Forces written data to durable storage (fsync). Until this returns OK,
+  /// a crash may lose or tear any preceding write.
+  virtual Status Sync() = 0;
+};
+
+/// A filesystem namespace: opens files and manipulates directory entries.
+///
+/// `Default()` is the process-wide POSIX environment. Tests substitute
+/// `MemEnv` (RAM-backed, crash-simulating) or wrap any env in
+/// `FaultInjectingEnv`.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  virtual Result<std::unique_ptr<File>> Open(const std::string& path,
+                                             OpenMode mode) = 0;
+
+  /// Atomically renames `from` to `to`, replacing `to` if present — the
+  /// commit point of every crash-safe writer in the repository.
+  virtual Status Rename(const std::string& from, const std::string& to) = 0;
+
+  /// Removes a file. Removing a non-existent file is OK (idempotent).
+  virtual Status Remove(const std::string& path) = 0;
+
+  virtual bool FileExists(const std::string& path) = 0;
+
+  /// Copies `from` to `to` (truncating `to`) and syncs the copy. The default
+  /// implementation streams through `Open`; environments may override.
+  virtual Status CopyFile(const std::string& from, const std::string& to);
+
+  /// Drops every byte written but not yet `Sync`ed, across all files — the
+  /// crash half of fault injection. Only simulation environments support
+  /// it; the default returns InvalidArgument.
+  virtual Status DropUnsynced();
+
+  /// The process-wide POSIX environment (never null, never deleted).
+  static Env* Default();
+};
+
+/// Reads exactly `n` bytes at the cursor. Loops over short reads; EOF before
+/// `n` bytes is `kCorruption` ("truncated"), transient/hard errors propagate.
+Status ReadExact(File* file, void* buf, size_t n);
+
+/// Positioned variant of `ReadExact`.
+Status ReadExactAt(File* file, void* buf, size_t n, uint64_t offset);
+
+/// Writes exactly `n` bytes at the cursor, looping over short writes.
+Status WriteExact(File* file, const void* buf, size_t n);
+
+/// Positioned variant of `WriteExact`.
+Status WriteExactAt(File* file, const void* buf, size_t n, uint64_t offset);
+
+/// Reads a whole file through `env` into `out`.
+Status ReadFileToBuffer(Env* env, const std::string& path,
+                        std::vector<char>* out);
+
+/// An in-memory `File` over a byte buffer — the serialization scratch the
+/// snapshot writers fill before handing the bytes to `durable::Commit`, and
+/// the reader view `durable::LoadLatest` payloads are parsed from.
+class BufferFile : public File {
+ public:
+  BufferFile() = default;
+  explicit BufferFile(std::vector<char> bytes) : bytes_(std::move(bytes)) {}
+
+  Result<size_t> Read(void* buf, size_t n) override;
+  Result<size_t> Write(const void* buf, size_t n) override;
+  Result<size_t> ReadAt(void* buf, size_t n, uint64_t offset) override;
+  Result<size_t> WriteAt(const void* buf, size_t n, uint64_t offset) override;
+  Status Seek(uint64_t offset) override;
+  Result<uint64_t> Size() override { return static_cast<uint64_t>(bytes_.size()); }
+  Status Sync() override { return Status::OK(); }
+
+  const std::vector<char>& bytes() const { return bytes_; }
+  std::vector<char>&& TakeBytes() && { return std::move(bytes_); }
+
+ private:
+  std::vector<char> bytes_;
+  size_t pos_ = 0;
+};
+
+}  // namespace s2::io
+
+#endif  // S2_IO_ENV_H_

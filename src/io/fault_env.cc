@@ -1,0 +1,204 @@
+#include "io/fault_env.h"
+
+#include <algorithm>
+
+namespace s2::io {
+
+/// Wraps a base file, consulting the env before every operation.
+class FaultInjectingFile : public File {
+ public:
+  FaultInjectingFile(FaultInjectingEnv* env, std::unique_ptr<File> base)
+      : env_(env), base_(std::move(base)) {}
+
+  Result<size_t> Read(void* buf, size_t n) override {
+    S2_RETURN_NOT_OK(env_->BeforeRead());
+    return base_->Read(buf, env_->MaybeShorten(n));
+  }
+
+  Result<size_t> Write(const void* buf, size_t n) override {
+    S2_RETURN_NOT_OK(env_->BeforeWrite());
+    return base_->Write(buf, env_->MaybeShorten(n));
+  }
+
+  Result<size_t> ReadAt(void* buf, size_t n, uint64_t offset) override {
+    S2_RETURN_NOT_OK(env_->BeforeRead());
+    return base_->ReadAt(buf, env_->MaybeShorten(n), offset);
+  }
+
+  Result<size_t> WriteAt(const void* buf, size_t n, uint64_t offset) override {
+    S2_RETURN_NOT_OK(env_->BeforeWrite());
+    return base_->WriteAt(buf, env_->MaybeShorten(n), offset);
+  }
+
+  Status Seek(uint64_t offset) override { return base_->Seek(offset); }
+
+  Result<uint64_t> Size() override {
+    if (env_->crashed()) {
+      return Status::IoError("simulated crash: device unavailable");
+    }
+    return base_->Size();
+  }
+
+  Status Sync() override {
+    S2_RETURN_NOT_OK(env_->BeforeSync());
+    return base_->Sync();
+  }
+
+ private:
+  FaultInjectingEnv* env_;
+  std::unique_ptr<File> base_;
+};
+
+FaultInjectingEnv::FaultInjectingEnv(Env* base, FaultPlan plan)
+    : base_(base), plan_(plan), rng_(plan.seed) {}
+
+Result<std::unique_ptr<File>> FaultInjectingEnv::Open(const std::string& path,
+                                                      OpenMode mode) {
+  if (crashed()) return Status::IoError("simulated crash: device unavailable");
+  S2_ASSIGN_OR_RETURN(std::unique_ptr<File> base, base_->Open(path, mode));
+  return std::unique_ptr<File>(new FaultInjectingFile(this, std::move(base)));
+}
+
+Status FaultInjectingEnv::Rename(const std::string& from,
+                                 const std::string& to) {
+  if (crashed()) return Status::IoError("simulated crash: device unavailable");
+  return base_->Rename(from, to);
+}
+
+Status FaultInjectingEnv::Remove(const std::string& path) {
+  if (crashed()) return Status::IoError("simulated crash: device unavailable");
+  return base_->Remove(path);
+}
+
+bool FaultInjectingEnv::FileExists(const std::string& path) {
+  return base_->FileExists(path);
+}
+
+Status FaultInjectingEnv::CopyFile(const std::string& from,
+                                   const std::string& to) {
+  // Route through this env's Open so the copy's reads/writes are themselves
+  // fault sites (the default streaming implementation does exactly that).
+  return Env::CopyFile(from, to);
+}
+
+Status FaultInjectingEnv::DropUnsynced() { return base_->DropUnsynced(); }
+
+bool FaultInjectingEnv::crashed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crashed_;
+}
+
+void FaultInjectingEnv::ClearCrash() {
+  std::lock_guard<std::mutex> lock(mu_);
+  crashed_ = false;
+}
+
+void FaultInjectingEnv::set_plan(const FaultPlan& plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  plan_ = plan;
+  rng_ = s2::Rng(plan.seed);
+}
+
+uint64_t FaultInjectingEnv::read_ops() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return read_ops_;
+}
+
+uint64_t FaultInjectingEnv::write_ops() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return write_ops_;
+}
+
+uint64_t FaultInjectingEnv::sync_ops() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sync_ops_;
+}
+
+uint64_t FaultInjectingEnv::mutating_ops() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return write_ops_ + sync_ops_;
+}
+
+uint64_t FaultInjectingEnv::injected_faults() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return injected_faults_;
+}
+
+Status FaultInjectingEnv::InjectedFault(const char* op) {
+  ++injected_faults_;
+  std::string message = "injected fault on ";
+  message += op;
+  if (plan_.faults_are_transient) {
+    message += " (transient, EINTR-like)";
+    return Status::TransientIo(std::move(message));
+  }
+  message += " (hard, EIO-like)";
+  return Status::IoError(std::move(message));
+}
+
+void FaultInjectingEnv::MaybeCrashLocked() {
+  if (plan_.crash_at_op != 0 && !crashed_ &&
+      write_ops_ + sync_ops_ >= plan_.crash_at_op) {
+    crashed_ = true;
+    // The machine "loses power": everything not fsynced is gone. The base
+    // env's DropUnsynced does the rollback; a base that cannot simulate this
+    // (PosixEnv) makes the crash a plain hard failure, which is still a
+    // valid (weaker) fault.
+    (void)base_->DropUnsynced();
+  }
+}
+
+Status FaultInjectingEnv::BeforeRead() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return Status::IoError("simulated crash: device unavailable");
+  ++read_ops_;
+  if (plan_.fail_read_at != 0 && read_ops_ == plan_.fail_read_at) {
+    return InjectedFault("read");
+  }
+  if (plan_.read_fault_rate > 0.0 && rng_.Bernoulli(plan_.read_fault_rate)) {
+    return InjectedFault("read");
+  }
+  return Status::OK();
+}
+
+Status FaultInjectingEnv::BeforeWrite() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return Status::IoError("simulated crash: device unavailable");
+  ++write_ops_;
+  MaybeCrashLocked();
+  if (crashed_) return Status::IoError("simulated crash: device unavailable");
+  if (plan_.fail_write_at != 0 && write_ops_ == plan_.fail_write_at) {
+    return InjectedFault("write");
+  }
+  if (plan_.write_fault_rate > 0.0 && rng_.Bernoulli(plan_.write_fault_rate)) {
+    return InjectedFault("write");
+  }
+  return Status::OK();
+}
+
+Status FaultInjectingEnv::BeforeSync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return Status::IoError("simulated crash: device unavailable");
+  ++sync_ops_;
+  MaybeCrashLocked();
+  if (crashed_) return Status::IoError("simulated crash: device unavailable");
+  if (plan_.fail_sync_at != 0 && sync_ops_ == plan_.fail_sync_at) {
+    return InjectedFault("fsync");
+  }
+  if (plan_.sync_fault_rate > 0.0 && rng_.Bernoulli(plan_.sync_fault_rate)) {
+    return InjectedFault("fsync");
+  }
+  return Status::OK();
+}
+
+size_t FaultInjectingEnv::MaybeShorten(size_t n) {
+  if (n <= 1) return n;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (plan_.short_io_rate <= 0.0 || !rng_.Bernoulli(plan_.short_io_rate)) {
+    return n;
+  }
+  return static_cast<size_t>(
+      rng_.UniformInt(1, static_cast<int64_t>(n) - 1));
+}
+
+}  // namespace s2::io

@@ -1,0 +1,121 @@
+#ifndef S2_IO_FAULT_ENV_H_
+#define S2_IO_FAULT_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/rng.h"
+#include "io/env.h"
+
+namespace s2::io {
+
+/// What a `FaultInjectingEnv` does to the I/O stream. All fields compose;
+/// a default-constructed plan injects nothing.
+struct FaultPlan {
+  /// Seed for the probabilistic knobs below; two envs with the same plan
+  /// and the same operation sequence inject identical faults.
+  uint64_t seed = 42;
+
+  /// Probability that any single read / write / sync fails.
+  double read_fault_rate = 0.0;
+  double write_fault_rate = 0.0;
+  double sync_fault_rate = 0.0;
+
+  /// When a probabilistic fault fires: transient (EINTR/EAGAIN-like,
+  /// `kIoTransient`) or hard (EIO-like, `kIoError`).
+  bool faults_are_transient = true;
+
+  /// Probability that a read or write that does NOT fail transfers only part
+  /// of the requested bytes (at least 1). Exercises short-I/O loops.
+  double short_io_rate = 0.0;
+
+  /// Deterministic one-shot triggers: fail the Nth read/write/sync
+  /// (1-based; 0 disables). Counted per-env across all files.
+  uint64_t fail_read_at = 0;
+  uint64_t fail_write_at = 0;
+  uint64_t fail_sync_at = 0;
+
+  /// Simulate a crash at the Nth mutating operation (write or sync;
+  /// 1-based; 0 disables): the base env drops all un-synced data and every
+  /// subsequent operation fails with `kIoError` until `ClearCrash`. This is
+  /// the knob the crash-point sweep iterates.
+  uint64_t crash_at_op = 0;
+};
+
+/// A decorator that injects deterministic faults into a base `Env`.
+///
+/// Wraps any environment (tests use `MemEnv`, the crash simulation needs the
+/// base env to support `DropUnsynced`). Faults are decided by a seeded
+/// `s2::Rng` plus deterministic Nth-operation triggers, so a failing test
+/// reproduces exactly from its plan.
+///
+/// Thread safety: the fault decision state (rng, counters) is guarded by a
+/// mutex, so concurrent server traffic through one injector is well-defined
+/// (though the interleaving, and hence which request observes a probabilistic
+/// fault, is scheduling-dependent).
+class FaultInjectingEnv : public Env {
+ public:
+  /// `base` must outlive this env.
+  FaultInjectingEnv(Env* base, FaultPlan plan);
+
+  Result<std::unique_ptr<File>> Open(const std::string& path,
+                                     OpenMode mode) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status Remove(const std::string& path) override;
+  bool FileExists(const std::string& path) override;
+  Status CopyFile(const std::string& from, const std::string& to) override;
+  Status DropUnsynced() override;
+
+  /// True once `crash_at_op` has triggered; all I/O fails until cleared.
+  bool crashed() const;
+
+  /// Ends the simulated outage ("reboot"): subsequent I/O goes through
+  /// again, operating on whatever the base env retained.
+  void ClearCrash();
+
+  /// Replaces the fault plan mid-flight (reseeds the rng from the new
+  /// plan). Lets a test or benchmark build its stores cleanly, then dial
+  /// fault rates up for the serving phase. Open files see the new plan
+  /// immediately; op counters are retained.
+  void set_plan(const FaultPlan& plan);
+
+  /// Total reads/writes/syncs observed (including failed ones) — lets the
+  /// crash sweep detect when `crash_at_op` exceeds the workload's op count.
+  uint64_t read_ops() const;
+  uint64_t write_ops() const;
+  uint64_t sync_ops() const;
+  uint64_t mutating_ops() const;
+
+  /// Faults actually injected so far.
+  uint64_t injected_faults() const;
+
+ private:
+  friend class FaultInjectingFile;
+
+  // Fault decisions for one operation; all take mu_.
+  Status BeforeRead();    // OK, or the injected fault
+  Status BeforeWrite();
+  Status BeforeSync();
+  // Applies short-I/O to a transfer size (>=1 stays >=1).
+  size_t MaybeShorten(size_t n);
+
+  Status InjectedFault(const char* op);
+  void MaybeCrashLocked();  // checks crash_at_op against mutating op count
+
+  Env* base_;
+  FaultPlan plan_;
+
+  mutable std::mutex mu_;
+  s2::Rng rng_;
+  uint64_t read_ops_ = 0;
+  uint64_t write_ops_ = 0;
+  uint64_t sync_ops_ = 0;
+  uint64_t injected_faults_ = 0;
+  bool crashed_ = false;
+};
+
+}  // namespace s2::io
+
+#endif  // S2_IO_FAULT_ENV_H_

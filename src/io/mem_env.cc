@@ -1,0 +1,150 @@
+#include "io/mem_env.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace s2::io {
+
+namespace {
+constexpr size_t kMaxMemFileBytes = size_t{1} << 32;  // 4 GiB sanity bound
+}  // namespace
+
+/// A handle onto a MemEnv node. Handles share the node, so two opens of the
+/// same path observe each other's writes (like fds on one inode), and a
+/// handle that outlives a Remove keeps the node alive (POSIX unlink
+/// semantics).
+class MemFile : public File {
+ public:
+  MemFile(MemEnv* env, std::shared_ptr<MemEnv::Node> node)
+      : env_(env), node_(std::move(node)) {}
+
+  Result<size_t> Read(void* buf, size_t n) override {
+    std::lock_guard<std::mutex> lock(env_->mu_);
+    const size_t got = ReadLocked(buf, n, pos_);
+    pos_ += got;
+    return got;
+  }
+
+  Result<size_t> Write(const void* buf, size_t n) override {
+    std::lock_guard<std::mutex> lock(env_->mu_);
+    S2_RETURN_NOT_OK(WriteLocked(buf, n, pos_));
+    pos_ += n;
+    return n;
+  }
+
+  Result<size_t> ReadAt(void* buf, size_t n, uint64_t offset) override {
+    std::lock_guard<std::mutex> lock(env_->mu_);
+    return ReadLocked(buf, n, static_cast<size_t>(offset));
+  }
+
+  Result<size_t> WriteAt(const void* buf, size_t n, uint64_t offset) override {
+    std::lock_guard<std::mutex> lock(env_->mu_);
+    S2_RETURN_NOT_OK(WriteLocked(buf, n, static_cast<size_t>(offset)));
+    return n;
+  }
+
+  Status Seek(uint64_t offset) override {
+    std::lock_guard<std::mutex> lock(env_->mu_);
+    pos_ = static_cast<size_t>(offset);
+    return Status::OK();
+  }
+
+  Result<uint64_t> Size() override {
+    std::lock_guard<std::mutex> lock(env_->mu_);
+    return static_cast<uint64_t>(node_->current.size());
+  }
+
+  Status Sync() override {
+    std::lock_guard<std::mutex> lock(env_->mu_);
+    node_->durable = node_->current;
+    node_->synced_once = true;
+    return Status::OK();
+  }
+
+ private:
+  size_t ReadLocked(void* buf, size_t n, size_t offset) {
+    const auto& bytes = node_->current;
+    if (offset >= bytes.size()) return 0;
+    const size_t got = std::min(n, bytes.size() - offset);
+    std::memcpy(buf, bytes.data() + offset, got);
+    return got;
+  }
+
+  Status WriteLocked(const void* buf, size_t n, size_t offset) {
+    const size_t end = offset + n;
+    if (end > kMaxMemFileBytes) {
+      return Status::IoError("MemEnv write would exceed file size bound");
+    }
+    auto& bytes = node_->current;
+    if (end > bytes.size()) bytes.resize(end);
+    std::memcpy(bytes.data() + offset, buf, n);
+    return Status::OK();
+  }
+
+  MemEnv* env_;
+  std::shared_ptr<MemEnv::Node> node_;
+  size_t pos_ = 0;
+};
+
+Result<std::unique_ptr<File>> MemEnv::Open(const std::string& path,
+                                           OpenMode mode) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    if (mode == OpenMode::kRead) {
+      return Status::NotFound("open failed for " + path + ": no such file");
+    }
+    it = files_.emplace(path, std::make_shared<Node>()).first;
+  } else if (mode == OpenMode::kTruncate) {
+    it->second->current.clear();
+  }
+  return std::unique_ptr<File>(new MemFile(this, it->second));
+}
+
+Status MemEnv::Rename(const std::string& from, const std::string& to) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(from);
+  if (it == files_.end()) {
+    return Status::NotFound("rename failed: no such file: " + from);
+  }
+  files_[to] = it->second;
+  files_.erase(it);
+  return Status::OK();
+}
+
+Status MemEnv::Remove(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  files_.erase(path);
+  return Status::OK();
+}
+
+bool MemEnv::FileExists(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return files_.count(path) != 0;
+}
+
+Status MemEnv::DropUnsynced() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = files_.begin(); it != files_.end();) {
+    Node& node = *it->second;
+    if (!node.synced_once) {
+      // Never fsynced: after a reboot neither the bytes nor (for files the
+      // commit protocol creates fresh, like *.tmp) the entry can be trusted.
+      it = files_.erase(it);
+      continue;
+    }
+    node.current = node.durable;
+    ++it;
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> MemEnv::ListFiles() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(files_.size());
+  for (const auto& [path, node] : files_) out.push_back(path);
+  return out;
+}
+
+}  // namespace s2::io

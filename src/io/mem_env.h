@@ -1,0 +1,63 @@
+#ifndef S2_IO_MEM_ENV_H_
+#define S2_IO_MEM_ENV_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "io/env.h"
+
+namespace s2::io {
+
+/// A RAM-backed `Env` with crash simulation.
+///
+/// Every file keeps two images: `current` (what readers and writers see) and
+/// `durable` (the bytes as of the last `Sync`). `DropUnsynced` rolls every
+/// file back to its durable image and replays the directory structure as of
+/// the last sync — exactly the state a machine would reboot into after
+/// losing power — which is what the crash-point sweep tests iterate over.
+///
+/// `Rename` is atomic with respect to concurrent `Open`s, matching the POSIX
+/// contract the crash-safe writers rely on. Renames and removals of files
+/// whose directory entries were never synced are treated as metadata
+/// journal-committed once the *file contents* are synced; this matches the
+/// strongest behaviour the commit protocol is allowed to assume (rename
+/// after fsync is durable).
+///
+/// Thread safety: all operations take an internal mutex, so a `MemEnv` can
+/// back a concurrent `S2Server` under TSan.
+class MemEnv : public Env {
+ public:
+  MemEnv() = default;
+
+  Result<std::unique_ptr<File>> Open(const std::string& path,
+                                     OpenMode mode) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status Remove(const std::string& path) override;
+  bool FileExists(const std::string& path) override;
+  Status DropUnsynced() override;
+
+  /// Lists every live path (for test assertions).
+  std::vector<std::string> ListFiles();
+
+ private:
+  friend class MemFile;
+
+  // One file's state. `durable` tracks the byte image as of the last Sync;
+  // `synced_once` distinguishes "never fsynced" files, whose directory entry
+  // is also lost in a crash.
+  struct Node {
+    std::vector<char> current;
+    std::vector<char> durable;
+    bool synced_once = false;
+  };
+
+  std::mutex mu_;
+  std::map<std::string, std::shared_ptr<Node>> files_;
+};
+
+}  // namespace s2::io
+
+#endif  // S2_IO_MEM_ENV_H_

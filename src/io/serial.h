@@ -1,0 +1,28 @@
+#ifndef S2_IO_SERIAL_H_
+#define S2_IO_SERIAL_H_
+
+#include <type_traits>
+
+#include "io/env.h"
+
+namespace s2::io {
+
+/// Cursor-based scalar primitives shared by the binary format writers
+/// (corpus, feature records, VP-tree image). Native endianness, matching
+/// every existing on-disk format in the repository.
+
+template <typename T>
+Status WriteScalar(File* file, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  return WriteExact(file, &value, sizeof(T));
+}
+
+template <typename T>
+Status ReadScalar(File* file, T* value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  return ReadExact(file, value, sizeof(T));
+}
+
+}  // namespace s2::io
+
+#endif  // S2_IO_SERIAL_H_

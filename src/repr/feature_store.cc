@@ -1,33 +1,17 @@
 #include "repr/feature_store.h"
 
 #include <cmath>
-#include <cstdio>
 #include <cstring>
 #include <limits>
-#include <memory>
+
+#include "io/durable.h"
+#include "io/serial.h"
 
 namespace s2::repr {
 
 namespace {
 
 constexpr char kMagic[8] = {'S', '2', 'F', 'E', 'A', 'T', '0', '1'};
-
-struct FileCloser {
-  void operator()(std::FILE* f) const {
-    if (f != nullptr) std::fclose(f);
-  }
-};
-using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
-
-template <typename T>
-bool WriteScalar(std::FILE* f, T value) {
-  return std::fwrite(&value, sizeof(T), 1, f) == 1;
-}
-
-template <typename T>
-bool ReadScalar(std::FILE* f, T* value) {
-  return std::fread(value, sizeof(T), 1, f) == 1;
-}
 
 uint8_t KindToByte(ReprKind kind) { return static_cast<uint8_t>(kind); }
 
@@ -48,49 +32,49 @@ Result<ReprKind> KindFromByte(uint8_t byte) {
 }  // namespace
 
 Status WriteFeatures(const std::string& path,
-                     const std::vector<CompressedSpectrum>& features) {
-  FilePtr file(std::fopen(path.c_str(), "wb"));
-  if (file == nullptr) {
-    return Status::IoError("WriteFeatures: cannot create " + path);
-  }
-  std::FILE* f = file.get();
-  if (std::fwrite(kMagic, 1, sizeof(kMagic), f) != sizeof(kMagic) ||
-      !WriteScalar<uint64_t>(f, features.size())) {
-    return Status::IoError("WriteFeatures: short write");
-  }
+                     const std::vector<CompressedSpectrum>& features,
+                     io::Env* env) {
+  if (env == nullptr) env = io::Env::Default();
+  io::BufferFile buffer;
+  S2_RETURN_NOT_OK(io::WriteExact(&buffer, kMagic, sizeof(kMagic)));
+  S2_RETURN_NOT_OK(io::WriteScalar<uint64_t>(&buffer, features.size()));
   for (const CompressedSpectrum& feature : features) {
-    S2_RETURN_NOT_OK(WriteFeatureRecord(f, feature));
+    S2_RETURN_NOT_OK(WriteFeatureRecord(&buffer, feature));
   }
-  return Status::OK();
+  return io::durable::CommitNext(env, path, std::move(buffer).TakeBytes());
 }
 
-Status WriteFeatureRecord(std::FILE* f, const CompressedSpectrum& feature) {
+Status WriteFeatureRecord(io::File* f, const CompressedSpectrum& feature) {
   if (feature.positions().size() > std::numeric_limits<uint16_t>::max()) {
     return Status::InvalidArgument("WriteFeatureRecord: too many positions");
   }
-  bool ok = WriteScalar(f, KindToByte(feature.kind())) &&
-            WriteScalar<uint8_t>(f, static_cast<uint8_t>(feature.basis())) &&
-            WriteScalar(f, feature.n()) &&
-            WriteScalar<uint16_t>(
-                f, static_cast<uint16_t>(feature.positions().size()));
+  S2_RETURN_NOT_OK(io::WriteScalar(f, KindToByte(feature.kind())));
+  S2_RETURN_NOT_OK(
+      io::WriteScalar<uint8_t>(f, static_cast<uint8_t>(feature.basis())));
+  S2_RETURN_NOT_OK(io::WriteScalar(f, feature.n()));
+  S2_RETURN_NOT_OK(io::WriteScalar<uint16_t>(
+      f, static_cast<uint16_t>(feature.positions().size())));
   for (uint32_t position : feature.positions()) {
-    ok = ok && WriteScalar<uint16_t>(f, static_cast<uint16_t>(position));
+    S2_RETURN_NOT_OK(
+        io::WriteScalar<uint16_t>(f, static_cast<uint16_t>(position)));
   }
   for (const Complex& coeff : feature.coeffs()) {
-    ok = ok && WriteScalar(f, coeff.real()) && WriteScalar(f, coeff.imag());
+    S2_RETURN_NOT_OK(io::WriteScalar(f, coeff.real()));
+    S2_RETURN_NOT_OK(io::WriteScalar(f, coeff.imag()));
   }
-  ok = ok && WriteScalar(f, feature.error()) && WriteScalar(f, feature.min_power());
-  if (!ok) return Status::IoError("WriteFeatureRecord: short write");
+  S2_RETURN_NOT_OK(io::WriteScalar(f, feature.error()));
+  S2_RETURN_NOT_OK(io::WriteScalar(f, feature.min_power()));
   return Status::OK();
 }
 
-Result<CompressedSpectrum> ReadFeatureRecord(std::FILE* f) {
+Result<CompressedSpectrum> ReadFeatureRecord(io::File* f) {
   uint8_t kind_byte = 0;
   uint8_t basis_byte = 0;
   uint32_t n = 0;
   uint16_t position_count = 0;
-  if (!ReadScalar(f, &kind_byte) || !ReadScalar(f, &basis_byte) ||
-      !ReadScalar(f, &n) || !ReadScalar(f, &position_count)) {
+  if (!io::ReadScalar(f, &kind_byte).ok() ||
+      !io::ReadScalar(f, &basis_byte).ok() || !io::ReadScalar(f, &n).ok() ||
+      !io::ReadScalar(f, &position_count).ok()) {
     return Status::Corruption("ReadFeatureRecord: truncated feature header");
   }
   S2_ASSIGN_OR_RETURN(ReprKind kind, KindFromByte(kind_byte));
@@ -102,7 +86,7 @@ Result<CompressedSpectrum> ReadFeatureRecord(std::FILE* f) {
   std::vector<uint32_t> positions(position_count);
   for (uint16_t p = 0; p < position_count; ++p) {
     uint16_t position = 0;
-    if (!ReadScalar(f, &position)) {
+    if (!io::ReadScalar(f, &position).ok()) {
       return Status::Corruption("ReadFeatureRecord: truncated positions");
     }
     positions[p] = position;
@@ -111,14 +95,14 @@ Result<CompressedSpectrum> ReadFeatureRecord(std::FILE* f) {
   for (uint16_t p = 0; p < position_count; ++p) {
     double re = 0;
     double im = 0;
-    if (!ReadScalar(f, &re) || !ReadScalar(f, &im)) {
+    if (!io::ReadScalar(f, &re).ok() || !io::ReadScalar(f, &im).ok()) {
       return Status::Corruption("ReadFeatureRecord: truncated coefficients");
     }
     coeffs[p] = Complex(re, im);
   }
   double error = 0;
   double min_power = 0;
-  if (!ReadScalar(f, &error) || !ReadScalar(f, &min_power)) {
+  if (!io::ReadScalar(f, &error).ok() || !io::ReadScalar(f, &min_power).ok()) {
     return Status::Corruption("ReadFeatureRecord: truncated footer");
   }
   // NaN error / infinite min_power round-trip through FromParts defaults.
@@ -128,25 +112,21 @@ Result<CompressedSpectrum> ReadFeatureRecord(std::FILE* f) {
                                        std::move(coeffs), error, min_power, basis);
 }
 
-Result<std::vector<CompressedSpectrum>> ReadFeatures(const std::string& path) {
-  FilePtr file(std::fopen(path.c_str(), "rb"));
-  if (file == nullptr) return Status::IoError("ReadFeatures: cannot open " + path);
-  std::FILE* f = file.get();
-
-  if (std::fseek(f, 0, SEEK_END) != 0) {
-    return Status::IoError("ReadFeatures: seek failed on " + path);
-  }
-  const long file_size = std::ftell(f);
-  if (file_size < 0 || std::fseek(f, 0, SEEK_SET) != 0) {
-    return Status::IoError("ReadFeatures: cannot determine size of " + path);
-  }
+Result<std::vector<CompressedSpectrum>> ReadFeatures(const std::string& path,
+                                                     io::Env* env) {
+  if (env == nullptr) env = io::Env::Default();
+  std::vector<char> bytes;
+  S2_RETURN_NOT_OK(io::durable::LoadLatest(env, path, &bytes));
+  io::BufferFile file(std::move(bytes));
+  const uint64_t file_size = file.bytes().size();
 
   char magic[sizeof(kMagic)];
   uint64_t count = 0;
-  if (std::fread(magic, 1, sizeof(magic), f) != sizeof(magic) ||
-      !ReadScalar(f, &count)) {
+  if (file_size < sizeof(kMagic) + sizeof(uint64_t)) {
     return Status::Corruption("ReadFeatures: truncated header in " + path);
   }
+  S2_RETURN_NOT_OK(io::ReadExact(&file, magic, sizeof(magic)));
+  S2_RETURN_NOT_OK(io::ReadScalar(&file, &count));
   if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
     return Status::Corruption("ReadFeatures: bad magic in " + path);
   }
@@ -155,8 +135,7 @@ Result<std::vector<CompressedSpectrum>> ReadFeatures(const std::string& path) {
   // its fixed header plus the two footer doubles.
   constexpr uint64_t kMinRecordBytes = 2 * sizeof(uint8_t) + sizeof(uint32_t) +
                                        sizeof(uint16_t) + 2 * sizeof(double);
-  const uint64_t remaining =
-      static_cast<uint64_t>(file_size) - sizeof(kMagic) - sizeof(uint64_t);
+  const uint64_t remaining = file_size - sizeof(kMagic) - sizeof(uint64_t);
   if (count > remaining / kMinRecordBytes) {
     return Status::Corruption("ReadFeatures: feature count " +
                               std::to_string(count) +
@@ -166,7 +145,7 @@ Result<std::vector<CompressedSpectrum>> ReadFeatures(const std::string& path) {
   std::vector<CompressedSpectrum> features;
   features.reserve(count);
   for (uint64_t i = 0; i < count; ++i) {
-    S2_ASSIGN_OR_RETURN(CompressedSpectrum feature, ReadFeatureRecord(f));
+    S2_ASSIGN_OR_RETURN(CompressedSpectrum feature, ReadFeatureRecord(&file));
     features.push_back(std::move(feature));
   }
   return features;

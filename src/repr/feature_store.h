@@ -1,11 +1,11 @@
 #ifndef S2_REPR_FEATURE_STORE_H_
 #define S2_REPR_FEATURE_STORE_H_
 
-#include <cstdio>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
+#include "io/env.h"
 #include "repr/compressed.h"
 
 namespace s2::repr {
@@ -25,17 +25,23 @@ namespace s2::repr {
 ///
 /// Positions use 2 bytes each, matching the paper's Table 1 accounting
 /// (best coefficients cost 16+2 bytes).
+///
+/// `WriteFeatures` commits through the crash-safe generation container
+/// (`io::durable`); `ReadFeatures` loads the newest valid generation (legacy
+/// headerless files load as generation 0). `env` defaults to POSIX.
 Status WriteFeatures(const std::string& path,
-                     const std::vector<CompressedSpectrum>& features);
+                     const std::vector<CompressedSpectrum>& features,
+                     io::Env* env = nullptr);
 
 /// Reads a feature set previously written by `WriteFeatures`.
-Result<std::vector<CompressedSpectrum>> ReadFeatures(const std::string& path);
+Result<std::vector<CompressedSpectrum>> ReadFeatures(const std::string& path,
+                                                     io::Env* env = nullptr);
 
 /// Record-level primitives for embedding single features inside other file
 /// formats (used by the VP-tree serializer). `file` must be positioned at
 /// the record boundary.
-Status WriteFeatureRecord(std::FILE* file, const CompressedSpectrum& feature);
-Result<CompressedSpectrum> ReadFeatureRecord(std::FILE* file);
+Status WriteFeatureRecord(io::File* file, const CompressedSpectrum& feature);
+Result<CompressedSpectrum> ReadFeatureRecord(io::File* file);
 
 }  // namespace s2::repr
 

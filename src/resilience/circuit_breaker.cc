@@ -1,0 +1,76 @@
+#include "resilience/circuit_breaker.h"
+
+namespace s2::resilience {
+
+CircuitBreaker::CircuitBreaker(Options options)
+    : CircuitBreaker(options, []() { return std::chrono::steady_clock::now(); }) {}
+
+CircuitBreaker::CircuitBreaker(Options options, Clock clock)
+    : options_(options), clock_(std::move(clock)) {}
+
+bool CircuitBreaker::AllowRequest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (clock_() - opened_at_ >= options_.cooldown) {
+        state_ = State::kHalfOpen;
+        probe_in_flight_ = true;
+        return true;
+      }
+      ++rejected_;
+      return false;
+    case State::kHalfOpen:
+      if (!probe_in_flight_) {
+        probe_in_flight_ = true;
+        return true;
+      }
+      ++rejected_;
+      return false;
+  }
+  return false;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  std::lock_guard<std::mutex> lock(mu_);
+  consecutive_failures_ = 0;
+  probe_in_flight_ = false;
+  state_ = State::kClosed;
+}
+
+void CircuitBreaker::RecordFailure() {
+  std::lock_guard<std::mutex> lock(mu_);
+  probe_in_flight_ = false;
+  if (state_ == State::kHalfOpen) {
+    // The probe failed: back to Open for another cooldown.
+    state_ = State::kOpen;
+    opened_at_ = clock_();
+    ++trips_;
+    return;
+  }
+  ++consecutive_failures_;
+  if (state_ == State::kClosed &&
+      consecutive_failures_ >= options_.failure_threshold) {
+    state_ = State::kOpen;
+    opened_at_ = clock_();
+    ++trips_;
+  }
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+uint64_t CircuitBreaker::rejected_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rejected_;
+}
+
+uint64_t CircuitBreaker::trip_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return trips_;
+}
+
+}  // namespace s2::resilience

@@ -1,0 +1,69 @@
+#ifndef S2_RESILIENCE_CIRCUIT_BREAKER_H_
+#define S2_RESILIENCE_CIRCUIT_BREAKER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+
+namespace s2::resilience {
+
+/// A classic three-state circuit breaker.
+///
+/// Closed (healthy): every call is allowed; `consecutive_failures` counts
+/// back-to-back failures and trips the breaker Open at `failure_threshold`.
+/// Open: calls are rejected without touching the failing dependency, turning
+/// retry storms into fast load-shedding; after `cooldown` one probe is let
+/// through (Half-open). Half-open: a success closes the breaker, a failure
+/// re-opens it and restarts the cooldown.
+///
+/// The clock is injectable so tests drive state transitions without real
+/// sleeps. Thread-safe.
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  struct Options {
+    /// Consecutive failures that trip the breaker.
+    int failure_threshold = 5;
+    /// How long the breaker stays Open before probing.
+    std::chrono::milliseconds cooldown{1000};
+  };
+
+  using Clock = std::function<std::chrono::steady_clock::time_point()>;
+
+  explicit CircuitBreaker(Options options);
+  CircuitBreaker(Options options, Clock clock);
+
+  /// True when a call may proceed. In Open state this flips to Half-open
+  /// (and returns true) once the cooldown has elapsed — exactly one caller
+  /// wins the probe; the rest keep getting false until the probe reports.
+  bool AllowRequest();
+
+  /// Reports the outcome of an allowed call.
+  void RecordSuccess();
+  void RecordFailure();
+
+  State state() const;
+
+  /// Times the breaker rejected a request (for metrics).
+  uint64_t rejected_count() const;
+  /// Times the breaker tripped Closed/HalfOpen -> Open.
+  uint64_t trip_count() const;
+
+ private:
+  Options options_;
+  Clock clock_;
+
+  mutable std::mutex mu_;
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  bool probe_in_flight_ = false;
+  std::chrono::steady_clock::time_point opened_at_{};
+  uint64_t rejected_ = 0;
+  uint64_t trips_ = 0;
+};
+
+}  // namespace s2::resilience
+
+#endif  // S2_RESILIENCE_CIRCUIT_BREAKER_H_

@@ -1,0 +1,46 @@
+#include "resilience/retry.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace s2::resilience {
+
+Retrier::Retrier(RetryPolicy policy)
+    : Retrier(policy, [](std::chrono::microseconds d) {
+        std::this_thread::sleep_for(d);
+      }) {}
+
+Retrier::Retrier(RetryPolicy policy, Sleeper sleeper)
+    : policy_(policy), sleeper_(std::move(sleeper)), rng_(policy.seed) {}
+
+std::chrono::microseconds Retrier::NextBackoff(int retry_index) {
+  // base * 2^k, saturating at max_backoff well before the shift overflows.
+  int64_t backoff_us = policy_.base_backoff.count();
+  const int64_t cap_us = policy_.max_backoff.count();
+  for (int k = 0; k < retry_index && backoff_us < cap_us; ++k) backoff_us *= 2;
+  backoff_us = std::min(backoff_us, cap_us);
+  if (policy_.jitter > 0.0) {
+    const double factor =
+        rng_.Uniform(1.0 - policy_.jitter, 1.0 + policy_.jitter);
+    backoff_us = static_cast<int64_t>(static_cast<double>(backoff_us) * factor);
+  }
+  return std::chrono::microseconds(std::max<int64_t>(backoff_us, 0));
+}
+
+Status Retrier::Run(const std::function<Status()>& op) {
+  const int attempts = std::max(policy_.max_attempts, 1);
+  Status last = Status::Internal("retry loop never ran");
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      ++stats_.retries;
+      sleeper_(NextBackoff(attempt - 1));
+    }
+    ++stats_.attempts;
+    last = op();
+    if (!s2::IsRetryable(last)) return last;  // success or non-retryable
+  }
+  ++stats_.giveups;
+  return last;
+}
+
+}  // namespace s2::resilience

@@ -1,0 +1,83 @@
+#ifndef S2_RESILIENCE_RETRY_H_
+#define S2_RESILIENCE_RETRY_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace s2::resilience {
+
+/// How transient failures are retried.
+///
+/// Attempt k (0-based) sleeps `base_backoff * 2^k`, capped at `max_backoff`,
+/// then multiplied by a jitter factor uniform in [1 - jitter, 1 + jitter]
+/// drawn from a seeded `s2::Rng` — deterministic per policy instance, and
+/// decorrelated across instances via the seed. Only statuses for which
+/// `s2::IsRetryable` holds (kIoTransient, kUnavailable) are retried; hard
+/// errors, corruption and semantic failures propagate immediately.
+struct RetryPolicy {
+  /// Total tries including the first (so 3 = one call + two retries).
+  int max_attempts = 3;
+  std::chrono::microseconds base_backoff{100};
+  std::chrono::microseconds max_backoff{10'000};
+  /// Jitter half-width in [0, 1); 0 disables jitter.
+  double jitter = 0.25;
+  uint64_t seed = 42;
+};
+
+/// Outcome counters of one `Retrier` (snapshot, not live).
+struct RetryStats {
+  uint64_t attempts = 0;  ///< Total calls issued, including first tries.
+  uint64_t retries = 0;   ///< Calls that were re-issues after a transient.
+  uint64_t giveups = 0;   ///< Operations that exhausted max_attempts.
+};
+
+/// Executes operations under a `RetryPolicy`.
+///
+/// The sleeper is injectable so unit tests and fault sweeps run backoff
+/// logic at full speed; the default sleeper is
+/// `std::this_thread::sleep_for`. Not thread-safe (the jitter rng mutates);
+/// use one instance per thread, or external locking.
+class Retrier {
+ public:
+  using Sleeper = std::function<void(std::chrono::microseconds)>;
+
+  explicit Retrier(RetryPolicy policy);
+  Retrier(RetryPolicy policy, Sleeper sleeper);
+
+  /// Runs `op` until it succeeds, fails non-retryably, or exhausts
+  /// `max_attempts`. Returns the last status.
+  Status Run(const std::function<Status()>& op);
+
+  /// The backoff before retry number `retry_index` (0-based), jitter applied.
+  std::chrono::microseconds NextBackoff(int retry_index);
+
+  const RetryStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = RetryStats{}; }
+
+ private:
+  RetryPolicy policy_;
+  Sleeper sleeper_;
+  s2::Rng rng_;
+  RetryStats stats_;
+};
+
+/// Convenience wrapper for value-returning operations.
+template <typename T>
+Result<T> RunWithRetry(Retrier& retrier,
+                       const std::function<Result<T>()>& op) {
+  Result<T> out = Status::Internal("retry loop never ran");
+  Status last = retrier.Run([&]() {
+    out = op();
+    return out.status();
+  });
+  if (!last.ok()) return last;
+  return out;
+}
+
+}  // namespace s2::resilience
+
+#endif  // S2_RESILIENCE_RETRY_H_

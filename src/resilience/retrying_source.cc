@@ -1,0 +1,53 @@
+#include "resilience/retrying_source.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace s2::resilience {
+
+RetryingSequenceSource::RetryingSequenceSource(
+    std::unique_ptr<storage::SequenceSource> base, RetryPolicy policy)
+    : RetryingSequenceSource(std::move(base), policy,
+                             [](std::chrono::microseconds d) {
+                               std::this_thread::sleep_for(d);
+                             }) {}
+
+RetryingSequenceSource::RetryingSequenceSource(
+    std::unique_ptr<storage::SequenceSource> base, RetryPolicy policy,
+    Retrier::Sleeper sleeper)
+    : base_(std::move(base)),
+      policy_(policy),
+      sleeper_(std::move(sleeper)),
+      rng_(policy.seed) {}
+
+std::chrono::microseconds RetryingSequenceSource::Backoff(int retry_index) {
+  int64_t backoff_us = policy_.base_backoff.count();
+  const int64_t cap_us = policy_.max_backoff.count();
+  for (int k = 0; k < retry_index && backoff_us < cap_us; ++k) backoff_us *= 2;
+  backoff_us = std::min(backoff_us, cap_us);
+  if (policy_.jitter > 0.0) {
+    std::lock_guard<std::mutex> lock(rng_mu_);
+    const double factor =
+        rng_.Uniform(1.0 - policy_.jitter, 1.0 + policy_.jitter);
+    backoff_us = static_cast<int64_t>(static_cast<double>(backoff_us) * factor);
+  }
+  return std::chrono::microseconds(std::max<int64_t>(backoff_us, 0));
+}
+
+Result<std::vector<double>> RetryingSequenceSource::Get(ts::SeriesId id) {
+  const int attempts = std::max(policy_.max_attempts, 1);
+  Result<std::vector<double>> out =
+      Status::Internal("retry loop never ran");
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      retries_.fetch_add(1, std::memory_order_relaxed);
+      sleeper_(Backoff(attempt - 1));
+    }
+    out = base_->Get(id);
+    if (!s2::IsRetryable(out.status())) return out;
+  }
+  giveups_.fetch_add(1, std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace s2::resilience

@@ -1,0 +1,65 @@
+#ifndef S2_RESILIENCE_RETRYING_SOURCE_H_
+#define S2_RESILIENCE_RETRYING_SOURCE_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+
+#include "resilience/retry.h"
+#include "storage/sequence_store.h"
+
+namespace s2::resilience {
+
+/// A `SequenceSource` decorator that retries transient `Get` failures.
+///
+/// The engine's verification phase is the hottest disk path (the paper
+/// fetches full sequences "from the disk, in the order suggested by their
+/// lower bounds"); one EINTR there must not abort a whole query. This
+/// decorator re-issues `Get` under a `RetryPolicy` whenever the failure is
+/// `s2::IsRetryable`, and keeps atomic retry/giveup counters the serving
+/// layer exports into `MetricsRegistry`.
+///
+/// Thread safety: `Get` is safe concurrently (matching the base contract) —
+/// the operation runs lock-free; only the jitter rng takes a short mutex.
+class RetryingSequenceSource : public storage::SequenceSource {
+ public:
+  RetryingSequenceSource(std::unique_ptr<storage::SequenceSource> base,
+                         RetryPolicy policy);
+  /// Test hook: injectable sleeper (fault sweeps run backoff at full speed).
+  RetryingSequenceSource(std::unique_ptr<storage::SequenceSource> base,
+                         RetryPolicy policy, Retrier::Sleeper sleeper);
+
+  Result<std::vector<double>> Get(ts::SeriesId id) override;
+  size_t num_series() const override { return base_->num_series(); }
+  size_t series_length() const override { return base_->series_length(); }
+  uint64_t read_count() const override { return base_->read_count(); }
+  void ResetCounters() override { base_->ResetCounters(); }
+
+  /// Lifetime retry accounting (never reset by `ResetCounters`, which
+  /// follows the base contract of I/O read accounting only).
+  uint64_t retry_count() const {
+    return retries_.load(std::memory_order_relaxed);
+  }
+  uint64_t giveup_count() const {
+    return giveups_.load(std::memory_order_relaxed);
+  }
+
+  storage::SequenceSource* base() { return base_.get(); }
+
+ private:
+  std::chrono::microseconds Backoff(int retry_index);
+
+  std::unique_ptr<storage::SequenceSource> base_;
+  RetryPolicy policy_;
+  Retrier::Sleeper sleeper_;
+
+  std::mutex rng_mu_;
+  s2::Rng rng_;
+
+  std::atomic<uint64_t> retries_ = 0;
+  std::atomic<uint64_t> giveups_ = 0;
+};
+
+}  // namespace s2::resilience
+
+#endif  // S2_RESILIENCE_RETRYING_SOURCE_H_

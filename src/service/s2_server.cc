@@ -31,6 +31,22 @@ void Fill(Result<T> result, T* payload, QueryResponse* response) {
   }
 }
 
+/// Failures of the serving substrate (disk, retries exhausted, corrupted
+/// bytes) — the conditions the degradation ladder exists for. Caller errors
+/// (NotFound, InvalidArgument, OutOfRange...) pass through untouched:
+/// degrading those would mask real bugs in the request.
+bool IsInfrastructureFailure(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kIoError:
+    case StatusCode::kIoTransient:
+    case StatusCode::kUnavailable:
+    case StatusCode::kCorruption:
+      return true;
+    default:
+      return false;
+  }
+}
+
 }  // namespace
 
 std::unique_ptr<S2Server> S2Server::Create(core::S2Engine engine,
@@ -40,8 +56,15 @@ std::unique_ptr<S2Server> S2Server::Create(core::S2Engine engine,
 
 S2Server::S2Server(core::S2Engine engine, const Options& options)
     : engine_(std::move(engine)),
+      options_(options),
       cache_(options.cache_capacity, &metrics_),
-      engine_calls_(metrics_.counter("server_engine_calls")) {
+      breaker_(options.breaker),
+      engine_calls_(metrics_.counter("server_engine_calls")),
+      degraded_(metrics_.counter("server_degraded")),
+      shed_(metrics_.counter("server_shed")),
+      retry_attempts_(metrics_.counter("server_retry_attempts")),
+      retry_giveups_(metrics_.counter("server_retry_giveups")),
+      breaker_trips_(metrics_.counter("server_breaker_trips")) {
   // The scheduler is built last: its workers may call Execute (via the
   // handler) as soon as requests arrive, so everything above must be live.
   scheduler_ = std::make_unique<Scheduler>(
@@ -55,6 +78,15 @@ QueryResponse S2Server::Execute(const QueryRequest& request) {
   const CacheKey key = KeyFor(request);
   if (std::optional<QueryResponse> hit = cache_.Lookup(key)) {
     return *std::move(hit);
+  }
+
+  // Ladder step 3: while the breaker is open, shed fast instead of queueing
+  // more work onto a known-bad primary path. Cache hits (above) still serve.
+  if (!breaker_.AllowRequest()) {
+    shed_->Increment();
+    response.status =
+        Status::Unavailable("S2Server: circuit open, request shed");
+    return response;
   }
 
   {
@@ -81,12 +113,63 @@ QueryResponse S2Server::Execute(const QueryRequest& request) {
              &response.burst_matches, &response);
         break;
     }
-    // Insert before releasing the shared lock: inserting after release could
-    // race an AddSeries invalidation and re-publish a stale answer.
-    if (response.status.ok()) cache_.Insert(key, response);
+    if (response.status.ok()) {
+      breaker_.RecordSuccess();
+      // Insert before releasing the shared lock: inserting after release
+      // could race an AddSeries invalidation and re-publish a stale answer.
+      cache_.Insert(key, response);
+    } else if (IsInfrastructureFailure(response.status)) {
+      breaker_.RecordFailure();
+      if (options_.degrade_on_failure) {
+        // Ladder step 2, still under the shared lock (the fallback reads the
+        // engine's RAM rows). Degraded answers are exact but bypass the
+        // index, so they are deliberately not cached: the next request
+        // probes the primary path again.
+        response = Degrade(request, std::move(response));
+      }
+    }
   }
 
+  SyncResilienceMetrics();
   return response;
+}
+
+QueryResponse S2Server::Degrade(const QueryRequest& request,
+                                QueryResponse primary) {
+  QueryResponse fallback;
+  switch (request.kind) {
+    case RequestKind::kSimilarTo:
+      Fill(engine_.SimilarToExact(request.id, request.k), &fallback.neighbors,
+           &fallback);
+      break;
+    case RequestKind::kSimilarToDtw:
+      Fill(engine_.SimilarToDtwExact(request.id, request.k),
+           &fallback.neighbors, &fallback);
+      break;
+    default:
+      // Periods and bursts already run purely on RAM structures; an
+      // infrastructure failure there has no cheaper path to fall back to.
+      return primary;
+  }
+  if (!fallback.status.ok()) return primary;
+  fallback.degraded = true;
+  degraded_->Increment();
+  return fallback;
+}
+
+void S2Server::SyncResilienceMetrics() {
+  std::lock_guard<std::mutex> lock(export_mu_);
+  if (const resilience::RetryingSequenceSource* rs = engine_.retry_source()) {
+    const uint64_t retries = rs->retry_count();
+    const uint64_t giveups = rs->giveup_count();
+    retry_attempts_->Increment(retries - exported_retries_);
+    retry_giveups_->Increment(giveups - exported_giveups_);
+    exported_retries_ = retries;
+    exported_giveups_ = giveups;
+  }
+  const uint64_t trips = breaker_.trip_count();
+  breaker_trips_->Increment(trips - exported_trips_);
+  exported_trips_ = trips;
 }
 
 Result<ts::SeriesId> S2Server::AddSeries(ts::TimeSeries series) {

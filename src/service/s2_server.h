@@ -7,6 +7,7 @@
 
 #include "common/result.h"
 #include "core/s2_engine.h"
+#include "resilience/circuit_breaker.h"
 #include "service/metrics.h"
 #include "service/result_cache.h"
 #include "service/scheduler.h"
@@ -23,12 +24,31 @@ namespace s2::service {
 /// s2_engine.h); `AddSeries` takes it exclusively and invalidates the whole
 /// result cache before returning. Cache hits bypass the engine entirely:
 /// no lock, no VP-tree traversal, no sequence-store reads.
+///
+/// ## Degradation ladder (DESIGN.md §6)
+///
+/// 1. Transient disk faults retry inside the engine's sequence source
+///    (bounded backoff; `server_retry_attempts` / `server_retry_giveups`).
+/// 2. When the indexed path still fails on infrastructure trouble (I/O,
+///    corruption, exhausted retries), similarity requests are re-answered by
+///    the engine's exact RAM scan — same answer set, no disk — with
+///    `QueryResponse::degraded` set and `server_degraded` incremented.
+///    Degraded answers are never cached.
+/// 3. Sustained primary-path failure trips a circuit breaker: while open,
+///    requests are shed fast with `Unavailable` (`server_shed`,
+///    `server_breaker_trips`) instead of piling retries onto a bad disk;
+///    a half-open probe re-tests the primary path after the cooldown.
 class S2Server {
  public:
   struct Options {
     Scheduler::Options scheduler;
     /// Result-cache entries; 0 disables caching.
     size_t cache_capacity = 1024;
+    /// Circuit breaker over the primary (indexed) execution path.
+    resilience::CircuitBreaker::Options breaker;
+    /// When false, step 2 of the ladder is disabled: infrastructure
+    /// failures surface to the caller instead of degrading.
+    bool degrade_on_failure = true;
   };
 
   /// Takes ownership of a built engine.
@@ -62,6 +82,7 @@ class S2Server {
   MetricsRegistry& metrics() { return metrics_; }
   ResultCache& cache() { return cache_; }
   const Scheduler& scheduler() const { return *scheduler_; }
+  const resilience::CircuitBreaker& breaker() const { return breaker_; }
 
   /// Plain-text metrics snapshot (counters + latency percentiles).
   std::string MetricsText() const { return metrics_.TextSnapshot(); }
@@ -69,11 +90,31 @@ class S2Server {
  private:
   S2Server(core::S2Engine engine, const Options& options);
 
+  /// Step 2 of the ladder: re-answers `request` via the exact RAM fallback.
+  /// `primary` is the failed primary-path response (its status is kept when
+  /// the request kind has no RAM fallback). Caller holds the shared lock.
+  QueryResponse Degrade(const QueryRequest& request, QueryResponse primary);
+
+  /// Folds the engine-level retry counters and breaker trip count into the
+  /// metrics registry (counters are increment-only, so this exports deltas).
+  void SyncResilienceMetrics();
+
   core::S2Engine engine_;
+  Options options_;
   MetricsRegistry metrics_;
   ResultCache cache_;
+  resilience::CircuitBreaker breaker_;
   std::shared_mutex engine_mu_;
   Counter* engine_calls_ = nullptr;  ///< Executions that reached the engine.
+  Counter* degraded_ = nullptr;      ///< Requests answered by the fallback.
+  Counter* shed_ = nullptr;          ///< Requests rejected while open.
+  Counter* retry_attempts_ = nullptr;
+  Counter* retry_giveups_ = nullptr;
+  Counter* breaker_trips_ = nullptr;
+  std::mutex export_mu_;             ///< Guards the exported_* snapshots.
+  uint64_t exported_retries_ = 0;
+  uint64_t exported_giveups_ = 0;
+  uint64_t exported_trips_ = 0;
   std::unique_ptr<Scheduler> scheduler_;
 };
 

@@ -61,6 +61,10 @@ struct QueryResponse {
   std::vector<burst::BurstMatch> burst_matches;  ///< kQueryByBurst
   /// True when the answer came from the result cache (no engine work).
   bool cache_hit = false;
+  /// True when the primary (indexed) path failed on infrastructure trouble
+  /// and the answer was produced by the exact RAM fallback instead. Degraded
+  /// answers are exact but slower, and are never cached.
+  bool degraded = false;
   /// Wall time spent executing (queue wait excluded; 0 for cache hits
   /// measured below timer resolution).
   std::chrono::microseconds latency{0};

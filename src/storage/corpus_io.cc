@@ -1,84 +1,59 @@
 #include "storage/corpus_io.h"
 
-#include <cstdio>
 #include <cstring>
-#include <memory>
+
+#include "io/durable.h"
+#include "io/serial.h"
 
 namespace s2::storage {
 
 namespace {
-
 constexpr char kMagic[8] = {'S', '2', 'C', 'O', 'R', 'P', '0', '1'};
-
-struct FileCloser {
-  void operator()(std::FILE* f) const {
-    if (f != nullptr) std::fclose(f);
-  }
-};
-using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
-
-template <typename T>
-bool WriteScalar(std::FILE* f, T value) {
-  return std::fwrite(&value, sizeof(T), 1, f) == 1;
-}
-
-template <typename T>
-bool ReadScalar(std::FILE* f, T* value) {
-  return std::fread(value, sizeof(T), 1, f) == 1;
-}
-
 }  // namespace
 
-Status WriteCorpus(const std::string& path, const ts::Corpus& corpus) {
-  FilePtr file(std::fopen(path.c_str(), "wb"));
-  if (file == nullptr) return Status::IoError("WriteCorpus: cannot create " + path);
-  std::FILE* f = file.get();
-
-  if (std::fwrite(kMagic, 1, sizeof(kMagic), f) != sizeof(kMagic) ||
-      !WriteScalar<uint64_t>(f, corpus.size())) {
-    return Status::IoError("WriteCorpus: short write");
-  }
+Status WriteCorpus(const std::string& path, const ts::Corpus& corpus,
+                   io::Env* env) {
+  if (env == nullptr) env = io::Env::Default();
+  // Serialize into RAM first, then commit the whole image as one generation
+  // so readers never observe a partially written corpus.
+  io::BufferFile buffer;
+  S2_RETURN_NOT_OK(io::WriteExact(&buffer, kMagic, sizeof(kMagic)));
+  S2_RETURN_NOT_OK(io::WriteScalar<uint64_t>(&buffer, corpus.size()));
   for (const ts::TimeSeries& series : corpus.series()) {
     const uint32_t name_length = static_cast<uint32_t>(series.name.size());
     const uint64_t value_count = series.values.size();
-    const bool ok =
-        WriteScalar(f, name_length) &&
-        std::fwrite(series.name.data(), 1, name_length, f) == name_length &&
-        WriteScalar(f, series.start_day) && WriteScalar(f, value_count) &&
-        std::fwrite(series.values.data(), sizeof(double), series.values.size(), f) ==
-            series.values.size();
-    if (!ok) return Status::IoError("WriteCorpus: short write");
+    S2_RETURN_NOT_OK(io::WriteScalar(&buffer, name_length));
+    S2_RETURN_NOT_OK(
+        io::WriteExact(&buffer, series.name.data(), name_length));
+    S2_RETURN_NOT_OK(io::WriteScalar(&buffer, series.start_day));
+    S2_RETURN_NOT_OK(io::WriteScalar(&buffer, value_count));
+    S2_RETURN_NOT_OK(io::WriteExact(&buffer, series.values.data(),
+                                    series.values.size() * sizeof(double)));
   }
-  return Status::OK();
+  return io::durable::CommitNext(env, path, std::move(buffer).TakeBytes());
 }
 
-Result<ts::Corpus> ReadCorpus(const std::string& path) {
-  FilePtr file(std::fopen(path.c_str(), "rb"));
-  if (file == nullptr) return Status::IoError("ReadCorpus: cannot open " + path);
-  std::FILE* f = file.get();
+Result<ts::Corpus> ReadCorpus(const std::string& path, io::Env* env) {
+  if (env == nullptr) env = io::Env::Default();
+  std::vector<char> bytes;
+  S2_RETURN_NOT_OK(io::durable::LoadLatest(env, path, &bytes));
+  io::BufferFile file(std::move(bytes));
+  const uint64_t file_size = file.bytes().size();
 
   // Every declared length below is bounded by the bytes actually remaining
-  // in the file, so a corrupt header can never trigger a huge allocation —
+  // in the image, so a corrupt header can never trigger a huge allocation —
   // it fails as Corruption before the resize.
-  if (std::fseek(f, 0, SEEK_END) != 0) {
-    return Status::IoError("ReadCorpus: seek failed on " + path);
-  }
-  const long file_size = std::ftell(f);
-  if (file_size < 0 || std::fseek(f, 0, SEEK_SET) != 0) {
-    return Status::IoError("ReadCorpus: cannot determine size of " + path);
-  }
-
   char magic[sizeof(kMagic)];
   uint64_t count = 0;
-  if (std::fread(magic, 1, sizeof(magic), f) != sizeof(magic) ||
-      !ReadScalar(f, &count)) {
+  if (file_size < sizeof(kMagic) + sizeof(uint64_t)) {
     return Status::Corruption("ReadCorpus: truncated header in " + path);
   }
+  S2_RETURN_NOT_OK(io::ReadExact(&file, magic, sizeof(magic)));
+  S2_RETURN_NOT_OK(io::ReadScalar(&file, &count));
   if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
     return Status::Corruption("ReadCorpus: bad magic in " + path);
   }
-  uint64_t remaining = static_cast<uint64_t>(file_size) - sizeof(kMagic) -
-                       sizeof(uint64_t);
+  uint64_t remaining = file_size - sizeof(kMagic) - sizeof(uint64_t);
   // Each series costs at least its fixed-size header fields.
   constexpr uint64_t kMinSeriesBytes =
       sizeof(uint32_t) + sizeof(int32_t) + sizeof(uint64_t);
@@ -90,7 +65,8 @@ Result<ts::Corpus> ReadCorpus(const std::string& path) {
   ts::Corpus corpus;
   for (uint64_t i = 0; i < count; ++i) {
     uint32_t name_length = 0;
-    if (!ReadScalar(f, &name_length)) {
+    if (remaining < sizeof(uint32_t) ||
+        !io::ReadScalar(&file, &name_length).ok()) {
       return Status::Corruption("ReadCorpus: truncated series header in " + path);
     }
     remaining -= sizeof(uint32_t);
@@ -102,8 +78,9 @@ Result<ts::Corpus> ReadCorpus(const std::string& path) {
     ts::TimeSeries series;
     series.name.resize(name_length);
     uint64_t value_count = 0;
-    if (std::fread(series.name.data(), 1, name_length, f) != name_length ||
-        !ReadScalar(f, &series.start_day) || !ReadScalar(f, &value_count)) {
+    if (!io::ReadExact(&file, series.name.data(), name_length).ok() ||
+        !io::ReadScalar(&file, &series.start_day).ok() ||
+        !io::ReadScalar(&file, &value_count).ok()) {
       return Status::Corruption("ReadCorpus: truncated series header in " + path);
     }
     remaining -= name_length + sizeof(series.start_day) + sizeof(value_count);
@@ -113,8 +90,9 @@ Result<ts::Corpus> ReadCorpus(const std::string& path) {
                                 " exceeds the remaining file in " + path);
     }
     series.values.resize(value_count);
-    if (std::fread(series.values.data(), sizeof(double), value_count, f) !=
-        value_count) {
+    if (!io::ReadExact(&file, series.values.data(),
+                       value_count * sizeof(double))
+             .ok()) {
       return Status::Corruption("ReadCorpus: truncated values in " + path);
     }
     remaining -= value_count * sizeof(double);

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/result.h"
+#include "io/env.h"
 #include "timeseries/time_series.h"
 
 namespace s2::storage {
@@ -16,11 +17,16 @@ namespace s2::storage {
 ///               u64 value_count | doubles
 ///
 /// The S2 tool keeps its sequence database on disk and reloads it across
-/// sessions; this is the corresponding library facility.
-Status WriteCorpus(const std::string& path, const ts::Corpus& corpus);
+/// sessions; this is the corresponding library facility. Writes commit
+/// through the crash-safe generation container (`io::durable`): the new
+/// corpus replaces the old one atomically, and a crash mid-write leaves the
+/// previous generation loadable. `env` defaults to the POSIX filesystem.
+Status WriteCorpus(const std::string& path, const ts::Corpus& corpus,
+                   io::Env* env = nullptr);
 
-/// Reads a corpus previously written by `WriteCorpus`.
-Result<ts::Corpus> ReadCorpus(const std::string& path);
+/// Reads a corpus previously written by `WriteCorpus` (newest valid
+/// generation; pre-container files load as generation 0).
+Result<ts::Corpus> ReadCorpus(const std::string& path, io::Env* env = nullptr);
 
 }  // namespace s2::storage
 

@@ -214,10 +214,21 @@ class Pin {
 
 Result<std::unique_ptr<DiskBPlusTree>> DiskBPlusTree::Open(const std::string& path,
                                                            size_t pool_pages) {
-  if (pool_pages < 8) {
+  Options options;
+  options.pool_pages = pool_pages;
+  return Open(path, options);
+}
+
+Result<std::unique_ptr<DiskBPlusTree>> DiskBPlusTree::Open(const std::string& path,
+                                                           Options options) {
+  if (options.pool_pages < 8) {
     return Status::InvalidArgument("DiskBPlusTree: pool_pages must be >= 8");
   }
-  S2_ASSIGN_OR_RETURN(std::unique_ptr<Pager> pager, Pager::Open(path, pool_pages));
+  Pager::Options pager_options;
+  pager_options.env = options.env;
+  pager_options.durable = options.durable;
+  S2_ASSIGN_OR_RETURN(std::unique_ptr<Pager> pager,
+                      Pager::Open(path, options.pool_pages, pager_options));
   std::unique_ptr<DiskBPlusTree> tree(new DiskBPlusTree(std::move(pager)));
   if (tree->pager_->num_pages() == 0) {
     S2_RETURN_NOT_OK(tree->InitializeNewFile());
@@ -527,7 +538,7 @@ Status DiskBPlusTree::ScanAll(const std::function<bool(int64_t, uint64_t)>& fn) 
   return Status::OK();
 }
 
-Status DiskBPlusTree::Flush() { return pager_->FlushAll(); }
+Status DiskBPlusTree::Flush() { return pager_->Sync(); }
 
 Status DiskBPlusTree::ValidateNode(PageId page_id, const int64_t* lo,
                                    const int64_t* hi, uint64_t* pair_count,

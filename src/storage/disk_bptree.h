@@ -26,14 +26,28 @@ namespace s2::storage {
 /// append-mostly — space is reclaimed by rebuilding, as in many production
 /// LSM/B-tree hybrids.
 ///
-/// Durability is flush-granular (see Pager); call `Flush` after batches.
+/// Durability is flush-granular: `Flush` persists all dirty pages and (in
+/// the default durable mode) publishes a complete generation of the file via
+/// the pager's shadow-copy protocol, so a crash at any point leaves the last
+/// flushed state loadable.
 class DiskBPlusTree {
  public:
-  /// Opens (or creates) a tree at `path`. `pool_pages` is the buffer-pool
-  /// capacity; at least 8 frames are required (a root-to-leaf path plus
-  /// split scratch must fit pinned).
+  struct Options {
+    /// Filesystem to operate in; null means `io::Env::Default()`.
+    io::Env* env = nullptr;
+    /// Crash-safe shadow publishing (see Pager). On by default: the tree is
+    /// a real store, not scratch.
+    bool durable = true;
+    /// Buffer-pool capacity; at least 8 frames are required (a root-to-leaf
+    /// path plus split scratch must fit pinned).
+    size_t pool_pages = 64;
+  };
+
+  /// Opens (or creates) a tree at `path`.
   static Result<std::unique_ptr<DiskBPlusTree>> Open(const std::string& path,
                                                      size_t pool_pages = 64);
+  static Result<std::unique_ptr<DiskBPlusTree>> Open(const std::string& path,
+                                                     Options options);
 
   DiskBPlusTree(const DiskBPlusTree&) = delete;
   DiskBPlusTree& operator=(const DiskBPlusTree&) = delete;

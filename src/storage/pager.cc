@@ -1,17 +1,19 @@
 #include "storage/pager.h"
 
-#include <sys/stat.h>
-#include <unistd.h>
-
 #include <cstring>
 
 #include "diag/validate.h"
 
 namespace s2::storage {
 
-Pager::Pager(std::string path, std::FILE* file, size_t pool_pages,
+Pager::Pager(std::string path, io::Env* env, bool durable,
+             std::unique_ptr<io::File> file, size_t pool_pages,
              size_t num_pages)
-    : path_(std::move(path)), file_(file), num_pages_(num_pages) {
+    : path_(std::move(path)),
+      env_(env),
+      durable_(durable),
+      file_(std::move(file)),
+      num_pages_(num_pages) {
   frames_.resize(pool_pages);
   for (Frame& frame : frames_) {
     frame.data = std::make_unique<char[]>(kPageSize);
@@ -24,41 +26,51 @@ Pager::Pager(std::string path, std::FILE* file, size_t pool_pages,
   }
 }
 
+std::string Pager::WorkingPath() const {
+  return durable_ ? path_ + ".shadow" : path_;
+}
+
 Result<std::unique_ptr<Pager>> Pager::Open(const std::string& path,
-                                           size_t pool_pages) {
+                                           size_t pool_pages,
+                                           Options options) {
   if (pool_pages < 2) {
     return Status::InvalidArgument("Pager: pool must hold at least 2 pages");
   }
-  std::FILE* file = std::fopen(path.c_str(), "r+b");
-  if (file == nullptr) file = std::fopen(path.c_str(), "w+b");
-  if (file == nullptr) return Status::IoError("Pager: cannot open " + path);
-  if (std::fseek(file, 0, SEEK_END) != 0) {
-    std::fclose(file);
-    return Status::IoError("Pager: seek failed on " + path);
+  io::Env* env = options.env != nullptr ? options.env : io::Env::Default();
+  std::string working = path;
+  if (options.durable) {
+    // Work on a private shadow; a stale shadow left by a crashed run is
+    // untrusted (its publish never completed) and is overwritten from the
+    // last published generation at `path`.
+    working = path + ".shadow";
+    if (env->FileExists(path)) {
+      S2_RETURN_NOT_OK(env->CopyFile(path, working));
+    } else {
+      S2_RETURN_NOT_OK(env->Remove(working));
+    }
   }
-  const long size = std::ftell(file);
-  if (size < 0) {
-    std::fclose(file);
-    return Status::IoError("Pager: cannot determine size of " + path);
-  }
-  if (static_cast<size_t>(size) % kPageSize != 0) {
-    std::fclose(file);
+  S2_ASSIGN_OR_RETURN(std::unique_ptr<io::File> file,
+                      env->Open(working, io::OpenMode::kReadWrite));
+  S2_ASSIGN_OR_RETURN(uint64_t size, file->Size());
+  if (size % kPageSize != 0) {
     return Status::Corruption(
         "Pager: truncated or misaligned file (size " + std::to_string(size) +
         " is not a multiple of " + std::to_string(kPageSize) + "): " + path);
   }
-  const size_t num_pages = static_cast<size_t>(size) / kPageSize;
+  const size_t num_pages = static_cast<size_t>(size / kPageSize);
   if (num_pages >= static_cast<size_t>(kInvalidPageId)) {
-    std::fclose(file);
     return Status::Corruption("Pager: page count exceeds the PageId range: " +
                               path);
   }
-  return std::unique_ptr<Pager>(new Pager(path, file, pool_pages, num_pages));
+  return std::unique_ptr<Pager>(new Pager(path, env, options.durable,
+                                          std::move(file), pool_pages,
+                                          num_pages));
 }
 
 Pager::~Pager() {
-  (void)FlushAll();
-  if (file_ != nullptr) std::fclose(file_);
+  // Best-effort: persist what we can, but destructors cannot report, so
+  // durable clients should call Sync() explicitly and check it.
+  (void)Sync();
 }
 
 void Pager::TouchLru(size_t frame_idx) {
@@ -71,9 +83,11 @@ void Pager::TouchLru(size_t frame_idx) {
 Status Pager::WriteBack(Frame* frame) {
   if (!frame->dirty || frame->page_id == kInvalidPageId) return Status::OK();
   const uint64_t offset = static_cast<uint64_t>(frame->page_id) * kPageSize;
-  if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0 ||
-      std::fwrite(frame->data.get(), 1, kPageSize, file_) != kPageSize) {
-    return Status::IoError("Pager: write-back failed");
+  Status s = io::WriteExactAt(file_.get(), frame->data.get(), kPageSize, offset);
+  if (!s.ok()) {
+    return Status(s.code(), "Pager: write-back of page " +
+                                std::to_string(frame->page_id) +
+                                " failed: " + s.message());
   }
   ++disk_writes_;
   frame->dirty = false;
@@ -103,12 +117,15 @@ Result<size_t> Pager::FrameFor(PageId id) {
   S2_RETURN_NOT_OK(WriteBack(&frame));
   if (frame.page_id != kInvalidPageId) frame_of_page_.erase(frame.page_id);
 
-  // Load the requested page.
+  // Load the requested page. Transient faults propagate with their code
+  // intact so callers can retry; EOF inside a known-resident page means the
+  // file shrank under us, which ReadExactAt reports as Corruption.
   const uint64_t offset = static_cast<uint64_t>(id) * kPageSize;
-  if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0 ||
-      std::fread(frame.data.get(), 1, kPageSize, file_) != kPageSize) {
+  Status s = io::ReadExactAt(file_.get(), frame.data.get(), kPageSize, offset);
+  if (!s.ok()) {
     frame.page_id = kInvalidPageId;
-    return Status::IoError("Pager: read failed for page " + std::to_string(id));
+    return Status(s.code(), "Pager: read of page " + std::to_string(id) +
+                                " failed: " + s.message());
   }
   ++disk_reads_;
   frame.page_id = id;
@@ -122,9 +139,10 @@ Result<PageId> Pager::Allocate(char** data) {
   const PageId id = static_cast<PageId>(num_pages_);
   // Extend the file with a zeroed page.
   std::vector<char> zeros(kPageSize, 0);
-  if (std::fseek(file_, 0, SEEK_END) != 0 ||
-      std::fwrite(zeros.data(), 1, kPageSize, file_) != kPageSize) {
-    return Status::IoError("Pager: cannot extend file");
+  const uint64_t offset = static_cast<uint64_t>(id) * kPageSize;
+  Status s = io::WriteExactAt(file_.get(), zeros.data(), kPageSize, offset);
+  if (!s.ok()) {
+    return Status(s.code(), "Pager: cannot extend file: " + s.message());
   }
   ++disk_writes_;
   ++num_pages_;
@@ -207,12 +225,12 @@ Status Pager::Validate() const {
         << "stale LRU position for frame " << idx;
   }
   // File: its size must agree with num_pages() (Allocate extends eagerly).
-  struct stat st = {};
-  if (file_ == nullptr || ::fstat(fileno(file_), &st) != 0) {
-    v.AddViolation("cannot stat the backing file");
+  Result<uint64_t> size = file_->Size();
+  if (!size.ok()) {
+    v.AddViolation("cannot stat the backing file: " + size.status().message());
   } else {
-    v.Check(static_cast<uint64_t>(st.st_size) == num_pages_ * kPageSize)
-        << "file size " << st.st_size << " != " << num_pages_ << " pages x "
+    v.Check(*size == num_pages_ * kPageSize)
+        << "file size " << *size << " != " << num_pages_ << " pages x "
         << kPageSize << " bytes";
   }
   return v.ToStatus();
@@ -222,10 +240,19 @@ Status Pager::FlushAll() {
   for (Frame& frame : frames_) {
     S2_RETURN_NOT_OK(WriteBack(&frame));
   }
-  if (file_ != nullptr && std::fflush(file_) != 0) {
-    return Status::IoError("Pager: fflush failed");
-  }
   return Status::OK();
+}
+
+Status Pager::Sync() {
+  S2_RETURN_NOT_OK(FlushAll());
+  S2_RETURN_NOT_OK(file_->Sync());
+  if (!durable_) return Status::OK();
+  // Publish: the shadow is complete and durable; expose it at `path` with a
+  // copy + single atomic rename so readers of `path` only ever observe a
+  // complete generation.
+  const std::string tmp = path_ + ".tmp";
+  S2_RETURN_NOT_OK(env_->CopyFile(WorkingPath(), tmp));
+  return env_->Rename(tmp, path_);
 }
 
 }  // namespace s2::storage

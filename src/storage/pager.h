@@ -2,7 +2,6 @@
 #define S2_STORAGE_PAGER_H_
 
 #include <cstdint>
-#include <cstdio>
 #include <list>
 #include <memory>
 #include <string>
@@ -10,6 +9,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "io/env.h"
 
 namespace s2::storage {
 
@@ -31,16 +31,40 @@ inline constexpr PageId kInvalidPageId = static_cast<PageId>(-1);
 /// * `FlushAll` persists every dirty frame; the destructor flushes too.
 /// * Read/write/hit counters expose the I/O behaviour to tests and benches.
 ///
-/// Not thread-safe. No write-ahead logging: a crash between Unpin and
-/// FlushAll can lose recent modifications (torn pages are not possible
-/// because pages are written in a single fwrite, but durability is
-/// flush-granular). That matches the burst store's usage as a rebuildable
-/// derived index.
+/// All I/O routes through an `io::Env` (default: the POSIX environment), so
+/// tests can substitute an in-memory filesystem or a fault injector.
+///
+/// Durability comes in two modes:
+/// * Non-durable (default): pages are updated in place at `path`. A crash
+///   between Unpin and FlushAll can lose recent modifications, and a crash
+///   mid-write-back can tear the file. Matches the original behaviour; fine
+///   for scratch/rebuildable data.
+/// * Durable (`Options::durable`): the pager works on a private shadow copy
+///   (`<path>.shadow`); readers of `path` never see in-place updates.
+///   `Publish` (called by `Sync`) flushes and fsyncs the shadow, copies it
+///   to `<path>.tmp`, fsyncs that, and atomically renames it over `path` —
+///   so `path` always holds a complete generation: the last published state
+///   survives a crash at any point. Stale shadows from a crashed run are
+///   discarded at Open (the shadow is re-seeded from `path`).
+///
+/// Not thread-safe.
 class Pager {
  public:
+  struct Options {
+    /// Filesystem to operate in; null means `io::Env::Default()`.
+    io::Env* env = nullptr;
+    /// Shadow-copy crash-safe publishing (see class comment).
+    bool durable = false;
+  };
+
   /// Opens (or creates) the paged file with a pool of `pool_pages` frames.
   static Result<std::unique_ptr<Pager>> Open(const std::string& path,
-                                             size_t pool_pages);
+                                             size_t pool_pages,
+                                             Options options);
+  static Result<std::unique_ptr<Pager>> Open(const std::string& path,
+                                             size_t pool_pages) {
+    return Open(path, pool_pages, Options());
+  }
 
   ~Pager();
 
@@ -57,8 +81,12 @@ class Pager {
   /// Releases a pin. `dirty` marks the frame for write-back.
   Status Unpin(PageId id, bool dirty);
 
-  /// Writes every dirty frame to disk.
+  /// Writes every dirty frame to the working file (shadow in durable mode).
   Status FlushAll();
+
+  /// Makes the current state durable: FlushAll + fsync, and in durable mode
+  /// publishes the shadow over `path` via copy + atomic rename.
+  Status Sync();
 
   /// Number of pages in the file.
   size_t num_pages() const { return num_pages_; }
@@ -85,14 +113,18 @@ class Pager {
     std::unique_ptr<char[]> data;
   };
 
-  Pager(std::string path, std::FILE* file, size_t pool_pages, size_t num_pages);
+  Pager(std::string path, io::Env* env, bool durable,
+        std::unique_ptr<io::File> file, size_t pool_pages, size_t num_pages);
 
   Result<size_t> FrameFor(PageId id);  // Loads into the pool if needed.
   Status WriteBack(Frame* frame);
   void TouchLru(size_t frame_idx);
+  std::string WorkingPath() const;
 
   std::string path_;
-  std::FILE* file_;
+  io::Env* env_;
+  bool durable_;
+  std::unique_ptr<io::File> file_;
   size_t num_pages_;
   std::vector<Frame> frames_;
   std::unordered_map<PageId, size_t> frame_of_page_;

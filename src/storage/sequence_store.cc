@@ -1,11 +1,9 @@
 #include "storage/sequence_store.h"
 
-#include <sys/stat.h>
-#include <unistd.h>
-
 #include <cstring>
 
 #include "diag/validate.h"
+#include "io/durable.h"
 
 namespace s2::storage {
 
@@ -45,7 +43,9 @@ Result<std::vector<double>> InMemorySequenceSource::Get(ts::SeriesId id) {
 }
 
 Result<std::unique_ptr<DiskSequenceStore>> DiskSequenceStore::Create(
-    const std::string& path, const std::vector<std::vector<double>>& rows) {
+    const std::string& path, const std::vector<std::vector<double>>& rows,
+    io::Env* env) {
+  if (env == nullptr) env = io::Env::Default();
   const size_t length = rows.empty() ? 0 : rows.front().size();
   for (const auto& row : rows) {
     if (row.size() != length) {
@@ -53,85 +53,72 @@ Result<std::unique_ptr<DiskSequenceStore>> DiskSequenceStore::Create(
           "DiskSequenceStore: all rows must have equal length");
     }
   }
-  std::FILE* out = std::fopen(path.c_str(), "wb");
-  if (out == nullptr) {
-    return Status::IoError("DiskSequenceStore: cannot create " + path);
-  }
+  // Serialize the whole image, then commit it as one generation: the bytes
+  // only become visible at `path` after they are complete, checksummed and
+  // fsynced (write-temp -> fsync -> atomic rename).
   const uint64_t count = rows.size();
   const uint64_t len = length;
-  bool ok = std::fwrite(kMagic, 1, sizeof(kMagic), out) == sizeof(kMagic) &&
-            std::fwrite(&count, sizeof(count), 1, out) == 1 &&
-            std::fwrite(&len, sizeof(len), 1, out) == 1;
+  std::vector<char> payload;
+  payload.reserve(kHeaderBytes + count * len * sizeof(double));
+  payload.insert(payload.end(), kMagic, kMagic + sizeof(kMagic));
+  const char* count_bytes = reinterpret_cast<const char*>(&count);
+  payload.insert(payload.end(), count_bytes, count_bytes + sizeof(count));
+  const char* len_bytes = reinterpret_cast<const char*>(&len);
+  payload.insert(payload.end(), len_bytes, len_bytes + sizeof(len));
   for (const auto& row : rows) {
-    if (!ok) break;
-    ok = std::fwrite(row.data(), sizeof(double), row.size(), out) == row.size();
+    const char* row_bytes = reinterpret_cast<const char*>(row.data());
+    payload.insert(payload.end(), row_bytes,
+                   row_bytes + row.size() * sizeof(double));
   }
-  if (std::fclose(out) != 0) ok = false;
-  if (!ok) return Status::IoError("DiskSequenceStore: short write to " + path);
-  return Open(path);
+  S2_RETURN_NOT_OK(io::durable::CommitNext(env, path, payload));
+  return Open(path, env);
 }
 
 Result<std::unique_ptr<DiskSequenceStore>> DiskSequenceStore::Open(
-    const std::string& path) {
-  std::FILE* file = std::fopen(path.c_str(), "rb");
-  if (file == nullptr) {
-    return Status::IoError("DiskSequenceStore: cannot open " + path);
-  }
-  char magic[sizeof(kMagic)];
-  uint64_t count = 0;
-  uint64_t length = 0;
-  const bool ok = std::fread(magic, 1, sizeof(magic), file) == sizeof(magic) &&
-                  std::fread(&count, sizeof(count), 1, file) == 1 &&
-                  std::fread(&length, sizeof(length), 1, file) == 1;
-  if (!ok) {
-    std::fclose(file);
+    const std::string& path, io::Env* env) {
+  if (env == nullptr) env = io::Env::Default();
+  S2_ASSIGN_OR_RETURN(io::durable::OpenInfo info,
+                      io::durable::OpenLatest(env, path));
+  if (info.payload_size < kHeaderBytes) {
     return Status::Corruption("DiskSequenceStore: truncated header in " + path);
   }
-  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    std::fclose(file);
+  char header[kHeaderBytes];
+  S2_RETURN_NOT_OK(io::ReadExactAt(info.file.get(), header, kHeaderBytes,
+                                   info.payload_offset));
+  if (std::memcmp(header, kMagic, sizeof(kMagic)) != 0) {
     return Status::Corruption("DiskSequenceStore: bad magic in " + path);
   }
+  uint64_t count = 0;
+  uint64_t length = 0;
+  std::memcpy(&count, header + sizeof(kMagic), sizeof(count));
+  std::memcpy(&length, header + sizeof(kMagic) + sizeof(count), sizeof(length));
   // The declared geometry must match the bytes actually on disk: a corrupt
   // count or length would otherwise surface later as short reads (or worse,
   // a gigantic allocation per Get).
-  struct stat st = {};
-  if (::fstat(fileno(file), &st) != 0) {
-    std::fclose(file);
-    return Status::IoError("DiskSequenceStore: cannot stat " + path);
-  }
-  const uint64_t file_size = static_cast<uint64_t>(st.st_size);
   if (count != 0 &&
       (length > (UINT64_MAX - kHeaderBytes) / sizeof(double) / count)) {
-    std::fclose(file);
     return Status::Corruption(
         "DiskSequenceStore: count x length overflows in " + path);
   }
-  const uint64_t expected =
-      kHeaderBytes + count * length * sizeof(double);
-  if (file_size != expected) {
-    std::fclose(file);
+  const uint64_t expected = kHeaderBytes + count * length * sizeof(double);
+  if (info.payload_size != expected) {
     return Status::Corruption(
-        "DiskSequenceStore: file size " + std::to_string(file_size) +
+        "DiskSequenceStore: file size " + std::to_string(info.payload_size) +
         " != expected " + std::to_string(expected) + " in " + path);
   }
   return std::unique_ptr<DiskSequenceStore>(new DiskSequenceStore(
-      path, file, static_cast<size_t>(count), static_cast<size_t>(length)));
+      path, std::move(info.file), info.payload_offset, info.generation,
+      static_cast<size_t>(count), static_cast<size_t>(length)));
 }
 
 Status DiskSequenceStore::Validate() const {
   diag::Validator v("DiskSequenceStore");
   char header[kHeaderBytes] = {};
-  size_t done = 0;
-  while (done < kHeaderBytes) {
-    const ssize_t n = ::pread(fileno(file_), header + done, kHeaderBytes - done,
-                              static_cast<off_t>(done));
-    if (n < 0) return Status::IoError("DiskSequenceStore: cannot read header");
-    if (n == 0) break;
-    done += static_cast<size_t>(n);
-  }
-  v.Check(done == kHeaderBytes)
-      << "file shorter than the " << kHeaderBytes << "-byte header";
-  if (done == kHeaderBytes) {
+  Status read = io::ReadExactAt(file_.get(), header, kHeaderBytes,
+                                payload_offset_);
+  if (!read.ok()) {
+    v.AddViolation("cannot re-read the on-disk header: " + read.message());
+  } else {
     uint64_t count = 0;
     uint64_t length = 0;
     std::memcpy(&count, header + sizeof(kMagic), sizeof(count));
@@ -144,39 +131,35 @@ Status DiskSequenceStore::Validate() const {
     v.Check(length == length_)
         << "on-disk length " << length << " != in-memory length " << length_;
   }
-  struct stat st = {};
-  if (::fstat(fileno(file_), &st) != 0) {
-    v.AddViolation("cannot stat the backing file");
+  Result<uint64_t> size = file_->Size();
+  if (!size.ok()) {
+    v.AddViolation("cannot stat the backing file: " + size.status().message());
   } else {
     const uint64_t expected =
-        kHeaderBytes +
+        payload_offset_ + kHeaderBytes +
         static_cast<uint64_t>(count_) * length_ * sizeof(double);
-    v.Check(static_cast<uint64_t>(st.st_size) == expected)
-        << "file size " << st.st_size << " != " << expected << " (" << count_
+    v.Check(*size == expected)
+        << "file size " << *size << " != " << expected << " (" << count_
         << " records of " << length_ << " doubles)";
   }
   return v.ToStatus();
 }
 
-DiskSequenceStore::~DiskSequenceStore() {
-  if (file_ != nullptr) std::fclose(file_);
-}
-
 Result<std::vector<double>> DiskSequenceStore::Get(ts::SeriesId id) {
   if (id >= count_) return Status::NotFound("DiskSequenceStore: id out of range");
   const uint64_t offset =
-      kHeaderBytes + static_cast<uint64_t>(id) * length_ * sizeof(double);
+      payload_offset_ + kHeaderBytes +
+      static_cast<uint64_t>(id) * length_ * sizeof(double);
   std::vector<double> row(length_);
-  // pread is atomic w.r.t. the offset, so concurrent Gets on the shared fd
-  // never interleave seek/read pairs.
-  size_t done = 0;
   const size_t want = length_ * sizeof(double);
-  char* dst = reinterpret_cast<char*>(row.data());
-  while (done < want) {
-    const ssize_t n = ::pread(fileno(file_), dst + done, want - done,
-                              static_cast<off_t>(offset + done));
-    if (n <= 0) return Status::IoError("DiskSequenceStore: short read");
-    done += static_cast<size_t>(n);
+  // Positioned read: concurrent Gets never interleave seek/read pairs.
+  // ReadExactAt loops over short reads (an EINTR-interrupted transfer is
+  // not corruption) and keeps transient fault codes intact so callers can
+  // retry; only EOF inside a record is reported as Corruption.
+  Status s = io::ReadExactAt(file_.get(), row.data(), want, offset);
+  if (!s.ok()) {
+    return Status(s.code(), "DiskSequenceStore: record " + std::to_string(id) +
+                                ": " + s.message());
   }
   reads_.fetch_add(1, std::memory_order_relaxed);
   bytes_read_.fetch_add(want, std::memory_order_relaxed);

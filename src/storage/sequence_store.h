@@ -3,12 +3,12 @@
 
 #include <atomic>
 #include <cstdint>
-#include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
+#include "io/env.h"
 #include "timeseries/time_series.h"
 
 namespace s2::storage {
@@ -72,21 +72,30 @@ class InMemorySequenceSource : public SequenceSource {
 
 /// A fixed-record binary file of sequences, fetched with positioned reads.
 ///
-/// Layout: 8-byte magic, u64 count, u64 length, then `count` records of
-/// `length` doubles in native byte order. Random `Get` performs one
-/// positioned read (`pread`) of a whole record, mirroring the random I/O of
-/// the paper's verification phase. `pread` carries its own offset, so
+/// Record layout: 8-byte magic, u64 count, u64 length, then `count` records
+/// of `length` doubles in native byte order. Random `Get` performs one
+/// positioned read of a whole record, mirroring the random I/O of the
+/// paper's verification phase; positioned reads carry their own offset, so
 /// concurrent `Get` calls never race on a shared file position.
+///
+/// Persistence is crash-safe: `Create` commits the image through the
+/// generation container (`io::durable` — write-temp, fsync, atomic rename,
+/// checksummed header) and `Open` loads the newest valid generation,
+/// falling back to the previous one after a torn write. Legacy headerless
+/// files still open (treated as generation 0).
 class DiskSequenceStore : public SequenceSource {
  public:
-  /// Writes `rows` to `path` and opens the resulting store.
+  /// Writes `rows` to `path` (crash-safely) and opens the resulting store.
+  /// `env` defaults to the POSIX filesystem.
   static Result<std::unique_ptr<DiskSequenceStore>> Create(
-      const std::string& path, const std::vector<std::vector<double>>& rows);
+      const std::string& path, const std::vector<std::vector<double>>& rows,
+      io::Env* env = nullptr);
 
-  /// Opens an existing store file.
-  static Result<std::unique_ptr<DiskSequenceStore>> Open(const std::string& path);
+  /// Opens an existing store file (newest valid generation).
+  static Result<std::unique_ptr<DiskSequenceStore>> Open(
+      const std::string& path, io::Env* env = nullptr);
 
-  ~DiskSequenceStore() override;
+  ~DiskSequenceStore() override = default;
 
   DiskSequenceStore(const DiskSequenceStore&) = delete;
   DiskSequenceStore& operator=(const DiskSequenceStore&) = delete;
@@ -109,6 +118,9 @@ class DiskSequenceStore : public SequenceSource {
 
   const std::string& path() const { return path_; }
 
+  /// The generation this store was loaded from (0 for legacy images).
+  uint64_t generation() const { return generation_; }
+
   /// Structural self-check: re-reads the header from disk (magic, count,
   /// length must match the in-memory view) and verifies the file size equals
   /// header + count * length records. Reports the exact violations as
@@ -116,11 +128,20 @@ class DiskSequenceStore : public SequenceSource {
   Status Validate() const;
 
  private:
-  DiskSequenceStore(std::string path, std::FILE* file, size_t count, size_t length)
-      : path_(std::move(path)), file_(file), count_(count), length_(length) {}
+  DiskSequenceStore(std::string path, std::unique_ptr<io::File> file,
+                    uint64_t payload_offset, uint64_t generation, size_t count,
+                    size_t length)
+      : path_(std::move(path)),
+        file_(std::move(file)),
+        payload_offset_(payload_offset),
+        generation_(generation),
+        count_(count),
+        length_(length) {}
 
   std::string path_;
-  std::FILE* file_;
+  std::unique_ptr<io::File> file_;
+  uint64_t payload_offset_;
+  uint64_t generation_;
   size_t count_;
   size_t length_;
   std::atomic<uint64_t> reads_ = 0;

@@ -1,0 +1,101 @@
+#include <chrono>
+
+#include <gtest/gtest.h>
+
+#include "resilience/circuit_breaker.h"
+
+namespace s2::resilience {
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::steady_clock;
+
+// A hand-cranked clock so state transitions need no real sleeps.
+struct FakeClock {
+  steady_clock::time_point now = steady_clock::time_point{};
+  void Advance(milliseconds d) { now += d; }
+  CircuitBreaker::Clock fn() {
+    return [this] { return now; };
+  }
+};
+
+CircuitBreaker::Options SmallBreaker() {
+  CircuitBreaker::Options options;
+  options.failure_threshold = 3;
+  options.cooldown = milliseconds(100);
+  return options;
+}
+
+TEST(CircuitBreakerTest, StartsClosedAndAllows) {
+  FakeClock clock;
+  CircuitBreaker breaker(SmallBreaker(), clock.fn());
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.AllowRequest());
+  EXPECT_EQ(breaker.rejected_count(), 0u);
+}
+
+TEST(CircuitBreakerTest, TripsAtConsecutiveFailureThreshold) {
+  FakeClock clock;
+  CircuitBreaker breaker(SmallBreaker(), clock.fn());
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  breaker.RecordFailure();  // Third consecutive failure trips it.
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.trip_count(), 1u);
+  EXPECT_FALSE(breaker.AllowRequest());
+  EXPECT_EQ(breaker.rejected_count(), 1u);
+}
+
+TEST(CircuitBreakerTest, SuccessResetsTheFailureStreak) {
+  FakeClock clock;
+  CircuitBreaker breaker(SmallBreaker(), clock.fn());
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  breaker.RecordSuccess();  // Streak broken.
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(breaker.trip_count(), 0u);
+}
+
+TEST(CircuitBreakerTest, HalfOpenProbeAfterCooldown) {
+  FakeClock clock;
+  CircuitBreaker breaker(SmallBreaker(), clock.fn());
+  for (int i = 0; i < 3; ++i) breaker.RecordFailure();
+  ASSERT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  clock.Advance(milliseconds(50));
+  EXPECT_FALSE(breaker.AllowRequest());  // Still cooling down.
+  clock.Advance(milliseconds(60));
+  EXPECT_TRUE(breaker.AllowRequest());  // The probe.
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  EXPECT_FALSE(breaker.AllowRequest());  // Exactly one probe at a time.
+}
+
+TEST(CircuitBreakerTest, ProbeSuccessCloses) {
+  FakeClock clock;
+  CircuitBreaker breaker(SmallBreaker(), clock.fn());
+  for (int i = 0; i < 3; ++i) breaker.RecordFailure();
+  clock.Advance(milliseconds(200));
+  ASSERT_TRUE(breaker.AllowRequest());
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.AllowRequest());
+}
+
+TEST(CircuitBreakerTest, ProbeFailureReopensAndRestartsCooldown) {
+  FakeClock clock;
+  CircuitBreaker breaker(SmallBreaker(), clock.fn());
+  for (int i = 0; i < 3; ++i) breaker.RecordFailure();
+  clock.Advance(milliseconds(200));
+  ASSERT_TRUE(breaker.AllowRequest());
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.trip_count(), 2u);
+  EXPECT_FALSE(breaker.AllowRequest());  // Cooldown restarted.
+  clock.Advance(milliseconds(150));
+  EXPECT_TRUE(breaker.AllowRequest());  // New probe after the new cooldown.
+}
+
+}  // namespace
+}  // namespace s2::resilience

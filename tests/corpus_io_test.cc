@@ -44,9 +44,9 @@ TEST(CorpusIoTest, EmptyCorpusRoundTrip) {
   std::remove(path.c_str());
 }
 
-TEST(CorpusIoTest, MissingFileIsIoError) {
+TEST(CorpusIoTest, MissingFileIsNotFound) {
   EXPECT_EQ(ReadCorpus("/no/such/dir/corpus.bin").status().code(),
-            StatusCode::kIoError);
+            StatusCode::kNotFound);
 }
 
 TEST(CorpusIoTest, BadMagicRejected) {

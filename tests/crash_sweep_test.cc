@@ -1,0 +1,258 @@
+// Crash-point sweep over every on-disk format, via fuzz::CrashSweep: commit
+// generation A cleanly, crash a generation-B commit at every mutating op in
+// turn, and require the store to reopen as exactly A or B every time.
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "burst/disk_burst_table.h"
+#include "dsp/stats.h"
+#include "index/vp_tree.h"
+#include "io/env.h"
+#include "repr/feature_store.h"
+#include "storage/corpus_io.h"
+#include "storage/disk_bptree.h"
+#include "storage/sequence_store.h"
+#include "fuzz_util.h"
+
+namespace s2 {
+namespace {
+
+using fuzz::CrashSweep;
+using io::Env;
+
+// Deterministic, Rng-free synthetic rows; `salt` decorrelates generations.
+std::vector<std::vector<double>> MakeRows(size_t count, size_t length,
+                                          double salt) {
+  std::vector<std::vector<double>> rows(count);
+  for (size_t i = 0; i < count; ++i) {
+    rows[i].resize(length);
+    for (size_t t = 0; t < length; ++t) {
+      rows[i][t] = std::sin(0.13 * static_cast<double>(t + 1) *
+                            static_cast<double>(i + 1)) +
+                   salt * static_cast<double>(i + 1);
+    }
+  }
+  return rows;
+}
+
+TEST(CrashSweepTest, SequenceStoreSurvivesEveryCrashPoint) {
+  const auto rows_a = MakeRows(3, 16, 0.0);
+  const auto rows_b = MakeRows(5, 16, 0.5);
+  CrashSweep(
+      [&](Env* env) {
+        ASSERT_TRUE(
+            storage::DiskSequenceStore::Create("seq.bin", rows_a, env).ok());
+      },
+      [&](Env* env) {
+        return storage::DiskSequenceStore::Create("seq.bin", rows_b, env)
+            .status();
+      },
+      [&](Env* env, bool definitely_b) {
+        auto store = storage::DiskSequenceStore::Open("seq.bin", env);
+        ASSERT_TRUE(store.ok()) << store.status().ToString();
+        const size_t n = (*store)->num_series();
+        if (definitely_b) {
+          ASSERT_EQ(n, rows_b.size());
+        } else {
+          ASSERT_TRUE(n == rows_a.size() || n == rows_b.size())
+              << "torn store: " << n << " series";
+        }
+        const auto& expect = (n == rows_a.size()) ? rows_a : rows_b;
+        auto row = (*store)->Get(0);
+        ASSERT_TRUE(row.ok());
+        EXPECT_EQ(*row, expect[0]);
+      });
+}
+
+TEST(CrashSweepTest, CorpusSurvivesEveryCrashPoint) {
+  auto make_corpus = [](size_t count, double salt) {
+    ts::Corpus corpus;
+    for (const auto& values : MakeRows(count, 12, salt)) {
+      corpus.Add(ts::TimeSeries{"q" + std::to_string(corpus.size()), 0, values});
+    }
+    return corpus;
+  };
+  const ts::Corpus corpus_a = make_corpus(2, 0.0);
+  const ts::Corpus corpus_b = make_corpus(4, 0.5);
+  CrashSweep(
+      [&](Env* env) {
+        ASSERT_TRUE(storage::WriteCorpus("corpus.bin", corpus_a, env).ok());
+      },
+      [&](Env* env) { return storage::WriteCorpus("corpus.bin", corpus_b, env); },
+      [&](Env* env, bool definitely_b) {
+        auto corpus = storage::ReadCorpus("corpus.bin", env);
+        ASSERT_TRUE(corpus.ok()) << corpus.status().ToString();
+        const size_t n = corpus->size();
+        if (definitely_b) {
+          ASSERT_EQ(n, corpus_b.size());
+        } else {
+          ASSERT_TRUE(n == corpus_a.size() || n == corpus_b.size())
+              << "torn corpus: " << n << " series";
+        }
+        const ts::Corpus& expect = (n == corpus_a.size()) ? corpus_a : corpus_b;
+        EXPECT_EQ(corpus->at(0).values, expect.at(0).values);
+      });
+}
+
+TEST(CrashSweepTest, FeatureStoreSurvivesEveryCrashPoint) {
+  auto make_features = [](size_t count, double salt) {
+    std::vector<repr::CompressedSpectrum> features;
+    for (const auto& values : MakeRows(count, 32, salt)) {
+      auto spectrum = repr::HalfSpectrum::FromSeries(dsp::Standardize(values));
+      EXPECT_TRUE(spectrum.ok());
+      auto compressed = repr::CompressedSpectrum::Compress(
+          *spectrum, repr::ReprKind::kBestKError, 4);
+      EXPECT_TRUE(compressed.ok());
+      features.push_back(*std::move(compressed));
+    }
+    return features;
+  };
+  const auto features_a = make_features(2, 0.0);
+  const auto features_b = make_features(3, 0.5);
+  CrashSweep(
+      [&](Env* env) {
+        ASSERT_TRUE(repr::WriteFeatures("feat.bin", features_a, env).ok());
+      },
+      [&](Env* env) { return repr::WriteFeatures("feat.bin", features_b, env); },
+      [&](Env* env, bool definitely_b) {
+        auto features = repr::ReadFeatures("feat.bin", env);
+        ASSERT_TRUE(features.ok()) << features.status().ToString();
+        const size_t n = features->size();
+        if (definitely_b) {
+          ASSERT_EQ(n, features_b.size());
+        } else {
+          ASSERT_TRUE(n == features_a.size() || n == features_b.size())
+              << "torn feature set: " << n << " entries";
+        }
+      });
+}
+
+TEST(CrashSweepTest, VpTreeImageSurvivesEveryCrashPoint) {
+  auto standardize_all = [](std::vector<std::vector<double>> rows) {
+    for (auto& row : rows) row = dsp::Standardize(row);
+    return rows;
+  };
+  const auto rows_a = standardize_all(MakeRows(6, 64, 0.0));
+  const auto rows_b = standardize_all(MakeRows(9, 64, 0.5));
+  index::VpTreeIndex::Options options;
+  options.budget_c = 8;
+  options.leaf_size = 2;
+  auto built_a = index::VpTreeIndex::Build(rows_a, options);
+  auto built_b = index::VpTreeIndex::Build(rows_b, options);
+  ASSERT_TRUE(built_a.ok());
+  ASSERT_TRUE(built_b.ok());
+  CrashSweep(
+      [&](Env* env) { ASSERT_TRUE(built_a->Save("vp.bin", env).ok()); },
+      [&](Env* env) { return built_b->Save("vp.bin", env); },
+      [&](Env* env, bool definitely_b) {
+        auto loaded = index::VpTreeIndex::Load("vp.bin", env);
+        ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+        const size_t n = loaded->size();
+        if (definitely_b) {
+          ASSERT_EQ(n, rows_b.size());
+        } else {
+          ASSERT_TRUE(n == rows_a.size() || n == rows_b.size())
+              << "torn index image: " << n << " series";
+        }
+      });
+}
+
+TEST(CrashSweepTest, DiskBPlusTreeSurvivesEveryCrashPoint) {
+  constexpr uint64_t kSizeA = 10;
+  constexpr uint64_t kSizeB = 25;
+  auto open = [](Env* env) {
+    storage::DiskBPlusTree::Options options;
+    options.env = env;
+    options.durable = true;
+    return storage::DiskBPlusTree::Open("tree.db", options);
+  };
+  CrashSweep(
+      [&](Env* env) {
+        auto tree = open(env);
+        ASSERT_TRUE(tree.ok());
+        for (uint64_t k = 0; k < kSizeA; ++k) {
+          ASSERT_TRUE((*tree)->Insert(static_cast<int64_t>(k), k).ok());
+        }
+        ASSERT_TRUE((*tree)->Flush().ok());
+      },
+      [&](Env* env) -> Status {
+        S2_ASSIGN_OR_RETURN(auto tree, open(env));
+        for (uint64_t k = kSizeA; k < kSizeB; ++k) {
+          S2_RETURN_NOT_OK(tree->Insert(static_cast<int64_t>(k), k));
+        }
+        return tree->Flush();
+      },
+      [&](Env* env, bool definitely_b) {
+        auto tree = open(env);
+        ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+        ASSERT_TRUE((*tree)->Validate().ok());
+        const uint64_t n = (*tree)->size();
+        if (definitely_b) {
+          ASSERT_EQ(n, kSizeB);
+        } else {
+          ASSERT_TRUE(n == kSizeA || n == kSizeB) << "torn tree: " << n;
+        }
+      });
+}
+
+TEST(CrashSweepTest, DiskBurstTableSurvivesEveryCrashPoint) {
+  constexpr uint64_t kRecordsA = 2;
+  constexpr uint64_t kRecordsB = 5;
+  auto open = [](Env* env) {
+    burst::DiskBurstTable::Options options;
+    options.env = env;
+    options.durable = true;
+    return burst::DiskBurstTable::Open("bursts", options);
+  };
+  auto region = [](int32_t start, double level) {
+    burst::BurstRegion r;
+    r.start = start;
+    r.end = start + 3;
+    r.avg_value = level;
+    return r;
+  };
+  CrashSweep(
+      [&](Env* env) {
+        auto table = open(env);
+        ASSERT_TRUE(table.ok());
+        for (uint64_t i = 0; i < kRecordsA; ++i) {
+          ASSERT_TRUE((*table)
+                          ->Insert(static_cast<ts::SeriesId>(i),
+                                   {region(static_cast<int32_t>(10 * i), 2.0)},
+                                   /*offset=*/0)
+                          .ok());
+        }
+        ASSERT_TRUE((*table)->Flush().ok());
+      },
+      [&](Env* env) -> Status {
+        S2_ASSIGN_OR_RETURN(auto table, open(env));
+        for (uint64_t i = kRecordsA; i < kRecordsB; ++i) {
+          S2_RETURN_NOT_OK(table->Insert(
+              static_cast<ts::SeriesId>(i),
+              {region(static_cast<int32_t>(10 * i), 3.0)}, /*offset=*/0));
+        }
+        return table->Flush();
+      },
+      [&](Env* env, bool definitely_b) {
+        // Open may self-heal (rebuild the index from the heap) when the
+        // crash fell between the heap and index commits; it must never fail.
+        auto table = open(env);
+        ASSERT_TRUE(table.ok()) << table.status().ToString();
+        ASSERT_TRUE((*table)->Validate().ok());
+        const uint64_t n = (*table)->size();
+        if (definitely_b) {
+          ASSERT_EQ(n, kRecordsB);
+        } else {
+          ASSERT_TRUE(n == kRecordsA || n == kRecordsB)
+              << "torn burst table: " << n << " records";
+        }
+      });
+}
+
+}  // namespace
+}  // namespace s2

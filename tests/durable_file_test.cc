@@ -1,0 +1,190 @@
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "io/durable.h"
+#include "io/env.h"
+#include "io/fault_env.h"
+#include "io/mem_env.h"
+
+namespace s2::io::durable {
+namespace {
+
+std::vector<char> Bytes(const std::string& s) {
+  return std::vector<char>(s.begin(), s.end());
+}
+
+std::string Str(const std::vector<char>& v) {
+  return std::string(v.begin(), v.end());
+}
+
+TEST(DurableFileTest, CommitLoadRoundtrip) {
+  MemEnv env;
+  ASSERT_TRUE(CommitNext(&env, "f.bin", Bytes("payload one")).ok());
+  std::vector<char> out;
+  uint64_t generation = 0;
+  ASSERT_TRUE(LoadLatest(&env, "f.bin", &out, &generation).ok());
+  EXPECT_EQ(Str(out), "payload one");
+  EXPECT_EQ(generation, 1u);
+}
+
+TEST(DurableFileTest, GenerationsIncrement) {
+  MemEnv env;
+  ASSERT_TRUE(CommitNext(&env, "f.bin", Bytes("one")).ok());
+  ASSERT_TRUE(CommitNext(&env, "f.bin", Bytes("two")).ok());
+  ASSERT_TRUE(CommitNext(&env, "f.bin", Bytes("three")).ok());
+  EXPECT_EQ(CurrentGeneration(&env, "f.bin"), 3u);
+  std::vector<char> out;
+  ASSERT_TRUE(LoadLatest(&env, "f.bin", &out).ok());
+  EXPECT_EQ(Str(out), "three");
+  // The committed tmp is renamed away, not left behind.
+  EXPECT_FALSE(env.FileExists("f.bin.tmp"));
+}
+
+TEST(DurableFileTest, MissingFileIsNotFound) {
+  MemEnv env;
+  std::vector<char> out;
+  const Status status = LoadLatest(&env, "absent.bin", &out);
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(CurrentGeneration(&env, "absent.bin"), 0u);
+}
+
+TEST(DurableFileTest, EmptyPayloadRoundtrips) {
+  MemEnv env;
+  ASSERT_TRUE(CommitNext(&env, "f.bin", {}).ok());
+  std::vector<char> out = Bytes("stale");
+  ASSERT_TRUE(LoadLatest(&env, "f.bin", &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(DurableFileTest, LegacyHeaderlessFileLoadsAsGenerationZero) {
+  MemEnv env;
+  {
+    auto file = env.Open("legacy.bin", OpenMode::kTruncate);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE(WriteExact(file->get(), "OLDFMT99 raw body", 17).ok());
+    ASSERT_TRUE((*file)->Sync().ok());
+  }
+  std::vector<char> out;
+  uint64_t generation = 99;
+  ASSERT_TRUE(LoadLatest(&env, "legacy.bin", &out, &generation).ok());
+  EXPECT_EQ(Str(out), "OLDFMT99 raw body");
+  EXPECT_EQ(generation, 0u);
+}
+
+TEST(DurableFileTest, CorruptChecksumIsRejected) {
+  MemEnv env;
+  ASSERT_TRUE(CommitNext(&env, "f.bin", Bytes("checksummed payload")).ok());
+  // Flip one payload byte in place; the header checksum no longer matches.
+  {
+    auto file = env.Open("f.bin", OpenMode::kReadWrite);
+    ASSERT_TRUE(file.ok());
+    char c = 0;
+    ASSERT_TRUE(ReadExactAt(file->get(), &c, 1, kGenHeaderBytes).ok());
+    c ^= 0x40;
+    ASSERT_TRUE(WriteExactAt(file->get(), &c, 1, kGenHeaderBytes).ok());
+    ASSERT_TRUE((*file)->Sync().ok());
+  }
+  std::vector<char> out;
+  const Status status = LoadLatest(&env, "f.bin", &out);
+  EXPECT_EQ(status.code(), StatusCode::kCorruption);
+}
+
+TEST(DurableFileTest, TruncatedContainerIsRejected) {
+  MemEnv env;
+  ASSERT_TRUE(CommitNext(&env, "f.bin", Bytes("will be cut short")).ok());
+  std::vector<char> image;
+  ASSERT_TRUE(ReadFileToBuffer(&env, "f.bin", &image).ok());
+  image.resize(image.size() - 5);
+  {
+    auto file = env.Open("f.bin", OpenMode::kTruncate);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE(WriteExact(file->get(), image.data(), image.size()).ok());
+    ASSERT_TRUE((*file)->Sync().ok());
+  }
+  std::vector<char> out;
+  EXPECT_EQ(LoadLatest(&env, "f.bin", &out).code(), StatusCode::kCorruption);
+}
+
+TEST(DurableFileTest, LeftoverTmpWithNewerGenerationWins) {
+  MemEnv env;
+  ASSERT_TRUE(Commit(&env, "f.bin", "old", 3, /*generation=*/1).ok());
+  // Simulate a crash after the tmp was fully written and synced but before
+  // the rename: produce a valid generation-2 container at f.bin.tmp.
+  ASSERT_TRUE(Commit(&env, "f.bin.tmp", "new", 3, /*generation=*/2).ok());
+  std::vector<char> out;
+  uint64_t generation = 0;
+  ASSERT_TRUE(LoadLatest(&env, "f.bin", &out, &generation).ok());
+  EXPECT_EQ(Str(out), "new");
+  EXPECT_EQ(generation, 2u);
+}
+
+TEST(DurableFileTest, CorruptTmpFallsBackToMainFile) {
+  MemEnv env;
+  ASSERT_TRUE(Commit(&env, "f.bin", "good", 4, /*generation=*/5).ok());
+  {
+    auto file = env.Open("f.bin.tmp", OpenMode::kTruncate);
+    ASSERT_TRUE(file.ok());
+    // A torn tmp from a crash mid-write: container magic but garbage after.
+    ASSERT_TRUE(WriteExact(file->get(), kGenMagic, sizeof(kGenMagic)).ok());
+    ASSERT_TRUE(WriteExact(file->get(), "garbage", 7).ok());
+    ASSERT_TRUE((*file)->Sync().ok());
+  }
+  std::vector<char> out;
+  uint64_t generation = 0;
+  ASSERT_TRUE(LoadLatest(&env, "f.bin", &out, &generation).ok());
+  EXPECT_EQ(Str(out), "good");
+  EXPECT_EQ(generation, 5u);
+}
+
+TEST(DurableFileTest, OpenLatestExposesPayloadWindow) {
+  MemEnv env;
+  ASSERT_TRUE(CommitNext(&env, "f.bin", Bytes("ABCDEFGH")).ok());
+  auto info = OpenLatest(&env, "f.bin");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->payload_offset, kGenHeaderBytes);
+  EXPECT_EQ(info->payload_size, 8u);
+  EXPECT_EQ(info->generation, 1u);
+  char buffer[8];
+  ASSERT_TRUE(
+      ReadExactAt(info->file.get(), buffer, 8, info->payload_offset).ok());
+  EXPECT_EQ(std::string(buffer, 8), "ABCDEFGH");
+}
+
+TEST(DurableFileTest, CommitInterruptedBeforeRenameKeepsOldGeneration) {
+  MemEnv base;
+  ASSERT_TRUE(CommitNext(&base, "f.bin", Bytes("generation 1")).ok());
+  // Crash the env on every mutating op of the second commit, one op at a
+  // time; after each crash the previous generation must still load.
+  for (uint64_t crash_at = 1;; ++crash_at) {
+    FaultPlan plan;
+    plan.crash_at_op = crash_at;
+    FaultInjectingEnv env(&base, plan);
+    const Status commit = CommitNext(&env, "f.bin", Bytes("generation 2"));
+    const bool crashed = env.crashed();
+    env.ClearCrash();
+    std::vector<char> out;
+    ASSERT_TRUE(LoadLatest(&base, "f.bin", &out).ok())
+        << "unloadable after crash at mutating op " << crash_at;
+    if (crashed) {
+      EXPECT_EQ(Str(out), "generation 1");
+      // Clean up any torn tmp the crash left for the next iteration.
+      ASSERT_TRUE(base.Remove("f.bin.tmp").ok());
+    } else {
+      ASSERT_TRUE(commit.ok());
+      EXPECT_EQ(Str(out), "generation 2");
+      break;  // crash_at exceeded the workload's op count: sweep complete.
+    }
+  }
+}
+
+TEST(DurableFileTest, Fnv1a64MatchesKnownVector) {
+  // FNV-1a("a") with the standard offset basis.
+  EXPECT_EQ(Fnv1a64("a", 1), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(Fnv1a64("", 0), 0xcbf29ce484222325ull);
+}
+
+}  // namespace
+}  // namespace s2::io::durable

@@ -1,0 +1,172 @@
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "io/env.h"
+#include "io/fault_env.h"
+#include "io/mem_env.h"
+
+namespace s2::io {
+namespace {
+
+Status WriteWholeFile(Env* env, const std::string& path,
+                      const std::string& contents) {
+  S2_ASSIGN_OR_RETURN(std::unique_ptr<File> file,
+                      env->Open(path, OpenMode::kTruncate));
+  S2_RETURN_NOT_OK(WriteExact(file.get(), contents.data(), contents.size()));
+  return file->Sync();
+}
+
+TEST(FaultEnvTest, NoPlanMeansNoFaults) {
+  MemEnv base;
+  FaultInjectingEnv env(&base, FaultPlan{});
+  ASSERT_TRUE(WriteWholeFile(&env, "f.bin", "clean run").ok());
+  std::vector<char> buffer;
+  ASSERT_TRUE(ReadFileToBuffer(&env, "f.bin", &buffer).ok());
+  EXPECT_EQ(env.injected_faults(), 0u);
+  EXPECT_GT(env.read_ops(), 0u);
+  EXPECT_GT(env.write_ops(), 0u);
+  EXPECT_EQ(env.sync_ops(), 1u);
+}
+
+TEST(FaultEnvTest, FailsExactlyTheNthRead) {
+  MemEnv base;
+  ASSERT_TRUE(WriteWholeFile(&base, "f.bin", "0123456789").ok());
+  FaultPlan plan;
+  plan.fail_read_at = 2;
+  FaultInjectingEnv env(&base, plan);
+  auto file = env.Open("f.bin", OpenMode::kRead);
+  ASSERT_TRUE(file.ok());
+  char c = 0;
+  auto first = (*file)->ReadAt(&c, 1, 0);
+  EXPECT_TRUE(first.ok());
+  auto second = (*file)->ReadAt(&c, 1, 1);
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kIoTransient);
+  auto third = (*file)->ReadAt(&c, 1, 2);
+  EXPECT_TRUE(third.ok());  // One-shot trigger: only the 2nd read fails.
+  EXPECT_EQ(env.injected_faults(), 1u);
+}
+
+TEST(FaultEnvTest, HardFaultsAreIoError) {
+  MemEnv base;
+  ASSERT_TRUE(WriteWholeFile(&base, "f.bin", "x").ok());
+  FaultPlan plan;
+  plan.fail_read_at = 1;
+  plan.faults_are_transient = false;
+  FaultInjectingEnv env(&base, plan);
+  auto file = env.Open("f.bin", OpenMode::kRead);
+  ASSERT_TRUE(file.ok());
+  char c = 0;
+  auto read = (*file)->ReadAt(&c, 1, 0);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kIoError);
+}
+
+TEST(FaultEnvTest, FailsExactlyTheNthWriteAndSync) {
+  MemEnv base;
+  FaultPlan plan;
+  plan.fail_write_at = 2;
+  plan.fail_sync_at = 1;
+  FaultInjectingEnv env(&base, plan);
+  auto file = env.Open("f.bin", OpenMode::kTruncate);
+  ASSERT_TRUE(file.ok());
+  EXPECT_TRUE((*file)->WriteAt("a", 1, 0).ok());
+  auto w2 = (*file)->WriteAt("b", 1, 1);
+  ASSERT_FALSE(w2.ok());
+  EXPECT_EQ(w2.status().code(), StatusCode::kIoTransient);
+  const Status sync = (*file)->Sync();
+  ASSERT_FALSE(sync.ok());
+  EXPECT_EQ(sync.code(), StatusCode::kIoTransient);
+  EXPECT_EQ(env.injected_faults(), 2u);
+}
+
+TEST(FaultEnvTest, ProbabilisticFaultsAreSeedDeterministic) {
+  auto run = [](uint64_t seed) {
+    MemEnv base;
+    FaultPlan plan;
+    plan.seed = seed;
+    plan.read_fault_rate = 0.3;
+    FaultInjectingEnv env(&base, plan);
+    (void)WriteWholeFile(&env, "f.bin", std::string(1000, 'x'));
+    std::vector<bool> outcomes;
+    auto file = env.Open("f.bin", OpenMode::kRead);
+    if (!file.ok()) return outcomes;
+    for (int i = 0; i < 200; ++i) {
+      char c = 0;
+      outcomes.push_back((*file)->ReadAt(&c, 1, 0).ok());
+    }
+    return outcomes;
+  };
+  const auto a = run(7);
+  const auto b = run(7);
+  const auto c = run(8);
+  EXPECT_EQ(a, b);  // Same seed, same op sequence -> identical faults.
+  EXPECT_NE(a, c);  // Different seed decorrelates.
+  // ~30% of 200 reads should have failed; allow generous slack.
+  const size_t failures = std::count(a.begin(), a.end(), false);
+  EXPECT_GT(failures, 20u);
+  EXPECT_LT(failures, 120u);
+}
+
+TEST(FaultEnvTest, ShortReadsStillCompleteViaReadExact) {
+  MemEnv base;
+  const std::string payload(4096, 'p');
+  ASSERT_TRUE(WriteWholeFile(&base, "f.bin", payload).ok());
+  FaultPlan plan;
+  plan.short_io_rate = 1.0;  // Every transfer is short; loops must cope.
+  FaultInjectingEnv env(&base, plan);
+  auto file = env.Open("f.bin", OpenMode::kRead);
+  ASSERT_TRUE(file.ok());
+  std::vector<char> buffer(payload.size());
+  ASSERT_TRUE(ReadExactAt(file->get(), buffer.data(), buffer.size(), 0).ok());
+  EXPECT_EQ(std::string(buffer.begin(), buffer.end()), payload);
+  EXPECT_GT(env.read_ops(), 1u);  // The short reads forced extra calls.
+}
+
+TEST(FaultEnvTest, ShortWritesStillCompleteViaWriteExact) {
+  MemEnv base;
+  FaultPlan plan;
+  plan.short_io_rate = 1.0;
+  FaultInjectingEnv env(&base, plan);
+  const std::string payload(4096, 'w');
+  ASSERT_TRUE(WriteWholeFile(&env, "f.bin", payload).ok());
+  std::vector<char> buffer;
+  ASSERT_TRUE(ReadFileToBuffer(&base, "f.bin", &buffer).ok());
+  EXPECT_EQ(std::string(buffer.begin(), buffer.end()), payload);
+}
+
+TEST(FaultEnvTest, CrashDropsUnsyncedAndBlocksIo) {
+  MemEnv base;
+  FaultPlan plan;
+  plan.crash_at_op = 3;  // write, write, <crash on third mutating op>.
+  FaultInjectingEnv env(&base, plan);
+  ASSERT_TRUE(WriteWholeFile(&env, "a.bin", "x").ok());  // write + sync = ops 1, 2
+  auto file = env.Open("b.bin", OpenMode::kTruncate);
+  ASSERT_TRUE(file.ok());
+  auto write = (*file)->WriteAt("y", 1, 0);  // op 3: crash.
+  ASSERT_FALSE(write.ok());
+  EXPECT_TRUE(env.crashed());
+  // Everything fails during the outage, including opens.
+  EXPECT_FALSE(env.Open("a.bin", OpenMode::kRead).ok());
+  // "Reboot": un-synced b.bin is gone, synced a.bin survived.
+  env.ClearCrash();
+  EXPECT_FALSE(env.FileExists("b.bin"));
+  std::vector<char> buffer;
+  ASSERT_TRUE(ReadFileToBuffer(&env, "a.bin", &buffer).ok());
+  EXPECT_EQ(buffer.size(), 1u);
+  EXPECT_EQ(buffer[0], 'x');
+}
+
+TEST(FaultEnvTest, OpCountersExposeWorkloadSize) {
+  MemEnv base;
+  FaultInjectingEnv env(&base, FaultPlan{});
+  ASSERT_TRUE(WriteWholeFile(&env, "f.bin", "abc").ok());
+  EXPECT_EQ(env.mutating_ops(), env.write_ops() + env.sync_ops());
+  EXPECT_GE(env.mutating_ops(), 2u);
+}
+
+}  // namespace
+}  // namespace s2::io

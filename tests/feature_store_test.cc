@@ -111,7 +111,8 @@ TEST(FeatureStoreTest, EmptySetRoundTrips) {
 }
 
 TEST(FeatureStoreTest, CorruptFilesRejected) {
-  EXPECT_EQ(ReadFeatures("/no/such/file.bin").status().code(), StatusCode::kIoError);
+  EXPECT_EQ(ReadFeatures("/no/such/file.bin").status().code(),
+            StatusCode::kNotFound);
   const std::string path = TempPath("s2_features_corrupt.bin");
   std::FILE* f = std::fopen(path.c_str(), "wb");
   ASSERT_NE(f, nullptr);

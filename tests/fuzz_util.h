@@ -5,10 +5,16 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <string>
 #include <vector>
 
+#include <gtest/gtest.h>
+
 #include "common/rng.h"
+#include "common/status.h"
+#include "io/fault_env.h"
+#include "io/mem_env.h"
 
 namespace s2::fuzz {
 
@@ -51,6 +57,41 @@ inline std::vector<char> Mutate(const std::vector<char>& image, s2::Rng* rng) {
     mutated[at] = static_cast<char>(rng->UniformInt(0, 255));
   }
   return mutated;
+}
+
+/// Crash-point sweep driver (see tests/crash_sweep_test.cc for per-format
+/// uses). Starting from a fresh `io::MemEnv` each round, `write_a` commits
+/// generation A cleanly, then `write_b` attempts generation B through a
+/// `FaultInjectingEnv` that simulates a crash (un-fsynced data dropped, all
+/// subsequent I/O failing) at mutating op N. After "reboot", `verify` loads
+/// from the base env and must find exactly generation A or B — never a torn
+/// hybrid, never an unloadable state (`definitely_b` is true once the B
+/// workload ran crash-free). N sweeps 1, 2, 3, ... until write_b completes
+/// without crashing, so every write/sync boundary in the commit path is hit.
+inline void CrashSweep(
+    const std::function<void(io::Env*)>& write_a,
+    const std::function<Status(io::Env*)>& write_b,
+    const std::function<void(io::Env*, bool definitely_b)>& verify) {
+  constexpr uint64_t kMaxMutatingOps = 8192;
+  for (uint64_t crash_at = 1; crash_at <= kMaxMutatingOps; ++crash_at) {
+    SCOPED_TRACE("crash at mutating op " + std::to_string(crash_at));
+    io::MemEnv base;
+    write_a(&base);
+    if (::testing::Test::HasFatalFailure()) return;
+    io::FaultPlan plan;
+    plan.crash_at_op = crash_at;
+    io::FaultInjectingEnv env(&base, plan);
+    const Status b_status = write_b(&env);
+    const bool crashed = env.crashed();
+    env.ClearCrash();
+    if (!crashed) {
+      ASSERT_TRUE(b_status.ok()) << b_status.ToString();
+    }
+    verify(&base, /*definitely_b=*/!crashed);
+    if (::testing::Test::HasFatalFailure()) return;
+    if (!crashed) return;  // Every mutating op of write_b has been swept.
+  }
+  FAIL() << "sweep did not terminate within " << kMaxMutatingOps << " ops";
 }
 
 }  // namespace s2::fuzz

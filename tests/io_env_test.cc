@@ -1,0 +1,254 @@
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fuzz_util.h"
+#include "io/env.h"
+#include "io/mem_env.h"
+#include "io/serial.h"
+
+namespace s2::io {
+namespace {
+
+std::string TempPath(const std::string& name) { return fuzz::TempPath(name); }
+
+Status WriteWholeFile(Env* env, const std::string& path,
+                      const std::string& contents) {
+  S2_ASSIGN_OR_RETURN(std::unique_ptr<File> file,
+                      env->Open(path, OpenMode::kTruncate));
+  S2_RETURN_NOT_OK(WriteExact(file.get(), contents.data(), contents.size()));
+  return file->Sync();
+}
+
+Result<std::string> ReadWholeFile(Env* env, const std::string& path) {
+  std::vector<char> buffer;
+  S2_RETURN_NOT_OK(ReadFileToBuffer(env, path, &buffer));
+  return std::string(buffer.begin(), buffer.end());
+}
+
+// --- POSIX environment ------------------------------------------------------
+
+TEST(PosixEnvTest, WriteReadRoundtrip) {
+  Env* env = Env::Default();
+  const std::string path = TempPath("s2_io_env_roundtrip.bin");
+  ASSERT_TRUE(WriteWholeFile(env, path, "hello, disk").ok());
+  auto contents = ReadWholeFile(env, path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(*contents, "hello, disk");
+  EXPECT_TRUE(env->Remove(path).ok());
+}
+
+TEST(PosixEnvTest, MissingFileIsNotFoundOnRead) {
+  Env* env = Env::Default();
+  auto result = env->Open("/no/such/dir/file.bin", OpenMode::kRead);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(PosixEnvTest, MissingDirectoryIsIoErrorOnWrite) {
+  Env* env = Env::Default();
+  auto result = env->Open("/no/such/dir/file.bin", OpenMode::kTruncate);
+  ASSERT_FALSE(result.ok());
+  // A missing parent on a *write* is a real environment problem, not the
+  // benign "no store yet" condition — it must not look like NotFound.
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+TEST(PosixEnvTest, TruncateModeDiscardsOldContents) {
+  Env* env = Env::Default();
+  const std::string path = TempPath("s2_io_env_trunc.bin");
+  ASSERT_TRUE(WriteWholeFile(env, path, "a long old payload").ok());
+  ASSERT_TRUE(WriteWholeFile(env, path, "new").ok());
+  auto contents = ReadWholeFile(env, path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(*contents, "new");
+  EXPECT_TRUE(env->Remove(path).ok());
+}
+
+TEST(PosixEnvTest, ReadWriteModePreservesContents) {
+  Env* env = Env::Default();
+  const std::string path = TempPath("s2_io_env_rw.bin");
+  ASSERT_TRUE(WriteWholeFile(env, path, "0123456789").ok());
+  {
+    auto file = env->Open(path, OpenMode::kReadWrite);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE(WriteExactAt(file->get(), "AB", 2, 4).ok());
+  }
+  auto contents = ReadWholeFile(env, path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(*contents, "0123AB6789");
+  EXPECT_TRUE(env->Remove(path).ok());
+}
+
+TEST(PosixEnvTest, ReadExactPastEofIsCorruption) {
+  Env* env = Env::Default();
+  const std::string path = TempPath("s2_io_env_eof.bin");
+  ASSERT_TRUE(WriteWholeFile(env, path, "short").ok());
+  auto file = env->Open(path, OpenMode::kRead);
+  ASSERT_TRUE(file.ok());
+  char buffer[64];
+  const Status status = ReadExact(file->get(), buffer, sizeof(buffer));
+  EXPECT_EQ(status.code(), StatusCode::kCorruption);
+  EXPECT_TRUE(env->Remove(path).ok());
+}
+
+TEST(PosixEnvTest, RenameReplacesAtomically) {
+  Env* env = Env::Default();
+  const std::string from = TempPath("s2_io_env_rename_from.bin");
+  const std::string to = TempPath("s2_io_env_rename_to.bin");
+  ASSERT_TRUE(WriteWholeFile(env, to, "old").ok());
+  ASSERT_TRUE(WriteWholeFile(env, from, "new").ok());
+  ASSERT_TRUE(env->Rename(from, to).ok());
+  EXPECT_FALSE(env->FileExists(from));
+  auto contents = ReadWholeFile(env, to);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(*contents, "new");
+  EXPECT_TRUE(env->Remove(to).ok());
+}
+
+TEST(PosixEnvTest, RemoveIsIdempotent) {
+  Env* env = Env::Default();
+  const std::string path = TempPath("s2_io_env_remove.bin");
+  ASSERT_TRUE(WriteWholeFile(env, path, "x").ok());
+  EXPECT_TRUE(env->Remove(path).ok());
+  EXPECT_TRUE(env->Remove(path).ok());  // Second remove: no such file, OK.
+  EXPECT_FALSE(env->FileExists(path));
+}
+
+TEST(PosixEnvTest, CopyFileCopiesAndSyncs) {
+  Env* env = Env::Default();
+  const std::string from = TempPath("s2_io_env_copy_from.bin");
+  const std::string to = TempPath("s2_io_env_copy_to.bin");
+  std::string big(200 * 1024, 'q');  // Multiple 64 KiB chunks.
+  big[100 * 1024] = 'Z';
+  ASSERT_TRUE(WriteWholeFile(env, from, big).ok());
+  ASSERT_TRUE(env->CopyFile(from, to).ok());
+  auto contents = ReadWholeFile(env, to);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(*contents, big);
+  EXPECT_TRUE(env->Remove(from).ok());
+  EXPECT_TRUE(env->Remove(to).ok());
+}
+
+// --- BufferFile -------------------------------------------------------------
+
+TEST(BufferFileTest, CursorAndPositionedIo) {
+  BufferFile file;
+  ASSERT_TRUE(WriteExact(&file, "abcdef", 6).ok());
+  ASSERT_TRUE(WriteExactAt(&file, "XY", 2, 2).ok());
+  char buffer[6];
+  ASSERT_TRUE(ReadExactAt(&file, buffer, 6, 0).ok());
+  EXPECT_EQ(std::string(buffer, 6), "abXYef");
+  auto size = file.Size();
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 6u);
+}
+
+TEST(BufferFileTest, WriteAtExtendsWithZeroGap) {
+  BufferFile file;
+  ASSERT_TRUE(WriteExactAt(&file, "Z", 1, 4).ok());
+  auto size = file.Size();
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 5u);
+  char buffer[5];
+  ASSERT_TRUE(ReadExactAt(&file, buffer, 5, 0).ok());
+  EXPECT_EQ(buffer[0], '\0');
+  EXPECT_EQ(buffer[4], 'Z');
+}
+
+TEST(BufferFileTest, ReadClampsAtEof) {
+  BufferFile file(std::vector<char>{'a', 'b'});
+  char buffer[8];
+  auto n = file.ReadAt(buffer, sizeof(buffer), 0);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 2u);
+  auto eof = file.ReadAt(buffer, sizeof(buffer), 2);
+  ASSERT_TRUE(eof.ok());
+  EXPECT_EQ(*eof, 0u);
+}
+
+TEST(BufferFileTest, ScalarRoundtrip) {
+  BufferFile file;
+  ASSERT_TRUE(WriteScalar<uint64_t>(&file, 0xDEADBEEFCAFEull).ok());
+  ASSERT_TRUE(WriteScalar<double>(&file, 2.5).ok());
+  ASSERT_TRUE(file.Seek(0).ok());
+  uint64_t a = 0;
+  double b = 0;
+  ASSERT_TRUE(ReadScalar(&file, &a).ok());
+  ASSERT_TRUE(ReadScalar(&file, &b).ok());
+  EXPECT_EQ(a, 0xDEADBEEFCAFEull);
+  EXPECT_EQ(b, 2.5);
+}
+
+// --- MemEnv -----------------------------------------------------------------
+
+TEST(MemEnvTest, BehavesLikeAFilesystem) {
+  MemEnv env;
+  ASSERT_TRUE(WriteWholeFile(&env, "a.bin", "payload").ok());
+  EXPECT_TRUE(env.FileExists("a.bin"));
+  auto contents = ReadWholeFile(&env, "a.bin");
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(*contents, "payload");
+  ASSERT_TRUE(env.Rename("a.bin", "b.bin").ok());
+  EXPECT_FALSE(env.FileExists("a.bin"));
+  EXPECT_TRUE(env.FileExists("b.bin"));
+  EXPECT_TRUE(env.Remove("b.bin").ok());
+  EXPECT_EQ(env.ListFiles().size(), 0u);
+}
+
+TEST(MemEnvTest, MissingFileIsNotFoundOnRead) {
+  MemEnv env;
+  auto result = env.Open("nope.bin", OpenMode::kRead);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(MemEnvTest, DropUnsyncedErasesNeverSyncedFiles) {
+  MemEnv env;
+  {
+    auto file = env.Open("unsynced.bin", OpenMode::kTruncate);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE(WriteExact(file->get(), "lost", 4).ok());
+    // No Sync: this file's directory entry does not survive a crash.
+  }
+  ASSERT_TRUE(WriteWholeFile(&env, "synced.bin", "kept").ok());
+  ASSERT_TRUE(env.DropUnsynced().ok());
+  EXPECT_FALSE(env.FileExists("unsynced.bin"));
+  EXPECT_TRUE(env.FileExists("synced.bin"));
+  auto contents = ReadWholeFile(&env, "synced.bin");
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(*contents, "kept");
+}
+
+TEST(MemEnvTest, DropUnsyncedRollsBackToDurableImage) {
+  MemEnv env;
+  ASSERT_TRUE(WriteWholeFile(&env, "f.bin", "generation one").ok());
+  {
+    auto file = env.Open("f.bin", OpenMode::kTruncate);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE(WriteExact(file->get(), "torn", 4).ok());
+    // Crash before Sync: the truncate + write must both vanish.
+  }
+  ASSERT_TRUE(env.DropUnsynced().ok());
+  auto contents = ReadWholeFile(&env, "f.bin");
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(*contents, "generation one");
+}
+
+TEST(MemEnvTest, OpenHandleSurvivesRemove) {
+  // POSIX fd-on-unlinked-inode semantics: readers holding the handle keep
+  // reading; the name is gone.
+  MemEnv env;
+  ASSERT_TRUE(WriteWholeFile(&env, "f.bin", "still here").ok());
+  auto file = env.Open("f.bin", OpenMode::kRead);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE(env.Remove("f.bin").ok());
+  char buffer[10];
+  ASSERT_TRUE(ReadExactAt(file->get(), buffer, 10, 0).ok());
+  EXPECT_EQ(std::string(buffer, 10), "still here");
+}
+
+}  // namespace
+}  // namespace s2::io

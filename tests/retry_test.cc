@@ -1,0 +1,140 @@
+#include <chrono>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+#include "resilience/retry.h"
+
+namespace s2::resilience {
+namespace {
+
+using std::chrono::microseconds;
+
+Retrier NoSleepRetrier(RetryPolicy policy) {
+  return Retrier(policy, [](microseconds) {});
+}
+
+TEST(RetryTest, IsRetryableClassification) {
+  EXPECT_TRUE(IsRetryable(Status::TransientIo("eintr")));
+  EXPECT_TRUE(IsRetryable(Status::Unavailable("overloaded")));
+  EXPECT_FALSE(IsRetryable(Status::OK()));
+  EXPECT_FALSE(IsRetryable(Status::IoError("disk on fire")));
+  EXPECT_FALSE(IsRetryable(Status::Corruption("bad bytes")));
+  EXPECT_FALSE(IsRetryable(Status::NotFound("no file")));
+  EXPECT_FALSE(IsRetryable(Status::InvalidArgument("bad k")));
+}
+
+TEST(RetryTest, SucceedsFirstTryWithoutRetry) {
+  Retrier retrier = NoSleepRetrier(RetryPolicy{});
+  int calls = 0;
+  const Status status = retrier.Run([&] {
+    ++calls;
+    return Status::OK();
+  });
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(retrier.stats().attempts, 1u);
+  EXPECT_EQ(retrier.stats().retries, 0u);
+  EXPECT_EQ(retrier.stats().giveups, 0u);
+}
+
+TEST(RetryTest, RetriesTransientUntilSuccess) {
+  Retrier retrier = NoSleepRetrier(RetryPolicy{.max_attempts = 5});
+  int calls = 0;
+  const Status status = retrier.Run([&] {
+    return ++calls < 3 ? Status::TransientIo("blip") : Status::OK();
+  });
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(retrier.stats().attempts, 3u);
+  EXPECT_EQ(retrier.stats().retries, 2u);
+  EXPECT_EQ(retrier.stats().giveups, 0u);
+}
+
+TEST(RetryTest, GivesUpAfterMaxAttempts) {
+  Retrier retrier = NoSleepRetrier(RetryPolicy{.max_attempts = 3});
+  int calls = 0;
+  const Status status = retrier.Run([&] {
+    ++calls;
+    return Status::TransientIo("always failing");
+  });
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kIoTransient);
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(retrier.stats().giveups, 1u);
+}
+
+TEST(RetryTest, DoesNotRetryHardErrors) {
+  Retrier retrier = NoSleepRetrier(RetryPolicy{.max_attempts = 5});
+  int calls = 0;
+  const Status status = retrier.Run([&] {
+    ++calls;
+    return Status::Corruption("wrong bytes");
+  });
+  EXPECT_EQ(status.code(), StatusCode::kCorruption);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(retrier.stats().retries, 0u);
+}
+
+TEST(RetryTest, BackoffDoublesAndCaps) {
+  RetryPolicy policy;
+  policy.base_backoff = microseconds(100);
+  policy.max_backoff = microseconds(450);
+  policy.jitter = 0.0;  // Exact values.
+  Retrier retrier = NoSleepRetrier(policy);
+  EXPECT_EQ(retrier.NextBackoff(0), microseconds(100));
+  EXPECT_EQ(retrier.NextBackoff(1), microseconds(200));
+  EXPECT_EQ(retrier.NextBackoff(2), microseconds(400));
+  EXPECT_EQ(retrier.NextBackoff(3), microseconds(450));  // Capped.
+  EXPECT_EQ(retrier.NextBackoff(10), microseconds(450));
+}
+
+TEST(RetryTest, JitterStaysWithinBand) {
+  RetryPolicy policy;
+  policy.base_backoff = microseconds(1000);
+  policy.max_backoff = microseconds(1000);
+  policy.jitter = 0.25;
+  Retrier retrier = NoSleepRetrier(policy);
+  for (int i = 0; i < 100; ++i) {
+    const auto backoff = retrier.NextBackoff(0);
+    EXPECT_GE(backoff, microseconds(750));
+    EXPECT_LE(backoff, microseconds(1250));
+  }
+}
+
+TEST(RetryTest, SleeperReceivesEveryBackoff) {
+  std::vector<microseconds> sleeps;
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.jitter = 0.0;
+  Retrier retrier(policy, [&](microseconds d) { sleeps.push_back(d); });
+  (void)retrier.Run([] { return Status::TransientIo("x"); });
+  ASSERT_EQ(sleeps.size(), 3u);  // max_attempts - 1 sleeps.
+  EXPECT_EQ(sleeps[0], microseconds(100));
+  EXPECT_EQ(sleeps[1], microseconds(200));
+  EXPECT_EQ(sleeps[2], microseconds(400));
+}
+
+TEST(RetryTest, RunWithRetryReturnsValue) {
+  Retrier retrier = NoSleepRetrier(RetryPolicy{.max_attempts = 3});
+  int calls = 0;
+  Result<int> result = RunWithRetry<int>(retrier, [&]() -> Result<int> {
+    if (++calls < 2) return Status::TransientIo("blip");
+    return 42;
+  });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(RetryTest, RunWithRetryPropagatesFinalError) {
+  Retrier retrier = NoSleepRetrier(RetryPolicy{.max_attempts = 2});
+  Result<int> result = RunWithRetry<int>(
+      retrier, []() -> Result<int> { return Status::TransientIo("down"); });
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoTransient);
+}
+
+}  // namespace
+}  // namespace s2::resilience

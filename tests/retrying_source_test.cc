@@ -1,0 +1,125 @@
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "resilience/retrying_source.h"
+#include "storage/sequence_store.h"
+
+namespace s2::resilience {
+namespace {
+
+// A source that fails the first `fail_first` Gets with `failure`.
+class FlakySource : public storage::SequenceSource {
+ public:
+  FlakySource(std::vector<std::vector<double>> rows, int fail_first,
+              Status failure)
+      : rows_(std::move(rows)), fail_remaining_(fail_first),
+        failure_(std::move(failure)) {}
+
+  Result<std::vector<double>> Get(ts::SeriesId id) override {
+    ++gets_;
+    if (fail_remaining_ > 0) {
+      --fail_remaining_;
+      return failure_;
+    }
+    if (id >= rows_.size()) return Status::NotFound("no such row");
+    return rows_[id];
+  }
+  size_t num_series() const override { return rows_.size(); }
+  size_t series_length() const override {
+    return rows_.empty() ? 0 : rows_[0].size();
+  }
+  uint64_t read_count() const override { return gets_; }
+  void ResetCounters() override { gets_ = 0; }
+
+  int gets() const { return gets_; }
+
+ private:
+  std::vector<std::vector<double>> rows_;
+  int fail_remaining_;
+  Status failure_;
+  int gets_ = 0;
+};
+
+RetryPolicy FastPolicy(int max_attempts) {
+  RetryPolicy policy;
+  policy.max_attempts = max_attempts;
+  return policy;
+}
+
+Retrier::Sleeper NoSleep() {
+  return [](std::chrono::microseconds) {};
+}
+
+TEST(RetryingSourceTest, PassesThroughOnSuccess) {
+  auto flaky = std::make_unique<FlakySource>(
+      std::vector<std::vector<double>>{{1.0, 2.0}}, 0, Status::OK());
+  RetryingSequenceSource source(std::move(flaky), FastPolicy(3), NoSleep());
+  auto row = source.Get(0);
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ((*row)[1], 2.0);
+  EXPECT_EQ(source.retry_count(), 0u);
+  EXPECT_EQ(source.giveup_count(), 0u);
+  EXPECT_EQ(source.num_series(), 1u);
+  EXPECT_EQ(source.series_length(), 2u);
+}
+
+TEST(RetryingSourceTest, RetriesTransientFaults) {
+  auto flaky = std::make_unique<FlakySource>(
+      std::vector<std::vector<double>>{{7.0}}, 2,
+      Status::TransientIo("blip"));
+  FlakySource* raw = flaky.get();
+  RetryingSequenceSource source(std::move(flaky), FastPolicy(4), NoSleep());
+  auto row = source.Get(0);
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ((*row)[0], 7.0);
+  EXPECT_EQ(raw->gets(), 3);
+  EXPECT_EQ(source.retry_count(), 2u);
+  EXPECT_EQ(source.giveup_count(), 0u);
+}
+
+TEST(RetryingSourceTest, GivesUpAfterPolicyExhausted) {
+  auto flaky = std::make_unique<FlakySource>(
+      std::vector<std::vector<double>>{{7.0}}, 1000,
+      Status::TransientIo("always down"));
+  FlakySource* raw = flaky.get();
+  RetryingSequenceSource source(std::move(flaky), FastPolicy(3), NoSleep());
+  auto row = source.Get(0);
+  ASSERT_FALSE(row.ok());
+  EXPECT_EQ(row.status().code(), StatusCode::kIoTransient);
+  EXPECT_EQ(raw->gets(), 3);
+  EXPECT_EQ(source.retry_count(), 2u);
+  EXPECT_EQ(source.giveup_count(), 1u);
+}
+
+TEST(RetryingSourceTest, DoesNotRetryHardFailures) {
+  auto flaky = std::make_unique<FlakySource>(
+      std::vector<std::vector<double>>{{7.0}}, 1000,
+      Status::Corruption("bad bytes"));
+  FlakySource* raw = flaky.get();
+  RetryingSequenceSource source(std::move(flaky), FastPolicy(5), NoSleep());
+  auto row = source.Get(0);
+  ASSERT_FALSE(row.ok());
+  EXPECT_EQ(row.status().code(), StatusCode::kCorruption);
+  EXPECT_EQ(raw->gets(), 1);
+  EXPECT_EQ(source.retry_count(), 0u);
+  EXPECT_EQ(source.giveup_count(), 0u);
+}
+
+TEST(RetryingSourceTest, CountersAccumulateAcrossGets) {
+  auto flaky = std::make_unique<FlakySource>(
+      std::vector<std::vector<double>>{{1.0}, {2.0}}, 1,
+      Status::TransientIo("one blip"));
+  RetryingSequenceSource source(std::move(flaky), FastPolicy(3), NoSleep());
+  ASSERT_TRUE(source.Get(0).ok());  // One retry consumed here.
+  ASSERT_TRUE(source.Get(1).ok());  // Clean.
+  EXPECT_EQ(source.retry_count(), 1u);
+  // ResetCounters resets the base's read accounting, not retry history.
+  source.ResetCounters();
+  EXPECT_EQ(source.read_count(), 0u);
+  EXPECT_EQ(source.retry_count(), 1u);
+}
+
+}  // namespace
+}  // namespace s2::resilience

@@ -82,9 +82,11 @@ TEST(DiskSequenceStoreTest, ReopenExistingFile) {
   std::remove(path.c_str());
 }
 
-TEST(DiskSequenceStoreTest, MissingFileIsIoError) {
+TEST(DiskSequenceStoreTest, MissingFileIsNotFound) {
+  // Missing files are a distinct, non-retryable condition (kNotFound) —
+  // callers can create the store; kIoError is reserved for real I/O faults.
   EXPECT_EQ(DiskSequenceStore::Open("/nonexistent/path/nope.bin").status().code(),
-            StatusCode::kIoError);
+            StatusCode::kNotFound);
 }
 
 TEST(DiskSequenceStoreTest, CorruptHeaderRejected) {

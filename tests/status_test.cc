@@ -82,6 +82,17 @@ TEST(StatusCodeTest, Names) {
   EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
   EXPECT_EQ(StatusCodeToString(StatusCode::kInvalidArgument), "InvalidArgument");
   EXPECT_EQ(StatusCodeToString(StatusCode::kInternal), "Internal");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kIoTransient), "IoTransient");
+}
+
+TEST(StatusTest, TransientIoIsDistinctFromHardIoError) {
+  const Status transient = Status::TransientIo("EINTR during read");
+  const Status hard = Status::IoError("device gone");
+  EXPECT_EQ(transient.code(), StatusCode::kIoTransient);
+  EXPECT_EQ(hard.code(), StatusCode::kIoError);
+  EXPECT_NE(transient.code(), hard.code());
+  EXPECT_FALSE(transient.ok());
+  EXPECT_EQ(transient.message(), "EINTR during read");
 }
 
 }  // namespace

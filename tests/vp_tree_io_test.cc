@@ -130,7 +130,7 @@ TEST(VpTreeIoTest, LoadedIndexSupportsDynamicOps) {
 
 TEST(VpTreeIoTest, CorruptFilesRejected) {
   EXPECT_EQ(VpTreeIndex::Load("/no/such/index.bin").status().code(),
-            StatusCode::kIoError);
+            StatusCode::kNotFound);
   const std::string path = TempPath("s2_vptree_corrupt.bin");
   std::FILE* f = std::fopen(path.c_str(), "wb");
   ASSERT_NE(f, nullptr);

@@ -8,9 +8,35 @@
 # configuration that fails to build or test, or if lint fails.
 #
 # Usage: tools/verify_all.sh [jobs]
+#        tools/verify_all.sh faults [jobs]
+#
+# The `faults` profile is a focused resilience gate: it builds under
+# AddressSanitizer and runs only the fault-injection / crash-safety tests
+# (ctest label `resilience`, see tests/CMakeLists.txt) plus one pass of
+# bench_faults — much faster than the full matrix, intended for iterating
+# on the s2::io / s2::resilience layers.
 set -u
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+
+if [ "${1:-}" = "faults" ]; then
+  jobs="${2:-$(nproc 2> /dev/null || echo 4)}"
+  build_dir="${repo_root}/build-verify-faults"
+  echo "==== [faults] ASan build + resilience-labelled tests + bench_faults ===="
+  cmake -S "${repo_root}" -B "${build_dir}" \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DS2_SANITIZE=address > "${build_dir}.configure.log" 2>&1 \
+    || { echo "FAIL [faults]: configure (see ${build_dir}.configure.log)" >&2; exit 1; }
+  cmake --build "${build_dir}" -j "${jobs}" > "${build_dir}.build.log" 2>&1 \
+    || { echo "FAIL [faults]: build (see ${build_dir}.build.log)" >&2; exit 1; }
+  ctest --test-dir "${build_dir}" -L resilience --output-on-failure -j "${jobs}" \
+    || { echo "FAIL [faults]: resilience tests" >&2; exit 1; }
+  "${build_dir}/bench/bench_faults" --series 128 --days 128 --requests 120 \
+    || { echo "FAIL [faults]: bench_faults" >&2; exit 1; }
+  echo "verify_all.sh: faults profile green."
+  exit 0
+fi
+
 jobs="${1:-$(nproc 2> /dev/null || echo 4)}"
 failed=0
 
