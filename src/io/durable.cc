@@ -121,6 +121,12 @@ Status Commit(Env* env, const std::string& path, const void* payload,
   EncodeHeader(header, raw);
 
   const std::string tmp = path + ".tmp";
+  // A left-over tmp may hold a newer committed generation that BestCandidate
+  // is serving through an open handle. Unlink it before creating the new tmp
+  // so that reader keeps its inode (POSIX unlink semantics; MemEnv handles
+  // share the node the same way) — truncating in place would destroy the
+  // bytes under the live reader.
+  S2_RETURN_NOT_OK(env->Remove(tmp));
   {
     S2_ASSIGN_OR_RETURN(std::unique_ptr<File> file,
                         env->Open(tmp, OpenMode::kTruncate));
@@ -131,7 +137,10 @@ Status Commit(Env* env, const std::string& path, const void* payload,
     }
     S2_RETURN_NOT_OK(file->Sync());
   }
-  return env->Rename(tmp, path);
+  S2_RETURN_NOT_OK(env->Rename(tmp, path));
+  // The rename is the commit point; sync the directory so the new entry
+  // itself survives power loss.
+  return env->SyncDir(path);
 }
 
 uint64_t CurrentGeneration(Env* env, const std::string& path) {

@@ -142,6 +142,35 @@ class PosixEnv : public Env {
     struct stat st = {};
     return ::stat(path.c_str(), &st) == 0;
   }
+
+  Status SyncDir(const std::string& path) override {
+    std::string dir;
+    const size_t slash = path.find_last_of('/');
+    if (slash == std::string::npos) {
+      dir = ".";
+    } else if (slash == 0) {
+      dir = "/";
+    } else {
+      dir = path.substr(0, slash);
+    }
+    int fd = -1;
+    do {
+      fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    } while (fd < 0 && errno == EINTR);
+    if (fd < 0) return ErrnoStatus("open directory", dir, errno);
+    int rc = -1;
+    do {
+      rc = ::fsync(fd);
+    } while (rc != 0 && errno == EINTR);
+    // Some filesystems refuse fsync on a directory fd (EINVAL); there rename
+    // durability is the filesystem's promise and this step degrades to a
+    // no-op rather than an error.
+    const Status status = (rc == 0 || errno == EINVAL)
+                              ? Status::OK()
+                              : ErrnoStatus("fsync directory", dir, errno);
+    ::close(fd);
+    return status;
+  }
 };
 
 }  // namespace
@@ -159,6 +188,8 @@ Status Env::CopyFile(const std::string& from, const std::string& to) {
   }
   return dst->Sync();
 }
+
+Status Env::SyncDir(const std::string&) { return Status::OK(); }
 
 Status Env::DropUnsynced() {
   return Status::InvalidArgument(

@@ -81,6 +81,14 @@ class Env {
   /// Removes a file. Removing a non-existent file is OK (idempotent).
   virtual Status Remove(const std::string& path) = 0;
 
+  /// Makes directory-entry changes (rename, create, remove) to `path`'s
+  /// parent directory durable — the "fsync the directory" step without which
+  /// an atomic-rename commit point may itself be lost on power failure. The
+  /// base implementation is a no-op, correct for environments whose
+  /// namespace is synchronously durable (MemEnv); the POSIX environment
+  /// fsyncs the parent directory.
+  virtual Status SyncDir(const std::string& path);
+
   virtual bool FileExists(const std::string& path) = 0;
 
   /// Copies `from` to `to` (truncating `to`) and syncs the copy. The default

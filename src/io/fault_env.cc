@@ -70,6 +70,13 @@ Status FaultInjectingEnv::Remove(const std::string& path) {
   return base_->Remove(path);
 }
 
+Status FaultInjectingEnv::SyncDir(const std::string& path) {
+  // A directory sync is a sync fault site (and crash point) like any other;
+  // BeforeSync also performs the crashed check.
+  S2_RETURN_NOT_OK(BeforeSync());
+  return base_->SyncDir(path);
+}
+
 bool FaultInjectingEnv::FileExists(const std::string& path) {
   return base_->FileExists(path);
 }

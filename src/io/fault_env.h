@@ -64,6 +64,7 @@ class FaultInjectingEnv : public Env {
                                      OpenMode mode) override;
   Status Rename(const std::string& from, const std::string& to) override;
   Status Remove(const std::string& path) override;
+  Status SyncDir(const std::string& path) override;
   bool FileExists(const std::string& path) override;
   Status CopyFile(const std::string& from, const std::string& to) override;
   Status DropUnsynced() override;

@@ -39,6 +39,17 @@ void CircuitBreaker::RecordSuccess() {
   state_ = State::kClosed;
 }
 
+void CircuitBreaker::RecordNonFailure() {
+  std::lock_guard<std::mutex> lock(mu_);
+  probe_in_flight_ = false;
+  if (state_ == State::kHalfOpen) {
+    // The probe went through the primary path and came back with a verdict
+    // about the request, not the substrate: the path works.
+    state_ = State::kClosed;
+    consecutive_failures_ = 0;
+  }
+}
+
 void CircuitBreaker::RecordFailure() {
   std::lock_guard<std::mutex> lock(mu_);
   probe_in_flight_ = false;

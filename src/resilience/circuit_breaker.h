@@ -44,6 +44,16 @@ class CircuitBreaker {
   void RecordSuccess();
   void RecordFailure();
 
+  /// Reports an allowed call that failed for reasons unrelated to the
+  /// protected dependency (caller errors: NotFound, InvalidArgument...).
+  /// Every allowed call must report exactly one of the three outcomes —
+  /// otherwise a half-open probe's slot leaks and the breaker rejects
+  /// traffic forever. The request did reach the dependency, so a half-open
+  /// probe closes the breaker; unlike RecordSuccess, the Closed-state
+  /// failure streak is left alone so caller errors interleaved with
+  /// infrastructure failures cannot mask a flapping dependency.
+  void RecordNonFailure();
+
   State state() const;
 
   /// Times the breaker rejected a request (for metrics).

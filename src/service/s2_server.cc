@@ -127,6 +127,12 @@ QueryResponse S2Server::Execute(const QueryRequest& request) {
         // probes the primary path again.
         response = Degrade(request, std::move(response));
       }
+    } else {
+      // Caller errors (NotFound, InvalidArgument...) say nothing bad about
+      // the serving substrate, but the breaker must still hear the outcome:
+      // if this request was the half-open probe, staying silent would leak
+      // the probe slot and shed all future traffic forever.
+      breaker_.RecordNonFailure();
     }
   }
 

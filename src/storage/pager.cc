@@ -252,7 +252,10 @@ Status Pager::Sync() {
   // complete generation.
   const std::string tmp = path_ + ".tmp";
   S2_RETURN_NOT_OK(env_->CopyFile(WorkingPath(), tmp));
-  return env_->Rename(tmp, path_);
+  S2_RETURN_NOT_OK(env_->Rename(tmp, path_));
+  // The rename is the publish point; sync the directory so it survives
+  // power loss.
+  return env_->SyncDir(path_);
 }
 
 }  // namespace s2::storage

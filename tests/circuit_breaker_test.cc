@@ -83,6 +83,31 @@ TEST(CircuitBreakerTest, ProbeSuccessCloses) {
   EXPECT_TRUE(breaker.AllowRequest());
 }
 
+TEST(CircuitBreakerTest, NonFailureProbeClosesInsteadOfWedging) {
+  FakeClock clock;
+  CircuitBreaker breaker(SmallBreaker(), clock.fn());
+  for (int i = 0; i < 3; ++i) breaker.RecordFailure();
+  clock.Advance(milliseconds(200));
+  ASSERT_TRUE(breaker.AllowRequest());  // The probe...
+  breaker.RecordNonFailure();           // ...hits a caller error.
+  // The probe reached the dependency, so the path is proven: the breaker
+  // closes and traffic flows again (rather than the probe slot leaking and
+  // every future request being rejected).
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.AllowRequest());
+}
+
+TEST(CircuitBreakerTest, NonFailureKeepsTheClosedFailureStreak) {
+  FakeClock clock;
+  CircuitBreaker breaker(SmallBreaker(), clock.fn());
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  breaker.RecordNonFailure();  // Unlike RecordSuccess: the streak survives.
+  breaker.RecordFailure();     // Third infrastructure failure trips it.
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.trip_count(), 1u);
+}
+
 TEST(CircuitBreakerTest, ProbeFailureReopensAndRestartsCooldown) {
   FakeClock clock;
   CircuitBreaker breaker(SmallBreaker(), clock.fn());

@@ -184,6 +184,32 @@ TEST(DegradedServerTest, SustainedFailureTripsBreakerAndSheds) {
   EXPECT_EQ(CounterValue(*fx->server, "server_breaker_trips"), 1u);
 }
 
+TEST(DegradedServerTest, CallerErrorProbeDoesNotWedgeTheBreaker) {
+  resilience::CircuitBreaker::Options breaker;
+  breaker.failure_threshold = 3;
+  breaker.cooldown = milliseconds(0);  // Probe on the very next request.
+  auto fx = MakeFixture(breaker);
+  io::FaultPlan plan;
+  plan.read_fault_rate = 1.0;
+  fx->fault_env.set_plan(plan);
+  for (ts::SeriesId id = 0; id < 3; ++id) {
+    (void)fx->server->Execute(SimilarTo(id));
+  }
+  ASSERT_EQ(fx->server->breaker().state(),
+            resilience::CircuitBreaker::State::kOpen);
+  // The disk heals, and the half-open probe happens to be a request that
+  // fails with a caller error (unknown id). That outcome must release the
+  // probe slot...
+  fx->fault_env.set_plan(io::FaultPlan{});
+  QueryResponse probe = fx->server->Execute(SimilarTo(kNumSeries + 1000));
+  EXPECT_FALSE(probe.status.ok());
+  EXPECT_NE(probe.status.code(), StatusCode::kUnavailable);
+  // ...so real traffic flows again instead of being shed forever.
+  QueryResponse after = fx->server->Execute(SimilarTo(0));
+  EXPECT_TRUE(after.status.ok()) << after.status.ToString();
+  EXPECT_EQ(CounterValue(*fx->server, "server_shed"), 0u);
+}
+
 TEST(DegradedServerTest, MetricsSnapshotNamesTheResilienceCounters) {
   auto fx = MakeFixture(NeverTrips());
   const std::string text = fx->server->MetricsText();

@@ -108,6 +108,19 @@ TEST(PosixEnvTest, RenameReplacesAtomically) {
   EXPECT_TRUE(env->Remove(to).ok());
 }
 
+TEST(PosixEnvTest, SyncDirMakesRenameDurable) {
+  Env* env = Env::Default();
+  const std::string from = TempPath("s2_io_env_syncdir_from.bin");
+  const std::string to = TempPath("s2_io_env_syncdir_to.bin");
+  ASSERT_TRUE(WriteWholeFile(env, from, "x").ok());
+  ASSERT_TRUE(env->Rename(from, to).ok());
+  // The durability itself is unobservable in a test; assert the call
+  // succeeds on a real directory (and on a relative path with no slash).
+  EXPECT_TRUE(env->SyncDir(to).ok());
+  EXPECT_TRUE(env->SyncDir("no_slash_in_this_path.bin").ok());
+  EXPECT_TRUE(env->Remove(to).ok());
+}
+
 TEST(PosixEnvTest, RemoveIsIdempotent) {
   Env* env = Env::Default();
   const std::string path = TempPath("s2_io_env_remove.bin");
