@@ -10,6 +10,7 @@
 //   ./build/examples/s2_tool            # interactive shell
 //   echo "demo" | ./build/examples/s2_tool   # scripted demo
 //   ./build/examples/s2_tool --serve 4  # server mode: 4 worker threads
+//   ./build/examples/s2_tool --serve 4 --shards 4   # scatter-gather topology
 //
 // Commands:
 //   list [prefix]          - list query names
@@ -26,6 +27,10 @@
 // through the s2::service scheduler (thread pool + result cache) and adds:
 //   load <n> [k]           - fire n concurrent similar-queries, print qps
 //   metrics                - plain-text metrics snapshot
+//
+// --shards N (implies server mode) partitions the corpus across N engine
+// shards answered by scatter-gather — same answers, and `metrics` shows the
+// fan-out instrumentation (server_shard_fanout/prune_hits/latency).
 
 #include <cctype>
 #include <chrono>
@@ -40,6 +45,7 @@
 #include "common/rng.h"
 #include "core/s2_engine.h"
 #include "service/s2_server.h"
+#include "shard/sharded_engine.h"
 #include "dsp/stats.h"
 #include "querylog/archetypes.h"
 #include "querylog/corpus_generator.h"
@@ -76,14 +82,11 @@ std::string Spark(const std::vector<double>& values, size_t width = 72) {
 
 class Tool {
  public:
-  /// `serve_threads == 0` keeps the classic inline mode; otherwise queries
-  /// dispatch through the s2::service scheduler.
-  Tool(core::S2Engine engine, size_t serve_threads) : serving_(serve_threads > 0) {
-    service::S2Server::Options options;
-    options.scheduler.threads = serve_threads > 0 ? serve_threads : 1;
-    options.cache_capacity = serving_ ? 1024 : 0;
-    server_ = service::S2Server::Create(std::move(engine), options);
-  }
+  /// `serving == false` keeps the classic inline mode; otherwise queries
+  /// dispatch through the s2::service scheduler. The server may wrap either
+  /// topology — every command below is topology-neutral.
+  Tool(std::unique_ptr<service::S2Server> server, bool serving)
+      : server_(std::move(server)), serving_(serving) {}
 
   void Run() {
     std::string line;
@@ -186,8 +189,8 @@ class Tool {
 
   void List(const std::string& prefix) {
     size_t shown = 0;
-    for (ts::SeriesId id = 0; id < engine().corpus().size() && shown < 40; ++id) {
-      const std::string& name = engine().corpus().at(id).name;
+    for (ts::SeriesId id = 0; id < CorpusSize() && shown < 40; ++id) {
+      const std::string& name = SeriesAt(id).name;
       if (name.rfind(prefix, 0) == 0) {
         std::printf("  %s\n", name.c_str());
         ++shown;
@@ -196,19 +199,19 @@ class Tool {
   }
 
   void Show(const std::string& name) {
-    auto id = engine().FindByName(name);
+    auto id = FindId(name);
     if (!id.ok()) {
       std::printf("  %s\n", id.status().ToString().c_str());
       return;
     }
-    const auto& series = engine().corpus().at(*id);
+    const auto& series = SeriesAt(*id);
     std::printf("  %s  (%zu days from %s)\n", series.name.c_str(), series.size(),
                 ts::FormatDayIndex(series.start_day).c_str());
     std::printf("  %s\n", Spark(series.values).c_str());
   }
 
   void Similar(const std::string& name, size_t k) {
-    auto id = engine().FindByName(name);
+    auto id = FindId(name);
     if (!id.ok()) {
       std::printf("  %s\n", id.status().ToString().c_str());
       return;
@@ -230,8 +233,8 @@ class Tool {
       }
       for (const auto& n : response.neighbors) {
         std::printf("  %-24s distance %.2f  %s\n",
-                    engine().corpus().at(n.id).name.c_str(), n.distance,
-                    Spark(engine().corpus().at(n.id).values, 48).c_str());
+                    SeriesAt(n.id).name.c_str(), n.distance,
+                    Spark(SeriesAt(n.id).values, 48).c_str());
       }
       std::printf("  [%s, %lld us]\n",
                   response.cache_hit ? "cache hit" : "engine",
@@ -243,8 +246,8 @@ class Tool {
     if (!neighbors.ok()) return;
     for (const auto& n : *neighbors) {
       std::printf("  %-24s distance %.2f  %s\n",
-                  engine().corpus().at(n.id).name.c_str(), n.distance,
-                  Spark(engine().corpus().at(n.id).values, 48).c_str());
+                  SeriesAt(n.id).name.c_str(), n.distance,
+                  Spark(SeriesAt(n.id).values, 48).c_str());
     }
     std::printf("  [index: %zu bound computations, %zu full fetches]\n",
                 stats.bound_computations, stats.full_retrievals);
@@ -253,7 +256,7 @@ class Tool {
   // Fires `n` concurrent SimilarTo requests over a hot-key set and prints
   // aggregate throughput — a one-command load generator for the server.
   void Load(size_t n, size_t k) {
-    const size_t corpus_size = engine().corpus().size();
+    const size_t corpus_size = CorpusSize();
     const auto start = std::chrono::steady_clock::now();
     std::vector<service::RequestTicket> tickets;
     tickets.reserve(n);
@@ -286,7 +289,7 @@ class Tool {
   }
 
   void Periods(const std::string& name) {
-    auto id = engine().FindByName(name);
+    auto id = FindId(name);
     if (!id.ok()) {
       std::printf("  %s\n", id.status().ToString().c_str());
       return;
@@ -314,7 +317,7 @@ class Tool {
   }
 
   void Bursts(const std::string& name, core::BurstHorizon horizon) {
-    auto id = engine().FindByName(name);
+    auto id = FindId(name);
     if (!id.ok()) {
       std::printf("  %s\n", id.status().ToString().c_str());
       return;
@@ -345,7 +348,7 @@ class Tool {
   }
 
   void QueryByBurst(const std::string& name, size_t k) {
-    auto id = engine().FindByName(name);
+    auto id = FindId(name);
     if (!id.ok()) {
       std::printf("  %s\n", id.status().ToString().c_str());
       return;
@@ -366,17 +369,17 @@ class Tool {
     }
     for (const auto& m : matches) {
       std::printf("  %-24s BSim %.3f\n",
-                  engine().corpus().at(m.series_id).name.c_str(), m.bsim);
+                  SeriesAt(m.series_id).name.c_str(), m.bsim);
     }
   }
 
   void Reconstruct(const std::string& name, size_t c) {
-    auto id = engine().FindByName(name);
+    auto id = FindId(name);
     if (!id.ok()) {
       std::printf("  %s\n", id.status().ToString().c_str());
       return;
     }
-    const std::vector<double> z = engine().standardized(*id);
+    const std::vector<double> z = StandardizedRow(*id);
     auto spectrum = repr::HalfSpectrum::FromSeries(z);
     if (!spectrum.ok()) return;
     auto compressed = repr::CompressedSpectrum::Compress(
@@ -412,6 +415,32 @@ class Tool {
 
   const core::S2Engine& engine() const { return server_->engine(); }
 
+  // Topology-neutral catalog access: the commands above must not care
+  // whether the server wraps one engine or a sharded scatter-gather one.
+  size_t CorpusSize() const {
+    return server_->is_sharded() ? server_->sharded().size()
+                                 : engine().corpus().size();
+  }
+
+  Result<ts::SeriesId> FindId(const std::string& name) const {
+    return server_->is_sharded() ? server_->sharded().FindByName(name)
+                                 : engine().FindByName(name);
+  }
+
+  const ts::TimeSeries& SeriesAt(ts::SeriesId id) const {
+    if (server_->is_sharded()) return *server_->sharded().Series(id).value();
+    return engine().corpus().at(id);
+  }
+
+  std::vector<double> StandardizedRow(ts::SeriesId id) const {
+    if (server_->is_sharded()) {
+      const auto placement = server_->sharded().PlacementOf(id);
+      return server_->sharded().shard(placement->shard)
+          .standardized(placement->local);
+    }
+    return engine().standardized(id);
+  }
+
   std::unique_ptr<service::S2Server> server_;
   bool serving_;
 };
@@ -420,14 +449,20 @@ class Tool {
 
 int main(int argc, char** argv) {
   size_t serve_threads = 0;
+  size_t shards = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--serve") == 0) {
       serve_threads = 4;
       if (i + 1 < argc && std::isdigit(static_cast<unsigned char>(argv[i + 1][0]))) {
         serve_threads = std::strtoul(argv[i + 1], nullptr, 10);
       }
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shards = std::strtoul(argv[i + 1], nullptr, 10);
+      if (shards == 0) shards = 1;
     }
   }
+  // Sharded execution dispatches through the server; force serve mode.
+  if (shards > 1 && serve_threads == 0) serve_threads = 4;
 
   Rng rng(75);
   ts::Corpus corpus;
@@ -447,24 +482,40 @@ int main(int argc, char** argv) {
     for (const auto& series : filler->series()) corpus.Add(series);
   }
 
+  const size_t corpus_size = corpus.size();
   core::S2Engine::Options options;
   options.index.budget_c = 16;
   options.long_burst.min_avg_value = 0.5;
   options.long_burst.min_length = 5;
-  auto engine = core::S2Engine::Build(std::move(corpus), options);
-  if (!engine.ok()) {
-    std::printf("build failed: %s\n", engine.status().ToString().c_str());
+  service::S2Server::Options server_options;
+  server_options.scheduler.threads = serve_threads > 0 ? serve_threads : 1;
+  server_options.cache_capacity = serve_threads > 0 ? 1024 : 0;
+  server_options.shards = shards;
+  auto server =
+      service::S2Server::Build(std::move(corpus), options, server_options);
+  if (!server.ok()) {
+    std::printf("build failed: %s\n", server.status().ToString().c_str());
     return 1;
+  }
+  size_t compressed_bytes = 0;
+  if ((*server)->is_sharded()) {
+    const shard::ShardedEngine& sharded = (*server)->sharded();
+    for (size_t s = 0; s < sharded.num_shards(); ++s) {
+      compressed_bytes += sharded.shard(s).index().CompressedBytes();
+    }
+  } else {
+    compressed_bytes = (*server)->engine().index().CompressedBytes();
   }
   std::printf(
       "S2 Similarity Tool - %zu queries indexed (%zu KiB compressed "
       "features).\nType 'help' for commands, 'demo' for a tour.\n",
-      engine->corpus().size(), engine->index().CompressedBytes() / 1024);
+      corpus_size, compressed_bytes / 1024);
   if (serve_threads > 0) {
-    std::printf("Server mode: %zu worker threads, result cache on.\n",
-                serve_threads);
+    std::printf("Server mode: %zu worker threads, result cache on", serve_threads);
+    if (shards > 1) std::printf(", %zu shards", shards);
+    std::printf(".\n");
   }
-  Tool tool(std::move(engine).ValueOrDie(), serve_threads);
+  Tool tool(std::move(server).ValueOrDie(), serve_threads > 0);
   tool.Run();
   return 0;
 }

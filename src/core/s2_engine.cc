@@ -242,6 +242,55 @@ Result<std::vector<index::Neighbor>> S2Engine::SimilarToDtw(
   return neighbors;
 }
 
+Result<std::vector<index::Neighbor>> S2Engine::SimilarToStandardized(
+    const std::vector<double>& z, size_t k, ts::SeriesId exclude,
+    index::VpTreeIndex::SearchStats* stats, index::SharedRadius* shared) const {
+  const bool drop_self = exclude != ts::kInvalidSeriesId;
+  S2_ASSIGN_OR_RETURN(
+      std::vector<index::Neighbor> neighbors,
+      index_->Search(z, drop_self ? k + 1 : k, source_.get(), stats, shared));
+  if (drop_self) {
+    std::erase_if(neighbors,
+                  [exclude](const index::Neighbor& n) { return n.id == exclude; });
+    if (neighbors.size() > k) neighbors.resize(k);
+  }
+  return neighbors;
+}
+
+Result<std::vector<index::Neighbor>> S2Engine::SimilarToDtwStandardized(
+    const std::vector<double>& z, size_t k, ts::SeriesId exclude,
+    dtw::DtwKnnSearch::SearchStats* stats, index::SharedRadius* shared) const {
+  const bool drop_self = exclude != ts::kInvalidSeriesId;
+  S2_ASSIGN_OR_RETURN(
+      std::vector<index::Neighbor> neighbors,
+      dtw_search_->Search(z, drop_self ? k + 1 : k, source_.get(), stats, shared));
+  if (drop_self) {
+    std::erase_if(neighbors,
+                  [exclude](const index::Neighbor& n) { return n.id == exclude; });
+    if (neighbors.size() > k) neighbors.resize(k);
+  }
+  return neighbors;
+}
+
+Result<std::vector<index::Neighbor>> S2Engine::SimilarToStandardizedExact(
+    const std::vector<double>& z, size_t k, ts::SeriesId exclude) const {
+  return ExactScan(standardized_, z, k, exclude);
+}
+
+Result<std::vector<index::Neighbor>> S2Engine::SimilarToDtwStandardizedExact(
+    const std::vector<double>& z, size_t k, ts::SeriesId exclude) const {
+  index::BestList best(k);
+  for (ts::SeriesId other = 0; other < standardized_.size(); ++other) {
+    if (other == exclude) continue;
+    S2_ASSIGN_OR_RETURN(double d,
+                        dtw::DtwDistanceEarlyAbandon(z, standardized_[other],
+                                                     options_.dtw_window,
+                                                     best.Threshold()));
+    best.Offer(other, d);
+  }
+  return std::move(best).Take();
+}
+
 Result<std::vector<period::PeriodHit>> S2Engine::FindPeriods(ts::SeriesId id) const {
   if (id >= corpus_.size()) return Status::NotFound("S2Engine: bad series id");
   return period_detector_.Detect(corpus_.at(id).values);

@@ -142,6 +142,39 @@ class S2Engine {
       ts::SeriesId id, size_t k,
       dtw::DtwKnnSearch::SearchStats* stats = nullptr) const;
 
+  // --- Sharded-search entry points ------------------------------------------
+  //
+  // Used by shard::ShardedEngine, whose scatter phase runs one search per
+  // shard over the *same* query row. The row arrives already standardized
+  // (re-standardizing per shard would drift bitwise from the single-engine
+  // answer), `exclude` names a *local* series id to drop from the results
+  // (`ts::kInvalidSeriesId` for none — only the shard owning the query
+  // series excludes), and `shared` threads the cross-shard pruning radius
+  // through the search. With `exclude` set the search asks for k+1 exactly
+  // like `SimilarTo`, so the owning shard's answers stay bit-identical to
+  // the single-engine path.
+
+  Result<std::vector<index::Neighbor>> SimilarToStandardized(
+      const std::vector<double>& z, size_t k,
+      ts::SeriesId exclude = ts::kInvalidSeriesId,
+      index::VpTreeIndex::SearchStats* stats = nullptr,
+      index::SharedRadius* shared = nullptr) const;
+
+  Result<std::vector<index::Neighbor>> SimilarToDtwStandardized(
+      const std::vector<double>& z, size_t k,
+      ts::SeriesId exclude = ts::kInvalidSeriesId,
+      dtw::DtwKnnSearch::SearchStats* stats = nullptr,
+      index::SharedRadius* shared = nullptr) const;
+
+  /// Degraded-path counterparts: exact linear scans over the RAM rows with
+  /// an explicit local exclusion (no index, no disk — cannot fail).
+  Result<std::vector<index::Neighbor>> SimilarToStandardizedExact(
+      const std::vector<double>& z, size_t k,
+      ts::SeriesId exclude = ts::kInvalidSeriesId) const;
+  Result<std::vector<index::Neighbor>> SimilarToDtwStandardizedExact(
+      const std::vector<double>& z, size_t k,
+      ts::SeriesId exclude = ts::kInvalidSeriesId) const;
+
   // --- Periods ---------------------------------------------------------------
 
   /// Significant periods of an indexed series (descending power).

@@ -55,7 +55,7 @@ Status DtwKnnSearch::AddFeature(repr::CompressedSpectrum feature) {
 
 Result<std::vector<index::Neighbor>> DtwKnnSearch::Search(
     const std::vector<double>& query, size_t k, storage::SequenceSource* source,
-    SearchStats* stats) const {
+    SearchStats* stats, index::SharedRadius* shared) const {
   if (k == 0) return Status::InvalidArgument("DtwKnnSearch: k must be > 0");
   if (source == nullptr) {
     return Status::InvalidArgument("DtwKnnSearch: source must not be null");
@@ -101,18 +101,28 @@ Result<std::vector<index::Neighbor>> DtwKnnSearch::Search(
     }
   }
 
+  // The seed threshold is witnessed by k compressed upper bounds, each of
+  // which dominates a real DTW distance in this partition — a sound global
+  // bound to publish before any DP has run.
+  if (shared != nullptr && std::isfinite(seed.Threshold())) {
+    shared->Tighten(seed.Threshold());
+  }
+
   // Phase 2 & 3: envelope once, then cascade per candidate.
   S2_ASSIGN_OR_RETURN(Envelope envelope, ComputeEnvelope(query, options_.window));
   index::BestList best(k);
   double radius = seed.Threshold();  // k-th smallest UB (or +inf).
   for (const Scored& scored : order) {
-    const double current = std::min(radius, best.Threshold());
+    const double local = std::min(radius, best.Threshold());
+    double current = local;
+    if (shared != nullptr) current = std::min(current, shared->load());
     S2_ASSIGN_OR_RETURN(std::vector<double> row, source->Get(scored.id));
     if (options_.use_lb_keogh) {
       S2_ASSIGN_OR_RETURN(double lb, LbKeogh(envelope, row, current));
       ++stats->lb_keogh_computed;
       if (lb > current) {
         ++stats->lb_keogh_skips;
+        if (lb <= local) ++stats->shared_radius_skips;
         continue;
       }
     }
@@ -122,8 +132,12 @@ Result<std::vector<index::Neighbor>> DtwKnnSearch::Search(
     // An abandoned DP returns a truncated value > current; it must not enter
     // the result list. Dropping any dist > current is safe even while the
     // list is unfilled: the seeded radius certifies that k objects with true
-    // DTW <= radius exist and will be offered with their exact distances.
-    if (dist <= current) best.Offer(scored.id, dist);
+    // DTW <= radius exist globally and the merge only needs distances that
+    // can still reach the global top-k.
+    if (dist <= current) {
+      best.Offer(scored.id, dist);
+      if (shared != nullptr && best.Full()) shared->Tighten(best.Threshold());
+    }
   }
   return std::move(best).Take();
 }

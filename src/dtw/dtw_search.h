@@ -54,6 +54,10 @@ class DtwKnnSearch {
     size_t lb_keogh_computed = 0;
     size_t lb_keogh_skips = 0;  ///< Candidates pruned without running the DP.
     size_t dtw_computed = 0;
+    /// Skips that only succeeded because another partition's published
+    /// radius was tighter than this search's local radius (cross-shard
+    /// prune hits under scatter-gather).
+    size_t shared_radius_skips = 0;
   };
 
   /// Builds the search helper over pre-compressed features (kBestKError or
@@ -71,10 +75,18 @@ class DtwKnnSearch {
   Status AddFeature(repr::CompressedSpectrum feature);
 
   /// Exact k nearest neighbors of `query` under windowed DTW.
+  ///
+  /// `shared`, when non-null, is a cross-partition pruning radius (see
+  /// index::SharedRadius): the cascade additionally abandons against it and
+  /// publishes every radius it certifies (seed threshold, tightened best
+  /// list). The result is then the subset of the local top-k that can still
+  /// reach the global top-k, with exact DTW distances — what the
+  /// scatter-gather merge needs.
   Result<std::vector<index::Neighbor>> Search(const std::vector<double>& query,
                                               size_t k,
                                               storage::SequenceSource* source,
-                                              SearchStats* stats) const;
+                                              SearchStats* stats,
+                                              index::SharedRadius* shared = nullptr) const;
 
   const Options& options() const { return options_; }
 

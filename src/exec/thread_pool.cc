@@ -1,8 +1,8 @@
-#include "service/thread_pool.h"
+#include "exec/thread_pool.h"
 
 #include <utility>
 
-namespace s2::service {
+namespace s2::exec {
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) num_threads = 1;
@@ -55,8 +55,14 @@ void ThreadPool::WorkerLoop() {
       task = std::move(tasks_.front());
       tasks_.pop_front();
     }
-    task();
+    try {
+      task();
+    } catch (...) {
+      // Contract rule 3: contain, count, keep serving. A worker must never
+      // take the whole process down (std::terminate) because one task threw.
+      tasks_aborted_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
 }
 
-}  // namespace s2::service
+}  // namespace s2::exec

@@ -1,0 +1,84 @@
+#ifndef S2_EXEC_THREAD_POOL_H_
+#define S2_EXEC_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace s2::exec {
+
+/// A fixed-size thread pool with a single shared FIFO task queue.
+///
+/// Deliberately simple (no work stealing): tasks are coarse-grained — whole
+/// serving requests, or whole shard builds/searches in `s2::shard` — so a
+/// shared queue under one mutex is nowhere near contention-bound and keeps
+/// FIFO fairness, which the scheduler's deadline semantics rely on.
+///
+/// ## Contract (pinned by tests/thread_pool_test.cc)
+///
+/// The sharded engine leans on this pool much harder than the scheduler
+/// does, so the exact stop/drain semantics are spelled out and regression-
+/// tested rather than implied:
+///
+///  1. `Submit` returns true iff the task was enqueued; an enqueued task
+///     runs exactly once. It returns false — and the task is dropped,
+///     never run — from the moment `Shutdown` has set the stopping flag,
+///     including submissions racing `Shutdown` from other threads and
+///     submissions made *by running tasks* during the drain. Callers must
+///     complete any associated promise/latch themselves on false.
+///  2. `Shutdown` is a graceful drain: every task enqueued before the
+///     stopping flag was set runs to completion before `Shutdown` returns.
+///     It is idempotent and safe to call concurrently from several threads;
+///     late callers return without touching the workers (the first caller
+///     joins them).
+///  3. Exceptions do not cross the pool boundary: a task that throws is
+///     contained by the worker (the exception is swallowed, the worker
+///     survives, later tasks still run) and counted in `tasks_aborted()`.
+///     Status-based code never throws, so a nonzero count is always a bug
+///     signal — but it degrades to a counter, not a `std::terminate`.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool();
+
+  /// Enqueues a task per contract rule 1.
+  bool Submit(std::function<void()> task);
+
+  /// Drains the queue and joins all workers per contract rule 2.
+  void Shutdown();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Tasks currently queued (not yet picked up by a worker).
+  size_t queue_depth() const;
+
+  /// Tasks whose exception was contained by a worker (contract rule 3).
+  uint64_t tasks_aborted() const {
+    return tasks_aborted_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> tasks_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+  std::atomic<uint64_t> tasks_aborted_{0};
+};
+
+}  // namespace s2::exec
+
+#endif  // S2_EXEC_THREAD_POOL_H_

@@ -2,6 +2,7 @@
 #define S2_INDEX_KNN_H_
 
 #include <algorithm>
+#include <atomic>
 #include <cstddef>
 #include <limits>
 #include <vector>
@@ -48,6 +49,41 @@ class BestList {
  private:
   size_t k_;
   std::vector<Neighbor> items_;
+};
+
+/// A monotonically shrinking global best-k radius shared by concurrent
+/// searches over disjoint partitions of one corpus (the scatter-gather kNN
+/// of `s2::shard`, following TSseek's shared-pruning-bound pattern).
+///
+/// Each partition publishes (`Tighten`) any upper bound it can certify on
+/// the *global* k-th nearest distance — its best-list threshold once full,
+/// or the k-th smallest compressed upper bound — and reads (`load`) the
+/// tightest bound published by anyone to prune harder than its local state
+/// alone would allow. Soundness: every published value is witnessed by k
+/// real objects at that distance or closer, so a candidate provably beyond
+/// the shared radius can never be in the global top-k; a stale (larger)
+/// read only prunes less. Relaxed ordering is therefore enough — the value
+/// is a hint for pruning, never a synchronization edge.
+class SharedRadius {
+ public:
+  SharedRadius() = default;
+  SharedRadius(const SharedRadius&) = delete;
+  SharedRadius& operator=(const SharedRadius&) = delete;
+
+  /// The tightest radius published so far (+infinity until someone has a
+  /// full best-k list).
+  double load() const { return radius_.load(std::memory_order_relaxed); }
+
+  /// Publishes `r` if it improves on the current radius (atomic min).
+  void Tighten(double r) {
+    double current = radius_.load(std::memory_order_relaxed);
+    while (r < current && !radius_.compare_exchange_weak(
+                              current, r, std::memory_order_relaxed)) {
+    }
+  }
+
+ private:
+  std::atomic<double> radius_{std::numeric_limits<double>::infinity()};
 };
 
 }  // namespace s2::index

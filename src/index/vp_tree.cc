@@ -179,11 +179,18 @@ Result<VpTreeIndex> VpTreeIndex::Build(const std::vector<std::vector<double>>& r
 
 void VpTreeIndex::SearchNode(int32_t node_id, const repr::HalfSpectrum& query,
                              std::vector<Candidate>* candidates,
-                             BestList* upper_bounds, SearchStats* stats) const {
+                             BestList* upper_bounds, SearchStats* stats,
+                             SharedRadius* shared) const {
   if (node_id < 0) return;
   const Node& node = nodes_[static_cast<size_t>(node_id)];
   ++stats->nodes_visited;
 
+  // Cross-shard pruning: another partition's published radius already
+  // upper-bounds the global k-th distance, so every prune below compares
+  // against the tighter of it and the local k-th upper bound. Publishing is
+  // sound in the other direction too: a full local upper-bound list is
+  // witnessed by k real objects of this partition, so its threshold
+  // upper-bounds the global k-th distance as well.
   if (node.leaf) {
     for (const Entry& entry : node.bucket) {
       auto bounds = repr::ComputeBounds(query, entry.repr, options_.method);
@@ -191,6 +198,9 @@ void VpTreeIndex::SearchNode(int32_t node_id, const repr::HalfSpectrum& query,
       ++stats->bound_computations;
       candidates->push_back({entry.id, bounds->lower, bounds->upper});
       upper_bounds->Offer(entry.id, bounds->upper);
+    }
+    if (shared != nullptr && upper_bounds->Full()) {
+      shared->Tighten(upper_bounds->Threshold());
     }
     return;
   }
@@ -201,6 +211,9 @@ void VpTreeIndex::SearchNode(int32_t node_id, const repr::HalfSpectrum& query,
   if (!node.vantage_deleted) {
     candidates->push_back({node.vantage.id, bounds->lower, bounds->upper});
     upper_bounds->Offer(node.vantage.id, bounds->upper);
+    if (shared != nullptr && upper_bounds->Full()) {
+      shared->Tighten(upper_bounds->Threshold());
+    }
   }
 
   const double lb = bounds->lower;
@@ -220,16 +233,21 @@ void VpTreeIndex::SearchNode(int32_t node_id, const repr::HalfSpectrum& query,
   //   every object in the left subtree is within mu of the VP, so its
   //   distance to Q is at least LB - mu; skip left when that exceeds the
   //   best-so-far upper bound. Symmetrically skip right when mu - UB does.
-  auto visit_left = [&] {
-    if (lb - mu <= upper_bounds->Threshold()) {
-      SearchNode(node.left, query, candidates, upper_bounds, stats);
+  // With a shared radius the comparison is against the tighter of the local
+  // threshold and the cross-partition bound, re-read at visit time because
+  // both improve as the traversal proceeds.
+  auto visit_subtree = [&](int32_t child, double subtree_lb) {
+    const double local = upper_bounds->Threshold();
+    double limit = local;
+    if (shared != nullptr) limit = std::min(limit, shared->load());
+    if (subtree_lb <= limit) {
+      SearchNode(child, query, candidates, upper_bounds, stats, shared);
+    } else if (subtree_lb <= local) {
+      ++stats->shared_radius_prunes;  // Only the shared bound made the cut.
     }
   };
-  auto visit_right = [&] {
-    if (mu - ub <= upper_bounds->Threshold()) {
-      SearchNode(node.right, query, candidates, upper_bounds, stats);
-    }
-  };
+  auto visit_left = [&] { visit_subtree(node.left, lb - mu); };
+  auto visit_right = [&] { visit_subtree(node.right, mu - ub); };
   if (left_first) {
     visit_left();
     visit_right();
@@ -240,7 +258,8 @@ void VpTreeIndex::SearchNode(int32_t node_id, const repr::HalfSpectrum& query,
 }
 
 Result<std::vector<VpTreeIndex::Candidate>> VpTreeIndex::CollectCandidates(
-    const std::vector<double>& query, size_t k, SearchStats* stats) const {
+    const std::vector<double>& query, size_t k, SearchStats* stats,
+    SharedRadius* shared) const {
   if (query.size() != series_length_) {
     return Status::InvalidArgument("VpTreeIndex: query length mismatch");
   }
@@ -252,11 +271,19 @@ Result<std::vector<VpTreeIndex::Candidate>> VpTreeIndex::CollectCandidates(
                       repr::HalfSpectrum::FromSeriesInBasis(query, options_.basis));
   std::vector<Candidate> candidates;
   BestList upper_bounds(k);
-  SearchNode(root_, spectrum, &candidates, &upper_bounds, stats);
+  SearchNode(root_, spectrum, &candidates, &upper_bounds, stats, shared);
 
   // SUB filter: no object whose lower bound exceeds the k-th smallest upper
-  // bound can be a k-nearest neighbor.
-  const double sub = upper_bounds.Threshold();
+  // bound can be a k-nearest neighbor — and under scatter-gather, none
+  // beyond the shared radius can be in the *global* top-k either.
+  double sub = upper_bounds.Threshold();
+  if (shared != nullptr) {
+    const double remote = shared->load();
+    if (remote < sub) {
+      sub = remote;
+      ++stats->shared_radius_prunes;  // The filter itself got tighter.
+    }
+  }
   std::erase_if(candidates, [sub](const Candidate& c) { return c.lower > sub; });
   std::sort(candidates.begin(), candidates.end(),
             [](const Candidate& a, const Candidate& b) { return a.lower < b.lower; });
@@ -267,27 +294,51 @@ Result<std::vector<VpTreeIndex::Candidate>> VpTreeIndex::CollectCandidates(
 Result<std::vector<Neighbor>> VpTreeIndex::Search(const std::vector<double>& query,
                                                   size_t k,
                                                   storage::SequenceSource* source,
-                                                  SearchStats* stats) const {
+                                                  SearchStats* stats,
+                                                  SharedRadius* shared) const {
   SearchStats local_stats;
   if (stats == nullptr) stats = &local_stats;
   if (source == nullptr) {
     return Status::InvalidArgument("VpTreeIndex: source must not be null");
   }
   S2_ASSIGN_OR_RETURN(std::vector<Candidate> candidates,
-                      CollectCandidates(query, k, stats));
+                      CollectCandidates(query, k, stats, shared));
 
   // Verification in ascending lower-bound order with early termination.
+  // Under scatter-gather the stop/abandon threshold is additionally clamped
+  // to the shared radius; a distance computed against that clamp may be a
+  // truncated partial value, so it is only Offered when provably complete
+  // (strictly below the clamp used to abandon it).
   BestList best(k);
   for (const Candidate& candidate : candidates) {
-    if (best.Full() && candidate.lower > best.Threshold()) break;
+    const double local = best.Threshold();
+    double threshold = local;
+    if (shared != nullptr) threshold = std::min(threshold, shared->load());
+    if (best.Full() && candidate.lower > local) break;
+    if (candidate.lower > threshold) {
+      // Beyond the shared radius: cannot enter the global top-k. Later
+      // candidates may still be needed for the *local* exact list when the
+      // caller is a plain search, but under shared pruning we only owe the
+      // global-plausible subset — skip, do not break (the shared radius is
+      // not monotone in candidate.lower order guarantees).
+      ++stats->shared_radius_prunes;
+      continue;
+    }
     S2_ASSIGN_OR_RETURN(std::vector<double> row, source->Get(candidate.id));
     ++stats->full_retrievals;
-    const double threshold = best.Threshold();
     const double abandon_sq = std::isinf(threshold)
                                   ? std::numeric_limits<double>::infinity()
                                   : threshold * threshold;
     const double dist = dsp::EuclideanEarlyAbandon(query, row, abandon_sq);
-    best.Offer(candidate.id, dist);
+    // EuclideanEarlyAbandon returns a value > threshold when it abandons
+    // mid-sum; such a value is a lower bound on the true distance, not the
+    // distance itself. BestList::Offer would reject it against the local
+    // threshold, but when `shared` is tighter than the local list the
+    // truncated value could wrongly enter — gate on the clamp we used.
+    if (dist <= threshold) {
+      best.Offer(candidate.id, dist);
+      if (shared != nullptr && best.Full()) shared->Tighten(best.Threshold());
+    }
   }
   return std::move(best).Take();
 }

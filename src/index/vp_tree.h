@@ -69,6 +69,10 @@ class VpTreeIndex {
     size_t candidates_surviving = 0; ///< Candidates left after the SUB filter.
     size_t full_retrievals = 0;      ///< Sequences fetched for verification.
     size_t nodes_visited = 0;        ///< Tree nodes touched.
+    /// Prune decisions (subtree skips, verification skips/stops) that only
+    /// succeeded because another partition's published radius was tighter
+    /// than this search's local state — cross-shard prune hits.
+    size_t shared_radius_prunes = 0;
   };
 
   /// Builds the index over `rows` (each row a standardized sequence of equal
@@ -79,9 +83,17 @@ class VpTreeIndex {
 
   /// Exact k-nearest-neighbor search. `source` provides the full sequences
   /// for the verification phase (RAM or disk); `stats` is optional.
+  ///
+  /// `shared`, when non-null, is a cross-partition pruning radius (see
+  /// SharedRadius in knn.h): the search additionally prunes against it and
+  /// publishes every upper bound it certifies on its own k-th distance.
+  /// The returned list then contains every object of *this* index that
+  /// could still be in the global top-k — a subset of the local top-k, with
+  /// exact distances — which is exactly what a scatter-gather merge needs.
   Result<std::vector<Neighbor>> Search(const std::vector<double>& query, size_t k,
                                        storage::SequenceSource* source,
-                                       SearchStats* stats) const;
+                                       SearchStats* stats,
+                                       SharedRadius* shared = nullptr) const;
 
   /// Candidate-generation phase only: traverses the tree and returns every
   /// unpruned compressed object with its bounds. Exposed for experiments
@@ -92,8 +104,8 @@ class VpTreeIndex {
     double upper;
   };
   Result<std::vector<Candidate>> CollectCandidates(const std::vector<double>& query,
-                                                   size_t k,
-                                                   SearchStats* stats) const;
+                                                   size_t k, SearchStats* stats,
+                                                   SharedRadius* shared = nullptr) const;
 
   /// Dynamic maintenance. The paper notes that dynamic VP-tree extensions
   /// (Fu et al.) "can be implemented on top of the proposed search
@@ -181,7 +193,7 @@ class VpTreeIndex {
 
   void SearchNode(int32_t node_id, const repr::HalfSpectrum& query,
                   std::vector<Candidate>* candidates, BestList* upper_bounds,
-                  SearchStats* stats) const;
+                  SearchStats* stats, SharedRadius* shared) const;
 
   Result<repr::CompressedSpectrum> CompressRow(const std::vector<double>& row) const;
   Status SplitLeaf(int32_t node_id, storage::SequenceSource* source);

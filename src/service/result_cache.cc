@@ -53,6 +53,21 @@ void ResultCache::Invalidate() {
   if (invalidation_counter_ != nullptr) invalidation_counter_->Increment();
 }
 
+void ResultCache::InvalidateCrossSeries() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    const RequestKind kind = it->first.kind;
+    if (kind == RequestKind::kSimilarTo || kind == RequestKind::kSimilarToDtw ||
+        kind == RequestKind::kQueryByBurst) {
+      map_.erase(it->first);
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (invalidation_counter_ != nullptr) invalidation_counter_->Increment();
+}
+
 size_t ResultCache::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return lru_.size();

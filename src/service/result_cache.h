@@ -80,6 +80,12 @@ class ResultCache {
   /// Drops every entry (engine mutation invalidates all answers).
   void Invalidate();
 
+  /// Selective invalidation for `AddSeries`: a new series can change any
+  /// k-NN or query-by-burst answer (the new series may enter any top-k),
+  /// but the periods and bursts *of an existing series* depend only on that
+  /// series' own values, which an append never touches — those entries stay.
+  void InvalidateCrossSeries();
+
   uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
   size_t size() const;

@@ -51,17 +51,47 @@ bool IsInfrastructureFailure(const Status& status) {
 
 std::unique_ptr<S2Server> S2Server::Create(core::S2Engine engine,
                                            const Options& options) {
-  return std::unique_ptr<S2Server>(new S2Server(std::move(engine), options));
+  return std::unique_ptr<S2Server>(
+      new S2Server(std::move(engine), std::nullopt, options));
 }
 
-S2Server::S2Server(core::S2Engine engine, const Options& options)
+std::unique_ptr<S2Server> S2Server::Create(shard::ShardedEngine engine,
+                                           const Options& options) {
+  return std::unique_ptr<S2Server>(
+      new S2Server(std::nullopt, std::move(engine), options));
+}
+
+Result<std::unique_ptr<S2Server>> S2Server::Build(
+    ts::Corpus corpus, const core::S2Engine::Options& engine_options,
+    const Options& options) {
+  if (options.shards == 1) {
+    S2_ASSIGN_OR_RETURN(core::S2Engine engine,
+                        core::S2Engine::Build(std::move(corpus), engine_options));
+    return Create(std::move(engine), options);
+  }
+  shard::ShardedEngine::Options shard_options;
+  shard_options.num_shards = options.shards;
+  shard_options.engine = engine_options;
+  shard_options.shard_envs = options.shard_envs;
+  S2_ASSIGN_OR_RETURN(shard::ShardedEngine engine,
+                      shard::ShardedEngine::Build(std::move(corpus), shard_options));
+  return Create(std::move(engine), options);
+}
+
+S2Server::S2Server(std::optional<core::S2Engine> engine,
+                   std::optional<shard::ShardedEngine> sharded,
+                   const Options& options)
     : engine_(std::move(engine)),
+      sharded_(std::move(sharded)),
       options_(options),
       cache_(options.cache_capacity, &metrics_),
       breaker_(options.breaker),
       engine_calls_(metrics_.counter("server_engine_calls")),
       degraded_(metrics_.counter("server_degraded")),
       shed_(metrics_.counter("server_shed")),
+      shard_fanout_(metrics_.counter("server_shard_fanout")),
+      shard_prune_hits_(metrics_.counter("server_shard_prune_hits")),
+      shard_latency_(metrics_.histogram("server_shard_latency")),
       retry_attempts_(metrics_.counter("server_retry_attempts")),
       retry_giveups_(metrics_.counter("server_retry_giveups")),
       breaker_trips_(metrics_.counter("server_breaker_trips")) {
@@ -71,6 +101,64 @@ S2Server::S2Server(core::S2Engine engine, const Options& options)
       options.scheduler,
       [this](const QueryRequest& request) { return Execute(request); },
       &metrics_);
+}
+
+void S2Server::Dispatch(const QueryRequest& request, QueryResponse* response) {
+  if (!is_sharded()) {
+    switch (request.kind) {
+      case RequestKind::kSimilarTo:
+        Fill(engine_->SimilarTo(request.id, request.k), &response->neighbors,
+             response);
+        break;
+      case RequestKind::kSimilarToDtw:
+        Fill(engine_->SimilarToDtw(request.id, request.k), &response->neighbors,
+             response);
+        break;
+      case RequestKind::kPeriodsOf:
+        Fill(engine_->FindPeriods(request.id), &response->periods, response);
+        break;
+      case RequestKind::kBurstsOf:
+        Fill(engine_->BurstsOf(request.id, request.horizon), &response->bursts,
+             response);
+        break;
+      case RequestKind::kQueryByBurst:
+        Fill(engine_->QueryByBurst(request.id, request.k, request.horizon),
+             &response->burst_matches, response);
+        break;
+    }
+    return;
+  }
+
+  shard::ShardedEngine::QueryStats stats;
+  switch (request.kind) {
+    case RequestKind::kSimilarTo:
+      Fill(sharded_->SimilarTo(request.id, request.k, &stats),
+           &response->neighbors, response);
+      break;
+    case RequestKind::kSimilarToDtw:
+      Fill(sharded_->SimilarToDtw(request.id, request.k, &stats),
+           &response->neighbors, response);
+      break;
+    case RequestKind::kPeriodsOf:
+      Fill(sharded_->FindPeriods(request.id), &response->periods, response);
+      stats.fanout = 1;  // Owner-routed.
+      break;
+    case RequestKind::kBurstsOf:
+      Fill(sharded_->BurstsOf(request.id, request.horizon), &response->bursts,
+           response);
+      stats.fanout = 1;  // Owner-routed.
+      break;
+    case RequestKind::kQueryByBurst:
+      Fill(sharded_->QueryByBurst(request.id, request.k, request.horizon,
+                                  &stats),
+           &response->burst_matches, response);
+      break;
+  }
+  shard_fanout_->Increment(stats.fanout);
+  shard_prune_hits_->Increment(stats.shared_radius_prunes);
+  for (const std::chrono::microseconds& lat : stats.shard_latencies) {
+    shard_latency_->Record(static_cast<uint64_t>(lat.count()));
+  }
 }
 
 QueryResponse S2Server::Execute(const QueryRequest& request) {
@@ -92,27 +180,7 @@ QueryResponse S2Server::Execute(const QueryRequest& request) {
   {
     std::shared_lock<std::shared_mutex> lock(engine_mu_);
     engine_calls_->Increment();
-    switch (request.kind) {
-      case RequestKind::kSimilarTo:
-        Fill(engine_.SimilarTo(request.id, request.k), &response.neighbors,
-             &response);
-        break;
-      case RequestKind::kSimilarToDtw:
-        Fill(engine_.SimilarToDtw(request.id, request.k), &response.neighbors,
-             &response);
-        break;
-      case RequestKind::kPeriodsOf:
-        Fill(engine_.FindPeriods(request.id), &response.periods, &response);
-        break;
-      case RequestKind::kBurstsOf:
-        Fill(engine_.BurstsOf(request.id, request.horizon), &response.bursts,
-             &response);
-        break;
-      case RequestKind::kQueryByBurst:
-        Fill(engine_.QueryByBurst(request.id, request.k, request.horizon),
-             &response.burst_matches, &response);
-        break;
-    }
+    Dispatch(request, &response);
     if (response.status.ok()) {
       breaker_.RecordSuccess();
       // Insert before releasing the shared lock: inserting after release
@@ -145,11 +213,13 @@ QueryResponse S2Server::Degrade(const QueryRequest& request,
   QueryResponse fallback;
   switch (request.kind) {
     case RequestKind::kSimilarTo:
-      Fill(engine_.SimilarToExact(request.id, request.k), &fallback.neighbors,
-           &fallback);
+      Fill(is_sharded() ? sharded_->SimilarToExact(request.id, request.k)
+                        : engine_->SimilarToExact(request.id, request.k),
+           &fallback.neighbors, &fallback);
       break;
     case RequestKind::kSimilarToDtw:
-      Fill(engine_.SimilarToDtwExact(request.id, request.k),
+      Fill(is_sharded() ? sharded_->SimilarToDtwExact(request.id, request.k)
+                        : engine_->SimilarToDtwExact(request.id, request.k),
            &fallback.neighbors, &fallback);
       break;
     default:
@@ -165,14 +235,20 @@ QueryResponse S2Server::Degrade(const QueryRequest& request,
 
 void S2Server::SyncResilienceMetrics() {
   std::lock_guard<std::mutex> lock(export_mu_);
-  if (const resilience::RetryingSequenceSource* rs = engine_.retry_source()) {
-    const uint64_t retries = rs->retry_count();
-    const uint64_t giveups = rs->giveup_count();
-    retry_attempts_->Increment(retries - exported_retries_);
-    retry_giveups_->Increment(giveups - exported_giveups_);
-    exported_retries_ = retries;
-    exported_giveups_ = giveups;
+  uint64_t retries = 0;
+  uint64_t giveups = 0;
+  if (is_sharded()) {
+    retries = sharded_->TotalRetryCount();
+    giveups = sharded_->TotalGiveupCount();
+  } else if (const resilience::RetryingSequenceSource* rs =
+                 engine_->retry_source()) {
+    retries = rs->retry_count();
+    giveups = rs->giveup_count();
   }
+  retry_attempts_->Increment(retries - exported_retries_);
+  retry_giveups_->Increment(giveups - exported_giveups_);
+  exported_retries_ = retries;
+  exported_giveups_ = giveups;
   const uint64_t trips = breaker_.trip_count();
   breaker_trips_->Increment(trips - exported_trips_);
   exported_trips_ = trips;
@@ -180,13 +256,22 @@ void S2Server::SyncResilienceMetrics() {
 
 Result<ts::SeriesId> S2Server::AddSeries(ts::TimeSeries series) {
   std::unique_lock<std::shared_mutex> lock(engine_mu_);
-  S2_ASSIGN_OR_RETURN(ts::SeriesId id, engine_.AddSeries(std::move(series)));
-  // Checked builds re-validate the whole engine while no reader can observe
-  // it (we still hold the writer lock).
-  S2_DCHECK_OK(engine_.ValidateInvariants());
+  ts::SeriesId id = ts::kInvalidSeriesId;
+  if (is_sharded()) {
+    // The sharded engine routes to its least-loaded shard itself.
+    S2_ASSIGN_OR_RETURN(id, sharded_->AddSeries(std::move(series)));
+    S2_DCHECK_OK(sharded_->ValidateInvariants());
+  } else {
+    S2_ASSIGN_OR_RETURN(id, engine_->AddSeries(std::move(series)));
+    // Checked builds re-validate the whole engine while no reader can
+    // observe it (we still hold the writer lock).
+    S2_DCHECK_OK(engine_->ValidateInvariants());
+  }
   // Invalidate while still holding the writer lock: a reader admitted after
-  // us must not see a stale answer re-inserted for the old corpus.
-  cache_.Invalidate();
+  // us must not see a stale answer re-inserted for the old corpus. Only the
+  // answers a new series can change are dropped — cached periods/bursts of
+  // existing series are untouched by an append and survive.
+  cache_.InvalidateCrossSeries();
   return id;
 }
 

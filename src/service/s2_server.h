@@ -2,6 +2,7 @@
 #define S2_SERVICE_S2_SERVER_H_
 
 #include <memory>
+#include <optional>
 #include <shared_mutex>
 #include <string>
 
@@ -11,6 +12,7 @@
 #include "service/metrics.h"
 #include "service/result_cache.h"
 #include "service/scheduler.h"
+#include "shard/sharded_engine.h"
 
 namespace s2::service {
 
@@ -20,10 +22,19 @@ namespace s2::service {
 /// interactive S2 tool would need at MSN-log scale.
 ///
 /// Concurrency model: query execution takes the engine lock in shared mode
-/// (the engine's const read paths are reentrant — see the contract in
-/// s2_engine.h); `AddSeries` takes it exclusively and invalidates the whole
-/// result cache before returning. Cache hits bypass the engine entirely:
-/// no lock, no VP-tree traversal, no sequence-store reads.
+/// (the engine's const read paths are reentrant — see the contracts in
+/// s2_engine.h and sharded_engine.h); `AddSeries` takes it exclusively and
+/// invalidates every cache entry a new series could change (similarity and
+/// query-by-burst; cached periods/bursts of existing series survive) before
+/// returning. Cache hits bypass the engine entirely: no lock, no VP-tree
+/// traversal, no sequence-store reads.
+///
+/// The server runs over either a single `core::S2Engine` or a
+/// `shard::ShardedEngine` (scatter-gather over N shards) — chosen at
+/// construction, invisible to callers: same verbs, same answers (the shard
+/// layer's equivalence tests prove bit-identical results), plus fan-out
+/// metrics (`server_shard_fanout`, `server_shard_latency`,
+/// `server_shard_prune_hits`) in sharded mode.
 ///
 /// ## Degradation ladder (DESIGN.md §6)
 ///
@@ -49,11 +60,27 @@ class S2Server {
     /// When false, step 2 of the ladder is disabled: infrastructure
     /// failures surface to the caller instead of degrading.
     bool degrade_on_failure = true;
+    /// Engine topology used by the corpus-building `Build` factory:
+    /// 1 = one engine over the whole corpus; N > 1 = N shards with
+    /// scatter-gather execution; 0 = one shard per hardware thread.
+    size_t shards = 1;
+    /// Forwarded to `shard::ShardedEngine::Options` when `shards != 1`.
+    std::vector<io::Env*> shard_envs;
   };
 
-  /// Takes ownership of a built engine.
+  /// Takes ownership of a built single engine.
   static std::unique_ptr<S2Server> Create(core::S2Engine engine,
                                           const Options& options);
+
+  /// Takes ownership of a built sharded engine.
+  static std::unique_ptr<S2Server> Create(shard::ShardedEngine engine,
+                                          const Options& options);
+
+  /// Builds the engine from a corpus, picking the topology from
+  /// `options.shards`, and wraps it in a server.
+  static Result<std::unique_ptr<S2Server>> Build(
+      ts::Corpus corpus, const core::S2Engine::Options& engine_options,
+      const Options& options);
 
   S2Server(const S2Server&) = delete;
   S2Server& operator=(const S2Server&) = delete;
@@ -78,7 +105,14 @@ class S2Server {
   /// Graceful shutdown: drains admitted requests, joins workers. Idempotent.
   void Shutdown() { scheduler_->Shutdown(); }
 
-  const core::S2Engine& engine() const { return engine_; }
+  /// True when the server runs scatter-gather over shards.
+  bool is_sharded() const { return sharded_.has_value(); }
+
+  /// The single engine; only valid when `!is_sharded()`.
+  const core::S2Engine& engine() const { return *engine_; }
+  /// The sharded engine; only valid when `is_sharded()`.
+  const shard::ShardedEngine& sharded() const { return *sharded_; }
+
   MetricsRegistry& metrics() { return metrics_; }
   ResultCache& cache() { return cache_; }
   const Scheduler& scheduler() const { return *scheduler_; }
@@ -88,7 +122,13 @@ class S2Server {
   std::string MetricsText() const { return metrics_.TextSnapshot(); }
 
  private:
-  S2Server(core::S2Engine engine, const Options& options);
+  S2Server(std::optional<core::S2Engine> engine,
+           std::optional<shard::ShardedEngine> sharded, const Options& options);
+
+  /// Runs the request against whichever engine is live; fills `response`.
+  /// Sharded execution also exports fan-out/latency/prune metrics. Caller
+  /// holds the shared lock.
+  void Dispatch(const QueryRequest& request, QueryResponse* response);
 
   /// Step 2 of the ladder: re-answers `request` via the exact RAM fallback.
   /// `primary` is the failed primary-path response (its status is kept when
@@ -99,7 +139,9 @@ class S2Server {
   /// metrics registry (counters are increment-only, so this exports deltas).
   void SyncResilienceMetrics();
 
-  core::S2Engine engine_;
+  // Exactly one of these is engaged, chosen at construction.
+  std::optional<core::S2Engine> engine_;
+  std::optional<shard::ShardedEngine> sharded_;
   Options options_;
   MetricsRegistry metrics_;
   ResultCache cache_;
@@ -108,6 +150,10 @@ class S2Server {
   Counter* engine_calls_ = nullptr;  ///< Executions that reached the engine.
   Counter* degraded_ = nullptr;      ///< Requests answered by the fallback.
   Counter* shed_ = nullptr;          ///< Requests rejected while open.
+  // Sharded-execution metrics (registered always, moved only when sharded).
+  Counter* shard_fanout_ = nullptr;      ///< Shard searches issued, total.
+  Counter* shard_prune_hits_ = nullptr;  ///< Cross-shard prune decisions.
+  LatencyHistogram* shard_latency_ = nullptr;  ///< Per-shard search time.
   Counter* retry_attempts_ = nullptr;
   Counter* retry_giveups_ = nullptr;
   Counter* breaker_trips_ = nullptr;

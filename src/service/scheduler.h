@@ -16,11 +16,15 @@
 #include "core/s2_engine.h"
 #include "index/knn.h"
 #include "period/period_detector.h"
+#include "exec/thread_pool.h"
 #include "service/metrics.h"
-#include "service/thread_pool.h"
 #include "timeseries/time_series.h"
 
 namespace s2::service {
+
+/// The serving layer's pool is the shared executor from s2::exec (also used
+/// by shard::ShardedEngine); the alias keeps existing service call sites.
+using ThreadPool = exec::ThreadPool;
 
 /// The request types the serving layer accepts — one per S2Engine read
 /// capability (paper Section 7.5: the S2 tool's period / similarity / burst

@@ -1,0 +1,188 @@
+#ifndef S2_SHARD_SHARDED_ENGINE_H_
+#define S2_SHARD_SHARDED_ENGINE_H_
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "core/s2_engine.h"
+#include "exec/thread_pool.h"
+#include "timeseries/time_series.h"
+
+namespace s2::shard {
+
+/// A corpus partitioned across N independent `core::S2Engine` shards with
+/// scatter-gather query execution — the horizontal-scaling layer the
+/// paper's production setting implies (50M+ distinct query strings do not
+/// fit one index build on one core).
+///
+/// ## Partitioning
+///
+/// Series are assigned round-robin by global id (`shard = id % N`), so every
+/// shard sees a statistically identical slice of the corpus and no shard
+/// becomes a hot spot for range-correlated workloads. Global ids are dense
+/// and stable; explicit bidirectional maps translate between global ids and
+/// per-shard local ids (round-robin arithmetic would suffice at build time,
+/// but `AddSeries` routes by load and would break it).
+///
+/// ## Scatter-gather with a shared pruning radius
+///
+/// Every similarity verb standardizes (or fetches) the query row ONCE, then
+/// searches all shards concurrently on the internal `exec::ThreadPool`. The
+/// searches share one `index::SharedRadius`: each shard publishes every
+/// upper bound it certifies on its own k-th distance and prunes against the
+/// tightest bound any shard has published (TSseek's shared-bound pattern).
+/// This is exact: a published radius is always witnessed by k real objects,
+/// so it upper-bounds the *global* k-th distance, and anything pruned
+/// beyond it cannot be a global top-k member. The gather phase merges the
+/// per-shard answers by `(distance, global id)` — because per-shard answers
+/// carry exact distances for every candidate that can still reach the
+/// global top-k, the merged prefix of length k IS the exact global answer,
+/// identical to a single engine over the whole corpus.
+///
+/// Periods and per-series bursts route to the owning shard alone;
+/// query-by-burst scatters over the per-shard burst tables and merges by
+/// `(bsim desc, global id asc)`, the burst table's own tie order.
+///
+/// ## Reentrancy contract
+///
+/// Same shape as `core::S2Engine`: all `const` verbs are safe to call
+/// concurrently from any number of threads (the scatter tasks only touch
+/// `const` engine state plus the shared atomic radius); `AddSeries` is a
+/// writer and must be externally serialized against all readers —
+/// `service::S2Server` holds its shared_mutex in write mode around it.
+class ShardedEngine {
+ public:
+  struct Options {
+    /// Number of shards; 0 = `std::thread::hardware_concurrency()`. Always
+    /// clamped to [1, corpus size].
+    size_t num_shards = 0;
+    /// Template for every per-shard engine. When `engine.disk_store_path`
+    /// is non-empty, shard i stores its slice at
+    /// `disk_store_path + ".shard" + i`.
+    core::S2Engine::Options engine;
+    /// Optional per-shard filesystem override (fault-injection tests: fault
+    /// one shard, leave the rest healthy). Shard i uses `shard_envs[i]`
+    /// when `i < shard_envs.size()`, else `engine.env`.
+    std::vector<io::Env*> shard_envs;
+    /// Worker threads for shard builds and query fan-out; 0 = one per
+    /// shard. The pool is owned by the engine and lives as long as it does.
+    size_t threads = 0;
+  };
+
+  /// Per-query fan-out instrumentation (the server exports these).
+  struct QueryStats {
+    /// Shards the query was sent to (1 for owner-routed verbs).
+    size_t fanout = 0;
+    /// Prune/skip decisions across all shards that only succeeded because
+    /// another shard's published radius was tighter than local state.
+    size_t shared_radius_prunes = 0;
+    /// Wall time of each shard's local search, index-aligned with shards.
+    std::vector<std::chrono::microseconds> shard_latencies;
+  };
+
+  /// Partitions `corpus` round-robin and builds all shard engines in
+  /// parallel on the internal pool. Fails if any shard build fails.
+  static Result<ShardedEngine> Build(ts::Corpus corpus, const Options& options);
+
+  ShardedEngine(ShardedEngine&&) noexcept = default;
+  ShardedEngine& operator=(ShardedEngine&&) noexcept = default;
+
+  // --- Catalog -------------------------------------------------------------
+
+  /// Resolves a name to its *global* id. Duplicate names resolve to the
+  /// smallest global id, matching the single-engine first-wins catalog.
+  Result<ts::SeriesId> FindByName(std::string_view name) const;
+
+  /// Ingests one more series into the least-loaded shard (smallest corpus,
+  /// ties to the lowest shard index — which reproduces round-robin when
+  /// starting from a round-robin layout). RAM-resident engines only.
+  /// Returns the new *global* id. Writer: serialize externally.
+  Result<ts::SeriesId> AddSeries(ts::TimeSeries series);
+
+  /// Total number of series across all shards.
+  size_t size() const { return placements_.size(); }
+
+  /// The raw series for a global id (owner shard's corpus row).
+  Result<const ts::TimeSeries*> Series(ts::SeriesId id) const;
+
+  // --- Similarity (global ids, exact, shard-count invisible) ---------------
+
+  Result<std::vector<index::Neighbor>> SimilarTo(ts::SeriesId id, size_t k,
+                                                 QueryStats* stats = nullptr) const;
+  Result<std::vector<index::Neighbor>> SimilarToSeries(
+      const std::vector<double>& raw_values, size_t k,
+      QueryStats* stats = nullptr) const;
+  Result<std::vector<index::Neighbor>> SimilarToDtw(
+      ts::SeriesId id, size_t k, QueryStats* stats = nullptr) const;
+
+  /// Degraded-path scans (exact, no index, no disk I/O), scatter-gathered
+  /// over the shards' RAM rows.
+  Result<std::vector<index::Neighbor>> SimilarToExact(ts::SeriesId id,
+                                                      size_t k) const;
+  Result<std::vector<index::Neighbor>> SimilarToSeriesExact(
+      const std::vector<double>& raw_values, size_t k) const;
+  Result<std::vector<index::Neighbor>> SimilarToDtwExact(ts::SeriesId id,
+                                                         size_t k) const;
+
+  // --- Periods & bursts ----------------------------------------------------
+
+  Result<std::vector<period::PeriodHit>> FindPeriods(ts::SeriesId id) const;
+  Result<std::vector<burst::BurstRegion>> BurstsOf(ts::SeriesId id,
+                                                   core::BurstHorizon horizon) const;
+  Result<std::vector<burst::BurstMatch>> QueryByBurst(
+      ts::SeriesId id, size_t k, core::BurstHorizon horizon,
+      QueryStats* stats = nullptr) const;
+  Result<std::vector<burst::BurstMatch>> QueryByBurstSeries(
+      const ts::TimeSeries& series, size_t k, core::BurstHorizon horizon,
+      QueryStats* stats = nullptr) const;
+
+  // --- Introspection -------------------------------------------------------
+
+  size_t num_shards() const { return shards_.size(); }
+  const core::S2Engine& shard(size_t i) const { return *shards_[i]; }
+
+  /// Which shard owns a global id, and under which local id.
+  struct Placement {
+    uint32_t shard = 0;
+    ts::SeriesId local = ts::kInvalidSeriesId;
+  };
+  Result<Placement> PlacementOf(ts::SeriesId id) const;
+
+  /// Global id of shard-local series (used when gathering shard answers).
+  ts::SeriesId GlobalId(size_t shard, ts::SeriesId local) const {
+    return local_to_global_[shard][local];
+  }
+
+  /// Summed disk-retry counters across shards (0 for RAM-resident).
+  uint64_t TotalRetryCount() const;
+  uint64_t TotalGiveupCount() const;
+
+  /// Every shard's own invariants, plus the placement maps: a bijection
+  /// between global ids and (shard, local) pairs covering every shard
+  /// corpus exactly.
+  Status ValidateInvariants() const;
+
+ private:
+  ShardedEngine() = default;
+
+  /// Runs `fn(shard_index)` for every shard — shard 0 inline on the calling
+  /// thread, the rest on the pool (inline fallback when the pool rejects) —
+  /// and waits for all. `fn` must be thread-safe and record its own result;
+  /// per-shard wall time lands in `stats->shard_latencies`.
+  void ScatterGather(const std::function<void(size_t)>& fn,
+                     QueryStats* stats) const;
+
+  std::vector<std::unique_ptr<core::S2Engine>> shards_;
+  std::unique_ptr<exec::ThreadPool> pool_;
+  std::vector<Placement> placements_;                    // global -> (shard, local)
+  std::vector<std::vector<ts::SeriesId>> local_to_global_;
+};
+
+}  // namespace s2::shard
+
+#endif  // S2_SHARD_SHARDED_ENGINE_H_

@@ -210,6 +210,121 @@ TEST(DegradedServerTest, CallerErrorProbeDoesNotWedgeTheBreaker) {
   EXPECT_EQ(CounterValue(*fx->server, "server_shed"), 0u);
 }
 
+// --- Sharded fault isolation -------------------------------------------------
+//
+// One shard's filesystem going bad must degrade the request through the same
+// server ladder — not fail the whole fan-out, and not mark the healthy
+// shards' work lost. The fixture builds a 4-shard disk-resident server where
+// shard 2 (and only shard 2) reads through a FaultInjectingEnv.
+
+struct ShardedFixture {
+  io::MemEnv healthy;
+  io::MemEnv faulty_base;
+  io::FaultInjectingEnv fault_env{&faulty_base, io::FaultPlan{}};
+  std::unique_ptr<S2Server> server;
+};
+
+std::unique_ptr<ShardedFixture> MakeShardedFixture(
+    resilience::CircuitBreaker::Options breaker = NeverTrips()) {
+  auto fx = std::make_unique<ShardedFixture>();
+  qlog::CorpusSpec spec;
+  spec.num_series = kNumSeries;
+  spec.n_days = 128;
+  spec.seed = 23;
+  auto corpus = qlog::GenerateCorpus(spec);
+  EXPECT_TRUE(corpus.ok());
+  core::S2Engine::Options options;
+  options.index.budget_c = 8;
+  options.disk_store_path = "store.bin";
+  options.env = &fx->healthy;
+  options.retry.max_attempts = 4;
+  options.retry.base_backoff = microseconds(1);
+  options.retry.max_backoff = microseconds(8);
+  S2Server::Options server_options;
+  server_options.scheduler.threads = 2;
+  server_options.cache_capacity = 0;
+  server_options.breaker = breaker;
+  server_options.shards = 4;
+  server_options.shard_envs = {&fx->healthy, &fx->healthy, &fx->fault_env,
+                               &fx->healthy};
+  auto server =
+      S2Server::Build(std::move(corpus).ValueOrDie(), options, server_options);
+  EXPECT_TRUE(server.ok()) << server.status().ToString();
+  fx->server = std::move(server).ValueOrDie();
+  return fx;
+}
+
+TEST(DegradedServerTest, OneFaultyShardDegradesInsteadOfFailingTheFanOut) {
+  auto fx = MakeShardedFixture();
+  ASSERT_TRUE(fx->server->is_sharded());
+  // Ground truth from the still-healthy disk (exact scan is RAM-only, but
+  // capture it before the faults for clarity).
+  auto expected = fx->server->sharded().SimilarToExact(0, 5);
+  ASSERT_TRUE(expected.ok());
+  io::FaultPlan plan;
+  plan.read_fault_rate = 1.0;  // Shard 2's every read fails; retries exhaust.
+  fx->fault_env.set_plan(plan);
+  for (ts::SeriesId id = 0; id < 8; ++id) {
+    QueryResponse response = fx->server->Execute(SimilarTo(id));
+    // The scatter hits all four shards; shard 2's failure must surface as a
+    // degraded-but-correct answer, exactly like the single-engine ladder.
+    ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+    EXPECT_TRUE(response.degraded);
+    EXPECT_FALSE(response.neighbors.empty());
+  }
+  QueryResponse response = fx->server->Execute(SimilarTo(0));
+  ASSERT_TRUE(response.status.ok());
+  ASSERT_EQ(response.neighbors.size(), expected->size());
+  for (size_t i = 0; i < expected->size(); ++i) {
+    EXPECT_EQ(response.neighbors[i].id, (*expected)[i].id);
+    EXPECT_DOUBLE_EQ(response.neighbors[i].distance, (*expected)[i].distance);
+  }
+  EXPECT_GE(CounterValue(*fx->server, "server_degraded"), 9u);
+  EXPECT_GE(CounterValue(*fx->server, "server_retry_giveups"), 1u);
+}
+
+TEST(DegradedServerTest, OwnerRoutedVerbsOnHealthyShardsIgnoreTheFaultyOne) {
+  auto fx = MakeShardedFixture();
+  io::FaultPlan plan;
+  plan.read_fault_rate = 1.0;
+  fx->fault_env.set_plan(plan);
+  // Periods and bursts route to the owner shard alone. For a series owned by
+  // a healthy shard they never touch shard 2's disk (they run on RAM
+  // structures anyway) and must succeed undegraded.
+  QueryRequest request;
+  request.kind = RequestKind::kPeriodsOf;
+  request.id = 0;  // Round-robin: shard 0.
+  QueryResponse response = fx->server->Execute(request);
+  EXPECT_TRUE(response.status.ok()) << response.status.ToString();
+  EXPECT_FALSE(response.degraded);
+  request.kind = RequestKind::kBurstsOf;
+  response = fx->server->Execute(request);
+  EXPECT_TRUE(response.status.ok());
+  EXPECT_FALSE(response.degraded);
+}
+
+TEST(DegradedServerTest, ShardedSustainedFailureStillTripsTheBreaker) {
+  resilience::CircuitBreaker::Options breaker;
+  breaker.failure_threshold = 3;
+  breaker.cooldown = milliseconds(60'000);
+  auto fx = MakeShardedFixture(breaker);
+  io::FaultPlan plan;
+  plan.read_fault_rate = 1.0;
+  fx->fault_env.set_plan(plan);
+  for (ts::SeriesId id = 0; id < 3; ++id) {
+    QueryResponse response = fx->server->Execute(SimilarTo(id));
+    ASSERT_TRUE(response.status.ok());
+    EXPECT_TRUE(response.degraded);
+  }
+  // Rung 3 is topology-independent: the persistent one-shard failure counts
+  // as primary-path failure and trips the same breaker.
+  EXPECT_EQ(fx->server->breaker().state(),
+            resilience::CircuitBreaker::State::kOpen);
+  QueryResponse shed = fx->server->Execute(SimilarTo(4));
+  EXPECT_EQ(shed.status.code(), StatusCode::kUnavailable);
+  EXPECT_GE(CounterValue(*fx->server, "server_shed"), 1u);
+}
+
 TEST(DegradedServerTest, MetricsSnapshotNamesTheResilienceCounters) {
   auto fx = MakeFixture(NeverTrips());
   const std::string text = fx->server->MetricsText();

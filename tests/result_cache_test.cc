@@ -87,6 +87,27 @@ TEST(ResultCacheTest, InvalidateEmptiesCache) {
   EXPECT_EQ(metrics.counter("cache_invalidations")->value(), 1u);
 }
 
+TEST(ResultCacheTest, InvalidateCrossSeriesKeepsPerSeriesEntries) {
+  ResultCache cache(8);
+  // One entry of every kind a request can cache.
+  cache.Insert(Key(1, 5, RequestKind::kSimilarTo), NeighborResponse(9));
+  cache.Insert(Key(1, 5, RequestKind::kSimilarToDtw), NeighborResponse(9));
+  cache.Insert(Key(1, 5, RequestKind::kQueryByBurst), NeighborResponse(9));
+  cache.Insert(Key(1, 5, RequestKind::kPeriodsOf), NeighborResponse(9));
+  cache.Insert(Key(1, 5, RequestKind::kBurstsOf), NeighborResponse(9));
+  ASSERT_EQ(cache.size(), 5u);
+
+  // An AddSeries can put the new series into any top-k or burst ranking, but
+  // cannot change the periods or bursts *of* an existing series.
+  cache.InvalidateCrossSeries();
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_FALSE(cache.Lookup(Key(1, 5, RequestKind::kSimilarTo)).has_value());
+  EXPECT_FALSE(cache.Lookup(Key(1, 5, RequestKind::kSimilarToDtw)).has_value());
+  EXPECT_FALSE(cache.Lookup(Key(1, 5, RequestKind::kQueryByBurst)).has_value());
+  EXPECT_TRUE(cache.Lookup(Key(1, 5, RequestKind::kPeriodsOf)).has_value());
+  EXPECT_TRUE(cache.Lookup(Key(1, 5, RequestKind::kBurstsOf)).has_value());
+}
+
 TEST(ResultCacheTest, ZeroCapacityDisablesCaching) {
   ResultCache cache(0);
   cache.Insert(Key(1), NeighborResponse(1));

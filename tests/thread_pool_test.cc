@@ -1,14 +1,21 @@
-#include "service/thread_pool.h"
+// Pins the exec::ThreadPool contract (see the header): Submit/Shutdown
+// stop-drain ordering, submissions racing (and issued during) the drain,
+// concurrent Shutdown callers, and exception containment. The sharded
+// engine's parallel build and scatter-gather fan-out lean on exactly these
+// guarantees, so they are regression-tested rather than implied.
+
+#include "exec/thread_pool.h"
 
 #include <atomic>
 #include <chrono>
 #include <future>
 #include <set>
+#include <stdexcept>
 #include <thread>
 
 #include <gtest/gtest.h>
 
-namespace s2::service {
+namespace s2::exec {
 namespace {
 
 TEST(ThreadPoolTest, RunsEverySubmittedTask) {
@@ -80,5 +87,88 @@ TEST(ThreadPoolTest, DestructorJoinsWithoutExplicitShutdown) {
   EXPECT_EQ(ran.load(), 10);
 }
 
+// Contract rule 1: a Submit issued while Shutdown is draining (here: from
+// another thread, while a worker still holds an in-flight task) is rejected
+// and its task never runs.
+TEST(ThreadPoolTest, SubmitDuringShutdownDrainIsRejected) {
+  ThreadPool pool(1);
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  std::atomic<int> accepted_ran{0};
+  std::atomic<bool> rejected_ran{false};
+  // Occupy the only worker so Shutdown blocks in its join loop.
+  ASSERT_TRUE(pool.Submit([gate] { gate.wait(); }));
+  std::thread closer([&pool] { pool.Shutdown(); });
+  // Race Submits against Shutdown's flag: everything accepted before the
+  // flag landed must drain (graceful shutdown); and once one Submit is
+  // rejected, rejection is permanent.
+  int accepted = 0;
+  while (pool.Submit([&accepted_ran] { accepted_ran.fetch_add(1); })) {
+    ++accepted;
+    std::this_thread::yield();  // Shutdown has not set the flag yet.
+  }
+  EXPECT_FALSE(pool.Submit([&rejected_ran] { rejected_ran.store(true); }));
+  release.set_value();
+  closer.join();
+  EXPECT_EQ(accepted_ran.load(), accepted);
+  EXPECT_FALSE(rejected_ran.load());
+}
+
+// Contract rule 1, reentrant flavour: a task that tries to respawn itself
+// during the drain gets a clean false instead of extending the queue
+// forever (which would make Shutdown unbounded).
+TEST(ThreadPoolTest, TasksCannotRespawnDuringDrain) {
+  ThreadPool pool(1);
+  std::atomic<int> spawned{0};
+  std::atomic<int> rejected{0};
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  std::function<void()> respawn = [&] {
+    gate.wait();
+    if (pool.Submit(respawn)) {
+      spawned.fetch_add(1);
+    } else {
+      rejected.fetch_add(1);
+    }
+  };
+  ASSERT_TRUE(pool.Submit(respawn));
+  std::thread closer([&pool] { pool.Shutdown(); });
+  // Give Shutdown time to set the stopping flag, then let the task run.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  release.set_value();
+  closer.join();
+  EXPECT_EQ(spawned.load(), 0);
+  EXPECT_EQ(rejected.load(), 1);
+}
+
+// Contract rule 2: Shutdown racing Shutdown — both return, workers join
+// exactly once, every task admitted beforehand still runs.
+TEST(ThreadPoolTest, ConcurrentShutdownIsSafeAndDrains) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(pool.Submit([&ran] { ran.fetch_add(1); }));
+  }
+  std::thread a([&pool] { pool.Shutdown(); });
+  std::thread b([&pool] { pool.Shutdown(); });
+  a.join();
+  b.join();
+  pool.Shutdown();  // Idempotent third call from the original thread.
+  EXPECT_EQ(ran.load(), 50);
+}
+
+// Contract rule 3: a throwing task is contained and counted; the worker
+// survives and keeps executing subsequent tasks.
+TEST(ThreadPoolTest, ExceptionsAreContainedAndCounted) {
+  ThreadPool pool(1);
+  std::atomic<int> ran{0};
+  ASSERT_TRUE(pool.Submit([] { throw std::runtime_error("task bug"); }));
+  ASSERT_TRUE(pool.Submit([] { throw 42; }));  // Non-std exceptions too.
+  ASSERT_TRUE(pool.Submit([&ran] { ran.fetch_add(1); }));
+  pool.Shutdown();
+  EXPECT_EQ(ran.load(), 1);
+  EXPECT_EQ(pool.tasks_aborted(), 2u);
+}
+
 }  // namespace
-}  // namespace s2::service
+}  // namespace s2::exec

@@ -9,12 +9,19 @@
 #
 # Usage: tools/verify_all.sh [jobs]
 #        tools/verify_all.sh faults [jobs]
+#        tools/verify_all.sh sharding [jobs]
 #
 # The `faults` profile is a focused resilience gate: it builds under
 # AddressSanitizer and runs only the fault-injection / crash-safety tests
 # (ctest label `resilience`, see tests/CMakeLists.txt) plus one pass of
 # bench_faults — much faster than the full matrix, intended for iterating
 # on the s2::io / s2::resilience layers.
+#
+# The `sharding` profile is the scatter-gather gate: it builds under
+# ThreadSanitizer and runs the shard equivalence / stress / golden tests
+# (ctest label `sharding`) plus the thread-pool contract tests and one short
+# bench_shard pass — TSan over exactly the code that shares a pruning radius
+# across threads.
 set -u
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -34,6 +41,27 @@ if [ "${1:-}" = "faults" ]; then
   "${build_dir}/bench/bench_faults" --series 128 --days 128 --requests 120 \
     || { echo "FAIL [faults]: bench_faults" >&2; exit 1; }
   echo "verify_all.sh: faults profile green."
+  exit 0
+fi
+
+if [ "${1:-}" = "sharding" ]; then
+  jobs="${2:-$(nproc 2> /dev/null || echo 4)}"
+  build_dir="${repo_root}/build-verify-sharding"
+  echo "==== [sharding] TSan build + sharding-labelled tests + bench_shard ===="
+  cmake -S "${repo_root}" -B "${build_dir}" \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DS2_SANITIZE=thread > "${build_dir}.configure.log" 2>&1 \
+    || { echo "FAIL [sharding]: configure (see ${build_dir}.configure.log)" >&2; exit 1; }
+  cmake --build "${build_dir}" -j "${jobs}" > "${build_dir}.build.log" 2>&1 \
+    || { echo "FAIL [sharding]: build (see ${build_dir}.build.log)" >&2; exit 1; }
+  ctest --test-dir "${build_dir}" -L sharding --output-on-failure -j "${jobs}" \
+    || { echo "FAIL [sharding]: sharding tests" >&2; exit 1; }
+  "${build_dir}/tests/thread_pool_test" > /dev/null \
+    || { echo "FAIL [sharding]: thread_pool_test" >&2; exit 1; }
+  "${build_dir}/bench/bench_shard" --series 256 --days 128 --requests 40 \
+    --shards-max 4 \
+    || { echo "FAIL [sharding]: bench_shard" >&2; exit 1; }
+  echo "verify_all.sh: sharding profile green."
   exit 0
 fi
 
