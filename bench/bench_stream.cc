@@ -1,0 +1,235 @@
+// Streaming-ingestion benchmark: sustained append throughput and the cost
+// a non-empty delta tier adds to queries.
+//
+//   ./build/bench/bench_stream [--series 1024] [--days 256] [--appends 2000]
+//                              [--requests 200] [--k 10] [--delta 64]
+//
+// Two tables:
+//  1. Appends/s across the four maintenance configurations — exact
+//     per-append recompute vs the O(k) incremental path (sliding DFT +
+//     online burst detector), each with and without a WAL (MemEnv-backed,
+//     sync-every-append). The WAL column prices durability; the incremental
+//     column prices the exact/approximate trade documented in DESIGN.md.
+//  2. Query latency with the delta tier holding `--delta` fresh series vs
+//     the same engine right after compaction. The acceptance bar from the
+//     streaming work is a delta/compacted ratio <= 2.0 for every verb; the
+//     table prints that ratio explicitly.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "core/s2_engine.h"
+#include "io/mem_env.h"
+#include "querylog/corpus_generator.h"
+#include "service/s2_server.h"
+
+using namespace s2;
+
+namespace {
+
+ts::Corpus MakeCorpus(size_t series, size_t days) {
+  qlog::CorpusSpec spec;
+  spec.num_series = series;
+  spec.n_days = days;
+  spec.seed = 20040613;  // SIGMOD'04.
+  auto corpus = qlog::GenerateCorpus(spec);
+  if (!corpus.ok()) {
+    std::fprintf(stderr, "corpus generation failed: %s\n",
+                 corpus.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(corpus).ValueOrDie();
+}
+
+struct AppendRow {
+  const char* config = "";
+  double appends_per_s = 0.0;
+  double avg_us = 0.0;
+  uint64_t compactions = 0;
+};
+
+AppendRow RunAppends(const char* config, size_t series, size_t days,
+                     size_t appends, bool incremental, bool wal) {
+  core::S2Engine::Options engine_options;
+  engine_options.index.budget_c = 16;
+  engine_options.stream.incremental_maintenance = incremental;
+
+  io::MemEnv wal_env;
+  service::S2Server::Options server_options;
+  server_options.scheduler.threads = 1;
+  server_options.cache_capacity = 0;
+  // Compact in the foreground every 256 appends so the delta stays bounded
+  // and its compaction cost lands inside the measured interval — this is
+  // the sustained rate, not the burst rate into an ever-growing delta.
+  server_options.compaction_threshold = 0;
+  if (wal) {
+    server_options.wal_path = "bench.wal";
+    server_options.wal_env = &wal_env;
+  }
+  auto server = service::S2Server::Build(MakeCorpus(series, days),
+                                         engine_options, server_options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "server build failed: %s\n",
+                 server.status().ToString().c_str());
+    std::exit(1);
+  }
+
+  Rng rng(13);
+  AppendRow row;
+  row.config = config;
+  bench::Timer timer;
+  for (size_t i = 0; i < appends; ++i) {
+    const auto id = static_cast<ts::SeriesId>(i % series);
+    const Status status = (*server)->AppendPoint(id, rng.Uniform(0.0, 40.0));
+    if (!status.ok()) {
+      std::fprintf(stderr, "append failed: %s\n", status.ToString().c_str());
+      std::exit(1);
+    }
+    if ((i + 1) % 256 == 0) {
+      const Status compacted = (*server)->Compact();
+      if (!compacted.ok()) {
+        std::fprintf(stderr, "compact failed: %s\n",
+                     compacted.ToString().c_str());
+        std::exit(1);
+      }
+    }
+  }
+  const double elapsed = timer.Seconds();
+  row.appends_per_s =
+      elapsed > 0 ? static_cast<double>(appends) / elapsed : 0.0;
+  row.avg_us = elapsed * 1e6 / static_cast<double>(appends);
+  row.compactions = (*server)->stream_info().compaction_count;
+  return row;
+}
+
+struct LatencyRow {
+  const char* verb = "";
+  double delta_us = 0.0;
+  double compacted_us = 0.0;
+  double ratio() const {
+    return compacted_us > 0 ? delta_us / compacted_us : 0.0;
+  }
+};
+
+double MeasureVerb(const core::S2Engine& engine, service::RequestKind kind,
+                   size_t requests, size_t k, size_t series) {
+  Rng rng(29);
+  bench::Timer timer;
+  for (size_t i = 0; i < requests; ++i) {
+    const auto id = static_cast<ts::SeriesId>(
+        rng.Uniform(0.0, static_cast<double>(series)));
+    Status status = Status::OK();
+    switch (kind) {
+      case service::RequestKind::kSimilarTo:
+        status = engine.SimilarTo(id, k).status();
+        break;
+      case service::RequestKind::kSimilarToDtw:
+        status = engine.SimilarToDtw(id, k).status();
+        break;
+      default:
+        status = engine.QueryByBurst(id, k, core::BurstHorizon::kLongTerm)
+                     .status();
+        break;
+    }
+    if (!status.ok()) {
+      std::fprintf(stderr, "query failed: %s\n", status.ToString().c_str());
+      std::exit(1);
+    }
+  }
+  return timer.Seconds() * 1e6 / static_cast<double>(requests);
+}
+
+std::vector<LatencyRow> RunDeltaVsCompacted(size_t series, size_t days,
+                                            size_t requests, size_t k,
+                                            size_t delta) {
+  core::S2Engine::Options options;
+  options.index.budget_c = 16;
+  auto engine = core::S2Engine::Build(MakeCorpus(series, days), options);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "engine build failed: %s\n",
+                 engine.status().ToString().c_str());
+    std::exit(1);
+  }
+  // Slide `delta` distinct series so the delta tier holds that many entries.
+  Rng rng(31);
+  for (size_t i = 0; i < delta; ++i) {
+    const auto id = static_cast<ts::SeriesId>((i * 7) % series);
+    const Status status = engine->AppendPoint(id, rng.Uniform(0.0, 40.0));
+    if (!status.ok()) {
+      std::fprintf(stderr, "append failed: %s\n", status.ToString().c_str());
+      std::exit(1);
+    }
+  }
+
+  const service::RequestKind kinds[] = {service::RequestKind::kSimilarTo,
+                                        service::RequestKind::kSimilarToDtw,
+                                        service::RequestKind::kQueryByBurst};
+  const char* names[] = {"SimilarTo", "SimilarToDtw", "QueryByBurst"};
+  std::vector<LatencyRow> rows(3);
+  for (size_t i = 0; i < 3; ++i) {
+    rows[i].verb = names[i];
+    rows[i].delta_us = MeasureVerb(*engine, kinds[i], requests, k, series);
+  }
+  const Status compacted = engine->Compact();
+  if (!compacted.ok()) {
+    std::fprintf(stderr, "compact failed: %s\n", compacted.ToString().c_str());
+    std::exit(1);
+  }
+  for (size_t i = 0; i < 3; ++i) {
+    rows[i].compacted_us = MeasureVerb(*engine, kinds[i], requests, k, series);
+  }
+  return rows;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const size_t series = bench::ArgSize(argc, argv, "--series", 1024);
+  const size_t days = bench::ArgSize(argc, argv, "--days", 256);
+  const size_t appends = bench::ArgSize(argc, argv, "--appends", 2000);
+  const size_t requests = bench::ArgSize(argc, argv, "--requests", 200);
+  const size_t k = bench::ArgSize(argc, argv, "--k", 10);
+  const size_t delta = bench::ArgSize(argc, argv, "--delta", 64);
+
+  std::printf("bench_stream: series=%zu days=%zu appends=%zu requests=%zu "
+              "k=%zu delta=%zu\n",
+              series, days, appends, requests, k, delta);
+
+  bench::PrintHeader("Sustained append throughput (compact every 256)");
+  std::printf("  %-24s %12s %10s %12s\n", "config", "appends/s", "avg_us",
+              "compactions");
+  const struct {
+    const char* name;
+    bool incremental;
+    bool wal;
+  } configs[] = {
+      {"exact", false, false},
+      {"exact+wal", false, true},
+      {"incremental", true, false},
+      {"incremental+wal", true, true},
+  };
+  for (const auto& config : configs) {
+    const AppendRow row = RunAppends(config.name, series, days, appends,
+                                     config.incremental, config.wal);
+    std::printf("  %-24s %12.1f %10.1f %12llu\n", row.config,
+                row.appends_per_s, row.avg_us,
+                static_cast<unsigned long long>(row.compactions));
+  }
+
+  bench::PrintHeader("Query latency: delta tier populated vs compacted");
+  std::printf("  %-16s %12s %14s %10s\n", "verb", "delta_us", "compacted_us",
+              "ratio");
+  bool within_bar = true;
+  for (const LatencyRow& row :
+       RunDeltaVsCompacted(series, days, requests, k, delta)) {
+    std::printf("  %-16s %12.1f %14.1f %9.2fx\n", row.verb, row.delta_us,
+                row.compacted_us, row.ratio());
+    within_bar = within_bar && row.ratio() <= 2.0;
+  }
+  std::printf("\n  acceptance bar (every verb within 2.0x of compacted): %s\n",
+              within_bar ? "PASS" : "FAIL");
+  return 0;
+}

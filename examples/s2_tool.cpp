@@ -20,6 +20,10 @@
 //   bursts <name> [long|short]
 //   qbb <name> [k]         - query-by-burst
 //   reconstruct <name> [c] - best-k reconstruction quality
+//   append <name> <value>  - stream one more day into a series
+//   compact                - merge the delta tier into the main index
+//   stream                 - streaming-state snapshot (delta size, counters)
+//   replay                 - WAL replay stats from startup
 //   demo                   - run a scripted tour
 //   quit
 //
@@ -31,6 +35,11 @@
 // --shards N (implies server mode) partitions the corpus across N engine
 // shards answered by scatter-gather — same answers, and `metrics` shows the
 // fan-out instrumentation (server_shard_fanout/prune_hits/latency).
+//
+// --wal PATH arms the write-ahead log: every `append` is durably logged
+// before it is applied, and restarting with the same PATH (and the same
+// synthetic corpus) replays the log so no acknowledged append is lost —
+// `replay` shows what came back.
 
 #include <cctype>
 #include <chrono>
@@ -135,6 +144,21 @@ class Tool {
     } else if (command == "reconstruct") {
       auto [name, c] = NameAndCount(in, 16);
       Reconstruct(name, c);
+    } else if (command == "append") {
+      Append(Rest(in));
+    } else if (command == "compact") {
+      const Status status = server_->Compact();
+      if (!status.ok()) {
+        std::printf("  %s\n", status.ToString().c_str());
+      } else {
+        std::printf("  delta tier merged (%llu compactions total)\n",
+                    static_cast<unsigned long long>(
+                        server_->stream_info().compaction_count));
+      }
+    } else if (command == "stream") {
+      StreamState();
+    } else if (command == "replay") {
+      ReplayStats();
     } else if (command == "demo") {
       Demo();
     } else if (serving_ && command == "metrics") {
@@ -181,6 +205,7 @@ class Tool {
     std::printf(
         "  list [prefix] | show <name> | similar <name> [k] | periods <name>\n"
         "  bursts <name> [long|short] | qbb <name> [k] | reconstruct <name> [c]\n"
+        "  append <name> <value> | compact | stream | replay\n"
         "  demo | quit\n");
     if (serving_) {
       std::printf("  load <n> [k] | metrics     (server mode)\n");
@@ -396,6 +421,59 @@ class Tool {
                 100.0 * compressed->error() / spectrum->Energy());
   }
 
+  // "append <multi word name> <value>" — the trailing token is the value.
+  void Append(const std::string& rest) {
+    const size_t space = rest.find_last_of(' ');
+    if (space == std::string::npos) {
+      std::printf("  usage: append <name> <value>\n");
+      return;
+    }
+    const std::string tail = rest.substr(space + 1);
+    char* end = nullptr;
+    const double value = std::strtod(tail.c_str(), &end);
+    if (end == tail.c_str() || *end != '\0') {
+      std::printf("  usage: append <name> <value>\n");
+      return;
+    }
+    const std::string name = rest.substr(0, space);
+    auto id = FindId(name);
+    if (!id.ok()) {
+      std::printf("  %s\n", id.status().ToString().c_str());
+      return;
+    }
+    const Status status = server_->AppendPoint(*id, value);
+    if (!status.ok()) {
+      std::printf("  %s\n", status.ToString().c_str());
+      return;
+    }
+    const auto info = server_->stream_info();
+    std::printf("  appended %.2f to '%s'  (delta tier: %zu series%s)\n", value,
+                name.c_str(), info.delta_size,
+                info.wal_enabled ? ", logged" : "");
+  }
+
+  void StreamState() {
+    const auto info = server_->stream_info();
+    std::printf("  wal          %s\n", info.wal_enabled ? "on" : "off");
+    std::printf("  delta size   %zu series\n", info.delta_size);
+    std::printf("  appends      %llu\n",
+                static_cast<unsigned long long>(info.append_count));
+    std::printf("  compactions  %llu\n",
+                static_cast<unsigned long long>(info.compaction_count));
+  }
+
+  void ReplayStats() {
+    const auto info = server_->stream_info();
+    if (!info.wal_enabled) {
+      std::printf("  no WAL (start with --wal PATH)\n");
+      return;
+    }
+    std::printf("  replayed %zu records (%llu torn tail bytes dropped) in %lld us\n",
+                info.replayed_records,
+                static_cast<unsigned long long>(info.replay_dropped_bytes),
+                static_cast<long long>(info.replay_time.count()));
+  }
+
   void Demo() {
     std::printf("--- show cinema\n");
     Show("cinema");
@@ -450,6 +528,7 @@ class Tool {
 int main(int argc, char** argv) {
   size_t serve_threads = 0;
   size_t shards = 1;
+  std::string wal_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--serve") == 0) {
       serve_threads = 4;
@@ -459,6 +538,8 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
       shards = std::strtoul(argv[i + 1], nullptr, 10);
       if (shards == 0) shards = 1;
+    } else if (std::strcmp(argv[i], "--wal") == 0 && i + 1 < argc) {
+      wal_path = argv[++i];
     }
   }
   // Sharded execution dispatches through the server; force serve mode.
@@ -491,6 +572,7 @@ int main(int argc, char** argv) {
   server_options.scheduler.threads = serve_threads > 0 ? serve_threads : 1;
   server_options.cache_capacity = serve_threads > 0 ? 1024 : 0;
   server_options.shards = shards;
+  server_options.wal_path = wal_path;
   auto server =
       service::S2Server::Build(std::move(corpus), options, server_options);
   if (!server.ok()) {
@@ -514,6 +596,11 @@ int main(int argc, char** argv) {
     std::printf("Server mode: %zu worker threads, result cache on", serve_threads);
     if (shards > 1) std::printf(", %zu shards", shards);
     std::printf(".\n");
+  }
+  if (!wal_path.empty()) {
+    const auto info = (*server)->stream_info();
+    std::printf("WAL at %s: replayed %zu records.\n", wal_path.c_str(),
+                info.replayed_records);
   }
   Tool tool(std::move(server).ValueOrDie(), serve_threads > 0);
   tool.Run();

@@ -23,6 +23,20 @@ void BurstTable::Insert(ts::SeriesId series_id,
   }
 }
 
+size_t BurstTable::EraseSeries(ts::SeriesId series_id) {
+  const auto first = std::remove_if(
+      records_.begin(), records_.end(),
+      [series_id](const BurstRecord& r) { return r.series_id == series_id; });
+  const size_t erased = static_cast<size_t>(records_.end() - first);
+  if (erased == 0) return 0;
+  records_.erase(first, records_.end());
+  start_index_ = storage::BPlusTree<int32_t, uint32_t>();
+  for (size_t i = 0; i < records_.size(); ++i) {
+    start_index_.Insert(records_[i].start, static_cast<uint32_t>(i));
+  }
+  return erased;
+}
+
 std::vector<BurstRecord> BurstTable::FindOverlappingCounted(
     const BurstRegion& query, size_t* scanned) const {
   // Index scan: startDate <= query.end; residual filter: endDate >= query.start.

@@ -64,6 +64,13 @@ class BurstTable {
   void Insert(ts::SeriesId series_id, const std::vector<BurstRegion>& regions,
               int32_t offset);
 
+  /// Drops every record of one sequence (the streaming append path replaces
+  /// a series' bursts after its window slides). Returns the number of
+  /// records removed. Rebuilds the start-date index: its values are heap
+  /// indices, which shift when records are compacted out. Not thread-safe
+  /// against concurrent queries (single-owner operation, like Insert).
+  size_t EraseSeries(ts::SeriesId series_id);
+
   /// All records overlapping `[query.start, query.end]`, via the start-date
   /// index.
   std::vector<BurstRecord> FindOverlapping(const BurstRegion& query) const;

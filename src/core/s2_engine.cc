@@ -67,6 +67,7 @@ Result<S2Engine> S2Engine::Build(ts::Corpus corpus, const Options& options) {
                                                            options.env));
     // Disk reads can fail transiently (EINTR, injected faults); wrap them in
     // the retry decorator so one blip does not abort a whole query.
+    engine.disk_source_ = source.get();
     auto retrying = std::make_unique<resilience::RetryingSequenceSource>(
         std::move(source), options.retry);
     engine.retry_source_ = retrying.get();
@@ -91,6 +92,7 @@ Result<S2Engine> S2Engine::Build(ts::Corpus corpus, const Options& options) {
 
 Status S2Engine::ValidateInvariants() const {
   S2_RETURN_NOT_OK(index_->Validate());
+  if (delta_ != nullptr) S2_RETURN_NOT_OK(delta_->Validate());
   S2_RETURN_NOT_OK(long_bursts_.Validate());
   S2_RETURN_NOT_OK(short_bursts_.Validate());
 
@@ -98,9 +100,13 @@ Status S2Engine::ValidateInvariants() const {
   v.Check(corpus_.size() == standardized_.size())
       << "corpus holds " << corpus_.size() << " series but "
       << standardized_.size() << " standardized rows exist";
-  v.Check(index_->size() == corpus_.size())
-      << "index holds " << index_->size() << " objects for a corpus of "
-      << corpus_.size();
+  // Every series lives in exactly one index tier; the tiers partition the
+  // corpus (delta membership disjointness is enforced by AppendPoint, which
+  // removes from one tier before inserting into the other).
+  const size_t in_delta = delta_ == nullptr ? 0 : delta_->size();
+  v.Check(index_->size() + in_delta == corpus_.size())
+      << "index tiers hold " << index_->size() << " main + " << in_delta
+      << " delta objects for a corpus of " << corpus_.size();
   const size_t length = standardized_.empty() ? 0 : standardized_.front().size();
   for (size_t id = 0; id < standardized_.size(); ++id) {
     v.Check(standardized_[id].size() == length)
@@ -161,12 +167,199 @@ Result<ts::SeriesId> S2Engine::AddSeries(ts::TimeSeries series) {
   return id;
 }
 
+Status S2Engine::AppendPoint(ts::SeriesId id, double value) {
+  if (id >= corpus_.size()) return Status::NotFound("S2Engine: bad series id");
+  if (!std::isfinite(value)) {
+    return Status::InvalidArgument("S2Engine::AppendPoint: value must be finite");
+  }
+  ts::TimeSeries& series = corpus_.at(id);
+
+  // Stage the slid window; nothing is mutated until the fallible steps pass.
+  const double dropped = series.values.front();
+  std::vector<double> values(series.values.begin() + 1, series.values.end());
+  values.push_back(value);
+  std::vector<double> z = dsp::Standardize(values);
+  // Pinned for tombstone routing: the row the series is currently indexed
+  // under, which the store is about to forget.
+  const std::vector<double> old_z = standardized_[id];
+
+  // 1. Stored row first — the index mutations below route against it.
+  if (mem_source_ != nullptr) {
+    S2_RETURN_NOT_OK(mem_source_->Update(id, z));
+  } else {
+    S2_RETURN_NOT_OK(disk_source_->UpdateRecord(id, z));
+  }
+
+  // 2. Move the series into the delta tier under its new row. The old
+  // entry must leave its tier entirely: a tombstoned vantage with a stale
+  // compressed repr routes but never advertises bounds, so it can never
+  // tighten a pruning radius against the data it no longer describes.
+  if (delta_ == nullptr) {
+    S2_ASSIGN_OR_RETURN(stream::DeltaIndex created,
+                        stream::DeltaIndex::Create(
+                            options_.index, static_cast<uint32_t>(z.size())));
+    delta_ = std::make_unique<stream::DeltaIndex>(std::move(created));
+  }
+  if (delta_->Contains(id)) {
+    S2_RETURN_NOT_OK(delta_->Remove(id, &old_z));
+  } else {
+    S2_RETURN_NOT_OK(index_->Remove(id, &old_z));
+  }
+  const Status inserted = delta_->Insert(id, z, source_.get());
+  if (!inserted.ok()) {
+    // A routing read failed (disk engines under persistent faults). Roll the
+    // series back to its pre-append state: revert the stored row, re-index
+    // the old row in the delta. If even that fails the series stays
+    // unindexed — degraded but never wrong — until WAL replay rebuilds.
+    Status rollback = mem_source_ != nullptr
+                          ? mem_source_->Update(id, old_z)
+                          : disk_source_->UpdateRecord(id, old_z);
+    if (rollback.ok()) rollback = delta_->Insert(id, old_z, source_.get());
+    (void)rollback;
+    return inserted;
+  }
+
+  // 3. Commit the window; every fallible index step is behind us.
+  series.values = std::move(values);
+  series.start_day += 1;
+  standardized_[id] = std::move(z);
+
+  // 4. Derived state: DTW feature and burst rows of both horizons.
+  S2_RETURN_NOT_OK(RefreshDerivedState(id, dropped, value));
+
+  ++appends_;
+  S2_DCHECK_OK(ValidateInvariants());
+  return Status::OK();
+}
+
+Status S2Engine::RefreshDerivedState(ts::SeriesId id, double x_old,
+                                     double x_new) {
+  const ts::TimeSeries& series = corpus_.at(id);
+  const std::vector<double>& z = standardized_[id];
+
+  bool feature_done = false;
+  bool bursts_done = false;
+  if (options_.stream.incremental_maintenance) {
+    auto it = incremental_.find(id);
+    if (it == incremental_.end()) {
+      // First append of this series: anchor the accumulators with one exact
+      // pass (FFT for the tracked positions, full scans for the burst MA).
+      // Creation can be infeasible for degenerate geometries (e.g. windows
+      // so short that every bin is retained); those series simply stay on
+      // the exact path below.
+      auto spectrum = repr::HalfSpectrum::FromSeries(z);
+      if (spectrum.ok()) {
+        auto feature = repr::CompressedSpectrum::Compress(
+            *spectrum, repr::ReprKind::kBestKError, options_.index.budget_c);
+        if (feature.ok()) {
+          auto sliding =
+              stream::SlidingSpectrum::Create(series.values, feature->positions());
+          auto long_stream = stream::BurstStream::Create(long_detector_.options(),
+                                                         series.values);
+          auto short_stream = stream::BurstStream::Create(
+              short_detector_.options(), series.values);
+          if (sliding.ok() && long_stream.ok() && short_stream.ok()) {
+            it = incremental_
+                     .emplace(id, IncrementalState{std::move(*sliding),
+                                                   std::move(*long_stream),
+                                                   std::move(*short_stream)})
+                     .first;
+          }
+        }
+      }
+    } else {
+      it->second.spectrum.Slide(x_old, x_new);
+      it->second.long_bursts.Slide(x_new);
+      it->second.short_bursts.Slide(x_new);
+    }
+    if (it != incremental_.end()) {
+      S2_ASSIGN_OR_RETURN(repr::CompressedSpectrum feature,
+                          it->second.spectrum.ToCompressed());
+      S2_RETURN_NOT_OK(dtw_search_->UpdateFeature(id, std::move(feature)));
+      feature_done = true;
+      long_bursts_.EraseSeries(id);
+      long_bursts_.Insert(id, it->second.long_bursts.Regions(),
+                          series.start_day);
+      short_bursts_.EraseSeries(id);
+      short_bursts_.Insert(id, it->second.short_bursts.Regions(),
+                           series.start_day);
+      bursts_done = true;
+    }
+  }
+
+  if (!feature_done) {
+    S2_ASSIGN_OR_RETURN(repr::HalfSpectrum spectrum,
+                        repr::HalfSpectrum::FromSeries(z));
+    S2_ASSIGN_OR_RETURN(repr::CompressedSpectrum feature,
+                        repr::CompressedSpectrum::Compress(
+                            spectrum, repr::ReprKind::kBestKError,
+                            options_.index.budget_c));
+    S2_RETURN_NOT_OK(dtw_search_->UpdateFeature(id, std::move(feature)));
+  }
+  if (!bursts_done) {
+    S2_ASSIGN_OR_RETURN(std::vector<burst::BurstRegion> long_regions,
+                        long_detector_.Detect(series.values));
+    long_bursts_.EraseSeries(id);
+    long_bursts_.Insert(id, long_regions, series.start_day);
+    S2_ASSIGN_OR_RETURN(std::vector<burst::BurstRegion> short_regions,
+                        short_detector_.Detect(series.values));
+    short_bursts_.EraseSeries(id);
+    short_bursts_.Insert(id, short_regions, series.start_day);
+  }
+  return Status::OK();
+}
+
+Status S2Engine::Compact() {
+  if (delta_ == nullptr || delta_->size() == 0) return Status::OK();
+  // Per-series move keeps the tiers a partition of the corpus even if an
+  // insert fails midway (disk routing reads are fallible): a series is in
+  // both tiers only between its two statements, which no reader can observe
+  // under the writer lock.
+  for (ts::SeriesId id : delta_->MemberIds()) {
+    S2_RETURN_NOT_OK(index_->Insert(id, standardized_[id], source_.get()));
+    S2_RETURN_NOT_OK(delta_->Remove(id, &standardized_[id]));
+  }
+  // Reset the delta tree outright, dropping its accumulated tombstones.
+  S2_RETURN_NOT_OK(delta_->Clear());
+  ++compactions_;
+  S2_DCHECK_OK(ValidateInvariants());
+  return Status::OK();
+}
+
+Result<std::vector<index::Neighbor>> S2Engine::SearchIndexBoth(
+    const std::vector<double>& z, size_t k,
+    index::VpTreeIndex::SearchStats* stats, index::SharedRadius* shared) const {
+  if (delta_ == nullptr || delta_->size() == 0) {
+    return index_->Search(z, k, source_.get(), stats, shared);
+  }
+  // The tiers partition the corpus, so this is the scatter-gather argument
+  // at tier granularity: each search returns every member of its tier that
+  // could be in the global top-k (with exact distances), the shared radius
+  // lets each prune against the other's certified bounds, and the merge by
+  // (distance, id) is exact. Ids are disjoint across tiers by construction.
+  index::SharedRadius local;
+  index::SharedRadius* radius = shared != nullptr ? shared : &local;
+  S2_ASSIGN_OR_RETURN(std::vector<index::Neighbor> merged,
+                      index_->Search(z, k, source_.get(), stats, radius));
+  S2_ASSIGN_OR_RETURN(std::vector<index::Neighbor> from_delta,
+                      delta_->Search(z, k, source_.get(), stats, radius));
+  merged.insert(merged.end(), from_delta.begin(), from_delta.end());
+  std::sort(merged.begin(), merged.end(),
+            [](const index::Neighbor& a, const index::Neighbor& b) {
+              return a.distance != b.distance ? a.distance < b.distance
+                                              : a.id < b.id;
+            });
+  if (merged.size() > k) merged.resize(k);
+  return merged;
+}
+
 Result<std::vector<index::Neighbor>> S2Engine::SimilarTo(
     ts::SeriesId id, size_t k, index::VpTreeIndex::SearchStats* stats) const {
   if (id >= corpus_.size()) return Status::NotFound("S2Engine: bad series id");
   // Ask for k+1 and drop the series itself (its own nearest neighbor).
-  S2_ASSIGN_OR_RETURN(std::vector<index::Neighbor> neighbors,
-                      index_->Search(standardized_[id], k + 1, source_.get(), stats));
+  S2_ASSIGN_OR_RETURN(
+      std::vector<index::Neighbor> neighbors,
+      SearchIndexBoth(standardized_[id], k + 1, stats, nullptr));
   std::erase_if(neighbors, [id](const index::Neighbor& n) { return n.id == id; });
   if (neighbors.size() > k) neighbors.resize(k);
   return neighbors;
@@ -176,7 +369,7 @@ Result<std::vector<index::Neighbor>> S2Engine::SimilarToSeries(
     const std::vector<double>& raw_values, size_t k,
     index::VpTreeIndex::SearchStats* stats) const {
   const std::vector<double> z = dsp::Standardize(raw_values);
-  return index_->Search(z, k, source_.get(), stats);
+  return SearchIndexBoth(z, k, stats, nullptr);
 }
 
 namespace {
@@ -248,7 +441,7 @@ Result<std::vector<index::Neighbor>> S2Engine::SimilarToStandardized(
   const bool drop_self = exclude != ts::kInvalidSeriesId;
   S2_ASSIGN_OR_RETURN(
       std::vector<index::Neighbor> neighbors,
-      index_->Search(z, drop_self ? k + 1 : k, source_.get(), stats, shared));
+      SearchIndexBoth(z, drop_self ? k + 1 : k, stats, shared));
   if (drop_self) {
     std::erase_if(neighbors,
                   [exclude](const index::Neighbor& n) { return n.id == exclude; });

@@ -16,6 +16,9 @@
 #include "period/period_detector.h"
 #include "resilience/retrying_source.h"
 #include "storage/sequence_store.h"
+#include "stream/burst_stream.h"
+#include "stream/delta_index.h"
+#include "stream/sliding_spectrum.h"
 #include "timeseries/time_series.h"
 
 namespace s2::core {
@@ -75,6 +78,21 @@ class S2Engine {
     /// Retry policy for transient faults on the disk verification path
     /// (disk-resident engines only; see resilience::RetryingSequenceSource).
     resilience::RetryPolicy retry;
+    /// Streaming ingestion (`AppendPoint`) behavior.
+    struct StreamOptions {
+      /// false (default): every append recomputes the touched series'
+      /// features exactly — standardize, FFT + compress, batch burst
+      /// detection — so a streamed engine stays *bitwise* identical to a
+      /// batch rebuild over the same data. true: maintain the DTW feature
+      /// with an O(k) sliding-DFT update (stream::SlidingSpectrum) and the
+      /// burst rows with an incremental moving-average detector
+      /// (stream::BurstStream); results then agree with batch up to
+      /// documented fp-drift tolerances. The delta VP-tree always compresses
+      /// its entries exactly (routing needs the exact rows regardless), so
+      /// Euclidean k-NN answers are unaffected by this flag.
+      bool incremental_maintenance = false;
+    };
+    StreamOptions stream;
   };
 
   /// Ingests `corpus` and builds every derived structure. All series must
@@ -95,6 +113,38 @@ class S2Engine {
   /// (empty `disk_store_path`); the series must match the corpus length.
   /// Returns the new series id.
   Result<ts::SeriesId> AddSeries(ts::TimeSeries series);
+
+  // --- Streaming ingestion ---------------------------------------------------
+
+  /// Slides one series' window forward by a day: the oldest sample falls off
+  /// the front, `value` enters the back, `start_day` advances — the corpus
+  /// stays rectangular, so every query verb remains well-defined mid-stream.
+  /// The series moves to the delta tier (a small side VP-tree searched
+  /// alongside the main index; see stream::DeltaIndex) and all its derived
+  /// state — stored row, DTW feature, burst rows of both horizons — is
+  /// brought current per `Options::StreamOptions`.
+  ///
+  /// A writer, like `AddSeries`: serialize externally against all readers.
+  /// On an I/O error (disk-resident engines) the engine rolls the series
+  /// back to its pre-append state; if even the rollback's reads fail, the
+  /// series may be left unindexed until WAL replay rebuilds the engine —
+  /// degraded but never wrong (queries simply miss that one series).
+  Status AppendPoint(ts::SeriesId id, double value);
+
+  /// Folds every delta-tier series back into the main index and empties the
+  /// delta (the LSM merge). A writer. Safe to call with an empty delta
+  /// (no-op). The merged tree answers queries identically — both tiers hold
+  /// exact compressed features over the same rows, so only *where* a series
+  /// is probed changes, never its distance.
+  Status Compact();
+
+  /// Series currently in the delta tier.
+  size_t delta_size() const { return delta_ == nullptr ? 0 : delta_->size(); }
+  /// Points appended / compactions run over this engine's lifetime.
+  uint64_t append_count() const { return appends_; }
+  uint64_t compaction_count() const { return compactions_; }
+  /// The delta tier, or null while no append has created one (tests).
+  const stream::DeltaIndex* delta() const { return delta_.get(); }
 
   /// The ingested corpus.
   const ts::Corpus& corpus() const { return corpus_; }
@@ -223,6 +273,20 @@ class S2Engine {
     return horizon == BurstHorizon::kLongTerm ? long_detector_ : short_detector_;
   }
 
+  /// Exact k-NN over both index tiers: searches the main tree and (when
+  /// non-empty) the delta tree under one shared pruning radius and merges by
+  /// (distance, id) — the cross-shard scatter-gather argument applied to the
+  /// two tiers, which partition the corpus. With an empty delta this is
+  /// exactly a main-tree search (bitwise, including stats).
+  Result<std::vector<index::Neighbor>> SearchIndexBoth(
+      const std::vector<double>& z, size_t k,
+      index::VpTreeIndex::SearchStats* stats, index::SharedRadius* shared) const;
+
+  /// Recomputes/maintains the DTW feature and both horizons' burst rows of
+  /// `id` after its window slid. `x_old` left the front, `x_new` entered
+  /// the back. The corpus row and `standardized_[id]` are already current.
+  Status RefreshDerivedState(ts::SeriesId id, double x_old, double x_new);
+
   Options options_;
   ts::Corpus corpus_;
   std::vector<std::vector<double>> standardized_;
@@ -230,6 +294,9 @@ class S2Engine {
   storage::InMemorySequenceSource* mem_source_ = nullptr;
   // Non-owning alias of source_ when it is disk-resident (retry decorator).
   resilience::RetryingSequenceSource* retry_source_ = nullptr;
+  // Non-owning alias of the raw disk store under retry_source_; enables
+  // streamed in-place record updates. Null for RAM-resident engines.
+  storage::DiskSequenceStore* disk_source_ = nullptr;
   std::unordered_map<std::string, ts::SeriesId> by_name_;
   std::unique_ptr<index::VpTreeIndex> index_;
   std::unique_ptr<dtw::DtwKnnSearch> dtw_search_;
@@ -239,6 +306,21 @@ class S2Engine {
   burst::BurstTable long_bursts_;
   burst::BurstTable short_bursts_;
   period::PeriodDetector period_detector_;
+
+  // --- Streaming state -------------------------------------------------------
+  // Delta tier; created lazily by the first AppendPoint.
+  std::unique_ptr<stream::DeltaIndex> delta_;
+  uint64_t appends_ = 0;
+  uint64_t compactions_ = 0;
+  // Incremental-maintenance state (only populated when
+  // options_.stream.incremental_maintenance): per-series sliding-DFT and
+  // burst-detector accumulators, created on a series' first append.
+  struct IncrementalState {
+    stream::SlidingSpectrum spectrum;
+    stream::BurstStream long_bursts;
+    stream::BurstStream short_bursts;
+  };
+  std::unordered_map<ts::SeriesId, IncrementalState> incremental_;
 };
 
 }  // namespace s2::core

@@ -53,6 +53,21 @@ Status DtwKnnSearch::AddFeature(repr::CompressedSpectrum feature) {
   return Status::OK();
 }
 
+Status DtwKnnSearch::UpdateFeature(ts::SeriesId id,
+                                   repr::CompressedSpectrum feature) {
+  if (id >= features_.size()) {
+    return Status::NotFound("DtwKnnSearch: id out of range");
+  }
+  if (!repr::MethodCompatibleWith(repr::BoundMethod::kBestMinError,
+                                  feature.kind()) &&
+      !repr::MethodCompatibleWith(repr::BoundMethod::kWang, feature.kind())) {
+    return Status::InvalidArgument(
+        "DtwKnnSearch: feature must support an upper bound (error kinds)");
+  }
+  features_[id] = std::move(feature);
+  return Status::OK();
+}
+
 Result<std::vector<index::Neighbor>> DtwKnnSearch::Search(
     const std::vector<double>& query, size_t k, storage::SequenceSource* source,
     SearchStats* stats, index::SharedRadius* shared) const {

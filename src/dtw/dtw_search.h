@@ -74,6 +74,10 @@ class DtwKnnSearch {
   /// count); used by incremental ingestion.
   Status AddFeature(repr::CompressedSpectrum feature);
 
+  /// Replaces the feature of an already-registered series (the streaming
+  /// append path recomputes a series' feature after its window slides).
+  Status UpdateFeature(ts::SeriesId id, repr::CompressedSpectrum feature);
+
   /// Exact k nearest neighbors of `query` under windowed DTW.
   ///
   /// `shared`, when non-null, is a cross-partition pruning radius (see

@@ -177,6 +177,17 @@ Result<VpTreeIndex> VpTreeIndex::Build(const std::vector<std::vector<double>>& r
                      static_cast<uint32_t>(length));
 }
 
+Result<VpTreeIndex> VpTreeIndex::CreateEmpty(const Options& options,
+                                             uint32_t series_length) {
+  if (series_length == 0) {
+    return Status::InvalidArgument("VpTreeIndex: empty sequences");
+  }
+  if (options.leaf_size == 0) {
+    return Status::InvalidArgument("VpTreeIndex: leaf_size must be > 0");
+  }
+  return VpTreeIndex(options, {}, /*root=*/-1, /*num_objects=*/0, series_length);
+}
+
 void VpTreeIndex::SearchNode(int32_t node_id, const repr::HalfSpectrum& query,
                              std::vector<Candidate>* candidates,
                              BestList* upper_bounds, SearchStats* stats,
@@ -380,14 +391,28 @@ Status VpTreeIndex::Insert(ts::SeriesId id, const std::vector<double>& row,
     return Status::AlreadyExists("VpTreeIndex::Insert: id already indexed");
   }
 
+  // An empty index (CreateEmpty) grows its first leaf here.
+  if (root_ < 0) {
+    Node leaf;
+    leaf.leaf = true;
+    nodes_.push_back(std::move(leaf));
+    root_ = static_cast<int32_t>(nodes_.size() - 1);
+  }
+
   // Route by exact distance to each vantage point; the full vantage
-  // representations are fetched from the store.
+  // representations are fetched from the store — except for tombstones with
+  // a pinned row, whose store row may have changed since (see Remove).
   int32_t node_id = root_;
   while (!nodes_[static_cast<size_t>(node_id)].leaf) {
     Node& node = nodes_[static_cast<size_t>(node_id)];
-    S2_ASSIGN_OR_RETURN(std::vector<double> vantage_row,
-                        source->Get(node.vantage.id));
-    const double dist = ExactDistance(row, vantage_row);
+    double dist = 0.0;
+    if (node.vantage_deleted && !node.pinned_row.empty()) {
+      dist = ExactDistance(row, node.pinned_row);
+    } else {
+      S2_ASSIGN_OR_RETURN(std::vector<double> vantage_row,
+                          source->Get(node.vantage.id));
+      dist = ExactDistance(row, vantage_row);
+    }
     int32_t* child = dist < node.median ? &node.left : &node.right;
     if (*child < 0) {
       // Attach a fresh leaf on the empty side.
@@ -473,13 +498,18 @@ Status VpTreeIndex::SplitLeaf(int32_t node_id, storage::SequenceSource* source) 
   node.leaf = false;
   node.vantage = std::move(bucket[vantage_slot]);
   node.vantage_deleted = false;
+  node.pinned_row.clear();
   node.median = median;
   node.left = left_id;
   node.right = right_id;
   return Status::OK();
 }
 
-Status VpTreeIndex::Remove(ts::SeriesId id) {
+Status VpTreeIndex::Remove(ts::SeriesId id,
+                           const std::vector<double>* pinned_row) {
+  if (pinned_row != nullptr && pinned_row->size() != series_length_) {
+    return Status::InvalidArgument("VpTreeIndex::Remove: pinned row length mismatch");
+  }
   for (Node& node : nodes_) {
     if (node.leaf) {
       for (size_t i = 0; i < node.bucket.size(); ++i) {
@@ -491,6 +521,7 @@ Status VpTreeIndex::Remove(ts::SeriesId id) {
       }
     } else if (node.vantage.id == id && !node.vantage_deleted) {
       node.vantage_deleted = true;
+      if (pinned_row != nullptr) node.pinned_row = *pinned_row;
       ++num_tombstones_;
       --num_objects_;
       return Status::OK();
@@ -723,8 +754,14 @@ Status VpTreeIndex::Validate(storage::SequenceSource* source) const {
           << "internal node " << id << " carries a leaf bucket";
       if (node.vantage_deleted) {
         ++tombstones;
+        v.Check(node.pinned_row.empty() ||
+                node.pinned_row.size() == static_cast<size_t>(series_length_))
+            << "node " << id << " pins a row of wrong length "
+            << node.pinned_row.size();
       } else {
         ++objects;
+        v.Check(node.pinned_row.empty())
+            << "live vantage node " << id << " carries a pinned row";
         v.Check(seen_ids.insert(node.vantage.id).second)
             << "series " << node.vantage.id << " indexed twice";
       }
@@ -750,8 +787,14 @@ Status VpTreeIndex::Validate(storage::SequenceSource* source) const {
     for (int32_t id = 0; id < limit; ++id) {
       const Node& node = nodes_[static_cast<size_t>(id)];
       if (node.leaf) continue;
-      S2_ASSIGN_OR_RETURN(std::vector<double> vantage_row,
-                          source->Get(node.vantage.id));
+      // Tombstoned vantages with a pinned row are validated against the pin:
+      // the store's row for that id may legitimately differ by now.
+      std::vector<double> vantage_row;
+      if (node.vantage_deleted && !node.pinned_row.empty()) {
+        vantage_row = node.pinned_row;
+      } else {
+        S2_ASSIGN_OR_RETURN(vantage_row, source->Get(node.vantage.id));
+      }
       for (int side = 0; side < 2; ++side) {
         const int32_t child = side == 0 ? node.left : node.right;
         if (child == -1) continue;

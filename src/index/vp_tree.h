@@ -81,6 +81,12 @@ class VpTreeIndex {
   static Result<VpTreeIndex> Build(const std::vector<std::vector<double>>& rows,
                                    const Options& options);
 
+  /// An index over zero sequences of the given length, grown purely through
+  /// `Insert` — the delta tier of the streaming (LSM-style) layer starts
+  /// here. Searches over an empty index return no neighbors.
+  static Result<VpTreeIndex> CreateEmpty(const Options& options,
+                                         uint32_t series_length);
+
   /// Exact k-nearest-neighbor search. `source` provides the full sequences
   /// for the verification phase (RAM or disk); `stats` is optional.
   ///
@@ -125,7 +131,19 @@ class VpTreeIndex {
   /// are tombstoned — kept for routing but excluded from all results — the
   /// standard deletion strategy for metric trees. Returns NotFound for
   /// unknown ids.
-  Status Remove(ts::SeriesId id);
+  ///
+  /// `pinned_row`, when non-null, is copied into the node if the removal
+  /// tombstones a vantage point. It must be the row the vantage was indexed
+  /// under; later `Insert` routing and `Validate` use the pinned copy
+  /// instead of `source->Get(id)`, so the id's row in the store may change
+  /// after the removal (the streaming append path removes a series, updates
+  /// its stored row, and re-inserts it elsewhere — without the pin, routing
+  /// against the *new* row would contradict the medians and subtree
+  /// membership built around the old one). Pass null only when the backing
+  /// store stays frozen for the tombstone's lifetime. Pinned rows are not
+  /// serialized by `Save`; compact tombstones away before saving.
+  Status Remove(ts::SeriesId id,
+                const std::vector<double>* pinned_row = nullptr);
 
   /// Number of tombstoned vantage points (candidates for a rebuild when
   /// this grows large).
@@ -181,6 +199,11 @@ class VpTreeIndex {
     bool leaf = false;
     bool vantage_deleted = false;  // Tombstone: route through, never report.
     std::vector<Entry> bucket;   // Leaf objects.
+    // Full row the vantage was indexed under, pinned at tombstoning time so
+    // routing/validation survive the store's row changing afterwards (see
+    // Remove). Empty when no row was pinned. Per-node, not per-id: the same
+    // id may be tombstoned again later under a different row.
+    std::vector<double> pinned_row;
   };
 
   VpTreeIndex(Options options, std::vector<Node> nodes, int32_t root,

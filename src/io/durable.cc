@@ -31,12 +31,14 @@ struct Candidate {
   std::unique_ptr<File> file;
   Header header;
   bool is_container = false;
+  std::string path;  // The physical path this candidate was opened from.
 };
 
 /// Opens and fully validates one candidate path. Returns NotFound when the
 /// file is absent, Corruption when present but invalid.
 Result<Candidate> Validate(Env* env, const std::string& path) {
   Candidate c;
+  c.path = path;
   S2_ASSIGN_OR_RETURN(c.file, env->Open(path, OpenMode::kRead));
   S2_ASSIGN_OR_RETURN(uint64_t size, c.file->Size());
   char magic[8];
@@ -174,6 +176,7 @@ Result<OpenInfo> OpenLatest(Env* env, const std::string& path) {
   info.payload_offset = best.is_container ? kGenHeaderBytes : 0;
   info.payload_size = best.header.payload_size;
   info.generation = best.header.generation;
+  info.resolved_path = std::move(best.path);
   info.file = std::move(best.file);
   return info;
 }

@@ -63,6 +63,11 @@ struct OpenInfo {
   uint64_t payload_offset = 0;
   uint64_t payload_size = 0;
   uint64_t generation = 0;
+  /// The physical file actually opened: `<path>` normally, `<path>.tmp`
+  /// when a crash left the newest committed generation there. Stores that
+  /// later reopen their backing file (e.g. for in-place record updates)
+  /// must use this, not the logical path.
+  std::string resolved_path;
 };
 
 /// Opens the newest valid generation of `path` read-only. Validation reads

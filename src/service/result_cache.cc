@@ -68,6 +68,22 @@ void ResultCache::InvalidateCrossSeries() {
   if (invalidation_counter_ != nullptr) invalidation_counter_->Increment();
 }
 
+void ResultCache::InvalidateForAppend(ts::SeriesId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    const RequestKind kind = it->first.kind;
+    const bool per_series =
+        kind == RequestKind::kPeriodsOf || kind == RequestKind::kBurstsOf;
+    if (!per_series || it->first.id == static_cast<uint64_t>(id)) {
+      map_.erase(it->first);
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (invalidation_counter_ != nullptr) invalidation_counter_->Increment();
+}
+
 size_t ResultCache::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return lru_.size();

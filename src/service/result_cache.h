@@ -86,6 +86,13 @@ class ResultCache {
   /// series' own values, which an append never touches — those entries stay.
   void InvalidateCrossSeries();
 
+  /// Selective invalidation for a streamed point append to series `id`: the
+  /// slide changes `id`'s own values, so its periods/bursts entries go too —
+  /// everything cross-series (any k-NN or query-by-burst answer) plus every
+  /// per-series entry keyed by `id`. Per-series entries of *other* series
+  /// survive: their values are untouched by the append.
+  void InvalidateForAppend(ts::SeriesId id);
+
   uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
   size_t size() const;

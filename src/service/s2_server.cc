@@ -1,5 +1,6 @@
 #include "service/s2_server.h"
 
+#include <cmath>
 #include <mutex>
 #include <utility>
 
@@ -8,6 +9,13 @@
 namespace s2::service {
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::chrono::microseconds Since(Clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                               start);
+}
 
 CacheKey KeyFor(const QueryRequest& request) {
   CacheKey key;
@@ -67,7 +75,9 @@ Result<std::unique_ptr<S2Server>> S2Server::Build(
   if (options.shards == 1) {
     S2_ASSIGN_OR_RETURN(core::S2Engine engine,
                         core::S2Engine::Build(std::move(corpus), engine_options));
-    return Create(std::move(engine), options);
+    std::unique_ptr<S2Server> server = Create(std::move(engine), options);
+    S2_RETURN_NOT_OK(server->OpenWal());
+    return server;
   }
   shard::ShardedEngine::Options shard_options;
   shard_options.num_shards = options.shards;
@@ -75,7 +85,9 @@ Result<std::unique_ptr<S2Server>> S2Server::Build(
   shard_options.shard_envs = options.shard_envs;
   S2_ASSIGN_OR_RETURN(shard::ShardedEngine engine,
                       shard::ShardedEngine::Build(std::move(corpus), shard_options));
-  return Create(std::move(engine), options);
+  std::unique_ptr<S2Server> server = Create(std::move(engine), options);
+  S2_RETURN_NOT_OK(server->OpenWal());
+  return server;
 }
 
 S2Server::S2Server(std::optional<core::S2Engine> engine,
@@ -94,7 +106,19 @@ S2Server::S2Server(std::optional<core::S2Engine> engine,
       shard_latency_(metrics_.histogram("server_shard_latency")),
       retry_attempts_(metrics_.counter("server_retry_attempts")),
       retry_giveups_(metrics_.counter("server_retry_giveups")),
-      breaker_trips_(metrics_.counter("server_breaker_trips")) {
+      breaker_trips_(metrics_.counter("server_breaker_trips")),
+      stream_appends_(metrics_.counter("stream_appends")),
+      stream_compactions_(metrics_.counter("stream_compactions")),
+      stream_compacted_series_(metrics_.counter("stream_compacted_series")),
+      stream_replay_records_(metrics_.counter("stream_replay_records")),
+      stream_append_latency_(metrics_.histogram("stream_append_latency")),
+      stream_compaction_latency_(metrics_.histogram("stream_compaction_latency")) {
+  // One dedicated maintenance thread keeps compaction off the query workers
+  // (a compaction takes the writer lock; running it on a scheduler worker
+  // would stall a serving slot for its whole duration).
+  if (options.compaction_threshold > 0) {
+    maintenance_ = std::make_unique<exec::ThreadPool>(1);
+  }
   // The scheduler is built last: its workers may call Execute (via the
   // handler) as soon as requests arrive, so everything above must be live.
   scheduler_ = std::make_unique<Scheduler>(
@@ -273,6 +297,121 @@ Result<ts::SeriesId> S2Server::AddSeries(ts::TimeSeries series) {
   // existing series are untouched by an append and survive.
   cache_.InvalidateCrossSeries();
   return id;
+}
+
+Status S2Server::EngineAppend(ts::SeriesId id, double value) {
+  return is_sharded() ? sharded_->AppendPoint(id, value)
+                      : engine_->AppendPoint(id, value);
+}
+
+size_t S2Server::EngineDeltaSize() const {
+  return is_sharded() ? sharded_->TotalDeltaSize() : engine_->delta_size();
+}
+
+Status S2Server::OpenWal() {
+  if (options_.wal_path.empty() || wal_ != nullptr) return Status::OK();
+  const Clock::time_point start = Clock::now();
+  std::unique_lock<std::shared_mutex> lock(engine_mu_);
+  stream::Wal::Options wal_options;
+  wal_options.sync_every = options_.wal_sync_every;
+  stream::Wal::ReplayInfo info;
+  S2_ASSIGN_OR_RETURN(
+      wal_, stream::Wal::Open(
+                options_.wal_env, options_.wal_path,
+                [this](const stream::WalRecord& record) {
+                  return EngineAppend(record.series_id, record.value);
+                },
+                &info, wal_options));
+  replayed_records_ = info.records;
+  replay_dropped_bytes_ = info.dropped_bytes;
+  replay_time_ = Since(start);
+  stream_replay_records_->Increment(info.records);
+  // Replay mutated the engine; any entries cached before this call (Create +
+  // manual OpenWal usage) are stale for the replayed series.
+  if (info.records > 0) cache_.Invalidate();
+  return Status::OK();
+}
+
+Status S2Server::AppendPoint(ts::SeriesId id, double value) {
+  const Clock::time_point start = Clock::now();
+  std::unique_lock<std::shared_mutex> lock(engine_mu_);
+  // Validate before logging: a caller error (bad id, non-finite value) must
+  // not leave a poison record in the WAL that every future replay trips on.
+  if (!std::isfinite(value)) {
+    return Status::InvalidArgument("S2Server: appended value must be finite");
+  }
+  const size_t corpus_size = is_sharded() ? sharded_->size()
+                                          : engine_->corpus().size();
+  if (id >= corpus_size) {
+    return Status::NotFound("S2Server: no series with id " + std::to_string(id));
+  }
+  if (wal_ != nullptr) {
+    // Durable acknowledgement first. On error the log is unchanged (WAL
+    // contract) and the engine was never touched — the caller may retry.
+    S2_RETURN_NOT_OK(wal_->Append({id, value}));
+  }
+  const Status applied = EngineAppend(id, value);
+  // Even a failed apply may have moved state (the engine's rollback is
+  // best-effort on disk faults), so drop the affected cache entries either
+  // way — while still holding the writer lock, for the same reason as
+  // AddSeries.
+  cache_.InvalidateForAppend(id);
+  S2_RETURN_NOT_OK(applied);
+  stream_appends_->Increment();
+  stream_append_latency_->Record(static_cast<uint64_t>(Since(start).count()));
+  MaybeScheduleCompaction();
+  return Status::OK();
+}
+
+Status S2Server::Compact() {
+  const Clock::time_point start = Clock::now();
+  std::unique_lock<std::shared_mutex> lock(engine_mu_);
+  const size_t before = EngineDeltaSize();
+  if (before == 0) return Status::OK();
+  S2_RETURN_NOT_OK(is_sharded() ? sharded_->Compact() : engine_->Compact());
+  // No cache invalidation: compaction moves series between tiers without
+  // changing any answer (the two-tier search is exact).
+  stream_compactions_->Increment();
+  stream_compacted_series_->Increment(before - EngineDeltaSize());
+  stream_compaction_latency_->Record(
+      static_cast<uint64_t>(Since(start).count()));
+  return Status::OK();
+}
+
+void S2Server::MaybeScheduleCompaction() {
+  if (maintenance_ == nullptr || options_.compaction_threshold == 0) return;
+  if (EngineDeltaSize() < options_.compaction_threshold) return;
+  // At most one background compaction in flight; further appends past the
+  // threshold while it runs are covered by the re-check after it finishes
+  // (the next append re-triggers).
+  if (compaction_inflight_.exchange(true, std::memory_order_acq_rel)) return;
+  const bool submitted = maintenance_->Submit([this] {
+    // Errors are not fatal to serving: the delta tier keeps answering
+    // queries exactly; the next threshold crossing retries the merge.
+    (void)Compact();
+    compaction_inflight_.store(false, std::memory_order_release);
+  });
+  if (!submitted) {
+    compaction_inflight_.store(false, std::memory_order_release);
+  }
+}
+
+S2Server::StreamInfo S2Server::stream_info() {
+  std::shared_lock<std::shared_mutex> lock(engine_mu_);
+  StreamInfo info;
+  info.wal_enabled = wal_ != nullptr;
+  info.replayed_records = replayed_records_;
+  info.replay_dropped_bytes = replay_dropped_bytes_;
+  info.replay_time = replay_time_;
+  info.delta_size = EngineDeltaSize();
+  if (is_sharded()) {
+    info.append_count = sharded_->TotalAppendCount();
+    info.compaction_count = sharded_->TotalCompactionCount();
+  } else {
+    info.append_count = engine_->append_count();
+    info.compaction_count = engine_->compaction_count();
+  }
+  return info;
 }
 
 }  // namespace s2::service

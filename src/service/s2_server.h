@@ -1,6 +1,8 @@
 #ifndef S2_SERVICE_S2_SERVER_H_
 #define S2_SERVICE_S2_SERVER_H_
 
+#include <atomic>
+#include <chrono>
 #include <memory>
 #include <optional>
 #include <shared_mutex>
@@ -8,11 +10,13 @@
 
 #include "common/result.h"
 #include "core/s2_engine.h"
+#include "exec/thread_pool.h"
 #include "resilience/circuit_breaker.h"
 #include "service/metrics.h"
 #include "service/result_cache.h"
 #include "service/scheduler.h"
 #include "shard/sharded_engine.h"
+#include "stream/wal.h"
 
 namespace s2::service {
 
@@ -66,6 +70,45 @@ class S2Server {
     size_t shards = 1;
     /// Forwarded to `shard::ShardedEngine::Options` when `shards != 1`.
     std::vector<io::Env*> shard_envs;
+
+    // --- Streaming ---------------------------------------------------------
+
+    /// When non-empty, `Build` opens (creating or replaying) a write-ahead
+    /// log at this path before serving starts: every `AppendPoint` is made
+    /// durable in the log *before* it touches the engine, and on restart the
+    /// intact log is replayed over the freshly rebuilt engine, so no
+    /// acknowledged append is ever lost. Replay assumes the engine was
+    /// rebuilt from the same base corpus the log was started against (the
+    /// log holds only the appends, not the base data). Empty (default)
+    /// disables logging: appends apply directly, with no crash durability.
+    std::string wal_path;
+    /// Filesystem for the WAL; null = the POSIX filesystem. Fault-injection
+    /// tests point this at a `FaultInjectingEnv` to crash the log mid-write.
+    io::Env* wal_env = nullptr;
+    /// Records per WAL fsync group (see `stream::Wal::Options::sync_every`).
+    size_t wal_sync_every = 1;
+    /// Delta-tier size (summed across shards) at which an append schedules a
+    /// background compaction on the maintenance thread. 0 disables automatic
+    /// compaction — call `Compact()` yourself.
+    size_t compaction_threshold = 64;
+  };
+
+  /// Streaming-state snapshot. Sizes and replay stats are point-in-time
+  /// gauges, which the increment-only metrics registry cannot express — the
+  /// `stream_*` counters/histograms cover the monotone side.
+  struct StreamInfo {
+    bool wal_enabled = false;
+    /// Intact WAL records applied when the log was opened.
+    size_t replayed_records = 0;
+    /// Torn tail bytes the open ignored (crash artifacts, overwritten by the
+    /// next append).
+    uint64_t replay_dropped_bytes = 0;
+    /// Wall time of open + replay.
+    std::chrono::microseconds replay_time{0};
+    /// Series currently living in delta tiers (all shards).
+    size_t delta_size = 0;
+    uint64_t append_count = 0;
+    uint64_t compaction_count = 0;
   };
 
   /// Takes ownership of a built single engine.
@@ -102,8 +145,35 @@ class S2Server {
   /// forever: waits for in-flight readers, new readers queue behind it).
   Result<ts::SeriesId> AddSeries(ts::TimeSeries series);
 
-  /// Graceful shutdown: drains admitted requests, joins workers. Idempotent.
-  void Shutdown() { scheduler_->Shutdown(); }
+  /// The append verb: slides series `id`'s window forward by one day with
+  /// `value` as the new last sample (exclusive engine access). When a WAL is
+  /// configured the append is durably acknowledged *before* it is applied;
+  /// a logged append whose apply then fails surfaces the error but stays in
+  /// the log, so the next replay re-applies it. The result cache drops every
+  /// entry the slide can change (`InvalidateForAppend`), and crossing
+  /// `compaction_threshold` schedules a background delta compaction.
+  Status AppendPoint(ts::SeriesId id, double value);
+
+  /// Synchronously merges every delta tier into its main index (exclusive
+  /// engine access). Compaction moves series between tiers without changing
+  /// any answer — the two-tier search is exact — so the cache keeps its
+  /// entries. Also the body of the background maintenance task.
+  Status Compact();
+
+  /// Opens the WAL at `options.wal_path` and replays it into the engine.
+  /// `Build` calls this automatically; call it yourself exactly once before
+  /// serving when constructing via `Create` with a `wal_path` set. No-op
+  /// when `wal_path` is empty or the log is already open.
+  Status OpenWal();
+
+  StreamInfo stream_info();
+
+  /// Graceful shutdown: drains admitted requests, joins workers, then waits
+  /// out any in-flight background compaction. Idempotent.
+  void Shutdown() {
+    scheduler_->Shutdown();
+    if (maintenance_ != nullptr) maintenance_->Shutdown();
+  }
 
   /// True when the server runs scatter-gather over shards.
   bool is_sharded() const { return sharded_.has_value(); }
@@ -139,6 +209,19 @@ class S2Server {
   /// metrics registry (counters are increment-only, so this exports deltas).
   void SyncResilienceMetrics();
 
+  /// Routes an append to whichever engine is live (owner shard when
+  /// sharded). Caller holds the exclusive lock.
+  Status EngineAppend(ts::SeriesId id, double value);
+
+  /// Series currently in delta tiers, summed over shards. Caller holds the
+  /// lock (either mode).
+  size_t EngineDeltaSize() const;
+
+  /// Schedules the background compaction task when the delta tier has
+  /// crossed the threshold and none is already in flight. Caller holds the
+  /// exclusive lock; the task itself re-acquires it.
+  void MaybeScheduleCompaction();
+
   // Exactly one of these is engaged, chosen at construction.
   std::optional<core::S2Engine> engine_;
   std::optional<shard::ShardedEngine> sharded_;
@@ -157,10 +240,26 @@ class S2Server {
   Counter* retry_attempts_ = nullptr;
   Counter* retry_giveups_ = nullptr;
   Counter* breaker_trips_ = nullptr;
+  // Streaming metrics.
+  Counter* stream_appends_ = nullptr;          ///< Acknowledged + applied appends.
+  Counter* stream_compactions_ = nullptr;      ///< Completed delta merges.
+  Counter* stream_compacted_series_ = nullptr; ///< Series moved delta -> main.
+  Counter* stream_replay_records_ = nullptr;   ///< WAL records applied at open.
+  LatencyHistogram* stream_append_latency_ = nullptr;
+  LatencyHistogram* stream_compaction_latency_ = nullptr;
   std::mutex export_mu_;             ///< Guards the exported_* snapshots.
   uint64_t exported_retries_ = 0;
   uint64_t exported_giveups_ = 0;
   uint64_t exported_trips_ = 0;
+  // Streaming state. The WAL and replay stats are written once under the
+  // exclusive lock in OpenWal; the maintenance pool runs at most one
+  // compaction at a time, gated by the inflight flag.
+  std::unique_ptr<stream::Wal> wal_;
+  size_t replayed_records_ = 0;
+  uint64_t replay_dropped_bytes_ = 0;
+  std::chrono::microseconds replay_time_{0};
+  std::unique_ptr<exec::ThreadPool> maintenance_;
+  std::atomic<bool> compaction_inflight_{false};
   std::unique_ptr<Scheduler> scheduler_;
 };
 

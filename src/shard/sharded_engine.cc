@@ -177,9 +177,14 @@ Result<ts::SeriesId> ShardedEngine::FindByName(std::string_view name) const {
 }
 
 Result<ts::SeriesId> ShardedEngine::AddSeries(ts::TimeSeries series) {
-  // Least-loaded routing, ties to the lowest index: starting from a
+  // Least-loaded routing, ties to the lowest shard id: the strict `<` scan
+  // from index 0 never replaces the target on an equal load, so the
+  // placement of any AddSeries sequence is a pure function of the sequence
+  // itself — never of map iteration order or timing. Starting from a
   // round-robin layout this reproduces round-robin, so shard balance is an
-  // invariant, not an accident.
+  // invariant, not an accident. Pinned by the placement-determinism
+  // regression test in shard_equivalence_test.cc; don't "fix" the tie-break
+  // without updating it.
   size_t target = 0;
   for (size_t s = 1; s < shards_.size(); ++s) {
     if (shards_[s]->corpus().size() < shards_[target]->corpus().size()) {
@@ -193,6 +198,36 @@ Result<ts::SeriesId> ShardedEngine::AddSeries(ts::TimeSeries series) {
   local_to_global_[target].push_back(global);
   S2_DCHECK_OK(ValidateInvariants());
   return global;
+}
+
+Status ShardedEngine::AppendPoint(ts::SeriesId id, double value) {
+  S2_ASSIGN_OR_RETURN(Placement p, PlacementOf(id));
+  return shards_[p.shard]->AppendPoint(p.local, value);
+}
+
+Status ShardedEngine::Compact() {
+  for (const auto& shard : shards_) {
+    S2_RETURN_NOT_OK(shard->Compact());
+  }
+  return Status::OK();
+}
+
+size_t ShardedEngine::TotalDeltaSize() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) total += shard->delta_size();
+  return total;
+}
+
+uint64_t ShardedEngine::TotalAppendCount() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->append_count();
+  return total;
+}
+
+uint64_t ShardedEngine::TotalCompactionCount() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->compaction_count();
+  return total;
 }
 
 Result<const ts::TimeSeries*> ShardedEngine::Series(ts::SeriesId id) const {

@@ -107,6 +107,26 @@ class ShardedEngine {
   /// Total number of series across all shards.
   size_t size() const { return placements_.size(); }
 
+  // --- Streaming (owner-routed, per-shard deltas) --------------------------
+
+  /// Appends one point to the series' owning shard: the window slides on
+  /// that shard alone, the series moves into that shard's delta tier, and
+  /// every other shard is untouched. Because all similarity verbs already
+  /// scatter over every shard and each shard searches its own delta
+  /// alongside its main tree, shard-count invisibility is preserved with no
+  /// extra plumbing. Writer: serialize externally (same contract as
+  /// `AddSeries`).
+  Status AppendPoint(ts::SeriesId id, double value);
+
+  /// Merges every shard's delta tier into its main index. Writer.
+  Status Compact();
+
+  /// Summed delta-tier sizes / append counts / compaction counts across
+  /// shards (the server exports these as stream metrics).
+  size_t TotalDeltaSize() const;
+  uint64_t TotalAppendCount() const;
+  uint64_t TotalCompactionCount() const;
+
   /// The raw series for a global id (owner shard's corpus row).
   Result<const ts::TimeSeries*> Series(ts::SeriesId id) const;
 

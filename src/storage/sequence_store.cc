@@ -34,6 +34,17 @@ Result<ts::SeriesId> InMemorySequenceSource::Append(std::vector<double> row) {
   return static_cast<ts::SeriesId>(rows_.size() - 1);
 }
 
+Status InMemorySequenceSource::Update(ts::SeriesId id, std::vector<double> row) {
+  if (id >= rows_.size()) {
+    return Status::NotFound("InMemorySequenceSource: id out of range");
+  }
+  if (row.size() != length_) {
+    return Status::InvalidArgument("InMemorySequenceSource: row length mismatch");
+  }
+  rows_[id] = std::move(row);
+  return Status::OK();
+}
+
 Result<std::vector<double>> InMemorySequenceSource::Get(ts::SeriesId id) {
   if (id >= rows_.size()) {
     return Status::NotFound("InMemorySequenceSource: id out of range");
@@ -107,8 +118,32 @@ Result<std::unique_ptr<DiskSequenceStore>> DiskSequenceStore::Open(
         " != expected " + std::to_string(expected) + " in " + path);
   }
   return std::unique_ptr<DiskSequenceStore>(new DiskSequenceStore(
-      path, std::move(info.file), info.payload_offset, info.generation,
-      static_cast<size_t>(count), static_cast<size_t>(length)));
+      path, std::move(info.resolved_path), env, std::move(info.file),
+      info.payload_offset, info.generation, static_cast<size_t>(count),
+      static_cast<size_t>(length)));
+}
+
+Status DiskSequenceStore::UpdateRecord(ts::SeriesId id,
+                                       const std::vector<double>& row) {
+  if (id >= count_) {
+    return Status::NotFound("DiskSequenceStore: id out of range");
+  }
+  if (row.size() != length_) {
+    return Status::InvalidArgument("DiskSequenceStore: row length mismatch");
+  }
+  if (write_file_ == nullptr) {
+    // Open lazily reopens the *resolved* physical file read-write: read-only
+    // deployments never pay for (or require) write access, and the reopen
+    // targets the exact generation file the read handle serves from.
+    S2_ASSIGN_OR_RETURN(write_file_,
+                        env_->Open(resolved_path_, io::OpenMode::kReadWrite));
+  }
+  const uint64_t offset =
+      payload_offset_ + kHeaderBytes +
+      static_cast<uint64_t>(id) * length_ * sizeof(double);
+  S2_RETURN_NOT_OK(io::WriteExactAt(write_file_.get(), row.data(),
+                                    row.size() * sizeof(double), offset));
+  return write_file_->Sync();
 }
 
 Status DiskSequenceStore::Validate() const {

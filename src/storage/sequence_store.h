@@ -62,6 +62,11 @@ class InMemorySequenceSource : public SequenceSource {
   /// length (an empty store adopts the first row's length).
   Result<ts::SeriesId> Append(std::vector<double> row);
 
+  /// Replaces the row stored under `id` (the streaming append path slides a
+  /// series' window in place). Not safe against concurrent `Get`s — callers
+  /// hold the engine writer lock.
+  Status Update(ts::SeriesId id, std::vector<double> row);
+
  private:
   InMemorySequenceSource(std::vector<std::vector<double>> rows, size_t length)
       : rows_(std::move(rows)), length_(length) {}
@@ -121,6 +126,20 @@ class DiskSequenceStore : public SequenceSource {
   /// The generation this store was loaded from (0 for legacy images).
   uint64_t generation() const { return generation_; }
 
+  /// Overwrites record `id` in place with `row` (one positioned write at
+  /// the record's offset, then fsync). Serves the streaming append path,
+  /// which must update a row without rewriting the whole image.
+  ///
+  /// Deliberate trade-off: the in-place write goes *behind* the generation
+  /// container's whole-payload checksum, so after the first update the
+  /// checksum recorded at commit time is stale — a subsequent `Open` of this
+  /// same generation would report a checksum mismatch. That is acceptable
+  /// because streamed state is never recovered from this file: crash
+  /// recovery rebuilds the store from the base image and replays the WAL,
+  /// which recreates the file through a fresh `Create`. Not safe against
+  /// concurrent `Get`s of the same id; callers hold the engine writer lock.
+  Status UpdateRecord(ts::SeriesId id, const std::vector<double>& row);
+
   /// Structural self-check: re-reads the header from disk (magic, count,
   /// length must match the in-memory view) and verifies the file size equals
   /// header + count * length records. Reports the exact violations as
@@ -128,10 +147,12 @@ class DiskSequenceStore : public SequenceSource {
   Status Validate() const;
 
  private:
-  DiskSequenceStore(std::string path, std::unique_ptr<io::File> file,
-                    uint64_t payload_offset, uint64_t generation, size_t count,
-                    size_t length)
+  DiskSequenceStore(std::string path, std::string resolved_path, io::Env* env,
+                    std::unique_ptr<io::File> file, uint64_t payload_offset,
+                    uint64_t generation, size_t count, size_t length)
       : path_(std::move(path)),
+        resolved_path_(std::move(resolved_path)),
+        env_(env),
         file_(std::move(file)),
         payload_offset_(payload_offset),
         generation_(generation),
@@ -139,7 +160,10 @@ class DiskSequenceStore : public SequenceSource {
         length_(length) {}
 
   std::string path_;
+  std::string resolved_path_;  // Physical file backing this generation.
+  io::Env* env_;               // For the lazy read-write reopen below.
   std::unique_ptr<io::File> file_;
+  std::unique_ptr<io::File> write_file_;  // Lazily opened by UpdateRecord.
   uint64_t payload_offset_;
   uint64_t generation_;
   size_t count_;

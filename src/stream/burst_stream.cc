@@ -1,0 +1,129 @@
+#include "stream/burst_stream.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace s2::stream {
+
+namespace {
+
+// Trailing moving average of the last `w` entries ending at deque index `i`,
+// prefix-clipped exactly like dsp::TrailingMovingAverage.
+double ClippedMeanAt(const std::deque<double>& x, size_t i, size_t w) {
+  const size_t first = i + 1 >= w ? i + 1 - w : 0;
+  double sum = 0.0;
+  for (size_t j = first; j <= i; ++j) sum += x[j];
+  return sum / static_cast<double>(i - first + 1);
+}
+
+}  // namespace
+
+Result<BurstStream> BurstStream::Create(burst::BurstDetector::Options options,
+                                        const std::vector<double>& window) {
+  if (options.window == 0) {
+    return Status::InvalidArgument("BurstStream: window must be > 0");
+  }
+  if (window.size() < options.window) {
+    return Status::InvalidArgument("BurstStream: sequence shorter than window");
+  }
+  std::deque<double> x(window.begin(), window.end());
+  std::deque<double> ma;
+  double sum = 0.0;
+  double sumsq = 0.0;
+  double ma_sum = 0.0;
+  double ma_sumsq = 0.0;
+  double prefix = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    sum += x[i];
+    sumsq += x[i] * x[i];
+    prefix += x[i];
+    if (i >= options.window) prefix -= x[i - options.window];
+    const size_t count = std::min(i + 1, options.window);
+    const double m = prefix / static_cast<double>(count);
+    ma.push_back(m);
+    ma_sum += m;
+    ma_sumsq += m * m;
+  }
+  return BurstStream(options, std::move(x), std::move(ma), sum, sumsq, ma_sum,
+                     ma_sumsq);
+}
+
+void BurstStream::Slide(double x_new) {
+  const size_t w = options_.window;
+  const double x_old = x_.front();
+  x_.pop_front();
+  x_.push_back(x_new);
+  sum_ += x_new - x_old;
+  sumsq_ += x_new * x_new - x_old * x_old;
+
+  // The trailing MA shifts stably for full windows: new ma[j] for j >= w-1
+  // averages the same w samples old ma[j+1] did. Only the w-1 prefix-clipped
+  // entries change their sample set (they lose the dropped front sample from
+  // their denominator) and the new tail is fresh — O(w) recompute total.
+  const double ma_old = ma_.front();
+  ma_.pop_front();
+  ma_sum_ -= ma_old;
+  ma_sumsq_ -= ma_old * ma_old;
+  for (size_t j = 0; j + 1 < w && j < ma_.size(); ++j) {
+    const double prev = ma_[j];
+    const double next = ClippedMeanAt(x_, j, w);
+    ma_[j] = next;
+    ma_sum_ += next - prev;
+    ma_sumsq_ += next * next - prev * prev;
+  }
+  const double tail = ClippedMeanAt(x_, x_.size() - 1, w);
+  ma_.push_back(tail);
+  ma_sum_ += tail;
+  ma_sumsq_ += tail * tail;
+}
+
+double BurstStream::raw_cutoff() const {
+  const double n = static_cast<double>(ma_.size());
+  const double mean = ma_sum_ / n;
+  const double var = std::max(0.0, ma_sumsq_ / n - mean * mean);
+  return mean + options_.cutoff_stds * std::sqrt(var);
+}
+
+std::vector<burst::BurstRegion> BurstStream::Regions() const {
+  const double n = static_cast<double>(x_.size());
+  const double mu = sum_ / n;
+  const double sigma =
+      std::sqrt(std::max(0.0, sumsq_ / n - mu * mu));
+  // A constant window standardizes to all-zeros: every MA is zero, the
+  // cutoff is zero, and `0 > 0` admits no burst days — match the batch
+  // detector by returning nothing.
+  if (options_.standardize && sigma == 0.0) return {};
+
+  const double cutoff = raw_cutoff();
+  std::vector<burst::BurstRegion> regions;
+  int32_t run_start = -1;
+  double run_sum = 0.0;  // Raw-space sum over the run.
+  auto flush = [&](int32_t end_inclusive) {
+    if (run_start < 0) return;
+    burst::BurstRegion region;
+    region.start = run_start;
+    region.end = end_inclusive;
+    const double raw_avg = run_sum / static_cast<double>(region.length());
+    region.avg_value =
+        options_.standardize ? (raw_avg - mu) / sigma : raw_avg;
+    if (region.avg_value >= options_.min_avg_value &&
+        region.length() >= options_.min_length) {
+      regions.push_back(region);
+    }
+    run_start = -1;
+    run_sum = 0.0;
+  };
+  for (size_t i = 0; i < ma_.size(); ++i) {
+    if (ma_[i] > cutoff) {
+      if (run_start < 0) run_start = static_cast<int32_t>(i);
+      run_sum += x_[i];
+    } else {
+      flush(static_cast<int32_t>(i) - 1);
+    }
+  }
+  flush(static_cast<int32_t>(ma_.size()) - 1);
+  return regions;
+}
+
+}  // namespace s2::stream

@@ -1,0 +1,77 @@
+#ifndef S2_STREAM_BURST_STREAM_H_
+#define S2_STREAM_BURST_STREAM_H_
+
+#include <deque>
+#include <vector>
+
+#include "burst/burst_detector.h"
+#include "common/result.h"
+
+namespace s2::stream {
+
+/// Incremental moving-average burst detection over a sliding window:
+/// maintains the paper's Section 6.1 detector state under slide-by-one
+/// updates without re-running the standardize + moving-average pipeline.
+///
+/// The key identity: with population statistics, standardization is affine
+/// (`z = (x - mu) / sigma`) and the trailing moving average is linear, so
+///
+///   MA_z(i) > Mean(MA_z) + c * StdDev(MA_z)
+///     <=>  MA_x(i) > Mean(MA_x) + c * StdDev(MA_x)
+///
+/// — the burst-day predicate can be evaluated entirely in raw space; mu and
+/// sigma cancel. Region averages convert back with the same affine map.
+/// Per slide, the trailing MA with prefix clipping shifts: entries at index
+/// >= w-1 (full windows) are reused unchanged, only the first w-1 clipped
+/// entries and the new tail are recomputed — O(w) work per append plus O(1)
+/// running-sum updates, versus the batch detector's O(N) standardize + MA
+/// pass. `Regions()` extracts the over-cutoff runs with one comparison scan
+/// of the cached MA (cheap: no divisions, no allocation-heavy pipeline).
+///
+/// Results agree with `burst::BurstDetector::Detect` on the same window up
+/// to fp accumulation drift in the running sums (documented tolerance,
+/// verified in stream_feature_test); a day whose MA sits within that drift
+/// of the cutoff may flip sides. Re-creating the state re-anchors the sums.
+class BurstStream {
+ public:
+  /// `window` must hold at least `options.window` samples (raw,
+  /// unstandardized — standardization is handled internally per the
+  /// identity above when `options.standardize` is set).
+  static Result<BurstStream> Create(burst::BurstDetector::Options options,
+                                    const std::vector<double>& window);
+
+  /// Slides the window by one sample (front drops, `x_new` enters).
+  /// Amortized O(options.window).
+  void Slide(double x_new);
+
+  /// Burst regions of the current window, positions window-local — the
+  /// same coordinates `BurstDetector::Detect` reports.
+  std::vector<burst::BurstRegion> Regions() const;
+
+  /// Raw-space cutoff (Mean(MA_x) + c * StdDev(MA_x)); exposed for tests.
+  double raw_cutoff() const;
+
+ private:
+  BurstStream(burst::BurstDetector::Options options, std::deque<double> x,
+              std::deque<double> ma, double sum, double sumsq, double ma_sum,
+              double ma_sumsq)
+      : options_(options),
+        x_(std::move(x)),
+        ma_(std::move(ma)),
+        sum_(sum),
+        sumsq_(sumsq),
+        ma_sum_(ma_sum),
+        ma_sumsq_(ma_sumsq) {}
+
+  burst::BurstDetector::Options options_;
+  std::deque<double> x_;   // Raw window.
+  std::deque<double> ma_;  // Raw-space trailing moving average of x_.
+  double sum_;             // Running sums over x_.
+  double sumsq_;
+  double ma_sum_;          // Running sums over ma_.
+  double ma_sumsq_;
+};
+
+}  // namespace s2::stream
+
+#endif  // S2_STREAM_BURST_STREAM_H_

@@ -1,0 +1,52 @@
+#include "stream/delta_index.h"
+
+#include <utility>
+
+#include "diag/validate.h"
+
+namespace s2::stream {
+
+Result<DeltaIndex> DeltaIndex::Create(
+    const index::VpTreeIndex::Options& options, uint32_t series_length) {
+  S2_ASSIGN_OR_RETURN(index::VpTreeIndex tree,
+                      index::VpTreeIndex::CreateEmpty(options, series_length));
+  return DeltaIndex(std::move(tree), options, series_length);
+}
+
+Status DeltaIndex::Insert(ts::SeriesId id, const std::vector<double>& row,
+                          storage::SequenceSource* source) {
+  if (members_.count(id) != 0) {
+    return Status::AlreadyExists("DeltaIndex: id already a member");
+  }
+  S2_RETURN_NOT_OK(tree_.Insert(id, row, source));
+  members_.insert(id);
+  return Status::OK();
+}
+
+Status DeltaIndex::Remove(ts::SeriesId id,
+                          const std::vector<double>* pinned_row) {
+  if (members_.count(id) == 0) {
+    return Status::NotFound("DeltaIndex: id not a member");
+  }
+  S2_RETURN_NOT_OK(tree_.Remove(id, pinned_row));
+  members_.erase(id);
+  return Status::OK();
+}
+
+Status DeltaIndex::Clear() {
+  S2_ASSIGN_OR_RETURN(tree_,
+                      index::VpTreeIndex::CreateEmpty(options_, series_length_));
+  members_.clear();
+  return Status::OK();
+}
+
+Status DeltaIndex::Validate(storage::SequenceSource* source) const {
+  S2_RETURN_NOT_OK(tree_.Validate(source));
+  diag::Validator v("DeltaIndex");
+  v.Check(tree_.size() == members_.size())
+      << "tree holds " << tree_.size() << " objects, member set "
+      << members_.size();
+  return v.ToStatus();
+}
+
+}  // namespace s2::stream

@@ -1,0 +1,81 @@
+#ifndef S2_STREAM_DELTA_INDEX_H_
+#define S2_STREAM_DELTA_INDEX_H_
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "common/result.h"
+#include "index/vp_tree.h"
+
+namespace s2::stream {
+
+/// The small, mutable tier of the LSM-style two-tier index: series touched
+/// by streaming appends live here (in a VP-tree grown purely by `Insert`)
+/// until a background compaction folds them back into the large, mostly
+/// immutable main tree.
+///
+/// Membership is tracked explicitly: at any moment every indexed series is
+/// in *exactly one* tier, so a query searches both trees under one shared
+/// pruning radius and merges by (distance, id) — the same exactness
+/// argument as the cross-shard scatter-gather merge, with the two tiers
+/// playing the role of disjoint partitions.
+class DeltaIndex {
+ public:
+  /// An empty delta tier compatible with the main tree's options (same
+  /// representation, basis, bound method and budget, so both tiers' bounds
+  /// live in the same metric).
+  static Result<DeltaIndex> Create(const index::VpTreeIndex::Options& options,
+                                   uint32_t series_length);
+
+  /// Inserts `id` under `row`; `source->Get(id)` must already return `row`.
+  Status Insert(ts::SeriesId id, const std::vector<double>& row,
+                storage::SequenceSource* source);
+
+  /// Removes `id` (an already-delta-resident series being appended to
+  /// again). `pinned_row` — the row the series was indexed under — is
+  /// forwarded to the tree so a tombstoned vantage keeps routing correctly
+  /// after the store's row changes.
+  Status Remove(ts::SeriesId id, const std::vector<double>* pinned_row);
+
+  bool Contains(ts::SeriesId id) const { return members_.count(id) != 0; }
+
+  /// Live members, ascending — the compaction order.
+  std::vector<ts::SeriesId> MemberIds() const {
+    return std::vector<ts::SeriesId>(members_.begin(), members_.end());
+  }
+
+  /// Drops every member and resets the tree (post-compaction).
+  Status Clear();
+
+  /// Live series in this tier (tombstones excluded).
+  size_t size() const { return members_.size(); }
+
+  const index::VpTreeIndex& tree() const { return tree_; }
+
+  Result<std::vector<index::Neighbor>> Search(
+      const std::vector<double>& query, size_t k,
+      storage::SequenceSource* source, index::VpTreeIndex::SearchStats* stats,
+      index::SharedRadius* shared = nullptr) const {
+    return tree_.Search(query, k, source, stats, shared);
+  }
+
+  /// Tree self-check plus the membership census (tree size == member set).
+  Status Validate(storage::SequenceSource* source = nullptr) const;
+
+ private:
+  DeltaIndex(index::VpTreeIndex tree, index::VpTreeIndex::Options options,
+             uint32_t series_length)
+      : tree_(std::move(tree)),
+        options_(options),
+        series_length_(series_length) {}
+
+  index::VpTreeIndex tree_;
+  index::VpTreeIndex::Options options_;
+  uint32_t series_length_;
+  std::set<ts::SeriesId> members_;
+};
+
+}  // namespace s2::stream
+
+#endif  // S2_STREAM_DELTA_INDEX_H_

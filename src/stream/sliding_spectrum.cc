@@ -1,0 +1,96 @@
+#include "stream/sliding_spectrum.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numbers>
+#include <utility>
+
+namespace s2::stream {
+
+Result<SlidingSpectrum> SlidingSpectrum::Create(
+    const std::vector<double>& window, std::vector<uint32_t> positions) {
+  if (window.empty()) {
+    return Status::InvalidArgument("SlidingSpectrum: empty window");
+  }
+  const uint32_t n = static_cast<uint32_t>(window.size());
+  const uint32_t bins = n / 2 + 1;
+  if (positions.empty() || positions.size() >= bins) {
+    return Status::InvalidArgument(
+        "SlidingSpectrum: need between 1 and bins-1 tracked positions");
+  }
+  for (size_t i = 0; i < positions.size(); ++i) {
+    if (positions[i] >= bins) {
+      return Status::InvalidArgument("SlidingSpectrum: position out of range");
+    }
+    if (i > 0 && positions[i] <= positions[i - 1]) {
+      return Status::InvalidArgument(
+          "SlidingSpectrum: positions must be strictly ascending");
+    }
+  }
+
+  S2_ASSIGN_OR_RETURN(std::vector<dsp::Complex> spectrum, dsp::ForwardDft(window));
+  std::vector<dsp::Complex> raw;
+  std::vector<dsp::Complex> twiddles;
+  raw.reserve(positions.size());
+  twiddles.reserve(positions.size());
+  for (uint32_t k : positions) {
+    raw.push_back(spectrum[k]);
+    const double angle = 2.0 * std::numbers::pi * static_cast<double>(k) /
+                         static_cast<double>(n);
+    twiddles.push_back(dsp::Complex(std::cos(angle), std::sin(angle)));
+  }
+  double sum = 0.0;
+  double sumsq = 0.0;
+  for (double x : window) {
+    sum += x;
+    sumsq += x * x;
+  }
+  return SlidingSpectrum(n, std::move(positions), std::move(raw),
+                         std::move(twiddles), sum, sumsq);
+}
+
+void SlidingSpectrum::Slide(double x_old, double x_new) {
+  const double delta = (x_new - x_old) / std::sqrt(static_cast<double>(n_));
+  for (size_t i = 0; i < raw_.size(); ++i) {
+    raw_[i] = twiddles_[i] * (raw_[i] + delta);
+  }
+  sum_ += x_new - x_old;
+  sumsq_ += x_new * x_new - x_old * x_old;
+}
+
+double SlidingSpectrum::mean() const { return sum_ / static_cast<double>(n_); }
+
+double SlidingSpectrum::std_dev() const {
+  const double mu = mean();
+  return std::sqrt(std::max(0.0, sumsq_ / static_cast<double>(n_) - mu * mu));
+}
+
+Result<repr::CompressedSpectrum> SlidingSpectrum::ToCompressed() const {
+  const double sigma = std_dev();
+  std::vector<dsp::Complex> coeffs;
+  coeffs.reserve(positions_.size());
+  double retained = 0.0;
+  for (size_t i = 0; i < positions_.size(); ++i) {
+    dsp::Complex z(0.0, 0.0);
+    // The standardized spectrum scales every non-DC bin by 1/sigma and
+    // zeroes DC (subtracting the mean only touches bin 0). A constant
+    // window standardizes to all-zeros, like dsp::Standardize.
+    if (positions_[i] != 0 && sigma > 0.0) z = raw_[i] / sigma;
+    const double m =
+        (positions_[i] == 0 || (n_ % 2 == 0 && positions_[i] == n_ / 2)) ? 1.0
+                                                                         : 2.0;
+    retained += m * std::norm(z);
+    coeffs.push_back(z);
+  }
+  // Parseval: a standardized window of length N has total energy exactly N
+  // (population sigma), so the omitted energy needs no scan of the omitted
+  // bins — and stays exact even when the tracked positions are stale.
+  const double total = sigma > 0.0 ? static_cast<double>(n_) : 0.0;
+  const double error = std::max(0.0, total - retained);
+  return repr::CompressedSpectrum::FromParts(
+      repr::ReprKind::kBestKError, n_, positions_, std::move(coeffs), error,
+      std::numeric_limits<double>::infinity());
+}
+
+}  // namespace s2::stream

@@ -1,0 +1,97 @@
+#ifndef S2_STREAM_SLIDING_SPECTRUM_H_
+#define S2_STREAM_SLIDING_SPECTRUM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "dsp/fft.h"
+#include "repr/compressed.h"
+
+namespace s2::stream {
+
+/// Incremental (momentary) DFT over a sliding window: maintains the
+/// normalized-DFT coefficients of a *fixed subset of bins* under
+/// slide-by-one updates in O(tracked bins) per append, instead of an
+/// O(N log N) FFT per append.
+///
+/// For the unitary DFT `X_k = (1/sqrt(N)) sum_t x_t e^{-2 pi i k t / N}`,
+/// sliding the window by one sample (drop `x_old`, append `x_new`) obeys
+/// the exact recurrence
+///
+///   X'_k = e^{+2 pi i k / N} * (X_k + (x_new - x_old) / sqrt(N)),
+///
+/// bin-independent in the correction term — O(1) per tracked bin. Running
+/// sums maintain the window mean/deviation so standardized coefficients
+/// `Z_k = X_k / sigma` (k > 0; the standardized DC bin is identically
+/// zero) are available without touching the window.
+///
+/// `ToCompressed` emits a best-k feature over the *frozen* tracked
+/// positions. Two deliberate deviations from a batch recompute keep it
+/// sound as the spectrum drifts away from the positions chosen at
+/// creation:
+///
+///  * the omitted energy is derived from Parseval — a standardized window
+///    has total energy exactly N — so `error` stays exact (up to fp drift
+///    of the running sums) even when the tracked bins are no longer the
+///    true best-k;
+///  * `min_power` is +infinity: a stale position set cannot bound the
+///    magnitude of omitted bins, and an understated minPower would break
+///    the lower bounds. With min_power = +inf the Best* bound algorithms
+///    degrade gracefully to their error-only (Wang-style) form — valid,
+///    merely looser.
+///
+/// Accumulated fp drift vs. a batch recompute is the documented tolerance
+/// tested in stream_feature_test; re-creating the state (one FFT)
+/// re-anchors both coefficients and positions.
+class SlidingSpectrum {
+ public:
+  /// Builds the state with one exact FFT over the raw (unstandardized)
+  /// `window`. `positions` are the half-spectrum bins to track (ascending,
+  /// within n/2+1 bins, non-empty, fewer than all bins) — typically the
+  /// best-k positions of the window's standardized feature.
+  static Result<SlidingSpectrum> Create(const std::vector<double>& window,
+                                        std::vector<uint32_t> positions);
+
+  /// Slides the window by one sample: `x_old` leaves the front, `x_new`
+  /// enters the back. O(tracked bins).
+  void Slide(double x_old, double x_new);
+
+  /// Window statistics from the running sums (population deviation, as
+  /// everywhere in this codebase).
+  double mean() const;
+  double std_dev() const;
+
+  uint32_t n() const { return n_; }
+  const std::vector<uint32_t>& positions() const { return positions_; }
+
+  /// Raw (unstandardized) coefficient of tracked slot `i`.
+  dsp::Complex raw_coeff(size_t i) const { return raw_[i]; }
+
+  /// The standardized best-k feature (kind kBestKError) described above. A
+  /// constant window (sigma == 0) standardizes to all-zeros, matching
+  /// dsp::Standardize.
+  Result<repr::CompressedSpectrum> ToCompressed() const;
+
+ private:
+  SlidingSpectrum(uint32_t n, std::vector<uint32_t> positions,
+                  std::vector<dsp::Complex> raw,
+                  std::vector<dsp::Complex> twiddles, double sum, double sumsq)
+      : n_(n),
+        positions_(std::move(positions)),
+        raw_(std::move(raw)),
+        twiddles_(std::move(twiddles)),
+        sum_(sum),
+        sumsq_(sumsq) {}
+
+  uint32_t n_;
+  std::vector<uint32_t> positions_;
+  std::vector<dsp::Complex> raw_;       // Raw DFT coefficients, tracked bins.
+  std::vector<dsp::Complex> twiddles_;  // e^{+2 pi i k / N} per tracked bin.
+  double sum_;
+  double sumsq_;
+};
+
+}  // namespace s2::stream
+
+#endif  // S2_STREAM_SLIDING_SPECTRUM_H_

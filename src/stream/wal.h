@@ -1,0 +1,121 @@
+#ifndef S2_STREAM_WAL_H_
+#define S2_STREAM_WAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "io/env.h"
+#include "timeseries/time_series.h"
+
+namespace s2::stream {
+
+/// One logged ingestion event: slide `series_id`'s window forward by one
+/// day, appending `value` (the corpus stays rectangular — the oldest day
+/// falls off the front, `start_day` advances by one).
+struct WalRecord {
+  ts::SeriesId series_id = ts::kInvalidSeriesId;
+  double value = 0.0;
+};
+
+/// Crash-safe append-only write-ahead log for point appends.
+///
+/// The serving path logs every append here *before* applying it to the
+/// engine; after a crash, replaying the log over a batch-rebuilt engine
+/// reconstructs every acknowledged append. File layout:
+///
+///   8-byte magic "S2WALF01", then fixed-size records of
+///   [u32 series_id | f64 value | u64 checksum]
+///
+/// in native byte order (matching every other on-disk format in the
+/// repository). The checksum is FNV-1a over the record payload, *chained*:
+/// record i's hash is seeded with record i-1's checksum (record 0 with the
+/// hash of the magic). Chaining matters because a torn tail is never
+/// truncated (io::File has no truncate); the next append simply overwrites
+/// it in place — and any stale bytes beyond the new tail then fail the
+/// chain and are ignored by replay, even if they were once valid records
+/// of a longer log.
+///
+/// Durability contract: a record is *acknowledged* once the `Append` (with
+/// `sync_every == 1`, the default) or a later `Sync` covering it has
+/// returned OK. `Open` replays every intact record in order and stops at
+/// the first short or checksum-failing record (a torn tail from a crash
+/// mid-write); everything after it is dropped and overwritten by
+/// subsequent appends. With `sync_every == 1` a failed `Append` leaves the
+/// log state unchanged, so the caller can simply retry.
+///
+/// Thread safety: none. The serving layer serializes appends behind its
+/// writer lock, matching the engine's own write path.
+class Wal {
+ public:
+  struct Options {
+    /// Records per fsync group. 1 (default) syncs every append, making each
+    /// successful `Append` an acknowledgement. Larger values trade the
+    /// durability of the last `< sync_every` records for throughput; call
+    /// `Sync` to flush the group early (e.g. before acknowledging a batch).
+    size_t sync_every = 1;
+  };
+
+  struct ReplayInfo {
+    /// Intact records applied during `Open`.
+    size_t records = 0;
+    /// Torn/garbage tail bytes ignored (they will be overwritten in place
+    /// by the next append).
+    uint64_t dropped_bytes = 0;
+  };
+
+  /// Opens (creating if absent) the log at `path` and replays every intact
+  /// record through `apply` in append order. A failing `apply` aborts the
+  /// open with its error. `env` null means the POSIX filesystem; `info`,
+  /// when non-null, receives replay statistics.
+  static Result<std::unique_ptr<Wal>> Open(
+      io::Env* env, const std::string& path,
+      const std::function<Status(const WalRecord&)>& apply, ReplayInfo* info,
+      const Options& options);
+  static Result<std::unique_ptr<Wal>> Open(
+      io::Env* env, const std::string& path,
+      const std::function<Status(const WalRecord&)>& apply,
+      ReplayInfo* info = nullptr) {
+    return Open(env, path, apply, info, Options());
+  }
+
+  /// Appends one record at the logical tail. With `sync_every == 1` the
+  /// record is durable (acknowledged) when this returns OK; on any error
+  /// the log state is unchanged and the call may be retried.
+  Status Append(const WalRecord& record);
+
+  /// Flushes the current fsync group (no-op when everything is synced).
+  Status Sync();
+
+  /// Records acknowledged through this handle plus those replayed at open.
+  size_t record_count() const { return record_count_; }
+
+  /// Byte offset of the logical tail (header + intact records).
+  uint64_t tail_offset() const { return tail_; }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  Wal(std::string path, std::unique_ptr<io::File> file, Options options,
+      uint64_t tail, uint64_t chain, size_t record_count)
+      : path_(std::move(path)),
+        file_(std::move(file)),
+        options_(options),
+        tail_(tail),
+        chain_(chain),
+        record_count_(record_count) {}
+
+  std::string path_;
+  std::unique_ptr<io::File> file_;
+  Options options_;
+  uint64_t tail_ = 0;        // Next append offset (end of intact records).
+  uint64_t chain_ = 0;       // Checksum of the last intact record.
+  size_t record_count_ = 0;
+  size_t unsynced_ = 0;      // Records written since the last fsync.
+};
+
+}  // namespace s2::stream
+
+#endif  // S2_STREAM_WAL_H_

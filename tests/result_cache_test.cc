@@ -108,6 +108,36 @@ TEST(ResultCacheTest, InvalidateCrossSeriesKeepsPerSeriesEntries) {
   EXPECT_TRUE(cache.Lookup(Key(1, 5, RequestKind::kBurstsOf)).has_value());
 }
 
+TEST(ResultCacheTest, InvalidateForAppendDropsOwnPerSeriesAndAllCrossSeries) {
+  ResultCache cache(16);
+  // Per-series entries for the appended series (id 1) and a bystander (id 2),
+  // plus cross-series entries keyed by both ids.
+  cache.Insert(Key(1, 5, RequestKind::kPeriodsOf), NeighborResponse(9));
+  cache.Insert(Key(1, 5, RequestKind::kBurstsOf), NeighborResponse(9));
+  cache.Insert(Key(2, 5, RequestKind::kPeriodsOf), NeighborResponse(9));
+  cache.Insert(Key(2, 5, RequestKind::kBurstsOf), NeighborResponse(9));
+  cache.Insert(Key(1, 5, RequestKind::kSimilarTo), NeighborResponse(9));
+  cache.Insert(Key(2, 5, RequestKind::kSimilarTo), NeighborResponse(9));
+  cache.Insert(Key(2, 5, RequestKind::kSimilarToDtw), NeighborResponse(9));
+  cache.Insert(Key(2, 5, RequestKind::kQueryByBurst), NeighborResponse(9));
+  ASSERT_EQ(cache.size(), 8u);
+
+  // Appending a point to series 1 changes series 1's own values (so its
+  // periods/bursts entries go) and may reorder any top-k or burst ranking
+  // (so every cross-series entry goes, whichever series it is keyed by).
+  // Only the per-series entries of untouched series survive.
+  cache.InvalidateForAppend(1);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_FALSE(cache.Lookup(Key(1, 5, RequestKind::kPeriodsOf)).has_value());
+  EXPECT_FALSE(cache.Lookup(Key(1, 5, RequestKind::kBurstsOf)).has_value());
+  EXPECT_FALSE(cache.Lookup(Key(1, 5, RequestKind::kSimilarTo)).has_value());
+  EXPECT_FALSE(cache.Lookup(Key(2, 5, RequestKind::kSimilarTo)).has_value());
+  EXPECT_FALSE(cache.Lookup(Key(2, 5, RequestKind::kSimilarToDtw)).has_value());
+  EXPECT_FALSE(cache.Lookup(Key(2, 5, RequestKind::kQueryByBurst)).has_value());
+  EXPECT_TRUE(cache.Lookup(Key(2, 5, RequestKind::kPeriodsOf)).has_value());
+  EXPECT_TRUE(cache.Lookup(Key(2, 5, RequestKind::kBurstsOf)).has_value());
+}
+
 TEST(ResultCacheTest, ZeroCapacityDisablesCaching) {
   ResultCache cache(0);
   cache.Insert(Key(1), NeighborResponse(1));

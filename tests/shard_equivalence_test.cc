@@ -280,6 +280,48 @@ TEST(ShardEquivalenceTest, AddSeriesKeepsEquivalenceAndBalance) {
   }
 }
 
+TEST(ShardEquivalenceTest, AddSeriesPlacementIsDeterministicWithLowestShardTies) {
+  // Pins the least-loaded tie-break documented in ShardedEngine::AddSeries:
+  // on equal load the *lowest* shard id wins, so placement is a pure
+  // function of the AddSeries sequence. 72 series over 3 shards start out
+  // at 24 apiece, so each wave of three adds must sweep shards 0, 1, 2 in
+  // that order. If this test breaks, so does WAL replay onto a rebuilt
+  // sharded server (replay assumes ids resolve to the same owners).
+  const uint64_t seed = kSeeds[0];
+  ShardedEngine sharded = MakeSharded(seed, 3);
+  qlog::CorpusSpec spec;
+  spec.num_series = kNumSeries;
+  spec.n_days = kDays;
+  spec.seed = seed;
+  auto extra = qlog::GenerateQueries(spec, 7);
+  ASSERT_TRUE(extra.ok());
+
+  const uint32_t want_shard[] = {0, 1, 2, 0, 1, 2, 0};
+  for (size_t i = 0; i < extra->size(); ++i) {
+    auto id = sharded.AddSeries((*extra)[i]);
+    ASSERT_TRUE(id.ok());
+    auto placement = sharded.PlacementOf(*id);
+    ASSERT_TRUE(placement.ok());
+    EXPECT_EQ(placement->shard, want_shard[i]) << "add " << i;
+  }
+
+  // Replaying the identical sequence into a second engine reproduces every
+  // placement bit-for-bit — nothing about routing depends on hidden state.
+  ShardedEngine replayed = MakeSharded(seed, 3);
+  for (const ts::TimeSeries& series : *extra) {
+    ASSERT_TRUE(replayed.AddSeries(series).ok());
+  }
+  ASSERT_EQ(replayed.size(), sharded.size());
+  for (ts::SeriesId id = 0; id < sharded.size(); ++id) {
+    auto a = sharded.PlacementOf(id);
+    auto b = replayed.PlacementOf(id);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a->shard, b->shard) << "id " << id;
+    EXPECT_EQ(a->local, b->local) << "id " << id;
+  }
+}
+
 TEST(ShardEquivalenceTest, ServerAnswersMatchAcrossTopologies) {
   // The same invisibility must hold one layer up, through S2Server::Build.
   const uint64_t seed = kSeeds[1];

@@ -1,0 +1,196 @@
+// Serving-layer behavior of the streaming subsystem: the append verb's
+// locking/caching/metrics contract, WAL acknowledgement ordering (validate
+// before logging, log before applying), and threshold-triggered background
+// compaction on the maintenance thread.
+
+#include "service/s2_server.h"
+
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "io/mem_env.h"
+#include "querylog/corpus_generator.h"
+
+namespace s2::service {
+namespace {
+
+constexpr size_t kNumSeries = 24;
+constexpr size_t kDays = 64;
+
+ts::Corpus MakeCorpus() {
+  qlog::CorpusSpec spec;
+  spec.num_series = kNumSeries;
+  spec.n_days = kDays;
+  spec.seed = 303;
+  auto corpus = qlog::GenerateCorpus(spec);
+  EXPECT_TRUE(corpus.ok());
+  return std::move(corpus).ValueOrDie();
+}
+
+core::S2Engine::Options EngineOptions() {
+  core::S2Engine::Options options;
+  options.index.budget_c = 8;
+  options.index.leaf_size = 4;
+  return options;
+}
+
+std::unique_ptr<S2Server> MakeServer(S2Server::Options options) {
+  options.scheduler.threads = 1;
+  auto server = S2Server::Build(MakeCorpus(), EngineOptions(), options);
+  EXPECT_TRUE(server.ok()) << server.status().ToString();
+  return std::move(server).ValueOrDie();
+}
+
+QueryResponse Query(S2Server* server, RequestKind kind, ts::SeriesId id) {
+  QueryRequest request;
+  request.kind = kind;
+  request.id = id;
+  request.k = 5;
+  return server->Execute(request);
+}
+
+TEST(StreamServerTest, AppendUpdatesStateMetricsAndAnswers) {
+  S2Server::Options options;
+  options.compaction_threshold = 0;
+  std::unique_ptr<S2Server> server = MakeServer(options);
+
+  EXPECT_EQ(server->stream_info().delta_size, 0u);
+  ASSERT_TRUE(server->AppendPoint(3, 17.5).ok());
+  ASSERT_TRUE(server->AppendPoint(3, 18.5).ok());
+  ASSERT_TRUE(server->AppendPoint(9, 2.0).ok());
+
+  const auto info = server->stream_info();
+  EXPECT_FALSE(info.wal_enabled);
+  EXPECT_EQ(info.delta_size, 2u);  // Two distinct series moved to the delta.
+  EXPECT_EQ(info.append_count, 3u);
+  EXPECT_EQ(server->metrics().counter("stream_appends")->value(), 3u);
+  EXPECT_EQ(server->metrics().histogram("stream_append_latency")->count(), 3u);
+
+  // The slid series answers with its new tail.
+  EXPECT_EQ(server->engine().corpus().at(3).values.back(), 18.5);
+  EXPECT_TRUE(Query(server.get(), RequestKind::kSimilarTo, 3).status.ok());
+
+  // Manual compaction drains the delta and counts.
+  ASSERT_TRUE(server->Compact().ok());
+  EXPECT_EQ(server->stream_info().delta_size, 0u);
+  EXPECT_EQ(server->stream_info().compaction_count, 1u);
+  EXPECT_EQ(server->metrics().counter("stream_compacted_series")->value(), 2u);
+  EXPECT_EQ(server->metrics().histogram("stream_compaction_latency")->count(), 1u);
+  // An empty delta makes Compact a no-op, not another compaction.
+  ASSERT_TRUE(server->Compact().ok());
+  EXPECT_EQ(server->stream_info().compaction_count, 1u);
+}
+
+TEST(StreamServerTest, AppendValidatesBeforeTouchingAnything) {
+  S2Server::Options options;
+  std::unique_ptr<S2Server> server = MakeServer(options);
+  EXPECT_EQ(server->AppendPoint(kNumSeries + 5, 1.0).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(server->AppendPoint(0, std::nan("")).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(server->stream_info().append_count, 0u);
+  EXPECT_EQ(server->stream_info().delta_size, 0u);
+}
+
+TEST(StreamServerTest, AppendInvalidatesExactlyTheAffectedCacheEntries) {
+  S2Server::Options options;
+  options.cache_capacity = 64;
+  options.compaction_threshold = 0;
+  std::unique_ptr<S2Server> server = MakeServer(options);
+
+  // Warm the cache: per-series entries for two series plus a cross-series
+  // entry for the untouched one.
+  ASSERT_TRUE(Query(server.get(), RequestKind::kPeriodsOf, 3).status.ok());
+  ASSERT_TRUE(Query(server.get(), RequestKind::kPeriodsOf, 9).status.ok());
+  ASSERT_TRUE(Query(server.get(), RequestKind::kSimilarTo, 9).status.ok());
+  ASSERT_EQ(server->cache().size(), 3u);
+
+  ASSERT_TRUE(server->AppendPoint(3, 21.0).ok());
+
+  // Survivor: periods of the untouched series 9. Dropped: periods of 3 (its
+  // values changed) and the k-NN entry (any top-k may now include the slid
+  // series 3).
+  EXPECT_EQ(server->cache().size(), 1u);
+  EXPECT_TRUE(Query(server.get(), RequestKind::kPeriodsOf, 9).cache_hit);
+  EXPECT_FALSE(Query(server.get(), RequestKind::kPeriodsOf, 3).cache_hit);
+  EXPECT_FALSE(Query(server.get(), RequestKind::kSimilarTo, 9).cache_hit);
+}
+
+TEST(StreamServerTest, BackgroundCompactionFiresPastTheThreshold) {
+  S2Server::Options options;
+  options.compaction_threshold = 3;
+  std::unique_ptr<S2Server> server = MakeServer(options);
+
+  ASSERT_TRUE(server->AppendPoint(1, 5.0).ok());
+  ASSERT_TRUE(server->AppendPoint(2, 5.0).ok());
+  EXPECT_EQ(server->stream_info().compaction_count, 0u);  // Below threshold.
+  ASSERT_TRUE(server->AppendPoint(3, 5.0).ok());
+
+  // The maintenance thread runs asynchronously; poll with a bounded wait.
+  bool compacted = false;
+  for (int i = 0; i < 200 && !compacted; ++i) {
+    const auto info = server->stream_info();
+    compacted = info.compaction_count >= 1 && info.delta_size == 0;
+    if (!compacted) std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(compacted) << "background compaction never drained the delta";
+  EXPECT_EQ(server->metrics().counter("stream_compactions")->value(), 1u);
+}
+
+TEST(StreamServerTest, WalAcknowledgesBeforeApplyAndReplaysOnRestart) {
+  io::MemEnv wal_env;
+  S2Server::Options options;
+  options.wal_path = "server.wal";
+  options.wal_env = &wal_env;
+  options.compaction_threshold = 0;
+
+  {
+    std::unique_ptr<S2Server> server = MakeServer(options);
+    EXPECT_TRUE(server->stream_info().wal_enabled);
+    EXPECT_EQ(server->stream_info().replayed_records, 0u);
+    ASSERT_TRUE(server->AppendPoint(4, 9.0).ok());
+    ASSERT_TRUE(server->AppendPoint(4, 10.0).ok());
+    // Rejected appends must leave no poison record behind.
+    EXPECT_FALSE(server->AppendPoint(kNumSeries + 1, 1.0).ok());
+    EXPECT_FALSE(server->AppendPoint(0, std::nan("")).ok());
+  }
+
+  std::unique_ptr<S2Server> revived = MakeServer(options);
+  const auto info = revived->stream_info();
+  EXPECT_EQ(info.replayed_records, 2u);
+  EXPECT_EQ(info.replay_dropped_bytes, 0u);
+  EXPECT_EQ(revived->metrics().counter("stream_replay_records")->value(), 2u);
+  EXPECT_EQ(revived->engine().corpus().at(4).values.back(), 10.0);
+  // Replayed appends live in the delta tier until compaction.
+  EXPECT_EQ(info.delta_size, 1u);
+}
+
+TEST(StreamServerTest, ShardedServerRoutesAppendsToOwnerShards) {
+  S2Server::Options options;
+  options.shards = 3;
+  options.compaction_threshold = 0;
+  std::unique_ptr<S2Server> server = MakeServer(options);
+  ASSERT_TRUE(server->is_sharded());
+
+  ASSERT_TRUE(server->AppendPoint(0, 4.0).ok());
+  ASSERT_TRUE(server->AppendPoint(1, 4.0).ok());
+  ASSERT_TRUE(server->AppendPoint(2, 4.0).ok());
+
+  const auto info = server->stream_info();
+  EXPECT_EQ(info.append_count, 3u);
+  EXPECT_EQ(info.delta_size, 3u);
+  // Round-robin placement: ids 0, 1, 2 land on three different shards, so
+  // each shard's delta holds exactly one series.
+  for (size_t s = 0; s < server->sharded().num_shards(); ++s) {
+    EXPECT_EQ(server->sharded().shard(s).delta_size(), 1u) << "shard " << s;
+  }
+  ASSERT_TRUE(server->Compact().ok());
+  EXPECT_EQ(server->stream_info().delta_size, 0u);
+  ASSERT_TRUE(server->sharded().ValidateInvariants().ok());
+}
+
+}  // namespace
+}  // namespace s2::service

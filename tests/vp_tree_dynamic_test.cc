@@ -136,6 +136,85 @@ TEST_F(VpTreeDynamicTest, RemoveVantagePointTombstones) {
   EXPECT_EQ(index_->Remove(0).code(), StatusCode::kNotFound);
 }
 
+TEST_F(VpTreeDynamicTest, RemoveWithWrongLengthPinIsRejected) {
+  const std::vector<double> short_pin(5, 0.0);
+  EXPECT_EQ(index_->Remove(0, &short_pin).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(index_->size(), 100u);  // Nothing was removed.
+}
+
+TEST_F(VpTreeDynamicTest, CreateEmptyGrowsPurelyThroughInserts) {
+  // The delta tier of the streaming layer starts from zero objects.
+  VpTreeIndex::Options options;
+  options.budget_c = 16;
+  options.leaf_size = 4;
+  auto delta = VpTreeIndex::CreateEmpty(options, 128);
+  ASSERT_TRUE(delta.ok()) << delta.status().ToString();
+  EXPECT_EQ(delta->size(), 0u);
+
+  auto none = delta->Search(rows_[0], 5, source_.get(), nullptr);
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->empty());
+
+  std::vector<ts::SeriesId> live;
+  for (ts::SeriesId id = 100; id < 160; ++id) {
+    ASSERT_TRUE(delta->Insert(id, rows_[id], source_.get()).ok()) << id;
+    live.push_back(id);
+  }
+  EXPECT_EQ(delta->size(), 60u);
+  ASSERT_TRUE(delta->Validate(source_.get()).ok());
+  for (ts::SeriesId query_id : {0u, 130u, 159u}) {
+    const auto expected = BruteForceKnn(rows_, live, rows_[query_id], 5);
+    auto got = delta->Search(rows_[query_id], 5, source_.get(), nullptr);
+    ASSERT_TRUE(got.ok());
+    ASSERT_EQ(got->size(), expected.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+      const double want = *dsp::Euclidean(rows_[query_id], rows_[expected[i]]);
+      EXPECT_NEAR((*got)[i].distance, want, 1e-9) << "rank " << i;
+    }
+  }
+}
+
+TEST_F(VpTreeDynamicTest, PinnedRowsSurviveStoreRowChangesAndReinsertion) {
+  // Tombstone a batch of ids, pinning each row at removal time. Some of the
+  // removals hit vantage points (tombstones), some leaf objects.
+  std::vector<ts::SeriesId> removed;
+  for (ts::SeriesId id = 0; id < 100 && index_->num_tombstones() < 6; id += 5) {
+    ASSERT_TRUE(index_->Remove(id, &rows_[id]).ok()) << id;
+    removed.push_back(id);
+    live_.erase(std::find(live_.begin(), live_.end(), id));
+  }
+  ASSERT_GT(index_->num_tombstones(), 0u);
+
+  // The streaming append path slides each removed series' window in place:
+  // the store's row for a tombstoned vantage changes under the tree.
+  Rng rng(5);
+  for (ts::SeriesId id : removed) {
+    std::vector<double> slid(rows_[id].size());
+    for (double& v : slid) v = rng.Normal(0.0, 1.0);
+    rows_[id] = slid;
+    ASSERT_TRUE(source_->Update(id, slid).ok());
+  }
+
+  // ...then re-inserts the series under its new row. Tombstoned ids are not
+  // "contained", so the same id re-enters; any routing that crosses its own
+  // tombstone must use the pinned old row — routing by the store's new row
+  // would contradict the medians built around the old one.
+  for (ts::SeriesId id : removed) {
+    ASSERT_TRUE(index_->Insert(id, rows_[id], source_.get()).ok()) << id;
+    live_.push_back(id);
+  }
+  ASSERT_TRUE(index_->Validate(source_.get()).ok());
+  CheckExactness(1);
+  CheckExactness(5);
+  // Every re-inserted series finds its new self at distance zero.
+  for (ts::SeriesId id : removed) {
+    auto got = index_->Search(rows_[id], 1, source_.get(), nullptr);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ((*got)[0].id, id);
+    EXPECT_NEAR((*got)[0].distance, 0.0, 1e-9);
+  }
+}
+
 TEST_F(VpTreeDynamicTest, MixedWorkloadStaysExact) {
   Rng rng(99);
   std::vector<ts::SeriesId> pending;

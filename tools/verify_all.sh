@@ -10,6 +10,7 @@
 # Usage: tools/verify_all.sh [jobs]
 #        tools/verify_all.sh faults [jobs]
 #        tools/verify_all.sh sharding [jobs]
+#        tools/verify_all.sh stream [jobs]
 #
 # The `faults` profile is a focused resilience gate: it builds under
 # AddressSanitizer and runs only the fault-injection / crash-safety tests
@@ -22,6 +23,13 @@
 # (ctest label `sharding`) plus the thread-pool contract tests and one short
 # bench_shard pass — TSan over exactly the code that shares a pruning radius
 # across threads.
+#
+# The `stream` profile is the streaming-ingestion gate: it builds under
+# AddressSanitizer and runs the stream-labelled tests (WAL round-trip and
+# torn-tail handling, incremental-vs-batch feature drift, delta-tier
+# equivalence including the WAL crash-point sweep in
+# stream_equivalence_test.cc) plus one short bench_stream pass that checks
+# the delta-tier query-cost bar.
 set -u
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -62,6 +70,25 @@ if [ "${1:-}" = "sharding" ]; then
     --shards-max 4 \
     || { echo "FAIL [sharding]: bench_shard" >&2; exit 1; }
   echo "verify_all.sh: sharding profile green."
+  exit 0
+fi
+
+if [ "${1:-}" = "stream" ]; then
+  jobs="${2:-$(nproc 2> /dev/null || echo 4)}"
+  build_dir="${repo_root}/build-verify-stream"
+  echo "==== [stream] ASan build + stream-labelled tests + bench_stream ===="
+  cmake -S "${repo_root}" -B "${build_dir}" \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DS2_SANITIZE=address > "${build_dir}.configure.log" 2>&1 \
+    || { echo "FAIL [stream]: configure (see ${build_dir}.configure.log)" >&2; exit 1; }
+  cmake --build "${build_dir}" -j "${jobs}" > "${build_dir}.build.log" 2>&1 \
+    || { echo "FAIL [stream]: build (see ${build_dir}.build.log)" >&2; exit 1; }
+  ctest --test-dir "${build_dir}" -L stream --output-on-failure -j "${jobs}" \
+    || { echo "FAIL [stream]: stream tests" >&2; exit 1; }
+  "${build_dir}/bench/bench_stream" --series 256 --days 128 --appends 600 \
+    --requests 60 --delta 32 \
+    || { echo "FAIL [stream]: bench_stream" >&2; exit 1; }
+  echo "verify_all.sh: stream profile green."
   exit 0
 fi
 
