@@ -193,6 +193,8 @@ int main(int argc, char** argv) {
   const size_t requests = bench::ArgSize(argc, argv, "--requests", 200);
   const size_t k = bench::ArgSize(argc, argv, "--k", 10);
   const size_t delta = bench::ArgSize(argc, argv, "--delta", 64);
+  const std::string json_path =
+      bench::ArgString(argc, argv, "--json", "BENCH_stream.json");
 
   std::printf("bench_stream: series=%zu days=%zu appends=%zu requests=%zu "
               "k=%zu delta=%zu\n",
@@ -211,25 +213,53 @@ int main(int argc, char** argv) {
       {"incremental", true, false},
       {"incremental+wal", true, true},
   };
+  bench::Json append_rows = bench::Json::Array();
   for (const auto& config : configs) {
     const AppendRow row = RunAppends(config.name, series, days, appends,
                                      config.incremental, config.wal);
     std::printf("  %-24s %12.1f %10.1f %12llu\n", row.config,
                 row.appends_per_s, row.avg_us,
                 static_cast<unsigned long long>(row.compactions));
+    append_rows.Push(bench::Json::Object()
+                         .Add("config", row.config)
+                         .Add("appends_per_s", row.appends_per_s)
+                         .Add("avg_us", row.avg_us)
+                         .Add("compactions", row.compactions));
   }
 
   bench::PrintHeader("Query latency: delta tier populated vs compacted");
   std::printf("  %-16s %12s %14s %10s\n", "verb", "delta_us", "compacted_us",
               "ratio");
   bool within_bar = true;
+  bench::Json latency_rows = bench::Json::Array();
   for (const LatencyRow& row :
        RunDeltaVsCompacted(series, days, requests, k, delta)) {
     std::printf("  %-16s %12.1f %14.1f %9.2fx\n", row.verb, row.delta_us,
                 row.compacted_us, row.ratio());
     within_bar = within_bar && row.ratio() <= 2.0;
+    latency_rows.Push(bench::Json::Object()
+                          .Add("verb", row.verb)
+                          .Add("delta_us", row.delta_us)
+                          .Add("compacted_us", row.compacted_us)
+                          .Add("ratio", row.ratio()));
   }
   std::printf("\n  acceptance bar (every verb within 2.0x of compacted): %s\n",
               within_bar ? "PASS" : "FAIL");
+
+  bench::WriteJsonFile(
+      json_path,
+      bench::Json::Object()
+          .Add("bench", "bench_stream")
+          .Add("spec", bench::Json::Object()
+                           .Add("series", static_cast<uint64_t>(series))
+                           .Add("days", static_cast<uint64_t>(days))
+                           .Add("appends", static_cast<uint64_t>(appends))
+                           .Add("requests", static_cast<uint64_t>(requests))
+                           .Add("k", static_cast<uint64_t>(k))
+                           .Add("delta", static_cast<uint64_t>(delta)))
+          .Add("append_throughput", std::move(append_rows))
+          .Add("delta_vs_compacted", std::move(latency_rows))
+          .Add("within_2x_bar", bench::Json::String(within_bar ? "PASS"
+                                                               : "FAIL")));
   return 0;
 }

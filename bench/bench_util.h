@@ -9,8 +9,11 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "dsp/stats.h"
@@ -144,6 +147,113 @@ inline void PrintHeader(const std::string& title) {
   std::printf("\n================================================================\n");
   std::printf("%s\n", title.c_str());
   std::printf("================================================================\n");
+}
+
+/// Minimal JSON value/object builder for the machine-readable BENCH_*.json
+/// result files (ROADMAP: record the perf trajectory, not just stdout
+/// tables). Insertion-ordered, no external deps; numbers print with enough
+/// precision to round-trip doubles.
+class Json {
+ public:
+  static Json Number(double v) {
+    Json j;
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.17g", v);
+    j.repr_ = buffer;
+    return j;
+  }
+  static Json Number(uint64_t v) {
+    Json j;
+    j.repr_ = std::to_string(v);
+    return j;
+  }
+  static Json String(const std::string& s) {
+    std::string escaped;
+    escaped.reserve(s.size() + 2);
+    escaped.push_back('"');
+    for (char c : s) {
+      switch (c) {
+        case '"': escaped += "\\\""; break;
+        case '\\': escaped += "\\\\"; break;
+        case '\n': escaped += "\\n"; break;
+        default: escaped.push_back(c);
+      }
+    }
+    escaped.push_back('"');
+    Json j;
+    j.repr_ = std::move(escaped);
+    return j;
+  }
+  static Json Object() {
+    Json j;
+    j.is_object_ = true;
+    return j;
+  }
+  static Json Array() {
+    Json j;
+    j.is_array_ = true;
+    return j;
+  }
+
+  Json& Add(const std::string& key, Json value) {
+    members_.emplace_back(key, std::move(value));
+    return *this;
+  }
+  Json& Add(const std::string& key, double v) { return Add(key, Number(v)); }
+  Json& Add(const std::string& key, uint64_t v) { return Add(key, Number(v)); }
+  Json& Add(const std::string& key, const char* v) {
+    return Add(key, String(v));
+  }
+  Json& Push(Json value) {
+    members_.emplace_back("", std::move(value));
+    return *this;
+  }
+
+  std::string ToString(int indent = 0) const {
+    const std::string pad(static_cast<size_t>(indent) * 2, ' ');
+    const std::string inner(static_cast<size_t>(indent + 1) * 2, ' ');
+    if (!is_object_ && !is_array_) return repr_;
+    std::string out = is_object_ ? "{" : "[";
+    for (size_t i = 0; i < members_.size(); ++i) {
+      out += i == 0 ? "\n" : ",\n";
+      out += inner;
+      if (is_object_) out += "\"" + members_[i].first + "\": ";
+      out += members_[i].second.ToString(indent + 1);
+    }
+    if (!members_.empty()) out += "\n" + pad;
+    out += is_object_ ? "}" : "]";
+    return out;
+  }
+
+ private:
+  std::string repr_;
+  bool is_object_ = false;
+  bool is_array_ = false;
+  std::vector<std::pair<std::string, Json>> members_;
+};
+
+/// Writes `json` to `path` (plus a trailing newline); exits on I/O failure
+/// like every other bench fatal.
+inline void WriteJsonFile(const std::string& path, const Json& json) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  const std::string text = json.ToString();
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("\n  wrote %s\n", path.c_str());
+}
+
+/// "--flag value" string lookup with a default, for JSON output paths.
+inline std::string ArgString(int argc, char** argv, const std::string& flag,
+                             const std::string& def) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (flag == argv[i]) return argv[i + 1];
+  }
+  return def;
 }
 
 }  // namespace s2::bench

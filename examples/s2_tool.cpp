@@ -24,6 +24,18 @@
 //   compact                - merge the delta tier into the main index
 //   stream                 - streaming-state snapshot (delta size, counters)
 //   replay                 - WAL replay stats from startup
+//   subscribe burst <name> [window [enter [exit]]]
+//                          - standing burst alert (MA ratio with hysteresis)
+//   subscribe period <name>- standing periodicity-change alert
+//   subscribe similar <name> [radius]
+//                          - drift alert: the series' own current shape is
+//                            the query; alerts fire when appends push it out
+//                            of (and back into) the ball
+//   unsubscribe <id>       - retire a standing subscription
+//   subs                   - list active subscriptions + hysteresis state
+//   alerts [max]           - poll pending alerts, then ack them (gaps in
+//                            seq mark overflow-dropped alerts)
+//   monitor                - standing-query state snapshot
 //   demo                   - run a scripted tour
 //   quit
 //
@@ -41,6 +53,7 @@
 // synthetic corpus) replays the log so no acknowledged append is lost —
 // `replay` shows what came back.
 
+#include <algorithm>
 #include <cctype>
 #include <chrono>
 #include <cstdio>
@@ -53,6 +66,8 @@
 
 #include "common/rng.h"
 #include "core/s2_engine.h"
+#include "monitor/registry.h"
+#include "monitor/subscription.h"
 #include "service/s2_server.h"
 #include "shard/sharded_engine.h"
 #include "dsp/stats.h"
@@ -159,6 +174,27 @@ class Tool {
       StreamState();
     } else if (command == "replay") {
       ReplayStats();
+    } else if (command == "subscribe") {
+      std::string kind;
+      in >> kind;
+      Subscribe(kind, Rest(in));
+    } else if (command == "unsubscribe") {
+      unsigned long long id = 0;
+      if (in >> id) {
+        const Status status = server_->Unsubscribe(id);
+        std::printf("  %s\n", status.ok() ? "unsubscribed"
+                                          : status.ToString().c_str());
+      } else {
+        std::printf("  usage: unsubscribe <id>\n");
+      }
+    } else if (command == "subs") {
+      ListSubscriptions();
+    } else if (command == "alerts") {
+      size_t max = 20;
+      if (!(in >> max)) max = 20;
+      Alerts(max);
+    } else if (command == "monitor") {
+      MonitorState();
     } else if (command == "demo") {
       Demo();
     } else if (serving_ && command == "metrics") {
@@ -206,6 +242,9 @@ class Tool {
         "  list [prefix] | show <name> | similar <name> [k] | periods <name>\n"
         "  bursts <name> [long|short] | qbb <name> [k] | reconstruct <name> [c]\n"
         "  append <name> <value> | compact | stream | replay\n"
+        "  subscribe burst <name> [window [enter [exit]]]\n"
+        "  subscribe period <name> | subscribe similar <name> [radius]\n"
+        "  unsubscribe <id> | subs | alerts [max] | monitor\n"
         "  demo | quit\n");
     if (serving_) {
       std::printf("  load <n> [k] | metrics     (server mode)\n");
@@ -474,6 +513,150 @@ class Tool {
                 static_cast<long long>(info.replay_time.count()));
   }
 
+  // Splits "<multi word name> [num [num [num]]]" — trailing numeric tokens
+  // (at most `max_numbers`) peel off into `numbers`, front to back.
+  static std::string SplitTrailingNumbers(std::string rest, size_t max_numbers,
+                                          std::vector<double>* numbers) {
+    std::vector<double> tail;
+    while (tail.size() < max_numbers) {
+      const size_t space = rest.find_last_of(' ');
+      if (space == std::string::npos) break;
+      const std::string token = rest.substr(space + 1);
+      char* end = nullptr;
+      const double parsed = std::strtod(token.c_str(), &end);
+      if (end == token.c_str() || *end != '\0') break;
+      tail.insert(tail.begin(), parsed);
+      rest = rest.substr(0, space);
+    }
+    *numbers = std::move(tail);
+    return rest;
+  }
+
+  void Subscribe(const std::string& kind, const std::string& rest) {
+    monitor::Subscription sub;
+    std::vector<double> params;
+    std::string name;
+    if (kind == "burst") {
+      name = SplitTrailingNumbers(rest, 3, &params);
+      sub.kind = monitor::SubscriptionKind::kBurstThreshold;
+      if (params.size() > 0) sub.burst.window = static_cast<uint32_t>(params[0]);
+      if (params.size() > 1) sub.burst.enter_ratio = params[1];
+      if (params.size() > 2) sub.burst.exit_ratio = params[2];
+    } else if (kind == "period") {
+      name = rest;
+      sub.kind = monitor::SubscriptionKind::kPeriodicityChange;
+    } else if (kind == "similar") {
+      name = SplitTrailingNumbers(rest, 1, &params);
+      sub.kind = monitor::SubscriptionKind::kSimilarityWatch;
+      sub.similarity.radius = params.empty() ? 1.0 : params[0];
+    } else {
+      std::printf("  usage: subscribe burst|period|similar <name> [params]\n");
+      return;
+    }
+    auto id = FindId(name);
+    if (!id.ok()) {
+      std::printf("  %s\n", id.status().ToString().c_str());
+      return;
+    }
+    sub.series = *id;
+    if (sub.kind == monitor::SubscriptionKind::kSimilarityWatch) {
+      // The series' own current shape is the query: the watch arms inside
+      // the ball (silently) and alerts when future appends push it out.
+      sub.similarity.query = SeriesAt(*id).values;
+    }
+    auto assigned = server_->Subscribe(sub);
+    if (!assigned.ok()) {
+      std::printf("  %s\n", assigned.status().ToString().c_str());
+      return;
+    }
+    std::printf("  subscription %llu armed on '%s' (%s)\n",
+                static_cast<unsigned long long>(*assigned), name.c_str(),
+                kind.c_str());
+  }
+
+  void ListSubscriptions() {
+    // Topology-neutral: one engine's registry, or every shard's (entries
+    // carry global series ids either way; merge sorted by id).
+    std::vector<monitor::SubscriptionRegistry::Entry> entries;
+    if (server_->is_sharded()) {
+      for (size_t s = 0; s < server_->sharded().num_shards(); ++s) {
+        const auto shard_entries =
+            server_->sharded().shard(s).monitor_registry().List();
+        entries.insert(entries.end(), shard_entries.begin(),
+                       shard_entries.end());
+      }
+      std::sort(entries.begin(), entries.end(),
+                [](const auto& a, const auto& b) { return a.sub.id < b.sub.id; });
+    } else {
+      entries = engine().monitor_registry().List();
+    }
+    if (entries.empty()) {
+      std::printf("  no active subscriptions\n");
+      return;
+    }
+    static const char* kKinds[] = {"burst", "period", "similar"};
+    for (const auto& entry : entries) {
+      std::printf("  #%-4llu %-8s %-24s %s\n",
+                  static_cast<unsigned long long>(entry.sub.id),
+                  kKinds[static_cast<uint32_t>(entry.sub.kind)],
+                  SeriesAt(entry.sub.series).name.c_str(),
+                  entry.engaged ? "engaged" : "armed");
+    }
+  }
+
+  void Alerts(size_t max) {
+    static const char* kAlertKinds[] = {
+        "burst-begin",  "burst-end",   "period-gained",   "period-shift",
+        "period-lost",  "similar-in",  "similar-out"};
+    const std::vector<monitor::Alert> alerts = server_->PollAlerts(max);
+    if (alerts.empty()) {
+      std::printf("  no pending alerts\n");
+      return;
+    }
+    uint64_t expected = last_seen_seq_set_ ? last_seen_seq_ + 1
+                                           : alerts.front().seq;
+    for (const auto& alert : alerts) {
+      if (alert.seq != expected) {
+        std::printf("  ... %llu alert(s) dropped (queue overflow)\n",
+                    static_cast<unsigned long long>(alert.seq - expected));
+      }
+      std::printf("  seq %-5llu #%-3llu %-14s %-20s %s  value %.3f vs %.3f\n",
+                  static_cast<unsigned long long>(alert.seq),
+                  static_cast<unsigned long long>(alert.subscription),
+                  kAlertKinds[static_cast<uint32_t>(alert.kind)],
+                  SeriesAt(alert.series).name.c_str(),
+                  ts::FormatDayIndex(alert.day).c_str(), alert.value,
+                  alert.threshold);
+      expected = alert.seq + 1;
+    }
+    last_seen_seq_ = alerts.back().seq;
+    last_seen_seq_set_ = true;
+    const Status acked = server_->AckAlerts(last_seen_seq_);
+    if (!acked.ok()) {
+      std::printf("  ack failed: %s\n", acked.ToString().c_str());
+      return;
+    }
+    std::printf("  acked through seq %llu%s\n",
+                static_cast<unsigned long long>(last_seen_seq_),
+                server_->monitor_info().wal_enabled ? " (logged)" : "");
+  }
+
+  void MonitorState() {
+    const auto info = server_->monitor_info();
+    std::printf("  wal            %s\n", info.wal_enabled ? "on" : "off");
+    std::printf("  subscriptions  %zu\n", info.active_subscriptions);
+    std::printf("  queue depth    %zu\n", info.queue_depth);
+    std::printf("  alerts fired   %llu  (dropped %llu)\n",
+                static_cast<unsigned long long>(info.alerts_fired),
+                static_cast<unsigned long long>(info.alerts_dropped));
+    if (info.any_acked) {
+      std::printf("  acked upto     seq %llu\n",
+                  static_cast<unsigned long long>(info.acked_upto));
+    } else {
+      std::printf("  acked upto     (nothing acked yet)\n");
+    }
+  }
+
   void Demo() {
     std::printf("--- show cinema\n");
     Show("cinema");
@@ -489,6 +672,13 @@ class Tool {
     QueryByBurst("christmas", 5);
     std::printf("--- reconstruct cinema 8\n");
     Reconstruct("cinema", 8);
+    std::printf("--- subscribe burst cinema\n");
+    Subscribe("burst", "cinema 7 1.3 1.1");
+    std::printf("--- append a hot streak, then poll\n");
+    for (int i = 0; i < 8; ++i) Dispatch("append cinema 5000");
+    Alerts(20);
+    std::printf("--- subs\n");
+    ListSubscriptions();
   }
 
   const core::S2Engine& engine() const { return server_->engine(); }
@@ -521,6 +711,9 @@ class Tool {
 
   std::unique_ptr<service::S2Server> server_;
   bool serving_;
+  /// Last alert seq this shell has seen, for cross-poll gap detection.
+  uint64_t last_seen_seq_ = 0;
+  bool last_seen_seq_set_ = false;
 };
 
 }  // namespace

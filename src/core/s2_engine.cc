@@ -1,6 +1,7 @@
 #include "core/s2_engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <utility>
 
@@ -228,8 +229,49 @@ Status S2Engine::AppendPoint(ts::SeriesId id, double value) {
   S2_RETURN_NOT_OK(RefreshDerivedState(id, dropped, value));
 
   ++appends_;
+
+  // 5. Standing subscriptions on this series — O(active subscriptions on
+  // id), one hash probe when there are none. Evaluation reads only the
+  // committed window and standardized row (identical under exact and
+  // incremental maintenance), so the fired alert stream cannot depend on
+  // the maintenance mode or on which shard this engine happens to be.
+  if (registry_.CountOn(id) > 0) {
+    const auto eval_start = std::chrono::steady_clock::now();
+    monitor::EvalContext ctx;
+    ctx.raw = &series.values;
+    ctx.z = &standardized_[id];
+    ctx.start_day = series.start_day;
+    ctx.detector = &period_detector_;
+    std::vector<monitor::Alert> fired;
+    S2_RETURN_NOT_OK(registry_.Evaluate(id, ctx, &fired));
+    if (alert_queue_ != nullptr) {
+      alert_queue_->Push(std::move(fired));
+      alert_queue_->RecordEval(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - eval_start)
+              .count()));
+    }
+  }
+
   S2_DCHECK_OK(ValidateInvariants());
   return Status::OK();
+}
+
+Status S2Engine::Subscribe(ts::SeriesId key, monitor::Subscription sub) {
+  if (key >= corpus_.size()) {
+    return Status::NotFound("S2Engine::Subscribe: bad series id");
+  }
+  const ts::TimeSeries& series = corpus_.at(key);
+  monitor::EvalContext ctx;
+  ctx.raw = &series.values;
+  ctx.z = &standardized_[key];
+  ctx.start_day = series.start_day;
+  ctx.detector = &period_detector_;
+  return registry_.Subscribe(key, std::move(sub), ctx);
+}
+
+Status S2Engine::Unsubscribe(monitor::SubscriptionId id) {
+  return registry_.Unsubscribe(id);
 }
 
 Status S2Engine::RefreshDerivedState(ts::SeriesId id, double x_old,

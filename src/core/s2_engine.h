@@ -13,6 +13,8 @@
 #include "dtw/dtw_search.h"
 #include "index/knn.h"
 #include "index/vp_tree.h"
+#include "monitor/alert_queue.h"
+#include "monitor/registry.h"
 #include "period/period_detector.h"
 #include "resilience/retrying_source.h"
 #include "storage/sequence_store.h"
@@ -137,6 +139,31 @@ class S2Engine {
   /// exact compressed features over the same rows, so only *where* a series
   /// is probed changes, never its distance.
   Status Compact();
+
+  // --- Standing queries (s2::monitor) ---------------------------------------
+
+  /// Registers a standing subscription evaluated by every `AppendPoint`
+  /// that slides series `key` — the *engine-local* id; `sub.series` is the
+  /// id fired alerts report (a sharding layer passes the global id there,
+  /// single engines pass the same id twice). Hysteresis state arms
+  /// *silently* against the current window — no alert at registration —
+  /// which is what lets WAL replay re-arm a logged subscription into the
+  /// exact pre-crash state. A writer: serialize like `AddSeries`.
+  Status Subscribe(ts::SeriesId key, monitor::Subscription sub);
+
+  /// Removes a standing subscription. A writer.
+  Status Unsubscribe(monitor::SubscriptionId id);
+
+  /// Attaches the delivery queue fired alerts are pushed into (not owned;
+  /// must outlive the engine or be detached with nullptr). Unset, appends
+  /// still advance subscription state but fired alerts are discarded —
+  /// shards share their server's queue, standalone engines may run
+  /// unmonitored.
+  void set_alert_queue(monitor::AlertQueue* queue) { alert_queue_ = queue; }
+
+  const monitor::SubscriptionRegistry& monitor_registry() const {
+    return registry_;
+  }
 
   /// Series currently in the delta tier.
   size_t delta_size() const { return delta_ == nullptr ? 0 : delta_->size(); }
@@ -321,6 +348,13 @@ class S2Engine {
     stream::BurstStream short_bursts;
   };
   std::unordered_map<ts::SeriesId, IncrementalState> incremental_;
+
+  // --- Standing queries ------------------------------------------------------
+  // Subscriptions keyed by local series id; mutated only on the writer
+  // path, like everything above. The queue is shared infrastructure owned
+  // by the serving layer (or a test); null drops fired alerts.
+  monitor::SubscriptionRegistry registry_;
+  monitor::AlertQueue* alert_queue_ = nullptr;
 };
 
 }  // namespace s2::core

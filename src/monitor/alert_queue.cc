@@ -1,0 +1,70 @@
+#include "monitor/alert_queue.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace s2::monitor {
+
+void AlertQueue::Push(std::vector<Alert> alerts) {
+  if (alerts.empty()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Alert& alert : alerts) {
+    alert.seq = next_seq_++;
+    ++fired_;
+    queue_.push_back(std::move(alert));
+  }
+  while (queue_.size() > options_.capacity) {
+    queue_.pop_front();
+    ++dropped_;
+  }
+}
+
+std::vector<Alert> AlertQueue::Poll(size_t max) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const size_t n = std::min(max, queue_.size());
+  std::vector<Alert> out(queue_.begin(),
+                         queue_.begin() + static_cast<ptrdiff_t>(n));
+  delivered_ += n;
+  return out;
+}
+
+void AlertQueue::Ack(uint64_t upto_seq) {
+  std::lock_guard<std::mutex> lock(mu_);
+  while (!queue_.empty() && queue_.front().seq <= upto_seq) {
+    queue_.pop_front();
+    ++acked_;
+  }
+  if (!any_acked_ || upto_seq > acked_upto_) {
+    // Only advance the watermark to seqs that were actually assigned;
+    // acking past the end would fabricate an acknowledgement of alerts
+    // that never fired.
+    if (next_seq_ > 0) {
+      acked_upto_ = std::min(upto_seq, next_seq_ - 1);
+      any_acked_ = true;
+    }
+  }
+}
+
+void AlertQueue::RecordEval(uint64_t micros) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++evaluations_;
+  last_eval_micros_ = micros;
+}
+
+AlertQueue::Stats AlertQueue::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats stats;
+  stats.fired = fired_;
+  stats.dropped = dropped_;
+  stats.delivered = delivered_;
+  stats.acked = acked_;
+  stats.evaluations = evaluations_;
+  stats.last_eval_micros = last_eval_micros_;
+  stats.next_seq = next_seq_;
+  stats.acked_upto = acked_upto_;
+  stats.any_acked = any_acked_;
+  stats.depth = queue_.size();
+  return stats;
+}
+
+}  // namespace s2::monitor

@@ -1,0 +1,97 @@
+#ifndef S2_MONITOR_ALERT_QUEUE_H_
+#define S2_MONITOR_ALERT_QUEUE_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "monitor/subscription.h"
+
+namespace s2::monitor {
+
+/// Bounded, overflow-accounted alert delivery queue with at-least-once
+/// drain semantics.
+///
+/// `Push` assigns every alert the next global sequence number in fire
+/// order; because appends are externally serialized (the server's writer
+/// lock) and per-series evaluation walks subscriptions in registration
+/// order, sequence assignment is deterministic — the same append schedule
+/// produces the same (seq, alert) stream regardless of shard count or
+/// maintenance mode, which is what monitor_equivalence_test pins.
+///
+/// Delivery contract:
+///  * `Poll` *peeks* — alerts stay queued until acknowledged, so a consumer
+///    that crashes after a poll sees the same alerts again (at-least-once).
+///  * `Ack(upto)` retires every queued alert with `seq <= upto` and
+///    advances the acknowledged watermark.
+///  * When a push would exceed `capacity`, the *oldest* unacknowledged
+///    alerts are dropped and counted; consumers detect the loss window as a
+///    gap between their last acknowledged seq and the head's seq (plus the
+///    `dropped` counter for the aggregate).
+///
+/// Thread safety: fully synchronized — producers (append path, any shard)
+/// and consumers (poll/ack verbs) may run concurrently.
+class AlertQueue {
+ public:
+  struct Options {
+    /// Maximum queued (fired but unacknowledged) alerts.
+    size_t capacity = 1024;
+  };
+
+  struct Stats {
+    uint64_t fired = 0;      ///< Alerts ever pushed (== seqs assigned).
+    uint64_t dropped = 0;    ///< Alerts lost to overflow before an ack.
+    uint64_t delivered = 0;  ///< Alerts handed out by Poll (re-polls count).
+    uint64_t acked = 0;      ///< Alerts retired by Ack.
+    uint64_t evaluations = 0;        ///< RecordEval calls (appends evaluated).
+    uint64_t last_eval_micros = 0;   ///< Wall time of the latest evaluation.
+    uint64_t next_seq = 0;           ///< Seq the next fired alert will get.
+    uint64_t acked_upto = 0;         ///< Highest acknowledged seq (watermark).
+    bool any_acked = false;          ///< Whether acked_upto is meaningful.
+    size_t depth = 0;                ///< Alerts currently queued.
+  };
+
+  AlertQueue() : AlertQueue(Options{}) {}
+  explicit AlertQueue(Options options) : options_(options) {}
+
+  AlertQueue(const AlertQueue&) = delete;
+  AlertQueue& operator=(const AlertQueue&) = delete;
+
+  /// Enqueues `alerts` in order, assigning each the next sequence number,
+  /// then drops from the front (oldest first) anything beyond capacity.
+  void Push(std::vector<Alert> alerts);
+
+  /// Copies up to `max` alerts from the head without removing them,
+  /// in (seq, series) order — the deque is already sorted by seq.
+  std::vector<Alert> Poll(size_t max) const;
+
+  /// Retires every queued alert with `seq <= upto_seq` and advances the
+  /// acknowledged watermark (monotone; acking an already-empty range is a
+  /// no-op, which makes replayed acks idempotent).
+  void Ack(uint64_t upto_seq);
+
+  /// Notes one append-path evaluation pass of `micros` wall time (the
+  /// server exports these into the monitor_eval_latency histogram).
+  void RecordEval(uint64_t micros);
+
+  Stats stats() const;
+
+ private:
+  Options options_;
+  mutable std::mutex mu_;
+  std::deque<Alert> queue_;
+  uint64_t next_seq_ = 0;
+  uint64_t fired_ = 0;
+  uint64_t dropped_ = 0;
+  mutable uint64_t delivered_ = 0;
+  uint64_t acked_ = 0;
+  uint64_t acked_upto_ = 0;
+  bool any_acked_ = false;
+  uint64_t evaluations_ = 0;
+  uint64_t last_eval_micros_ = 0;
+};
+
+}  // namespace s2::monitor
+
+#endif  // S2_MONITOR_ALERT_QUEUE_H_

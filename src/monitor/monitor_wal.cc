@@ -1,0 +1,224 @@
+#include "monitor/monitor_wal.h"
+
+#include <cstring>
+#include <utility>
+
+#include "io/durable.h"
+
+namespace s2::monitor {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', '2', 'M', 'W', 'A', 'L', '0', '1'};
+constexpr size_t kLenBytes = sizeof(uint32_t);
+constexpr size_t kSumBytes = sizeof(uint64_t);
+// A subscription payload is dominated by the similarity query (one double
+// per corpus day); anything past this is a torn length prefix, not a
+// record. Generous: a 1M-day window would still fit.
+constexpr uint32_t kMaxPayloadBytes = 16u << 20;
+
+uint64_t ChainSeed() { return io::durable::Fnv1a64(kMagic, sizeof(kMagic)); }
+
+class Encoder {
+ public:
+  void U32(uint32_t v) { Raw(&v, sizeof(v)); }
+  void U64(uint64_t v) { Raw(&v, sizeof(v)); }
+  void F64(double v) { Raw(&v, sizeof(v)); }
+  const std::vector<char>& bytes() const { return bytes_; }
+
+ private:
+  void Raw(const void* p, size_t n) {
+    const char* c = static_cast<const char*>(p);
+    bytes_.insert(bytes_.end(), c, c + n);
+  }
+  std::vector<char> bytes_;
+};
+
+class Decoder {
+ public:
+  Decoder(const char* data, size_t n) : data_(data), n_(n) {}
+  bool U32(uint32_t* v) { return Raw(v, sizeof(*v)); }
+  bool U64(uint64_t* v) { return Raw(v, sizeof(*v)); }
+  bool F64(double* v) { return Raw(v, sizeof(*v)); }
+  bool Done() const { return pos_ == n_; }
+
+ private:
+  bool Raw(void* p, size_t n) {
+    if (n_ - pos_ < n) return false;
+    std::memcpy(p, data_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  const char* data_;
+  size_t n_;
+  size_t pos_ = 0;
+};
+
+std::vector<char> EncodePayload(const MonitorOp& op) {
+  Encoder enc;
+  enc.U32(static_cast<uint32_t>(op.op));
+  enc.U64(op.anchor);
+  switch (op.op) {
+    case MonitorOp::Kind::kSubscribe: {
+      const Subscription& sub = op.sub;
+      enc.U64(sub.id);
+      enc.U32(static_cast<uint32_t>(sub.kind));
+      enc.U32(sub.series);
+      enc.U32(sub.burst.window);
+      enc.F64(sub.burst.enter_ratio);
+      enc.F64(sub.burst.exit_ratio);
+      enc.F64(sub.similarity.radius);
+      enc.F64(sub.similarity.exit_radius);
+      enc.U64(sub.similarity.query.size());
+      for (double v : sub.similarity.query) enc.F64(v);
+      break;
+    }
+    case MonitorOp::Kind::kUnsubscribe:
+      enc.U64(op.sub.id);
+      break;
+    case MonitorOp::Kind::kAck:
+      enc.U64(op.ack_upto);
+      break;
+  }
+  return enc.bytes();
+}
+
+bool DecodePayload(const char* data, size_t n, MonitorOp* op) {
+  Decoder dec(data, n);
+  uint32_t kind = 0;
+  if (!dec.U32(&kind) || !dec.U64(&op->anchor)) return false;
+  switch (kind) {
+    case static_cast<uint32_t>(MonitorOp::Kind::kSubscribe): {
+      op->op = MonitorOp::Kind::kSubscribe;
+      Subscription& sub = op->sub;
+      uint32_t sub_kind = 0;
+      uint32_t series = 0;
+      uint64_t query_len = 0;
+      if (!dec.U64(&sub.id) || !dec.U32(&sub_kind) || !dec.U32(&series) ||
+          !dec.U32(&sub.burst.window) || !dec.F64(&sub.burst.enter_ratio) ||
+          !dec.F64(&sub.burst.exit_ratio) || !dec.F64(&sub.similarity.radius) ||
+          !dec.F64(&sub.similarity.exit_radius) || !dec.U64(&query_len)) {
+        return false;
+      }
+      if (sub_kind > static_cast<uint32_t>(SubscriptionKind::kSimilarityWatch)) {
+        return false;
+      }
+      sub.kind = static_cast<SubscriptionKind>(sub_kind);
+      sub.series = series;
+      sub.similarity.query.clear();
+      if (query_len > n / sizeof(double)) return false;
+      sub.similarity.query.reserve(query_len);
+      for (uint64_t i = 0; i < query_len; ++i) {
+        double v = 0.0;
+        if (!dec.F64(&v)) return false;
+        sub.similarity.query.push_back(v);
+      }
+      break;
+    }
+    case static_cast<uint32_t>(MonitorOp::Kind::kUnsubscribe):
+      op->op = MonitorOp::Kind::kUnsubscribe;
+      if (!dec.U64(&op->sub.id)) return false;
+      break;
+    case static_cast<uint32_t>(MonitorOp::Kind::kAck):
+      op->op = MonitorOp::Kind::kAck;
+      if (!dec.U64(&op->ack_upto)) return false;
+      break;
+    default:
+      return false;
+  }
+  return dec.Done();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<MonitorWal>> MonitorWal::Open(
+    io::Env* env, const std::string& path, std::vector<MonitorOp>* ops,
+    ReplayInfo* info) {
+  if (env == nullptr) env = io::Env::Default();
+  if (ops == nullptr) {
+    return Status::InvalidArgument("MonitorWal: ops out-param required");
+  }
+  S2_ASSIGN_OR_RETURN(std::unique_ptr<io::File> file,
+                      env->Open(path, io::OpenMode::kReadWrite));
+  S2_ASSIGN_OR_RETURN(uint64_t size, file->Size());
+
+  if (size == 0) {
+    S2_RETURN_NOT_OK(io::WriteExactAt(file.get(), kMagic, sizeof(kMagic), 0));
+    S2_RETURN_NOT_OK(file->Sync());
+    if (info != nullptr) *info = ReplayInfo{};
+    return std::unique_ptr<MonitorWal>(
+        new MonitorWal(path, std::move(file), sizeof(kMagic), ChainSeed(), 0));
+  }
+
+  if (size < sizeof(kMagic)) {
+    return Status::Corruption("MonitorWal: truncated header in " + path);
+  }
+  char magic[sizeof(kMagic)];
+  S2_RETURN_NOT_OK(io::ReadExactAt(file.get(), magic, sizeof(magic), 0));
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("MonitorWal: bad magic in " + path);
+  }
+
+  const uint64_t body = size - sizeof(kMagic);
+  std::vector<char> bytes(body);
+  if (body > 0) {
+    S2_RETURN_NOT_OK(
+        io::ReadExactAt(file.get(), bytes.data(), body, sizeof(kMagic)));
+  }
+
+  // Scan intact records; stop at the first short, oversized or
+  // chain-breaking one (a torn tail, overwritten in place by the next
+  // append — the stream::Wal contract).
+  uint64_t chain = ChainSeed();
+  uint64_t pos = 0;
+  size_t records = 0;
+  while (body - pos >= kLenBytes + kSumBytes) {
+    uint32_t len = 0;
+    std::memcpy(&len, bytes.data() + pos, kLenBytes);
+    if (len > kMaxPayloadBytes || body - pos < kLenBytes + len + kSumBytes) {
+      break;
+    }
+    uint64_t stored = 0;
+    std::memcpy(&stored, bytes.data() + pos + kLenBytes + len, kSumBytes);
+    const uint64_t expected =
+        io::durable::Fnv1a64(bytes.data() + pos, kLenBytes + len, chain);
+    if (stored != expected) break;
+    MonitorOp op;
+    if (!DecodePayload(bytes.data() + pos + kLenBytes, len, &op)) {
+      return Status::Corruption("MonitorWal: undecodable record in " + path);
+    }
+    ops->push_back(std::move(op));
+    chain = stored;
+    pos += kLenBytes + len + kSumBytes;
+    ++records;
+  }
+
+  if (info != nullptr) {
+    info->records = records;
+    info->dropped_bytes = body - pos;
+  }
+  return std::unique_ptr<MonitorWal>(new MonitorWal(
+      path, std::move(file), sizeof(kMagic) + pos, chain, records));
+}
+
+Status MonitorWal::Append(const MonitorOp& op) {
+  const std::vector<char> payload = EncodePayload(op);
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  std::vector<char> record(kLenBytes + payload.size() + kSumBytes);
+  std::memcpy(record.data(), &len, kLenBytes);
+  std::memcpy(record.data() + kLenBytes, payload.data(), payload.size());
+  const uint64_t sum = io::durable::Fnv1a64(record.data(),
+                                            kLenBytes + payload.size(), chain_);
+  std::memcpy(record.data() + kLenBytes + payload.size(), &sum, kSumBytes);
+  S2_RETURN_NOT_OK(
+      io::WriteExactAt(file_.get(), record.data(), record.size(), tail_));
+  S2_RETURN_NOT_OK(file_->Sync());
+  // In-memory state advances only after the I/O succeeded, so a failed
+  // append is retryable verbatim and never acknowledged.
+  tail_ += record.size();
+  chain_ = sum;
+  ++record_count_;
+  return Status::OK();
+}
+
+}  // namespace s2::monitor

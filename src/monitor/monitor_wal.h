@@ -1,0 +1,97 @@
+#ifndef S2_MONITOR_MONITOR_WAL_H_
+#define S2_MONITOR_MONITOR_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "io/env.h"
+#include "monitor/subscription.h"
+
+namespace s2::monitor {
+
+/// One durably logged subscription-lifecycle event. `anchor` is the stream
+/// WAL's record count at the moment the op was acknowledged: replay merges
+/// the two logs by anchor, applying each op after exactly `anchor` appends
+/// have been re-applied — so a replayed subscription arms against the very
+/// window it originally armed against, and the re-fired alert stream (and
+/// its sequence numbers) matches the pre-crash run bit for bit.
+struct MonitorOp {
+  enum class Kind : uint32_t {
+    kSubscribe = 1,
+    kUnsubscribe = 2,
+    kAck = 3,
+  };
+  Kind op = Kind::kSubscribe;
+  uint64_t anchor = 0;
+  /// kSubscribe: the full subscription. kUnsubscribe: only `sub.id` is
+  /// meaningful.
+  Subscription sub;
+  /// kAck: the acknowledged sequence watermark.
+  uint64_t ack_upto = 0;
+};
+
+/// Crash-safe append-only log for subscription registrations,
+/// cancellations and alert acknowledgements — the monitor-side companion of
+/// `stream::Wal`, sharing its durability design: 8-byte magic "S2MWAL01",
+/// then variable-size records of
+///
+///   [u32 payload_bytes | payload | u64 checksum]
+///
+/// in native byte order, with the FNV-1a checksum computed over the length
+/// prefix *and* payload and chained on the previous record's checksum
+/// (record 0 on the hash of the magic). Torn tails are never truncated —
+/// the next append overwrites them in place, and the chain breaks replay at
+/// the tear even when stale bytes of a longer previous log survive intact.
+///
+/// Every `Append` syncs (registrations are rare and each acknowledgement is
+/// a durability promise); a failed append leaves the log state unchanged
+/// and may be retried.
+///
+/// Thread safety: none — the server serializes monitor-log appends behind
+/// its writer lock, like every other write path.
+class MonitorWal {
+ public:
+  struct ReplayInfo {
+    size_t records = 0;           ///< Intact records decoded at open.
+    uint64_t dropped_bytes = 0;   ///< Torn/stale tail bytes ignored.
+  };
+
+  /// Opens (creating if absent) the log at `path` and decodes every intact
+  /// record into `ops` in append order — decoding only; the caller applies
+  /// them, merged with the stream WAL by anchor. `env` null means the POSIX
+  /// filesystem.
+  static Result<std::unique_ptr<MonitorWal>> Open(io::Env* env,
+                                                  const std::string& path,
+                                                  std::vector<MonitorOp>* ops,
+                                                  ReplayInfo* info = nullptr);
+
+  /// Appends and syncs one op; on any error the log state is unchanged.
+  Status Append(const MonitorOp& op);
+
+  /// Records appended through this handle plus those decoded at open.
+  size_t record_count() const { return record_count_; }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  MonitorWal(std::string path, std::unique_ptr<io::File> file, uint64_t tail,
+             uint64_t chain, size_t record_count)
+      : path_(std::move(path)),
+        file_(std::move(file)),
+        tail_(tail),
+        chain_(chain),
+        record_count_(record_count) {}
+
+  std::string path_;
+  std::unique_ptr<io::File> file_;
+  uint64_t tail_ = 0;   ///< Next append offset (end of intact records).
+  uint64_t chain_ = 0;  ///< Checksum of the last intact record.
+  size_t record_count_ = 0;
+};
+
+}  // namespace s2::monitor
+
+#endif  // S2_MONITOR_MONITOR_WAL_H_

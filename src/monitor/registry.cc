@@ -1,0 +1,269 @@
+#include "monitor/registry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "dsp/periodogram.h"
+#include "dsp/stats.h"
+
+namespace s2::monitor {
+
+namespace {
+
+Status ValidateParams(const Subscription& sub, const EvalContext& ctx) {
+  const size_t n = ctx.raw->size();
+  switch (sub.kind) {
+    case SubscriptionKind::kBurstThreshold: {
+      const BurstThresholdParams& p = sub.burst;
+      if (p.window == 0 || p.window > n) {
+        return Status::InvalidArgument(
+            "monitor: burst window must be in [1, series length]");
+      }
+      if (!(p.exit_ratio > 0.0) || !(p.enter_ratio >= p.exit_ratio)) {
+        return Status::InvalidArgument(
+            "monitor: need enter_ratio >= exit_ratio > 0");
+      }
+      return Status::OK();
+    }
+    case SubscriptionKind::kPeriodicityChange:
+      if (ctx.detector == nullptr) {
+        return Status::InvalidArgument("monitor: no period detector");
+      }
+      return Status::OK();
+    case SubscriptionKind::kSimilarityWatch: {
+      const SimilarityWatchParams& p = sub.similarity;
+      if (p.query.size() != n) {
+        return Status::InvalidArgument(
+            "monitor: similarity query length must match the corpus window");
+      }
+      if (!(p.radius > 0.0)) {
+        return Status::InvalidArgument("monitor: radius must be positive");
+      }
+      if (p.exit_radius != 0.0 && p.exit_radius < p.radius) {
+        return Status::InvalidArgument(
+            "monitor: exit_radius must be >= radius (or 0 for same)");
+      }
+      for (double v : p.query) {
+        if (!std::isfinite(v)) {
+          return Status::InvalidArgument("monitor: query must be finite");
+        }
+      }
+      return Status::OK();
+    }
+  }
+  return Status::InvalidArgument("monitor: unknown subscription kind");
+}
+
+}  // namespace
+
+Result<SubscriptionRegistry::PeriodProbe> SubscriptionRegistry::ProbePeriods(
+    const EvalContext& ctx) {
+  S2_ASSIGN_OR_RETURN(std::vector<double> psd, dsp::PeriodogramOf(*ctx.z));
+  const period::PeriodDetector::Options& options = ctx.detector->options();
+  PeriodProbe probe;
+  probe.threshold = ctx.detector->Threshold(psd);
+  const double n = static_cast<double>(ctx.z->size());
+  const double max_period = options.max_period_fraction * n;
+  // Dominant = highest-power eligible bin, ties to the lowest bin (strict >
+  // while scanning ascending). Tracked even while insignificant so the
+  // gained-alert reports the bin that crossed.
+  bool any = false;
+  for (size_t k = 1; k < psd.size(); ++k) {
+    const double period = dsp::BinToPeriod(k, ctx.z->size());
+    if (max_period > 0.0 && period > max_period) continue;
+    if (!any || psd[k] > probe.power) {
+      probe.bin = static_cast<uint32_t>(k);
+      probe.power = psd[k];
+      any = true;
+    }
+  }
+  probe.significant = any && probe.power > probe.threshold;
+  return probe;
+}
+
+double SubscriptionRegistry::BurstRatio(const Item& item,
+                                        const EvalContext& ctx) {
+  const std::vector<double>& raw = *ctx.raw;
+  const size_t n = raw.size();
+  const size_t w = item.sub.burst.window;
+  double total = 0.0;
+  for (double v : raw) total += v;
+  double tail = 0.0;
+  for (size_t i = n - w; i < n; ++i) tail += raw[i];
+  const double base = total / static_cast<double>(n);
+  const double ma = tail / static_cast<double>(w);
+  // A non-positive baseline has no meaningful "x times the mean"; the
+  // ratio pins to 0 (never fires) rather than dividing by zero. Demand
+  // series are non-negative, so this only triggers on degenerate data.
+  if (!(base > 0.0)) return 0.0;
+  return ma / base;
+}
+
+double SubscriptionRegistry::Distance(const std::vector<double>& a,
+                                      const std::vector<double>& b) {
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+Status SubscriptionRegistry::Step(Item& item, const EvalContext& ctx,
+                                  std::vector<Alert>* out) {
+  Alert alert;
+  alert.subscription = item.sub.id;
+  alert.series = item.sub.series;
+  alert.day = ctx.start_day + static_cast<int64_t>(ctx.raw->size()) - 1;
+
+  switch (item.sub.kind) {
+    case SubscriptionKind::kBurstThreshold: {
+      const double ratio = BurstRatio(item, ctx);
+      if (!item.state.engaged && ratio >= item.sub.burst.enter_ratio) {
+        item.state.engaged = true;
+        if (out != nullptr) {
+          alert.kind = AlertKind::kBurstBegin;
+          alert.value = ratio;
+          alert.threshold = item.sub.burst.enter_ratio;
+          out->push_back(alert);
+        }
+      } else if (item.state.engaged && ratio < item.sub.burst.exit_ratio) {
+        item.state.engaged = false;
+        if (out != nullptr) {
+          alert.kind = AlertKind::kBurstEnd;
+          alert.value = ratio;
+          alert.threshold = item.sub.burst.exit_ratio;
+          out->push_back(alert);
+        }
+      }
+      return Status::OK();
+    }
+
+    case SubscriptionKind::kPeriodicityChange: {
+      S2_ASSIGN_OR_RETURN(PeriodProbe probe, ProbePeriods(ctx));
+      alert.value = probe.power;
+      alert.threshold = probe.threshold;
+      alert.bin = probe.bin;
+      if (!item.state.engaged && probe.significant) {
+        item.state.engaged = true;
+        item.state.bin = probe.bin;
+        if (out != nullptr) {
+          alert.kind = AlertKind::kPeriodGained;
+          out->push_back(alert);
+        }
+      } else if (item.state.engaged && !probe.significant) {
+        item.state.engaged = false;
+        if (out != nullptr) {
+          alert.kind = AlertKind::kPeriodLost;
+          out->push_back(alert);
+        }
+      } else if (item.state.engaged && probe.bin != item.state.bin) {
+        item.state.bin = probe.bin;
+        if (out != nullptr) {
+          alert.kind = AlertKind::kPeriodShift;
+          out->push_back(alert);
+        }
+      }
+      return Status::OK();
+    }
+
+    case SubscriptionKind::kSimilarityWatch: {
+      const double dist = Distance(*ctx.z, item.query_z);
+      const SimilarityWatchParams& p = item.sub.similarity;
+      const double exit_radius = p.exit_radius > 0.0 ? p.exit_radius : p.radius;
+      if (!item.state.engaged && dist <= p.radius) {
+        item.state.engaged = true;
+        if (out != nullptr) {
+          alert.kind = AlertKind::kSimilarityEnter;
+          alert.value = dist;
+          alert.threshold = p.radius;
+          out->push_back(alert);
+        }
+      } else if (item.state.engaged && dist > exit_radius) {
+        item.state.engaged = false;
+        if (out != nullptr) {
+          alert.kind = AlertKind::kSimilarityLeave;
+          alert.value = dist;
+          alert.threshold = exit_radius;
+          out->push_back(alert);
+        }
+      }
+      return Status::OK();
+    }
+  }
+  return Status::InvalidArgument("monitor: unknown subscription kind");
+}
+
+Status SubscriptionRegistry::Subscribe(ts::SeriesId key, Subscription sub,
+                                       const EvalContext& ctx) {
+  if (sub.id == kInvalidSubscriptionId) {
+    return Status::InvalidArgument("monitor: subscription id unset");
+  }
+  if (Contains(sub.id)) {
+    return Status::InvalidArgument("monitor: duplicate subscription id");
+  }
+  S2_RETURN_NOT_OK(ValidateParams(sub, ctx));
+
+  Item item;
+  item.sub = std::move(sub);
+  if (item.sub.kind == SubscriptionKind::kSimilarityWatch) {
+    item.query_z = dsp::Standardize(item.sub.similarity.query);
+  }
+  // Silent arming: absorb the current window into the state machine so the
+  // first append only fires on a *transition*, never on standing data.
+  S2_RETURN_NOT_OK(Step(item, ctx, nullptr));
+
+  const SubscriptionId id = item.sub.id;
+  by_series_[key].push_back(std::move(item));
+  key_of_.emplace(id, key);
+  return Status::OK();
+}
+
+Status SubscriptionRegistry::Unsubscribe(SubscriptionId id) {
+  auto it = key_of_.find(id);
+  if (it == key_of_.end()) {
+    return Status::NotFound("monitor: no such subscription");
+  }
+  std::vector<Item>& items = by_series_[it->second];
+  items.erase(std::remove_if(items.begin(), items.end(),
+                             [id](const Item& item) { return item.sub.id == id; }),
+              items.end());
+  if (items.empty()) by_series_.erase(it->second);
+  key_of_.erase(it);
+  return Status::OK();
+}
+
+Status SubscriptionRegistry::Evaluate(ts::SeriesId key, const EvalContext& ctx,
+                                      std::vector<Alert>* out) {
+  auto it = by_series_.find(key);
+  if (it == by_series_.end()) return Status::OK();
+  for (Item& item : it->second) {
+    S2_RETURN_NOT_OK(Step(item, ctx, out));
+  }
+  return Status::OK();
+}
+
+size_t SubscriptionRegistry::CountOn(ts::SeriesId key) const {
+  auto it = by_series_.find(key);
+  return it == by_series_.end() ? 0 : it->second.size();
+}
+
+std::vector<SubscriptionRegistry::Entry> SubscriptionRegistry::List() const {
+  std::vector<Entry> entries;
+  entries.reserve(key_of_.size());
+  for (const auto& [key, items] : by_series_) {
+    for (const Item& item : items) {
+      Entry entry;
+      entry.sub = item.sub;
+      entry.engaged = item.state.engaged;
+      entry.bin = item.state.bin;
+      entries.push_back(std::move(entry));
+    }
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.sub.id < b.sub.id; });
+  return entries;
+}
+
+}  // namespace s2::monitor

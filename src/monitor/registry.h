@@ -1,0 +1,122 @@
+#ifndef S2_MONITOR_REGISTRY_H_
+#define S2_MONITOR_REGISTRY_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "monitor/subscription.h"
+#include "period/period_detector.h"
+#include "timeseries/time_series.h"
+
+namespace s2::monitor {
+
+/// What a subscription is evaluated against: the watched series' *current*
+/// window, as committed by the append that just slid it. Everything here is
+/// identical under exact and incremental feature maintenance — evaluation
+/// deliberately reads the raw window and the standardized row, never the
+/// drifting incremental accumulators — which is why the alert stream's
+/// trigger values agree across modes to fp identity, well inside the
+/// documented 1e-6 bound.
+struct EvalContext {
+  const std::vector<double>* raw = nullptr;  ///< Current raw window.
+  const std::vector<double>* z = nullptr;    ///< Standardized row.
+  int64_t start_day = 0;                     ///< First day of the window.
+  const period::PeriodDetector* detector = nullptr;
+};
+
+/// Per-engine registry of standing subscriptions, keyed by the *engine
+/// local* series id so a shard evaluates only its own slice; each
+/// subscription's `series` field keeps the global id for reporting.
+///
+/// Evaluation is O(active subscriptions on the appended series): the append
+/// path asks `CountOn(id)` first (one hash lookup) and skips everything for
+/// unwatched series. Per-series subscriptions evaluate in registration
+/// order, which — registration being serialized by the same writer lock as
+/// appends — pins a deterministic fire order inside one append.
+///
+/// Thread safety: none. The registry mutates only under the engine writer
+/// lock (Subscribe/Unsubscribe/Evaluate are all writer-path operations);
+/// const accessors follow the engine's reader contract.
+class SubscriptionRegistry {
+ public:
+  /// A subscription plus its live hysteresis state, for introspection.
+  struct Entry {
+    Subscription sub;
+    /// Burst: inside a burst. Similarity: inside the ball. Periodicity:
+    /// a significant period is currently present.
+    bool engaged = false;
+    /// Periodicity: the last dominant significant bin.
+    uint32_t bin = 0;
+  };
+
+  /// Validates `sub` against the current window and registers it under
+  /// `key`, arming the hysteresis state *silently* from the present data —
+  /// no alert fires at registration. Replaying a logged subscription at its
+  /// original stream position therefore reconstructs the exact working
+  /// state, making post-crash alert streams identical to pre-crash ones.
+  Status Subscribe(ts::SeriesId key, Subscription sub, const EvalContext& ctx);
+
+  /// Removes a subscription by id.
+  Status Unsubscribe(SubscriptionId id);
+
+  bool Contains(SubscriptionId id) const {
+    return key_of_.find(id) != key_of_.end();
+  }
+
+  /// Evaluates every subscription on `key` against the just-slid window and
+  /// appends fired alerts (seq unassigned — the delivery queue owns seqs)
+  /// to `out` in registration order.
+  Status Evaluate(ts::SeriesId key, const EvalContext& ctx,
+                  std::vector<Alert>* out);
+
+  /// Active subscriptions on one series (O(1) hash probe; the append path's
+  /// fast-out).
+  size_t CountOn(ts::SeriesId key) const;
+
+  /// Total active subscriptions.
+  size_t size() const { return key_of_.size(); }
+
+  /// Snapshot of every active subscription, ordered by subscription id.
+  std::vector<Entry> List() const;
+
+ private:
+  struct State {
+    bool engaged = false;
+    uint32_t bin = 0;
+  };
+  struct Item {
+    Subscription sub;
+    std::vector<double> query_z;  ///< Similarity: standardized query.
+    State state;
+  };
+
+  /// Computes the dominant eligible periodogram bin of `ctx.z` and the
+  /// exponential threshold. Mirrors PeriodDetector::Detect's eligibility
+  /// rules (non-DC, period within max_period_fraction) so a periodicity
+  /// alert always corresponds to a hit FindPeriods would report.
+  struct PeriodProbe {
+    bool significant = false;  ///< Dominant power clears the threshold.
+    uint32_t bin = 0;          ///< Dominant eligible bin (0 = none eligible).
+    double power = 0.0;
+    double threshold = 0.0;
+  };
+  static Result<PeriodProbe> ProbePeriods(const EvalContext& ctx);
+
+  static double BurstRatio(const Item& item, const EvalContext& ctx);
+  static double Distance(const std::vector<double>& a,
+                         const std::vector<double>& b);
+
+  /// Initializes (silently) or advances one subscription's state machine.
+  /// `out == nullptr` means arming: transitions are absorbed into the
+  /// state without emitting alerts.
+  Status Step(Item& item, const EvalContext& ctx, std::vector<Alert>* out);
+
+  std::unordered_map<ts::SeriesId, std::vector<Item>> by_series_;
+  std::unordered_map<SubscriptionId, ts::SeriesId> key_of_;
+};
+
+}  // namespace s2::monitor
+
+#endif  // S2_MONITOR_REGISTRY_H_

@@ -1,0 +1,108 @@
+#ifndef S2_MONITOR_SUBSCRIPTION_H_
+#define S2_MONITOR_SUBSCRIPTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "timeseries/time_series.h"
+
+namespace s2::monitor {
+
+/// Identifies one standing subscription for its whole lifetime. Assigned by
+/// the registering layer (the server hands out a dense counter restored
+/// from the monitor WAL), never reused.
+using SubscriptionId = uint64_t;
+inline constexpr SubscriptionId kInvalidSubscriptionId =
+    static_cast<SubscriptionId>(-1);
+
+/// The three standing-query shapes (DESIGN.md §9). Each is the continuous
+/// form of one of the paper's pull verbs: burst detection (§6), period
+/// detection (§5) and similarity search (§4) run forever over the stream.
+enum class SubscriptionKind : uint32_t {
+  /// Moving-average ratio crossing with hysteresis: fire when the trailing
+  /// `window`-day moving average rises to `enter_ratio` times the
+  /// full-window mean, re-arm once it falls below `exit_ratio` times it.
+  kBurstThreshold = 0,
+  /// Dominant-periodicity tracking against the exponential threshold
+  /// `T_p = -mu ln(p)`: fire when a significant period appears, disappears,
+  /// or the dominant periodogram bin moves.
+  kPeriodicityChange = 1,
+  /// "Alert when series X enters the kNN ball of query Q within radius r":
+  /// fire when the watched series' standardized row crosses into (and back
+  /// out of) the Euclidean ball around the standardized query.
+  kSimilarityWatch = 2,
+};
+
+struct BurstThresholdParams {
+  /// Trailing moving-average span, in days; must fit the corpus window.
+  uint32_t window = 7;
+  /// Fire when MA(window) / mean(full window) reaches this ratio.
+  double enter_ratio = 1.5;
+  /// Re-arm when the ratio falls strictly below this (hysteresis: must not
+  /// exceed enter_ratio, or the state machine would chatter on the bound).
+  double exit_ratio = 1.2;
+};
+
+struct SimilarityWatchParams {
+  /// The query sequence, in *raw* space (standardized at registration with
+  /// the same dsp::Standardize every engine row goes through, so replaying
+  /// a logged subscription reproduces the working state bit-for-bit). Must
+  /// match the corpus window length.
+  std::vector<double> query;
+  /// Fire when the standardized Euclidean distance drops to <= radius.
+  double radius = 1.0;
+  /// Re-arm when the distance exceeds this; 0 means "same as radius".
+  double exit_radius = 0.0;
+};
+
+/// One registered standing query. `series` is the id alerts report — the
+/// *global* id when a sharding layer routes the registration, which is what
+/// keeps the alert stream shard-count invisible; single engines use their
+/// own ids. Kind-specific parameters live side by side (only the active
+/// member is consulted); keeping the struct flat keeps the WAL encoding and
+/// the registry trivially copyable.
+struct Subscription {
+  SubscriptionId id = kInvalidSubscriptionId;
+  SubscriptionKind kind = SubscriptionKind::kBurstThreshold;
+  ts::SeriesId series = ts::kInvalidSeriesId;
+  BurstThresholdParams burst;
+  SimilarityWatchParams similarity;
+};
+
+/// What a fired subscription reports.
+enum class AlertKind : uint32_t {
+  kBurstBegin = 0,       ///< Ratio rose to enter_ratio.
+  kBurstEnd = 1,         ///< Ratio fell below exit_ratio.
+  kPeriodGained = 2,     ///< A bin first crossed the exponential threshold.
+  kPeriodShift = 3,      ///< The dominant significant bin moved.
+  kPeriodLost = 4,       ///< No bin clears the threshold any more.
+  kSimilarityEnter = 5,  ///< Distance dropped into the query ball.
+  kSimilarityLeave = 6,  ///< Distance left the (exit-)ball again.
+};
+
+/// One fired alert. `seq` is assigned by the delivery queue in fire order
+/// and is globally monotone across all series and shards — consumers detect
+/// overflow-dropped alerts as gaps in the sequence. The pinned delivery
+/// order is (seq, series): seq alone is already total, the series id is the
+/// documented tiebreak so the contract names a deterministic order even if
+/// a future queue ever batches.
+struct Alert {
+  uint64_t seq = 0;
+  SubscriptionId subscription = kInvalidSubscriptionId;
+  AlertKind kind = AlertKind::kBurstBegin;
+  /// Global series id (see Subscription::series).
+  ts::SeriesId series = ts::kInvalidSeriesId;
+  /// Absolute day index of the appended sample that triggered the alert.
+  int64_t day = 0;
+  /// The observed trigger value: the MA ratio, the dominant bin's power, or
+  /// the Euclidean distance.
+  double value = 0.0;
+  /// The bound it crossed: enter/exit ratio, `T_p`, or the (exit) radius.
+  double threshold = 0.0;
+  /// Periodicity alerts: the dominant periodogram bin involved.
+  uint32_t bin = 0;
+};
+
+}  // namespace s2::monitor
+
+#endif  // S2_MONITOR_SUBSCRIPTION_H_

@@ -1,8 +1,11 @@
 #include "service/s2_server.h"
 
 #include <cmath>
+#include <limits>
 #include <mutex>
+#include <string>
 #include <utility>
+#include <vector>
 
 #include "diag/check.h"
 
@@ -112,7 +115,22 @@ S2Server::S2Server(std::optional<core::S2Engine> engine,
       stream_compacted_series_(metrics_.counter("stream_compacted_series")),
       stream_replay_records_(metrics_.counter("stream_replay_records")),
       stream_append_latency_(metrics_.histogram("stream_append_latency")),
-      stream_compaction_latency_(metrics_.histogram("stream_compaction_latency")) {
+      stream_compaction_latency_(metrics_.histogram("stream_compaction_latency")),
+      monitor_subscribes_(metrics_.counter("monitor_subscriptions")),
+      monitor_unsubscribes_(metrics_.counter("monitor_unsubscribes")),
+      monitor_alerts_fired_(metrics_.counter("monitor_alerts_fired")),
+      monitor_alerts_dropped_(metrics_.counter("monitor_alerts_dropped")),
+      monitor_alerts_delivered_(metrics_.counter("monitor_alerts_delivered")),
+      monitor_eval_latency_(metrics_.histogram("monitor_eval_latency")),
+      alert_queue_(monitor::AlertQueue::Options{options.alert_queue_capacity}) {
+  // Every shard (or the single engine) pushes fired alerts into the one
+  // server-owned queue; appends are serialized by the writer lock, so
+  // sequence numbers are assigned in a shard-count-invisible order.
+  if (engine_.has_value()) {
+    engine_->set_alert_queue(&alert_queue_);
+  } else {
+    sharded_->set_alert_queue(&alert_queue_);
+  }
   // One dedicated maintenance thread keeps compaction off the query workers
   // (a compaction takes the writer lock; running it on a scheduler worker
   // would stall a serving slot for its whole duration).
@@ -312,24 +330,200 @@ Status S2Server::OpenWal() {
   if (options_.wal_path.empty() || wal_ != nullptr) return Status::OK();
   const Clock::time_point start = Clock::now();
   std::unique_lock<std::shared_mutex> lock(engine_mu_);
+
+  // Subscription-lifecycle ops are decoded first, then merged into the
+  // append replay below by their stream anchor: an op logged after N
+  // acknowledged appends re-applies after exactly N replayed appends. A
+  // replayed subscription therefore arms against the very window it
+  // originally armed against and the re-fired alert stream — sequence
+  // numbers included — reproduces the pre-crash run; replayed acks then
+  // retire exactly the acknowledged range (monitor_equivalence_test pins
+  // this with a crash-point sweep).
+  std::vector<monitor::MonitorOp> ops;
+  monitor::MonitorWal::ReplayInfo monitor_replay;
+  S2_ASSIGN_OR_RETURN(
+      monitor_wal_,
+      monitor::MonitorWal::Open(options_.wal_env,
+                                options_.wal_path + ".monitor", &ops,
+                                &monitor_replay));
+  size_t next_op = 0;
+  uint64_t applied_appends = 0;
+  const auto apply_monitor_ops = [&](uint64_t upto) -> Status {
+    while (next_op < ops.size() && ops[next_op].anchor <= upto) {
+      S2_RETURN_NOT_OK(ApplyMonitorOp(ops[next_op]));
+      ++next_op;
+    }
+    return Status::OK();
+  };
+
   stream::Wal::Options wal_options;
   wal_options.sync_every = options_.wal_sync_every;
   stream::Wal::ReplayInfo info;
   S2_ASSIGN_OR_RETURN(
       wal_, stream::Wal::Open(
                 options_.wal_env, options_.wal_path,
-                [this](const stream::WalRecord& record) {
-                  return EngineAppend(record.series_id, record.value);
+                [&, this](const stream::WalRecord& record) {
+                  S2_RETURN_NOT_OK(apply_monitor_ops(applied_appends));
+                  S2_RETURN_NOT_OK(EngineAppend(record.series_id, record.value));
+                  ++applied_appends;
+                  return Status::OK();
                 },
                 &info, wal_options));
+  // Ops anchored past the last intact append (their appends tore off, or
+  // none followed) re-arm against the final replayed window.
+  S2_RETURN_NOT_OK(apply_monitor_ops(std::numeric_limits<uint64_t>::max()));
+  replayed_monitor_ops_ = ops.size();
+
   replayed_records_ = info.records;
   replay_dropped_bytes_ = info.dropped_bytes;
   replay_time_ = Since(start);
   stream_replay_records_->Increment(info.records);
+  SyncMonitorMetrics();
   // Replay mutated the engine; any entries cached before this call (Create +
   // manual OpenWal usage) are stale for the replayed series.
   if (info.records > 0) cache_.Invalidate();
   return Status::OK();
+}
+
+Status S2Server::EngineSubscribe(monitor::Subscription sub) {
+  if (is_sharded()) return sharded_->Subscribe(std::move(sub));
+  const ts::SeriesId key = sub.series;
+  return engine_->Subscribe(key, std::move(sub));
+}
+
+Status S2Server::EngineUnsubscribe(monitor::SubscriptionId id) {
+  return is_sharded() ? sharded_->Unsubscribe(id) : engine_->Unsubscribe(id);
+}
+
+bool S2Server::EngineHasSubscription(monitor::SubscriptionId id) const {
+  if (is_sharded()) {
+    for (size_t s = 0; s < sharded_->num_shards(); ++s) {
+      if (sharded_->shard(s).monitor_registry().Contains(id)) return true;
+    }
+    return false;
+  }
+  return engine_->monitor_registry().Contains(id);
+}
+
+size_t S2Server::EngineSubscriptionCount() const {
+  return is_sharded() ? sharded_->ActiveSubscriptionCount()
+                      : engine_->monitor_registry().size();
+}
+
+Status S2Server::ApplyMonitorOp(const monitor::MonitorOp& op) {
+  switch (op.op) {
+    case monitor::MonitorOp::Kind::kSubscribe:
+      S2_RETURN_NOT_OK(EngineSubscribe(op.sub));
+      if (op.sub.id >= next_subscription_id_) {
+        next_subscription_id_ = op.sub.id + 1;
+      }
+      return Status::OK();
+    case monitor::MonitorOp::Kind::kUnsubscribe:
+      return EngineUnsubscribe(op.sub.id);
+    case monitor::MonitorOp::Kind::kAck:
+      alert_queue_.Ack(op.ack_upto);
+      return Status::OK();
+  }
+  return Status::Corruption("S2Server: unknown monitor op");
+}
+
+Result<monitor::SubscriptionId> S2Server::Subscribe(monitor::Subscription sub) {
+  std::unique_lock<std::shared_mutex> lock(engine_mu_);
+  sub.id = next_subscription_id_;
+  monitor::MonitorOp op;
+  op.op = monitor::MonitorOp::Kind::kSubscribe;
+  op.anchor = wal_ != nullptr ? wal_->record_count() : 0;
+  op.sub = sub;
+  // Apply first (registration is in-memory and validates everything), log
+  // second: a caller error never reaches the log, and a log failure rolls
+  // the registration back — the subscription is only acknowledged once it
+  // is both armed and durable.
+  S2_RETURN_NOT_OK(EngineSubscribe(sub));
+  if (monitor_wal_ != nullptr) {
+    const Status logged = monitor_wal_->Append(op);
+    if (!logged.ok()) {
+      (void)EngineUnsubscribe(sub.id);
+      return logged;
+    }
+  }
+  ++next_subscription_id_;
+  monitor_subscribes_->Increment();
+  return sub.id;
+}
+
+Status S2Server::Unsubscribe(monitor::SubscriptionId id) {
+  std::unique_lock<std::shared_mutex> lock(engine_mu_);
+  // Validate before logging, like AppendPoint: a cancellation of an unknown
+  // id must not poison the log for every future replay.
+  if (!EngineHasSubscription(id)) {
+    return Status::NotFound("S2Server: no subscription with id " +
+                            std::to_string(id));
+  }
+  if (monitor_wal_ != nullptr) {
+    monitor::MonitorOp op;
+    op.op = monitor::MonitorOp::Kind::kUnsubscribe;
+    op.anchor = wal_ != nullptr ? wal_->record_count() : 0;
+    op.sub.id = id;
+    S2_RETURN_NOT_OK(monitor_wal_->Append(op));
+  }
+  S2_RETURN_NOT_OK(EngineUnsubscribe(id));
+  monitor_unsubscribes_->Increment();
+  return Status::OK();
+}
+
+std::vector<monitor::Alert> S2Server::PollAlerts(size_t max) {
+  std::vector<monitor::Alert> alerts = alert_queue_.Poll(max);
+  SyncMonitorMetrics();
+  return alerts;
+}
+
+Status S2Server::AckAlerts(uint64_t upto_seq) {
+  std::unique_lock<std::shared_mutex> lock(engine_mu_);
+  if (monitor_wal_ != nullptr) {
+    monitor::MonitorOp op;
+    op.op = monitor::MonitorOp::Kind::kAck;
+    op.anchor = wal_ != nullptr ? wal_->record_count() : 0;
+    op.ack_upto = upto_seq;
+    S2_RETURN_NOT_OK(monitor_wal_->Append(op));
+  }
+  alert_queue_.Ack(upto_seq);
+  return Status::OK();
+}
+
+void S2Server::SyncMonitorMetrics() {
+  const monitor::AlertQueue::Stats stats = alert_queue_.stats();
+  std::lock_guard<std::mutex> lock(export_mu_);
+  monitor_alerts_fired_->Increment(stats.fired - exported_fired_);
+  monitor_alerts_dropped_->Increment(stats.dropped - exported_dropped_);
+  monitor_alerts_delivered_->Increment(stats.delivered - exported_delivered_);
+  exported_fired_ = stats.fired;
+  exported_dropped_ = stats.dropped;
+  exported_delivered_ = stats.delivered;
+  if (stats.evaluations > exported_evals_) {
+    // One sample per sync keeps the histogram a sample of evaluation cost
+    // rather than a full census; the append path syncs after every append,
+    // so under serial appends it is a census anyway.
+    monitor_eval_latency_->Record(stats.last_eval_micros);
+    exported_evals_ = stats.evaluations;
+  }
+}
+
+S2Server::MonitorInfo S2Server::monitor_info() {
+  std::shared_lock<std::shared_mutex> lock(engine_mu_);
+  MonitorInfo info;
+  info.wal_enabled = monitor_wal_ != nullptr;
+  info.replayed_ops = replayed_monitor_ops_;
+  info.active_subscriptions = EngineSubscriptionCount();
+  const monitor::AlertQueue::Stats stats = alert_queue_.stats();
+  info.queue_depth = stats.depth;
+  info.next_seq = stats.next_seq;
+  info.acked_upto = stats.acked_upto;
+  info.any_acked = stats.any_acked;
+  info.alerts_fired = stats.fired;
+  info.alerts_dropped = stats.dropped;
+  info.alerts_delivered = stats.delivered;
+  info.alerts_acked = stats.acked;
+  return info;
 }
 
 Status S2Server::AppendPoint(ts::SeriesId id, double value) {
@@ -359,6 +553,7 @@ Status S2Server::AppendPoint(ts::SeriesId id, double value) {
   S2_RETURN_NOT_OK(applied);
   stream_appends_->Increment();
   stream_append_latency_->Record(static_cast<uint64_t>(Since(start).count()));
+  SyncMonitorMetrics();
   MaybeScheduleCompaction();
   return Status::OK();
 }
@@ -380,19 +575,39 @@ Status S2Server::Compact() {
 
 void S2Server::MaybeScheduleCompaction() {
   if (maintenance_ == nullptr || options_.compaction_threshold == 0) return;
+  // The caller holds the exclusive engine lock, so this delta-size snapshot
+  // and the inflight-flag transition are one atomic scheduling step — no
+  // append can interleave between the check and the claim.
   if (EngineDeltaSize() < options_.compaction_threshold) return;
-  // At most one background compaction in flight; further appends past the
-  // threshold while it runs are covered by the re-check after it finishes
-  // (the next append re-triggers).
+  // At most one background compaction in flight. Appends that cross the
+  // threshold while one runs skip scheduling here; BackgroundCompaction's
+  // locked re-check before releasing the flag picks their delta up.
   if (compaction_inflight_.exchange(true, std::memory_order_acq_rel)) return;
-  const bool submitted = maintenance_->Submit([this] {
-    // Errors are not fatal to serving: the delta tier keeps answering
-    // queries exactly; the next threshold crossing retries the merge.
-    (void)Compact();
-    compaction_inflight_.store(false, std::memory_order_release);
-  });
+  const bool submitted =
+      maintenance_->Submit([this] { BackgroundCompaction(); });
   if (!submitted) {
     compaction_inflight_.store(false, std::memory_order_release);
+  }
+}
+
+void S2Server::BackgroundCompaction() {
+  for (;;) {
+    // Errors are not fatal to serving: the delta tier keeps answering
+    // queries exactly; the next threshold crossing retries the merge.
+    const Status status = Compact();
+    // Release the flag only after re-reading the delta size under the same
+    // lock appends take their snapshot under. Every threshold-crossing
+    // append now either observes the flag cleared (and schedules) or has
+    // its delta observed by this re-check (and compacted by the next lap) —
+    // previously the flag was cleared unlocked after Compact(), and a burst
+    // whose final appends landed mid-compaction left the delta above
+    // threshold forever once appends stopped.
+    std::unique_lock<std::shared_mutex> lock(engine_mu_);
+    if (!status.ok() ||
+        EngineDeltaSize() < options_.compaction_threshold) {
+      compaction_inflight_.store(false, std::memory_order_release);
+      return;
+    }
   }
 }
 

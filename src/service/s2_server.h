@@ -11,6 +11,8 @@
 #include "common/result.h"
 #include "core/s2_engine.h"
 #include "exec/thread_pool.h"
+#include "monitor/alert_queue.h"
+#include "monitor/monitor_wal.h"
 #include "resilience/circuit_breaker.h"
 #include "service/metrics.h"
 #include "service/result_cache.h"
@@ -91,6 +93,13 @@ class S2Server {
     /// background compaction on the maintenance thread. 0 disables automatic
     /// compaction — call `Compact()` yourself.
     size_t compaction_threshold = 64;
+
+    // --- Standing queries (s2::monitor) -------------------------------------
+
+    /// Capacity of the alert delivery queue: fired-but-unacknowledged
+    /// alerts beyond this drop oldest-first with overflow accounting
+    /// (`monitor_alerts_dropped`, plus a detectable sequence gap).
+    size_t alert_queue_capacity = 1024;
   };
 
   /// Streaming-state snapshot. Sizes and replay stats are point-in-time
@@ -109,6 +118,24 @@ class S2Server {
     size_t delta_size = 0;
     uint64_t append_count = 0;
     uint64_t compaction_count = 0;
+  };
+
+  /// Standing-query snapshot (point-in-time gauges; the monotone side lives
+  /// in the `monitor_*` counters).
+  struct MonitorInfo {
+    bool wal_enabled = false;
+    /// Subscription-lifecycle ops replayed from the monitor WAL at open.
+    size_t replayed_ops = 0;
+    size_t active_subscriptions = 0;
+    size_t queue_depth = 0;
+    uint64_t next_seq = 0;
+    /// Highest acknowledged alert sequence; meaningful iff `any_acked`.
+    uint64_t acked_upto = 0;
+    bool any_acked = false;
+    uint64_t alerts_fired = 0;
+    uint64_t alerts_dropped = 0;
+    uint64_t alerts_delivered = 0;
+    uint64_t alerts_acked = 0;
   };
 
   /// Takes ownership of a built single engine.
@@ -168,6 +195,34 @@ class S2Server {
 
   StreamInfo stream_info();
 
+  // --- Standing queries (subscribe / poll-alerts verbs) ----------------------
+
+  /// Registers a standing subscription (`sub.series` is the public series
+  /// id; `sub.id` is assigned here and returned). When a WAL is configured
+  /// the registration is durably logged — with the stream position it armed
+  /// at — before it is acknowledged, so a crash replays it into exactly the
+  /// state it had. Exclusive engine access.
+  Result<monitor::SubscriptionId> Subscribe(monitor::Subscription sub);
+
+  /// Durably cancels a standing subscription. Exclusive engine access.
+  Status Unsubscribe(monitor::SubscriptionId id);
+
+  /// Copies up to `max` pending alerts without retiring them — at-least-once
+  /// delivery; call `AckAlerts` with the last consumed sequence number to
+  /// retire. Lock-free with respect to the engine (the queue is internally
+  /// synchronized), so pollers never stall appends.
+  std::vector<monitor::Alert> PollAlerts(size_t max);
+
+  /// Durably acknowledges every alert with seq <= `upto_seq` (logged before
+  /// applied, so replay retires exactly the acknowledged range and re-fires
+  /// everything after it). Exclusive engine access.
+  Status AckAlerts(uint64_t upto_seq);
+
+  MonitorInfo monitor_info();
+
+  /// The alert delivery queue (tests inspect stats directly).
+  const monitor::AlertQueue& alerts() const { return alert_queue_; }
+
   /// Graceful shutdown: drains admitted requests, joins workers, then waits
   /// out any in-flight background compaction. Idempotent.
   void Shutdown() {
@@ -219,8 +274,31 @@ class S2Server {
 
   /// Schedules the background compaction task when the delta tier has
   /// crossed the threshold and none is already in flight. Caller holds the
-  /// exclusive lock; the task itself re-acquires it.
+  /// exclusive lock — the delta-size snapshot and the inflight-flag
+  /// transition form one atomic scheduling step under the same lock every
+  /// append holds, which is what makes the handoff below airtight.
   void MaybeScheduleCompaction();
+
+  /// The maintenance-thread body: compacts, then re-checks the delta size
+  /// *under the engine lock* before clearing the inflight flag — appends
+  /// that crossed the threshold while this ran skipped scheduling (the flag
+  /// was set), so clearing without the locked re-check would strand their
+  /// delta above threshold forever once appends stop (missed wakeup).
+  void BackgroundCompaction();
+
+  /// Routes a subscription/cancellation to whichever engine is live (owner
+  /// shard when sharded). Caller holds the exclusive lock.
+  Status EngineSubscribe(monitor::Subscription sub);
+  Status EngineUnsubscribe(monitor::SubscriptionId id);
+  bool EngineHasSubscription(monitor::SubscriptionId id) const;
+  size_t EngineSubscriptionCount() const;
+
+  /// Applies one replayed monitor-WAL op. Caller holds the exclusive lock.
+  Status ApplyMonitorOp(const monitor::MonitorOp& op);
+
+  /// Exports delivery-queue counter deltas into the metrics registry and
+  /// samples the evaluation-latency histogram.
+  void SyncMonitorMetrics();
 
   // Exactly one of these is engaged, chosen at construction.
   std::optional<core::S2Engine> engine_;
@@ -247,10 +325,21 @@ class S2Server {
   Counter* stream_replay_records_ = nullptr;   ///< WAL records applied at open.
   LatencyHistogram* stream_append_latency_ = nullptr;
   LatencyHistogram* stream_compaction_latency_ = nullptr;
+  // Standing-query metrics.
+  Counter* monitor_subscribes_ = nullptr;       ///< Acknowledged registrations.
+  Counter* monitor_unsubscribes_ = nullptr;     ///< Acknowledged cancellations.
+  Counter* monitor_alerts_fired_ = nullptr;     ///< Alerts pushed to the queue.
+  Counter* monitor_alerts_dropped_ = nullptr;   ///< Overflow-dropped alerts.
+  Counter* monitor_alerts_delivered_ = nullptr; ///< Alerts handed to pollers.
+  LatencyHistogram* monitor_eval_latency_ = nullptr;  ///< Per-append eval time.
   std::mutex export_mu_;             ///< Guards the exported_* snapshots.
   uint64_t exported_retries_ = 0;
   uint64_t exported_giveups_ = 0;
   uint64_t exported_trips_ = 0;
+  uint64_t exported_fired_ = 0;
+  uint64_t exported_dropped_ = 0;
+  uint64_t exported_delivered_ = 0;
+  uint64_t exported_evals_ = 0;
   // Streaming state. The WAL and replay stats are written once under the
   // exclusive lock in OpenWal; the maintenance pool runs at most one
   // compaction at a time, gated by the inflight flag.
@@ -258,6 +347,13 @@ class S2Server {
   size_t replayed_records_ = 0;
   uint64_t replay_dropped_bytes_ = 0;
   std::chrono::microseconds replay_time_{0};
+  // Standing-query state. The delivery queue is internally synchronized
+  // (producers: the append path on any shard; consumers: poll/ack verbs);
+  // everything else here mutates only under the exclusive engine lock.
+  monitor::AlertQueue alert_queue_;
+  std::unique_ptr<monitor::MonitorWal> monitor_wal_;
+  monitor::SubscriptionId next_subscription_id_ = 0;
+  size_t replayed_monitor_ops_ = 0;
   std::unique_ptr<exec::ThreadPool> maintenance_;
   std::atomic<bool> compaction_inflight_{false};
   std::unique_ptr<Scheduler> scheduler_;

@@ -235,6 +235,53 @@ Result<const ts::TimeSeries*> ShardedEngine::Series(ts::SeriesId id) const {
   return shards_[p.shard]->corpus().Get(p.local);
 }
 
+Status ShardedEngine::Subscribe(monitor::Subscription sub) {
+  S2_ASSIGN_OR_RETURN(Placement p, PlacementOf(sub.series));
+  const monitor::SubscriptionId sid = sub.id;
+  // The shard registry keys on the local id; the subscription itself keeps
+  // the global id, which is what its alerts report.
+  S2_RETURN_NOT_OK(shards_[p.shard]->Subscribe(p.local, std::move(sub)));
+  sub_shard_.emplace(sid, p.shard);
+  return Status::OK();
+}
+
+Status ShardedEngine::Unsubscribe(monitor::SubscriptionId id) {
+  auto it = sub_shard_.find(id);
+  if (it == sub_shard_.end()) {
+    return Status::NotFound("ShardedEngine: no such subscription");
+  }
+  S2_RETURN_NOT_OK(shards_[it->second]->Unsubscribe(id));
+  sub_shard_.erase(it);
+  return Status::OK();
+}
+
+void ShardedEngine::set_alert_queue(monitor::AlertQueue* queue) {
+  for (const auto& shard : shards_) shard->set_alert_queue(queue);
+}
+
+size_t ShardedEngine::ActiveSubscriptionCount() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) total += shard->monitor_registry().size();
+  return total;
+}
+
+std::vector<monitor::SubscriptionRegistry::Entry>
+ShardedEngine::ListSubscriptions() const {
+  std::vector<monitor::SubscriptionRegistry::Entry> all;
+  for (const auto& shard : shards_) {
+    std::vector<monitor::SubscriptionRegistry::Entry> entries =
+        shard->monitor_registry().List();
+    all.insert(all.end(), std::make_move_iterator(entries.begin()),
+               std::make_move_iterator(entries.end()));
+  }
+  std::sort(all.begin(), all.end(),
+            [](const monitor::SubscriptionRegistry::Entry& a,
+               const monitor::SubscriptionRegistry::Entry& b) {
+              return a.sub.id < b.sub.id;
+            });
+  return all;
+}
+
 Result<std::vector<index::Neighbor>> ShardedEngine::SimilarTo(
     ts::SeriesId id, size_t k, QueryStats* stats) const {
   S2_ASSIGN_OR_RETURN(Placement p, PlacementOf(id));
@@ -511,6 +558,17 @@ Status ShardedEngine::ValidateInvariants() const {
     }
     v.Check(local_to_global_[p.shard][p.local] == g)
         << "placement maps disagree for global id " << g;
+  }
+  size_t subs = 0;
+  for (const auto& shard : shards_) subs += shard->monitor_registry().size();
+  v.Check(sub_shard_.size() == subs)
+      << "subscription routing map tracks " << sub_shard_.size()
+      << " subscriptions but shard registries hold " << subs;
+  for (const auto& [sub_id, shard] : sub_shard_) {
+    v.Check(shard < shards_.size() &&
+            shards_[shard]->monitor_registry().Contains(sub_id))
+        << "subscription " << sub_id << " routed to shard " << shard
+        << " which does not hold it";
   }
   return v.ToStatus();
 }

@@ -6,11 +6,14 @@
 #include <cstdint>
 #include <memory>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
 #include "core/s2_engine.h"
 #include "exec/thread_pool.h"
+#include "monitor/alert_queue.h"
+#include "monitor/subscription.h"
 #include "timeseries/time_series.h"
 
 namespace s2::shard {
@@ -130,6 +133,29 @@ class ShardedEngine {
   /// The raw series for a global id (owner shard's corpus row).
   Result<const ts::TimeSeries*> Series(ts::SeriesId id) const;
 
+  // --- Standing queries (owner-routed; see src/monitor) --------------------
+
+  /// Registers `sub` (whose `series` is a *global* id) with the owning
+  /// shard under its local id. Fired alerts keep the global id, and all
+  /// shards push into one shared delivery queue in the externally
+  /// serialized append order — so the alert stream, including its sequence
+  /// numbers, is identical to a single engine's over the same appends
+  /// (shard-count invisibility, the §7 bar). Writer: serialize externally.
+  Status Subscribe(monitor::Subscription sub);
+
+  /// Removes a subscription wherever it lives. Writer.
+  Status Unsubscribe(monitor::SubscriptionId id);
+
+  /// Attaches one delivery queue to every shard (not owned; nullptr
+  /// detaches). The serving layer owns the queue in both topologies.
+  void set_alert_queue(monitor::AlertQueue* queue);
+
+  /// Active subscriptions across all shards.
+  size_t ActiveSubscriptionCount() const;
+
+  /// Every shard's subscriptions merged and ordered by subscription id.
+  std::vector<monitor::SubscriptionRegistry::Entry> ListSubscriptions() const;
+
   // --- Similarity (global ids, exact, shard-count invisible) ---------------
 
   Result<std::vector<index::Neighbor>> SimilarTo(ts::SeriesId id, size_t k,
@@ -201,6 +227,8 @@ class ShardedEngine {
   std::unique_ptr<exec::ThreadPool> pool_;
   std::vector<Placement> placements_;                    // global -> (shard, local)
   std::vector<std::vector<ts::SeriesId>> local_to_global_;
+  // Which shard holds each live subscription (Unsubscribe routing).
+  std::unordered_map<monitor::SubscriptionId, uint32_t> sub_shard_;
 };
 
 }  // namespace s2::shard

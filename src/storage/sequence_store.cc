@@ -69,17 +69,18 @@ Result<std::unique_ptr<DiskSequenceStore>> DiskSequenceStore::Create(
   // fsynced (write-temp -> fsync -> atomic rename).
   const uint64_t count = rows.size();
   const uint64_t len = length;
-  std::vector<char> payload;
-  payload.reserve(kHeaderBytes + count * len * sizeof(double));
-  payload.insert(payload.end(), kMagic, kMagic + sizeof(kMagic));
-  const char* count_bytes = reinterpret_cast<const char*>(&count);
-  payload.insert(payload.end(), count_bytes, count_bytes + sizeof(count));
-  const char* len_bytes = reinterpret_cast<const char*>(&len);
-  payload.insert(payload.end(), len_bytes, len_bytes + sizeof(len));
+  std::vector<char> payload(kHeaderBytes + count * len * sizeof(double));
+  char* out = payload.data();
+  std::memcpy(out, kMagic, sizeof(kMagic));
+  out += sizeof(kMagic);
+  std::memcpy(out, &count, sizeof(count));
+  out += sizeof(count);
+  std::memcpy(out, &len, sizeof(len));
+  out += sizeof(len);
   for (const auto& row : rows) {
-    const char* row_bytes = reinterpret_cast<const char*>(row.data());
-    payload.insert(payload.end(), row_bytes,
-                   row_bytes + row.size() * sizeof(double));
+    if (row.empty()) continue;
+    std::memcpy(out, row.data(), row.size() * sizeof(double));
+    out += row.size() * sizeof(double);
   }
   S2_RETURN_NOT_OK(io::durable::CommitNext(env, path, payload));
   return Open(path, env);

@@ -1,0 +1,477 @@
+// Unit contracts of the s2::monitor building blocks: the bounded alert
+// queue's seq/overflow/ack accounting, the per-kind subscription state
+// machines (hysteresis, silent arming, transition-only firing) and the
+// monitor WAL's round-trip + torn-tail recovery.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dsp/stats.h"
+#include "io/mem_env.h"
+#include "monitor/alert_queue.h"
+#include "monitor/monitor_wal.h"
+#include "monitor/registry.h"
+#include "period/period_detector.h"
+
+namespace s2::monitor {
+namespace {
+
+Alert MakeAlert(SubscriptionId sub) {
+  Alert alert;
+  alert.subscription = sub;
+  alert.kind = AlertKind::kBurstBegin;
+  alert.series = 1;
+  return alert;
+}
+
+// --- AlertQueue ------------------------------------------------------------
+
+TEST(AlertQueueTest, AssignsMonotoneSeqsAndPeeksUntilAcked) {
+  AlertQueue queue;
+  queue.Push({MakeAlert(10), MakeAlert(11)});
+  queue.Push({MakeAlert(12)});
+
+  std::vector<Alert> first = queue.Poll(16);
+  ASSERT_EQ(first.size(), 3u);
+  EXPECT_EQ(first[0].seq, 0u);
+  EXPECT_EQ(first[1].seq, 1u);
+  EXPECT_EQ(first[2].seq, 2u);
+
+  // Poll peeks: a re-poll (a consumer that crashed after the first) sees
+  // the same alerts again — at-least-once.
+  std::vector<Alert> again = queue.Poll(16);
+  ASSERT_EQ(again.size(), 3u);
+  EXPECT_EQ(again[0].seq, 0u);
+
+  queue.Ack(1);
+  std::vector<Alert> rest = queue.Poll(16);
+  ASSERT_EQ(rest.size(), 1u);
+  EXPECT_EQ(rest[0].seq, 2u);
+  EXPECT_EQ(rest[0].subscription, 12u);
+
+  const AlertQueue::Stats stats = queue.stats();
+  EXPECT_EQ(stats.fired, 3u);
+  EXPECT_EQ(stats.dropped, 0u);
+  EXPECT_EQ(stats.delivered, 7u);  // 3 + 3 + 1.
+  EXPECT_EQ(stats.acked, 2u);
+  EXPECT_EQ(stats.next_seq, 3u);
+  EXPECT_TRUE(stats.any_acked);
+  EXPECT_EQ(stats.acked_upto, 1u);
+  EXPECT_EQ(stats.depth, 1u);
+}
+
+TEST(AlertQueueTest, OverflowDropsOldestWithDetectableGap) {
+  AlertQueue queue(AlertQueue::Options{/*capacity=*/4});
+  std::vector<Alert> six;
+  for (int i = 0; i < 6; ++i) six.push_back(MakeAlert(100 + i));
+  queue.Push(std::move(six));
+
+  const AlertQueue::Stats stats = queue.stats();
+  EXPECT_EQ(stats.fired, 6u);
+  EXPECT_EQ(stats.dropped, 2u);
+  EXPECT_EQ(stats.depth, 4u);
+
+  // The head's seq exposes the loss window: a consumer that acked nothing
+  // and sees the head at 2 knows seqs [0, 2) were dropped.
+  std::vector<Alert> polled = queue.Poll(16);
+  ASSERT_EQ(polled.size(), 4u);
+  EXPECT_EQ(polled.front().seq, 2u);
+  EXPECT_EQ(polled.back().seq, 5u);
+}
+
+TEST(AlertQueueTest, AckIsClampedMonotoneAndIdempotent) {
+  AlertQueue queue;
+  queue.Push({MakeAlert(1), MakeAlert(2), MakeAlert(3)});
+
+  // Acking far past the fired range clamps the watermark to what exists.
+  queue.Ack(100);
+  AlertQueue::Stats stats = queue.stats();
+  EXPECT_EQ(stats.acked, 3u);
+  EXPECT_EQ(stats.acked_upto, 2u);
+  EXPECT_EQ(stats.depth, 0u);
+
+  // Replayed (stale) acks are no-ops, not regressions.
+  queue.Ack(0);
+  stats = queue.stats();
+  EXPECT_EQ(stats.acked, 3u);
+  EXPECT_EQ(stats.acked_upto, 2u);
+}
+
+// --- SubscriptionRegistry --------------------------------------------------
+
+/// A registry fixture owning one window the tests mutate between
+/// evaluations, mirroring how the engine slides a series.
+class RegistryTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kN = 32;
+
+  RegistryTest() { SetWindow(std::vector<double>(kN, 10.0)); }
+
+  void SetWindow(std::vector<double> raw) {
+    raw_ = std::move(raw);
+    z_ = dsp::Standardize(raw_);
+  }
+
+  EvalContext Ctx() const {
+    EvalContext ctx;
+    ctx.raw = &raw_;
+    ctx.z = &z_;
+    ctx.start_day = start_day_;
+    ctx.detector = &detector_;
+    return ctx;
+  }
+
+  std::vector<Alert> Evaluate() {
+    std::vector<Alert> fired;
+    EXPECT_TRUE(registry_.Evaluate(kKey, Ctx(), &fired).ok());
+    return fired;
+  }
+
+  /// A sine of the given period over the current window length — strongly
+  /// periodic, so its dominant bin clears the exponential threshold.
+  static std::vector<double> Sine(size_t period) {
+    std::vector<double> raw(kN);
+    for (size_t i = 0; i < kN; ++i) {
+      raw[i] = 10.0 + 5.0 * std::sin(2.0 * M_PI * static_cast<double>(i) /
+                                     static_cast<double>(period));
+    }
+    return raw;
+  }
+
+  static constexpr ts::SeriesId kKey = 7;
+  SubscriptionRegistry registry_;
+  period::PeriodDetector detector_;
+  std::vector<double> raw_;
+  std::vector<double> z_;
+  int64_t start_day_ = 100;
+};
+
+TEST_F(RegistryTest, BurstFiresOnEnterAndRearmsBelowExit) {
+  Subscription sub;
+  sub.id = 1;
+  sub.kind = SubscriptionKind::kBurstThreshold;
+  sub.series = 42;  // Global id: alerts must report this, not kKey.
+  sub.burst.window = 4;
+  sub.burst.enter_ratio = 1.5;
+  sub.burst.exit_ratio = 1.2;
+  ASSERT_TRUE(registry_.Subscribe(kKey, sub, Ctx()).ok());
+  EXPECT_EQ(registry_.CountOn(kKey), 1u);
+
+  // Flat data: ratio 1.0, below enter — nothing fires.
+  EXPECT_TRUE(Evaluate().empty());
+
+  // Tail jumps to 40 over a mean of 13.75: ratio ~2.9 >= 1.5 — burst begins.
+  std::vector<double> spiked(kN, 10.0);
+  for (size_t i = kN - 4; i < kN; ++i) spiked[i] = 40.0;
+  SetWindow(std::move(spiked));
+  std::vector<Alert> fired = Evaluate();
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].kind, AlertKind::kBurstBegin);
+  EXPECT_EQ(fired[0].subscription, 1u);
+  EXPECT_EQ(fired[0].series, 42u);
+  EXPECT_EQ(fired[0].day, start_day_ + static_cast<int64_t>(kN) - 1);
+  EXPECT_DOUBLE_EQ(fired[0].threshold, 1.5);
+  EXPECT_GE(fired[0].value, 1.5);
+
+  // Still bursting: no re-fire while engaged.
+  EXPECT_TRUE(Evaluate().empty());
+
+  // Back to flat: ratio 1.0 < 1.2 — burst ends, state re-arms.
+  SetWindow(std::vector<double>(kN, 10.0));
+  fired = Evaluate();
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].kind, AlertKind::kBurstEnd);
+  EXPECT_DOUBLE_EQ(fired[0].threshold, 1.2);
+}
+
+TEST_F(RegistryTest, SubscribingInsideABurstArmsSilently) {
+  std::vector<double> spiked(kN, 10.0);
+  for (size_t i = kN - 4; i < kN; ++i) spiked[i] = 40.0;
+  SetWindow(std::move(spiked));
+
+  Subscription sub;
+  sub.id = 2;
+  sub.kind = SubscriptionKind::kBurstThreshold;
+  sub.series = 7;
+  sub.burst.window = 4;
+  ASSERT_TRUE(registry_.Subscribe(kKey, sub, Ctx()).ok());
+
+  // The registration itself armed "engaged" from the standing burst; the
+  // next evaluation of the same window must NOT fire a begin.
+  EXPECT_TRUE(Evaluate().empty());
+  ASSERT_EQ(registry_.List().size(), 1u);
+  EXPECT_TRUE(registry_.List()[0].engaged);
+
+  // Only the transition out fires.
+  SetWindow(std::vector<double>(kN, 10.0));
+  std::vector<Alert> fired = Evaluate();
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].kind, AlertKind::kBurstEnd);
+}
+
+TEST_F(RegistryTest, PeriodicityTracksGainShiftAndLoss) {
+  Subscription sub;
+  sub.id = 3;
+  sub.kind = SubscriptionKind::kPeriodicityChange;
+  sub.series = 7;
+  // Flat window at subscribe: zero periodogram, nothing significant.
+  ASSERT_TRUE(registry_.Subscribe(kKey, sub, Ctx()).ok());
+
+  // A period-8 sine: dominant bin kN/8 = 4 clears the threshold.
+  SetWindow(Sine(8));
+  std::vector<Alert> fired = Evaluate();
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].kind, AlertKind::kPeriodGained);
+  EXPECT_EQ(fired[0].bin, 4u);
+  EXPECT_GT(fired[0].value, fired[0].threshold);
+
+  // Same window again: no transition, no alert.
+  EXPECT_TRUE(Evaluate().empty());
+
+  // The dominant period moves to 16 (bin 2): a shift.
+  SetWindow(Sine(16));
+  fired = Evaluate();
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].kind, AlertKind::kPeriodShift);
+  EXPECT_EQ(fired[0].bin, 2u);
+
+  // Flat again: the periodicity disappears.
+  SetWindow(std::vector<double>(kN, 10.0));
+  fired = Evaluate();
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].kind, AlertKind::kPeriodLost);
+}
+
+TEST_F(RegistryTest, SimilarityWatchEntersAndLeavesTheBall) {
+  // Query = the period-8 sine; the flat start window is far from it.
+  Subscription sub;
+  sub.id = 4;
+  sub.kind = SubscriptionKind::kSimilarityWatch;
+  sub.series = 7;
+  sub.similarity.query = Sine(8);
+  sub.similarity.radius = 1.0;
+  ASSERT_TRUE(registry_.Subscribe(kKey, sub, Ctx()).ok());
+  EXPECT_TRUE(Evaluate().empty());
+
+  // The window becomes the query itself: standardized distance 0 — enter.
+  SetWindow(Sine(8));
+  std::vector<Alert> fired = Evaluate();
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].kind, AlertKind::kSimilarityEnter);
+  EXPECT_DOUBLE_EQ(fired[0].value, 0.0);
+  EXPECT_DOUBLE_EQ(fired[0].threshold, 1.0);
+
+  // Far away again — leave (exit_radius 0 means "same as radius").
+  SetWindow(Sine(16));
+  fired = Evaluate();
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].kind, AlertKind::kSimilarityLeave);
+  EXPECT_GT(fired[0].value, 1.0);
+}
+
+TEST_F(RegistryTest, EvaluationWalksSubscriptionsInRegistrationOrder) {
+  for (SubscriptionId id : {11u, 12u, 13u}) {
+    Subscription sub;
+    sub.id = id;
+    sub.kind = SubscriptionKind::kBurstThreshold;
+    sub.series = 7;
+    sub.burst.window = 4;
+    ASSERT_TRUE(registry_.Subscribe(kKey, sub, Ctx()).ok());
+  }
+  std::vector<double> spiked(kN, 10.0);
+  for (size_t i = kN - 4; i < kN; ++i) spiked[i] = 40.0;
+  SetWindow(std::move(spiked));
+
+  std::vector<Alert> fired = Evaluate();
+  ASSERT_EQ(fired.size(), 3u);
+  EXPECT_EQ(fired[0].subscription, 11u);
+  EXPECT_EQ(fired[1].subscription, 12u);
+  EXPECT_EQ(fired[2].subscription, 13u);
+}
+
+TEST_F(RegistryTest, RejectsInvalidParamsAndDuplicateIds) {
+  Subscription sub;
+  sub.id = 1;
+  sub.kind = SubscriptionKind::kBurstThreshold;
+  sub.series = 7;
+
+  sub.burst.window = 0;
+  EXPECT_EQ(registry_.Subscribe(kKey, sub, Ctx()).code(),
+            StatusCode::kInvalidArgument);
+  sub.burst.window = kN + 1;
+  EXPECT_EQ(registry_.Subscribe(kKey, sub, Ctx()).code(),
+            StatusCode::kInvalidArgument);
+  sub.burst.window = 4;
+  sub.burst.enter_ratio = 1.0;
+  sub.burst.exit_ratio = 1.5;  // Exit above enter: would chatter.
+  EXPECT_EQ(registry_.Subscribe(kKey, sub, Ctx()).code(),
+            StatusCode::kInvalidArgument);
+
+  sub.burst = BurstThresholdParams{};
+  sub.id = kInvalidSubscriptionId;
+  EXPECT_EQ(registry_.Subscribe(kKey, sub, Ctx()).code(),
+            StatusCode::kInvalidArgument);
+  sub.id = 1;
+  ASSERT_TRUE(registry_.Subscribe(kKey, sub, Ctx()).ok());
+  EXPECT_EQ(registry_.Subscribe(kKey, sub, Ctx()).code(),
+            StatusCode::kInvalidArgument);  // Duplicate id.
+
+  Subscription similar;
+  similar.id = 2;
+  similar.kind = SubscriptionKind::kSimilarityWatch;
+  similar.series = 7;
+  similar.similarity.query = std::vector<double>(kN - 1, 1.0);  // Wrong length.
+  EXPECT_EQ(registry_.Subscribe(kKey, similar, Ctx()).code(),
+            StatusCode::kInvalidArgument);
+  similar.similarity.query = std::vector<double>(kN, 1.0);
+  similar.similarity.radius = 0.0;
+  EXPECT_EQ(registry_.Subscribe(kKey, similar, Ctx()).code(),
+            StatusCode::kInvalidArgument);
+  similar.similarity.radius = 1.0;
+  similar.similarity.exit_radius = 0.5;  // Below radius.
+  EXPECT_EQ(registry_.Subscribe(kKey, similar, Ctx()).code(),
+            StatusCode::kInvalidArgument);
+
+  EXPECT_EQ(registry_.Unsubscribe(99).code(), StatusCode::kNotFound);
+  EXPECT_TRUE(registry_.Unsubscribe(1).ok());
+  EXPECT_EQ(registry_.size(), 0u);
+  EXPECT_EQ(registry_.CountOn(kKey), 0u);
+}
+
+// --- MonitorWal ------------------------------------------------------------
+
+TEST(MonitorWalTest, RoundTripsEveryOpKindWithExactFields) {
+  io::MemEnv env;
+  {
+    std::vector<MonitorOp> none;
+    auto wal = MonitorWal::Open(&env, "mon.wal", &none);
+    ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+    EXPECT_TRUE(none.empty());
+
+    MonitorOp subscribe;
+    subscribe.op = MonitorOp::Kind::kSubscribe;
+    subscribe.anchor = 5;
+    subscribe.sub.id = 3;
+    subscribe.sub.kind = SubscriptionKind::kSimilarityWatch;
+    subscribe.sub.series = 17;
+    subscribe.sub.similarity.query = {1.5, -2.25, 3.0};
+    subscribe.sub.similarity.radius = 0.75;
+    subscribe.sub.similarity.exit_radius = 1.25;
+    ASSERT_TRUE((*wal)->Append(subscribe).ok());
+
+    MonitorOp unsubscribe;
+    unsubscribe.op = MonitorOp::Kind::kUnsubscribe;
+    unsubscribe.anchor = 9;
+    unsubscribe.sub.id = 3;
+    ASSERT_TRUE((*wal)->Append(unsubscribe).ok());
+
+    MonitorOp ack;
+    ack.op = MonitorOp::Kind::kAck;
+    ack.anchor = 12;
+    ack.ack_upto = 41;
+    ASSERT_TRUE((*wal)->Append(ack).ok());
+    EXPECT_EQ((*wal)->record_count(), 3u);
+  }
+
+  std::vector<MonitorOp> ops;
+  MonitorWal::ReplayInfo info;
+  auto wal = MonitorWal::Open(&env, "mon.wal", &ops, &info);
+  ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+  EXPECT_EQ(info.records, 3u);
+  EXPECT_EQ(info.dropped_bytes, 0u);
+  ASSERT_EQ(ops.size(), 3u);
+
+  EXPECT_EQ(ops[0].op, MonitorOp::Kind::kSubscribe);
+  EXPECT_EQ(ops[0].anchor, 5u);
+  EXPECT_EQ(ops[0].sub.id, 3u);
+  EXPECT_EQ(ops[0].sub.kind, SubscriptionKind::kSimilarityWatch);
+  EXPECT_EQ(ops[0].sub.series, 17u);
+  ASSERT_EQ(ops[0].sub.similarity.query.size(), 3u);
+  EXPECT_DOUBLE_EQ(ops[0].sub.similarity.query[1], -2.25);
+  EXPECT_DOUBLE_EQ(ops[0].sub.similarity.radius, 0.75);
+  EXPECT_DOUBLE_EQ(ops[0].sub.similarity.exit_radius, 1.25);
+
+  EXPECT_EQ(ops[1].op, MonitorOp::Kind::kUnsubscribe);
+  EXPECT_EQ(ops[1].anchor, 9u);
+  EXPECT_EQ(ops[1].sub.id, 3u);
+
+  EXPECT_EQ(ops[2].op, MonitorOp::Kind::kAck);
+  EXPECT_EQ(ops[2].anchor, 12u);
+  EXPECT_EQ(ops[2].ack_upto, 41u);
+
+  // The reopened handle appends past the replayed tail.
+  MonitorOp more;
+  more.op = MonitorOp::Kind::kAck;
+  more.ack_upto = 50;
+  ASSERT_TRUE((*wal)->Append(more).ok());
+  EXPECT_EQ((*wal)->record_count(), 4u);
+}
+
+TEST(MonitorWalTest, TornTailIsDroppedAndOverwritten) {
+  io::MemEnv env;
+  {
+    std::vector<MonitorOp> none;
+    auto wal = MonitorWal::Open(&env, "mon.wal", &none);
+    ASSERT_TRUE(wal.ok());
+    MonitorOp ack;
+    ack.op = MonitorOp::Kind::kAck;
+    ack.ack_upto = 1;
+    ASSERT_TRUE((*wal)->Append(ack).ok());
+    ack.ack_upto = 2;
+    ASSERT_TRUE((*wal)->Append(ack).ok());
+  }
+
+  // Tear the second record by flipping its final (checksum) byte.
+  uint64_t size = 0;
+  {
+    auto file = env.Open("mon.wal", io::OpenMode::kReadWrite);
+    ASSERT_TRUE(file.ok());
+    auto got = (*file)->Size();
+    ASSERT_TRUE(got.ok());
+    size = *got;
+    char byte = 0;
+    ASSERT_TRUE((*file)->ReadAt(&byte, 1, size - 1).ok());
+    byte ^= 0x5a;
+    ASSERT_TRUE((*file)->WriteAt(&byte, 1, size - 1).ok());
+    ASSERT_TRUE((*file)->Sync().ok());
+  }
+
+  std::vector<MonitorOp> ops;
+  MonitorWal::ReplayInfo info;
+  auto wal = MonitorWal::Open(&env, "mon.wal", &ops, &info);
+  ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+  ASSERT_EQ(ops.size(), 1u);
+  EXPECT_EQ(ops[0].ack_upto, 1u);
+  EXPECT_GT(info.dropped_bytes, 0u);
+
+  // The next append overwrites the tear; a fresh open sees both records.
+  MonitorOp ack;
+  ack.op = MonitorOp::Kind::kAck;
+  ack.ack_upto = 3;
+  ASSERT_TRUE((*wal)->Append(ack).ok());
+  std::vector<MonitorOp> again;
+  auto reopened = MonitorWal::Open(&env, "mon.wal", &again);
+  ASSERT_TRUE(reopened.ok());
+  ASSERT_EQ(again.size(), 2u);
+  EXPECT_EQ(again[0].ack_upto, 1u);
+  EXPECT_EQ(again[1].ack_upto, 3u);
+}
+
+TEST(MonitorWalTest, BadMagicIsCorruption) {
+  io::MemEnv env;
+  {
+    auto file = env.Open("mon.wal", io::OpenMode::kTruncate);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE(io::WriteExact(file->get(), "NOTMWAL!", 8).ok());
+    ASSERT_TRUE((*file)->Sync().ok());
+  }
+  std::vector<MonitorOp> ops;
+  auto wal = MonitorWal::Open(&env, "mon.wal", &ops);
+  ASSERT_FALSE(wal.ok());
+  EXPECT_EQ(wal.status().code(), StatusCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace s2::monitor

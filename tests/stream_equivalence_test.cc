@@ -1,7 +1,8 @@
 // The acceptance bar for s2::stream: after ANY interleaving of appends,
 // compactions and queries, every query verb must answer exactly as a
-// batch-rebuilt engine over the same final data — at shard counts {1,2,3},
-// RAM- and disk-resident — and replaying the WAL after a simulated crash
+// batch-rebuilt engine over the same final data — at shard counts
+// {1,2,3,8}, RAM- and disk-resident — and replaying the WAL after a
+// simulated crash
 // must lose no acknowledged append.
 //
 // Appends are window slides (drop the oldest day, append the new one), so
@@ -188,7 +189,7 @@ TEST(StreamEquivalenceTest, SingleEngineDiskMatchesBatchRebuild) {
 }
 
 TEST(StreamEquivalenceTest, ShardedRamMatchesBatchRebuild) {
-  for (const size_t shards : {1u, 2u, 3u}) {
+  for (const size_t shards : {1u, 2u, 3u, 8u}) {
     shard::ShardedEngine::Options options;
     options.num_shards = shards;
     options.engine = EngineOptions();
@@ -221,6 +222,41 @@ TEST(StreamEquivalenceTest, ShardedDiskMatchesBatchRebuild) {
         [&](ts::SeriesId id, double v) { return sharded->AppendPoint(id, v); },
         [&] { return sharded->Compact(); }, *sharded,
         "sharded-disk-" + std::to_string(shards));
+    ASSERT_TRUE(sharded->ValidateInvariants().ok());
+  }
+}
+
+TEST(StreamEquivalenceTest, RepeatedAppendsToTombstonedDeltaRowsStayExact) {
+  // Every re-append to a delta-resident series tombstones its old vantage
+  // with the *pinned* row it was indexed under (DeltaIndex::Remove), so the
+  // tree keeps routing through rows the store no longer holds. Hammering a
+  // handful of series many times — with no compaction to wash the
+  // tombstones away — piles pinned-row tombstones on exactly the vantages
+  // queries must route through, at every shard count.
+  for (const size_t shards : {1u, 2u, 8u}) {
+    shard::ShardedEngine::Options options;
+    options.num_shards = shards;
+    options.engine = EngineOptions();
+    auto sharded = shard::ShardedEngine::Build(MakeCorpus(), options);
+    ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+    std::vector<ts::TimeSeries> shadow = Snapshot(MakeCorpus());
+    const std::string what = "tombstone-" + std::to_string(shards);
+
+    Rng rng(kSeed + 7);
+    for (size_t step = 0; step < 48; ++step) {
+      // Only 4 distinct targets: each series is re-appended ~12 times, so
+      // its delta vantage is tombstoned and re-pinned again and again.
+      const auto id = static_cast<ts::SeriesId>(step % 4);
+      const double value = rng.Uniform(0.0, 40.0);
+      ASSERT_TRUE(sharded->AppendPoint(id, value).ok())
+          << what << " step " << step;
+      SlideShadow(&shadow[id], value);
+      if (step % 16 == 15) {
+        const core::S2Engine batch = BatchRebuild(shadow);
+        ExpectAllVerbsEqual(batch, *sharded,
+                            what + " step " + std::to_string(step));
+      }
+    }
     ASSERT_TRUE(sharded->ValidateInvariants().ok());
   }
 }
@@ -330,10 +366,10 @@ TEST(StreamEquivalenceTest, WalReplayAfterCleanCrashLosesNoAcknowledgedAppend) {
 
 TEST(StreamEquivalenceTest, CrashPointSweepKeepsExactlyTheAcknowledgedPrefix) {
   // Crash the WAL at every mutating-op index that can land inside the append
-  // sequence (ops 1-2 are the header write+sync; each append is one write +
-  // one sync). Whatever was acknowledged before the crash must replay;
-  // nothing else may.
-  for (uint64_t crash_at = 3; crash_at <= 12; ++crash_at) {
+  // sequence (ops 1-2 are the monitor WAL's header write+sync, 3-4 the
+  // stream WAL's; each append is one write + one sync). Whatever was
+  // acknowledged before the crash must replay; nothing else may.
+  for (uint64_t crash_at = 5; crash_at <= 14; ++crash_at) {
     io::MemEnv base;
     io::FaultPlan plan;
     plan.crash_at_op = crash_at;

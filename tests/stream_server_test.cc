@@ -8,6 +8,7 @@
 #include <chrono>
 #include <cmath>
 #include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -138,6 +139,46 @@ TEST(StreamServerTest, BackgroundCompactionFiresPastTheThreshold) {
   }
   EXPECT_TRUE(compacted) << "background compaction never drained the delta";
   EXPECT_EQ(server->metrics().counter("stream_compactions")->value(), 1u);
+}
+
+TEST(StreamServerTest, BackgroundCompactionNeverStrandsDeltaAboveThreshold) {
+  // Regression: appends racing an in-flight background compaction used to be
+  // able to push the delta back over the threshold *after* Compact() drained
+  // it but *before* the inflight flag cleared — the schedule check saw the
+  // flag, skipped, and no later append ever re-triggered (the delta was
+  // already over threshold, appends to delta-resident series don't grow it).
+  // The maintenance task now re-checks the delta size under the writer lock
+  // before retiring, so the delta must always settle below the threshold.
+  S2Server::Options options;
+  options.compaction_threshold = 4;
+  std::unique_ptr<S2Server> server = MakeServer(options);
+
+  constexpr size_t kThreads = 4;
+  constexpr size_t kAppendsPerThread = 24;
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&server, t] {
+      for (size_t i = 0; i < kAppendsPerThread; ++i) {
+        // Distinct series per append so the delta genuinely grows while a
+        // compaction is in flight.
+        const auto id =
+            static_cast<ts::SeriesId>((t * kAppendsPerThread + i) % kNumSeries);
+        ASSERT_TRUE(server->AppendPoint(id, 1.0 + static_cast<double>(i)).ok());
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+
+  bool settled = false;
+  for (int i = 0; i < 500 && !settled; ++i) {
+    settled = server->stream_info().delta_size < options.compaction_threshold;
+    if (!settled) std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(settled) << "delta stranded at " << server->stream_info().delta_size
+                       << " >= threshold " << options.compaction_threshold
+                       << " with no compaction scheduled";
+  EXPECT_GE(server->metrics().counter("stream_compactions")->value(), 1u);
 }
 
 TEST(StreamServerTest, WalAcknowledgesBeforeApplyAndReplaysOnRestart) {

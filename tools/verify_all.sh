@@ -11,6 +11,7 @@
 #        tools/verify_all.sh faults [jobs]
 #        tools/verify_all.sh sharding [jobs]
 #        tools/verify_all.sh stream [jobs]
+#        tools/verify_all.sh monitor [jobs]
 #
 # The `faults` profile is a focused resilience gate: it builds under
 # AddressSanitizer and runs only the fault-injection / crash-safety tests
@@ -30,6 +31,13 @@
 # equivalence including the WAL crash-point sweep in
 # stream_equivalence_test.cc) plus one short bench_stream pass that checks
 # the delta-tier query-cost bar.
+#
+# The `monitor` profile is the standing-query gate: it builds under
+# ThreadSanitizer (the alert queue's lock-free polls race the append path's
+# pushes — see monitor_server_test.cc) and runs the monitor-labelled tests
+# (registry state machines, alert-stream shard/maintenance equivalence, the
+# monitor-WAL crash sweep) plus one short bench_monitor pass pricing the
+# append-path evaluation cost.
 set -u
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -89,6 +97,25 @@ if [ "${1:-}" = "stream" ]; then
     --requests 60 --delta 32 \
     || { echo "FAIL [stream]: bench_stream" >&2; exit 1; }
   echo "verify_all.sh: stream profile green."
+  exit 0
+fi
+
+if [ "${1:-}" = "monitor" ]; then
+  jobs="${2:-$(nproc 2> /dev/null || echo 4)}"
+  build_dir="${repo_root}/build-verify-monitor"
+  echo "==== [monitor] TSan build + monitor-labelled tests + bench_monitor ===="
+  cmake -S "${repo_root}" -B "${build_dir}" \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DS2_SANITIZE=thread > "${build_dir}.configure.log" 2>&1 \
+    || { echo "FAIL [monitor]: configure (see ${build_dir}.configure.log)" >&2; exit 1; }
+  cmake --build "${build_dir}" -j "${jobs}" > "${build_dir}.build.log" 2>&1 \
+    || { echo "FAIL [monitor]: build (see ${build_dir}.build.log)" >&2; exit 1; }
+  ctest --test-dir "${build_dir}" -L monitor --output-on-failure -j "${jobs}" \
+    || { echo "FAIL [monitor]: monitor tests" >&2; exit 1; }
+  "${build_dir}/bench/bench_monitor" --series 128 --days 128 --appends 600 \
+    --watched 32 --json "${build_dir}/BENCH_monitor.json" \
+    || { echo "FAIL [monitor]: bench_monitor" >&2; exit 1; }
+  echo "verify_all.sh: monitor profile green."
   exit 0
 fi
 
