@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "core/s2_engine.h"
 #include "io/fault_env.h"
 #include "io/mem_env.h"
@@ -155,6 +156,22 @@ void PrintRow(const Row& row, size_t requests) {
       static_cast<unsigned long long>(Percentile(row.latencies_us, 0.99)));
 }
 
+bench::Json JsonRow(const Row& row, size_t requests) {
+  const double success = 100.0 * static_cast<double>(requests - row.errors) /
+                         static_cast<double>(requests);
+  const double degraded = 100.0 * static_cast<double>(row.ok_degraded) /
+                          static_cast<double>(requests);
+  return bench::Json::Object()
+      .Add("fault_rate", row.fault_rate)
+      .Add("success_pct", success)
+      .Add("degraded_pct", degraded)
+      .Add("retries", row.retries)
+      .Add("giveups", row.giveups)
+      .Add("p50_us", Percentile(row.latencies_us, 0.50))
+      .Add("p95_us", Percentile(row.latencies_us, 0.95))
+      .Add("p99_us", Percentile(row.latencies_us, 0.99));
+}
+
 resilience::CircuitBreaker::Options HugeThreshold() {
   resilience::CircuitBreaker::Options breaker;
   breaker.failure_threshold = 1u << 30;  // Sections 1 rows never shed.
@@ -172,11 +189,15 @@ int main(int argc, char** argv) {
       config.requests = std::stoul(argv[i + 1]);
     if (!std::strcmp(argv[i], "--k")) config.k = std::stoul(argv[i + 1]);
   }
+  const std::string json_path =
+      bench::ArgString(argc, argv, "--json", "BENCH_faults.json");
   const std::vector<double> rates = {0.0, 0.001, 0.01, 0.05};
 
   std::printf("== bench_faults: %zu series x %zu days, %zu requests/row ==\n\n",
               config.series, config.days, config.requests);
 
+  bench::Json ladder_on = bench::Json::Array();
+  bench::Json ladder_off = bench::Json::Array();
   for (const bool degrade : {true, false}) {
     auto d = MakeDeployment(config, degrade, HugeThreshold());
     if (!d) return 1;
@@ -185,7 +206,9 @@ int main(int argc, char** argv) {
         "  fault  | success  | degraded  | retries | giveups |    p50 |    "
         "p95 |    p99 (us)\n");
     for (const double rate : rates) {
-      PrintRow(RunRow(*d, config, rate), config.requests);
+      const Row row = RunRow(*d, config, rate);
+      PrintRow(row, config.requests);
+      (degrade ? ladder_on : ladder_off).Push(JsonRow(row, config.requests));
     }
     std::printf("\n");
   }
@@ -225,5 +248,27 @@ int main(int argc, char** argv) {
               shed_us.size(),
               static_cast<unsigned long long>(Percentile(shed_us, 0.50)),
               static_cast<unsigned long long>(Percentile(shed_us, 0.99)));
+
+  bench::WriteJsonFile(
+      json_path,
+      bench::Json::Object()
+          .Add("bench", "bench_faults")
+          .Add("spec",
+               bench::Json::Object()
+                   .Add("series", static_cast<uint64_t>(config.series))
+                   .Add("days", static_cast<uint64_t>(config.days))
+                   .Add("requests", static_cast<uint64_t>(config.requests))
+                   .Add("k", static_cast<uint64_t>(config.k)))
+          .Add("ladder_on", std::move(ladder_on))
+          .Add("ladder_off", std::move(ladder_off))
+          .Add("outage",
+               bench::Json::Object()
+                   .Add("degraded_answers",
+                        static_cast<uint64_t>(degraded_us.size()))
+                   .Add("degraded_p50_us", Percentile(degraded_us, 0.50))
+                   .Add("degraded_p99_us", Percentile(degraded_us, 0.99))
+                   .Add("shed", static_cast<uint64_t>(shed_us.size()))
+                   .Add("shed_p50_us", Percentile(shed_us, 0.50))
+                   .Add("shed_p99_us", Percentile(shed_us, 0.99))));
   return 0;
 }

@@ -138,6 +138,18 @@ void PrintRow(size_t threads, size_t cache_capacity, const RunResult& r) {
               static_cast<unsigned long long>(r.engine_calls));
 }
 
+bench::Json JsonRow(size_t threads, size_t cache_capacity, const RunResult& r) {
+  return bench::Json::Object()
+      .Add("threads", static_cast<uint64_t>(threads))
+      .Add("cache", cache_capacity == 0 ? "off" : "on")
+      .Add("qps", r.qps)
+      .Add("p50_us", r.p50)
+      .Add("p95_us", r.p95)
+      .Add("p99_us", r.p99)
+      .Add("cache_hits", r.cache_hits)
+      .Add("engine_calls", r.engine_calls);
+}
+
 core::S2Engine BuildEngine(size_t num_series, size_t n_days) {
   qlog::CorpusSpec spec;
   spec.num_series = num_series;
@@ -168,6 +180,8 @@ int main(int argc, char** argv) {
   const size_t hot_keys = bench::ArgSize(argc, argv, "--hot", 64);
   const size_t io_delay_ms = bench::ArgSize(argc, argv, "--io-delay-ms", 20);
   const size_t io_requests = bench::ArgSize(argc, argv, "--io-requests", 240);
+  const std::string json_path =
+      bench::ArgString(argc, argv, "--json", "BENCH_service.json");
   const size_t threads_list[] = {1, 2, 4, 8};
 
   const core::S2Engine engine = BuildEngine(num_series, n_days);
@@ -189,11 +203,13 @@ int main(int argc, char** argv) {
               "cache", "qps", "p50(us)", "p95(us)", "p99(us)", "cache hits",
               "engine calls");
   double cpu_qps_1 = 0.0, cpu_qps_4 = 0.0;
+  bench::Json ram_rows = bench::Json::Array();
   for (size_t cache_capacity : {size_t{0}, size_t{1024}}) {
     for (size_t threads : threads_list) {
       RunResult r =
           RunOnce(engine, workload, threads, cache_capacity, k, /*delay=*/0);
       PrintRow(threads, cache_capacity, r);
+      ram_rows.Push(JsonRow(threads, cache_capacity, r));
       if (cache_capacity == 0 && threads == 1) cpu_qps_1 = r.qps;
       if (cache_capacity == 0 && threads == 4) cpu_qps_4 = r.qps;
     }
@@ -209,10 +225,12 @@ int main(int argc, char** argv) {
   const std::vector<ts::SeriesId> io_workload =
       MakeWorkload(io_requests, num_series, hot_keys, 0.8, 77);
   double io_qps_1 = 0.0, io_qps_4 = 0.0;
+  bench::Json disk_rows = bench::Json::Array();
   for (size_t threads : threads_list) {
     RunResult r = RunOnce(engine, io_workload, threads, /*cache=*/0, k,
                           io_delay_ms);
     PrintRow(threads, 0, r);
+    disk_rows.Push(JsonRow(threads, 0, r));
     if (threads == 1) io_qps_1 = r.qps;
     if (threads == 4) io_qps_4 = r.qps;
   }
@@ -222,6 +240,7 @@ int main(int argc, char** argv) {
     RunResult r = RunOnce(engine, io_workload, threads, /*cache=*/1024, k,
                           io_delay_ms);
     PrintRow(threads, 1024, r);
+    disk_rows.Push(JsonRow(threads, 1024, r));
   }
 
   std::printf("\n  speedup 4 threads vs 1, RAM-resident (cache off):  %.2fx\n",
@@ -233,5 +252,26 @@ int main(int argc, char** argv) {
       "   disk-resident section shows the scheduler overlapping blocked\n"
       "   time. cache-on rows: engine calls < requests proves hot-key hits\n"
       "   skip the VP-tree and sequence store entirely)\n");
+
+  bench::WriteJsonFile(
+      json_path,
+      bench::Json::Object()
+          .Add("bench", "bench_service")
+          .Add("spec",
+               bench::Json::Object()
+                   .Add("series", static_cast<uint64_t>(num_series))
+                   .Add("days", static_cast<uint64_t>(n_days))
+                   .Add("requests", static_cast<uint64_t>(requests))
+                   .Add("k", static_cast<uint64_t>(k))
+                   .Add("hot_keys", static_cast<uint64_t>(hot_keys))
+                   .Add("io_delay_ms", static_cast<uint64_t>(io_delay_ms))
+                   .Add("io_requests", static_cast<uint64_t>(io_requests))
+                   .Add("hardware_threads",
+                        static_cast<uint64_t>(
+                            std::thread::hardware_concurrency())))
+          .Add("ram_resident", std::move(ram_rows))
+          .Add("disk_resident", std::move(disk_rows))
+          .Add("speedup_4v1_ram", cpu_qps_4 / cpu_qps_1)
+          .Add("speedup_4v1_disk", io_qps_4 / io_qps_1));
   return 0;
 }

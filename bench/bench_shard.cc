@@ -127,6 +127,21 @@ void PrintTable(const char* title, const std::vector<Row>& rows) {
   }
 }
 
+bench::Json JsonRows(const std::vector<Row>& rows) {
+  bench::Json array = bench::Json::Array();
+  for (const Row& row : rows) {
+    array.Push(bench::Json::Object()
+                   .Add("shards", static_cast<uint64_t>(row.shards))
+                   .Add("build_s", row.build_s)
+                   .Add("qps", row.qps)
+                   .Add("avg_fanout", row.avg_fanout)
+                   .Add("avg_prunes", row.avg_prunes)
+                   .Add("shard_p50_us", row.shard_p50_us)
+                   .Add("shard_max_us", row.shard_max_us));
+  }
+  return array;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -135,6 +150,8 @@ int main(int argc, char** argv) {
   const size_t requests = bench::ArgSize(argc, argv, "--requests", 200);
   const size_t k = bench::ArgSize(argc, argv, "--k", 10);
   const size_t shards_max = bench::ArgSize(argc, argv, "--shards-max", 8);
+  const std::string json_path =
+      bench::ArgString(argc, argv, "--json", "BENCH_shard.json");
 
   std::printf("bench_shard: series=%zu days=%zu requests=%zu k=%zu "
               "hardware_concurrency=%u\n",
@@ -157,5 +174,22 @@ int main(int argc, char** argv) {
   }
   PrintTable("Disk-resident (MemEnv store files): SimilarTo scatter-gather",
              disk);
+
+  bench::WriteJsonFile(
+      json_path,
+      bench::Json::Object()
+          .Add("bench", "bench_shard")
+          .Add("spec",
+               bench::Json::Object()
+                   .Add("series", static_cast<uint64_t>(series))
+                   .Add("days", static_cast<uint64_t>(days))
+                   .Add("requests", static_cast<uint64_t>(requests))
+                   .Add("k", static_cast<uint64_t>(k))
+                   .Add("shards_max", static_cast<uint64_t>(shards_max))
+                   .Add("hardware_threads",
+                        static_cast<uint64_t>(
+                            std::thread::hardware_concurrency())))
+          .Add("ram_resident", JsonRows(ram))
+          .Add("disk_resident", JsonRows(disk)));
   return 0;
 }

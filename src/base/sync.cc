@@ -1,0 +1,92 @@
+#include "base/sync.h"
+
+#include <cstdio>
+#include <string>
+
+#include "diag/check.h"
+
+namespace s2::sync::internal {
+namespace {
+
+/// One ranked lock the current thread holds. `mutex_id` identifies the
+/// Mutex object so non-LIFO releases match the right entry; the rest is
+/// reporting context for violations.
+struct HeldLock {
+  const void* mutex_id = nullptr;
+  uint32_t rank = 0;
+  const char* name = "";
+  const char* file = "";
+  int line = 0;
+};
+
+/// Deep enough for the real hierarchy (longest documented chain is 4:
+/// engine → retry-jitter → fault-env → mem-env) with a wide margin for
+/// tests; a fixed array keeps the hot path allocation-free.
+constexpr std::size_t kMaxHeldLocks = 32;
+
+thread_local HeldLock g_held[kMaxHeldLocks];
+thread_local std::size_t g_depth = 0;
+
+void ReportRankViolation(const HeldLock& acquiring, const HeldLock& held) {
+  diag::CheckFailure failure;
+  failure.location = {acquiring.file, acquiring.line, "sync::Mutex::Lock"};
+  failure.condition = "lock rank strictly increases";
+  failure.message =
+      "lock-rank violation: acquiring \"" + std::string(acquiring.name) +
+      "\" (rank " + std::to_string(acquiring.rank) + ") at " +
+      acquiring.file + ":" + std::to_string(acquiring.line) +
+      " while holding \"" + held.name + "\" (rank " +
+      std::to_string(held.rank) + ") acquired at " + held.file + ":" +
+      std::to_string(held.line) +
+      "; ranks must strictly increase along every acquisition chain "
+      "(lock table: src/base/sync.h, DESIGN.md section 10)";
+  failure.is_dcheck = true;
+  diag::ReportCheckFailure(failure);
+}
+
+}  // namespace
+
+void RankPushAcquire(const void* mutex_id, uint32_t rank, const char* name,
+                     const char* file, int line) {
+  const HeldLock acquiring{mutex_id, rank, name, file, line};
+  if (g_depth > 0) {
+    const HeldLock& top = g_held[g_depth - 1];
+    if (rank <= top.rank) {
+      // Report, then keep going: the default handler aborts; a test
+      // handler returns, and pushing anyway keeps the stack consistent
+      // with the lock that is in fact about to be taken.
+      ReportRankViolation(acquiring, top);
+    }
+  }
+  if (g_depth < kMaxHeldLocks) {
+    g_held[g_depth++] = acquiring;
+  } else {
+    diag::CheckFailure failure;
+    failure.location = {file, line, "sync::Mutex::Lock"};
+    failure.condition = "held-lock stack has capacity";
+    failure.message = "thread holds more than " +
+                      std::to_string(kMaxHeldLocks) +
+                      " ranked locks; raise kMaxHeldLocks in sync.cc";
+    failure.is_dcheck = true;
+    diag::ReportCheckFailure(failure);
+  }
+}
+
+void RankPop(const void* mutex_id) {
+  // Releases need not be LIFO (std::mutex allows any order), so search from
+  // the top. A miss is possible only after a stack overflow dropped the
+  // entry, which already reported; ignore it here.
+  for (std::size_t i = g_depth; i > 0; --i) {
+    if (g_held[i - 1].mutex_id == mutex_id) {
+      for (std::size_t j = i - 1; j + 1 < g_depth; ++j) {
+        g_held[j] = g_held[j + 1];
+      }
+      --g_depth;
+      return;
+    }
+  }
+}
+
+std::size_t HeldLockDepth() { return g_depth; }
+
+}  // namespace s2::sync::internal

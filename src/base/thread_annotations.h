@@ -1,0 +1,95 @@
+#ifndef S2_BASE_THREAD_ANNOTATIONS_H_
+#define S2_BASE_THREAD_ANNOTATIONS_H_
+
+// Portable wrappers over Clang's thread-safety attributes
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html). Under Clang the
+// annotations make lock discipline a compile-time property — `src/` builds
+// with `-Wthread-safety -Werror` (see src/CMakeLists.txt) so an unguarded
+// access to an S2_GUARDED_BY field or a call to an S2_REQUIRES method
+// without its lock is a build break, not a test-schedule lottery. Under
+// GCC (and any compiler without the attribute) every macro expands to
+// nothing.
+//
+// Conventions for new code (see DESIGN.md §10 for the full write-up):
+//   - every mutex-protected field carries S2_GUARDED_BY(mu_);
+//   - private helpers called with the lock held are annotated
+//     S2_REQUIRES(mu_) / S2_REQUIRES_SHARED(mu_) instead of commenting
+//     "caller holds lock";
+//   - public entry points that take the lock themselves may add
+//     S2_EXCLUDES(mu_) to catch accidental re-entry;
+//   - code that must cross a type-erased seam (std::function callbacks,
+//     thread entry points) and cannot express its lock context uses
+//     S2_NO_THREAD_SAFETY_ANALYSIS on the smallest possible helper, with a
+//     comment saying which lock is actually held and why the analysis
+//     cannot see it.
+
+#if defined(__clang__) && (!defined(SWIG))
+#define S2_TS_ATTRIBUTE_(x) __attribute__((x))
+#else
+#define S2_TS_ATTRIBUTE_(x)  // no-op
+#endif
+
+/// Marks a class as a lockable capability (mutexes, mutex wrappers).
+#define S2_CAPABILITY(x) S2_TS_ATTRIBUTE_(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases.
+#define S2_SCOPED_CAPABILITY S2_TS_ATTRIBUTE_(scoped_lockable)
+
+/// Data member readable/writable only with `x` held (exclusively for
+/// writes, at least shared for reads).
+#define S2_GUARDED_BY(x) S2_TS_ATTRIBUTE_(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by `x` (the pointer itself
+/// may be read freely).
+#define S2_PT_GUARDED_BY(x) S2_TS_ATTRIBUTE_(pt_guarded_by(x))
+
+/// Documents (and under Clang enforces) relative acquisition order.
+#define S2_ACQUIRED_BEFORE(...) S2_TS_ATTRIBUTE_(acquired_before(__VA_ARGS__))
+#define S2_ACQUIRED_AFTER(...) S2_TS_ATTRIBUTE_(acquired_after(__VA_ARGS__))
+
+/// Function callable only with the named capability held exclusively.
+#define S2_REQUIRES(...) S2_TS_ATTRIBUTE_(requires_capability(__VA_ARGS__))
+
+/// Function callable with the named capability held shared or exclusively.
+#define S2_REQUIRES_SHARED(...) \
+  S2_TS_ATTRIBUTE_(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability (exclusively / shared) and does not
+/// release it before returning.
+#define S2_ACQUIRE(...) S2_TS_ATTRIBUTE_(acquire_capability(__VA_ARGS__))
+#define S2_ACQUIRE_SHARED(...) \
+  S2_TS_ATTRIBUTE_(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability (exclusive / shared / either).
+#define S2_RELEASE(...) S2_TS_ATTRIBUTE_(release_capability(__VA_ARGS__))
+#define S2_RELEASE_SHARED(...) \
+  S2_TS_ATTRIBUTE_(release_shared_capability(__VA_ARGS__))
+#define S2_RELEASE_GENERIC(...) \
+  S2_TS_ATTRIBUTE_(release_generic_capability(__VA_ARGS__))
+
+/// Function attempts acquisition; the first argument is the return value
+/// meaning "acquired".
+#define S2_TRY_ACQUIRE(...) S2_TS_ATTRIBUTE_(try_acquire_capability(__VA_ARGS__))
+#define S2_TRY_ACQUIRE_SHARED(...) \
+  S2_TS_ATTRIBUTE_(try_acquire_shared_capability(__VA_ARGS__))
+
+/// Function must NOT be called with the capability held (it acquires it
+/// itself; calling it re-entrantly would self-deadlock).
+#define S2_EXCLUDES(...) S2_TS_ATTRIBUTE_(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (teaches the analysis a
+/// fact it cannot deduce).
+#define S2_ASSERT_CAPABILITY(x) S2_TS_ATTRIBUTE_(assert_capability(x))
+#define S2_ASSERT_SHARED_CAPABILITY(x) \
+  S2_TS_ATTRIBUTE_(assert_shared_capability(x))
+
+/// Function returns a reference to the named capability.
+#define S2_RETURN_CAPABILITY(x) S2_TS_ATTRIBUTE_(lock_returned(x))
+
+/// Escape hatch: the function's lock discipline is correct but inexpressible
+/// (type-erased callbacks, adopted locks). Keep the annotated region as
+/// small as possible and document the invariant at the definition.
+#define S2_NO_THREAD_SAFETY_ANALYSIS \
+  S2_TS_ATTRIBUTE_(no_thread_safety_analysis)
+
+#endif  // S2_BASE_THREAD_ANNOTATIONS_H_

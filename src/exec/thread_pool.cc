@@ -16,17 +16,17 @@ ThreadPool::~ThreadPool() { Shutdown(); }
 
 bool ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(&mu_);
     if (stopping_) return false;
     tasks_.push_back(std::move(task));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
   return true;
 }
 
 void ThreadPool::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(&mu_);
     if (stopping_) {
       // Shutdown already ran (or is running on another thread); workers are
       // joined exactly once below, so second callers just return.
@@ -34,14 +34,14 @@ void ThreadPool::Shutdown() {
     }
     stopping_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
 }
 
 size_t ThreadPool::queue_depth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   return tasks_.size();
 }
 
@@ -49,8 +49,10 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      sync::MutexLock lock(&mu_);
+      // Predicate inline, not a lambda: see CondVar's header note on
+      // -Wthread-safety and wait predicates.
+      while (!stopping_ && tasks_.empty()) cv_.Wait(&mu_);
       if (tasks_.empty()) return;  // stopping_ and fully drained
       task = std::move(tasks_.front());
       tasks_.pop_front();

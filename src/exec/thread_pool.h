@@ -2,14 +2,15 @@
 #define S2_EXEC_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "base/sync.h"
+#include "base/thread_annotations.h"
 
 namespace s2::exec {
 
@@ -71,11 +72,11 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> tasks_;
+  mutable sync::Mutex mu_{sync::LockRank::kThreadPool, "exec::ThreadPool"};
+  sync::CondVar cv_;
+  std::deque<std::function<void()>> tasks_ S2_GUARDED_BY(mu_);
   std::vector<std::thread> workers_;
-  bool stopping_ = false;
+  bool stopping_ S2_GUARDED_BY(mu_) = false;
   std::atomic<uint64_t> tasks_aborted_{0};
 };
 

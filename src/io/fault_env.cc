@@ -91,43 +91,43 @@ Status FaultInjectingEnv::CopyFile(const std::string& from,
 Status FaultInjectingEnv::DropUnsynced() { return base_->DropUnsynced(); }
 
 bool FaultInjectingEnv::crashed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   return crashed_;
 }
 
 void FaultInjectingEnv::ClearCrash() {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   crashed_ = false;
 }
 
 void FaultInjectingEnv::set_plan(const FaultPlan& plan) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   plan_ = plan;
   rng_ = s2::Rng(plan.seed);
 }
 
 uint64_t FaultInjectingEnv::read_ops() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   return read_ops_;
 }
 
 uint64_t FaultInjectingEnv::write_ops() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   return write_ops_;
 }
 
 uint64_t FaultInjectingEnv::sync_ops() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   return sync_ops_;
 }
 
 uint64_t FaultInjectingEnv::mutating_ops() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   return write_ops_ + sync_ops_;
 }
 
 uint64_t FaultInjectingEnv::injected_faults() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   return injected_faults_;
 }
 
@@ -156,7 +156,7 @@ void FaultInjectingEnv::MaybeCrashLocked() {
 }
 
 Status FaultInjectingEnv::BeforeRead() {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   if (crashed_) return Status::IoError("simulated crash: device unavailable");
   ++read_ops_;
   if (plan_.fail_read_at != 0 && read_ops_ == plan_.fail_read_at) {
@@ -169,7 +169,7 @@ Status FaultInjectingEnv::BeforeRead() {
 }
 
 Status FaultInjectingEnv::BeforeWrite() {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   if (crashed_) return Status::IoError("simulated crash: device unavailable");
   ++write_ops_;
   MaybeCrashLocked();
@@ -184,7 +184,7 @@ Status FaultInjectingEnv::BeforeWrite() {
 }
 
 Status FaultInjectingEnv::BeforeSync() {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   if (crashed_) return Status::IoError("simulated crash: device unavailable");
   ++sync_ops_;
   MaybeCrashLocked();
@@ -200,7 +200,7 @@ Status FaultInjectingEnv::BeforeSync() {
 
 size_t FaultInjectingEnv::MaybeShorten(size_t n) {
   if (n <= 1) return n;
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   if (plan_.short_io_rate <= 0.0 || !rng_.Bernoulli(plan_.short_io_rate)) {
     return n;
   }

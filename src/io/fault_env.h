@@ -3,9 +3,10 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 
+#include "base/sync.h"
+#include "base/thread_annotations.h"
 #include "common/rng.h"
 #include "io/env.h"
 
@@ -96,25 +97,29 @@ class FaultInjectingEnv : public Env {
   friend class FaultInjectingFile;
 
   // Fault decisions for one operation; all take mu_.
-  Status BeforeRead();    // OK, or the injected fault
-  Status BeforeWrite();
-  Status BeforeSync();
+  Status BeforeRead() S2_EXCLUDES(mu_);  // OK, or the injected fault
+  Status BeforeWrite() S2_EXCLUDES(mu_);
+  Status BeforeSync() S2_EXCLUDES(mu_);
   // Applies short-I/O to a transfer size (>=1 stays >=1).
-  size_t MaybeShorten(size_t n);
+  size_t MaybeShorten(size_t n) S2_EXCLUDES(mu_);
 
-  Status InjectedFault(const char* op);
-  void MaybeCrashLocked();  // checks crash_at_op against mutating op count
+  Status InjectedFault(const char* op) S2_REQUIRES(mu_);
+  // Checks crash_at_op against the mutating op count. Calls the base env's
+  // DropUnsynced while holding mu_, which is why kFaultEnv ranks below
+  // kMemEnv in the lock hierarchy.
+  void MaybeCrashLocked() S2_REQUIRES(mu_);
 
   Env* base_;
-  FaultPlan plan_;
+  FaultPlan plan_ S2_GUARDED_BY(mu_);
 
-  mutable std::mutex mu_;
-  s2::Rng rng_;
-  uint64_t read_ops_ = 0;
-  uint64_t write_ops_ = 0;
-  uint64_t sync_ops_ = 0;
-  uint64_t injected_faults_ = 0;
-  bool crashed_ = false;
+  mutable sync::Mutex mu_{sync::LockRank::kFaultEnv,
+                          "io::FaultInjectingEnv"};
+  s2::Rng rng_ S2_GUARDED_BY(mu_);
+  uint64_t read_ops_ S2_GUARDED_BY(mu_) = 0;
+  uint64_t write_ops_ S2_GUARDED_BY(mu_) = 0;
+  uint64_t sync_ops_ S2_GUARDED_BY(mu_) = 0;
+  uint64_t injected_faults_ S2_GUARDED_BY(mu_) = 0;
+  bool crashed_ S2_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace s2::io

@@ -19,50 +19,51 @@ class MemFile : public File {
       : env_(env), node_(std::move(node)) {}
 
   Result<size_t> Read(void* buf, size_t n) override {
-    std::lock_guard<std::mutex> lock(env_->mu_);
+    sync::MutexLock lock(&env_->mu_);
     const size_t got = ReadLocked(buf, n, pos_);
     pos_ += got;
     return got;
   }
 
   Result<size_t> Write(const void* buf, size_t n) override {
-    std::lock_guard<std::mutex> lock(env_->mu_);
+    sync::MutexLock lock(&env_->mu_);
     S2_RETURN_NOT_OK(WriteLocked(buf, n, pos_));
     pos_ += n;
     return n;
   }
 
   Result<size_t> ReadAt(void* buf, size_t n, uint64_t offset) override {
-    std::lock_guard<std::mutex> lock(env_->mu_);
+    sync::MutexLock lock(&env_->mu_);
     return ReadLocked(buf, n, static_cast<size_t>(offset));
   }
 
   Result<size_t> WriteAt(const void* buf, size_t n, uint64_t offset) override {
-    std::lock_guard<std::mutex> lock(env_->mu_);
+    sync::MutexLock lock(&env_->mu_);
     S2_RETURN_NOT_OK(WriteLocked(buf, n, static_cast<size_t>(offset)));
     return n;
   }
 
   Status Seek(uint64_t offset) override {
-    std::lock_guard<std::mutex> lock(env_->mu_);
+    sync::MutexLock lock(&env_->mu_);
     pos_ = static_cast<size_t>(offset);
     return Status::OK();
   }
 
   Result<uint64_t> Size() override {
-    std::lock_guard<std::mutex> lock(env_->mu_);
+    sync::MutexLock lock(&env_->mu_);
     return static_cast<uint64_t>(node_->current.size());
   }
 
   Status Sync() override {
-    std::lock_guard<std::mutex> lock(env_->mu_);
+    sync::MutexLock lock(&env_->mu_);
     node_->durable = node_->current;
     node_->synced_once = true;
     return Status::OK();
   }
 
  private:
-  size_t ReadLocked(void* buf, size_t n, size_t offset) {
+  size_t ReadLocked(void* buf, size_t n, size_t offset)
+      S2_REQUIRES(env_->mu_) {
     const auto& bytes = node_->current;
     if (offset >= bytes.size()) return 0;
     const size_t got = std::min(n, bytes.size() - offset);
@@ -70,7 +71,8 @@ class MemFile : public File {
     return got;
   }
 
-  Status WriteLocked(const void* buf, size_t n, size_t offset) {
+  Status WriteLocked(const void* buf, size_t n, size_t offset)
+      S2_REQUIRES(env_->mu_) {
     const size_t end = offset + n;
     if (end > kMaxMemFileBytes) {
       return Status::IoError("MemEnv write would exceed file size bound");
@@ -83,12 +85,12 @@ class MemFile : public File {
 
   MemEnv* env_;
   std::shared_ptr<MemEnv::Node> node_;
-  size_t pos_ = 0;
+  size_t pos_ S2_GUARDED_BY(env_->mu_) = 0;
 };
 
 Result<std::unique_ptr<File>> MemEnv::Open(const std::string& path,
                                            OpenMode mode) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   auto it = files_.find(path);
   if (it == files_.end()) {
     if (mode == OpenMode::kRead) {
@@ -102,7 +104,7 @@ Result<std::unique_ptr<File>> MemEnv::Open(const std::string& path,
 }
 
 Status MemEnv::Rename(const std::string& from, const std::string& to) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   auto it = files_.find(from);
   if (it == files_.end()) {
     return Status::NotFound("rename failed: no such file: " + from);
@@ -113,18 +115,18 @@ Status MemEnv::Rename(const std::string& from, const std::string& to) {
 }
 
 Status MemEnv::Remove(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   files_.erase(path);
   return Status::OK();
 }
 
 bool MemEnv::FileExists(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   return files_.count(path) != 0;
 }
 
 Status MemEnv::DropUnsynced() {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   for (auto it = files_.begin(); it != files_.end();) {
     Node& node = *it->second;
     if (!node.synced_once) {
@@ -140,7 +142,7 @@ Status MemEnv::DropUnsynced() {
 }
 
 std::vector<std::string> MemEnv::ListFiles() {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   std::vector<std::string> out;
   out.reserve(files_.size());
   for (const auto& [path, node] : files_) out.push_back(path);

@@ -3,10 +3,11 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "base/sync.h"
+#include "base/thread_annotations.h"
 #include "io/env.h"
 
 namespace s2::io {
@@ -48,14 +49,17 @@ class MemEnv : public Env {
   // One file's state. `durable` tracks the byte image as of the last Sync;
   // `synced_once` distinguishes "never fsynced" files, whose directory entry
   // is also lost in a crash.
+  // Node contents are also protected by `mu_`; that can't be expressed
+  // through the shared_ptr indirection, so MemFile locks `env_->mu_` around
+  // every access instead of relying on annotations.
   struct Node {
     std::vector<char> current;
     std::vector<char> durable;
     bool synced_once = false;
   };
 
-  std::mutex mu_;
-  std::map<std::string, std::shared_ptr<Node>> files_;
+  sync::Mutex mu_{sync::LockRank::kMemEnv, "io::MemEnv"};
+  std::map<std::string, std::shared_ptr<Node>> files_ S2_GUARDED_BY(mu_);
 };
 
 }  // namespace s2::io

@@ -7,7 +7,7 @@ namespace s2::monitor {
 
 void AlertQueue::Push(std::vector<Alert> alerts) {
   if (alerts.empty()) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   for (Alert& alert : alerts) {
     alert.seq = next_seq_++;
     ++fired_;
@@ -20,7 +20,7 @@ void AlertQueue::Push(std::vector<Alert> alerts) {
 }
 
 std::vector<Alert> AlertQueue::Poll(size_t max) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   const size_t n = std::min(max, queue_.size());
   std::vector<Alert> out(queue_.begin(),
                          queue_.begin() + static_cast<ptrdiff_t>(n));
@@ -29,7 +29,7 @@ std::vector<Alert> AlertQueue::Poll(size_t max) const {
 }
 
 void AlertQueue::Ack(uint64_t upto_seq) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   while (!queue_.empty() && queue_.front().seq <= upto_seq) {
     queue_.pop_front();
     ++acked_;
@@ -46,13 +46,13 @@ void AlertQueue::Ack(uint64_t upto_seq) {
 }
 
 void AlertQueue::RecordEval(uint64_t micros) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   ++evaluations_;
   last_eval_micros_ = micros;
 }
 
 AlertQueue::Stats AlertQueue::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   Stats stats;
   stats.fired = fired_;
   stats.dropped = dropped_;

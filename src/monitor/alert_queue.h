@@ -3,9 +3,10 @@
 
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <vector>
 
+#include "base/sync.h"
+#include "base/thread_annotations.h"
 #include "monitor/subscription.h"
 
 namespace s2::monitor {
@@ -79,17 +80,17 @@ class AlertQueue {
 
  private:
   Options options_;
-  mutable std::mutex mu_;
-  std::deque<Alert> queue_;
-  uint64_t next_seq_ = 0;
-  uint64_t fired_ = 0;
-  uint64_t dropped_ = 0;
-  mutable uint64_t delivered_ = 0;
-  uint64_t acked_ = 0;
-  uint64_t acked_upto_ = 0;
-  bool any_acked_ = false;
-  uint64_t evaluations_ = 0;
-  uint64_t last_eval_micros_ = 0;
+  mutable sync::Mutex mu_{sync::LockRank::kAlertQueue, "monitor::AlertQueue"};
+  std::deque<Alert> queue_ S2_GUARDED_BY(mu_);
+  uint64_t next_seq_ S2_GUARDED_BY(mu_) = 0;
+  uint64_t fired_ S2_GUARDED_BY(mu_) = 0;
+  uint64_t dropped_ S2_GUARDED_BY(mu_) = 0;
+  mutable uint64_t delivered_ S2_GUARDED_BY(mu_) = 0;
+  uint64_t acked_ S2_GUARDED_BY(mu_) = 0;
+  uint64_t acked_upto_ S2_GUARDED_BY(mu_) = 0;
+  bool any_acked_ S2_GUARDED_BY(mu_) = false;
+  uint64_t evaluations_ S2_GUARDED_BY(mu_) = 0;
+  uint64_t last_eval_micros_ S2_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace s2::monitor

@@ -9,7 +9,7 @@ CircuitBreaker::CircuitBreaker(Options options, Clock clock)
     : options_(options), clock_(std::move(clock)) {}
 
 bool CircuitBreaker::AllowRequest() {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   switch (state_) {
     case State::kClosed:
       return true;
@@ -33,14 +33,14 @@ bool CircuitBreaker::AllowRequest() {
 }
 
 void CircuitBreaker::RecordSuccess() {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   consecutive_failures_ = 0;
   probe_in_flight_ = false;
   state_ = State::kClosed;
 }
 
 void CircuitBreaker::RecordNonFailure() {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   probe_in_flight_ = false;
   if (state_ == State::kHalfOpen) {
     // The probe went through the primary path and came back with a verdict
@@ -51,7 +51,7 @@ void CircuitBreaker::RecordNonFailure() {
 }
 
 void CircuitBreaker::RecordFailure() {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   probe_in_flight_ = false;
   if (state_ == State::kHalfOpen) {
     // The probe failed: back to Open for another cooldown.
@@ -70,17 +70,17 @@ void CircuitBreaker::RecordFailure() {
 }
 
 CircuitBreaker::State CircuitBreaker::state() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   return state_;
 }
 
 uint64_t CircuitBreaker::rejected_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   return rejected_;
 }
 
 uint64_t CircuitBreaker::trip_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   return trips_;
 }
 

@@ -4,7 +4,9 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
-#include <mutex>
+
+#include "base/sync.h"
+#include "base/thread_annotations.h"
 
 namespace s2::resilience {
 
@@ -65,13 +67,14 @@ class CircuitBreaker {
   Options options_;
   Clock clock_;
 
-  mutable std::mutex mu_;
-  State state_ = State::kClosed;
-  int consecutive_failures_ = 0;
-  bool probe_in_flight_ = false;
-  std::chrono::steady_clock::time_point opened_at_{};
-  uint64_t rejected_ = 0;
-  uint64_t trips_ = 0;
+  mutable sync::Mutex mu_{sync::LockRank::kCircuitBreaker,
+                          "resilience::CircuitBreaker"};
+  State state_ S2_GUARDED_BY(mu_) = State::kClosed;
+  int consecutive_failures_ S2_GUARDED_BY(mu_) = 0;
+  bool probe_in_flight_ S2_GUARDED_BY(mu_) = false;
+  std::chrono::steady_clock::time_point opened_at_ S2_GUARDED_BY(mu_){};
+  uint64_t rejected_ S2_GUARDED_BY(mu_) = 0;
+  uint64_t trips_ S2_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace s2::resilience

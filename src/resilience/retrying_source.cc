@@ -26,7 +26,7 @@ std::chrono::microseconds RetryingSequenceSource::Backoff(int retry_index) {
   for (int k = 0; k < retry_index && backoff_us < cap_us; ++k) backoff_us *= 2;
   backoff_us = std::min(backoff_us, cap_us);
   if (policy_.jitter > 0.0) {
-    std::lock_guard<std::mutex> lock(rng_mu_);
+    sync::MutexLock lock(&rng_mu_);
     const double factor =
         rng_.Uniform(1.0 - policy_.jitter, 1.0 + policy_.jitter);
     backoff_us = static_cast<int64_t>(static_cast<double>(backoff_us) * factor);

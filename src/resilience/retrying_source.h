@@ -3,8 +3,9 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 
+#include "base/sync.h"
+#include "base/thread_annotations.h"
 #include "resilience/retry.h"
 #include "storage/sequence_store.h"
 
@@ -53,8 +54,9 @@ class RetryingSequenceSource : public storage::SequenceSource {
   RetryPolicy policy_;
   Retrier::Sleeper sleeper_;
 
-  std::mutex rng_mu_;
-  s2::Rng rng_;
+  sync::Mutex rng_mu_{sync::LockRank::kRetryJitter,
+                      "resilience::RetryingSequenceSource"};
+  s2::Rng rng_ S2_GUARDED_BY(rng_mu_);
 
   std::atomic<uint64_t> retries_ = 0;
   std::atomic<uint64_t> giveups_ = 0;

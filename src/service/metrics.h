@@ -6,8 +6,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
+
+#include "base/sync.h"
+#include "base/thread_annotations.h"
 
 namespace s2::service {
 
@@ -74,10 +76,14 @@ class MetricsRegistry {
   std::string TextSnapshot() const;
 
  private:
-  mutable std::mutex mu_;
+  mutable sync::Mutex mu_{sync::LockRank::kMetricsRegistry,
+                          "service::MetricsRegistry"};
   // std::map keeps the snapshot alphabetically ordered and deterministic.
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+  // The unique_ptr targets are themselves lock-free; the mutex guards only
+  // the maps (registration and snapshot iteration).
+  std::map<std::string, std::unique_ptr<Counter>> counters_ S2_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_
+      S2_GUARDED_BY(mu_);
 };
 
 }  // namespace s2::service

@@ -13,7 +13,7 @@ ResultCache::ResultCache(size_t capacity, MetricsRegistry* metrics)
 }
 
 std::optional<QueryResponse> ResultCache::Lookup(const CacheKey& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   const auto it = map_.find(key);
   if (it == map_.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
@@ -30,7 +30,7 @@ std::optional<QueryResponse> ResultCache::Lookup(const CacheKey& key) {
 
 void ResultCache::Insert(const CacheKey& key, const QueryResponse& response) {
   if (capacity_ == 0) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   const auto it = map_.find(key);
   if (it != map_.end()) {
     it->second->second = response;
@@ -47,14 +47,14 @@ void ResultCache::Insert(const CacheKey& key, const QueryResponse& response) {
 }
 
 void ResultCache::Invalidate() {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   map_.clear();
   lru_.clear();
   if (invalidation_counter_ != nullptr) invalidation_counter_->Increment();
 }
 
 void ResultCache::InvalidateCrossSeries() {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   for (auto it = lru_.begin(); it != lru_.end();) {
     const RequestKind kind = it->first.kind;
     if (kind == RequestKind::kSimilarTo || kind == RequestKind::kSimilarToDtw ||
@@ -69,7 +69,7 @@ void ResultCache::InvalidateCrossSeries() {
 }
 
 void ResultCache::InvalidateForAppend(ts::SeriesId id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   for (auto it = lru_.begin(); it != lru_.end();) {
     const RequestKind kind = it->first.kind;
     const bool per_series =
@@ -85,7 +85,7 @@ void ResultCache::InvalidateForAppend(ts::SeriesId id) {
 }
 
 size_t ResultCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   return lru_.size();
 }
 

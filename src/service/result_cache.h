@@ -5,11 +5,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <utility>
 
+#include "base/sync.h"
+#include "base/thread_annotations.h"
 #include "service/metrics.h"
 #include "service/scheduler.h"
 
@@ -102,9 +103,11 @@ class ResultCache {
   using Entry = std::pair<CacheKey, QueryResponse>;
 
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::list<Entry> lru_;  // Front = most recently used.
-  std::unordered_map<CacheKey, std::list<Entry>::iterator, CacheKeyHash> map_;
+  mutable sync::Mutex mu_{sync::LockRank::kResultCache,
+                          "service::ResultCache"};
+  std::list<Entry> lru_ S2_GUARDED_BY(mu_);  // Front = most recently used.
+  std::unordered_map<CacheKey, std::list<Entry>::iterator, CacheKeyHash> map_
+      S2_GUARDED_BY(mu_);
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
   Counter* hit_counter_ = nullptr;

@@ -2,7 +2,6 @@
 
 #include <cmath>
 #include <limits>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -220,7 +219,7 @@ QueryResponse S2Server::Execute(const QueryRequest& request) {
   }
 
   {
-    std::shared_lock<std::shared_mutex> lock(engine_mu_);
+    sync::ReaderMutexLock lock(&engine_mu_);
     engine_calls_->Increment();
     Dispatch(request, &response);
     if (response.status.ok()) {
@@ -276,7 +275,9 @@ QueryResponse S2Server::Degrade(const QueryRequest& request,
 }
 
 void S2Server::SyncResilienceMetrics() {
-  std::lock_guard<std::mutex> lock(export_mu_);
+  // Read the source counters before taking export_mu_: the breaker's mutex
+  // (kCircuitBreaker) ranks below kMetricsExport, so the locks must be
+  // sequential, not nested — same shape as SyncMonitorMetrics.
   uint64_t retries = 0;
   uint64_t giveups = 0;
   if (is_sharded()) {
@@ -287,17 +288,18 @@ void S2Server::SyncResilienceMetrics() {
     retries = rs->retry_count();
     giveups = rs->giveup_count();
   }
+  const uint64_t trips = breaker_.trip_count();
+  sync::MutexLock lock(&export_mu_);
   retry_attempts_->Increment(retries - exported_retries_);
   retry_giveups_->Increment(giveups - exported_giveups_);
   exported_retries_ = retries;
   exported_giveups_ = giveups;
-  const uint64_t trips = breaker_.trip_count();
   breaker_trips_->Increment(trips - exported_trips_);
   exported_trips_ = trips;
 }
 
 Result<ts::SeriesId> S2Server::AddSeries(ts::TimeSeries series) {
-  std::unique_lock<std::shared_mutex> lock(engine_mu_);
+  sync::WriterMutexLock lock(&engine_mu_);
   ts::SeriesId id = ts::kInvalidSeriesId;
   if (is_sharded()) {
     // The sharded engine routes to its least-loaded shard itself.
@@ -326,10 +328,32 @@ size_t S2Server::EngineDeltaSize() const {
   return is_sharded() ? sharded_->TotalDeltaSize() : engine_->delta_size();
 }
 
+Status S2Server::ApplyMonitorOpsUpTo(uint64_t upto, ReplayState* state) {
+  const std::vector<monitor::MonitorOp>& ops = *state->ops;
+  while (state->next_op < ops.size() && ops[state->next_op].anchor <= upto) {
+    S2_RETURN_NOT_OK(ApplyMonitorOp(ops[state->next_op]));
+    ++state->next_op;
+  }
+  return Status::OK();
+}
+
+Status S2Server::ReplayWalRecord(const stream::WalRecord& record,
+                                 ReplayState* state) {
+  // OpenWal holds the writer lock across the whole replay; see the header
+  // for why this function opts out of the static analysis.
+  S2_RETURN_NOT_OK(ApplyMonitorOpsUpTo(state->applied_appends, state));
+  S2_RETURN_NOT_OK(EngineAppend(record.series_id, record.value));
+  ++state->applied_appends;
+  return Status::OK();
+}
+
 Status S2Server::OpenWal() {
-  if (options_.wal_path.empty() || wal_ != nullptr) return Status::OK();
+  if (options_.wal_path.empty()) return Status::OK();
   const Clock::time_point start = Clock::now();
-  std::unique_lock<std::shared_mutex> lock(engine_mu_);
+  sync::WriterMutexLock lock(&engine_mu_);
+  // Checked under the lock (it used to be a pre-lock fast path): two racing
+  // OpenWal calls must not both observe "no WAL yet" and replay twice.
+  if (wal_ != nullptr) return Status::OK();
 
   // Subscription-lifecycle ops are decoded first, then merged into the
   // append replay below by their stream anchor: an op logged after N
@@ -346,15 +370,8 @@ Status S2Server::OpenWal() {
       monitor::MonitorWal::Open(options_.wal_env,
                                 options_.wal_path + ".monitor", &ops,
                                 &monitor_replay));
-  size_t next_op = 0;
-  uint64_t applied_appends = 0;
-  const auto apply_monitor_ops = [&](uint64_t upto) -> Status {
-    while (next_op < ops.size() && ops[next_op].anchor <= upto) {
-      S2_RETURN_NOT_OK(ApplyMonitorOp(ops[next_op]));
-      ++next_op;
-    }
-    return Status::OK();
-  };
+  ReplayState state;
+  state.ops = &ops;
 
   stream::Wal::Options wal_options;
   wal_options.sync_every = options_.wal_sync_every;
@@ -362,16 +379,14 @@ Status S2Server::OpenWal() {
   S2_ASSIGN_OR_RETURN(
       wal_, stream::Wal::Open(
                 options_.wal_env, options_.wal_path,
-                [&, this](const stream::WalRecord& record) {
-                  S2_RETURN_NOT_OK(apply_monitor_ops(applied_appends));
-                  S2_RETURN_NOT_OK(EngineAppend(record.series_id, record.value));
-                  ++applied_appends;
-                  return Status::OK();
+                [this, &state](const stream::WalRecord& record) {
+                  return ReplayWalRecord(record, &state);
                 },
                 &info, wal_options));
   // Ops anchored past the last intact append (their appends tore off, or
   // none followed) re-arm against the final replayed window.
-  S2_RETURN_NOT_OK(apply_monitor_ops(std::numeric_limits<uint64_t>::max()));
+  S2_RETURN_NOT_OK(
+      ApplyMonitorOpsUpTo(std::numeric_limits<uint64_t>::max(), &state));
   replayed_monitor_ops_ = ops.size();
 
   replayed_records_ = info.records;
@@ -428,7 +443,7 @@ Status S2Server::ApplyMonitorOp(const monitor::MonitorOp& op) {
 }
 
 Result<monitor::SubscriptionId> S2Server::Subscribe(monitor::Subscription sub) {
-  std::unique_lock<std::shared_mutex> lock(engine_mu_);
+  sync::WriterMutexLock lock(&engine_mu_);
   sub.id = next_subscription_id_;
   monitor::MonitorOp op;
   op.op = monitor::MonitorOp::Kind::kSubscribe;
@@ -452,7 +467,7 @@ Result<monitor::SubscriptionId> S2Server::Subscribe(monitor::Subscription sub) {
 }
 
 Status S2Server::Unsubscribe(monitor::SubscriptionId id) {
-  std::unique_lock<std::shared_mutex> lock(engine_mu_);
+  sync::WriterMutexLock lock(&engine_mu_);
   // Validate before logging, like AppendPoint: a cancellation of an unknown
   // id must not poison the log for every future replay.
   if (!EngineHasSubscription(id)) {
@@ -478,7 +493,7 @@ std::vector<monitor::Alert> S2Server::PollAlerts(size_t max) {
 }
 
 Status S2Server::AckAlerts(uint64_t upto_seq) {
-  std::unique_lock<std::shared_mutex> lock(engine_mu_);
+  sync::WriterMutexLock lock(&engine_mu_);
   if (monitor_wal_ != nullptr) {
     monitor::MonitorOp op;
     op.op = monitor::MonitorOp::Kind::kAck;
@@ -492,7 +507,7 @@ Status S2Server::AckAlerts(uint64_t upto_seq) {
 
 void S2Server::SyncMonitorMetrics() {
   const monitor::AlertQueue::Stats stats = alert_queue_.stats();
-  std::lock_guard<std::mutex> lock(export_mu_);
+  sync::MutexLock lock(&export_mu_);
   monitor_alerts_fired_->Increment(stats.fired - exported_fired_);
   monitor_alerts_dropped_->Increment(stats.dropped - exported_dropped_);
   monitor_alerts_delivered_->Increment(stats.delivered - exported_delivered_);
@@ -509,7 +524,7 @@ void S2Server::SyncMonitorMetrics() {
 }
 
 S2Server::MonitorInfo S2Server::monitor_info() {
-  std::shared_lock<std::shared_mutex> lock(engine_mu_);
+  sync::ReaderMutexLock lock(&engine_mu_);
   MonitorInfo info;
   info.wal_enabled = monitor_wal_ != nullptr;
   info.replayed_ops = replayed_monitor_ops_;
@@ -528,7 +543,7 @@ S2Server::MonitorInfo S2Server::monitor_info() {
 
 Status S2Server::AppendPoint(ts::SeriesId id, double value) {
   const Clock::time_point start = Clock::now();
-  std::unique_lock<std::shared_mutex> lock(engine_mu_);
+  sync::WriterMutexLock lock(&engine_mu_);
   // Validate before logging: a caller error (bad id, non-finite value) must
   // not leave a poison record in the WAL that every future replay trips on.
   if (!std::isfinite(value)) {
@@ -560,7 +575,7 @@ Status S2Server::AppendPoint(ts::SeriesId id, double value) {
 
 Status S2Server::Compact() {
   const Clock::time_point start = Clock::now();
-  std::unique_lock<std::shared_mutex> lock(engine_mu_);
+  sync::WriterMutexLock lock(&engine_mu_);
   const size_t before = EngineDeltaSize();
   if (before == 0) return Status::OK();
   S2_RETURN_NOT_OK(is_sharded() ? sharded_->Compact() : engine_->Compact());
@@ -602,7 +617,7 @@ void S2Server::BackgroundCompaction() {
     // previously the flag was cleared unlocked after Compact(), and a burst
     // whose final appends landed mid-compaction left the delta above
     // threshold forever once appends stopped.
-    std::unique_lock<std::shared_mutex> lock(engine_mu_);
+    sync::WriterMutexLock lock(&engine_mu_);
     if (!status.ok() ||
         EngineDeltaSize() < options_.compaction_threshold) {
       compaction_inflight_.store(false, std::memory_order_release);
@@ -612,7 +627,7 @@ void S2Server::BackgroundCompaction() {
 }
 
 S2Server::StreamInfo S2Server::stream_info() {
-  std::shared_lock<std::shared_mutex> lock(engine_mu_);
+  sync::ReaderMutexLock lock(&engine_mu_);
   StreamInfo info;
   info.wal_enabled = wal_ != nullptr;
   info.replayed_records = replayed_records_;

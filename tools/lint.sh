@@ -1,7 +1,15 @@
 #!/usr/bin/env bash
 # Runs clang-tidy (profile: repo-root .clang-tidy) over every source file
-# under src/. Skips with a notice — and exit code 0 — when clang-tidy is not
-# installed, so CI images without LLVM still pass the rest of verify_all.sh.
+# under src/, then a second misc-const-correctness pass scoped to the
+# lock-heavy files (the sync layer and everything that holds a sync::Mutex),
+# where a missed const invites taking the lock where none is needed.
+#
+# Any finding fails the run: the profile sets WarningsAsErrors '*', and this
+# script additionally treats any emitted diagnostic as a failure so a
+# clang-tidy version that exits 0 on warnings still gates.
+#
+# Skips with a notice — and exit code 0 — when clang-tidy is not installed,
+# so CI images without LLVM still pass the rest of verify_all.sh.
 #
 # Usage: tools/lint.sh [build-dir]
 #   build-dir: a CMake build tree configured with
@@ -22,15 +30,64 @@ if [ ! -f "${build_dir}/compile_commands.json" ]; then
   exit 1
 fi
 
-failures=0
-while IFS= read -r file; do
-  if ! clang-tidy -p "${build_dir}" --quiet "${file}"; then
-    failures=$((failures + 1))
-  fi
-done < <(find "${repo_root}/src" -name '*.cc' | sort)
+# The files rewritten onto sync::Mutex; kept in sync with DESIGN.md §10.
+sync_heavy_files=(
+  src/base/sync.cc
+  src/exec/thread_pool.cc
+  src/io/fault_env.cc
+  src/io/mem_env.cc
+  src/monitor/alert_queue.cc
+  src/resilience/circuit_breaker.cc
+  src/resilience/retrying_source.cc
+  src/service/metrics.cc
+  src/service/result_cache.cc
+  src/service/s2_server.cc
+)
 
-if [ "${failures}" -ne 0 ]; then
-  echo "lint.sh: clang-tidy reported problems in ${failures} file(s)." >&2
+run_tidy() {
+  # run_tidy <label> <extra-args...> -- <files...>; counts a file as failed
+  # when clang-tidy exits non-zero OR emits any warning/error diagnostic.
+  local label="$1"
+  shift
+  local -a extra=()
+  while [ "$1" != "--" ]; do
+    extra+=("$1")
+    shift
+  done
+  shift
+  local failures=0
+  local file output status
+  for file in "$@"; do
+    output="$(clang-tidy -p "${build_dir}" --quiet "${extra[@]}" "${file}" 2>&1)"
+    status=$?
+    if [ "${status}" -ne 0 ] || printf '%s' "${output}" |
+        grep -qE '(warning|error):'; then
+      printf '%s\n' "${output}"
+      failures=$((failures + 1))
+    fi
+  done
+  if [ "${failures}" -ne 0 ]; then
+    echo "lint.sh: ${label}: findings in ${failures} file(s)." >&2
+    return 1
+  fi
+  echo "lint.sh: ${label}: clean."
+}
+
+overall=0
+
+mapfile -t all_sources < <(find "${repo_root}/src" -name '*.cc' | sort)
+run_tidy "default profile" -- "${all_sources[@]}" || overall=1
+
+sync_paths=()
+for f in "${sync_heavy_files[@]}"; do
+  sync_paths+=("${repo_root}/${f}")
+done
+run_tidy "const-correctness (sync-heavy files)" \
+  --checks='-*,misc-const-correctness' \
+  --warnings-as-errors='*' -- "${sync_paths[@]}" || overall=1
+
+if [ "${overall}" -ne 0 ]; then
+  echo "lint.sh: static analysis FAILED." >&2
   exit 1
 fi
 echo "lint.sh: clang-tidy clean."

@@ -12,6 +12,7 @@
 #        tools/verify_all.sh sharding [jobs]
 #        tools/verify_all.sh stream [jobs]
 #        tools/verify_all.sh monitor [jobs]
+#        tools/verify_all.sh analysis [jobs]
 #
 # The `faults` profile is a focused resilience gate: it builds under
 # AddressSanitizer and runs only the fault-injection / crash-safety tests
@@ -38,6 +39,15 @@
 # (registry state machines, alert-stream shard/maintenance equivalence, the
 # monitor-WAL crash sweep) plus one short bench_monitor pass pricing the
 # append-path evaluation cost.
+#
+# The `analysis` profile is the compile-time concurrency gate: with clang++
+# on PATH it builds src/ under -Wthread-safety -Werror so every annotation
+# in base/thread_annotations.h is actually checked (GCC compiles them to
+# no-ops); without clang++ it falls back to the default compiler so the
+# debug lock-rank checker still runs. Either way it then runs tools/lint.sh
+# (concurrency clang-tidy checks) and the concurrency-labelled tests —
+# the sync-layer unit tests (lock-rank inversion/CondVar), the thread-pool
+# and scheduler contract tests, and the racy monitor/shard stress tests.
 set -u
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -116,6 +126,36 @@ if [ "${1:-}" = "monitor" ]; then
     --watched 32 --json "${build_dir}/BENCH_monitor.json" \
     || { echo "FAIL [monitor]: bench_monitor" >&2; exit 1; }
   echo "verify_all.sh: monitor profile green."
+  exit 0
+fi
+
+if [ "${1:-}" = "analysis" ]; then
+  jobs="${2:-$(nproc 2> /dev/null || echo 4)}"
+  build_dir="${repo_root}/build-verify-analysis"
+  echo "==== [analysis] thread-safety build + lint + concurrency tests ===="
+  extra_flags=()
+  if command -v clang++ > /dev/null 2>&1 && command -v clang > /dev/null 2>&1; then
+    echo "[analysis] clang found: building with -Wthread-safety -Werror"
+    extra_flags+=(-DCMAKE_C_COMPILER=clang -DCMAKE_CXX_COMPILER=clang++)
+  else
+    echo "[analysis] clang++ not on PATH; thread-safety annotations compile" \
+         "to no-ops under this compiler. Building with the default toolchain" \
+         "so the debug lock-rank checker still gates."
+  fi
+  # Debug: S2_DCHECK on, so the runtime lock-rank checker is compiled in and
+  # the inversion test in sync_test.cc asserts the structured failure.
+  cmake -S "${repo_root}" -B "${build_dir}" \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+    "${extra_flags[@]+"${extra_flags[@]}"}" > "${build_dir}.configure.log" 2>&1 \
+    || { echo "FAIL [analysis]: configure (see ${build_dir}.configure.log)" >&2; exit 1; }
+  cmake --build "${build_dir}" -j "${jobs}" > "${build_dir}.build.log" 2>&1 \
+    || { echo "FAIL [analysis]: build (see ${build_dir}.build.log)" >&2; exit 1; }
+  "${repo_root}/tools/lint.sh" "${build_dir}" \
+    || { echo "FAIL [analysis]: lint" >&2; exit 1; }
+  ctest --test-dir "${build_dir}" -L concurrency --output-on-failure -j "${jobs}" \
+    || { echo "FAIL [analysis]: concurrency tests" >&2; exit 1; }
+  echo "verify_all.sh: analysis profile green."
   exit 0
 fi
 
