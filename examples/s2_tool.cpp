@@ -24,6 +24,9 @@
 //   compact                - merge the delta tier into the main index
 //   stream                 - streaming-state snapshot (delta size, counters)
 //   replay                 - WAL replay stats from startup
+//   checkpoint             - take a coordinated checkpoint now
+//   recover                - how this process came up (checkpoint/fallback)
+//   wal-ls                 - list live WAL segments (data + monitor)
 //   subscribe burst <name> [window [enter [exit]]]
 //                          - standing burst alert (MA ratio with hysteresis)
 //   subscribe period <name>- standing periodicity-change alert
@@ -52,6 +55,12 @@
 // before it is applied, and restarting with the same PATH (and the same
 // synthetic corpus) replays the log so no acknowledged append is lost —
 // `replay` shows what came back.
+//
+// --ckpt (requires --wal) arms checkpointed recovery: `checkpoint` commits
+// a coordinated snapshot so a restart loads it and replays only the WAL
+// tail past its anchor. --ckpt-every N checkpoints automatically every N
+// appends; --rotate BYTES segments the WALs so retired history can be
+// garbage-collected after each checkpoint.
 
 #include <algorithm>
 #include <cctype>
@@ -66,8 +75,10 @@
 
 #include "common/rng.h"
 #include "core/s2_engine.h"
+#include "monitor/monitor_wal.h"
 #include "monitor/registry.h"
 #include "monitor/subscription.h"
+#include "stream/wal.h"
 #include "service/s2_server.h"
 #include "shard/sharded_engine.h"
 #include "dsp/stats.h"
@@ -109,8 +120,11 @@ class Tool {
   /// `serving == false` keeps the classic inline mode; otherwise queries
   /// dispatch through the s2::service scheduler. The server may wrap either
   /// topology — every command below is topology-neutral.
-  Tool(std::unique_ptr<service::S2Server> server, bool serving)
-      : server_(std::move(server)), serving_(serving) {}
+  Tool(std::unique_ptr<service::S2Server> server, bool serving,
+       std::string wal_path = "")
+      : server_(std::move(server)),
+        serving_(serving),
+        wal_path_(std::move(wal_path)) {}
 
   void Run() {
     std::string line;
@@ -174,6 +188,12 @@ class Tool {
       StreamState();
     } else if (command == "replay") {
       ReplayStats();
+    } else if (command == "checkpoint") {
+      TakeCheckpoint();
+    } else if (command == "recover") {
+      RecoveryState();
+    } else if (command == "wal-ls") {
+      ListWalSegments();
     } else if (command == "subscribe") {
       std::string kind;
       in >> kind;
@@ -242,6 +262,7 @@ class Tool {
         "  list [prefix] | show <name> | similar <name> [k] | periods <name>\n"
         "  bursts <name> [long|short] | qbb <name> [k] | reconstruct <name> [c]\n"
         "  append <name> <value> | compact | stream | replay\n"
+        "  checkpoint | recover | wal-ls\n"
         "  subscribe burst <name> [window [enter [exit]]]\n"
         "  subscribe period <name> | subscribe similar <name> [radius]\n"
         "  unsubscribe <id> | subs | alerts [max] | monitor\n"
@@ -511,6 +532,80 @@ class Tool {
                 info.replayed_records,
                 static_cast<unsigned long long>(info.replay_dropped_bytes),
                 static_cast<long long>(info.replay_time.count()));
+    const auto minfo = server_->monitor_info();
+    if (minfo.wal_enabled) {
+      std::printf("  monitor log: %llu ops replayed (%llu bytes dropped)\n",
+                  static_cast<unsigned long long>(minfo.replayed_ops),
+                  static_cast<unsigned long long>(minfo.replay_dropped_bytes));
+    }
+  }
+
+  void TakeCheckpoint() {
+    const Status status = server_->Checkpoint();
+    if (!status.ok()) {
+      std::printf("  %s\n", status.ToString().c_str());
+      return;
+    }
+    const auto info = server_->checkpoint_info();
+    std::printf(
+        "  generation %llu committed  (anchors: %llu appends, %llu monitor "
+        "ops)\n",
+        static_cast<unsigned long long>(info.generation),
+        static_cast<unsigned long long>(info.anchor_appends),
+        static_cast<unsigned long long>(info.anchor_monitor_ops));
+  }
+
+  void RecoveryState() {
+    const auto info = server_->checkpoint_info();
+    if (!info.enabled) {
+      std::printf("  checkpointing off (start with --wal PATH --ckpt)\n");
+      return;
+    }
+    const char* origin = "cold start / full replay";
+    if (info.recovered_from_checkpoint) {
+      origin = info.recovered_from_fallback
+                   ? "previous checkpoint generation (newest was corrupt)"
+                   : "checkpoint";
+    }
+    std::printf("  came up from     %s\n", origin);
+    std::printf("  replay started   append %llu, monitor op %llu\n",
+                static_cast<unsigned long long>(info.recovery_anchor_appends),
+                static_cast<unsigned long long>(
+                    info.recovery_anchor_monitor_ops));
+    if (info.generation > 0) {
+      std::printf("  last generation  %llu (anchors %llu / %llu)\n",
+                  static_cast<unsigned long long>(info.generation),
+                  static_cast<unsigned long long>(info.anchor_appends),
+                  static_cast<unsigned long long>(info.anchor_monitor_ops));
+    } else {
+      std::printf("  last generation  (none committed yet)\n");
+    }
+  }
+
+  void ListWalSegments() {
+    if (wal_path_.empty()) {
+      std::printf("  no WAL (start with --wal PATH)\n");
+      return;
+    }
+    const auto print = [](const char* label,
+                          const Result<std::vector<io::walseg::SegmentInfo>>&
+                              segments) {
+      if (!segments.ok()) {
+        std::printf("  %s: %s\n", label, segments.status().ToString().c_str());
+        return;
+      }
+      std::printf("  %s (%zu segment%s)\n", label, segments->size(),
+                  segments->size() == 1 ? "" : "s");
+      for (const auto& seg : *segments) {
+        std::printf("    seq %-6llu base %-10llu %s\n",
+                    static_cast<unsigned long long>(seg.seq),
+                    static_cast<unsigned long long>(seg.base_records),
+                    seg.path.c_str());
+      }
+    };
+    print("data log", stream::Wal::ListSegments(nullptr, wal_path_));
+    print("monitor log",
+          monitor::MonitorWal::ListSegments(nullptr, wal_path_ + ".monitor"));
   }
 
   // Splits "<multi word name> [num [num [num]]]" — trailing numeric tokens
@@ -711,6 +806,8 @@ class Tool {
 
   std::unique_ptr<service::S2Server> server_;
   bool serving_;
+  /// Startup --wal path; empty disables the wal-ls command.
+  std::string wal_path_;
   /// Last alert seq this shell has seen, for cross-poll gap detection.
   uint64_t last_seen_seq_ = 0;
   bool last_seen_seq_set_ = false;
@@ -722,6 +819,9 @@ int main(int argc, char** argv) {
   size_t serve_threads = 0;
   size_t shards = 1;
   std::string wal_path;
+  bool ckpt = false;
+  uint64_t ckpt_every = 0;
+  uint64_t rotate_bytes = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--serve") == 0) {
       serve_threads = 4;
@@ -733,6 +833,13 @@ int main(int argc, char** argv) {
       if (shards == 0) shards = 1;
     } else if (std::strcmp(argv[i], "--wal") == 0 && i + 1 < argc) {
       wal_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--ckpt") == 0) {
+      ckpt = true;
+    } else if (std::strcmp(argv[i], "--ckpt-every") == 0 && i + 1 < argc) {
+      ckpt_every = std::strtoull(argv[++i], nullptr, 10);
+      ckpt = true;
+    } else if (std::strcmp(argv[i], "--rotate") == 0 && i + 1 < argc) {
+      rotate_bytes = std::strtoull(argv[++i], nullptr, 10);
     }
   }
   // Sharded execution dispatches through the server; force serve mode.
@@ -766,8 +873,16 @@ int main(int argc, char** argv) {
   server_options.cache_capacity = serve_threads > 0 ? 1024 : 0;
   server_options.shards = shards;
   server_options.wal_path = wal_path;
+  server_options.checkpoint_enabled = ckpt;
+  server_options.checkpoint_every_appends = ckpt_every;
+  server_options.wal_rotate_bytes = rotate_bytes;
+  // Recover prefers the newest committed checkpoint + WAL tail; it falls
+  // through to a full Build (and full replay) when none exists yet.
   auto server =
-      service::S2Server::Build(std::move(corpus), options, server_options);
+      wal_path.empty()
+          ? service::S2Server::Build(std::move(corpus), options, server_options)
+          : service::S2Server::Recover(std::move(corpus), options,
+                                       server_options);
   if (!server.ok()) {
     std::printf("build failed: %s\n", server.status().ToString().c_str());
     return 1;
@@ -792,10 +907,19 @@ int main(int argc, char** argv) {
   }
   if (!wal_path.empty()) {
     const auto info = (*server)->stream_info();
-    std::printf("WAL at %s: replayed %zu records.\n", wal_path.c_str(),
-                info.replayed_records);
+    std::printf("WAL at %s: replayed %zu records (%llu bytes dropped).\n",
+                wal_path.c_str(), info.replayed_records,
+                static_cast<unsigned long long>(info.replay_dropped_bytes));
+    const auto ckpt_info = (*server)->checkpoint_info();
+    if (ckpt_info.recovered_from_checkpoint) {
+      std::printf("Recovered from checkpoint%s: replay began at append %llu.\n",
+                  ckpt_info.recovered_from_fallback ? " (fallback generation)"
+                                                    : "",
+                  static_cast<unsigned long long>(
+                      ckpt_info.recovery_anchor_appends));
+    }
   }
-  Tool tool(std::move(server).ValueOrDie(), serve_threads > 0);
+  Tool tool(std::move(server).ValueOrDie(), serve_threads > 0, wal_path);
   tool.Run();
   return 0;
 }

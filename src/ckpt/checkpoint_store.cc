@@ -1,0 +1,159 @@
+#include "ckpt/checkpoint_store.h"
+
+#include <cstdlib>
+#include <utility>
+
+#include "io/durable.h"
+
+namespace s2::ckpt {
+
+namespace {
+
+/// Parses the generation out of a snapshot file name's `<digits>` or
+/// `<digits>.tmp` suffix. False for anything else (foreign files that
+/// happen to share the prefix are left alone).
+bool ParseSnapshotGen(const std::string& suffix, uint64_t* gen) {
+  std::string digits = suffix;
+  const std::string tmp = ".tmp";
+  if (digits.size() > tmp.size() &&
+      digits.compare(digits.size() - tmp.size(), tmp.size(), tmp) == 0) {
+    digits.resize(digits.size() - tmp.size());
+  }
+  if (digits.empty() || digits.size() > 19) return false;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return false;
+  }
+  *gen = std::strtoull(digits.c_str(), nullptr, 10);
+  return true;
+}
+
+}  // namespace
+
+CheckpointStore::CheckpointStore(io::Env* env, std::string base)
+    : env_(env != nullptr ? env : io::Env::Default()),
+      base_(std::move(base)) {}
+
+uint64_t CheckpointStore::CorpusChecksum(
+    const std::vector<ts::TimeSeries>& series) {
+  uint64_t sum = io::durable::Fnv1a64(nullptr, 0);
+  for (const ts::TimeSeries& s : series) {
+    sum = io::durable::Fnv1a64(s.name.data(), s.name.size(), sum);
+    const int64_t start_day = s.start_day;
+    sum = io::durable::Fnv1a64(&start_day, sizeof(start_day), sum);
+    sum = io::durable::Fnv1a64(s.values.data(),
+                               s.values.size() * sizeof(double), sum);
+  }
+  return sum;
+}
+
+Status CheckpointStore::Commit(const EngineSnapshot& snapshot,
+                               uint64_t shard_count,
+                               std::vector<uint64_t> shard_checksums,
+                               std::vector<SegmentMeta> data_segments,
+                               std::vector<SegmentMeta> monitor_segments,
+                               Manifest* manifest_out) {
+  // The outgoing manifest (if any) supplies the fallback meta. A corrupt
+  // one is treated as absent: the commit in flight is complete on its
+  // own, and advertising a fallback we could not read would send recovery
+  // to a snapshot of unknown pedigree.
+  Manifest manifest;
+  manifest.has_prev = false;
+  uint64_t manifest_gen = 0;
+  {
+    std::vector<char> payload;
+    const Status loaded = io::durable::LoadLatest(env_, ManifestPath(),
+                                                  &payload, &manifest_gen);
+    if (loaded.ok()) {
+      Manifest old;
+      if (DecodeManifest(payload.data(), payload.size(), &old).ok()) {
+        manifest.prev = old.current;
+        manifest.has_prev = true;
+      }
+    } else if (loaded.code() != StatusCode::kNotFound) {
+      manifest_gen = io::durable::CurrentGeneration(env_, ManifestPath());
+    }
+  }
+
+  const uint64_t gen = manifest_gen + 1;
+  manifest.current.generation = gen;
+  manifest.current.anchor_appends = snapshot.anchor_appends;
+  manifest.current.anchor_monitor_ops = snapshot.anchor_monitor_ops;
+  manifest.shard_count = shard_count;
+  manifest.shard_checksums = std::move(shard_checksums);
+  manifest.data_segments = std::move(data_segments);
+  manifest.monitor_segments = std::move(monitor_segments);
+
+  // Snapshot first, manifest second — the commit-ordering invariant the
+  // manifest's documentation promises.
+  const std::vector<char> snap_payload = EncodeSnapshot(snapshot);
+  S2_RETURN_NOT_OK(io::durable::Commit(env_, SnapshotPath(gen),
+                                       snap_payload.data(),
+                                       snap_payload.size(), gen));
+  const std::vector<char> manifest_payload = EncodeManifest(manifest);
+  S2_RETURN_NOT_OK(io::durable::Commit(env_, ManifestPath(),
+                                       manifest_payload.data(),
+                                       manifest_payload.size(), gen));
+  if (manifest_out != nullptr) *manifest_out = std::move(manifest);
+  return Status::OK();
+}
+
+Status CheckpointStore::LoadSnapshotAt(uint64_t generation,
+                                       EngineSnapshot* out) {
+  std::vector<char> payload;
+  S2_RETURN_NOT_OK(
+      io::durable::LoadLatest(env_, SnapshotPath(generation), &payload));
+  return DecodeSnapshot(payload.data(), payload.size(), out);
+}
+
+Result<CheckpointStore::Loaded> CheckpointStore::Load() {
+  std::vector<char> payload;
+  S2_RETURN_NOT_OK(io::durable::LoadLatest(env_, ManifestPath(), &payload));
+  Loaded loaded;
+  S2_RETURN_NOT_OK(
+      DecodeManifest(payload.data(), payload.size(), &loaded.manifest));
+
+  const Status current =
+      LoadSnapshotAt(loaded.manifest.current.generation, &loaded.snapshot);
+  if (current.ok()) return loaded;
+  if (!loaded.manifest.has_prev) {
+    return Status::Corruption("checkpoint: snapshot gen " +
+                              std::to_string(loaded.manifest.current.generation) +
+                              " unreadable and no fallback: " +
+                              current.message());
+  }
+  // Fallback: the previous generation's snapshot is retained until the
+  // next successful commit, so a corrupt newest snapshot costs only a
+  // longer WAL tail, never the data.
+  const Status prev =
+      LoadSnapshotAt(loaded.manifest.prev.generation, &loaded.snapshot);
+  if (!prev.ok()) {
+    return Status::Corruption(
+        "checkpoint: both generations unreadable (current: " +
+        current.message() + "; fallback: " + prev.message() + ")");
+  }
+  loaded.from_fallback = true;
+  return loaded;
+}
+
+Result<size_t> CheckpointStore::GarbageCollectSnapshots(
+    const Manifest& manifest) {
+  const uint64_t keep_from =
+      manifest.has_prev ? manifest.prev.generation
+                        : manifest.current.generation;
+  const std::string prefix = base_ + ".ckpt.";
+  S2_ASSIGN_OR_RETURN(std::vector<std::string> names,
+                      env_->ListPrefix(prefix));
+  size_t removed = 0;
+  for (const std::string& name : names) {
+    uint64_t gen = 0;
+    if (!ParseSnapshotGen(name.substr(prefix.size()), &gen)) continue;
+    // Retired generations below the fallback, plus orphans above current
+    // (a crash after the snapshot commit but before the manifest commit).
+    if (gen >= keep_from && gen <= manifest.current.generation) continue;
+    S2_RETURN_NOT_OK(env_->Remove(name));
+    ++removed;
+  }
+  return removed;
+}
+
+}  // namespace s2::ckpt

@@ -1,0 +1,89 @@
+#ifndef S2_CKPT_CHECKPOINT_STORE_H_
+#define S2_CKPT_CHECKPOINT_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ckpt/manifest.h"
+#include "ckpt/snapshot.h"
+#include "common/result.h"
+#include "io/env.h"
+
+namespace s2::ckpt {
+
+/// Owns the on-disk checkpoint family rooted at one base path:
+///
+///   <base>.manifest        the MANIFEST (durable generation container)
+///   <base>.ckpt.<gen>      one snapshot per retained generation (same
+///                          container; <gen> matches the manifest)
+///
+/// Commit protocol (crash-safe at every step):
+///   1. the new snapshot is committed at generation G = manifest gen + 1
+///      via write-temp / fsync / atomic-rename;
+///   2. the manifest naming G (with the old current demoted to `prev`) is
+///      committed the same way.
+/// A crash before (2) leaves an orphan snapshot the next GC sweeps; a
+/// crash inside either rename resolves to old-or-new complete file by the
+/// container contract. The manifest therefore never names a snapshot that
+/// was not fully durable first.
+///
+/// Load picks the manifest's current snapshot, falling back to `prev`
+/// when the current one is missing or corrupt — the fallback anchor is
+/// older, so recovery replays a longer WAL tail but loses nothing.
+///
+/// Thread safety: none; the server serializes checkpoint commits on its
+/// maintenance thread.
+class CheckpointStore {
+ public:
+  CheckpointStore(io::Env* env, std::string base);
+
+  /// What recovery starts from.
+  struct Loaded {
+    EngineSnapshot snapshot;
+    Manifest manifest;
+    /// The current generation failed validation and `snapshot` is the
+    /// previous one (replay will start from its older anchor).
+    bool from_fallback = false;
+  };
+
+  /// Commits `snapshot` as the next generation, then the manifest naming
+  /// it. `manifest_out` (may be null) receives the committed manifest.
+  /// On failure the previous checkpoint family is untouched.
+  Status Commit(const EngineSnapshot& snapshot, uint64_t shard_count,
+                std::vector<uint64_t> shard_checksums,
+                std::vector<SegmentMeta> data_segments,
+                std::vector<SegmentMeta> monitor_segments,
+                Manifest* manifest_out);
+
+  /// Loads the newest recoverable checkpoint. NotFound when no manifest
+  /// exists (cold start — replay the full WAL); Corruption when a
+  /// manifest family exists but neither recorded generation validates.
+  Result<Loaded> Load();
+
+  /// Removes snapshot files of retired generations: everything older
+  /// than the manifest's fallback (or current, when no fallback) plus
+  /// orphans newer than current (a crash between snapshot and manifest
+  /// commits). Returns the number of files removed.
+  Result<size_t> GarbageCollectSnapshots(const Manifest& manifest);
+
+  const std::string& base() const { return base_; }
+  std::string ManifestPath() const { return base_ + ".manifest"; }
+  std::string SnapshotPath(uint64_t generation) const {
+    return base_ + ".ckpt." + std::to_string(generation);
+  }
+
+  /// FNV-1a over a corpus slice (name, start_day, values per series, in
+  /// the given order) — the manifest's per-shard cross-check.
+  static uint64_t CorpusChecksum(const std::vector<ts::TimeSeries>& series);
+
+ private:
+  Status LoadSnapshotAt(uint64_t generation, EngineSnapshot* out);
+
+  io::Env* env_;
+  std::string base_;
+};
+
+}  // namespace s2::ckpt
+
+#endif  // S2_CKPT_CHECKPOINT_STORE_H_

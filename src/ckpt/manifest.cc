@@ -1,0 +1,156 @@
+#include "ckpt/manifest.h"
+
+#include <cstring>
+#include <string>
+
+namespace s2::ckpt {
+
+namespace {
+
+constexpr char kManifestMagic[8] = {'S', '2', 'C', 'K', 'M', 'F', '0', '1'};
+constexpr uint32_t kManifestVersion = 1;
+
+void PutU32(std::vector<char>* out, uint32_t v) {
+  const char* c = reinterpret_cast<const char*>(&v);
+  out->insert(out->end(), c, c + sizeof(v));
+}
+
+void PutU64(std::vector<char>* out, uint64_t v) {
+  const char* c = reinterpret_cast<const char*>(&v);
+  out->insert(out->end(), c, c + sizeof(v));
+}
+
+void PutMeta(std::vector<char>* out, const CheckpointMeta& meta) {
+  PutU64(out, meta.generation);
+  PutU64(out, meta.anchor_appends);
+  PutU64(out, meta.anchor_monitor_ops);
+}
+
+void PutSegments(std::vector<char>* out,
+                 const std::vector<SegmentMeta>& segments) {
+  PutU64(out, segments.size());
+  for (const SegmentMeta& seg : segments) {
+    PutU64(out, seg.seq);
+    PutU64(out, seg.base_records);
+  }
+}
+
+class Reader {
+ public:
+  Reader(const char* data, size_t n) : data_(data), n_(n) {}
+  bool U8(uint8_t* v) { return Raw(v, sizeof(*v)); }
+  bool U32(uint32_t* v) { return Raw(v, sizeof(*v)); }
+  bool U64(uint64_t* v) { return Raw(v, sizeof(*v)); }
+  bool Magic() {
+    if (n_ - pos_ < sizeof(kManifestMagic)) return false;
+    const bool ok =
+        std::memcmp(data_ + pos_, kManifestMagic, sizeof(kManifestMagic)) == 0;
+    pos_ += sizeof(kManifestMagic);
+    return ok;
+  }
+  bool Meta(CheckpointMeta* meta) {
+    return U64(&meta->generation) && U64(&meta->anchor_appends) &&
+           U64(&meta->anchor_monitor_ops);
+  }
+  Status Segments(std::vector<SegmentMeta>* out, const char* what) {
+    uint64_t count = 0;
+    if (!U64(&count)) {
+      return Status::Corruption(std::string("manifest: truncated ") + what);
+    }
+    if (count > Remaining() / (2 * sizeof(uint64_t))) {
+      return Status::Corruption(std::string("manifest: ") + what +
+                                " count overruns payload");
+    }
+    out->clear();
+    out->reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      SegmentMeta seg;
+      if (!U64(&seg.seq) || !U64(&seg.base_records)) {
+        return Status::Corruption(std::string("manifest: truncated ") + what);
+      }
+      out->push_back(seg);
+    }
+    return Status::OK();
+  }
+  size_t Remaining() const { return n_ - pos_; }
+  bool Done() const { return pos_ == n_; }
+
+ private:
+  bool Raw(void* p, size_t n) {
+    if (n_ - pos_ < n) return false;
+    std::memcpy(p, data_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  const char* data_;
+  size_t n_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<char> EncodeManifest(const Manifest& manifest) {
+  std::vector<char> out;
+  out.insert(out.end(), kManifestMagic,
+             kManifestMagic + sizeof(kManifestMagic));
+  PutU32(&out, kManifestVersion);
+  PutMeta(&out, manifest.current);
+  out.push_back(manifest.has_prev ? 1 : 0);
+  PutMeta(&out, manifest.prev);
+  PutU64(&out, manifest.shard_count);
+  PutU64(&out, manifest.shard_checksums.size());
+  for (uint64_t sum : manifest.shard_checksums) PutU64(&out, sum);
+  PutSegments(&out, manifest.data_segments);
+  PutSegments(&out, manifest.monitor_segments);
+  return out;
+}
+
+Status DecodeManifest(const char* data, size_t n, Manifest* out) {
+  Reader reader(data, n);
+  if (!reader.Magic()) return Status::Corruption("manifest: bad magic");
+  uint32_t version = 0;
+  if (!reader.U32(&version)) {
+    return Status::Corruption("manifest: truncated header");
+  }
+  if (version != kManifestVersion) {
+    return Status::Corruption("manifest: unknown version " +
+                              std::to_string(version));
+  }
+  uint8_t has_prev = 0;
+  if (!reader.Meta(&out->current) || !reader.U8(&has_prev) ||
+      !reader.Meta(&out->prev)) {
+    return Status::Corruption("manifest: truncated checkpoint metas");
+  }
+  if (has_prev > 1) {
+    return Status::Corruption("manifest: non-boolean has_prev flag");
+  }
+  out->has_prev = has_prev != 0;
+  if (out->has_prev && out->prev.generation >= out->current.generation) {
+    return Status::Corruption("manifest: fallback generation not older");
+  }
+  uint64_t checksum_count = 0;
+  if (!reader.U64(&out->shard_count) || !reader.U64(&checksum_count)) {
+    return Status::Corruption("manifest: truncated shard block");
+  }
+  if (checksum_count > reader.Remaining() / sizeof(uint64_t)) {
+    return Status::Corruption("manifest: checksum count overruns payload");
+  }
+  out->shard_checksums.clear();
+  out->shard_checksums.reserve(checksum_count);
+  for (uint64_t i = 0; i < checksum_count; ++i) {
+    uint64_t sum = 0;
+    if (!reader.U64(&sum)) {
+      return Status::Corruption("manifest: truncated checksums");
+    }
+    out->shard_checksums.push_back(sum);
+  }
+  S2_RETURN_NOT_OK(reader.Segments(&out->data_segments, "data segments"));
+  S2_RETURN_NOT_OK(
+      reader.Segments(&out->monitor_segments, "monitor segments"));
+  if (!reader.Done()) {
+    return Status::Corruption("manifest: trailing bytes");
+  }
+  return Status::OK();
+}
+
+}  // namespace s2::ckpt

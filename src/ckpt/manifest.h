@@ -1,0 +1,75 @@
+#ifndef S2_CKPT_MANIFEST_H_
+#define S2_CKPT_MANIFEST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace s2::ckpt {
+
+/// Names one committed checkpoint generation and the WAL position its
+/// snapshot anchors at. The generation doubles as the snapshot file
+/// suffix (`<base>.ckpt.<generation>`).
+struct CheckpointMeta {
+  uint64_t generation = 0;
+  uint64_t anchor_appends = 0;
+  uint64_t anchor_monitor_ops = 0;
+};
+
+/// One live WAL segment as recorded at checkpoint time: its rotation
+/// sequence number and the stream position (records before it) its
+/// header carries.
+struct SegmentMeta {
+  uint64_t seq = 0;
+  uint64_t base_records = 0;
+};
+
+/// The checkpoint MANIFEST: the single small file recovery reads first.
+/// It names the current snapshot generation, the previous one kept as the
+/// fallback when the current snapshot fails validation, and the WAL
+/// segment sets that were live at commit. Written through the same
+/// atomic-rename generation container as every snapshot (`io::durable`),
+/// so a crash mid-commit always leaves the previous complete manifest.
+///
+/// Invariants:
+///  * `current.generation` strictly increases across commits; the
+///    snapshot file for it is committed *before* the manifest that names
+///    it (a crash between the two leaves an orphan snapshot, which the
+///    next GC removes, never a manifest naming a missing snapshot).
+///  * When `has_prev`, the snapshot for `prev.generation` is retained on
+///    disk until the *next* successful commit retires it — corruption of
+///    the newest snapshot falls back one generation, losing nothing
+///    (the WAL tail past the older anchor is longer, not gone).
+///  * Segment GC never removes a segment whose successor's
+///    `base_records` exceeds the *fallback* anchor, so both recorded
+///    generations can always replay their tails.
+struct Manifest {
+  CheckpointMeta current;
+  bool has_prev = false;
+  CheckpointMeta prev;
+  /// Engine topology at commit: per-shard corpus checksums (FNV-1a over
+  /// each local corpus in local id order). Verified at recovery only when
+  /// the topologies match; a different shard count recovers fine — the
+  /// snapshot corpus is stored in global id order — it just skips this
+  /// extra cross-check.
+  uint64_t shard_count = 1;
+  std::vector<uint64_t> shard_checksums;
+  /// Data / monitor WAL segments live at commit (seq ascending; seq 0 is
+  /// the legacy base file).
+  std::vector<SegmentMeta> data_segments;
+  std::vector<SegmentMeta> monitor_segments;
+};
+
+/// Serializes `manifest` into the payload committed through the
+/// `io::durable` generation container.
+std::vector<char> EncodeManifest(const Manifest& manifest);
+
+/// Decodes a manifest payload; bounds-checked throughout, so mutated
+/// bytes yield `Corruption`, never UB.
+Status DecodeManifest(const char* data, size_t n, Manifest* out);
+
+}  // namespace s2::ckpt
+
+#endif  // S2_CKPT_MANIFEST_H_

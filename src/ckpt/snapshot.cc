@@ -1,0 +1,283 @@
+#include "ckpt/snapshot.h"
+
+#include <cstring>
+#include <string>
+#include <utility>
+
+namespace s2::ckpt {
+
+namespace {
+
+constexpr char kSnapMagic[8] = {'S', '2', 'C', 'K', 'S', 'N', '0', '1'};
+constexpr uint32_t kSnapVersion = 1;
+
+class Encoder {
+ public:
+  void U8(uint8_t v) { Raw(&v, sizeof(v)); }
+  void U32(uint32_t v) { Raw(&v, sizeof(v)); }
+  void U64(uint64_t v) { Raw(&v, sizeof(v)); }
+  void I64(int64_t v) { Raw(&v, sizeof(v)); }
+  void F64(double v) { Raw(&v, sizeof(v)); }
+  void Bytes(const std::string& s) { Raw(s.data(), s.size()); }
+  std::vector<char> Take() { return std::move(bytes_); }
+
+ private:
+  void Raw(const void* p, size_t n) {
+    const char* c = static_cast<const char*>(p);
+    bytes_.insert(bytes_.end(), c, c + n);
+  }
+  std::vector<char> bytes_;
+};
+
+/// Bounds-checked reader: every primitive read fails (rather than walking
+/// off the buffer) when fewer bytes remain, and `Remaining` lets count
+/// fields be sanity-checked before any reservation.
+class Decoder {
+ public:
+  Decoder(const char* data, size_t n) : data_(data), n_(n) {}
+  bool U8(uint8_t* v) { return Raw(v, sizeof(*v)); }
+  bool U32(uint32_t* v) { return Raw(v, sizeof(*v)); }
+  bool U64(uint64_t* v) { return Raw(v, sizeof(*v)); }
+  bool I64(int64_t* v) { return Raw(v, sizeof(*v)); }
+  bool F64(double* v) { return Raw(v, sizeof(*v)); }
+  bool Bytes(std::string* s, size_t len) {
+    if (n_ - pos_ < len) return false;
+    s->assign(data_ + pos_, len);
+    pos_ += len;
+    return true;
+  }
+  size_t Remaining() const { return n_ - pos_; }
+  bool Done() const { return pos_ == n_; }
+
+ private:
+  bool Raw(void* p, size_t n) {
+    if (n_ - pos_ < n) return false;
+    std::memcpy(p, data_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  const char* data_;
+  size_t n_;
+  size_t pos_ = 0;
+};
+
+Status Truncated(const char* what) {
+  return Status::Corruption(std::string("snapshot: truncated ") + what);
+}
+
+void EncodeSubscription(Encoder* enc, const monitor::Subscription& sub) {
+  enc->U64(sub.id);
+  enc->U32(static_cast<uint32_t>(sub.kind));
+  enc->U32(sub.series);
+  enc->U32(sub.burst.window);
+  enc->F64(sub.burst.enter_ratio);
+  enc->F64(sub.burst.exit_ratio);
+  enc->F64(sub.similarity.radius);
+  enc->F64(sub.similarity.exit_radius);
+  enc->U64(sub.similarity.query.size());
+  for (double v : sub.similarity.query) enc->F64(v);
+}
+
+Status DecodeSubscription(Decoder* dec, monitor::Subscription* sub) {
+  uint32_t kind = 0;
+  uint32_t series = 0;
+  uint64_t query_len = 0;
+  if (!dec->U64(&sub->id) || !dec->U32(&kind) || !dec->U32(&series) ||
+      !dec->U32(&sub->burst.window) || !dec->F64(&sub->burst.enter_ratio) ||
+      !dec->F64(&sub->burst.exit_ratio) ||
+      !dec->F64(&sub->similarity.radius) ||
+      !dec->F64(&sub->similarity.exit_radius) || !dec->U64(&query_len)) {
+    return Truncated("subscription");
+  }
+  if (kind > static_cast<uint32_t>(monitor::SubscriptionKind::kSimilarityWatch)) {
+    return Status::Corruption("snapshot: subscription kind out of range");
+  }
+  sub->kind = static_cast<monitor::SubscriptionKind>(kind);
+  sub->series = series;
+  if (query_len > dec->Remaining() / sizeof(double)) {
+    return Status::Corruption("snapshot: similarity query overruns payload");
+  }
+  sub->similarity.query.clear();
+  sub->similarity.query.reserve(query_len);
+  for (uint64_t i = 0; i < query_len; ++i) {
+    double v = 0.0;
+    if (!dec->F64(&v)) return Truncated("similarity query");
+    sub->similarity.query.push_back(v);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::vector<char> EncodeSnapshot(const EngineSnapshot& snapshot) {
+  Encoder enc;
+  enc.Bytes(std::string(kSnapMagic, sizeof(kSnapMagic)));
+  enc.U32(kSnapVersion);
+  enc.U64(snapshot.anchor_appends);
+  enc.U64(snapshot.anchor_monitor_ops);
+  enc.U64(snapshot.next_subscription_id);
+
+  enc.U64(snapshot.corpus.size());
+  for (const ts::TimeSeries& series : snapshot.corpus) {
+    enc.U32(static_cast<uint32_t>(series.name.size()));
+    enc.Bytes(series.name);
+    enc.I64(series.start_day);
+    enc.U64(series.values.size());
+    for (double v : series.values) enc.F64(v);
+  }
+
+  enc.U64(snapshot.subscriptions.size());
+  for (const monitor::SubscriptionRegistry::Entry& entry :
+       snapshot.subscriptions) {
+    EncodeSubscription(&enc, entry.sub);
+    enc.U8(entry.engaged ? 1 : 0);
+    enc.U32(entry.bin);
+  }
+
+  const monitor::AlertQueue::Image& alerts = snapshot.alerts;
+  enc.U64(alerts.next_seq);
+  enc.U64(alerts.fired);
+  enc.U64(alerts.dropped);
+  enc.U64(alerts.delivered);
+  enc.U64(alerts.acked);
+  enc.U64(alerts.acked_upto);
+  enc.U8(alerts.any_acked ? 1 : 0);
+  enc.U64(alerts.evaluations);
+  enc.U64(alerts.last_eval_micros);
+  enc.U64(alerts.queued.size());
+  for (const monitor::Alert& alert : alerts.queued) {
+    enc.U64(alert.seq);
+    enc.U64(alert.subscription);
+    enc.U32(static_cast<uint32_t>(alert.kind));
+    enc.U32(alert.series);
+    enc.I64(alert.day);
+    enc.F64(alert.value);
+    enc.F64(alert.threshold);
+    enc.U32(alert.bin);
+  }
+  return enc.Take();
+}
+
+Status DecodeSnapshot(const char* data, size_t n, EngineSnapshot* out) {
+  Decoder dec(data, n);
+  std::string magic;
+  if (!dec.Bytes(&magic, sizeof(kSnapMagic)) ||
+      std::memcmp(magic.data(), kSnapMagic, sizeof(kSnapMagic)) != 0) {
+    return Status::Corruption("snapshot: bad magic");
+  }
+  uint32_t version = 0;
+  if (!dec.U32(&version)) return Truncated("header");
+  if (version != kSnapVersion) {
+    return Status::Corruption("snapshot: unknown version " +
+                              std::to_string(version));
+  }
+  if (!dec.U64(&out->anchor_appends) || !dec.U64(&out->anchor_monitor_ops) ||
+      !dec.U64(&out->next_subscription_id)) {
+    return Truncated("header");
+  }
+
+  uint64_t series_count = 0;
+  if (!dec.U64(&series_count)) return Truncated("corpus count");
+  // Each series costs at least its fixed fields; a count claiming more
+  // than the remaining bytes could hold is corrupt, not just large.
+  constexpr size_t kMinSeriesBytes =
+      sizeof(uint32_t) + sizeof(int64_t) + sizeof(uint64_t);
+  if (series_count > dec.Remaining() / kMinSeriesBytes) {
+    return Status::Corruption("snapshot: corpus count overruns payload");
+  }
+  out->corpus.clear();
+  out->corpus.reserve(series_count);
+  for (uint64_t i = 0; i < series_count; ++i) {
+    ts::TimeSeries series;
+    uint32_t name_len = 0;
+    if (!dec.U32(&name_len)) return Truncated("series name length");
+    if (name_len > dec.Remaining()) {
+      return Status::Corruption("snapshot: series name overruns payload");
+    }
+    if (!dec.Bytes(&series.name, name_len)) return Truncated("series name");
+    int64_t start_day = 0;
+    uint64_t value_count = 0;
+    if (!dec.I64(&start_day) || !dec.U64(&value_count)) {
+      return Truncated("series header");
+    }
+    series.start_day = static_cast<int32_t>(start_day);
+    if (value_count > dec.Remaining() / sizeof(double)) {
+      return Status::Corruption("snapshot: series values overrun payload");
+    }
+    series.values.reserve(value_count);
+    for (uint64_t j = 0; j < value_count; ++j) {
+      double v = 0.0;
+      if (!dec.F64(&v)) return Truncated("series values");
+      series.values.push_back(v);
+    }
+    out->corpus.push_back(std::move(series));
+  }
+
+  uint64_t sub_count = 0;
+  if (!dec.U64(&sub_count)) return Truncated("subscription count");
+  constexpr size_t kMinSubscriptionBytes =
+      8 + 4 + 4 + 4 + 8 * 4 + 8 + 1 + 4;  // Fixed fields + state.
+  if (sub_count > dec.Remaining() / kMinSubscriptionBytes) {
+    return Status::Corruption("snapshot: subscription count overruns payload");
+  }
+  out->subscriptions.clear();
+  out->subscriptions.reserve(sub_count);
+  for (uint64_t i = 0; i < sub_count; ++i) {
+    monitor::SubscriptionRegistry::Entry entry;
+    S2_RETURN_NOT_OK(DecodeSubscription(&dec, &entry.sub));
+    uint8_t engaged = 0;
+    if (!dec.U8(&engaged) || !dec.U32(&entry.bin)) {
+      return Truncated("subscription state");
+    }
+    if (engaged > 1) {
+      return Status::Corruption("snapshot: non-boolean engaged flag");
+    }
+    entry.engaged = engaged != 0;
+    out->subscriptions.push_back(std::move(entry));
+  }
+
+  monitor::AlertQueue::Image& alerts = out->alerts;
+  uint8_t any_acked = 0;
+  uint64_t queued_count = 0;
+  if (!dec.U64(&alerts.next_seq) || !dec.U64(&alerts.fired) ||
+      !dec.U64(&alerts.dropped) || !dec.U64(&alerts.delivered) ||
+      !dec.U64(&alerts.acked) || !dec.U64(&alerts.acked_upto) ||
+      !dec.U8(&any_acked) || !dec.U64(&alerts.evaluations) ||
+      !dec.U64(&alerts.last_eval_micros) || !dec.U64(&queued_count)) {
+    return Truncated("alert queue header");
+  }
+  if (any_acked > 1) {
+    return Status::Corruption("snapshot: non-boolean any_acked flag");
+  }
+  alerts.any_acked = any_acked != 0;
+  constexpr size_t kAlertBytes = 8 + 8 + 4 + 4 + 8 + 8 + 8 + 4;
+  if (queued_count > dec.Remaining() / kAlertBytes) {
+    return Status::Corruption("snapshot: alert count overruns payload");
+  }
+  alerts.queued.clear();
+  alerts.queued.reserve(queued_count);
+  for (uint64_t i = 0; i < queued_count; ++i) {
+    monitor::Alert alert;
+    uint32_t kind = 0;
+    uint32_t series = 0;
+    if (!dec.U64(&alert.seq) || !dec.U64(&alert.subscription) ||
+        !dec.U32(&kind) || !dec.U32(&series) || !dec.I64(&alert.day) ||
+        !dec.F64(&alert.value) || !dec.F64(&alert.threshold) ||
+        !dec.U32(&alert.bin)) {
+      return Truncated("queued alert");
+    }
+    if (kind > static_cast<uint32_t>(monitor::AlertKind::kSimilarityLeave)) {
+      return Status::Corruption("snapshot: alert kind out of range");
+    }
+    alert.kind = static_cast<monitor::AlertKind>(kind);
+    alert.series = series;
+    alerts.queued.push_back(alert);
+  }
+
+  if (!dec.Done()) {
+    return Status::Corruption("snapshot: trailing bytes after image");
+  }
+  return Status::OK();
+}
+
+}  // namespace s2::ckpt

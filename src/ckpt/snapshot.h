@@ -1,0 +1,55 @@
+#ifndef S2_CKPT_SNAPSHOT_H_
+#define S2_CKPT_SNAPSHOT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "monitor/alert_queue.h"
+#include "monitor/registry.h"
+#include "timeseries/time_series.h"
+
+namespace s2::ckpt {
+
+/// A coordinated point-in-time image of everything the WAL pair would
+/// otherwise have to rebuild from scratch: the corpus (every series'
+/// current window, in *global* id order so the image is shard-count
+/// invisible), the standing-query registry with its live hysteresis
+/// state, the alert delivery queue, and the server's subscription-id
+/// counter — all captured atomically under the writer lock at a single
+/// stream position.
+///
+/// The two anchors name that position: `anchor_appends` data-WAL records
+/// and `anchor_monitor_ops` monitor-WAL records were durable and applied
+/// when the image was taken. Recovery rebuilds the engine from the image
+/// and replays only the WAL tails past the anchors; the invariant that
+/// makes this exact is that every acknowledged verb is either *inside*
+/// the image or *after* its anchor, never both and never neither.
+struct EngineSnapshot {
+  /// Data-WAL records applied (== durable) at capture.
+  uint64_t anchor_appends = 0;
+  /// Monitor-WAL records applied at capture.
+  uint64_t anchor_monitor_ops = 0;
+  /// The server's next unassigned subscription id.
+  uint64_t next_subscription_id = 0;
+  /// Every series' current window, in global id order.
+  std::vector<ts::TimeSeries> corpus;
+  /// Every active subscription with its hysteresis state, in id order.
+  std::vector<monitor::SubscriptionRegistry::Entry> subscriptions;
+  /// The delivery queue's full state (queued alerts, seqs, watermark).
+  monitor::AlertQueue::Image alerts;
+};
+
+/// Serializes `snapshot` into the payload committed through the
+/// `io::durable` generation container (which adds the outer checksum).
+std::vector<char> EncodeSnapshot(const EngineSnapshot& snapshot);
+
+/// Decodes a snapshot payload. Every length and count is bounds-checked
+/// against the remaining bytes and every enum against its range, so any
+/// mutation of the payload yields `Corruption` — never UB — even though
+/// the outer container checksum normally catches it first.
+Status DecodeSnapshot(const char* data, size_t n, EngineSnapshot* out);
+
+}  // namespace s2::ckpt
+
+#endif  // S2_CKPT_SNAPSHOT_H_

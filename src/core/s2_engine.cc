@@ -270,6 +270,21 @@ Status S2Engine::Subscribe(ts::SeriesId key, monitor::Subscription sub) {
   return registry_.Subscribe(key, std::move(sub), ctx);
 }
 
+Status S2Engine::RestoreSubscription(ts::SeriesId key,
+                                     monitor::Subscription sub, bool engaged,
+                                     uint32_t bin) {
+  if (key >= corpus_.size()) {
+    return Status::NotFound("S2Engine::RestoreSubscription: bad series id");
+  }
+  const ts::TimeSeries& series = corpus_.at(key);
+  monitor::EvalContext ctx;
+  ctx.raw = &series.values;
+  ctx.z = &standardized_[key];
+  ctx.start_day = series.start_day;
+  ctx.detector = &period_detector_;
+  return registry_.Restore(key, std::move(sub), engaged, bin, ctx);
+}
+
 Status S2Engine::Unsubscribe(monitor::SubscriptionId id) {
   return registry_.Unsubscribe(id);
 }

@@ -151,6 +151,13 @@ class S2Engine {
   /// exact pre-crash state. A writer: serialize like `AddSeries`.
   Status Subscribe(ts::SeriesId key, monitor::Subscription sub);
 
+  /// Registers a subscription with its hysteresis state installed verbatim
+  /// instead of armed from the current window — the checkpoint-recovery
+  /// path (the snapshot recorded the state at the WAL anchor; re-arming
+  /// against the rebuilt window would be wrong mid-transition). A writer.
+  Status RestoreSubscription(ts::SeriesId key, monitor::Subscription sub,
+                             bool engaged, uint32_t bin);
+
   /// Removes a standing subscription. A writer.
   Status Unsubscribe(monitor::SubscriptionId id);
 

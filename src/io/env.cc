@@ -1,9 +1,12 @@
 #include "io/env.h"
 
+#include <dirent.h>
 #include <errno.h>
 #include <fcntl.h>
 #include <sys/stat.h>
 #include <unistd.h>
+
+#include <algorithm>
 
 #include <cerrno>
 #include <cstdio>
@@ -143,6 +146,41 @@ class PosixEnv : public Env {
     return ::stat(path.c_str(), &st) == 0;
   }
 
+  Result<std::vector<std::string>> ListPrefix(
+      const std::string& prefix) override {
+    std::string dir;
+    std::string base;
+    const size_t slash = prefix.find_last_of('/');
+    if (slash == std::string::npos) {
+      dir = ".";
+      base = prefix;
+    } else {
+      dir = slash == 0 ? "/" : prefix.substr(0, slash);
+      base = prefix.substr(slash + 1);
+    }
+    DIR* handle = ::opendir(dir.c_str());
+    if (handle == nullptr) {
+      if (errno == ENOENT) return std::vector<std::string>();
+      return ErrnoStatus("opendir", dir, errno);
+    }
+    std::vector<std::string> out;
+    errno = 0;
+    while (struct dirent* entry = ::readdir(handle)) {
+      const std::string name = entry->d_name;
+      if (name == "." || name == "..") continue;
+      if (name.compare(0, base.size(), base) != 0) continue;
+      out.push_back(slash == std::string::npos
+                        ? name
+                        : prefix.substr(0, slash + 1) + name);
+      errno = 0;
+    }
+    const int err = errno;
+    ::closedir(handle);
+    if (err != 0) return ErrnoStatus("readdir", dir, err);
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
   Status SyncDir(const std::string& path) override {
     std::string dir;
     const size_t slash = path.find_last_of('/');
@@ -195,6 +233,12 @@ Status Env::DropUnsynced() {
   return Status::InvalidArgument(
       "Env::DropUnsynced: crash simulation is only supported by simulation "
       "environments (MemEnv)");
+}
+
+Result<std::vector<std::string>> Env::ListPrefix(const std::string&) {
+  return Status::InvalidArgument(
+      "Env::ListPrefix: directory listing is not supported by this "
+      "environment");
 }
 
 Env* Env::Default() {

@@ -100,6 +100,16 @@ class Env {
   /// it; the default returns InvalidArgument.
   virtual Status DropUnsynced();
 
+  /// Lists every existing path that begins with `prefix`, sorted
+  /// lexicographically — the discovery primitive WAL-segment replay and
+  /// checkpoint GC are built on. `prefix` is interpreted as a path prefix
+  /// within one directory (the parent of `prefix`); matches in
+  /// subdirectories are not reported. An empty result is OK, not NotFound.
+  /// The base implementation returns InvalidArgument; POSIX and MemEnv
+  /// override it.
+  virtual Result<std::vector<std::string>> ListPrefix(
+      const std::string& prefix);
+
   /// The process-wide POSIX environment (never null, never deleted).
   static Env* Default();
 };

@@ -1,5 +1,7 @@
 #include "io/fault_env.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 
 namespace s2::io {
@@ -61,12 +63,12 @@ Result<std::unique_ptr<File>> FaultInjectingEnv::Open(const std::string& path,
 
 Status FaultInjectingEnv::Rename(const std::string& from,
                                  const std::string& to) {
-  if (crashed()) return Status::IoError("simulated crash: device unavailable");
+  S2_RETURN_NOT_OK(BeforeMetadataOp());
   return base_->Rename(from, to);
 }
 
 Status FaultInjectingEnv::Remove(const std::string& path) {
-  if (crashed()) return Status::IoError("simulated crash: device unavailable");
+  S2_RETURN_NOT_OK(BeforeMetadataOp());
   return base_->Remove(path);
 }
 
@@ -89,6 +91,12 @@ Status FaultInjectingEnv::CopyFile(const std::string& from,
 }
 
 Status FaultInjectingEnv::DropUnsynced() { return base_->DropUnsynced(); }
+
+Result<std::vector<std::string>> FaultInjectingEnv::ListPrefix(
+    const std::string& prefix) {
+  if (crashed()) return Status::IoError("simulated crash: device unavailable");
+  return base_->ListPrefix(prefix);
+}
 
 bool FaultInjectingEnv::crashed() const {
   sync::MutexLock lock(&mu_);
@@ -146,6 +154,12 @@ Status FaultInjectingEnv::InjectedFault(const char* op) {
 void FaultInjectingEnv::MaybeCrashLocked() {
   if (plan_.crash_at_op != 0 && !crashed_ &&
       write_ops_ + sync_ops_ >= plan_.crash_at_op) {
+    if (plan_.crash_is_fatal) {
+      // The process-level crash model: die right here, before the base
+      // operation runs, exactly like a kill -9 between two syscalls. The
+      // parent harness recognizes kCrashExitCode and revives from disk.
+      ::_exit(kCrashExitCode);
+    }
     crashed_ = true;
     // The machine "loses power": everything not fsynced is gone. The base
     // env's DropUnsynced does the rollback; a base that cannot simulate this
@@ -195,6 +209,16 @@ Status FaultInjectingEnv::BeforeSync() {
   if (plan_.sync_fault_rate > 0.0 && rng_.Bernoulli(plan_.sync_fault_rate)) {
     return InjectedFault("fsync");
   }
+  return Status::OK();
+}
+
+Status FaultInjectingEnv::BeforeMetadataOp() {
+  sync::MutexLock lock(&mu_);
+  if (crashed_) return Status::IoError("simulated crash: device unavailable");
+  if (!plan_.count_metadata_ops) return Status::OK();
+  ++write_ops_;
+  MaybeCrashLocked();
+  if (crashed_) return Status::IoError("simulated crash: device unavailable");
   return Status::OK();
 }
 

@@ -43,7 +43,23 @@ struct FaultPlan {
   /// subsequent operation fails with `kIoError` until `ClearCrash`. This is
   /// the knob the crash-point sweep iterates.
   uint64_t crash_at_op = 0;
+
+  /// When the crash triggers, terminate the whole process with
+  /// `_exit(kCrashExitCode)` instead of simulating an outage — the honest
+  /// process-level crash model the crash-restart chaos harness runs its
+  /// child workloads under. Over a POSIX base env this is fail-stop: synced
+  /// bytes survive, the torn tail is whatever the kernel had accepted.
+  bool crash_is_fatal = false;
+
+  /// Count `Rename` and `Remove` as mutating operations (and hence crash
+  /// sites). Off by default so existing sweeps' op numbering is unchanged;
+  /// the chaos harness turns it on to crash inside manifest renames and
+  /// segment GC unlinks.
+  bool count_metadata_ops = false;
 };
+
+/// The exit code a fatal injected crash terminates the process with.
+inline constexpr int kCrashExitCode = 42;
 
 /// A decorator that injects deterministic faults into a base `Env`.
 ///
@@ -69,6 +85,8 @@ class FaultInjectingEnv : public Env {
   bool FileExists(const std::string& path) override;
   Status CopyFile(const std::string& from, const std::string& to) override;
   Status DropUnsynced() override;
+  Result<std::vector<std::string>> ListPrefix(
+      const std::string& prefix) override;
 
   /// True once `crash_at_op` has triggered; all I/O fails until cleared.
   bool crashed() const;
@@ -100,6 +118,9 @@ class FaultInjectingEnv : public Env {
   Status BeforeRead() S2_EXCLUDES(mu_);  // OK, or the injected fault
   Status BeforeWrite() S2_EXCLUDES(mu_);
   Status BeforeSync() S2_EXCLUDES(mu_);
+  // Rename/Remove gate: with `count_metadata_ops` these count as write ops
+  // (and crash sites); without it, only the crashed check applies.
+  Status BeforeMetadataOp() S2_EXCLUDES(mu_);
   // Applies short-I/O to a transfer size (>=1 stays >=1).
   size_t MaybeShorten(size_t n) S2_EXCLUDES(mu_);
 

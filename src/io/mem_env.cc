@@ -141,6 +141,18 @@ Status MemEnv::DropUnsynced() {
   return Status::OK();
 }
 
+Result<std::vector<std::string>> MemEnv::ListPrefix(const std::string& prefix) {
+  sync::MutexLock lock(&mu_);
+  std::vector<std::string> out;
+  // files_ is an ordered map, so the matching range is contiguous and the
+  // result is already sorted.
+  for (auto it = files_.lower_bound(prefix); it != files_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.push_back(it->first);
+  }
+  return out;
+}
+
 std::vector<std::string> MemEnv::ListFiles() {
   sync::MutexLock lock(&mu_);
   std::vector<std::string> out;

@@ -39,6 +39,8 @@ class MemEnv : public Env {
   Status Remove(const std::string& path) override;
   bool FileExists(const std::string& path) override;
   Status DropUnsynced() override;
+  Result<std::vector<std::string>> ListPrefix(
+      const std::string& prefix) override;
 
   /// Lists every live path (for test assertions).
   std::vector<std::string> ListFiles();

@@ -1,0 +1,352 @@
+#include "io/wal_segment.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "io/durable.h"
+
+namespace s2::io::walseg {
+
+namespace {
+
+constexpr char kSegSuffix[] = ".seg";
+constexpr size_t kSegSuffixLen = sizeof(kSegSuffix) - 1;
+constexpr size_t kSeqDigits = 6;
+
+/// One discovered segment file plus its decoded header. For the base file
+/// (seq 0, legacy layout) the "header" is synthesized: base_records 0,
+/// chain_seed = hash of the format magic.
+struct Candidate {
+  std::string path;
+  uint64_t size = 0;
+  SegmentHeader header;
+  bool is_base = false;
+};
+
+size_t HeaderBytes(const Candidate& cand) {
+  return cand.is_base ? kMagicBytes : kSegmentHeaderBytes;
+}
+
+/// Discovers and validates every live segment of the log, oldest first.
+/// Handles the crashed-rotation artifact (an invalid *last* segment is
+/// dropped, its size reported via `artifact_bytes`); every other defect is
+/// Corruption. An empty result means the log does not exist yet.
+Result<std::vector<Candidate>> Discover(Env* env, const std::string& base,
+                                        const char* base_magic,
+                                        const char* seg_magic,
+                                        uint64_t* artifact_bytes) {
+  *artifact_bytes = 0;
+  std::vector<Candidate> cands;
+
+  const bool base_exists = env->FileExists(base);
+  if (base_exists) {
+    Candidate cand;
+    cand.path = base;
+    cand.is_base = true;
+    cand.header.chain_seed = durable::Fnv1a64(base_magic, kMagicBytes);
+    S2_ASSIGN_OR_RETURN(std::unique_ptr<File> file,
+                        env->Open(base, OpenMode::kRead));
+    S2_ASSIGN_OR_RETURN(cand.size, file->Size());
+    if (cand.size > 0) {
+      if (cand.size < kMagicBytes) {
+        return Status::Corruption("walseg: truncated header in " + base);
+      }
+      char magic[kMagicBytes];
+      S2_RETURN_NOT_OK(ReadExactAt(file.get(), magic, sizeof(magic), 0));
+      if (std::memcmp(magic, base_magic, kMagicBytes) != 0) {
+        return Status::Corruption("walseg: bad magic in " + base);
+      }
+      cands.push_back(std::move(cand));
+    }
+    // A zero-byte base with no rotated segments is "log absent" (fresh
+    // create); with rotated segments it is a hole in the history, caught
+    // by the seq-continuity check below because seq 0 is missing.
+  }
+
+  std::vector<std::string> seg_paths;
+  {
+    auto listed = env->ListPrefix(base + kSegSuffix);
+    if (listed.ok()) {
+      seg_paths = std::move(listed).ValueOrDie();
+    } else if (listed.status().code() != StatusCode::kInvalidArgument) {
+      return listed.status();
+    }
+    // InvalidArgument: the env cannot list directories. Rotation-free logs
+    // (the legacy single-file layout) still work; a rotated log behind such
+    // an env would surface as a seq gap at the first reopen.
+  }
+
+  std::vector<std::pair<uint64_t, std::string>> ordered;
+  for (const std::string& path : seg_paths) {
+    uint64_t seq = 0;
+    if (ParseSegmentSeq(base, path, &seq)) ordered.emplace_back(seq, path);
+  }
+  std::sort(ordered.begin(), ordered.end());
+
+  for (size_t i = 0; i < ordered.size(); ++i) {
+    const bool last = i + 1 == ordered.size();
+    Candidate cand;
+    cand.path = ordered[i].second;
+    S2_ASSIGN_OR_RETURN(std::unique_ptr<File> file,
+                        env->Open(cand.path, OpenMode::kRead));
+    S2_ASSIGN_OR_RETURN(cand.size, file->Size());
+    Status header_status;
+    if (cand.size < kSegmentHeaderBytes) {
+      header_status =
+          Status::Corruption("walseg: truncated segment header in " + cand.path);
+    } else {
+      char buf[kSegmentHeaderBytes];
+      S2_RETURN_NOT_OK(ReadExactAt(file.get(), buf, sizeof(buf), 0));
+      header_status = DecodeSegmentHeader(seg_magic, buf, sizeof(buf),
+                                          &cand.header);
+      if (header_status.ok() && cand.header.seq != ordered[i].first) {
+        header_status = Status::Corruption(
+            "walseg: segment header seq mismatch in " + cand.path);
+      }
+    }
+    if (!header_status.ok()) {
+      if (last && !cands.empty()) {
+        // The artifact of a rotation that crashed before its header became
+        // durable. The previous segment is the live tail; a rotation retry
+        // overwrites this same path.
+        *artifact_bytes += cand.size;
+        break;
+      }
+      return header_status;
+    }
+    cands.push_back(std::move(cand));
+  }
+
+  for (size_t i = 1; i < cands.size(); ++i) {
+    if (cands[i].header.seq != cands[i - 1].header.seq + 1) {
+      return Status::Corruption("walseg: segment sequence gap before " +
+                                cands[i].path);
+    }
+    if (cands[i].header.base_records < cands[i - 1].header.base_records) {
+      return Status::Corruption("walseg: non-monotone segment base in " +
+                                cands[i].path);
+    }
+  }
+  return cands;
+}
+
+}  // namespace
+
+std::string SegmentPath(const std::string& base, uint64_t seq) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%06llu",
+                static_cast<unsigned long long>(seq));
+  return base + kSegSuffix + buf;
+}
+
+bool ParseSegmentSeq(const std::string& base, const std::string& path,
+                     uint64_t* seq) {
+  if (path.size() < base.size() + kSegSuffixLen + 1) return false;
+  if (path.compare(0, base.size(), base) != 0) return false;
+  if (path.compare(base.size(), kSegSuffixLen, kSegSuffix) != 0) return false;
+  uint64_t value = 0;
+  for (size_t i = base.size() + kSegSuffixLen; i < path.size(); ++i) {
+    const char c = path[i];
+    if (c < '0' || c > '9') return false;
+    if (value > (UINT64_MAX - (c - '0')) / 10) return false;
+    value = value * 10 + (c - '0');
+  }
+  *seq = value;
+  return true;
+}
+
+void EncodeSegmentHeader(const char* seg_magic, const SegmentHeader& header,
+                         char* out) {
+  std::memcpy(out, seg_magic, kMagicBytes);
+  std::memcpy(out + 8, &header.seq, sizeof(header.seq));
+  std::memcpy(out + 16, &header.base_records, sizeof(header.base_records));
+  std::memcpy(out + 24, &header.chain_seed, sizeof(header.chain_seed));
+  const uint64_t sum = durable::Fnv1a64(out, 32);
+  std::memcpy(out + 32, &sum, sizeof(sum));
+}
+
+Status DecodeSegmentHeader(const char* seg_magic, const char* in, size_t n,
+                           SegmentHeader* out) {
+  if (n < kSegmentHeaderBytes) {
+    return Status::Corruption("walseg: short segment header");
+  }
+  if (std::memcmp(in, seg_magic, kMagicBytes) != 0) {
+    return Status::Corruption("walseg: bad segment magic");
+  }
+  uint64_t stored = 0;
+  std::memcpy(&stored, in + 32, sizeof(stored));
+  if (stored != durable::Fnv1a64(in, 32)) {
+    return Status::Corruption("walseg: segment header checksum mismatch");
+  }
+  std::memcpy(&out->seq, in + 8, sizeof(out->seq));
+  std::memcpy(&out->base_records, in + 16, sizeof(out->base_records));
+  std::memcpy(&out->chain_seed, in + 24, sizeof(out->chain_seed));
+  return Status::OK();
+}
+
+Result<OpenResult> OpenLog(Env* env, const std::string& base,
+                           const char* base_magic, const char* seg_magic,
+                           uint64_t replay_from, const RecordScanner& scan) {
+  if (env == nullptr) env = Env::Default();
+  OpenResult out;
+  S2_ASSIGN_OR_RETURN(std::vector<Candidate> cands,
+                      Discover(env, base, base_magic, seg_magic,
+                               &out.dropped_bytes));
+
+  if (cands.empty()) {
+    if (replay_from > 0) {
+      return Status::Corruption(
+          "walseg: log at " + base + " is missing but replay starts at " +
+          std::to_string(replay_from));
+    }
+    // Fresh log: write and sync the base header before acknowledging
+    // anything (the legacy single-file creation path, op for op).
+    S2_ASSIGN_OR_RETURN(std::unique_ptr<File> file,
+                        env->Open(base, OpenMode::kReadWrite));
+    S2_RETURN_NOT_OK(WriteExactAt(file.get(), base_magic, kMagicBytes, 0));
+    S2_RETURN_NOT_OK(file->Sync());
+    out.tail_file = std::move(file);
+    out.tail_path = base;
+    out.tail_offset = kMagicBytes;
+    out.chain = durable::Fnv1a64(base_magic, kMagicBytes);
+    out.segments.push_back(SegmentInfo{base, 0, 0});
+    return out;
+  }
+
+  if (cands.front().header.base_records > replay_from) {
+    return Status::Corruption(
+        "walseg: surviving history of " + base + " starts at record " +
+        std::to_string(cands.front().header.base_records) +
+        ", above replay point " + std::to_string(replay_from));
+  }
+
+  // Start at the last segment whose base does not exceed the replay point;
+  // everything before it is skipped without reading a byte of its body.
+  size_t start = 0;
+  for (size_t i = 0; i < cands.size(); ++i) {
+    if (cands[i].header.base_records <= replay_from) start = i;
+    out.segments.push_back(
+        SegmentInfo{cands[i].path, cands[i].header.seq,
+                    cands[i].header.base_records});
+  }
+
+  out.chain = cands[start].header.chain_seed;
+  out.record_count = cands[start].header.base_records;
+
+  for (size_t i = start; i < cands.size(); ++i) {
+    const Candidate& cand = cands[i];
+    const bool is_tail = i + 1 == cands.size();
+    // Segment-boundary continuity: the sealed predecessor must hand over
+    // exactly the state this header claims. (For i == start the state was
+    // seeded *from* the header, so the check is vacuous.)
+    if (cand.header.base_records != out.record_count ||
+        (i != start && cand.header.chain_seed != out.chain)) {
+      return Status::Corruption(
+          "walseg: chain break at segment boundary " + cand.path +
+          " (acknowledged records lost)");
+    }
+    S2_ASSIGN_OR_RETURN(
+        std::unique_ptr<File> file,
+        env->Open(cand.path,
+                  is_tail ? OpenMode::kReadWrite : OpenMode::kRead));
+    const size_t header_bytes = HeaderBytes(cand);
+    const uint64_t body = cand.size - header_bytes;
+    std::vector<char> bytes(static_cast<size_t>(body));
+    if (body > 0) {
+      S2_RETURN_NOT_OK(
+          ReadExactAt(file.get(), bytes.data(), bytes.size(), header_bytes));
+    }
+    size_t off = 0;
+    while (off < bytes.size()) {
+      size_t consumed = 0;
+      uint64_t next_chain = 0;
+      S2_RETURN_NOT_OK(scan(bytes.data() + off, bytes.size() - off, out.chain,
+                            out.record_count >= replay_from, &consumed,
+                            &next_chain));
+      if (consumed == 0) break;  // Torn or stale tail; scanning stops here.
+      if (out.record_count >= replay_from) ++out.applied;
+      ++out.record_count;
+      out.chain = next_chain;
+      off += consumed;
+    }
+    // Bytes past the intact prefix: in the tail segment, the torn tail the
+    // next append overwrites; in a sealed segment, stale garbage from a
+    // pre-rotation tear (benign — the successor header's continuity check
+    // above is what distinguishes this from lost data).
+    out.dropped_bytes += body - off;
+    if (is_tail) {
+      out.tail_file = std::move(file);
+      out.tail_path = cand.path;
+      out.tail_offset = header_bytes + off;
+      out.tail_seq = cand.header.seq;
+      out.tail_base_records = cand.header.base_records;
+    }
+  }
+
+  if (out.record_count < replay_from) {
+    return Status::Corruption(
+        "walseg: log at " + base + " ends at record " +
+        std::to_string(out.record_count) + ", before replay point " +
+        std::to_string(replay_from));
+  }
+  return out;
+}
+
+Result<std::unique_ptr<File>> CreateSegment(Env* env, const std::string& base,
+                                            const char* seg_magic,
+                                            const SegmentHeader& header) {
+  if (env == nullptr) env = Env::Default();
+  const std::string path = SegmentPath(base, header.seq);
+  char buf[kSegmentHeaderBytes];
+  EncodeSegmentHeader(seg_magic, header, buf);
+  S2_ASSIGN_OR_RETURN(std::unique_ptr<File> file,
+                      env->Open(path, OpenMode::kTruncate));
+  S2_RETURN_NOT_OK(WriteExactAt(file.get(), buf, sizeof(buf), 0));
+  S2_RETURN_NOT_OK(file->Sync());
+  S2_RETURN_NOT_OK(env->SyncDir(path));
+  return file;
+}
+
+Result<size_t> RemoveSegmentsBelow(Env* env,
+                                   std::vector<SegmentInfo>* segments,
+                                   uint64_t keep_from) {
+  if (env == nullptr) env = Env::Default();
+  size_t removed = 0;
+  // A segment is removable iff its *successor* starts at or below the safe
+  // point — then every record it holds is also below it. The tail has no
+  // successor and always survives.
+  while (segments->size() >= 2 && (*segments)[1].base_records <= keep_from) {
+    S2_RETURN_NOT_OK(env->Remove(segments->front().path));
+    segments->erase(segments->begin());
+    ++removed;
+  }
+  if (removed > 0) {
+    // Unlink durability is best-effort: a resurrected segment below the
+    // replay point is skipped (never read) at the next open, then removed
+    // again by the next checkpoint's GC.
+    (void)env->SyncDir(segments->front().path);
+  }
+  return removed;
+}
+
+Result<std::vector<SegmentInfo>> ListSegments(Env* env,
+                                              const std::string& base,
+                                              const char* base_magic,
+                                              const char* seg_magic) {
+  if (env == nullptr) env = Env::Default();
+  uint64_t artifact_bytes = 0;
+  S2_ASSIGN_OR_RETURN(std::vector<Candidate> cands,
+                      Discover(env, base, base_magic, seg_magic,
+                               &artifact_bytes));
+  std::vector<SegmentInfo> out;
+  out.reserve(cands.size());
+  for (const Candidate& cand : cands) {
+    out.push_back(SegmentInfo{cand.path, cand.header.seq,
+                              cand.header.base_records});
+  }
+  return out;
+}
+
+}  // namespace s2::io::walseg

@@ -1,0 +1,155 @@
+#ifndef S2_IO_WAL_SEGMENT_H_
+#define S2_IO_WAL_SEGMENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "io/env.h"
+
+namespace s2::io::walseg {
+
+/// Shared segmentation scaffolding for the repository's two chained-checksum
+/// write-ahead logs (`stream::Wal`, `monitor::MonitorWal`).
+///
+/// `io::File` has no truncate, so a WAL can never shrink in place; bounding
+/// recovery therefore requires *rotation*: when the active segment exceeds a
+/// byte threshold the writer seals it and starts a new file. A log is the
+/// ordered chain
+///
+///   <base>                 — segment seq 0: the legacy single-file layout,
+///                            8-byte format magic then records
+///   <base>.seg000001 ...   — rotated segments: a 40-byte header
+///                            [seg_magic(8) | u64 seq | u64 base_records |
+///                             u64 chain_seed | u64 fnv1a64]
+///                            then records
+///
+/// where `base_records` is the count of records in all earlier segments and
+/// `chain_seed` is the chained checksum carried across the boundary (the
+/// last record's checksum in the previous segment). The header checksum
+/// covers the first 32 bytes, so replay can *trust* a segment header and
+/// start mid-history: a checkpoint anchor names a record index, and replay
+/// opens at the last segment whose `base_records` does not exceed it —
+/// recovery cost is bounded by segment size + tail, not total history.
+///
+/// Crash discipline (mirrors the record chain's):
+///  - Rotation writes + syncs the new header, then syncs the directory,
+///    before any record lands in the new segment. A failed rotation is
+///    retried verbatim (same seq, same header bytes) at the same boundary.
+///  - Only the *last* segment may have a torn record tail; a chain break in
+///    any earlier segment means acknowledged data was lost → Corruption.
+///  - A last segment whose header is short or checksum-invalid is the
+///    artifact of a crashed rotation — dropped (counted in
+///    `dropped_bytes`), the previous segment is the live tail. A *valid*
+///    but discontinuous last header (wrong base_records/chain_seed) is
+///    real corruption, never a crash artifact, and fails the open.
+///  - GC removes only whole segments whose entire record range lies below
+///    the caller's safe point (a committed checkpoint's previous-generation
+///    anchor), oldest first, and never the live tail.
+inline constexpr size_t kMagicBytes = 8;
+inline constexpr size_t kSegmentHeaderBytes = 40;
+
+/// One live segment of a log, ordered by `seq`.
+struct SegmentInfo {
+  std::string path;
+  uint64_t seq = 0;
+  /// Records contained in all segments before this one.
+  uint64_t base_records = 0;
+};
+
+/// The decoded fields of a rotated segment's header.
+struct SegmentHeader {
+  uint64_t seq = 0;
+  uint64_t base_records = 0;
+  uint64_t chain_seed = 0;
+};
+
+/// `<base>.seg000042` — fixed-width so lexicographic directory order is
+/// numeric order for the first million rotations (parsing is numeric
+/// regardless).
+std::string SegmentPath(const std::string& base, uint64_t seq);
+
+/// Parses the sequence number out of a `SegmentPath`-shaped path. False when
+/// `path` is not `base` + ".seg" + digits.
+bool ParseSegmentSeq(const std::string& base, const std::string& path,
+                     uint64_t* seq);
+
+/// Encodes a 40-byte rotated-segment header into `out`.
+void EncodeSegmentHeader(const char* seg_magic, const SegmentHeader& header,
+                         char* out);
+
+/// Decodes and validates a rotated-segment header. Corruption on short
+/// input, wrong magic, or checksum mismatch.
+Status DecodeSegmentHeader(const char* seg_magic, const char* in, size_t n,
+                           SegmentHeader* out);
+
+/// Scans one record at `data` (with `avail` bytes to the end of the
+/// segment) against the running `chain`. On an intact record: set
+/// `*consumed` to its encoded size, `*next_chain` to its checksum, and —
+/// only when `apply` is true — deliver it; return OK. On a torn, stale or
+/// short record: set `*consumed = 0` and return OK (the scan stops there).
+/// A non-OK return is fatal (an undecodable payload behind a valid
+/// checksum, or a failing apply) and aborts the open.
+using RecordScanner =
+    std::function<Status(const char* data, size_t avail, uint64_t chain,
+                         bool apply, size_t* consumed, uint64_t* next_chain)>;
+
+/// What `OpenLog` hands back: the open tail segment positioned for the next
+/// append, the replayed chain state, and the live segment list.
+struct OpenResult {
+  std::unique_ptr<File> tail_file;
+  std::string tail_path;
+  uint64_t tail_offset = 0;  ///< Next append offset within `tail_file`.
+  uint64_t chain = 0;        ///< Checksum chain at the logical tail.
+  uint64_t record_count = 0; ///< Total intact records across all segments.
+  uint64_t tail_seq = 0;
+  uint64_t tail_base_records = 0;  ///< Records before the tail segment.
+  uint64_t applied = 0;            ///< Records delivered (index >= replay_from).
+  uint64_t dropped_bytes = 0;      ///< Torn tail + rotation-artifact bytes.
+  std::vector<SegmentInfo> segments;  ///< All live segments, tail last.
+};
+
+/// Opens (creating `<base>` fresh when nothing exists) the segmented log
+/// and replays it through `scan`. Records with index < `replay_from` are
+/// chain-verified but not delivered; segments wholly below `replay_from`
+/// are skipped without reading their bodies (their headers carry the chain
+/// seed). Corruption when the log's surviving history starts above
+/// `replay_from` or ends below it — both mean acknowledged records are
+/// unreachable.
+Result<OpenResult> OpenLog(Env* env, const std::string& base,
+                           const char* base_magic, const char* seg_magic,
+                           uint64_t replay_from, const RecordScanner& scan);
+
+/// Seals the current segment and opens segment `header.seq`: writes + syncs
+/// the header, syncs the directory, returns the new file positioned at
+/// `kSegmentHeaderBytes`. The caller Syncs the outgoing segment *before*
+/// calling (so `base_records` counts only durable records) and swaps its
+/// state only on OK — a failure leaves the boundary unchanged and the retry
+/// rewrites the identical header.
+Result<std::unique_ptr<File>> CreateSegment(Env* env, const std::string& base,
+                                            const char* seg_magic,
+                                            const SegmentHeader& header);
+
+/// Removes leading segments whose entire record range lies below
+/// `keep_from` (i.e. the *next* segment's `base_records` <= `keep_from`),
+/// erasing them from `segments`. The tail always survives. Returns how many
+/// were removed; stops (with the error) at the first failing unlink, leaving
+/// a still-consistent prefix.
+Result<size_t> RemoveSegmentsBelow(Env* env,
+                                   std::vector<SegmentInfo>* segments,
+                                   uint64_t keep_from);
+
+/// Lists a (possibly closed) log's live segments by reading headers off
+/// disk — the `wal-ls` tooling path. Tolerates a rotation-artifact last
+/// segment (skips it); Corruption on mid-list damage.
+Result<std::vector<SegmentInfo>> ListSegments(Env* env,
+                                              const std::string& base,
+                                              const char* base_magic,
+                                              const char* seg_magic);
+
+}  // namespace s2::io::walseg
+
+#endif  // S2_IO_WAL_SEGMENT_H_

@@ -51,6 +51,36 @@ void AlertQueue::RecordEval(uint64_t micros) {
   last_eval_micros_ = micros;
 }
 
+AlertQueue::Image AlertQueue::Snapshot() const {
+  sync::MutexLock lock(&mu_);
+  Image image;
+  image.queued.assign(queue_.begin(), queue_.end());
+  image.next_seq = next_seq_;
+  image.fired = fired_;
+  image.dropped = dropped_;
+  image.delivered = delivered_;
+  image.acked = acked_;
+  image.acked_upto = acked_upto_;
+  image.any_acked = any_acked_;
+  image.evaluations = evaluations_;
+  image.last_eval_micros = last_eval_micros_;
+  return image;
+}
+
+void AlertQueue::Restore(const Image& image) {
+  sync::MutexLock lock(&mu_);
+  queue_.assign(image.queued.begin(), image.queued.end());
+  next_seq_ = image.next_seq;
+  fired_ = image.fired;
+  dropped_ = image.dropped;
+  delivered_ = image.delivered;
+  acked_ = image.acked;
+  acked_upto_ = image.acked_upto;
+  any_acked_ = image.any_acked;
+  evaluations_ = image.evaluations;
+  last_eval_micros_ = image.last_eval_micros;
+}
+
 AlertQueue::Stats AlertQueue::stats() const {
   sync::MutexLock lock(&mu_);
   Stats stats;

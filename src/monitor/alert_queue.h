@@ -78,6 +78,27 @@ class AlertQueue {
 
   Stats stats() const;
 
+  /// A point-in-time copy of the queue's full state — the alert-delivery
+  /// half of a coordinated checkpoint. `Restore` installs an image
+  /// verbatim; together they make a revived queue indistinguishable from
+  /// one that replayed the same history (same queued alerts, same seqs,
+  /// same watermark and counters).
+  struct Image {
+    std::vector<Alert> queued;
+    uint64_t next_seq = 0;
+    uint64_t fired = 0;
+    uint64_t dropped = 0;
+    uint64_t delivered = 0;
+    uint64_t acked = 0;
+    uint64_t acked_upto = 0;
+    bool any_acked = false;
+    uint64_t evaluations = 0;
+    uint64_t last_eval_micros = 0;
+  };
+
+  Image Snapshot() const;
+  void Restore(const Image& image);
+
  private:
   Options options_;
   mutable sync::Mutex mu_{sync::LockRank::kAlertQueue, "monitor::AlertQueue"};

@@ -10,14 +10,15 @@ namespace s2::monitor {
 namespace {
 
 constexpr char kMagic[8] = {'S', '2', 'M', 'W', 'A', 'L', '0', '1'};
+// Rotated-segment header magic (see io::walseg) — distinct from both the
+// record-stream magic above and the data WAL's segment magic.
+constexpr char kSegMagic[8] = {'S', '2', 'M', 'W', 'A', 'S', '0', '1'};
 constexpr size_t kLenBytes = sizeof(uint32_t);
 constexpr size_t kSumBytes = sizeof(uint64_t);
 // A subscription payload is dominated by the similarity query (one double
 // per corpus day); anything past this is a torn length prefix, not a
 // record. Generous: a 1M-day window would still fit.
 constexpr uint32_t kMaxPayloadBytes = 16u << 20;
-
-uint64_t ChainSeed() { return io::durable::Fnv1a64(kMagic, sizeof(kMagic)); }
 
 class Encoder {
  public:
@@ -131,77 +132,91 @@ bool DecodePayload(const char* data, size_t n, MonitorOp* op) {
 
 }  // namespace
 
+MonitorWal::MonitorWal(io::Env* env, std::string path, Options options,
+                       io::walseg::OpenResult state)
+    : env_(env),
+      path_(std::move(path)),
+      file_(std::move(state.tail_file)),
+      options_(options),
+      tail_(state.tail_offset),
+      chain_(state.chain),
+      record_count_(static_cast<size_t>(state.record_count)),
+      seq_(state.tail_seq),
+      segments_(std::move(state.segments)) {}
+
 Result<std::unique_ptr<MonitorWal>> MonitorWal::Open(
     io::Env* env, const std::string& path, std::vector<MonitorOp>* ops,
-    ReplayInfo* info) {
+    ReplayInfo* info, const Options& options) {
   if (env == nullptr) env = io::Env::Default();
   if (ops == nullptr) {
     return Status::InvalidArgument("MonitorWal: ops out-param required");
   }
-  S2_ASSIGN_OR_RETURN(std::unique_ptr<io::File> file,
-                      env->Open(path, io::OpenMode::kReadWrite));
-  S2_ASSIGN_OR_RETURN(uint64_t size, file->Size());
 
-  if (size == 0) {
-    S2_RETURN_NOT_OK(io::WriteExactAt(file.get(), kMagic, sizeof(kMagic), 0));
-    S2_RETURN_NOT_OK(file->Sync());
-    if (info != nullptr) *info = ReplayInfo{};
-    return std::unique_ptr<MonitorWal>(
-        new MonitorWal(path, std::move(file), sizeof(kMagic), ChainSeed(), 0));
-  }
-
-  if (size < sizeof(kMagic)) {
-    return Status::Corruption("MonitorWal: truncated header in " + path);
-  }
-  char magic[sizeof(kMagic)];
-  S2_RETURN_NOT_OK(io::ReadExactAt(file.get(), magic, sizeof(magic), 0));
-  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    return Status::Corruption("MonitorWal: bad magic in " + path);
-  }
-
-  const uint64_t body = size - sizeof(kMagic);
-  std::vector<char> bytes(body);
-  if (body > 0) {
-    S2_RETURN_NOT_OK(
-        io::ReadExactAt(file.get(), bytes.data(), body, sizeof(kMagic)));
-  }
-
-  // Scan intact records; stop at the first short, oversized or
-  // chain-breaking one (a torn tail, overwritten in place by the next
-  // append — the stream::Wal contract).
-  uint64_t chain = ChainSeed();
-  uint64_t pos = 0;
-  size_t records = 0;
-  while (body - pos >= kLenBytes + kSumBytes) {
+  // Scan one length-prefixed record: stop (consumed = 0) at the first
+  // short, oversized or chain-breaking one (a torn tail, overwritten in
+  // place by the next append — the stream::Wal contract). An undecodable
+  // payload *behind a valid checksum* is real corruption, not a tear.
+  const io::walseg::RecordScanner scan =
+      [&path, ops](const char* data, size_t avail, uint64_t chain,
+                   bool deliver, size_t* consumed,
+                   uint64_t* next_chain) -> Status {
+    *consumed = 0;
+    if (avail < kLenBytes + kSumBytes) return Status::OK();
     uint32_t len = 0;
-    std::memcpy(&len, bytes.data() + pos, kLenBytes);
-    if (len > kMaxPayloadBytes || body - pos < kLenBytes + len + kSumBytes) {
-      break;
+    std::memcpy(&len, data, kLenBytes);
+    if (len > kMaxPayloadBytes || avail < kLenBytes + len + kSumBytes) {
+      return Status::OK();
     }
     uint64_t stored = 0;
-    std::memcpy(&stored, bytes.data() + pos + kLenBytes + len, kSumBytes);
-    const uint64_t expected =
-        io::durable::Fnv1a64(bytes.data() + pos, kLenBytes + len, chain);
-    if (stored != expected) break;
-    MonitorOp op;
-    if (!DecodePayload(bytes.data() + pos + kLenBytes, len, &op)) {
-      return Status::Corruption("MonitorWal: undecodable record in " + path);
+    std::memcpy(&stored, data + kLenBytes + len, kSumBytes);
+    if (stored != io::durable::Fnv1a64(data, kLenBytes + len, chain)) {
+      return Status::OK();
     }
-    ops->push_back(std::move(op));
-    chain = stored;
-    pos += kLenBytes + len + kSumBytes;
-    ++records;
-  }
+    if (deliver) {
+      MonitorOp op;
+      if (!DecodePayload(data + kLenBytes, len, &op)) {
+        return Status::Corruption("MonitorWal: undecodable record in " + path);
+      }
+      ops->push_back(std::move(op));
+    }
+    *next_chain = stored;
+    *consumed = kLenBytes + len + kSumBytes;
+    return Status::OK();
+  };
 
+  S2_ASSIGN_OR_RETURN(io::walseg::OpenResult state,
+                      io::walseg::OpenLog(env, path, kMagic, kSegMagic,
+                                          options.replay_from, scan));
   if (info != nullptr) {
-    info->records = records;
-    info->dropped_bytes = body - pos;
+    info->records = static_cast<size_t>(state.applied);
+    info->dropped_bytes = state.dropped_bytes;
   }
-  return std::unique_ptr<MonitorWal>(new MonitorWal(
-      path, std::move(file), sizeof(kMagic) + pos, chain, records));
+  return std::unique_ptr<MonitorWal>(
+      new MonitorWal(env, path, options, std::move(state)));
+}
+
+Status MonitorWal::MaybeRotate() {
+  if (options_.rotate_bytes == 0) return Status::OK();
+  const size_t header =
+      seq_ == 0 ? io::walseg::kMagicBytes : io::walseg::kSegmentHeaderBytes;
+  if (tail_ - header < options_.rotate_bytes) return Status::OK();
+  // Every append syncs, so the outgoing segment is already durable.
+  io::walseg::SegmentHeader next;
+  next.seq = seq_ + 1;
+  next.base_records = record_count_;
+  next.chain_seed = chain_;
+  S2_ASSIGN_OR_RETURN(std::unique_ptr<io::File> file,
+                      io::walseg::CreateSegment(env_, path_, kSegMagic, next));
+  file_ = std::move(file);
+  seq_ = next.seq;
+  tail_ = io::walseg::kSegmentHeaderBytes;
+  segments_.push_back(io::walseg::SegmentInfo{
+      io::walseg::SegmentPath(path_, next.seq), next.seq, next.base_records});
+  return Status::OK();
 }
 
 Status MonitorWal::Append(const MonitorOp& op) {
+  S2_RETURN_NOT_OK(MaybeRotate());
   const std::vector<char> payload = EncodePayload(op);
   const uint32_t len = static_cast<uint32_t>(payload.size());
   std::vector<char> record(kLenBytes + payload.size() + kSumBytes);
@@ -219,6 +234,16 @@ Status MonitorWal::Append(const MonitorOp& op) {
   chain_ = sum;
   ++record_count_;
   return Status::OK();
+}
+
+Result<size_t> MonitorWal::RemoveObsoleteSegments(uint64_t keep_from) {
+  return io::walseg::RemoveSegmentsBelow(env_, &segments_, keep_from);
+}
+
+Result<std::vector<io::walseg::SegmentInfo>> MonitorWal::ListSegments(
+    io::Env* env, const std::string& path) {
+  if (env == nullptr) env = io::Env::Default();
+  return io::walseg::ListSegments(env, path, kMagic, kSegMagic);
 }
 
 }  // namespace s2::monitor

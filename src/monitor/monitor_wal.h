@@ -8,6 +8,7 @@
 
 #include "common/result.h"
 #include "io/env.h"
+#include "io/wal_segment.h"
 #include "monitor/subscription.h"
 
 namespace s2::monitor {
@@ -54,42 +55,75 @@ struct MonitorOp {
 /// its writer lock, like every other write path.
 class MonitorWal {
  public:
+  struct Options {
+    /// Segment-body byte threshold that triggers rotation on the next
+    /// append (see `io::walseg`). 0 (default) keeps the legacy single-file
+    /// layout.
+    uint64_t rotate_bytes = 0;
+    /// Decode starts at this op index (a checkpoint anchor): earlier ops
+    /// are not delivered, and sealed segments wholly below it are skipped
+    /// unread.
+    uint64_t replay_from = 0;
+  };
+
   struct ReplayInfo {
     size_t records = 0;           ///< Intact records decoded at open.
     uint64_t dropped_bytes = 0;   ///< Torn/stale tail bytes ignored.
   };
 
   /// Opens (creating if absent) the log at `path` and decodes every intact
-  /// record into `ops` in append order — decoding only; the caller applies
-  /// them, merged with the stream WAL by anchor. `env` null means the POSIX
-  /// filesystem.
+  /// record at or past `options.replay_from` into `ops` in append order —
+  /// decoding only; the caller applies them, merged with the stream WAL by
+  /// anchor. `env` null means the POSIX filesystem.
   static Result<std::unique_ptr<MonitorWal>> Open(io::Env* env,
                                                   const std::string& path,
                                                   std::vector<MonitorOp>* ops,
-                                                  ReplayInfo* info = nullptr);
+                                                  ReplayInfo* info,
+                                                  const Options& options);
+  static Result<std::unique_ptr<MonitorWal>> Open(io::Env* env,
+                                                  const std::string& path,
+                                                  std::vector<MonitorOp>* ops,
+                                                  ReplayInfo* info = nullptr) {
+    return Open(env, path, ops, info, Options());
+  }
 
-  /// Appends and syncs one op; on any error the log state is unchanged.
+  /// Appends and syncs one op (rotating first when the active segment is
+  /// full); on any error the log state is unchanged.
   Status Append(const MonitorOp& op);
 
-  /// Records appended through this handle plus those decoded at open.
+  /// Records appended through this handle plus those counted at open
+  /// (including the skipped prefix below `replay_from`).
   size_t record_count() const { return record_count_; }
 
   const std::string& path() const { return path_; }
 
- private:
-  MonitorWal(std::string path, std::unique_ptr<io::File> file, uint64_t tail,
-             uint64_t chain, size_t record_count)
-      : path_(std::move(path)),
-        file_(std::move(file)),
-        tail_(tail),
-        chain_(chain),
-        record_count_(record_count) {}
+  /// The live segments, oldest first (the active tail last).
+  const std::vector<io::walseg::SegmentInfo>& segments() const {
+    return segments_;
+  }
 
+  /// Unlinks leading segments whose ops all lie below `keep_from`.
+  Result<size_t> RemoveObsoleteSegments(uint64_t keep_from);
+
+  /// Reads the segment list of a (possibly closed) log off disk — tooling.
+  static Result<std::vector<io::walseg::SegmentInfo>> ListSegments(
+      io::Env* env, const std::string& path);
+
+ private:
+  MonitorWal(io::Env* env, std::string path, Options options,
+             io::walseg::OpenResult state);
+
+  Status MaybeRotate();
+
+  io::Env* env_;
   std::string path_;
   std::unique_ptr<io::File> file_;
+  Options options_;
   uint64_t tail_ = 0;   ///< Next append offset (end of intact records).
   uint64_t chain_ = 0;  ///< Checksum of the last intact record.
   size_t record_count_ = 0;
+  uint64_t seq_ = 0;               ///< Active segment's sequence number.
+  std::vector<io::walseg::SegmentInfo> segments_;
 };
 
 }  // namespace s2::monitor

@@ -220,6 +220,32 @@ Status SubscriptionRegistry::Subscribe(ts::SeriesId key, Subscription sub,
   return Status::OK();
 }
 
+Status SubscriptionRegistry::Restore(ts::SeriesId key, Subscription sub,
+                                     bool engaged, uint32_t bin,
+                                     const EvalContext& ctx) {
+  if (sub.id == kInvalidSubscriptionId) {
+    return Status::InvalidArgument("monitor: subscription id unset");
+  }
+  if (Contains(sub.id)) {
+    return Status::InvalidArgument("monitor: duplicate subscription id");
+  }
+  S2_RETURN_NOT_OK(ValidateParams(sub, ctx));
+
+  Item item;
+  item.sub = std::move(sub);
+  if (item.sub.kind == SubscriptionKind::kSimilarityWatch) {
+    item.query_z = dsp::Standardize(item.sub.similarity.query);
+  }
+  // No Step here: the snapshot's state is authoritative for its anchor.
+  item.state.engaged = engaged;
+  item.state.bin = bin;
+
+  const SubscriptionId id = item.sub.id;
+  by_series_[key].push_back(std::move(item));
+  key_of_.emplace(id, key);
+  return Status::OK();
+}
+
 Status SubscriptionRegistry::Unsubscribe(SubscriptionId id) {
   auto it = key_of_.find(id);
   if (it == key_of_.end()) {

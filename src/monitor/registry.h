@@ -58,6 +58,15 @@ class SubscriptionRegistry {
   /// state, making post-crash alert streams identical to pre-crash ones.
   Status Subscribe(ts::SeriesId key, Subscription sub, const EvalContext& ctx);
 
+  /// Registers `sub` with its hysteresis state installed *verbatim* instead
+  /// of re-armed from the window — the checkpoint-recovery path, where the
+  /// snapshot recorded the exact state at the WAL anchor and re-arming
+  /// against the rebuilt window would be both redundant and (for a window
+  /// mid-transition) wrong. Validation and query standardization match
+  /// `Subscribe`.
+  Status Restore(ts::SeriesId key, Subscription sub, bool engaged,
+                 uint32_t bin, const EvalContext& ctx);
+
   /// Removes a subscription by id.
   Status Unsubscribe(SubscriptionId id);
 

@@ -92,6 +92,117 @@ Result<std::unique_ptr<S2Server>> S2Server::Build(
   return server;
 }
 
+Result<std::unique_ptr<S2Server>> S2Server::Recover(
+    ts::Corpus corpus, const core::S2Engine::Options& engine_options,
+    const Options& options) {
+  if (options.wal_path.empty() || !options.checkpoint_enabled) {
+    return Build(std::move(corpus), engine_options, options);
+  }
+  ckpt::CheckpointStore store(options.wal_env, options.wal_path);
+  Result<ckpt::CheckpointStore::Loaded> loaded = store.Load();
+  if (!loaded.ok()) {
+    // NotFound: cold start, nothing checkpointed yet. Corruption: no
+    // recorded generation validates — the full WAL over the base corpus
+    // is the last resort (it only exists while GC has not reclaimed the
+    // early segments; past that the open surfaces the corruption).
+    return Build(std::move(corpus), engine_options, options);
+  }
+  ckpt::CheckpointStore::Loaded checkpoint = std::move(loaded).value();
+
+  // Rebuild the engine from the snapshot's corpus image (global id
+  // order, so any shard count maps it identically to a full replay).
+  ts::Corpus image;
+  for (ts::TimeSeries& series : checkpoint.snapshot.corpus) {
+    image.Add(std::move(series));
+  }
+  std::unique_ptr<S2Server> server;
+  if (options.shards == 1) {
+    S2_ASSIGN_OR_RETURN(core::S2Engine engine,
+                        core::S2Engine::Build(std::move(image), engine_options));
+    server = Create(std::move(engine), options);
+  } else {
+    shard::ShardedEngine::Options shard_options;
+    shard_options.num_shards = options.shards;
+    shard_options.engine = engine_options;
+    shard_options.shard_envs = options.shard_envs;
+    S2_ASSIGN_OR_RETURN(
+        shard::ShardedEngine engine,
+        shard::ShardedEngine::Build(std::move(image), shard_options));
+    server = Create(std::move(engine), options);
+  }
+
+  // Cross-check the rebuilt corpus against the manifest's recorded
+  // per-shard checksums when the topology matches (a different shard
+  // count relocates series between shards, so the per-shard sums are
+  // incomparable — the snapshot's own container checksum already vouched
+  // for the bytes). The manifest records the *current* generation's
+  // checksums, so the check also doesn't apply when recovery fell back
+  // to the previous snapshot. A mismatch means the snapshot and manifest
+  // disagree about the data; fall back to the full-replay path rather
+  // than serve an image of unknown pedigree.
+  bool checksums_ok = true;
+  const ckpt::Manifest& manifest = checkpoint.manifest;
+  if (checkpoint.from_fallback) {
+    // Only the container checksum vouches for the fallback snapshot.
+  } else if (!server->is_sharded()) {
+    if (manifest.shard_count == 1 && manifest.shard_checksums.size() == 1) {
+      checksums_ok =
+          ckpt::CheckpointStore::CorpusChecksum(
+              server->engine_->corpus().series()) ==
+          manifest.shard_checksums[0];
+    }
+  } else if (server->sharded_->num_shards() == manifest.shard_count &&
+             manifest.shard_checksums.size() == manifest.shard_count) {
+    for (size_t s = 0; s < manifest.shard_count; ++s) {
+      if (ckpt::CheckpointStore::CorpusChecksum(
+              server->sharded_->shard(s).corpus().series()) !=
+          manifest.shard_checksums[s]) {
+        checksums_ok = false;
+        break;
+      }
+    }
+  }
+  if (!checksums_ok) {
+    return Build(std::move(corpus), engine_options, options);
+  }
+
+  S2_RETURN_NOT_OK(server->RestoreFromSnapshot(checkpoint));
+  S2_RETURN_NOT_OK(server->OpenWal());
+  return server;
+}
+
+Status S2Server::RestoreFromSnapshot(
+    const ckpt::CheckpointStore::Loaded& loaded) {
+  sync::WriterMutexLock lock(&engine_mu_);
+  // Subscriptions restore in id order — the order they registered in,
+  // which (ids being assigned under the writer lock) is also per-series
+  // evaluation order. The hysteresis state installs verbatim; no silent
+  // re-arming against the rebuilt window.
+  for (const monitor::SubscriptionRegistry::Entry& entry :
+       loaded.snapshot.subscriptions) {
+    if (is_sharded()) {
+      S2_RETURN_NOT_OK(sharded_->RestoreSubscription(entry.sub, entry.engaged,
+                                                     entry.bin));
+    } else {
+      S2_RETURN_NOT_OK(engine_->RestoreSubscription(
+          entry.sub.series, entry.sub, entry.engaged, entry.bin));
+    }
+  }
+  alert_queue_.Restore(loaded.snapshot.alerts);
+  next_subscription_id_ = loaded.snapshot.next_subscription_id;
+  recovery_anchor_appends_ = loaded.snapshot.anchor_appends;
+  recovery_anchor_monitor_ops_ = loaded.snapshot.anchor_monitor_ops;
+  recovered_from_checkpoint_ = true;
+  recovered_from_fallback_ = loaded.from_fallback;
+  last_checkpoint_records_ = loaded.snapshot.anchor_appends;
+  last_checkpoint_generation_ = loaded.from_fallback
+                                    ? loaded.manifest.prev.generation
+                                    : loaded.manifest.current.generation;
+  last_checkpoint_anchor_appends_ = loaded.snapshot.anchor_appends;
+  last_checkpoint_anchor_monitor_ops_ = loaded.snapshot.anchor_monitor_ops;
+  return Status::OK();
+}
+
 S2Server::S2Server(std::optional<core::S2Engine> engine,
                    std::optional<shard::ShardedEngine> sharded,
                    const Options& options)
@@ -121,6 +232,15 @@ S2Server::S2Server(std::optional<core::S2Engine> engine,
       monitor_alerts_dropped_(metrics_.counter("monitor_alerts_dropped")),
       monitor_alerts_delivered_(metrics_.counter("monitor_alerts_delivered")),
       monitor_eval_latency_(metrics_.histogram("monitor_eval_latency")),
+      stream_replay_dropped_(metrics_.counter("stream_replay_dropped_bytes")),
+      monitor_replay_ops_(metrics_.counter("monitor_replay_ops")),
+      monitor_replay_dropped_(
+          metrics_.counter("monitor_replay_dropped_bytes")),
+      checkpoint_count_(metrics_.counter("checkpoint_count")),
+      checkpoint_failures_(metrics_.counter("checkpoint_failures")),
+      checkpoint_gc_segments_(metrics_.counter("checkpoint_gc_segments")),
+      checkpoint_gc_snapshots_(metrics_.counter("checkpoint_gc_snapshots")),
+      checkpoint_latency_(metrics_.histogram("checkpoint_latency")),
       alert_queue_(monitor::AlertQueue::Options{options.alert_queue_capacity}) {
   // Every shard (or the single engine) pushes fired alerts into the one
   // server-owned queue; appends are serialized by the writer lock, so
@@ -130,10 +250,15 @@ S2Server::S2Server(std::optional<core::S2Engine> engine,
   } else {
     sharded_->set_alert_queue(&alert_queue_);
   }
-  // One dedicated maintenance thread keeps compaction off the query workers
-  // (a compaction takes the writer lock; running it on a scheduler worker
-  // would stall a serving slot for its whole duration).
-  if (options.compaction_threshold > 0) {
+  // Checkpoints live next to the WAL and require one.
+  if (options.checkpoint_enabled && !options.wal_path.empty()) {
+    checkpoint_store_ = std::make_unique<ckpt::CheckpointStore>(
+        options.wal_env, options.wal_path);
+  }
+  // One dedicated maintenance thread keeps compaction and checkpointing
+  // off the query workers (both take the writer lock at least briefly;
+  // running them on a scheduler worker would stall a serving slot).
+  if (options.compaction_threshold > 0 || checkpoint_store_ != nullptr) {
     maintenance_ = std::make_unique<exec::ThreadPool>(1);
   }
   // The scheduler is built last: its workers may call Execute (via the
@@ -365,16 +490,26 @@ Status S2Server::OpenWal() {
   // this with a crash-point sweep).
   std::vector<monitor::MonitorOp> ops;
   monitor::MonitorWal::ReplayInfo monitor_replay;
+  monitor::MonitorWal::Options monitor_options;
+  monitor_options.rotate_bytes = options_.wal_rotate_bytes;
+  monitor_options.replay_from = recovery_anchor_monitor_ops_;
   S2_ASSIGN_OR_RETURN(
       monitor_wal_,
       monitor::MonitorWal::Open(options_.wal_env,
                                 options_.wal_path + ".monitor", &ops,
-                                &monitor_replay));
+                                &monitor_replay, monitor_options));
   ReplayState state;
   state.ops = &ops;
+  // Checkpoint recovery: the snapshot already holds everything at or
+  // before the anchors, so the WALs deliver only their tails and the
+  // replay cursor starts at the anchor (monitor ops are merged by
+  // absolute append position either way).
+  state.applied_appends = recovery_anchor_appends_;
 
   stream::Wal::Options wal_options;
   wal_options.sync_every = options_.wal_sync_every;
+  wal_options.rotate_bytes = options_.wal_rotate_bytes;
+  wal_options.replay_from = recovery_anchor_appends_;
   stream::Wal::ReplayInfo info;
   S2_ASSIGN_OR_RETURN(
       wal_, stream::Wal::Open(
@@ -388,11 +523,15 @@ Status S2Server::OpenWal() {
   S2_RETURN_NOT_OK(
       ApplyMonitorOpsUpTo(std::numeric_limits<uint64_t>::max(), &state));
   replayed_monitor_ops_ = ops.size();
+  monitor_replay_dropped_bytes_ = monitor_replay.dropped_bytes;
 
   replayed_records_ = info.records;
   replay_dropped_bytes_ = info.dropped_bytes;
   replay_time_ = Since(start);
   stream_replay_records_->Increment(info.records);
+  stream_replay_dropped_->Increment(info.dropped_bytes);
+  monitor_replay_ops_->Increment(ops.size());
+  monitor_replay_dropped_->Increment(monitor_replay.dropped_bytes);
   SyncMonitorMetrics();
   // Replay mutated the engine; any entries cached before this call (Create +
   // manual OpenWal usage) are stale for the replayed series.
@@ -528,6 +667,7 @@ S2Server::MonitorInfo S2Server::monitor_info() {
   MonitorInfo info;
   info.wal_enabled = monitor_wal_ != nullptr;
   info.replayed_ops = replayed_monitor_ops_;
+  info.replay_dropped_bytes = monitor_replay_dropped_bytes_;
   info.active_subscriptions = EngineSubscriptionCount();
   const monitor::AlertQueue::Stats stats = alert_queue_.stats();
   info.queue_depth = stats.depth;
@@ -570,6 +710,7 @@ Status S2Server::AppendPoint(ts::SeriesId id, double value) {
   stream_append_latency_->Record(static_cast<uint64_t>(Since(start).count()));
   SyncMonitorMetrics();
   MaybeScheduleCompaction();
+  MaybeScheduleCheckpoint();
   return Status::OK();
 }
 
@@ -624,6 +765,179 @@ void S2Server::BackgroundCompaction() {
       return;
     }
   }
+}
+
+Status S2Server::CaptureSnapshot(
+    ckpt::EngineSnapshot* snapshot, std::vector<uint64_t>* shard_checksums,
+    std::vector<ckpt::SegmentMeta>* data_segments,
+    std::vector<ckpt::SegmentMeta>* monitor_segments) {
+  sync::WriterMutexLock lock(&engine_mu_);
+  if (wal_ == nullptr) {
+    return Status::InvalidArgument(
+        "S2Server: checkpointing requires an open WAL");
+  }
+  // Flush the open fsync group first: with `sync_every > 1`
+  // `record_count()` includes records whose durability is still pending,
+  // and a snapshot anchored past the durable point would make recovery
+  // demand WAL records that never hit disk.
+  S2_RETURN_NOT_OK(wal_->Sync());
+  snapshot->anchor_appends = wal_->record_count();
+  snapshot->anchor_monitor_ops =
+      monitor_wal_ != nullptr ? monitor_wal_->record_count() : 0;
+  snapshot->next_subscription_id = next_subscription_id_;
+  if (is_sharded()) {
+    const size_t n = sharded_->size();
+    snapshot->corpus.reserve(n);
+    for (size_t id = 0; id < n; ++id) {
+      S2_ASSIGN_OR_RETURN(const ts::TimeSeries* series,
+                          sharded_->Series(static_cast<ts::SeriesId>(id)));
+      snapshot->corpus.push_back(*series);
+    }
+    snapshot->subscriptions = sharded_->ListSubscriptions();
+    for (size_t s = 0; s < sharded_->num_shards(); ++s) {
+      shard_checksums->push_back(ckpt::CheckpointStore::CorpusChecksum(
+          sharded_->shard(s).corpus().series()));
+    }
+  } else {
+    snapshot->corpus = engine_->corpus().series();
+    snapshot->subscriptions = engine_->monitor_registry().List();
+    shard_checksums->push_back(
+        ckpt::CheckpointStore::CorpusChecksum(snapshot->corpus));
+  }
+  snapshot->alerts = alert_queue_.Snapshot();
+  for (const io::walseg::SegmentInfo& seg : wal_->segments()) {
+    data_segments->push_back(ckpt::SegmentMeta{seg.seq, seg.base_records});
+  }
+  if (monitor_wal_ != nullptr) {
+    for (const io::walseg::SegmentInfo& seg : monitor_wal_->segments()) {
+      monitor_segments->push_back(
+          ckpt::SegmentMeta{seg.seq, seg.base_records});
+    }
+  }
+  return Status::OK();
+}
+
+Status S2Server::DoCheckpoint() {
+  const Clock::time_point start = Clock::now();
+  ckpt::EngineSnapshot snapshot;
+  std::vector<uint64_t> shard_checksums;
+  std::vector<ckpt::SegmentMeta> data_segments;
+  std::vector<ckpt::SegmentMeta> monitor_segments;
+  S2_RETURN_NOT_OK(CaptureSnapshot(&snapshot, &shard_checksums,
+                                   &data_segments, &monitor_segments));
+  // Encode + commit off-lock: serialization and the two fsync'd renames
+  // are the expensive part, and appends continue meanwhile (only this
+  // maintenance thread removes segments, so the captured lists stay a
+  // valid point-in-time prefix of the live state).
+  const uint64_t shard_count = is_sharded() ? sharded_->num_shards() : 1;
+  ckpt::Manifest manifest;
+  S2_RETURN_NOT_OK(checkpoint_store_->Commit(
+      snapshot, shard_count, std::move(shard_checksums),
+      std::move(data_segments), std::move(monitor_segments), &manifest));
+
+  // Both recorded generations must stay replayable: GC only below the
+  // *fallback* anchor (the older of the two).
+  const uint64_t safe_appends = manifest.has_prev
+                                    ? manifest.prev.anchor_appends
+                                    : manifest.current.anchor_appends;
+  const uint64_t safe_monitor_ops = manifest.has_prev
+                                        ? manifest.prev.anchor_monitor_ops
+                                        : manifest.current.anchor_monitor_ops;
+  {
+    sync::WriterMutexLock lock(&engine_mu_);
+    last_checkpoint_records_ = snapshot.anchor_appends;
+    last_checkpoint_generation_ = manifest.current.generation;
+    last_checkpoint_anchor_appends_ = snapshot.anchor_appends;
+    last_checkpoint_anchor_monitor_ops_ = snapshot.anchor_monitor_ops;
+    if (options_.checkpoint_gc && wal_ != nullptr) {
+      S2_ASSIGN_OR_RETURN(size_t removed,
+                          wal_->RemoveObsoleteSegments(safe_appends));
+      checkpoint_gc_segments_->Increment(removed);
+      if (monitor_wal_ != nullptr) {
+        S2_ASSIGN_OR_RETURN(
+            size_t monitor_removed,
+            monitor_wal_->RemoveObsoleteSegments(safe_monitor_ops));
+        checkpoint_gc_segments_->Increment(monitor_removed);
+      }
+    }
+  }
+  if (options_.checkpoint_gc) {
+    S2_ASSIGN_OR_RETURN(size_t snapshots_removed,
+                        checkpoint_store_->GarbageCollectSnapshots(manifest));
+    checkpoint_gc_snapshots_->Increment(snapshots_removed);
+  }
+  checkpoint_count_->Increment();
+  checkpoint_latency_->Record(static_cast<uint64_t>(Since(start).count()));
+  return Status::OK();
+}
+
+Status S2Server::Checkpoint() {
+  if (checkpoint_store_ == nullptr) {
+    return Status::InvalidArgument(
+        "S2Server: checkpointing is not enabled (checkpoint_enabled + "
+        "wal_path)");
+  }
+  if (checkpoint_inflight_.exchange(true, std::memory_order_acq_rel)) {
+    return Status::Unavailable("S2Server: checkpoint already in flight");
+  }
+  const Status status = DoCheckpoint();
+  if (!status.ok()) checkpoint_failures_->Increment();
+  checkpoint_inflight_.store(false, std::memory_order_release);
+  return status;
+}
+
+void S2Server::MaybeScheduleCheckpoint() {
+  if (maintenance_ == nullptr || checkpoint_store_ == nullptr ||
+      wal_ == nullptr) {
+    return;
+  }
+  // Caller holds the exclusive lock: the records-since-anchor snapshot
+  // and the inflight transition form one atomic scheduling step.
+  const uint64_t since = wal_->record_count() - last_checkpoint_records_;
+  const bool due =
+      (options_.checkpoint_every_appends > 0 &&
+       since >= options_.checkpoint_every_appends) ||
+      (options_.checkpoint_every_bytes > 0 &&
+       since * stream::Wal::kRecordBytes >= options_.checkpoint_every_bytes);
+  if (!due) return;
+  if (checkpoint_inflight_.exchange(true, std::memory_order_acq_rel)) return;
+  const bool submitted =
+      maintenance_->Submit([this] { BackgroundCheckpoint(); });
+  if (!submitted) {
+    checkpoint_inflight_.store(false, std::memory_order_release);
+  }
+}
+
+void S2Server::BackgroundCheckpoint() {
+  // Errors are not fatal to serving: the WAL still covers everything, and
+  // the next threshold crossing retries. The counter is the observable.
+  const Status status = DoCheckpoint();
+  if (!status.ok()) checkpoint_failures_->Increment();
+  checkpoint_inflight_.store(false, std::memory_order_release);
+}
+
+S2Server::CheckpointInfo S2Server::checkpoint_info() {
+  sync::ReaderMutexLock lock(&engine_mu_);
+  CheckpointInfo info;
+  info.enabled = checkpoint_store_ != nullptr;
+  info.generation = last_checkpoint_generation_;
+  info.anchor_appends = last_checkpoint_anchor_appends_;
+  info.anchor_monitor_ops = last_checkpoint_anchor_monitor_ops_;
+  info.recovered_from_checkpoint = recovered_from_checkpoint_;
+  info.recovered_from_fallback = recovered_from_fallback_;
+  info.recovery_anchor_appends = recovery_anchor_appends_;
+  info.recovery_anchor_monitor_ops = recovery_anchor_monitor_ops_;
+  return info;
+}
+
+void S2Server::Shutdown() {
+  scheduler_->Shutdown();
+  if (maintenance_ != nullptr) maintenance_->Shutdown();
+  // Flush an open WAL fsync group: with `wal_sync_every > 1` the last
+  // `< sync_every` acknowledged appends are not yet durable, and a clean
+  // shutdown must not lose what only a crash may.
+  sync::WriterMutexLock lock(&engine_mu_);
+  if (wal_ != nullptr) (void)wal_->Sync();
 }
 
 S2Server::StreamInfo S2Server::stream_info() {

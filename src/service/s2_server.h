@@ -9,6 +9,7 @@
 
 #include "base/sync.h"
 #include "base/thread_annotations.h"
+#include "ckpt/checkpoint_store.h"
 #include "common/result.h"
 #include "core/s2_engine.h"
 #include "exec/thread_pool.h"
@@ -95,6 +96,28 @@ class S2Server {
     /// compaction — call `Compact()` yourself.
     size_t compaction_threshold = 64;
 
+    // --- Checkpointing (s2::ckpt; requires a WAL) ---------------------------
+
+    /// Enables the checkpoint subsystem: `Checkpoint()` becomes callable,
+    /// the background checkpointer runs on the maintenance thread when a
+    /// threshold below is set, and `Recover` loads the newest checkpoint
+    /// instead of replaying the whole WAL. Checkpoint files live next to
+    /// the WAL (`<wal_path>.manifest`, `<wal_path>.ckpt.<gen>`).
+    bool checkpoint_enabled = false;
+    /// Appends since the last checkpoint anchor that trigger a background
+    /// checkpoint. 0 disables the append-count trigger.
+    uint64_t checkpoint_every_appends = 0;
+    /// Data-WAL bytes since the last checkpoint anchor that trigger a
+    /// background checkpoint. 0 disables the byte trigger.
+    uint64_t checkpoint_every_bytes = 0;
+    /// Segment-body byte threshold for WAL rotation (both the data and
+    /// monitor logs). 0 keeps the legacy single-file layout — required
+    /// to be non-zero for checkpoint GC to ever reclaim log space.
+    uint64_t wal_rotate_bytes = 0;
+    /// After a successful checkpoint, unlink WAL segments wholly below
+    /// the fallback anchor and snapshots of retired generations.
+    bool checkpoint_gc = true;
+
     // --- Standing queries (s2::monitor) -------------------------------------
 
     /// Capacity of the alert delivery queue: fired-but-unacknowledged
@@ -127,6 +150,8 @@ class S2Server {
     bool wal_enabled = false;
     /// Subscription-lifecycle ops replayed from the monitor WAL at open.
     size_t replayed_ops = 0;
+    /// Torn tail bytes the monitor-WAL open ignored.
+    uint64_t replay_dropped_bytes = 0;
     size_t active_subscriptions = 0;
     size_t queue_depth = 0;
     uint64_t next_seq = 0;
@@ -150,6 +175,19 @@ class S2Server {
   /// Builds the engine from a corpus, picking the topology from
   /// `options.shards`, and wraps it in a server.
   static Result<std::unique_ptr<S2Server>> Build(
+      ts::Corpus corpus, const core::S2Engine::Options& engine_options,
+      const Options& options);
+
+  /// Crash recovery: loads the newest valid checkpoint next to
+  /// `options.wal_path`, rebuilds the engine from its snapshot (corpus,
+  /// subscriptions with live hysteresis state, alert queue, id counter),
+  /// and replays only the WAL tails past the snapshot's anchors. Falls
+  /// back to the previous checkpoint generation when the newest snapshot
+  /// is corrupt, and to a full-WAL replay over `corpus` (identical to
+  /// `Build`) when no checkpoint is recoverable at all. The result is
+  /// bit-identical to a full replay at any shard count — the snapshot
+  /// stores global-id order.
+  static Result<std::unique_ptr<S2Server>> Recover(
       ts::Corpus corpus, const core::S2Engine::Options& engine_options,
       const Options& options);
 
@@ -225,12 +263,43 @@ class S2Server {
   /// The alert delivery queue (tests inspect stats directly).
   const monitor::AlertQueue& alerts() const { return alert_queue_; }
 
-  /// Graceful shutdown: drains admitted requests, joins workers, then waits
-  /// out any in-flight background compaction. Idempotent.
-  void Shutdown() {
-    scheduler_->Shutdown();
-    if (maintenance_ != nullptr) maintenance_->Shutdown();
-  }
+  // --- Checkpointing (coordinated snapshot + WAL tail; DESIGN.md §11) -------
+
+  /// Checkpoint-state snapshot (point-in-time gauges; the monotone side
+  /// lives in the `checkpoint_*` counters).
+  struct CheckpointInfo {
+    bool enabled = false;
+    /// The last generation this process committed (0 = none yet).
+    uint64_t generation = 0;
+    /// The last committed checkpoint's anchors.
+    uint64_t anchor_appends = 0;
+    uint64_t anchor_monitor_ops = 0;
+    /// How this server came up: from a checkpoint (vs cold/full replay),
+    /// and whether the previous generation had to stand in for a corrupt
+    /// newest snapshot.
+    bool recovered_from_checkpoint = false;
+    bool recovered_from_fallback = false;
+    /// Where WAL replay started at recovery (0 on cold starts): the
+    /// loaded snapshot's anchors.
+    uint64_t recovery_anchor_appends = 0;
+    uint64_t recovery_anchor_monitor_ops = 0;
+  };
+
+  /// Takes one coordinated checkpoint now: captures the engine image,
+  /// registry state, alert queue and WAL anchors atomically under the
+  /// writer lock (appends block only for the in-memory copy), then
+  /// encodes and commits snapshot + manifest off-lock, then GCs retired
+  /// WAL segments and snapshots. Unavailable when one is already in
+  /// flight; InvalidArgument without a WAL.
+  Status Checkpoint() S2_EXCLUDES(engine_mu_);
+
+  CheckpointInfo checkpoint_info() S2_EXCLUDES(engine_mu_);
+
+  /// Graceful shutdown: drains admitted requests, joins workers, waits out
+  /// in-flight background maintenance, then flushes any open WAL fsync
+  /// group so a clean restart loses nothing `sync_every > 1` deferred.
+  /// Idempotent.
+  void Shutdown() S2_EXCLUDES(engine_mu_);
 
   /// True when the server runs scatter-gather over shards.
   bool is_sharded() const { return sharded_.has_value(); }
@@ -327,6 +396,36 @@ class S2Server {
   /// samples the evaluation-latency histogram.
   void SyncMonitorMetrics() S2_EXCLUDES(export_mu_);
 
+  /// Copies the coordinated image out under the writer lock: syncs the
+  /// data WAL first (an open fsync group's records count as durable only
+  /// after the flush, and the anchor must never exceed the durable
+  /// count), then reads both anchors and every piece of restorable state
+  /// at that single stream position.
+  Status CaptureSnapshot(ckpt::EngineSnapshot* snapshot,
+                         std::vector<uint64_t>* shard_checksums,
+                         std::vector<ckpt::SegmentMeta>* data_segments,
+                         std::vector<ckpt::SegmentMeta>* monitor_segments)
+      S2_EXCLUDES(engine_mu_);
+
+  /// The checkpoint body `Checkpoint` and the background task share;
+  /// assumes the in-flight guard is held by the caller.
+  Status DoCheckpoint() S2_EXCLUDES(engine_mu_);
+
+  /// Schedules a background checkpoint when an append/byte threshold has
+  /// been crossed and none is in flight. Caller holds the exclusive lock
+  /// (same scheduling discipline as MaybeScheduleCompaction).
+  void MaybeScheduleCheckpoint() S2_REQUIRES(engine_mu_);
+
+  /// The maintenance-thread checkpoint task: runs DoCheckpoint, counts
+  /// failures, releases the in-flight guard.
+  void BackgroundCheckpoint() S2_EXCLUDES(engine_mu_);
+
+  /// Installs a loaded snapshot into a freshly built server (registry
+  /// state, alert queue, id counter, recovery anchors) before OpenWal
+  /// replays the tail.
+  Status RestoreFromSnapshot(const ckpt::CheckpointStore::Loaded& loaded)
+      S2_EXCLUDES(engine_mu_);
+
   // Exactly one of these is engaged, chosen at construction, and never
   // re-seated afterwards — the optionals themselves are effectively const
   // (so they stay unannotated); the *engine state inside them* is protected
@@ -363,6 +462,17 @@ class S2Server {
   Counter* monitor_alerts_dropped_ = nullptr;   ///< Overflow-dropped alerts.
   Counter* monitor_alerts_delivered_ = nullptr; ///< Alerts handed to pollers.
   LatencyHistogram* monitor_eval_latency_ = nullptr;  ///< Per-append eval time.
+  // Replay observability (satellite of the recovery work: these existed
+  // only as StreamInfo/MonitorInfo gauges before).
+  Counter* stream_replay_dropped_ = nullptr;   ///< Torn data-WAL bytes ignored.
+  Counter* monitor_replay_ops_ = nullptr;      ///< Monitor ops replayed at open.
+  Counter* monitor_replay_dropped_ = nullptr;  ///< Torn monitor-WAL bytes.
+  // Checkpoint metrics.
+  Counter* checkpoint_count_ = nullptr;        ///< Committed checkpoints.
+  Counter* checkpoint_failures_ = nullptr;     ///< Failed checkpoint attempts.
+  Counter* checkpoint_gc_segments_ = nullptr;  ///< WAL segments unlinked by GC.
+  Counter* checkpoint_gc_snapshots_ = nullptr; ///< Snapshot files unlinked.
+  LatencyHistogram* checkpoint_latency_ = nullptr;  ///< End-to-end commit time.
   /// Guards the exported_* snapshots.
   sync::Mutex export_mu_{sync::LockRank::kMetricsExport,
                          "service::S2Server::export"};
@@ -387,8 +497,25 @@ class S2Server {
   std::unique_ptr<monitor::MonitorWal> monitor_wal_ S2_GUARDED_BY(engine_mu_);
   monitor::SubscriptionId next_subscription_id_ S2_GUARDED_BY(engine_mu_) = 0;
   size_t replayed_monitor_ops_ S2_GUARDED_BY(engine_mu_) = 0;
+  uint64_t monitor_replay_dropped_bytes_ S2_GUARDED_BY(engine_mu_) = 0;
+  // Checkpoint state. `Recover` seeds the recovery_* anchors before
+  // OpenWal so tail replay starts at the snapshot's stream position; the
+  // in-flight flag single-files checkpoints exactly like compactions.
+  std::unique_ptr<ckpt::CheckpointStore> checkpoint_store_;
+  uint64_t recovery_anchor_appends_ S2_GUARDED_BY(engine_mu_) = 0;
+  uint64_t recovery_anchor_monitor_ops_ S2_GUARDED_BY(engine_mu_) = 0;
+  bool recovered_from_checkpoint_ S2_GUARDED_BY(engine_mu_) = false;
+  bool recovered_from_fallback_ S2_GUARDED_BY(engine_mu_) = false;
+  /// The data-WAL record count at the last committed checkpoint anchor
+  /// (or recovery anchor), the baseline the scheduling thresholds measure
+  /// from.
+  uint64_t last_checkpoint_records_ S2_GUARDED_BY(engine_mu_) = 0;
+  uint64_t last_checkpoint_generation_ S2_GUARDED_BY(engine_mu_) = 0;
+  uint64_t last_checkpoint_anchor_appends_ S2_GUARDED_BY(engine_mu_) = 0;
+  uint64_t last_checkpoint_anchor_monitor_ops_ S2_GUARDED_BY(engine_mu_) = 0;
   std::unique_ptr<exec::ThreadPool> maintenance_;
   std::atomic<bool> compaction_inflight_{false};
+  std::atomic<bool> checkpoint_inflight_{false};
   std::unique_ptr<Scheduler> scheduler_;
 };
 

@@ -245,6 +245,17 @@ Status ShardedEngine::Subscribe(monitor::Subscription sub) {
   return Status::OK();
 }
 
+Status ShardedEngine::RestoreSubscription(monitor::Subscription sub,
+                                          bool engaged, uint32_t bin) {
+  S2_ASSIGN_OR_RETURN(Placement p, PlacementOf(sub.series));
+  const monitor::SubscriptionId sid = sub.id;
+  S2_RETURN_NOT_OK(
+      shards_[p.shard]->RestoreSubscription(p.local, std::move(sub), engaged,
+                                            bin));
+  sub_shard_.emplace(sid, p.shard);
+  return Status::OK();
+}
+
 Status ShardedEngine::Unsubscribe(monitor::SubscriptionId id) {
   auto it = sub_shard_.find(id);
   if (it == sub_shard_.end()) {

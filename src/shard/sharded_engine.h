@@ -143,6 +143,12 @@ class ShardedEngine {
   /// (shard-count invisibility, the §7 bar). Writer: serialize externally.
   Status Subscribe(monitor::Subscription sub);
 
+  /// Registers `sub` with its hysteresis state installed verbatim —
+  /// checkpoint recovery routing the snapshot's subscriptions back to
+  /// their owner shards. Writer.
+  Status RestoreSubscription(monitor::Subscription sub, bool engaged,
+                             uint32_t bin);
+
   /// Removes a subscription wherever it lives. Writer.
   Status Unsubscribe(monitor::SubscriptionId id);
 

@@ -11,12 +11,13 @@ namespace s2::stream {
 namespace {
 
 constexpr char kWalMagic[8] = {'S', '2', 'W', 'A', 'L', 'F', '0', '1'};
+// Rotated-segment header magic — distinct from the record-stream magic so a
+// segment file can never be mistaken for a legacy base file.
+constexpr char kSegMagic[8] = {'S', '2', 'W', 'A', 'L', 'S', '0', '1'};
 constexpr size_t kPayloadBytes = sizeof(uint32_t) + sizeof(double);
 constexpr size_t kRecordBytes = kPayloadBytes + sizeof(uint64_t);
-
-uint64_t ChainSeed() {
-  return io::durable::Fnv1a64(kWalMagic, sizeof(kWalMagic));
-}
+static_assert(kRecordBytes == Wal::kRecordBytes,
+              "public record-size constant out of sync with the codec");
 
 void EncodeRecord(const WalRecord& record, uint64_t chain, char* out) {
   const uint32_t id = record.series_id;
@@ -44,6 +45,22 @@ bool DecodeRecord(const char* in, uint64_t chain, WalRecord* record,
 
 }  // namespace
 
+Wal::Wal(io::Env* env, std::string path, Options options,
+         io::walseg::OpenResult state)
+    : env_(env),
+      path_(std::move(path)),
+      file_(std::move(state.tail_file)),
+      options_(options),
+      tail_(state.tail_offset),
+      chain_(state.chain),
+      record_count_(static_cast<size_t>(state.record_count)),
+      seq_(state.tail_seq),
+      segments_(std::move(state.segments)) {}
+
+Wal::~Wal() {
+  if (unsynced_ > 0 && file_ != nullptr) (void)file_->Sync();
+}
+
 Result<std::unique_ptr<Wal>> Wal::Open(
     io::Env* env, const std::string& path,
     const std::function<Status(const WalRecord&)>& apply, ReplayInfo* info,
@@ -52,59 +69,57 @@ Result<std::unique_ptr<Wal>> Wal::Open(
   if (options.sync_every == 0) {
     return Status::InvalidArgument("Wal: sync_every must be > 0");
   }
-  S2_ASSIGN_OR_RETURN(std::unique_ptr<io::File> file,
-                      env->Open(path, io::OpenMode::kReadWrite));
-  S2_ASSIGN_OR_RETURN(uint64_t size, file->Size());
 
-  if (size == 0) {
-    // Fresh log: write and sync the header before acknowledging anything.
-    S2_RETURN_NOT_OK(io::WriteExactAt(file.get(), kWalMagic, sizeof(kWalMagic), 0));
-    S2_RETURN_NOT_OK(file->Sync());
-    if (info != nullptr) *info = ReplayInfo{};
-    return std::unique_ptr<Wal>(new Wal(path, std::move(file), options,
-                                        sizeof(kWalMagic), ChainSeed(), 0));
-  }
-
-  if (size < sizeof(kWalMagic)) {
-    return Status::Corruption("Wal: truncated header in " + path);
-  }
-  char magic[sizeof(kWalMagic)];
-  S2_RETURN_NOT_OK(io::ReadExactAt(file.get(), magic, sizeof(magic), 0));
-  if (std::memcmp(magic, kWalMagic, sizeof(kWalMagic)) != 0) {
-    return Status::Corruption("Wal: bad magic in " + path);
-  }
-
-  // Replay: scan intact records, stop at the first torn/stale one. The
-  // whole body is read once (logs are bounded by the append rate between
-  // compaction checkpoints, not by corpus size).
-  const uint64_t body = size - sizeof(kWalMagic);
-  std::vector<char> bytes(static_cast<size_t>(body));
-  if (body > 0) {
-    S2_RETURN_NOT_OK(
-        io::ReadExactAt(file.get(), bytes.data(), bytes.size(), sizeof(kWalMagic)));
-  }
-  uint64_t chain = ChainSeed();
-  size_t offset = 0;
-  size_t records = 0;
-  while (offset + kRecordBytes <= bytes.size()) {
+  const io::walseg::RecordScanner scan =
+      [&apply](const char* data, size_t avail, uint64_t chain, bool deliver,
+               size_t* consumed, uint64_t* next_chain) -> Status {
+    *consumed = 0;
+    if (avail < kRecordBytes) return Status::OK();
     WalRecord record;
-    uint64_t next_chain = 0;
-    if (!DecodeRecord(bytes.data() + offset, chain, &record, &next_chain)) break;
-    S2_RETURN_NOT_OK(apply(record));
-    chain = next_chain;
-    offset += kRecordBytes;
-    ++records;
-  }
+    if (!DecodeRecord(data, chain, &record, next_chain)) return Status::OK();
+    if (deliver) S2_RETURN_NOT_OK(apply(record));
+    *consumed = kRecordBytes;
+    return Status::OK();
+  };
+
+  S2_ASSIGN_OR_RETURN(io::walseg::OpenResult state,
+                      io::walseg::OpenLog(env, path, kWalMagic, kSegMagic,
+                                          options.replay_from, scan));
   if (info != nullptr) {
-    info->records = records;
-    info->dropped_bytes = body - offset;
+    info->records = static_cast<size_t>(state.applied);
+    info->dropped_bytes = state.dropped_bytes;
   }
-  return std::unique_ptr<Wal>(new Wal(path, std::move(file), options,
-                                      sizeof(kWalMagic) + offset, chain,
-                                      records));
+  return std::unique_ptr<Wal>(
+      new Wal(env, path, options, std::move(state)));
+}
+
+Status Wal::MaybeRotate() {
+  if (options_.rotate_bytes == 0) return Status::OK();
+  const size_t header =
+      seq_ == 0 ? io::walseg::kMagicBytes : io::walseg::kSegmentHeaderBytes;
+  if (tail_ - header < options_.rotate_bytes) return Status::OK();
+  // Seal: the outgoing segment must be fully durable before the new
+  // header claims `record_count_` records precede it.
+  S2_RETURN_NOT_OK(Sync());
+  io::walseg::SegmentHeader next;
+  next.seq = seq_ + 1;
+  next.base_records = record_count_;
+  next.chain_seed = chain_;
+  S2_ASSIGN_OR_RETURN(std::unique_ptr<io::File> file,
+                      io::walseg::CreateSegment(env_, path_, kSegMagic, next));
+  // Only now does the in-memory boundary move; a failure above leaves the
+  // log appending to the old segment and the retry rewrites the identical
+  // header at the same path.
+  file_ = std::move(file);
+  seq_ = next.seq;
+  tail_ = io::walseg::kSegmentHeaderBytes;
+  segments_.push_back(io::walseg::SegmentInfo{
+      io::walseg::SegmentPath(path_, next.seq), next.seq, next.base_records});
+  return Status::OK();
 }
 
 Status Wal::Append(const WalRecord& record) {
+  S2_RETURN_NOT_OK(MaybeRotate());
   char buf[kRecordBytes];
   EncodeRecord(record, chain_, buf);
   S2_RETURN_NOT_OK(io::WriteExactAt(file_.get(), buf, sizeof(buf), tail_));
@@ -127,6 +142,16 @@ Status Wal::Sync() {
   S2_RETURN_NOT_OK(file_->Sync());
   unsynced_ = 0;
   return Status::OK();
+}
+
+Result<size_t> Wal::RemoveObsoleteSegments(uint64_t keep_from) {
+  return io::walseg::RemoveSegmentsBelow(env_, &segments_, keep_from);
+}
+
+Result<std::vector<io::walseg::SegmentInfo>> Wal::ListSegments(
+    io::Env* env, const std::string& path) {
+  if (env == nullptr) env = io::Env::Default();
+  return io::walseg::ListSegments(env, path, kWalMagic, kSegMagic);
 }
 
 }  // namespace s2::stream

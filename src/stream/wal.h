@@ -5,9 +5,11 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "io/env.h"
+#include "io/wal_segment.h"
 #include "timeseries/time_series.h"
 
 namespace s2::stream {
@@ -38,28 +40,50 @@ struct WalRecord {
 /// chain and are ignored by replay, even if they were once valid records
 /// of a longer log.
 ///
+/// Segmentation (`Options::rotate_bytes`): when the active segment's record
+/// body reaches the threshold, the next `Append` seals it and rotates to
+/// `<path>.segNNNNNN`, whose 40-byte header (see `io::walseg`) carries the
+/// record count and chain seed across the boundary. Replay can then start
+/// at a checkpoint anchor (`Options::replay_from`), skipping whole sealed
+/// segments, and checkpoint GC unlinks segments wholly below the anchor —
+/// the mechanism that bounds both recovery time and disk footprint. The
+/// default (0) keeps the legacy single-file layout bit for bit.
+///
 /// Durability contract: a record is *acknowledged* once the `Append` (with
 /// `sync_every == 1`, the default) or a later `Sync` covering it has
 /// returned OK. `Open` replays every intact record in order and stops at
 /// the first short or checksum-failing record (a torn tail from a crash
 /// mid-write); everything after it is dropped and overwritten by
 /// subsequent appends. With `sync_every == 1` a failed `Append` leaves the
-/// log state unchanged, so the caller can simply retry.
+/// log state unchanged, so the caller can simply retry — rotation happens
+/// *before* the record write, so this holds across segment boundaries too.
 ///
 /// Thread safety: none. The serving layer serializes appends behind its
 /// writer lock, matching the engine's own write path.
 class Wal {
  public:
+  /// On-disk size of one record: [u32 series_id | f64 value | u64 checksum].
+  static constexpr size_t kRecordBytes =
+      sizeof(uint32_t) + sizeof(double) + sizeof(uint64_t);
+
   struct Options {
     /// Records per fsync group. 1 (default) syncs every append, making each
     /// successful `Append` an acknowledgement. Larger values trade the
     /// durability of the last `< sync_every` records for throughput; call
     /// `Sync` to flush the group early (e.g. before acknowledging a batch).
     size_t sync_every = 1;
+    /// Segment-body byte threshold that triggers rotation on the next
+    /// append. 0 (default) disables rotation: the legacy single-file log.
+    uint64_t rotate_bytes = 0;
+    /// Replay starts at this record index (a checkpoint anchor): earlier
+    /// records are not delivered, and sealed segments wholly below it are
+    /// skipped unread. Corruption if the log's surviving history cannot
+    /// cover the index.
+    uint64_t replay_from = 0;
   };
 
   struct ReplayInfo {
-    /// Intact records applied during `Open`.
+    /// Intact records applied during `Open` (at or past `replay_from`).
     size_t records = 0;
     /// Torn/garbage tail bytes ignored (they will be overwritten in place
     /// by the next append).
@@ -67,9 +91,10 @@ class Wal {
   };
 
   /// Opens (creating if absent) the log at `path` and replays every intact
-  /// record through `apply` in append order. A failing `apply` aborts the
-  /// open with its error. `env` null means the POSIX filesystem; `info`,
-  /// when non-null, receives replay statistics.
+  /// record at or past `options.replay_from` through `apply` in append
+  /// order. A failing `apply` aborts the open with its error. `env` null
+  /// means the POSIX filesystem; `info`, when non-null, receives replay
+  /// statistics.
   static Result<std::unique_ptr<Wal>> Open(
       io::Env* env, const std::string& path,
       const std::function<Status(const WalRecord&)>& apply, ReplayInfo* info,
@@ -81,32 +106,51 @@ class Wal {
     return Open(env, path, apply, info, Options());
   }
 
-  /// Appends one record at the logical tail. With `sync_every == 1` the
-  /// record is durable (acknowledged) when this returns OK; on any error
-  /// the log state is unchanged and the call may be retried.
+  /// Best-effort flush of an open sync group: a clean close must not lose
+  /// acknowledged-by-`Sync`-contract appends that a crash would.
+  ~Wal();
+
+  /// Appends one record at the logical tail, rotating first when the
+  /// active segment is full. With `sync_every == 1` the record is durable
+  /// (acknowledged) when this returns OK; on any error the log state is
+  /// unchanged and the call may be retried.
   Status Append(const WalRecord& record);
 
   /// Flushes the current fsync group (no-op when everything is synced).
   Status Sync();
 
-  /// Records acknowledged through this handle plus those replayed at open.
+  /// Records acknowledged through this handle plus those counted at open
+  /// (including the skipped prefix below `replay_from`).
   size_t record_count() const { return record_count_; }
 
-  /// Byte offset of the logical tail (header + intact records).
+  /// Byte offset of the logical tail within the active segment.
   uint64_t tail_offset() const { return tail_; }
 
   const std::string& path() const { return path_; }
 
- private:
-  Wal(std::string path, std::unique_ptr<io::File> file, Options options,
-      uint64_t tail, uint64_t chain, size_t record_count)
-      : path_(std::move(path)),
-        file_(std::move(file)),
-        options_(options),
-        tail_(tail),
-        chain_(chain),
-        record_count_(record_count) {}
+  /// The live segments, oldest first (the active tail last). The single
+  /// entry `{path, 0, 0}` when rotation never happened.
+  const std::vector<io::walseg::SegmentInfo>& segments() const {
+    return segments_;
+  }
 
+  /// Unlinks leading segments whose records all lie below `keep_from`
+  /// (a committed checkpoint's safe anchor). Returns how many were removed.
+  Result<size_t> RemoveObsoleteSegments(uint64_t keep_from);
+
+  /// Reads the segment list of a (possibly closed) log off disk — tooling.
+  static Result<std::vector<io::walseg::SegmentInfo>> ListSegments(
+      io::Env* env, const std::string& path);
+
+ private:
+  Wal(io::Env* env, std::string path, Options options,
+      io::walseg::OpenResult state);
+
+  /// Seals the active segment and opens the next when the body threshold
+  /// is reached. Called at the top of `Append`; state swaps only on OK.
+  Status MaybeRotate();
+
+  io::Env* env_;
   std::string path_;
   std::unique_ptr<io::File> file_;
   Options options_;
@@ -114,6 +158,8 @@ class Wal {
   uint64_t chain_ = 0;       // Checksum of the last intact record.
   size_t record_count_ = 0;
   size_t unsynced_ = 0;      // Records written since the last fsync.
+  uint64_t seq_ = 0;                 // Active segment's sequence number.
+  std::vector<io::walseg::SegmentInfo> segments_;
 };
 
 }  // namespace s2::stream

@@ -1,0 +1,334 @@
+#include "ckpt/checkpoint_store.h"
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ckpt/manifest.h"
+#include "ckpt/snapshot.h"
+#include "io/durable.h"
+#include "io/mem_env.h"
+#include "monitor/subscription.h"
+
+namespace s2::ckpt {
+namespace {
+
+// A small but fully-populated snapshot: every codec branch (burst and
+// similarity subscriptions, engaged hysteresis, queued alerts, watermark)
+// is exercised. `tag` shifts the values so generations are distinguishable.
+EngineSnapshot MakeSnapshot(uint32_t tag) {
+  EngineSnapshot snapshot;
+  snapshot.anchor_appends = 100 + tag;
+  snapshot.anchor_monitor_ops = 10 + tag;
+  snapshot.next_subscription_id = 3 + tag;
+  for (uint32_t s = 0; s < 3; ++s) {
+    ts::TimeSeries series;
+    series.name = "series-" + std::to_string(s);
+    series.start_day = static_cast<int32_t>(tag + s);
+    for (int i = 0; i < 8; ++i) series.values.push_back(0.5 * i + tag);
+    snapshot.corpus.push_back(std::move(series));
+  }
+  monitor::SubscriptionRegistry::Entry burst;
+  burst.sub.id = 1;
+  burst.sub.kind = monitor::SubscriptionKind::kBurstThreshold;
+  burst.sub.series = 0;
+  burst.sub.burst.window = 7;
+  burst.sub.burst.enter_ratio = 1.5;
+  burst.sub.burst.exit_ratio = 1.1;
+  burst.engaged = true;
+  burst.bin = 0;
+  snapshot.subscriptions.push_back(burst);
+  monitor::SubscriptionRegistry::Entry watch;
+  watch.sub.id = 2;
+  watch.sub.kind = monitor::SubscriptionKind::kSimilarityWatch;
+  watch.sub.series = 1;
+  watch.sub.similarity.radius = 2.0;
+  watch.sub.similarity.query = {1.0, -1.0, 0.5, static_cast<double>(tag)};
+  watch.engaged = false;
+  watch.bin = 3;
+  snapshot.subscriptions.push_back(watch);
+  monitor::Alert alert;
+  alert.seq = 5;
+  alert.subscription = 1;
+  alert.kind = monitor::AlertKind::kBurstBegin;
+  alert.series = 0;
+  alert.day = 1234;
+  alert.value = 3.5;
+  alert.threshold = 1.5;
+  snapshot.alerts.queued.push_back(alert);
+  snapshot.alerts.next_seq = 6;
+  snapshot.alerts.fired = 6;
+  snapshot.alerts.dropped = 1;
+  snapshot.alerts.delivered = 4;
+  snapshot.alerts.acked = 4;
+  snapshot.alerts.acked_upto = 4;
+  snapshot.alerts.any_acked = true;
+  snapshot.alerts.evaluations = 50 + tag;
+  return snapshot;
+}
+
+void ExpectSnapshotsEqual(const EngineSnapshot& a, const EngineSnapshot& b) {
+  EXPECT_EQ(a.anchor_appends, b.anchor_appends);
+  EXPECT_EQ(a.anchor_monitor_ops, b.anchor_monitor_ops);
+  EXPECT_EQ(a.next_subscription_id, b.next_subscription_id);
+  ASSERT_EQ(a.corpus.size(), b.corpus.size());
+  for (size_t i = 0; i < a.corpus.size(); ++i) {
+    EXPECT_EQ(a.corpus[i].name, b.corpus[i].name);
+    EXPECT_EQ(a.corpus[i].start_day, b.corpus[i].start_day);
+    EXPECT_EQ(a.corpus[i].values, b.corpus[i].values);
+  }
+  ASSERT_EQ(a.subscriptions.size(), b.subscriptions.size());
+  for (size_t i = 0; i < a.subscriptions.size(); ++i) {
+    const auto& x = a.subscriptions[i];
+    const auto& y = b.subscriptions[i];
+    EXPECT_EQ(x.sub.id, y.sub.id);
+    EXPECT_EQ(x.sub.kind, y.sub.kind);
+    EXPECT_EQ(x.sub.series, y.sub.series);
+    EXPECT_EQ(x.sub.burst.window, y.sub.burst.window);
+    EXPECT_DOUBLE_EQ(x.sub.burst.enter_ratio, y.sub.burst.enter_ratio);
+    EXPECT_DOUBLE_EQ(x.sub.burst.exit_ratio, y.sub.burst.exit_ratio);
+    EXPECT_DOUBLE_EQ(x.sub.similarity.radius, y.sub.similarity.radius);
+    EXPECT_EQ(x.sub.similarity.query, y.sub.similarity.query);
+    EXPECT_EQ(x.engaged, y.engaged);
+    EXPECT_EQ(x.bin, y.bin);
+  }
+  ASSERT_EQ(a.alerts.queued.size(), b.alerts.queued.size());
+  for (size_t i = 0; i < a.alerts.queued.size(); ++i) {
+    EXPECT_EQ(a.alerts.queued[i].seq, b.alerts.queued[i].seq);
+    EXPECT_EQ(a.alerts.queued[i].subscription, b.alerts.queued[i].subscription);
+    EXPECT_EQ(a.alerts.queued[i].kind, b.alerts.queued[i].kind);
+    EXPECT_EQ(a.alerts.queued[i].series, b.alerts.queued[i].series);
+    EXPECT_EQ(a.alerts.queued[i].day, b.alerts.queued[i].day);
+    EXPECT_DOUBLE_EQ(a.alerts.queued[i].value, b.alerts.queued[i].value);
+  }
+  EXPECT_EQ(a.alerts.next_seq, b.alerts.next_seq);
+  EXPECT_EQ(a.alerts.fired, b.alerts.fired);
+  EXPECT_EQ(a.alerts.dropped, b.alerts.dropped);
+  EXPECT_EQ(a.alerts.delivered, b.alerts.delivered);
+  EXPECT_EQ(a.alerts.acked, b.alerts.acked);
+  EXPECT_EQ(a.alerts.acked_upto, b.alerts.acked_upto);
+  EXPECT_EQ(a.alerts.any_acked, b.alerts.any_acked);
+  EXPECT_EQ(a.alerts.evaluations, b.alerts.evaluations);
+}
+
+TEST(SnapshotCodecTest, RoundTrips) {
+  const EngineSnapshot original = MakeSnapshot(7);
+  const std::vector<char> encoded = EncodeSnapshot(original);
+  EngineSnapshot decoded;
+  const Status status = DecodeSnapshot(encoded.data(), encoded.size(), &decoded);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  ExpectSnapshotsEqual(original, decoded);
+}
+
+TEST(SnapshotCodecTest, RejectsStructuralDamage) {
+  const std::vector<char> encoded = EncodeSnapshot(MakeSnapshot(1));
+  EngineSnapshot decoded;
+  // Wrong magic.
+  {
+    std::vector<char> bad = encoded;
+    bad[0] ^= 0x7f;
+    EXPECT_EQ(DecodeSnapshot(bad.data(), bad.size(), &decoded).code(),
+              StatusCode::kCorruption);
+  }
+  // Every truncation point fails cleanly (no UB, no crash).
+  for (size_t n = 0; n < encoded.size(); n += 7) {
+    EXPECT_EQ(DecodeSnapshot(encoded.data(), n, &decoded).code(),
+              StatusCode::kCorruption)
+        << "truncated to " << n;
+  }
+  // Trailing garbage is also corruption: the codec owns every byte.
+  {
+    std::vector<char> bad = encoded;
+    bad.push_back('x');
+    EXPECT_EQ(DecodeSnapshot(bad.data(), bad.size(), &decoded).code(),
+              StatusCode::kCorruption);
+  }
+}
+
+TEST(SnapshotCodecTest, RejectsAbsurdCounts) {
+  // A corpus count far beyond the payload must fail the bounds check
+  // up front instead of attempting a giant allocation.
+  const std::vector<char> encoded = EncodeSnapshot(MakeSnapshot(2));
+  std::vector<char> bad = encoded;
+  // Corpus count lives right after magic(8) + version(4) + 3 u64 anchors.
+  const size_t count_off = 8 + 4 + 3 * 8;
+  const uint64_t absurd = ~0ull / 2;
+  std::memcpy(bad.data() + count_off, &absurd, sizeof(absurd));
+  EngineSnapshot decoded;
+  EXPECT_EQ(DecodeSnapshot(bad.data(), bad.size(), &decoded).code(),
+            StatusCode::kCorruption);
+}
+
+TEST(ManifestCodecTest, RoundTrips) {
+  Manifest manifest;
+  manifest.current = {5, 1000, 30};
+  manifest.has_prev = true;
+  manifest.prev = {4, 800, 24};
+  manifest.shard_count = 3;
+  manifest.shard_checksums = {111, 222, 333};
+  manifest.data_segments = {{0, 0}, {1, 400}, {2, 900}};
+  manifest.monitor_segments = {{0, 0}};
+  const std::vector<char> encoded = EncodeManifest(manifest);
+  Manifest decoded;
+  const Status status = DecodeManifest(encoded.data(), encoded.size(), &decoded);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(decoded.current.generation, 5u);
+  EXPECT_EQ(decoded.current.anchor_appends, 1000u);
+  EXPECT_TRUE(decoded.has_prev);
+  EXPECT_EQ(decoded.prev.generation, 4u);
+  EXPECT_EQ(decoded.shard_count, 3u);
+  EXPECT_EQ(decoded.shard_checksums, manifest.shard_checksums);
+  ASSERT_EQ(decoded.data_segments.size(), 3u);
+  EXPECT_EQ(decoded.data_segments[2].seq, 2u);
+  EXPECT_EQ(decoded.data_segments[2].base_records, 900u);
+  ASSERT_EQ(decoded.monitor_segments.size(), 1u);
+}
+
+TEST(ManifestCodecTest, RejectsNonMonotoneFallbackGeneration) {
+  Manifest manifest;
+  manifest.current = {5, 1000, 30};
+  manifest.has_prev = true;
+  manifest.prev = {5, 800, 24};  // Must be strictly older than current.
+  const std::vector<char> encoded = EncodeManifest(manifest);
+  Manifest decoded;
+  EXPECT_EQ(DecodeManifest(encoded.data(), encoded.size(), &decoded).code(),
+            StatusCode::kCorruption);
+}
+
+TEST(ManifestCodecTest, RejectsTruncation) {
+  Manifest manifest;
+  manifest.current = {1, 10, 2};
+  manifest.data_segments = {{0, 0}};
+  const std::vector<char> encoded = EncodeManifest(manifest);
+  Manifest decoded;
+  for (size_t n = 0; n < encoded.size(); n += 3) {
+    EXPECT_EQ(DecodeManifest(encoded.data(), n, &decoded).code(),
+              StatusCode::kCorruption)
+        << "truncated to " << n;
+  }
+}
+
+TEST(CheckpointStoreTest, CommitBumpsGenerationAndDemotesCurrentToPrev) {
+  io::MemEnv env;
+  CheckpointStore store(&env, "ckpt/base");
+  Manifest first;
+  ASSERT_TRUE(store.Commit(MakeSnapshot(1), 1, {42}, {{0, 0}}, {{0, 0}}, &first)
+                  .ok());
+  EXPECT_EQ(first.current.generation, 1u);
+  EXPECT_FALSE(first.has_prev);
+  Manifest second;
+  ASSERT_TRUE(
+      store.Commit(MakeSnapshot(2), 1, {43}, {{0, 0}, {1, 50}}, {{0, 0}},
+                   &second)
+          .ok());
+  EXPECT_EQ(second.current.generation, 2u);
+  ASSERT_TRUE(second.has_prev);
+  EXPECT_EQ(second.prev.generation, 1u);
+  EXPECT_EQ(second.prev.anchor_appends, 101u);  // MakeSnapshot(1)'s anchor.
+  EXPECT_EQ(second.current.anchor_appends, 102u);
+
+  auto loaded = store.Load();
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_FALSE(loaded->from_fallback);
+  ExpectSnapshotsEqual(MakeSnapshot(2), loaded->snapshot);
+  EXPECT_EQ(loaded->manifest.current.generation, 2u);
+  ASSERT_EQ(loaded->manifest.data_segments.size(), 2u);
+}
+
+TEST(CheckpointStoreTest, LoadIsNotFoundOnAColdStart) {
+  io::MemEnv env;
+  CheckpointStore store(&env, "base");
+  auto loaded = store.Load();
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST(CheckpointStoreTest, CorruptCurrentSnapshotFallsBackOneGeneration) {
+  io::MemEnv env;
+  CheckpointStore store(&env, "base");
+  ASSERT_TRUE(
+      store.Commit(MakeSnapshot(1), 1, {1}, {{0, 0}}, {{0, 0}}, nullptr).ok());
+  ASSERT_TRUE(
+      store.Commit(MakeSnapshot(2), 1, {2}, {{0, 0}}, {{0, 0}}, nullptr).ok());
+  // Damage the newest snapshot mid-payload: the container checksum fails.
+  {
+    auto file = env.Open(store.SnapshotPath(2), io::OpenMode::kReadWrite);
+    ASSERT_TRUE(file.ok());
+    char byte = 0;
+    ASSERT_TRUE((*file)->ReadAt(&byte, 1, 64).ok());
+    byte ^= 0x5a;
+    ASSERT_TRUE((*file)->WriteAt(&byte, 1, 64).ok());
+  }
+  auto loaded = store.Load();
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded->from_fallback);
+  ExpectSnapshotsEqual(MakeSnapshot(1), loaded->snapshot);
+
+  // Both generations gone is unrecoverable-by-checkpoint: Corruption.
+  {
+    auto file = env.Open(store.SnapshotPath(1), io::OpenMode::kReadWrite);
+    ASSERT_TRUE(file.ok());
+    char byte = 0;
+    ASSERT_TRUE((*file)->ReadAt(&byte, 1, 64).ok());
+    byte ^= 0x5a;
+    ASSERT_TRUE((*file)->WriteAt(&byte, 1, 64).ok());
+  }
+  auto dead = store.Load();
+  ASSERT_FALSE(dead.ok());
+  EXPECT_EQ(dead.status().code(), StatusCode::kCorruption);
+}
+
+TEST(CheckpointStoreTest, GcKeepsOnlyTheRecordedGenerations) {
+  io::MemEnv env;
+  CheckpointStore store(&env, "base");
+  Manifest manifest;
+  for (uint32_t tag = 1; tag <= 3; ++tag) {
+    ASSERT_TRUE(store.Commit(MakeSnapshot(tag), 1, {tag}, {{0, 0}}, {{0, 0}},
+                             &manifest)
+                    .ok());
+  }
+  // Plant an orphan above current — the residue of a crash between the
+  // snapshot commit and the manifest commit.
+  {
+    const std::vector<char> payload = EncodeSnapshot(MakeSnapshot(9));
+    const Status planted = io::durable::Commit(&env, store.SnapshotPath(9),
+                                               payload.data(), payload.size(),
+                                               /*generation=*/9);
+    ASSERT_TRUE(planted.ok()) << planted.ToString();
+  }
+  ASSERT_TRUE(env.FileExists(store.SnapshotPath(1)));
+  auto removed = store.GarbageCollectSnapshots(manifest);
+  ASSERT_TRUE(removed.ok()) << removed.status().ToString();
+  EXPECT_EQ(*removed, 2u);  // Generation 1 and the orphan 9.
+  EXPECT_FALSE(env.FileExists(store.SnapshotPath(1)));
+  EXPECT_TRUE(env.FileExists(store.SnapshotPath(2)));
+  EXPECT_TRUE(env.FileExists(store.SnapshotPath(3)));
+  EXPECT_FALSE(env.FileExists(store.SnapshotPath(9)));
+  // Both survivors still load.
+  auto loaded = store.Load();
+  ASSERT_TRUE(loaded.ok());
+  ExpectSnapshotsEqual(MakeSnapshot(3), loaded->snapshot);
+}
+
+TEST(CheckpointStoreTest, CorpusChecksumSeesEveryField) {
+  std::vector<ts::TimeSeries> corpus(1);
+  corpus[0].name = "a";
+  corpus[0].start_day = 10;
+  corpus[0].values = {1.0, 2.0};
+  const uint64_t base = CheckpointStore::CorpusChecksum(corpus);
+  auto tweaked = corpus;
+  tweaked[0].name = "b";
+  EXPECT_NE(CheckpointStore::CorpusChecksum(tweaked), base);
+  tweaked = corpus;
+  tweaked[0].start_day = 11;
+  EXPECT_NE(CheckpointStore::CorpusChecksum(tweaked), base);
+  tweaked = corpus;
+  tweaked[0].values[1] = 2.5;
+  EXPECT_NE(CheckpointStore::CorpusChecksum(tweaked), base);
+  EXPECT_EQ(CheckpointStore::CorpusChecksum(corpus), base);
+}
+
+}  // namespace
+}  // namespace s2::ckpt

@@ -1,0 +1,159 @@
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ckpt/checkpoint_store.h"
+#include "ckpt/snapshot.h"
+#include "common/rng.h"
+#include "fuzz_util.h"
+#include "io/env.h"
+
+namespace s2::ckpt {
+namespace {
+
+// Corruption fuzzing for the checkpoint family: any mutation of the
+// MANIFEST or of a snapshot file must come back from `Load` as a Status
+// (or a clean fallback to the previous generation) — never a crash,
+// out-of-bounds read, or runaway allocation. The sanitizer configurations
+// of the durability profile turn latent UB here into hard failures.
+
+EngineSnapshot MakeSnapshot(uint64_t tag) {
+  EngineSnapshot snapshot;
+  snapshot.anchor_appends = 100 + tag;
+  snapshot.anchor_monitor_ops = 10 + tag;
+  snapshot.next_subscription_id = 3 + tag;
+  for (int s = 0; s < 3; ++s) {
+    ts::TimeSeries series;
+    series.name = "series-" + std::to_string(s);
+    series.start_day = static_cast<int32_t>(tag) + s;
+    series.values.assign(8, 0.25 * static_cast<double>(tag + s));
+    snapshot.corpus.push_back(std::move(series));
+  }
+  return snapshot;
+}
+
+// Commits generations 1 and 2 into a fresh family rooted at `base` and
+// returns the store.
+CheckpointStore MakeFamily(const std::string& base) {
+  CheckpointStore store(io::Env::Default(), base);
+  for (uint64_t tag : {1ull, 2ull}) {
+    const Status status =
+        store.Commit(MakeSnapshot(tag), /*shard_count=*/1,
+                     {CheckpointStore::CorpusChecksum(MakeSnapshot(tag).corpus)},
+                     /*data_segments=*/{}, /*monitor_segments=*/{},
+                     /*manifest_out=*/nullptr);
+    EXPECT_TRUE(status.ok()) << status.ToString();
+  }
+  return store;
+}
+
+void RemoveFamily(const CheckpointStore& store) {
+  std::remove(store.ManifestPath().c_str());
+  std::remove(store.SnapshotPath(1).c_str());
+  std::remove(store.SnapshotPath(2).c_str());
+}
+
+// A loaded result, however the mutation landed, must be one of the two
+// committed generations, bit-exact.
+void ExpectCommittedGeneration(const CheckpointStore::Loaded& loaded) {
+  const uint64_t tag = loaded.from_fallback ? 1 : 2;
+  const EngineSnapshot want = MakeSnapshot(tag);
+  EXPECT_EQ(loaded.snapshot.anchor_appends, want.anchor_appends);
+  EXPECT_EQ(loaded.snapshot.anchor_monitor_ops, want.anchor_monitor_ops);
+  EXPECT_EQ(loaded.snapshot.next_subscription_id, want.next_subscription_id);
+  ASSERT_EQ(loaded.snapshot.corpus.size(), want.corpus.size());
+  for (size_t i = 0; i < want.corpus.size(); ++i) {
+    EXPECT_EQ(loaded.snapshot.corpus[i].name, want.corpus[i].name);
+    EXPECT_EQ(loaded.snapshot.corpus[i].start_day, want.corpus[i].start_day);
+    EXPECT_EQ(loaded.snapshot.corpus[i].values, want.corpus[i].values);
+  }
+}
+
+TEST(FuzzManifest, MutatedManifestNeverCrashesLoad) {
+  s2::Rng rng(0xAB1EFE57);
+  CheckpointStore store = MakeFamily(fuzz::TempPath("s2_fuzz_manifest"));
+  const std::vector<char> image = fuzz::ReadFileBytes(store.ManifestPath());
+  ASSERT_FALSE(image.empty());
+
+  for (int round = 0; round < 200; ++round) {
+    fuzz::WriteFileBytes(store.ManifestPath(), fuzz::Mutate(image, &rng));
+    const Result<CheckpointStore::Loaded> loaded = store.Load();
+    if (loaded.ok()) {
+      ExpectCommittedGeneration(*loaded);
+    } else {
+      EXPECT_TRUE(loaded.status().code() == StatusCode::kCorruption ||
+                  loaded.status().code() == StatusCode::kNotFound)
+          << loaded.status().ToString();
+    }
+  }
+  RemoveFamily(store);
+}
+
+TEST(FuzzManifest, MutatedCurrentSnapshotFallsBackOrFailsCleanly) {
+  s2::Rng rng(0x5E0712AD);
+  CheckpointStore store =
+      MakeFamily(fuzz::TempPath("s2_fuzz_manifest_snap"));
+  const std::vector<char> image = fuzz::ReadFileBytes(store.SnapshotPath(2));
+  ASSERT_FALSE(image.empty());
+
+  for (int round = 0; round < 200; ++round) {
+    fuzz::WriteFileBytes(store.SnapshotPath(2), fuzz::Mutate(image, &rng));
+    const Result<CheckpointStore::Loaded> loaded = store.Load();
+    // The previous generation is pristine, so most mutations resolve to a
+    // clean fallback; a mutation the container doesn't notice (flipping a
+    // byte to itself) loads the current generation. Either way the result
+    // is a committed generation, bit-exact.
+    if (loaded.ok()) {
+      ExpectCommittedGeneration(*loaded);
+    } else {
+      EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption)
+          << loaded.status().ToString();
+    }
+  }
+  RemoveFamily(store);
+}
+
+TEST(FuzzManifest, BothGenerationsMutatedNeverCrashesLoad) {
+  s2::Rng rng(0xD00DFEED);
+  CheckpointStore store =
+      MakeFamily(fuzz::TempPath("s2_fuzz_manifest_both"));
+  const std::vector<char> current = fuzz::ReadFileBytes(store.SnapshotPath(2));
+  const std::vector<char> prev = fuzz::ReadFileBytes(store.SnapshotPath(1));
+  ASSERT_FALSE(current.empty());
+  ASSERT_FALSE(prev.empty());
+
+  for (int round = 0; round < 200; ++round) {
+    fuzz::WriteFileBytes(store.SnapshotPath(2), fuzz::Mutate(current, &rng));
+    fuzz::WriteFileBytes(store.SnapshotPath(1), fuzz::Mutate(prev, &rng));
+    const Result<CheckpointStore::Loaded> loaded = store.Load();
+    if (loaded.ok()) {
+      ExpectCommittedGeneration(*loaded);
+    } else {
+      EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption)
+          << loaded.status().ToString();
+    }
+  }
+  RemoveFamily(store);
+}
+
+TEST(FuzzManifest, ManifestTruncationAtEveryBoundaryIsAnError) {
+  CheckpointStore store =
+      MakeFamily(fuzz::TempPath("s2_fuzz_manifest_trunc"));
+  const std::vector<char> image = fuzz::ReadFileBytes(store.ManifestPath());
+  ASSERT_FALSE(image.empty());
+
+  for (size_t cut = 0; cut < image.size(); cut += 7) {
+    fuzz::WriteFileBytes(
+        store.ManifestPath(),
+        std::vector<char>(image.begin(),
+                          image.begin() + static_cast<ptrdiff_t>(cut)));
+    const Result<CheckpointStore::Loaded> loaded = store.Load();
+    EXPECT_FALSE(loaded.ok()) << "cut at " << cut;
+  }
+  RemoveFamily(store);
+}
+
+}  // namespace
+}  // namespace s2::ckpt

@@ -233,5 +233,36 @@ TEST(StreamServerTest, ShardedServerRoutesAppendsToOwnerShards) {
   ASSERT_TRUE(server->sharded().ValidateInvariants().ok());
 }
 
+// With `wal_sync_every > 1` the last few acknowledged appends ride in an
+// open fsync group; a clean `Shutdown` must flush that group so a graceful
+// restart loses nothing. `DropUnsynced` after the shutdown plays the role
+// of the machine stopping right after the process exits — only what was
+// fsynced survives.
+TEST(StreamServerTest, GracefulShutdownFlushesTheOpenSyncGroup) {
+  io::MemEnv wal_env;
+  S2Server::Options options;
+  options.wal_path = "server.wal";
+  options.wal_env = &wal_env;
+  options.compaction_threshold = 0;
+  options.wal_sync_every = 8;
+
+  {
+    std::unique_ptr<S2Server> server = MakeServer(options);
+    // 5 appends: fewer than the sync group, so none of them has forced an
+    // fsync yet when the server stops.
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(server->AppendPoint(4, 100.0 + i).ok());
+    }
+    server->Shutdown();
+  }
+  ASSERT_TRUE(wal_env.DropUnsynced().ok());
+
+  std::unique_ptr<S2Server> revived = MakeServer(options);
+  const auto info = revived->stream_info();
+  EXPECT_EQ(info.replayed_records, 5u);
+  EXPECT_EQ(info.replay_dropped_bytes, 0u);
+  EXPECT_EQ(revived->engine().corpus().at(4).values.back(), 104.0);
+}
+
 }  // namespace
 }  // namespace s2::service

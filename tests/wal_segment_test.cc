@@ -1,0 +1,302 @@
+#include "io/wal_segment.h"
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "io/env.h"
+#include "io/mem_env.h"
+#include "stream/wal.h"
+
+namespace s2::stream {
+namespace {
+
+// 20-byte records; with rotate_bytes = 3 records the 4th append rotates.
+constexpr uint64_t kRecordBytes = Wal::kRecordBytes;
+constexpr uint64_t kRotateBytes = 3 * kRecordBytes;
+
+std::function<Status(const WalRecord&)> CollectInto(
+    std::vector<WalRecord>* out) {
+  return [out](const WalRecord& record) {
+    out->push_back(record);
+    return Status::OK();
+  };
+}
+
+// Appends records 0..n-1 (value = 10*i) to a fresh or existing log that
+// rotates every `kRotateBytes` of record body.
+void AppendN(io::Env* env, const std::string& path, uint32_t n) {
+  Wal::Options options;
+  options.rotate_bytes = kRotateBytes;
+  std::vector<WalRecord> ignored;
+  auto wal = Wal::Open(env, path, CollectInto(&ignored), nullptr, options);
+  ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+  const uint32_t base = static_cast<uint32_t>((*wal)->record_count());
+  for (uint32_t i = base; i < base + n; ++i) {
+    ASSERT_TRUE((*wal)->Append({i, 10.0 * i}).ok());
+  }
+}
+
+TEST(WalSegmentTest, RotationSplitsTheLogAndReplayReadsAcrossSegments) {
+  io::MemEnv env;
+  {
+    Wal::Options options;
+    options.rotate_bytes = kRotateBytes;
+    std::vector<WalRecord> none;
+    auto wal = Wal::Open(&env, "log", CollectInto(&none), nullptr, options);
+    ASSERT_TRUE(wal.ok());
+    for (uint32_t i = 0; i < 10; ++i) {
+      ASSERT_TRUE((*wal)->Append({i, 10.0 * i}).ok());
+    }
+    // Records 0-2 fill the base, then every 3 appends seal a segment:
+    // base + .seg1(3-5) + .seg2(6-8) + .seg3(9).
+    const auto& segments = (*wal)->segments();
+    ASSERT_EQ(segments.size(), 4u);
+    EXPECT_EQ(segments[0].seq, 0u);
+    EXPECT_EQ(segments[0].base_records, 0u);
+    EXPECT_EQ(segments[1].base_records, 3u);
+    EXPECT_EQ(segments[2].base_records, 6u);
+    EXPECT_EQ(segments[3].base_records, 9u);
+    EXPECT_TRUE(env.FileExists(io::walseg::SegmentPath("log", 3)));
+  }
+  std::vector<WalRecord> replayed;
+  Wal::ReplayInfo info;
+  Wal::Options options;
+  options.rotate_bytes = kRotateBytes;
+  auto wal = Wal::Open(&env, "log", CollectInto(&replayed), &info, options);
+  ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+  ASSERT_EQ(replayed.size(), 10u);
+  for (uint32_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(replayed[i].series_id, i);
+    EXPECT_DOUBLE_EQ(replayed[i].value, 10.0 * i);
+  }
+  EXPECT_EQ(info.dropped_bytes, 0u);
+  EXPECT_EQ((*wal)->record_count(), 10u);
+  // The reopened handle keeps appending into the live tail segment.
+  ASSERT_TRUE((*wal)->Append({99, -1.0}).ok());
+  EXPECT_EQ((*wal)->record_count(), 11u);
+}
+
+TEST(WalSegmentTest, ReplayFromDeliversOnlyTheTailPastTheAnchor) {
+  io::MemEnv env;
+  AppendN(&env, "log", 10);
+  std::vector<WalRecord> replayed;
+  Wal::ReplayInfo info;
+  Wal::Options options;
+  options.rotate_bytes = kRotateBytes;
+  options.replay_from = 4;
+  auto wal = Wal::Open(&env, "log", CollectInto(&replayed), &info, options);
+  ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+  // Records 0-3 are verified but not delivered; 4-9 replay.
+  ASSERT_EQ(replayed.size(), 6u);
+  EXPECT_EQ(replayed.front().series_id, 4u);
+  EXPECT_EQ(replayed.back().series_id, 9u);
+  EXPECT_EQ(info.records, 6u);
+  // record_count still counts the whole history, anchor included.
+  EXPECT_EQ((*wal)->record_count(), 10u);
+}
+
+TEST(WalSegmentTest, GcUnlinksRetiredSegmentsAndAnchoredReplayStillWorks) {
+  io::MemEnv env;
+  AppendN(&env, "log", 10);
+  {
+    Wal::Options options;
+    options.rotate_bytes = kRotateBytes;
+    std::vector<WalRecord> ignored;
+    auto wal = Wal::Open(&env, "log", CollectInto(&ignored), nullptr, options);
+    ASSERT_TRUE(wal.ok());
+    // Safe point 6: base (0-2) and .seg1 (3-5) lie wholly below it.
+    auto removed = (*wal)->RemoveObsoleteSegments(6);
+    ASSERT_TRUE(removed.ok()) << removed.status().ToString();
+    EXPECT_EQ(*removed, 2u);
+    EXPECT_EQ((*wal)->segments().size(), 2u);
+    EXPECT_FALSE(env.FileExists("log"));
+    EXPECT_FALSE(env.FileExists(io::walseg::SegmentPath("log", 1)));
+    // Idempotent: nothing else lies below the safe point.
+    auto again = (*wal)->RemoveObsoleteSegments(6);
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(*again, 0u);
+  }
+  // Replay from the anchor succeeds over the surviving suffix...
+  {
+    std::vector<WalRecord> replayed;
+    Wal::Options options;
+    options.rotate_bytes = kRotateBytes;
+    options.replay_from = 6;
+    auto wal = Wal::Open(&env, "log", CollectInto(&replayed), nullptr, options);
+    ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+    ASSERT_EQ(replayed.size(), 4u);
+    EXPECT_EQ(replayed.front().series_id, 6u);
+  }
+  // ...but a full replay can no longer reach the unlinked history.
+  {
+    std::vector<WalRecord> replayed;
+    auto wal = Wal::Open(&env, "log", CollectInto(&replayed));
+    ASSERT_FALSE(wal.ok());
+    EXPECT_EQ(wal.status().code(), StatusCode::kCorruption);
+  }
+}
+
+TEST(WalSegmentTest, AnchorBeyondHistoryIsCorruption) {
+  io::MemEnv env;
+  AppendN(&env, "log", 5);
+  std::vector<WalRecord> replayed;
+  Wal::Options options;
+  options.rotate_bytes = kRotateBytes;
+  options.replay_from = 11;  // Only 5 records exist.
+  auto wal = Wal::Open(&env, "log", CollectInto(&replayed), nullptr, options);
+  ASSERT_FALSE(wal.ok());
+  EXPECT_EQ(wal.status().code(), StatusCode::kCorruption);
+}
+
+TEST(WalSegmentTest, InvalidLastHeaderIsACrashedRotationArtifact) {
+  io::MemEnv env;
+  AppendN(&env, "log", 7);  // base(0-2), .seg1(3-5), .seg2(6).
+  // Tear the newest segment's header as a crash mid-rotation would: the
+  // header checksum fails, so the open must fall back to .seg1 as the live
+  // tail, dropping the artifact's bytes (header + its one record).
+  {
+    auto file =
+        env.Open(io::walseg::SegmentPath("log", 2), io::OpenMode::kReadWrite);
+    ASSERT_TRUE(file.ok());
+    char byte = 0;
+    ASSERT_TRUE((*file)->ReadAt(&byte, 1, 3).ok());
+    byte ^= 0x5a;
+    ASSERT_TRUE((*file)->WriteAt(&byte, 1, 3).ok());
+  }
+  std::vector<WalRecord> replayed;
+  Wal::ReplayInfo info;
+  Wal::Options options;
+  options.rotate_bytes = kRotateBytes;
+  auto wal = Wal::Open(&env, "log", CollectInto(&replayed), &info, options);
+  ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+  ASSERT_EQ(replayed.size(), 6u);
+  EXPECT_EQ(replayed.back().series_id, 5u);
+  EXPECT_GT(info.dropped_bytes, 0u);
+  // The next rotation overwrites the artifact at the same seq.
+  for (uint32_t i = 6; i < 10; ++i) {
+    ASSERT_TRUE((*wal)->Append({i, 10.0 * i}).ok());
+  }
+  std::vector<WalRecord> again;
+  auto reopened = Wal::Open(&env, "log", CollectInto(&again), nullptr, options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  ASSERT_EQ(again.size(), 10u);
+  EXPECT_EQ(again.back().series_id, 9u);
+}
+
+TEST(WalSegmentTest, MissingMiddleSegmentIsCorruption) {
+  io::MemEnv env;
+  AppendN(&env, "log", 10);
+  ASSERT_TRUE(env.Remove(io::walseg::SegmentPath("log", 1)).ok());
+  std::vector<WalRecord> replayed;
+  Wal::Options options;
+  options.rotate_bytes = kRotateBytes;
+  auto wal = Wal::Open(&env, "log", CollectInto(&replayed), nullptr, options);
+  ASSERT_FALSE(wal.ok());
+  EXPECT_EQ(wal.status().code(), StatusCode::kCorruption);
+}
+
+TEST(WalSegmentTest, TornRecordInASealedSegmentIsCorruption) {
+  io::MemEnv env;
+  AppendN(&env, "log", 10);
+  // Flip a record byte in .seg1 — not the live tail, so the chain break
+  // means acknowledged data is gone: the open must refuse, not drop.
+  {
+    auto file =
+        env.Open(io::walseg::SegmentPath("log", 1), io::OpenMode::kReadWrite);
+    ASSERT_TRUE(file.ok());
+    char byte = 0;
+    const uint64_t off = io::walseg::kSegmentHeaderBytes + 2;
+    ASSERT_TRUE((*file)->ReadAt(&byte, 1, off).ok());
+    byte ^= 0x5a;
+    ASSERT_TRUE((*file)->WriteAt(&byte, 1, off).ok());
+  }
+  std::vector<WalRecord> replayed;
+  Wal::Options options;
+  options.rotate_bytes = kRotateBytes;
+  auto wal = Wal::Open(&env, "log", CollectInto(&replayed), nullptr, options);
+  ASSERT_FALSE(wal.ok());
+  EXPECT_EQ(wal.status().code(), StatusCode::kCorruption);
+}
+
+TEST(WalSegmentTest, TornTailInTheLiveSegmentIsDroppedAsBefore) {
+  io::MemEnv env;
+  AppendN(&env, "log", 8);  // Live tail .seg2 holds records 6, 7.
+  {
+    auto file =
+        env.Open(io::walseg::SegmentPath("log", 2), io::OpenMode::kReadWrite);
+    ASSERT_TRUE(file.ok());
+    char byte = 0;
+    const uint64_t off =
+        io::walseg::kSegmentHeaderBytes + kRecordBytes + 12;  // Record 7's sum.
+    ASSERT_TRUE((*file)->ReadAt(&byte, 1, off).ok());
+    byte ^= 0x5a;
+    ASSERT_TRUE((*file)->WriteAt(&byte, 1, off).ok());
+  }
+  std::vector<WalRecord> replayed;
+  Wal::ReplayInfo info;
+  Wal::Options options;
+  options.rotate_bytes = kRotateBytes;
+  auto wal = Wal::Open(&env, "log", CollectInto(&replayed), &info, options);
+  ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+  ASSERT_EQ(replayed.size(), 7u);
+  EXPECT_EQ(info.dropped_bytes, kRecordBytes);
+  EXPECT_EQ((*wal)->record_count(), 7u);
+}
+
+TEST(WalSegmentTest, ListSegmentsReadsAClosedLogOffDisk) {
+  io::MemEnv env;
+  AppendN(&env, "log", 10);
+  auto listed = Wal::ListSegments(&env, "log");
+  ASSERT_TRUE(listed.ok()) << listed.status().ToString();
+  ASSERT_EQ(listed->size(), 4u);
+  EXPECT_EQ((*listed)[0].path, "log");
+  EXPECT_EQ((*listed)[3].seq, 3u);
+  EXPECT_EQ((*listed)[3].base_records, 9u);
+}
+
+TEST(WalSegmentTest, SegmentPathRoundTripsThroughParse) {
+  const std::string path = io::walseg::SegmentPath("dir/wal", 42);
+  EXPECT_EQ(path, "dir/wal.seg000042");
+  uint64_t seq = 0;
+  EXPECT_TRUE(io::walseg::ParseSegmentSeq("dir/wal", path, &seq));
+  EXPECT_EQ(seq, 42u);
+  EXPECT_FALSE(io::walseg::ParseSegmentSeq("dir/wal", "dir/wal.segXYZ", &seq));
+  EXPECT_FALSE(io::walseg::ParseSegmentSeq("dir/wal", "dir/wal.monitor", &seq));
+}
+
+TEST(WalSegmentTest, HeaderCodecRejectsDamage) {
+  const char magic[8] = {'S', '2', 'T', 'E', 'S', 'T', '0', '1'};
+  io::walseg::SegmentHeader header;
+  header.seq = 7;
+  header.base_records = 1234;
+  header.chain_seed = 0xdeadbeefu;
+  char buf[io::walseg::kSegmentHeaderBytes];
+  io::walseg::EncodeSegmentHeader(magic, header, buf);
+  io::walseg::SegmentHeader decoded;
+  ASSERT_TRUE(io::walseg::DecodeSegmentHeader(magic, buf, sizeof(buf), &decoded)
+                  .ok());
+  EXPECT_EQ(decoded.seq, 7u);
+  EXPECT_EQ(decoded.base_records, 1234u);
+  EXPECT_EQ(decoded.chain_seed, 0xdeadbeefu);
+  // Short input.
+  EXPECT_EQ(io::walseg::DecodeSegmentHeader(magic, buf, 16, &decoded).code(),
+            StatusCode::kCorruption);
+  // Any flipped byte breaks either the magic or the checksum.
+  for (size_t at : {0u, 9u, 20u, 33u}) {
+    char damaged[sizeof(buf)];
+    std::memcpy(damaged, buf, sizeof(buf));
+    damaged[at] ^= 0x01;
+    EXPECT_EQ(io::walseg::DecodeSegmentHeader(magic, damaged, sizeof(damaged),
+                                              &decoded)
+                  .code(),
+              StatusCode::kCorruption)
+        << "byte " << at;
+  }
+}
+
+}  // namespace
+}  // namespace s2::stream

@@ -13,6 +13,7 @@
 #        tools/verify_all.sh stream [jobs]
 #        tools/verify_all.sh monitor [jobs]
 #        tools/verify_all.sh analysis [jobs]
+#        tools/verify_all.sh durability [jobs]
 #
 # The `faults` profile is a focused resilience gate: it builds under
 # AddressSanitizer and runs only the fault-injection / crash-safety tests
@@ -48,6 +49,14 @@
 # (concurrency clang-tidy checks) and the concurrency-labelled tests —
 # the sync-layer unit tests (lock-rank inversion/CondVar), the thread-pool
 # and scheduler contract tests, and the racy monitor/shard stress tests.
+#
+# The `durability` profile is the checkpoint/recovery gate: it builds under
+# ASan+UBSan combined (the corruption fuzzers in fuzz_manifest_test.cc and
+# fuzz_wal_segment_test.cc lean on the sanitizers to turn any latent UB in
+# the decoders into hard failures) and runs the durability-labelled tests —
+# snapshot/manifest codecs, WAL segmentation, snapshot+tail equivalence,
+# and the process-level crash-restart chaos sweep — plus one bench_recovery
+# pass that checks the bounded-replay bar.
 set -u
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -156,6 +165,25 @@ if [ "${1:-}" = "analysis" ]; then
   ctest --test-dir "${build_dir}" -L concurrency --output-on-failure -j "${jobs}" \
     || { echo "FAIL [analysis]: concurrency tests" >&2; exit 1; }
   echo "verify_all.sh: analysis profile green."
+  exit 0
+fi
+
+if [ "${1:-}" = "durability" ]; then
+  jobs="${2:-$(nproc 2> /dev/null || echo 4)}"
+  build_dir="${repo_root}/build-verify-durability"
+  echo "==== [durability] ASan+UBSan build + durability-labelled tests + bench_recovery ===="
+  cmake -S "${repo_root}" -B "${build_dir}" \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DS2_SANITIZE=address,undefined > "${build_dir}.configure.log" 2>&1 \
+    || { echo "FAIL [durability]: configure (see ${build_dir}.configure.log)" >&2; exit 1; }
+  cmake --build "${build_dir}" -j "${jobs}" > "${build_dir}.build.log" 2>&1 \
+    || { echo "FAIL [durability]: build (see ${build_dir}.build.log)" >&2; exit 1; }
+  ctest --test-dir "${build_dir}" -L durability --output-on-failure -j "${jobs}" \
+    || { echo "FAIL [durability]: durability tests" >&2; exit 1; }
+  "${build_dir}/bench/bench_recovery" --series 64 --days 64 --appends 600 \
+    --interval 128 --json "${build_dir}/BENCH_recovery.json" \
+    || { echo "FAIL [durability]: bench_recovery" >&2; exit 1; }
+  echo "verify_all.sh: durability profile green."
   exit 0
 fi
 
