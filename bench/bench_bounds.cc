@@ -65,7 +65,7 @@ double CumulativeBound(const std::vector<Pair>& pairs, const MethodSpec& spec,
   return total;
 }
 
-void Run(size_t num_pairs, size_t n_days) {
+void Run(size_t num_pairs, size_t n_days, bench::Json* json_rows) {
   const std::vector<Pair> pairs = MakePairs(num_pairs, n_days, 2020);
   double truth = 0.0;
   for (const Pair& p : pairs) truth += p.truth;
@@ -109,6 +109,13 @@ void Run(size_t num_pairs, size_t n_days) {
       } else {
         std::printf("%-16s %14.0f %14s\n", method.label, lb, "N/A");
       }
+      bench::Json row = bench::Json::Object();
+      row.Add("budget_c", static_cast<uint64_t>(c))
+          .Add("method", method.label)
+          .Add("cumulative_truth", truth)
+          .Add("cumulative_lb", lb);
+      if (std::isfinite(ub)) row.Add("cumulative_ub", ub);
+      json_rows->Push(std::move(row));
     }
     std::printf("LB improvement of best-coefficient methods: %+.2f%%\n",
                 100.0 * (best_lb_best - best_lb_first) / best_lb_first);
@@ -124,16 +131,25 @@ int main(int argc, char** argv) {
   using namespace s2;
   const size_t pairs = bench::ArgSize(argc, argv, "--pairs", 100);
   const size_t n_days = bench::ArgSize(argc, argv, "--days", 1024);
+  const std::string json_path =
+      bench::ArgString(argc, argv, "--json", "BENCH_bounds.json");
   bench::PrintHeader(
       "Figures 20-21: tightness of lower/upper bounds (cumulative distance "
       "over " +
       std::to_string(pairs) + " random pairs, N = " + std::to_string(n_days) +
       ")");
-  Run(pairs, n_days);
+  bench::Json json_rows = bench::Json::Array();
+  Run(pairs, n_days, &json_rows);
   std::printf(
       "\nExpected shape (paper): LB ordering GEMINI < Wang < Best*, with "
       "BestMinError tightest (~6-10%% over Wang); UB ordering BestMinError < "
       "BestMin < Wang (~13-18%% improvement); UB_BestError loose at small "
       "budgets; all LB <= truth <= all UB.\n");
+  bench::WriteJsonFile(json_path,
+                       bench::Json::Object()
+                           .Add("bench", "bench_bounds")
+                           .Add("pairs", static_cast<uint64_t>(pairs))
+                           .Add("days", static_cast<uint64_t>(n_days))
+                           .Add("rows", std::move(json_rows)));
   return 0;
 }

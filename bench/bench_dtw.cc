@@ -30,6 +30,9 @@ int main(int argc, char** argv) {
   const size_t db = bench::ArgSize(argc, argv, "--db", 2048);
   const size_t n_days = bench::ArgSize(argc, argv, "--days", 512);
   const size_t n_queries = bench::ArgSize(argc, argv, "--queries", 20);
+  const std::string json_path =
+      bench::ArgString(argc, argv, "--json", "BENCH_dtw.json");
+  bench::Json json_rows = bench::Json::Array();
 
   bench::PrintHeader(
       "Section 8 extension: exact DTW 1-NN with compressed-UB + LB_Keogh "
@@ -86,6 +89,14 @@ int main(int argc, char** argv) {
                   100.0 * static_cast<double>(db - totals.dtw_computed / n_queries) /
                       static_cast<double>(db),
                   timer.Seconds());
+      json_rows.Push(bench::Json::Object()
+                         .Add("window", static_cast<uint64_t>(window))
+                         .Add("config", config.label)
+                         .Add("dtw_per_query",
+                              static_cast<double>(totals.dtw_computed) / q)
+                         .Add("lb_keogh_per_query",
+                              static_cast<double>(totals.lb_keogh_computed) / q)
+                         .Add("seconds", timer.Seconds()));
     }
   }
 
@@ -94,5 +105,11 @@ int main(int argc, char** argv) {
       "any DTW runs, letting LB_Keogh discard most candidates; the full "
       "cascade computes the DP for only a small fraction of the database "
       "while returning exactly the same neighbors (verified by tests).\n");
+  bench::WriteJsonFile(json_path,
+                       bench::Json::Object()
+                           .Add("bench", "bench_dtw")
+                           .Add("db", static_cast<uint64_t>(db))
+                           .Add("queries", static_cast<uint64_t>(n_queries))
+                           .Add("rows", std::move(json_rows)));
   return 0;
 }

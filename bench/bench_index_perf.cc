@@ -69,6 +69,9 @@ int main(int argc, char** argv) {
   const size_t max_db = bench::ArgSize(argc, argv, "--db", 32768);
   const size_t n_days = bench::ArgSize(argc, argv, "--days", 1024);
   const size_t n_queries = bench::ArgSize(argc, argv, "--queries", 50);
+  const std::string json_path =
+      bench::ArgString(argc, argv, "--json", "BENCH_index_perf.json");
+  bench::Json json_rows = bench::Json::Array();
 
   bench::PrintHeader("Figure 23: 1-NN query time, linear scan vs VP-tree index (" +
                      std::to_string(n_queries) + " queries)");
@@ -136,8 +139,26 @@ int main(int argc, char** argv) {
           static_cast<double>(m.reads) / static_cast<double>(n_queries),
           built->CompressedBytes() / 1024, scan_model / disk_model,
           scan_model / mem_model);
+      json_rows.Push(bench::Json::Object()
+                         .Add("db", static_cast<uint64_t>(db_size))
+                         .Add("budget_c", static_cast<uint64_t>(c))
+                         .Add("scan_model_s", scan_model)
+                         .Add("disk_model_s", disk_model)
+                         .Add("mem_model_s", mem_model)
+                         .Add("fetches_per_query",
+                              static_cast<double>(m.reads) /
+                                  static_cast<double>(n_queries))
+                         .Add("index_kib",
+                              static_cast<uint64_t>(built->CompressedBytes() / 1024))
+                         .Add("speedup_disk", scan_model / disk_model)
+                         .Add("speedup_mem", scan_model / mem_model));
     }
   }
+  bench::WriteJsonFile(json_path, bench::Json::Object()
+                                      .Add("bench", "bench_index_perf")
+                                      .Add("queries", static_cast<uint64_t>(n_queries))
+                                      .Add("days", static_cast<uint64_t>(n_days))
+                                      .Add("rows", std::move(json_rows)));
   std::printf(
       "\nExpected shape (paper): the index answers exact 1-NN >=20x faster "
       "than the linear scan when verification reads come from disk, and >2 "

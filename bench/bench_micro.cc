@@ -1,11 +1,16 @@
 // Google-benchmark microbenchmarks for the performance-critical kernels:
-// FFT, bound computation, B+-tree operations and burst detection.
+// FFT, bound computation, B+-tree operations and burst detection. On top
+// of the normal console run, a reporter shim records every run into
+// BENCH_micro.json through the bench::Json emitter (override the path
+// with --json <path>).
 
 #include <benchmark/benchmark.h>
 
 #include <cmath>
 #include <numbers>
+#include <string>
 
+#include "bench/bench_util.h"
 #include "burst/burst_detector.h"
 #include "common/rng.h"
 #include "dsp/fft.h"
@@ -128,5 +133,46 @@ void BM_BurstDetection(benchmark::State& state) {
 }
 BENCHMARK(BM_BurstDetection);
 
+// Console output as usual, plus one bench::Json row per finished run.
+class JsonTeeReporter : public benchmark::ConsoleReporter {
+ public:
+  JsonTeeReporter() : rows_(bench::Json::Array()) {}
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.error_occurred) continue;
+      bench::Json row = bench::Json::Object()
+                            .Add("name", bench::Json::String(run.benchmark_name()))
+                            .Add("iterations", static_cast<uint64_t>(run.iterations))
+                            .Add("real_ns", run.GetAdjustedRealTime())
+                            .Add("cpu_ns", run.GetAdjustedCPUTime());
+      const auto items = run.counters.find("items_per_second");
+      if (items != run.counters.end()) {
+        row.Add("items_per_second", static_cast<double>(items->second));
+      }
+      rows_.Push(std::move(row));
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+  bench::Json TakeRows() { return std::move(rows_); }
+
+ private:
+  bench::Json rows_;
+};
+
 }  // namespace
 }  // namespace s2
+
+int main(int argc, char** argv) {
+  const std::string json_path =
+      s2::bench::ArgString(argc, argv, "--json", "BENCH_micro.json");
+  benchmark::Initialize(&argc, argv);
+  s2::JsonTeeReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  s2::bench::WriteJsonFile(json_path,
+                           s2::bench::Json::Object()
+                               .Add("bench", "bench_micro")
+                               .Add("rows", reporter.TakeRows()));
+  return 0;
+}

@@ -90,6 +90,9 @@ int main(int argc, char** argv) {
   const size_t max_db = bench::ArgSize(argc, argv, "--db", 32768);
   const size_t n_days = bench::ArgSize(argc, argv, "--days", 1024);
   const size_t n_queries = bench::ArgSize(argc, argv, "--queries", 100);
+  const std::string json_path =
+      bench::ArgString(argc, argv, "--json", "BENCH_pruning.json");
+  bench::Json json_rows = bench::Json::Array();
 
   bench::PrintHeader(
       "Figure 22: fraction of database objects examined for exact 1-NN (" +
@@ -139,11 +142,23 @@ int main(int argc, char** argv) {
                   db_size, c, fractions[0], fractions[1], fractions[2],
                   100.0 * (std::min(fractions[0], fractions[1]) - fractions[2]) /
                       std::min(fractions[0], fractions[1]));
+      json_rows.Push(bench::Json::Object()
+                         .Add("db", static_cast<uint64_t>(db_size))
+                         .Add("budget_c", static_cast<uint64_t>(c))
+                         .Add("fraction_gemini", fractions[0])
+                         .Add("fraction_wang", fractions[1])
+                         .Add("fraction_best_min_error", fractions[2]));
     }
   }
   std::printf(
       "\nExpected shape (paper): BestMinError examines the smallest fraction "
       "(10-35%% fewer objects than the next best method), even though it "
       "uses fewer coefficients for the same memory.\n");
+  bench::WriteJsonFile(json_path,
+                       bench::Json::Object()
+                           .Add("bench", "bench_pruning")
+                           .Add("queries", static_cast<uint64_t>(n_queries))
+                           .Add("days", static_cast<uint64_t>(n_days))
+                           .Add("rows", std::move(json_rows)));
   return 0;
 }

@@ -9,6 +9,7 @@
 #include "diag/validate.h"
 #include "dsp/stats.h"
 #include "dtw/dtw.h"
+#include "simd/simd.h"
 
 namespace s2::core {
 
@@ -19,6 +20,10 @@ Result<S2Engine> S2Engine::Build(ts::Corpus corpus, const Options& options) {
     if (series.size() != length) {
       return Status::InvalidArgument("S2Engine: all series must share one length");
     }
+  }
+
+  if (!options.simd.empty()) {
+    S2_RETURN_NOT_OK(simd::Configure(options.simd));
   }
 
   S2Engine engine;

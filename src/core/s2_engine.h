@@ -95,6 +95,13 @@ class S2Engine {
       bool incremental_maintenance = false;
     };
     StreamOptions stream;
+    /// Kernel dispatch override applied at Build: "" leaves the process
+    /// default (CPUID + the S2_SIMD environment variable), "off"/"scalar"
+    /// force the scalar backend, "sse2"/"avx2"/"neon" pin that backend
+    /// (Unavailable if absent). Dispatch is process-global — every backend
+    /// is bit-compatible, so flipping it never changes results, only
+    /// throughput (see src/simd/simd.h).
+    std::string simd;
   };
 
   /// Ingests `corpus` and builds every derived structure. All series must

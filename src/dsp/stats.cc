@@ -2,29 +2,33 @@
 
 #include <cmath>
 
+#include "simd/simd.h"
+
 namespace s2::dsp {
 
-double Mean(const std::vector<double>& x) {
-  if (x.empty()) return 0.0;
-  double sum = 0.0;
-  for (double v : x) sum += v;
-  return sum / static_cast<double>(x.size());
+double Mean(const double* x, size_t n) {
+  if (n == 0) return 0.0;
+  return simd::Sum(x, n) / static_cast<double>(n);
+}
+
+double Mean(const std::vector<double>& x) { return Mean(x.data(), x.size()); }
+
+double Variance(const double* x, size_t n) {
+  if (n < 2) return 0.0;
+  const double mean = Mean(x, n);
+  return simd::CenteredSumSq(x, n, mean) / static_cast<double>(n);
 }
 
 double Variance(const std::vector<double>& x) {
-  if (x.size() < 2) return 0.0;
-  const double mean = Mean(x);
-  double sum = 0.0;
-  for (double v : x) sum += (v - mean) * (v - mean);
-  return sum / static_cast<double>(x.size());
+  return Variance(x.data(), x.size());
 }
 
-double StdDev(const std::vector<double>& x) { return std::sqrt(Variance(x)); }
+double StdDev(const double* x, size_t n) { return std::sqrt(Variance(x, n)); }
+
+double StdDev(const std::vector<double>& x) { return StdDev(x.data(), x.size()); }
 
 double Energy(const std::vector<double>& x) {
-  double sum = 0.0;
-  for (double v : x) sum += v * v;
-  return sum;
+  return simd::SumSq(x.data(), x.size());
 }
 
 double MeanPower(const std::vector<double>& x) {
@@ -32,13 +36,24 @@ double MeanPower(const std::vector<double>& x) {
   return Energy(x) / static_cast<double>(x.size());
 }
 
+void StandardizeInto(const double* x, size_t n, double* out) {
+  const double stddev = StdDev(x, n);
+  if (stddev == 0.0) {
+    for (size_t i = 0; i < n; ++i) out[i] = 0.0;
+    return;
+  }
+  const double mean = Mean(x, n);
+  simd::Standardize(x, n, mean, stddev, out);
+}
+
 std::vector<double> Standardize(const std::vector<double>& x) {
   std::vector<double> out(x.size(), 0.0);
-  const double stddev = StdDev(x);
-  if (stddev == 0.0) return out;
-  const double mean = Mean(x);
-  for (size_t i = 0; i < x.size(); ++i) out[i] = (x[i] - mean) / stddev;
+  StandardizeInto(x.data(), x.size(), out.data());
   return out;
+}
+
+double SquaredEuclidean(const double* a, const double* b, size_t n) {
+  return simd::SumSqDiff(a, b, n);
 }
 
 Result<double> SquaredEuclidean(const std::vector<double>& a,
@@ -46,12 +61,7 @@ Result<double> SquaredEuclidean(const std::vector<double>& a,
   if (a.size() != b.size()) {
     return Status::InvalidArgument("SquaredEuclidean: length mismatch");
   }
-  double sum = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) {
-    const double d = a[i] - b[i];
-    sum += d * d;
-  }
-  return sum;
+  return SquaredEuclidean(a.data(), b.data(), a.size());
 }
 
 Result<double> Euclidean(const std::vector<double>& a, const std::vector<double>& b) {
@@ -59,17 +69,17 @@ Result<double> Euclidean(const std::vector<double>& a, const std::vector<double>
   return std::sqrt(sq);
 }
 
+double SquaredEuclideanEarlyAbandon(const double* a, const double* b, size_t n,
+                                    double abandon_after_sq) {
+  return simd::SumSqDiffAbandon(a, b, n, abandon_after_sq);
+}
+
 double EuclideanEarlyAbandon(const std::vector<double>& a,
                              const std::vector<double>& b,
                              double abandon_after_sq) {
-  double sum = 0.0;
   const size_t n = a.size() < b.size() ? a.size() : b.size();
-  for (size_t i = 0; i < n; ++i) {
-    const double d = a[i] - b[i];
-    sum += d * d;
-    if (sum > abandon_after_sq) return std::sqrt(sum);
-  }
-  return std::sqrt(sum);
+  return std::sqrt(
+      SquaredEuclideanEarlyAbandon(a.data(), b.data(), n, abandon_after_sq));
 }
 
 }  // namespace s2::dsp

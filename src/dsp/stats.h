@@ -1,20 +1,31 @@
 #ifndef S2_DSP_STATS_H_
 #define S2_DSP_STATS_H_
 
+#include <cstddef>
 #include <vector>
 
 #include "common/result.h"
 
 namespace s2::dsp {
 
+// All kernels below route through s2::simd (DESIGN.md §12): a fixed
+// blocked reduction order that every backend — scalar fallback included —
+// reproduces bit-for-bit, so results do not depend on which ISA dispatch
+// picked. Pointer overloads exist so index leaves can evaluate contiguous
+// row-matrix storage without materializing vectors.
+
 /// Arithmetic mean of `x`; 0 for empty input.
 double Mean(const std::vector<double>& x);
+double Mean(const double* x, size_t n);
 
 /// Population variance (divides by N); 0 for inputs shorter than 2.
+/// Two-pass centered form: non-negative by construction.
 double Variance(const std::vector<double>& x);
+double Variance(const double* x, size_t n);
 
 /// Population standard deviation.
 double StdDev(const std::vector<double>& x);
+double StdDev(const double* x, size_t n);
 
 /// Sum of squares of the elements (the signal energy).
 double Energy(const std::vector<double>& x);
@@ -26,23 +37,38 @@ double MeanPower(const std::vector<double>& x);
 ///
 /// This is the standardization the paper applies before feature extraction to
 /// "compensate for the variation of counts for different queries". A constant
-/// sequence (stddev == 0) standardizes to all zeros.
+/// sequence (stddev == 0) standardizes to all zeros — never NaN.
 std::vector<double> Standardize(const std::vector<double>& x);
+
+/// Standardize into caller storage; `out` must hold `n` doubles and may
+/// alias `x`. Same zero-variance contract as Standardize.
+void StandardizeInto(const double* x, size_t n, double* out);
 
 /// Squared Euclidean distance between equal-length sequences.
 /// Returns InvalidArgument on length mismatch.
 Result<double> SquaredEuclidean(const std::vector<double>& a,
                                 const std::vector<double>& b);
+double SquaredEuclidean(const double* a, const double* b, size_t n);
 
 /// Euclidean distance between equal-length sequences.
 Result<double> Euclidean(const std::vector<double>& a, const std::vector<double>& b);
 
-/// Partial Euclidean distance with early abandoning: accumulates squared
-/// differences and stops as soon as the running sum exceeds
-/// `abandon_after_sq` (pass +infinity to disable). Returns the exact distance
-/// when it is below the threshold, and any value > sqrt(abandon_after_sq)
-/// otherwise. Used by the linear-scan baseline and kNN verification, matching
-/// the early-termination optimization described in the paper's Section 7.4.
+/// Squared Euclidean distance with early abandoning. The partial sum is
+/// checked against `abandon_after_sq` every 16 elements (pass +infinity to
+/// disable); because partial sums of squares are monotone nondecreasing,
+/// the result is <= abandon_after_sq exactly when it is the complete
+/// squared distance. Callers must gate in the squared domain
+/// (`sq <= threshold * threshold`) rather than comparing sqrt(sq) against
+/// a threshold: sqrt can round an abandoned partial sum down onto the
+/// threshold and smuggle a truncated distance past the gate (the
+/// index/vp_tree.cc pruning-exactness audit that motivated this API).
+double SquaredEuclideanEarlyAbandon(const double* a, const double* b, size_t n,
+                                    double abandon_after_sq);
+
+/// sqrt of SquaredEuclideanEarlyAbandon over the common prefix of a and b.
+/// Returns the exact distance when the squared sum stayed within
+/// `abandon_after_sq`, and some value > sqrt(abandon_after_sq) otherwise.
+/// Prefer the squared variant for gating (see above).
 double EuclideanEarlyAbandon(const std::vector<double>& a,
                              const std::vector<double>& b,
                              double abandon_after_sq);

@@ -5,6 +5,8 @@
 #include <deque>
 #include <limits>
 
+#include "simd/simd.h"
+
 namespace s2::dtw {
 
 namespace {
@@ -21,13 +23,21 @@ Result<double> DtwDistance(const std::vector<double>& a,
 Result<double> DtwDistanceEarlyAbandon(const std::vector<double>& a,
                                        const std::vector<double>& b,
                                        size_t window, double abandon_after) {
+  const double abandon_sq =
+      std::isinf(abandon_after) ? kInf : abandon_after * abandon_after;
+  S2_ASSIGN_OR_RETURN(double sq,
+                      DtwDistanceEarlyAbandonSq(a, b, window, abandon_sq));
+  return std::sqrt(sq);
+}
+
+Result<double> DtwDistanceEarlyAbandonSq(const std::vector<double>& a,
+                                         const std::vector<double>& b,
+                                         size_t window, double abandon_sq) {
   if (a.empty() || a.size() != b.size()) {
     return Status::InvalidArgument("DtwDistance: sequences must be equal, non-empty");
   }
   const size_t n = a.size();
   const size_t w = window == 0 ? n : std::max<size_t>(window, 1);
-  const double abandon_sq =
-      std::isinf(abandon_after) ? kInf : abandon_after * abandon_after;
 
   // Rolling rows of the DP matrix; cells outside the band stay +inf.
   std::vector<double> prev(n, kInf);
@@ -53,12 +63,12 @@ Result<double> DtwDistanceEarlyAbandon(const std::vector<double>& a,
     }
     if (row_min > abandon_sq) {
       // Every continuation can only grow; report a value above the radius.
-      return std::sqrt(row_min);
+      return row_min;
     }
     std::swap(prev, curr);
     std::fill(curr.begin(), curr.end(), kInf);
   }
-  return std::sqrt(prev[n - 1]);
+  return prev[n - 1];
 }
 
 Result<Envelope> ComputeEnvelope(const std::vector<double>& q, size_t window) {
@@ -94,24 +104,24 @@ Result<Envelope> ComputeEnvelope(const std::vector<double>& q, size_t window) {
 Result<double> LbKeogh(const Envelope& query_envelope,
                        const std::vector<double>& candidate,
                        double abandon_after) {
+  const double abandon_sq =
+      std::isinf(abandon_after) ? kInf : abandon_after * abandon_after;
+  S2_ASSIGN_OR_RETURN(double sq,
+                      LbKeoghSq(query_envelope, candidate, abandon_sq));
+  return std::sqrt(sq);
+}
+
+Result<double> LbKeoghSq(const Envelope& query_envelope,
+                         const std::vector<double>& candidate,
+                         double abandon_sq) {
   const size_t n = candidate.size();
   if (n == 0 || query_envelope.upper.size() != n ||
       query_envelope.lower.size() != n) {
     return Status::InvalidArgument("LbKeogh: shape mismatch");
   }
-  const double abandon_sq =
-      std::isinf(abandon_after) ? kInf : abandon_after * abandon_after;
-  double sum = 0.0;
-  for (size_t i = 0; i < n; ++i) {
-    const double c = candidate[i];
-    if (c > query_envelope.upper[i]) {
-      sum += Sq(c - query_envelope.upper[i]);
-    } else if (c < query_envelope.lower[i]) {
-      sum += Sq(query_envelope.lower[i] - c);
-    }
-    if (sum > abandon_sq) return std::sqrt(sum);
-  }
-  return std::sqrt(sum);
+  return simd::LbKeoghSqAbandon(query_envelope.lower.data(),
+                                query_envelope.upper.data(), candidate.data(),
+                                n, abandon_sq);
 }
 
 }  // namespace s2::dtw

@@ -32,6 +32,16 @@ Result<double> DtwDistanceEarlyAbandon(const std::vector<double>& a,
                                        const std::vector<double>& b,
                                        size_t window, double abandon_after);
 
+/// Squared-domain variant for exact gating: abandons once every cell of a
+/// DP row exceeds `abandon_sq` and returns that row minimum; otherwise
+/// returns the complete squared DTW distance. The result is <= abandon_sq
+/// exactly when it is complete, so callers compare `sq <= radius * radius`
+/// and only sqrt accepted candidates — immune to the sqrt-rounding hazard
+/// described at dsp::SquaredEuclideanEarlyAbandon.
+Result<double> DtwDistanceEarlyAbandonSq(const std::vector<double>& a,
+                                         const std::vector<double>& b,
+                                         size_t window, double abandon_sq);
+
 /// The Keogh warping envelope of a sequence: for each position i,
 ///   upper[i] = max(q[i-w .. i+w]),  lower[i] = min(q[i-w .. i+w])
 /// (clipped at the edges). Computed in O(n) with monotonic deques.
@@ -50,6 +60,14 @@ Result<Envelope> ComputeEnvelope(const std::vector<double>& q, size_t window);
 Result<double> LbKeogh(const Envelope& query_envelope,
                        const std::vector<double>& candidate,
                        double abandon_after);
+
+/// Squared LB_Keogh with the s2::simd blocked early-abandon contract: the
+/// partial sum is checked against `abandon_sq` every 16 elements, and the
+/// result is <= abandon_sq exactly when it is the complete squared bound.
+/// Vectorized under the active dispatch, bit-identical across backends.
+Result<double> LbKeoghSq(const Envelope& query_envelope,
+                         const std::vector<double>& candidate,
+                         double abandon_sq);
 
 }  // namespace s2::dtw
 

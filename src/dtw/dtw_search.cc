@@ -131,26 +131,35 @@ Result<std::vector<index::Neighbor>> DtwKnnSearch::Search(
     const double local = std::min(radius, best.Threshold());
     double current = local;
     if (shared != nullptr) current = std::min(current, shared->load());
+    // Gate in the squared domain throughout: LbKeoghSq and the DP both
+    // produce squared values whose early-abandoned partials exceed the
+    // limit by construction, so `sq <= current_sq` accepts exactly the
+    // complete values. Comparing sqrt(sq) against `current` instead can
+    // round an abandoned partial down onto the threshold and admit a
+    // truncated distance (see dsp::SquaredEuclideanEarlyAbandon).
+    const double local_sq = std::isinf(local) ? kInf : local * local;
+    const double current_sq = std::isinf(current) ? kInf : current * current;
     S2_ASSIGN_OR_RETURN(std::vector<double> row, source->Get(scored.id));
     if (options_.use_lb_keogh) {
-      S2_ASSIGN_OR_RETURN(double lb, LbKeogh(envelope, row, current));
+      S2_ASSIGN_OR_RETURN(double lb_sq, LbKeoghSq(envelope, row, current_sq));
       ++stats->lb_keogh_computed;
-      if (lb > current) {
+      if (lb_sq > current_sq) {
         ++stats->lb_keogh_skips;
-        if (lb <= local) ++stats->shared_radius_skips;
+        if (lb_sq <= local_sq) ++stats->shared_radius_skips;
         continue;
       }
     }
-    S2_ASSIGN_OR_RETURN(double dist, DtwDistanceEarlyAbandon(
-                                         row, query, options_.window, current));
+    S2_ASSIGN_OR_RETURN(double dist_sq,
+                        DtwDistanceEarlyAbandonSq(row, query, options_.window,
+                                                  current_sq));
     ++stats->dtw_computed;
-    // An abandoned DP returns a truncated value > current; it must not enter
-    // the result list. Dropping any dist > current is safe even while the
-    // list is unfilled: the seeded radius certifies that k objects with true
-    // DTW <= radius exist globally and the merge only needs distances that
-    // can still reach the global top-k.
-    if (dist <= current) {
-      best.Offer(scored.id, dist);
+    // An abandoned DP returns a truncated value > current_sq; it must not
+    // enter the result list. Dropping any dist_sq > current_sq is safe even
+    // while the list is unfilled: the seeded radius certifies that k objects
+    // with true DTW <= radius exist globally and the merge only needs
+    // distances that can still reach the global top-k.
+    if (dist_sq <= current_sq) {
+      best.Offer(scored.id, std::sqrt(dist_sq));
       if (shared != nullptr && best.Full()) shared->Tighten(best.Threshold());
     }
   }

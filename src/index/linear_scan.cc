@@ -1,11 +1,21 @@
 #include "index/linear_scan.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
+#include <vector>
 
 #include "dsp/stats.h"
+#include "simd/simd.h"
 
 namespace s2::index {
+
+namespace {
+// Rows fetched per GetBatch: large enough that a disk-backed source turns
+// the scan into spanning sequential reads, small enough that the flat
+// buffer stays cache-resident while the distance kernel walks it.
+constexpr size_t kScanBatch = 16;
+}  // namespace
 
 Result<std::vector<Neighbor>> LinearScan::Search(const std::vector<double>& query,
                                                  size_t k) const {
@@ -15,15 +25,28 @@ Result<std::vector<Neighbor>> LinearScan::Search(const std::vector<double>& quer
   }
   BestList best(k);
   const size_t n = source_->num_series();
-  for (size_t id = 0; id < n; ++id) {
-    S2_ASSIGN_OR_RETURN(std::vector<double> row,
-                        source_->Get(static_cast<ts::SeriesId>(id)));
-    const double threshold = best.Threshold();
-    const double abandon_sq = std::isinf(threshold)
-                                  ? std::numeric_limits<double>::infinity()
-                                  : threshold * threshold;
-    const double dist = dsp::EuclideanEarlyAbandon(query, row, abandon_sq);
-    best.Offer(static_cast<ts::SeriesId>(id), dist);
+  const size_t len = source_->series_length();
+  std::vector<double> flat;
+  for (size_t base = 0; base < n; base += kScanBatch) {
+    const size_t count = std::min(kScanBatch, n - base);
+    S2_RETURN_NOT_OK(source_->GetBatch(static_cast<ts::SeriesId>(base), count,
+                                       &flat));
+    for (size_t r = 0; r < count; ++r) {
+      const double* row = flat.data() + r * len;
+      if (r + 1 < count) simd::PrefetchRead(row + len);
+      const double threshold = best.Threshold();
+      const double abandon_sq = std::isinf(threshold)
+                                    ? std::numeric_limits<double>::infinity()
+                                    : threshold * threshold;
+      const double dist_sq = dsp::SquaredEuclideanEarlyAbandon(
+          query.data(), row, len, abandon_sq);
+      // Squared-domain gate: the result is <= abandon_sq exactly when it
+      // is the complete squared distance, so abandoned partials never
+      // reach the list (see dsp::SquaredEuclideanEarlyAbandon).
+      if (dist_sq <= abandon_sq) {
+        best.Offer(static_cast<ts::SeriesId>(base + r), std::sqrt(dist_sq));
+      }
+    }
   }
   return std::move(best).Take();
 }

@@ -9,25 +9,33 @@
 #include "common/rng.h"
 #include "diag/validate.h"
 #include "dsp/stats.h"
+#include "repr/row_matrix.h"
+#include "simd/simd.h"
 
 namespace s2::index {
 
 namespace {
 
+double ExactDistance(const double* a, const double* b, size_t n) {
+  return std::sqrt(dsp::SquaredEuclidean(a, b, n));
+}
+
 double ExactDistance(const std::vector<double>& a, const std::vector<double>& b) {
-  return dsp::EuclideanEarlyAbandon(a, b, std::numeric_limits<double>::infinity());
+  const size_t n = a.size() < b.size() ? a.size() : b.size();
+  return ExactDistance(a.data(), b.data(), n);
 }
 
 }  // namespace
 
 struct MvpTreeIndex::Builder {
-  const std::vector<std::vector<double>>& rows;
+  // Contiguous SoA copy of the input rows (see repr::RowMatrix).
+  const repr::RowMatrix& rows;
   const Options& options;
   const std::vector<repr::HalfSpectrum>& spectra;
   std::vector<Node>* nodes;
   Rng rng;
 
-  Builder(const std::vector<std::vector<double>>& r, const Options& o,
+  Builder(const repr::RowMatrix& r, const Options& o,
           const std::vector<repr::HalfSpectrum>& s, std::vector<Node>* n)
       : rows(r), options(o), spectra(s), nodes(n), rng(o.seed) {}
 
@@ -53,7 +61,8 @@ struct MvpTreeIndex::Builder {
         const ts::SeriesId other = ids[static_cast<size_t>(
             rng.UniformInt(0, static_cast<int64_t>(ids.size()) - 1))];
         if (other == cand) continue;
-        dists.push_back(ExactDistance(rows[cand], rows[other]));
+        dists.push_back(
+            ExactDistance(rows.row(cand), rows.row(other), rows.row_length()));
       }
       const double dev = dsp::StdDev(dists);
       if (dev > best_dev) {
@@ -89,10 +98,15 @@ struct MvpTreeIndex::Builder {
     };
     std::vector<DistEntry> entries;
     entries.reserve(ids.size());
-    for (ts::SeriesId id : ids) {
+    const double* vp1_row = rows.row(vp1);
+    const double* vp2_row = rows.row(vp2);
+    const size_t len = rows.row_length();
+    for (size_t i = 0; i < ids.size(); ++i) {
+      const ts::SeriesId id = ids[i];
       if (id == vp1 || id == vp2) continue;
-      entries.push_back({id, ExactDistance(rows[vp1], rows[id]),
-                         ExactDistance(rows[vp2], rows[id])});
+      if (i + 1 < ids.size()) simd::PrefetchRead(rows.row(ids[i + 1]));
+      entries.push_back({id, ExactDistance(vp1_row, rows.row(id), len),
+                         ExactDistance(vp2_row, rows.row(id), len)});
     }
 
     // Split by the median distance to vp1...
@@ -181,7 +195,8 @@ Result<MvpTreeIndex> MvpTreeIndex::Build(const std::vector<std::vector<double>>&
   }
 
   std::vector<Node> nodes;
-  Builder builder(rows, options, spectra, &nodes);
+  const repr::RowMatrix matrix = repr::RowMatrix::FromRows(rows);
+  Builder builder(matrix, options, spectra, &nodes);
   std::vector<ts::SeriesId> ids(rows.size());
   std::iota(ids.begin(), ids.end(), 0u);
   S2_ASSIGN_OR_RETURN(int32_t root, builder.BuildNode(std::move(ids)));
@@ -298,8 +313,13 @@ Result<std::vector<Neighbor>> MvpTreeIndex::Search(const std::vector<double>& qu
     const double abandon_sq = std::isinf(threshold)
                                   ? std::numeric_limits<double>::infinity()
                                   : threshold * threshold;
-    const double dist = dsp::EuclideanEarlyAbandon(query, row, abandon_sq);
-    best.Offer(candidate.id, dist);
+    const double dist_sq = dsp::SquaredEuclideanEarlyAbandon(
+        query.data(), row.data(), query.size(), abandon_sq);
+    // Squared-domain gate; abandoned partials exceed abandon_sq by
+    // construction, so only complete distances reach the list.
+    if (dist_sq <= abandon_sq) {
+      best.Offer(candidate.id, std::sqrt(dist_sq));
+    }
   }
   return std::move(best).Take();
 }

@@ -13,27 +13,36 @@
 #include "io/durable.h"
 #include "io/serial.h"
 #include "repr/feature_store.h"
+#include "repr/row_matrix.h"
 #include "dsp/stats.h"
+#include "simd/simd.h"
 
 namespace s2::index {
 
 namespace {
 
 // Exact Euclidean distance used during construction (uncompressed data).
+double ExactDistance(const double* a, const double* b, size_t n) {
+  return std::sqrt(dsp::SquaredEuclidean(a, b, n));
+}
+
 double ExactDistance(const std::vector<double>& a, const std::vector<double>& b) {
-  return dsp::EuclideanEarlyAbandon(a, b, std::numeric_limits<double>::infinity());
+  const size_t n = a.size() < b.size() ? a.size() : b.size();
+  return ExactDistance(a.data(), b.data(), n);
 }
 
 }  // namespace
 
 struct VpTreeIndex::Builder {
-  const std::vector<std::vector<double>>& rows;
+  // Contiguous SoA copy of the input rows: one allocation, fixed stride,
+  // rows the vectorized distance kernel can stream with prefetch.
+  const repr::RowMatrix& rows;
   const VpTreeIndex::Options& options;
   const std::vector<repr::HalfSpectrum>& spectra;
   std::vector<VpTreeIndex::Node>* nodes;
   Rng rng;
 
-  Builder(const std::vector<std::vector<double>>& r,
+  Builder(const repr::RowMatrix& r,
           const VpTreeIndex::Options& o,
           const std::vector<repr::HalfSpectrum>& s,
           std::vector<VpTreeIndex::Node>* n)
@@ -65,7 +74,8 @@ struct VpTreeIndex::Builder {
         const ts::SeriesId other =
             ids[static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(ids.size()) - 1))];
         if (other == cand) continue;
-        dists.push_back(ExactDistance(rows[cand], rows[other]));
+        dists.push_back(
+            ExactDistance(rows.row(cand), rows.row(other), rows.row_length()));
       }
       const double dev = dsp::StdDev(dists);
       if (dev > best_dev) {
@@ -99,9 +109,13 @@ struct VpTreeIndex::Builder {
     };
     std::vector<DistEntry> entries;
     entries.reserve(ids.size() - 1);
-    for (ts::SeriesId id : ids) {
+    const double* vp_row = rows.row(vp);
+    for (size_t i = 0; i < ids.size(); ++i) {
+      const ts::SeriesId id = ids[i];
       if (id == vp) continue;
-      entries.push_back({id, ExactDistance(rows[vp], rows[id])});
+      if (i + 1 < ids.size()) simd::PrefetchRead(rows.row(ids[i + 1]));
+      entries.push_back(
+          {id, ExactDistance(vp_row, rows.row(id), rows.row_length())});
     }
 
     const size_t mid = entries.size() / 2;
@@ -168,7 +182,8 @@ Result<VpTreeIndex> VpTreeIndex::Build(const std::vector<std::vector<double>>& r
   }
 
   std::vector<Node> nodes;
-  Builder builder(rows, options, spectra, &nodes);
+  const repr::RowMatrix matrix = repr::RowMatrix::FromRows(rows);
+  Builder builder(matrix, options, spectra, &nodes);
   std::vector<ts::SeriesId> ids(rows.size());
   std::iota(ids.begin(), ids.end(), 0u);
   S2_ASSIGN_OR_RETURN(int32_t root, builder.BuildNode(std::move(ids)));
@@ -340,14 +355,17 @@ Result<std::vector<Neighbor>> VpTreeIndex::Search(const std::vector<double>& que
     const double abandon_sq = std::isinf(threshold)
                                   ? std::numeric_limits<double>::infinity()
                                   : threshold * threshold;
-    const double dist = dsp::EuclideanEarlyAbandon(query, row, abandon_sq);
-    // EuclideanEarlyAbandon returns a value > threshold when it abandons
-    // mid-sum; such a value is a lower bound on the true distance, not the
-    // distance itself. BestList::Offer would reject it against the local
-    // threshold, but when `shared` is tighter than the local list the
-    // truncated value could wrongly enter — gate on the clamp we used.
-    if (dist <= threshold) {
-      best.Offer(candidate.id, dist);
+    const double dist_sq = dsp::SquaredEuclideanEarlyAbandon(
+        query.data(), row.data(), query.size(), abandon_sq);
+    // Gate in the squared domain: the kernel's result is <= abandon_sq
+    // exactly when it is the complete squared distance (abandoned partials
+    // exceed the limit by construction), so truncated values can never
+    // enter — even when `shared` is tighter than the local list. The old
+    // sqrt-domain gate (`sqrt(sum) <= threshold`) could round an abandoned
+    // partial down onto the threshold and break pruning exactness by an
+    // ulp; comparing sums of squares is airtight.
+    if (dist_sq <= abandon_sq) {
+      best.Offer(candidate.id, std::sqrt(dist_sq));
       if (shared != nullptr && best.Full()) shared->Tighten(best.Threshold());
     }
   }

@@ -1,0 +1,32 @@
+#include "repr/row_matrix.h"
+
+#include <algorithm>
+
+namespace s2::repr {
+
+namespace {
+constexpr size_t kDoublesPerCacheLine = 8;
+
+size_t PaddedStride(size_t row_length) {
+  if (row_length == 0) return kDoublesPerCacheLine;
+  return (row_length + kDoublesPerCacheLine - 1) / kDoublesPerCacheLine *
+         kDoublesPerCacheLine;
+}
+}  // namespace
+
+RowMatrix::RowMatrix(size_t num_rows, size_t row_length)
+    : num_rows_(num_rows),
+      row_length_(row_length),
+      stride_(PaddedStride(row_length)),
+      data_(num_rows * stride_, 0.0) {}
+
+RowMatrix RowMatrix::FromRows(const std::vector<std::vector<double>>& rows) {
+  const size_t length = rows.empty() ? 0 : rows.front().size();
+  RowMatrix m(rows.size(), length);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::copy(rows[i].begin(), rows[i].end(), m.mutable_row(i));
+  }
+  return m;
+}
+
+}  // namespace s2::repr

@@ -1,0 +1,41 @@
+#ifndef S2_REPR_ROW_MATRIX_H_
+#define S2_REPR_ROW_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace s2::repr {
+
+/// Contiguous row-major matrix of equal-length series: the SoA layout the
+/// index builders and batched leaf evaluation iterate instead of
+/// vector<vector<double>> (one allocation, predictable stride, rows
+/// friendly to simd::PrefetchRead and the vectorized distance kernels).
+/// Rows are padded to a cache-line multiple of doubles; padding is
+/// zero-filled and never read by length-bounded kernels.
+class RowMatrix {
+ public:
+  RowMatrix() = default;
+
+  /// Copies `rows` (assumed rectangular — callers validate shape) into one
+  /// contiguous buffer.
+  static RowMatrix FromRows(const std::vector<std::vector<double>>& rows);
+
+  /// An uninitialized (zero-filled) matrix to fill via mutable_row.
+  RowMatrix(size_t num_rows, size_t row_length);
+
+  size_t num_rows() const { return num_rows_; }
+  size_t row_length() const { return row_length_; }
+
+  const double* row(size_t i) const { return data_.data() + i * stride_; }
+  double* mutable_row(size_t i) { return data_.data() + i * stride_; }
+
+ private:
+  size_t num_rows_ = 0;
+  size_t row_length_ = 0;
+  size_t stride_ = 0;  // row_length_ rounded up to 8 doubles (64 bytes).
+  std::vector<double> data_;
+};
+
+}  // namespace s2::repr
+
+#endif  // S2_REPR_ROW_MATRIX_H_

@@ -1,0 +1,21 @@
+#include "simd/kernels_inl.h"
+
+// NEON is the aarch64 baseline; this TU is only added on aarch64 targets.
+// -ffp-contract=off matters most here: without it the compiler would fuse
+// the generic a*b+c accumulations into fmla and break bit-compatibility
+// with x86 and with the scalar reference.
+#if defined(__aarch64__)
+
+namespace s2::simd {
+
+const KernelTable* NeonTable() {
+  static const KernelTable table =
+      detail::MakeTable<detail::VecNeon>(Isa::kNeon, "neon");
+  return &table;
+}
+
+}  // namespace s2::simd
+
+#else
+#error "kernels_neon.cc requires aarch64"
+#endif

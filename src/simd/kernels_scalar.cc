@@ -1,0 +1,12 @@
+#include "simd/kernels_inl.h"
+
+namespace s2::simd {
+
+// Always present; the reference every other backend must match bit-for-bit.
+const KernelTable* ScalarTable() {
+  static const KernelTable table =
+      detail::MakeTable<detail::VecScalar>(Isa::kScalar, "scalar");
+  return &table;
+}
+
+}  // namespace s2::simd

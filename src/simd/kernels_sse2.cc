@@ -1,0 +1,19 @@
+#include "simd/kernels_inl.h"
+
+// SSE2 is the x86-64 baseline, so this TU needs no special flags; it is
+// only added to the build on x86-64 targets.
+#if defined(__SSE2__)
+
+namespace s2::simd {
+
+const KernelTable* Sse2Table() {
+  static const KernelTable table =
+      detail::MakeTable<detail::VecSse2>(Isa::kSse2, "sse2");
+  return &table;
+}
+
+}  // namespace s2::simd
+
+#else
+#error "kernels_sse2.cc requires SSE2 (x86-64 baseline)"
+#endif

@@ -32,6 +32,16 @@ class SequenceSource {
   /// Fetches the sequence with the given id.
   virtual Result<std::vector<double>> Get(ts::SeriesId id) = 0;
 
+  /// Fetches `count` consecutive sequences starting at `first` into a flat
+  /// row-major buffer (`flat` is resized to `count * series_length()`; row
+  /// r starts at `flat->data() + r * series_length()`). Serves batched
+  /// leaf/scan evaluation over a contiguous layout. Counts as `count`
+  /// record reads. The default loops over `Get` (so wrappers keep their
+  /// semantics, e.g. retry); RAM and disk stores override with straight
+  /// copies / one spanning positioned read.
+  virtual Status GetBatch(ts::SeriesId first, size_t count,
+                          std::vector<double>* flat);
+
   /// Number of sequences available.
   virtual size_t num_series() const = 0;
 
@@ -51,6 +61,8 @@ class InMemorySequenceSource : public SequenceSource {
       std::vector<std::vector<double>> rows);
 
   Result<std::vector<double>> Get(ts::SeriesId id) override;
+  Status GetBatch(ts::SeriesId first, size_t count,
+                  std::vector<double>* flat) override;
   size_t num_series() const override { return rows_.size(); }
   size_t series_length() const override { return length_; }
   uint64_t read_count() const override {
@@ -106,6 +118,8 @@ class DiskSequenceStore : public SequenceSource {
   DiskSequenceStore& operator=(const DiskSequenceStore&) = delete;
 
   Result<std::vector<double>> Get(ts::SeriesId id) override;
+  Status GetBatch(ts::SeriesId first, size_t count,
+                  std::vector<double>* flat) override;
   size_t num_series() const override { return count_; }
   size_t series_length() const override { return length_; }
   uint64_t read_count() const override {

@@ -6,6 +6,8 @@
 #include <numbers>
 #include <utility>
 
+#include "simd/simd.h"
+
 namespace s2::stream {
 
 Result<SlidingSpectrum> SlidingSpectrum::Create(
@@ -52,9 +54,13 @@ Result<SlidingSpectrum> SlidingSpectrum::Create(
 
 void SlidingSpectrum::Slide(double x_old, double x_new) {
   const double delta = (x_new - x_old) / std::sqrt(static_cast<double>(n_));
-  for (size_t i = 0; i < raw_.size(); ++i) {
-    raw_[i] = twiddles_[i] * (raw_[i] + delta);
-  }
+  // Vectorized twiddle rotation over the tracked bins. std::complex is
+  // layout-compatible with double[2], so the kernel works on the arrays in
+  // place; it uses the naive complex product (no Annex-G NaN recovery),
+  // the canonical form every simd backend reproduces bit-for-bit.
+  simd::SlideComplexBins(reinterpret_cast<double*>(raw_.data()),
+                         reinterpret_cast<const double*>(twiddles_.data()),
+                         raw_.size(), delta);
   sum_ += x_new - x_old;
   sumsq_ += x_new * x_new - x_old * x_old;
 }

@@ -1,0 +1,157 @@
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dsp/stats.h"
+#include "stream/sliding_spectrum.h"
+
+// Edge-case audit for the standardization paths (ISSUE 9 satellite):
+// zero-variance windows, single points, and catastrophic cancellation must
+// never leak a NaN into downstream features, in either the batch
+// (dsp::Standardize) or streaming (stream::SlidingSpectrum) pipeline.
+
+namespace s2 {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+void ExpectAllFinite(const std::vector<double>& x) {
+  for (double v : x) EXPECT_TRUE(std::isfinite(v)) << v;
+}
+
+TEST(StandardizeEdgeTest, ZeroVarianceIsAllZeros) {
+  for (double c : {0.0, -0.0, 7.0, -3.5, 1e300, 5e-324}) {
+    const std::vector<double> z = dsp::Standardize({c, c, c, c, c});
+    ASSERT_EQ(z.size(), 5u);
+    for (double v : z) EXPECT_EQ(v, 0.0) << "constant " << c;
+  }
+}
+
+TEST(StandardizeEdgeTest, SinglePointIsZeroNotNan) {
+  const std::vector<double> z = dsp::Standardize({42.0});
+  ASSERT_EQ(z.size(), 1u);
+  EXPECT_EQ(z[0], 0.0);
+  const std::vector<double> empty = dsp::Standardize({});
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(StandardizeEdgeTest, StandardizeIntoMatchesAndAllowsAliasing) {
+  std::vector<double> x = {1.0, 2.0, 3.0, 4.0, 5.0};
+  const std::vector<double> want = dsp::Standardize(x);
+  std::vector<double> out(x.size(), -99.0);
+  dsp::StandardizeInto(x.data(), x.size(), out.data());
+  EXPECT_EQ(out, want);
+  dsp::StandardizeInto(x.data(), x.size(), x.data());  // in place
+  EXPECT_EQ(x, want);
+}
+
+// Huge offset, tiny spread: the one-pass sumsq - mean^2 formula loses all
+// signal here; the two-pass centered form must keep it.
+TEST(StandardizeEdgeTest, CatastrophicCancellationKeepsSignal) {
+  const double base = 1e9;
+  std::vector<double> x;
+  for (int i = 0; i < 64; ++i) x.push_back(base + (i % 2 == 0 ? 1e-3 : -1e-3));
+  EXPECT_GT(dsp::Variance(x), 0.0);
+  const std::vector<double> z = dsp::Standardize(x);
+  ExpectAllFinite(z);
+  // The two alternating levels must standardize to +/-1 (exact population
+  // z-scores of a two-level signal), not collapse to zero.
+  EXPECT_NEAR(z[0], 1.0, 1e-6);
+  EXPECT_NEAR(z[1], -1.0, 1e-6);
+  EXPECT_NEAR(dsp::Mean(z), 0.0, 1e-9);
+  EXPECT_NEAR(dsp::Variance(z), 1.0, 1e-6);
+}
+
+TEST(StandardizeEdgeTest, NearZeroStddevStaysFinite) {
+  // stddev underflows toward denormal but is still > 0: the division must
+  // produce finite (possibly huge) values or the documented all-zeros, but
+  // never NaN.
+  std::vector<double> x(32, 1.0);
+  x[0] = 1.0 + 1e-13;
+  const std::vector<double> z = dsp::Standardize(x);
+  for (double v : z) EXPECT_FALSE(std::isnan(v));
+}
+
+// --- Streaming side: SlidingSpectrum ---
+
+stream::SlidingSpectrum MakeSpectrum(const std::vector<double>& window) {
+  auto r = stream::SlidingSpectrum::Create(window, {1, 2});
+  EXPECT_TRUE(r.ok()) << r.status().message();
+  return std::move(r).value();
+}
+
+TEST(StandardizeEdgeTest, SlidingSpectrumConstantWindowHasZeroSigma) {
+  std::vector<double> window(16, 3.25);
+  stream::SlidingSpectrum s = MakeSpectrum(window);
+  EXPECT_EQ(s.std_dev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.25);
+  // A constant window standardizes to all zeros: the compressed feature
+  // must be exactly zero-energy with zero error, and min_power +inf (the
+  // documented "no periodicity floor" sentinel) — no NaN anywhere.
+  auto feature = s.ToCompressed();
+  ASSERT_TRUE(feature.ok());
+  for (const auto& z : feature->coeffs()) {
+    EXPECT_EQ(z.real(), 0.0);
+    EXPECT_EQ(z.imag(), 0.0);
+  }
+  EXPECT_EQ(feature->error(), 0.0);
+  EXPECT_EQ(feature->min_power(), kInf);
+}
+
+TEST(StandardizeEdgeTest, SlideOntoConstantWindowStaysClean) {
+  // Start varied, slide until the window is constant: the running sumsq
+  // recursion can go slightly negative from rounding; std_dev must clamp
+  // to zero rather than sqrt(-eps) = NaN.
+  std::vector<double> window = {1.0, 5.0, 2.0, 8.0, 3.0, 9.0, 4.0, 6.0};
+  stream::SlidingSpectrum s = MakeSpectrum(window);
+  for (double old : window) s.Slide(old, 2.0);
+  EXPECT_FALSE(std::isnan(s.std_dev()));
+  EXPECT_GE(s.std_dev(), 0.0);
+  EXPECT_NEAR(s.mean(), 2.0, 1e-12);
+  auto feature = s.ToCompressed();
+  ASSERT_TRUE(feature.ok());
+  for (const auto& z : feature->coeffs()) {
+    EXPECT_FALSE(std::isnan(z.real()));
+    EXPECT_FALSE(std::isnan(z.imag()));
+  }
+}
+
+TEST(StandardizeEdgeTest, SlideWithHugeOffsetKeepsFiniteSigma) {
+  // Catastrophic-cancellation stress for the running mean/power pair: a
+  // large common offset with small wiggle. The recursion is allowed to
+  // lose the wiggle (documented limitation of one-pass streaming moments)
+  // but must never produce NaN or negative sigma.
+  std::vector<double> window;
+  for (int i = 0; i < 16; ++i)
+    window.push_back(1e9 + (i % 2 == 0 ? 0.5 : -0.5));
+  stream::SlidingSpectrum s = MakeSpectrum(window);
+  for (int lap = 0; lap < 4; ++lap) {
+    for (int i = 0; i < 16; ++i) {
+      const double old = 1e9 + (i % 2 == 0 ? 0.5 : -0.5);
+      s.Slide(old, 1e9 + (i % 3 == 0 ? 0.25 : -0.25));
+    }
+  }
+  EXPECT_FALSE(std::isnan(s.std_dev()));
+  EXPECT_GE(s.std_dev(), 0.0);
+  EXPECT_TRUE(std::isfinite(s.mean()));
+}
+
+TEST(StandardizeEdgeTest, SlidingSpectrumCreateValidatesPositions) {
+  const std::vector<double> window(16, 1.0);
+  // bins = 16/2 + 1 = 9; positions must be 1 <= count < bins, in range,
+  // strictly ascending.
+  EXPECT_FALSE(stream::SlidingSpectrum::Create(window, {}).ok());
+  EXPECT_FALSE(stream::SlidingSpectrum::Create(window, {9}).ok());
+  EXPECT_FALSE(stream::SlidingSpectrum::Create(window, {2, 2}).ok());
+  EXPECT_FALSE(stream::SlidingSpectrum::Create(window, {3, 1}).ok());
+  EXPECT_FALSE(
+      stream::SlidingSpectrum::Create(window, {0, 1, 2, 3, 4, 5, 6, 7, 8})
+          .ok());
+  EXPECT_TRUE(stream::SlidingSpectrum::Create(window, {0, 1, 8}).ok());
+  EXPECT_FALSE(stream::SlidingSpectrum::Create({}, {1}).ok());
+}
+
+}  // namespace
+}  // namespace s2

@@ -14,6 +14,7 @@
 #        tools/verify_all.sh monitor [jobs]
 #        tools/verify_all.sh analysis [jobs]
 #        tools/verify_all.sh durability [jobs]
+#        tools/verify_all.sh kernels [jobs]
 #
 # The `faults` profile is a focused resilience gate: it builds under
 # AddressSanitizer and runs only the fault-injection / crash-safety tests
@@ -57,6 +58,15 @@
 # snapshot/manifest codecs, WAL segmentation, snapshot+tail equivalence,
 # and the process-level crash-restart chaos sweep — plus one bench_recovery
 # pass that checks the bounded-replay bar.
+#
+# The `kernels` profile is the simd bit-compatibility gate: it builds under
+# ASan+UBSan (misaligned vector loads and out-of-bounds tails become hard
+# failures) and runs the kernels-labelled tests — the differential fuzz
+# harness in simd_kernel_test.cc, the standardization edge cases, and the
+# dispatch-matrix re-runs of the golden/equivalence suites — once with
+# default dispatch and once with S2_SIMD=off, so both sides of every
+# backend-vs-scalar comparison are themselves exercised under sanitizers.
+# (tools/lint.sh discovers src/simd automatically via its `find src` walk.)
 set -u
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -184,6 +194,28 @@ if [ "${1:-}" = "durability" ]; then
     --interval 128 --json "${build_dir}/BENCH_recovery.json" \
     || { echo "FAIL [durability]: bench_recovery" >&2; exit 1; }
   echo "verify_all.sh: durability profile green."
+  exit 0
+fi
+
+if [ "${1:-}" = "kernels" ]; then
+  jobs="${2:-$(nproc 2> /dev/null || echo 4)}"
+  build_dir="${repo_root}/build-verify-kernels"
+  echo "==== [kernels] ASan+UBSan build + kernels-labelled tests, both dispatch modes ===="
+  cmake -S "${repo_root}" -B "${build_dir}" \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DS2_SANITIZE=address,undefined > "${build_dir}.configure.log" 2>&1 \
+    || { echo "FAIL [kernels]: configure (see ${build_dir}.configure.log)" >&2; exit 1; }
+  cmake --build "${build_dir}" -j "${jobs}" > "${build_dir}.build.log" 2>&1 \
+    || { echo "FAIL [kernels]: build (see ${build_dir}.build.log)" >&2; exit 1; }
+  ctest --test-dir "${build_dir}" -L kernels --output-on-failure -j "${jobs}" \
+    || { echo "FAIL [kernels]: kernels tests (default dispatch)" >&2; exit 1; }
+  S2_SIMD=off ctest --test-dir "${build_dir}" -L kernels --output-on-failure \
+    -j "${jobs}" \
+    || { echo "FAIL [kernels]: kernels tests (S2_SIMD=off)" >&2; exit 1; }
+  "${build_dir}/bench/bench_kernels" --reps 2000 \
+    --json "${build_dir}/BENCH_kernels.json" \
+    || { echo "FAIL [kernels]: bench_kernels" >&2; exit 1; }
+  echo "verify_all.sh: kernels profile green."
   exit 0
 fi
 
