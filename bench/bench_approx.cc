@@ -1,0 +1,212 @@
+// The approximate-first tier at scale (DESIGN.md §13): recall-vs-latency
+// trade-off curve of summary-scan + exact-verify against the exact indexed
+// k-NN baseline, on a 2^15-series corpus by default. Each candidate budget
+// row reports measured recall against the exact ground truth, p50/p99
+// latency, the p99 speedup over the exact baseline, and the fraction of
+// queries whose quality bound certified exactness. The acceptance bar:
+// some budget reaches >= 0.95 recall while cutting p99 by >= 5x. Results
+// land in BENCH_approx.json.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "approx/summary.h"
+#include "bench/bench_util.h"
+#include "core/s2_engine.h"
+#include "querylog/corpus_generator.h"
+
+namespace s2 {
+namespace {
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double rank = p * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double Recall(const std::vector<index::Neighbor>& truth,
+              const std::vector<index::Neighbor>& got) {
+  size_t hits = 0;
+  for (const auto& t : truth) {
+    for (const auto& g : got) {
+      if (g.id == t.id) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  return truth.empty() ? 1.0
+                       : static_cast<double>(hits) /
+                             static_cast<double>(truth.size());
+}
+
+volatile double g_sink = 0.0;
+
+}  // namespace
+}  // namespace s2
+
+int main(int argc, char** argv) {
+  using namespace s2;
+  const size_t num_series = bench::ArgSize(argc, argv, "--series", 1u << 15);
+  const size_t n_days = bench::ArgSize(argc, argv, "--days", 128);
+  const size_t num_queries = bench::ArgSize(argc, argv, "--queries", 200);
+  const size_t k = bench::ArgSize(argc, argv, "--k", 10);
+  const std::string json_path =
+      bench::ArgString(argc, argv, "--json", "BENCH_approx.json");
+
+  bench::PrintHeader("approximate-first tier: recall vs latency, " +
+                     std::to_string(num_series) + " series x " +
+                     std::to_string(n_days) + " days, k=" + std::to_string(k));
+
+  qlog::CorpusSpec spec;
+  spec.num_series = num_series;
+  spec.n_days = n_days;
+  spec.seed = 17;
+  auto corpus = qlog::GenerateCorpus(spec);
+  if (!corpus.ok()) {
+    std::fprintf(stderr, "corpus: %s\n", corpus.status().ToString().c_str());
+    return 1;
+  }
+
+  bench::Timer build_timer;
+  core::S2Engine::Options options;
+  auto engine = core::S2Engine::Build(std::move(corpus).ValueOrDie(), options);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "build: %s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+  const double build_s = build_timer.Seconds();
+  std::printf("  engine build: %.2fs (summary: %.2f MiB over %zu dims)\n",
+              build_s,
+              static_cast<double>(engine->summary()->SummaryBytes()) /
+                  (1024.0 * 1024.0),
+              engine->summary()->config().dims);
+
+  // Query sample, spread deterministically over the corpus.
+  std::vector<ts::SeriesId> query_ids;
+  for (size_t q = 0; q < num_queries; ++q) {
+    query_ids.push_back(
+        static_cast<ts::SeriesId>(q * 2654435761u % num_series));
+  }
+
+  // Exact baseline: the indexed (VP-tree) k-NN, which is also the ground
+  // truth for recall.
+  std::vector<std::vector<index::Neighbor>> truth(query_ids.size());
+  std::vector<double> exact_us;
+  double checksum = 0.0;
+  for (size_t q = 0; q < query_ids.size(); ++q) {
+    bench::Timer timer;
+    auto neighbors = engine->SimilarTo(query_ids[q], k);
+    exact_us.push_back(timer.Seconds() * 1e6);
+    if (!neighbors.ok()) {
+      std::fprintf(stderr, "exact: %s\n",
+                   neighbors.status().ToString().c_str());
+      return 1;
+    }
+    checksum += neighbors->front().distance;
+    truth[q] = std::move(neighbors).ValueOrDie();
+  }
+  g_sink = checksum;
+  const double exact_p50 = Percentile(exact_us, 0.50);
+  const double exact_p99 = Percentile(exact_us, 0.99);
+  std::printf("\n  exact baseline: p50 %8.1fus  p99 %8.1fus\n", exact_p50,
+              exact_p99);
+
+  std::printf("\n  %10s %8s %10s %10s %10s %8s %8s\n", "candidates", "recall",
+              "p50_us", "p99_us", "p99_speedup", "exact%", "eps_mean");
+
+  const size_t budgets_raw[] = {64,  128,  256,
+                                512, 1024, std::max<size_t>(1, num_series / 8)};
+  bench::Json rows = bench::Json::Array();
+  bool bar_met = false;
+  std::vector<size_t> seen_budgets;
+  for (size_t budget : budgets_raw) {
+    if (budget >= num_series) continue;
+    if (std::find(seen_budgets.begin(), seen_budgets.end(), budget) !=
+        seen_budgets.end()) {
+      continue;
+    }
+    seen_budgets.push_back(budget);
+    approx::QueryParams params;
+    params.k = k;
+    params.max_candidates = budget;
+    std::vector<double> approx_us;
+    double recall_sum = 0.0, epsilon_sum = 0.0;
+    size_t exact_certified = 0, epsilon_finite = 0;
+    checksum = 0.0;
+    for (size_t q = 0; q < query_ids.size(); ++q) {
+      bench::Timer timer;
+      auto answer = engine->ApproxKnn(query_ids[q], params);
+      approx_us.push_back(timer.Seconds() * 1e6);
+      if (!answer.ok()) {
+        std::fprintf(stderr, "approx: %s\n",
+                     answer.status().ToString().c_str());
+        return 1;
+      }
+      checksum += answer->neighbors.front().distance;
+      recall_sum += Recall(truth[q], answer->neighbors);
+      if (answer->bound.guaranteed_exact) ++exact_certified;
+      if (std::isfinite(answer->bound.epsilon)) {
+        epsilon_sum += answer->bound.epsilon;
+        ++epsilon_finite;
+      }
+    }
+    g_sink = checksum;
+    const double recall = recall_sum / static_cast<double>(query_ids.size());
+    const double p50 = Percentile(approx_us, 0.50);
+    const double p99 = Percentile(approx_us, 0.99);
+    const double speedup = p99 > 0.0 ? exact_p99 / p99 : 0.0;
+    const double exact_frac = static_cast<double>(exact_certified) /
+                              static_cast<double>(query_ids.size());
+    const double eps_mean =
+        epsilon_finite > 0
+            ? epsilon_sum / static_cast<double>(epsilon_finite)
+            : 0.0;
+    std::printf("  %10zu %7.3f%% %9.1f %9.1f %10.2fx %7.1f%% %8.4f\n", budget,
+                recall * 100.0, p50, p99, speedup, exact_frac * 100.0,
+                eps_mean);
+    if (recall >= 0.95 && speedup >= 5.0) bar_met = true;
+    rows.Push(bench::Json::Object()
+                  .Add("max_candidates", static_cast<uint64_t>(budget))
+                  .Add("recall", recall)
+                  .Add("p50_us", p50)
+                  .Add("p99_us", p99)
+                  .Add("p99_speedup", speedup)
+                  .Add("guaranteed_exact_fraction", exact_frac)
+                  .Add("epsilon_mean", eps_mean));
+  }
+
+  bench::WriteJsonFile(
+      json_path,
+      bench::Json::Object()
+          .Add("bench", "bench_approx")
+          .Add("contract",
+               "summary scan + exact verify vs exact indexed kNN; recall "
+               "measured against the exact top-k; bar = some budget with "
+               "recall >= 0.95 and p99 speedup >= 5x")
+          .Add("num_series", static_cast<uint64_t>(num_series))
+          .Add("n_days", static_cast<uint64_t>(n_days))
+          .Add("num_queries", static_cast<uint64_t>(num_queries))
+          .Add("k", static_cast<uint64_t>(k))
+          .Add("summary_dims",
+               static_cast<uint64_t>(engine->summary()->config().dims))
+          .Add("summary_cells",
+               static_cast<uint64_t>(engine->summary()->config().cells))
+          .Add("summary_bytes",
+               static_cast<uint64_t>(engine->summary()->SummaryBytes()))
+          .Add("build_seconds", build_s)
+          .Add("exact_p50_us", exact_p50)
+          .Add("exact_p99_us", exact_p99)
+          .Add("rows", std::move(rows))
+          .Add("p99_5x_recall_95_bar",
+               bench::Json::String(bar_met ? "PASS" : "MISS")));
+  std::printf("\n  5x p99 at >= 0.95 recall bar: %s\n",
+              bar_met ? "PASS" : "MISS");
+  return bar_met ? 0 : 1;
+}

@@ -170,6 +170,10 @@ class Tool {
     } else if (command == "qbb") {
       auto [name, k] = NameAndCount(in, 5);
       QueryByBurst(name, k);
+    } else if (command == "aknn") {
+      Aknn(Rest(in));
+    } else if (command == "approx") {
+      ApproxState();
     } else if (command == "reconstruct") {
       auto [name, c] = NameAndCount(in, 16);
       Reconstruct(name, c);
@@ -261,6 +265,7 @@ class Tool {
     std::printf(
         "  list [prefix] | show <name> | similar <name> [k] | periods <name>\n"
         "  bursts <name> [long|short] | qbb <name> [k] | reconstruct <name> [c]\n"
+        "  aknn <name> [k] [--recall r] [--candidates c] | approx\n"
         "  append <name> <value> | compact | stream | replay\n"
         "  checkpoint | recover | wal-ls\n"
         "  subscribe burst <name> [window [enter [exit]]]\n"
@@ -336,6 +341,113 @@ class Tool {
     }
     std::printf("  [index: %zu bound computations, %zu full fetches]\n",
                 stats.bound_computations, stats.full_retrievals);
+  }
+
+  // `aknn <name> [k] [--recall r] [--candidates c]` — the approximate-first
+  // tier: summary-scan candidates, exactly verified, with the per-query
+  // quality bound printed alongside the answer.
+  void Aknn(const std::string& rest) {
+    std::istringstream tokens(rest);
+    std::vector<std::string> words;
+    std::string word;
+    while (tokens >> word) words.push_back(word);
+    double recall = 0.0;
+    size_t candidates = 0;
+    std::vector<std::string> plain;
+    for (size_t i = 0; i < words.size(); ++i) {
+      if (words[i] == "--recall" && i + 1 < words.size()) {
+        recall = std::strtod(words[++i].c_str(), nullptr);
+      } else if (words[i] == "--candidates" && i + 1 < words.size()) {
+        candidates = std::strtoul(words[++i].c_str(), nullptr, 10);
+      } else {
+        plain.push_back(words[i]);
+      }
+    }
+    size_t k = 10;
+    if (!plain.empty()) {
+      char* end = nullptr;
+      const unsigned long parsed = std::strtoul(plain.back().c_str(), &end, 10);
+      if (end != plain.back().c_str() && *end == '\0') {
+        k = parsed;
+        plain.pop_back();
+      }
+    }
+    std::string name;
+    for (size_t i = 0; i < plain.size(); ++i) {
+      if (i > 0) name += ' ';
+      name += plain[i];
+    }
+    auto id = FindId(name);
+    if (!id.ok()) {
+      std::printf("  %s\n", id.status().ToString().c_str());
+      return;
+    }
+
+    std::vector<index::Neighbor> neighbors;
+    approx::QualityBound quality;
+    if (serving_) {
+      service::QueryRequest request;
+      request.kind = service::RequestKind::kApproxKnn;
+      request.id = *id;
+      request.k = k;
+      request.recall_target = recall;
+      request.max_candidates = candidates;
+      auto ticket = server_->Submit(request);
+      if (!ticket.ok()) {
+        std::printf("  %s\n", ticket.status().ToString().c_str());
+        return;
+      }
+      service::QueryResponse response = ticket->Get();
+      if (!response.status.ok()) {
+        std::printf("  %s\n", response.status.ToString().c_str());
+        return;
+      }
+      neighbors = std::move(response.neighbors);
+      quality = response.quality;
+    } else {
+      approx::QueryParams params;
+      params.k = k;
+      params.recall_target = recall;
+      params.max_candidates = candidates;
+      auto answer = server_->is_sharded()
+                        ? server_->sharded().ApproxKnn(*id, params)
+                        : engine().ApproxKnn(*id, params);
+      if (!answer.ok()) {
+        std::printf("  %s\n", answer.status().ToString().c_str());
+        return;
+      }
+      neighbors = std::move(answer->neighbors);
+      quality = answer->bound;
+    }
+    for (const auto& n : neighbors) {
+      std::printf("  %-24s distance %.2f  %s\n", SeriesAt(n.id).name.c_str(),
+                  n.distance, Spark(SeriesAt(n.id).values, 48).c_str());
+    }
+    if (quality.guaranteed_exact) {
+      std::printf("  [exact: verified %zu of %zu candidates]\n",
+                  quality.candidates, quality.population);
+    } else {
+      std::printf(
+          "  [approximate: epsilon <= %.4f, non-candidates >= %.2f away, "
+          "%zu of %zu verified]\n",
+          quality.epsilon, quality.threshold_lb, quality.candidates,
+          quality.population);
+    }
+  }
+
+  // `approx` — the summary-tier introspection snapshot.
+  void ApproxState() {
+    const service::S2Server::ApproxInfo info = server_->approx_info();
+    if (!info.enabled) {
+      std::printf("  approximate tier disabled\n");
+      return;
+    }
+    std::printf("  summary: %zu dims x %zu cells over %zu series\n",
+                info.summary_dims, info.summary_cells, info.indexed_series);
+    std::printf("  envelopes: %.2f MiB resident\n",
+                static_cast<double>(info.summary_bytes) / (1024.0 * 1024.0));
+    std::printf("  config fingerprint: %016llx\n",
+                static_cast<unsigned long long>(info.config_fingerprint));
   }
 
   // Fires `n` concurrent SimilarTo requests over a hot-key set and prints
@@ -757,6 +869,8 @@ class Tool {
     Show("cinema");
     std::printf("--- similar cinema\n");
     Similar("cinema", 5);
+    std::printf("--- aknn cinema (approximate tier with quality bound)\n");
+    Aknn("cinema 5 --recall 0.95");
     std::printf("--- periods cinema\n");
     Periods("cinema");
     std::printf("--- periods full moon\n");

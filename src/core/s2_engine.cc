@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <limits>
 #include <utility>
 
 #include "diag/check.h"
@@ -91,6 +92,23 @@ Result<S2Engine> S2Engine::Build(ts::Corpus corpus, const Options& options) {
     engine.short_bursts_.Insert(id, short_regions, series.start_day);
   }
 
+  // Approximate tier: adopt the preset config (sharded engines train one on
+  // the full corpus before partitioning) or train on this corpus.
+  if (options.approx.enabled) {
+    approx::SummaryConfig config;
+    if (options.approx.preset_config != nullptr) {
+      config = *options.approx.preset_config;
+    } else {
+      S2_ASSIGN_OR_RETURN(config,
+                          approx::SummaryConfig::Train(engine.standardized_,
+                                                       options.approx.summary));
+    }
+    S2_ASSIGN_OR_RETURN(approx::SummaryIndex summary,
+                        approx::SummaryIndex::Build(std::move(config),
+                                                    engine.standardized_));
+    engine.summary_ = std::make_unique<approx::SummaryIndex>(std::move(summary));
+  }
+
   engine.corpus_ = std::move(corpus);
   S2_DCHECK_OK(engine.ValidateInvariants());
   return engine;
@@ -127,6 +145,12 @@ Status S2Engine::ValidateInvariants() const {
       << "sequence source holds "
       << (source_ == nullptr ? 0 : source_->num_series())
       << " series for a corpus of " << corpus_.size();
+  if (summary_ != nullptr) {
+    S2_RETURN_NOT_OK(summary_->Validate());
+    v.Check(summary_->size() == corpus_.size())
+        << "summary index holds " << summary_->size()
+        << " envelopes for a corpus of " << corpus_.size();
+  }
   return v.ToStatus();
 }
 
@@ -165,6 +189,8 @@ Result<ts::SeriesId> S2Engine::AddSeries(ts::TimeSeries series) {
   S2_ASSIGN_OR_RETURN(std::vector<burst::BurstRegion> short_regions,
                       short_detector_.Detect(series.values));
   short_bursts_.Insert(id, short_regions, series.start_day);
+
+  if (summary_ != nullptr) S2_RETURN_NOT_OK(summary_->Append(z));
 
   standardized_.push_back(std::move(z));
   by_name_.emplace(series.name, id);
@@ -229,6 +255,14 @@ Status S2Engine::AppendPoint(ts::SeriesId id, double value) {
   series.values = std::move(values);
   series.start_day += 1;
   standardized_[id] = std::move(z);
+  // Re-summarize under the frozen config. The envelope is widened to
+  // contain the new projection, so summary pruning stays sound even when
+  // the slid window leaves its training-time cell. The rollback path above
+  // returns before this point, leaving the summary consistent with the
+  // (unchanged) standardized row.
+  if (summary_ != nullptr) {
+    S2_RETURN_NOT_OK(summary_->Update(id, standardized_[id]));
+  }
 
   // 4. Derived state: DTW feature and burst rows of both horizons.
   S2_RETURN_NOT_OK(RefreshDerivedState(id, dropped, value));
@@ -432,6 +466,96 @@ Result<std::vector<index::Neighbor>> S2Engine::SimilarToSeries(
     index::VpTreeIndex::SearchStats* stats) const {
   const std::vector<double> z = dsp::Standardize(raw_values);
   return SearchIndexBoth(z, k, stats, nullptr);
+}
+
+Result<S2Engine::ApproxAnswer> S2Engine::ApproxKnn(
+    ts::SeriesId id, const approx::QueryParams& params,
+    approx::ScanStats* stats) const {
+  if (summary_ == nullptr) {
+    return Status::InvalidArgument(
+        "S2Engine::ApproxKnn: approximate tier disabled at Build");
+  }
+  if (id >= corpus_.size()) return Status::NotFound("S2Engine: bad series id");
+  S2_ASSIGN_OR_RETURN(std::vector<double> proj, ApproxProject(standardized_[id]));
+  // The query itself is excluded from the scan, so the population the
+  // candidates are drawn from is one smaller than the corpus — the same
+  // convention the sharded gather uses, so bounds agree across topologies.
+  const size_t population = summary_->size() - 1;
+  const size_t c =
+      approx::ResolveCandidates(params, population, options_.approx.summary);
+  std::vector<approx::SummaryIndex::Candidate> candidates =
+      summary_->Candidates(proj, c, id, stats);
+  S2_ASSIGN_OR_RETURN(
+      std::vector<index::Neighbor> neighbors,
+      ApproxVerify(standardized_[id], candidates, params.k, stats, nullptr));
+  // Canonical answer order — identical to the sharded gather's merge.
+  std::sort(neighbors.begin(), neighbors.end(),
+            [](const index::Neighbor& a, const index::Neighbor& b) {
+              return a.distance != b.distance ? a.distance < b.distance
+                                              : a.id < b.id;
+            });
+  const double worst_lb_sq = candidates.empty() ? 0.0 : candidates.back().lb_sq;
+  ApproxAnswer answer;
+  answer.bound = approx::BoundFromVerification(worst_lb_sq, candidates.size(),
+                                               population, neighbors, params.k);
+  answer.neighbors = std::move(neighbors);
+  return answer;
+}
+
+Result<std::vector<double>> S2Engine::ApproxProject(
+    const std::vector<double>& z) const {
+  if (summary_ == nullptr) {
+    return Status::InvalidArgument(
+        "S2Engine::ApproxProject: approximate tier disabled at Build");
+  }
+  std::vector<double> proj;
+  S2_RETURN_NOT_OK(summary_->config().Project(z, &proj));
+  return proj;
+}
+
+Result<std::vector<approx::SummaryIndex::Candidate>> S2Engine::ApproxCandidates(
+    const std::vector<double>& proj, size_t c, ts::SeriesId exclude,
+    approx::ScanStats* stats) const {
+  if (summary_ == nullptr) {
+    return Status::InvalidArgument(
+        "S2Engine::ApproxCandidates: approximate tier disabled at Build");
+  }
+  return summary_->Candidates(proj, c, exclude, stats);
+}
+
+Result<std::vector<index::Neighbor>> S2Engine::ApproxVerify(
+    const std::vector<double>& z,
+    const std::vector<approx::SummaryIndex::Candidate>& candidates, size_t k,
+    approx::ScanStats* stats, index::SharedRadius* shared) const {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  index::BestList best(k);
+  // Same loop shape as the VP-tree verification pass, in the squared
+  // domain: candidates arrive ascending by (lb_sq, id), so once the local
+  // list is full and a lower bound clears the local threshold nothing after
+  // it can either. The shared radius only prunes (never terminates) —
+  // another shard's tighter answer says "skip this one", not "stop".
+  for (const approx::SummaryIndex::Candidate& candidate : candidates) {
+    if (candidate.id >= standardized_.size()) {
+      return Status::InvalidArgument(
+          "S2Engine::ApproxVerify: candidate id out of range");
+    }
+    const double local = best.Threshold();
+    double threshold = local;
+    if (shared != nullptr) threshold = std::min(threshold, shared->load());
+    const double local_sq = std::isinf(local) ? kInf : local * local;
+    const double threshold_sq = std::isinf(threshold) ? kInf : threshold * threshold;
+    if (best.Full() && candidate.lb_sq > local_sq) break;
+    if (candidate.lb_sq > threshold_sq) continue;
+    const std::vector<double>& row = standardized_[candidate.id];
+    const double dist_sq = dsp::SquaredEuclideanEarlyAbandon(
+        z.data(), row.data(), std::min(z.size(), row.size()), threshold_sq);
+    if (dist_sq <= threshold_sq) {
+      if (stats != nullptr) ++stats->verified;
+      best.Offer(candidate.id, std::sqrt(dist_sq));
+      if (shared != nullptr && best.Full()) shared->Tighten(best.Threshold());
+    }
+  }
+  return std::move(best).Take();
 }
 
 namespace {

@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "approx/summary.h"
 #include "burst/burst_detector.h"
 #include "burst/burst_table.h"
 #include "common/result.h"
@@ -95,6 +96,22 @@ class S2Engine {
       bool incremental_maintenance = false;
     };
     StreamOptions stream;
+    /// Approximate-first search tier (src/approx, DESIGN.md §13).
+    struct ApproxOptions {
+      /// Builds the summary index at Build time (a few hundred bytes per
+      /// series) and keeps it current through AddSeries/AppendPoint. Off
+      /// disables the ApproxKnn verbs.
+      bool enabled = true;
+      /// Training knobs + candidate-budget defaults.
+      approx::SummaryOptions summary;
+      /// A pre-trained configuration to adopt instead of training on this
+      /// engine's own corpus. The sharded engine trains ONE config on the
+      /// full corpus *before* partitioning and installs it here on every
+      /// shard, so projections and candidate ranks are bit-identical across
+      /// shard counts. Shared and immutable once installed.
+      std::shared_ptr<const approx::SummaryConfig> preset_config;
+    };
+    ApproxOptions approx;
     /// Kernel dispatch override applied at Build: "" leaves the process
     /// default (CPUID + the S2_SIMD environment variable), "off"/"scalar"
     /// force the scalar backend, "sse2"/"avx2"/"neon" pin that backend
@@ -266,6 +283,51 @@ class S2Engine {
       const std::vector<double>& z, size_t k,
       ts::SeriesId exclude = ts::kInvalidSeriesId) const;
 
+  // --- Approximate search (s2::approx, DESIGN.md §13) ------------------------
+
+  /// An approximate answer plus its per-query quality bound.
+  struct ApproxAnswer {
+    std::vector<index::Neighbor> neighbors;
+    approx::QualityBound bound;
+  };
+
+  /// Approximate k-NN of an indexed series (itself excluded): summary scan
+  /// -> candidate set -> exact verification with the early-abandon kernel,
+  /// reporting a per-query quality bound. RAM-only end to end (envelope
+  /// planes + standardized rows) — this path cannot hit disk faults, which
+  /// is why the serving layer's degradation ladder may route to it.
+  /// `params.max_candidates >= corpus size` degenerates to the exact answer
+  /// bit-for-bit.
+  Result<ApproxAnswer> ApproxKnn(ts::SeriesId id,
+                                 const approx::QueryParams& params,
+                                 approx::ScanStats* stats = nullptr) const;
+
+  // Sharded entry points (same pattern as the exact counterparts below):
+  // the owner projects the query ONCE, every shard ranks its own slice's
+  // candidates under the shared global config, and verification runs where
+  // the rows live under one shared radius.
+
+  /// Projects a standardized row under the engine's summary configuration.
+  Result<std::vector<double>> ApproxProject(const std::vector<double>& z) const;
+
+  /// This engine's top-`c` candidates for a projected query, ascending
+  /// (lb_sq, id); `exclude` names a local id to skip.
+  Result<std::vector<approx::SummaryIndex::Candidate>> ApproxCandidates(
+      const std::vector<double>& proj, size_t c,
+      ts::SeriesId exclude = ts::kInvalidSeriesId,
+      approx::ScanStats* stats = nullptr) const;
+
+  /// Exactly verifies `candidates` (ascending (lb_sq, id)) against the RAM
+  /// rows under `shared`, returning the best `k` with exact distances.
+  Result<std::vector<index::Neighbor>> ApproxVerify(
+      const std::vector<double>& z,
+      const std::vector<approx::SummaryIndex::Candidate>& candidates, size_t k,
+      approx::ScanStats* stats = nullptr,
+      index::SharedRadius* shared = nullptr) const;
+
+  /// The summary index, or null when the approximate tier is disabled.
+  const approx::SummaryIndex* summary() const { return summary_.get(); }
+
   // --- Periods ---------------------------------------------------------------
 
   /// Significant periods of an indexed series (descending power).
@@ -340,6 +402,10 @@ class S2Engine {
   storage::DiskSequenceStore* disk_source_ = nullptr;
   std::unordered_map<std::string, ts::SeriesId> by_name_;
   std::unique_ptr<index::VpTreeIndex> index_;
+  // Approximate tier (null when Options::ApproxOptions::enabled is false):
+  // summary envelopes over standardized_, slot == series id, kept current
+  // by AddSeries/AppendPoint under the build-time-frozen config.
+  std::unique_ptr<approx::SummaryIndex> summary_;
   std::unique_ptr<dtw::DtwKnnSearch> dtw_search_;
   std::unique_ptr<storage::SequenceSource> source_;
   burst::BurstDetector long_detector_;

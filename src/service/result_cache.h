@@ -16,6 +16,15 @@
 
 namespace s2::service {
 
+/// Answer-quality tier of a cached response. Part of the cache identity:
+/// an approximate answer (even a `guaranteed_exact` one — the flag is a
+/// per-query observation, not a request-level promise) must never be
+/// served to a request that asked for the exact tier, and vice versa.
+enum class AnswerQuality : uint8_t {
+  kExact = 0,
+  kApproximate = 1,
+};
+
 /// Identity of a cacheable request. Two requests with equal keys must
 /// produce identical responses against an unchanged engine.
 struct CacheKey {
@@ -25,19 +34,25 @@ struct CacheKey {
   size_t k = 0;
   /// BurstHorizon for burst kinds; 0 otherwise.
   int horizon = 0;
-  /// Hash of any extra parameters that shape the answer (reserved for
-  /// external-series queries and per-request engine overrides).
+  /// Answer tier this entry belongs to. Approximate entries additionally
+  /// fold their quality knobs into `param_hash` (different knobs, different
+  /// answers).
+  AnswerQuality quality = AnswerQuality::kExact;
+  /// Hash of any extra parameters that shape the answer (external-series
+  /// queries, approximate-tier quality knobs, per-request engine
+  /// overrides).
   uint64_t param_hash = 0;
 
   friend bool operator==(const CacheKey& a, const CacheKey& b) {
     return a.kind == b.kind && a.id == b.id && a.k == b.k &&
-           a.horizon == b.horizon && a.param_hash == b.param_hash;
+           a.horizon == b.horizon && a.quality == b.quality &&
+           a.param_hash == b.param_hash;
   }
 };
 
 struct CacheKeyHash {
   size_t operator()(const CacheKey& key) const {
-    // FNV-1a over the five fields; cheap and well-mixed for these widths.
+    // FNV-1a over the six fields; cheap and well-mixed for these widths.
     uint64_t h = 1469598103934665603ull;
     const auto mix = [&h](uint64_t v) {
       h ^= v;
@@ -47,6 +62,7 @@ struct CacheKeyHash {
     mix(key.id);
     mix(key.k);
     mix(static_cast<uint64_t>(key.horizon));
+    mix(static_cast<uint64_t>(key.quality));
     mix(key.param_hash);
     return static_cast<size_t>(h);
   }

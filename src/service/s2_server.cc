@@ -1,5 +1,6 @@
 #include "service/s2_server.h"
 
+#include <bit>
 #include <cmath>
 #include <limits>
 #include <string>
@@ -28,6 +29,21 @@ CacheKey KeyFor(const QueryRequest& request) {
                  request.kind == RequestKind::kQueryByBurst)
                     ? static_cast<int>(request.horizon)
                     : 0;
+  if (request.kind == RequestKind::kApproxKnn) {
+    // Approximate answers live under their own cache identity: the quality
+    // tier keeps them from ever serving an exact request, and the knobs are
+    // folded into param_hash because different knobs produce different
+    // candidate sets — different answers.
+    key.quality = AnswerQuality::kApproximate;
+    uint64_t h = 1469598103934665603ull;
+    const auto mix = [&h](uint64_t v) {
+      h ^= v;
+      h *= 1099511628211ull;
+    };
+    mix(std::bit_cast<uint64_t>(request.recall_target));
+    mix(static_cast<uint64_t>(request.max_candidates));
+    key.param_hash = h;
+  }
   return key;
 }
 
@@ -217,6 +233,10 @@ S2Server::S2Server(std::optional<core::S2Engine> engine,
       shard_fanout_(metrics_.counter("server_shard_fanout")),
       shard_prune_hits_(metrics_.counter("server_shard_prune_hits")),
       shard_latency_(metrics_.histogram("server_shard_latency")),
+      approx_queries_(metrics_.counter("approx_queries")),
+      approx_guaranteed_(metrics_.counter("approx_guaranteed_exact")),
+      approx_degraded_(metrics_.counter("approx_degraded")),
+      approx_candidates_(metrics_.histogram("approx_candidates")),
       retry_attempts_(metrics_.counter("server_retry_attempts")),
       retry_giveups_(metrics_.counter("server_retry_giveups")),
       breaker_trips_(metrics_.counter("server_breaker_trips")),
@@ -291,6 +311,25 @@ void S2Server::Dispatch(const QueryRequest& request, QueryResponse* response) {
         Fill(engine_->QueryByBurst(request.id, request.k, request.horizon),
              &response->burst_matches, response);
         break;
+      case RequestKind::kApproxKnn: {
+        approx::QueryParams params;
+        params.k = request.k;
+        params.recall_target = request.recall_target;
+        params.max_candidates = request.max_candidates;
+        auto result = engine_->ApproxKnn(request.id, params);
+        if (result.ok()) {
+          core::S2Engine::ApproxAnswer answer = std::move(result).ValueOrDie();
+          response->neighbors = std::move(answer.neighbors);
+          response->quality = answer.bound;
+          response->approximate = true;
+          approx_queries_->Increment();
+          if (answer.bound.guaranteed_exact) approx_guaranteed_->Increment();
+          approx_candidates_->Record(answer.bound.candidates);
+        } else {
+          response->status = result.status();
+        }
+        break;
+      }
     }
     return;
   }
@@ -319,6 +358,25 @@ void S2Server::Dispatch(const QueryRequest& request, QueryResponse* response) {
                                   &stats),
            &response->burst_matches, response);
       break;
+    case RequestKind::kApproxKnn: {
+      approx::QueryParams params;
+      params.k = request.k;
+      params.recall_target = request.recall_target;
+      params.max_candidates = request.max_candidates;
+      auto result = sharded_->ApproxKnn(request.id, params, &stats);
+      if (result.ok()) {
+        core::S2Engine::ApproxAnswer answer = std::move(result).ValueOrDie();
+        response->neighbors = std::move(answer.neighbors);
+        response->quality = answer.bound;
+        response->approximate = true;
+        approx_queries_->Increment();
+        if (answer.bound.guaranteed_exact) approx_guaranteed_->Increment();
+        approx_candidates_->Record(answer.bound.candidates);
+      } else {
+        response->status = result.status();
+      }
+      break;
+    }
   }
   shard_fanout_->Increment(stats.fanout);
   shard_prune_hits_->Increment(stats.shared_radius_prunes);
@@ -379,6 +437,36 @@ QueryResponse S2Server::Degrade(const QueryRequest& request,
   QueryResponse fallback;
   switch (request.kind) {
     case RequestKind::kSimilarTo:
+      // Ladder rung 2a: a request that opted into the approximate tier (by
+      // setting a quality knob) is re-answered there first — RAM-only like
+      // the exact scan but orders of magnitude cheaper, with the quality
+      // bound attached. Knob-free requests skip straight to the exact scan:
+      // they asked for exact answers and degradation must not change that.
+      if (options_.degrade_to_approx &&
+          (request.recall_target > 0.0 || request.max_candidates > 0)) {
+        approx::QueryParams params;
+        params.k = request.k;
+        params.recall_target = request.recall_target;
+        params.max_candidates = request.max_candidates;
+        auto result = is_sharded()
+                          ? sharded_->ApproxKnn(request.id, params)
+                          : engine_->ApproxKnn(request.id, params);
+        if (result.ok()) {
+          core::S2Engine::ApproxAnswer answer = std::move(result).ValueOrDie();
+          fallback.neighbors = std::move(answer.neighbors);
+          fallback.quality = answer.bound;
+          fallback.approximate = true;
+          fallback.degraded = true;
+          degraded_->Increment();
+          approx_queries_->Increment();
+          approx_degraded_->Increment();
+          if (answer.bound.guaranteed_exact) approx_guaranteed_->Increment();
+          approx_candidates_->Record(answer.bound.candidates);
+          return fallback;
+        }
+        // The approximate tier is disabled or unusable: fall through to the
+        // exact RAM scan, rung 2b.
+      }
       Fill(is_sharded() ? sharded_->SimilarToExact(request.id, request.k)
                         : engine_->SimilarToExact(request.id, request.k),
            &fallback.neighbors, &fallback);
@@ -938,6 +1026,35 @@ void S2Server::Shutdown() {
   // shutdown must not lose what only a crash may.
   sync::WriterMutexLock lock(&engine_mu_);
   if (wal_ != nullptr) (void)wal_->Sync();
+}
+
+S2Server::ApproxInfo S2Server::approx_info() {
+  sync::ReaderMutexLock lock(&engine_mu_);
+  ApproxInfo info;
+  if (is_sharded()) {
+    for (size_t s = 0; s < sharded_->num_shards(); ++s) {
+      const approx::SummaryIndex* summary = sharded_->shard(s).summary();
+      if (summary == nullptr) return ApproxInfo{};
+      if (s == 0) {
+        info.enabled = true;
+        info.summary_dims = summary->config().dims;
+        info.summary_cells = summary->config().cells;
+        info.config_fingerprint = summary->config().Fingerprint();
+      }
+      info.summary_bytes += summary->SummaryBytes();
+      info.indexed_series += summary->size();
+    }
+    return info;
+  }
+  const approx::SummaryIndex* summary = engine_->summary();
+  if (summary == nullptr) return info;
+  info.enabled = true;
+  info.summary_dims = summary->config().dims;
+  info.summary_cells = summary->config().cells;
+  info.summary_bytes = summary->SummaryBytes();
+  info.indexed_series = summary->size();
+  info.config_fingerprint = summary->config().Fingerprint();
+  return info;
 }
 
 S2Server::StreamInfo S2Server::stream_info() {

@@ -68,6 +68,14 @@ class S2Server {
     /// When false, step 2 of the ladder is disabled: infrastructure
     /// failures surface to the caller instead of degrading.
     bool degrade_on_failure = true;
+    /// Ladder rung between the failed indexed path and the exact RAM scan:
+    /// a kSimilarTo request that opted into the approximate tier (set
+    /// recall_target or max_candidates) is re-answered by the RAM-only
+    /// approximate tier first — orders of magnitude cheaper than the exact
+    /// scan, with the answer's quality bound attached. Requests that set no
+    /// knob never take this rung (they asked for exact answers and get the
+    /// exact-scan fallback, bit-identical to before this rung existed).
+    bool degrade_to_approx = true;
     /// Engine topology used by the corpus-building `Build` factory:
     /// 1 = one engine over the whole corpus; N > 1 = N shards with
     /// scatter-gather execution; 0 = one shard per hardware thread.
@@ -163,6 +171,25 @@ class S2Server {
     uint64_t alerts_delivered = 0;
     uint64_t alerts_acked = 0;
   };
+
+  /// Approximate-tier snapshot (point-in-time gauges; the monotone side
+  /// lives in the `approx_*` counters).
+  struct ApproxInfo {
+    bool enabled = false;
+    /// Summary projection width / quantization cells (the global config —
+    /// identical on every shard by the ShardedEngine invariant).
+    size_t summary_dims = 0;
+    size_t summary_cells = 0;
+    /// Resident envelope-plane bytes, summed over shards.
+    size_t summary_bytes = 0;
+    /// Series with live summary envelopes (== corpus size when enabled).
+    size_t indexed_series = 0;
+    /// Content fingerprint of the shared summary config (rebuild/recovery
+    /// determinism checks compare these across runs).
+    uint64_t config_fingerprint = 0;
+  };
+
+  ApproxInfo approx_info() S2_EXCLUDES(engine_mu_);
 
   /// Takes ownership of a built single engine.
   static std::unique_ptr<S2Server> Create(core::S2Engine engine,
@@ -445,6 +472,11 @@ class S2Server {
   Counter* shard_fanout_ = nullptr;      ///< Shard searches issued, total.
   Counter* shard_prune_hits_ = nullptr;  ///< Cross-shard prune decisions.
   LatencyHistogram* shard_latency_ = nullptr;  ///< Per-shard search time.
+  // Approximate-tier metrics (DESIGN.md §13).
+  Counter* approx_queries_ = nullptr;     ///< Approximate answers produced.
+  Counter* approx_guaranteed_ = nullptr;  ///< ...whose bound proved exactness.
+  Counter* approx_degraded_ = nullptr;    ///< kSimilarTo degraded via approx.
+  LatencyHistogram* approx_candidates_ = nullptr;  ///< Candidate-set sizes.
   Counter* retry_attempts_ = nullptr;
   Counter* retry_giveups_ = nullptr;
   Counter* breaker_trips_ = nullptr;

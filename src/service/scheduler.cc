@@ -17,6 +17,8 @@ std::string_view RequestKindToString(RequestKind kind) {
       return "bursts_of";
     case RequestKind::kQueryByBurst:
       return "query_by_burst";
+    case RequestKind::kApproxKnn:
+      return "approx_knn";
   }
   return "unknown";
 }
@@ -36,7 +38,7 @@ Scheduler::Scheduler(const Options& options,
     for (RequestKind kind :
          {RequestKind::kSimilarTo, RequestKind::kSimilarToDtw,
           RequestKind::kPeriodsOf, RequestKind::kBurstsOf,
-          RequestKind::kQueryByBurst}) {
+          RequestKind::kQueryByBurst, RequestKind::kApproxKnn}) {
       kind_counters_[static_cast<size_t>(kind)] = metrics->counter(
           "server_requests_" + std::string(RequestKindToString(kind)));
     }

@@ -35,7 +35,14 @@ enum class RequestKind {
   kPeriodsOf,
   kBurstsOf,
   kQueryByBurst,
+  /// Approximate-first similarity with a per-query quality bound
+  /// (DESIGN.md §13); knobs in QueryRequest::recall_target /
+  /// max_candidates.
+  kApproxKnn,
 };
+
+/// Number of RequestKind values (sizes the per-kind metric arrays).
+inline constexpr size_t kNumRequestKinds = 6;
 
 /// Stable lowercase name of a request kind (used in metric names).
 std::string_view RequestKindToString(RequestKind kind);
@@ -53,6 +60,11 @@ struct QueryRequest {
   /// DeadlineExceeded instead of executing (execution itself is never
   /// interrupted mid-flight).
   std::chrono::milliseconds timeout{0};
+  /// Approximate-tier quality knobs (kApproxKnn; also the opt-in that lets
+  /// a kSimilarTo request degrade to the approximate tier — see
+  /// S2Server::Options::degrade_to_approx). Both zero = server defaults.
+  double recall_target = 0.0;
+  size_t max_candidates = 0;
 };
 
 /// The answer to a QueryRequest. Exactly one payload vector is populated,
@@ -69,6 +81,13 @@ struct QueryResponse {
   /// and the answer was produced by the exact RAM fallback instead. Degraded
   /// answers are exact but slower, and are never cached.
   bool degraded = false;
+  /// True when `neighbors` came from the approximate tier (kApproxKnn, or a
+  /// kSimilarTo degraded through it); `quality` then carries the bound.
+  /// Approximate answers are cached only under approximate cache keys — an
+  /// exact request can never be served one.
+  bool approximate = false;
+  /// Per-query quality bound; meaningful only when `approximate` is true.
+  approx::QualityBound quality;
   /// Wall time spent executing (queue wait excluded; 0 for cache hits
   /// measured below timer resolution).
   std::chrono::microseconds latency{0};
@@ -163,7 +182,7 @@ class Scheduler {
   Counter* completed_ = nullptr;
   Counter* expired_ = nullptr;
   Counter* cancelled_count_ = nullptr;
-  std::array<Counter*, 5> kind_counters_{};
+  std::array<Counter*, kNumRequestKinds> kind_counters_{};
   LatencyHistogram* latency_ = nullptr;
 
   std::atomic<size_t> in_flight_{0};

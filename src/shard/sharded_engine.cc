@@ -69,6 +69,27 @@ Result<ShardedEngine> ShardedEngine::Build(ts::Corpus corpus,
   if (n == 0) n = 1;
   n = std::min(n, corpus.size());
 
+  // Train ONE summary configuration on the FULL corpus before partitioning:
+  // coordinate ranks and quantization breakpoints become a pure function of
+  // the corpus, never of the shard layout, which is what makes the
+  // approximate tier's candidate sets and quality bounds bit-identical
+  // across shard counts. Every shard engine adopts this config verbatim.
+  core::S2Engine::Options engine_options = options.engine;
+  if (engine_options.approx.enabled &&
+      engine_options.approx.preset_config == nullptr) {
+    std::vector<std::vector<double>> standardized;
+    standardized.reserve(corpus.size());
+    for (const ts::TimeSeries& series : corpus.series()) {
+      standardized.push_back(dsp::Standardize(series.values));
+    }
+    S2_ASSIGN_OR_RETURN(
+        approx::SummaryConfig config,
+        approx::SummaryConfig::Train(standardized,
+                                     engine_options.approx.summary));
+    engine_options.approx.preset_config =
+        std::make_shared<const approx::SummaryConfig>(std::move(config));
+  }
+
   ShardedEngine engine;
   engine.pool_ = std::make_unique<exec::ThreadPool>(
       options.threads == 0 ? n : options.threads);
@@ -92,8 +113,9 @@ Result<ShardedEngine> ShardedEngine::Build(ts::Corpus corpus,
   std::vector<Status> statuses(n);
   std::latch done(static_cast<ptrdiff_t>(n));
   for (size_t s = 0; s < n; ++s) {
-    auto build_one = [&engine, &slices, &statuses, &options, &done, s] {
-      core::S2Engine::Options shard_options = options.engine;
+    auto build_one = [&engine, &slices, &statuses, &options, &engine_options,
+                      &done, s] {
+      core::S2Engine::Options shard_options = engine_options;
       if (!shard_options.disk_store_path.empty()) {
         shard_options.disk_store_path += ".shard" + std::to_string(s);
       }
@@ -457,6 +479,97 @@ Result<std::vector<index::Neighbor>> ShardedEngine::SimilarToDtwExact(
   return MergeNeighbors(std::move(locals), k);
 }
 
+Result<core::S2Engine::ApproxAnswer> ShardedEngine::ApproxKnn(
+    ts::SeriesId id, const approx::QueryParams& params, QueryStats* stats,
+    approx::ScanStats* scan_stats) const {
+  S2_ASSIGN_OR_RETURN(Placement p, PlacementOf(id));
+  const std::vector<double>& z = shards_[p.shard]->standardized(p.local);
+  // Project ONCE on the owner; every shard shares the same global config
+  // (Build trains it pre-partition), so the projection is shard-invariant.
+  S2_ASSIGN_OR_RETURN(std::vector<double> proj,
+                      shards_[p.shard]->ApproxProject(z));
+
+  // Same population convention as the single engine: the query excluded.
+  const size_t population = placements_.size() - 1;
+  const size_t c = approx::ResolveCandidates(
+      params, population, shards_[p.shard]->options().approx.summary);
+
+  // Phase 1: every shard ranks its own slice's top-C candidates. The merge
+  // keeps the global top-C by (lb_sq, global id) — exact, because any
+  // global top-C member is by definition also in its own shard's top-C.
+  const size_t n = shards_.size();
+  std::vector<std::vector<approx::SummaryIndex::Candidate>> cand_locals(n);
+  std::vector<Status> statuses(n);
+  std::vector<approx::ScanStats> scan_locals(n);
+  ScatterGather(
+      [&](size_t s) {
+        auto result = shards_[s]->ApproxCandidates(
+            proj, c, s == p.shard ? p.local : ts::kInvalidSeriesId,
+            &scan_locals[s]);
+        if (result.ok()) {
+          cand_locals[s] = std::move(result).ValueOrDie();
+          for (approx::SummaryIndex::Candidate& cand : cand_locals[s]) {
+            cand.id = GlobalId(s, cand.id);
+          }
+        } else {
+          statuses[s] = result.status();
+        }
+      },
+      stats);
+  for (const Status& status : statuses) S2_RETURN_NOT_OK(status);
+
+  std::vector<approx::SummaryIndex::Candidate> merged;
+  for (const auto& part : cand_locals) {
+    merged.insert(merged.end(), part.begin(), part.end());
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const approx::SummaryIndex::Candidate& a,
+               const approx::SummaryIndex::Candidate& b) {
+              if (a.lb_sq != b.lb_sq) return a.lb_sq < b.lb_sq;
+              return a.id < b.id;
+            });
+  if (merged.size() > c) merged.resize(c);
+
+  // Phase 2: verify each candidate on the shard that owns its row, under
+  // one shared radius. Regrouping the globally sorted list preserves the
+  // ascending (lb_sq, id) order each verifier's break condition relies on.
+  std::vector<std::vector<approx::SummaryIndex::Candidate>> per_shard(n);
+  for (const approx::SummaryIndex::Candidate& cand : merged) {
+    const Placement owner = placements_[cand.id];
+    per_shard[owner.shard].push_back({cand.lb_sq, owner.local});
+  }
+  index::SharedRadius shared;
+  std::vector<std::vector<index::Neighbor>> locals(n);
+  ScatterGather(
+      [&](size_t s) {
+        auto result = shards_[s]->ApproxVerify(z, per_shard[s], params.k,
+                                               &scan_locals[s], &shared);
+        if (result.ok()) {
+          locals[s] = std::move(result).ValueOrDie();
+          for (index::Neighbor& nb : locals[s]) nb.id = GlobalId(s, nb.id);
+        } else {
+          statuses[s] = result.status();
+        }
+      },
+      nullptr);
+  for (const Status& status : statuses) S2_RETURN_NOT_OK(status);
+  if (scan_stats != nullptr) {
+    for (const approx::ScanStats& local : scan_locals) {
+      scan_stats->rows_scanned += local.rows_scanned;
+      scan_stats->summary_abandons += local.summary_abandons;
+      scan_stats->candidates += local.candidates;
+      scan_stats->verified += local.verified;
+    }
+  }
+
+  core::S2Engine::ApproxAnswer answer;
+  answer.neighbors = MergeNeighbors(std::move(locals), params.k);
+  const double worst_lb_sq = merged.empty() ? 0.0 : merged.back().lb_sq;
+  answer.bound = approx::BoundFromVerification(
+      worst_lb_sq, merged.size(), population, answer.neighbors, params.k);
+  return answer;
+}
+
 Result<std::vector<period::PeriodHit>> ShardedEngine::FindPeriods(
     ts::SeriesId id) const {
   S2_ASSIGN_OR_RETURN(Placement p, PlacementOf(id));
@@ -569,6 +682,19 @@ Status ShardedEngine::ValidateInvariants() const {
     }
     v.Check(local_to_global_[p.shard][p.local] == g)
         << "placement maps disagree for global id " << g;
+  }
+  // Every shard must run the SAME summary configuration (or none at all) —
+  // the approximate tier's shard-count invisibility depends on it.
+  const approx::SummaryIndex* first_summary = shards_[0]->summary();
+  for (size_t s = 1; s < shards_.size(); ++s) {
+    const approx::SummaryIndex* summary = shards_[s]->summary();
+    v.Check((summary == nullptr) == (first_summary == nullptr))
+        << "shard " << s << " disagrees with shard 0 on approx-tier presence";
+    if (summary != nullptr && first_summary != nullptr) {
+      v.Check(summary->config().Fingerprint() ==
+              first_summary->config().Fingerprint())
+          << "shard " << s << " runs a different summary config than shard 0";
+    }
   }
   size_t subs = 0;
   for (const auto& shard : shards_) subs += shard->monitor_registry().size();

@@ -9,6 +9,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "approx/summary.h"
 #include "common/result.h"
 #include "core/s2_engine.h"
 #include "exec/thread_pool.h"
@@ -180,6 +181,25 @@ class ShardedEngine {
       const std::vector<double>& raw_values, size_t k) const;
   Result<std::vector<index::Neighbor>> SimilarToDtwExact(ts::SeriesId id,
                                                          size_t k) const;
+
+  // --- Approximate search (DESIGN.md §13) ----------------------------------
+
+  /// Approximate k-NN with a per-query quality bound, bit-identical to a
+  /// single engine over the same corpus at any shard count. Two-phase
+  /// scatter: (1) the owner projects the query ONCE under the global config
+  /// (trained on the full corpus before partitioning — see Build) and every
+  /// shard ranks its own top-C candidates; the gather merges by (lb_sq,
+  /// global id) and truncates to the global top-C, which equals the
+  /// single-engine candidate set because any global top-C member is also in
+  /// its own shard's top-C. (2) Candidates are verified on the shards that
+  /// own their rows, under one shared radius; the gather merges by
+  /// (distance, global id). The worst merged lower bound is the same
+  /// threshold a single engine would certify, so the quality bound is also
+  /// topology-invariant.
+  Result<core::S2Engine::ApproxAnswer> ApproxKnn(
+      ts::SeriesId id, const approx::QueryParams& params,
+      QueryStats* stats = nullptr,
+      approx::ScanStats* scan_stats = nullptr) const;
 
   // --- Periods & bursts ----------------------------------------------------
 

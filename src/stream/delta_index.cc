@@ -1,8 +1,14 @@
 #include "stream/delta_index.h"
 
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
 #include <utility>
 
 #include "diag/validate.h"
+#include "dsp/stats.h"
+#include "simd/simd.h"
 
 namespace s2::stream {
 
@@ -13,12 +19,33 @@ Result<DeltaIndex> DeltaIndex::Create(
   return DeltaIndex(std::move(tree), options, series_length);
 }
 
+void DeltaIndex::CacheRow(size_t slot, const std::vector<double>& row) {
+  if (slot >= rows_.num_rows()) {
+    // Doubling growth; RowMatrix has no append, so reallocate and copy the
+    // live rows (row_length stride, the padding is rebuilt zero-filled).
+    size_t capacity = std::max<size_t>(rows_.num_rows() * 2, 16);
+    if (capacity <= slot) capacity = slot + 1;
+    repr::RowMatrix grown(capacity, series_length_);
+    for (size_t i = 0; i < slot_ids_.size(); ++i) {
+      std::memcpy(grown.mutable_row(i), rows_.row(i),
+                  series_length_ * sizeof(double));
+    }
+    rows_ = std::move(grown);
+  }
+  std::memcpy(rows_.mutable_row(slot), row.data(),
+              series_length_ * sizeof(double));
+}
+
 Status DeltaIndex::Insert(ts::SeriesId id, const std::vector<double>& row,
                           storage::SequenceSource* source) {
   if (members_.count(id) != 0) {
     return Status::AlreadyExists("DeltaIndex: id already a member");
   }
   S2_RETURN_NOT_OK(tree_.Insert(id, row, source));
+  const size_t slot = slot_ids_.size();
+  CacheRow(slot, row);
+  slot_ids_.push_back(id);
+  slot_of_.emplace(id, slot);
   members_.insert(id);
   return Status::OK();
 }
@@ -29,6 +56,17 @@ Status DeltaIndex::Remove(ts::SeriesId id,
     return Status::NotFound("DeltaIndex: id not a member");
   }
   S2_RETURN_NOT_OK(tree_.Remove(id, pinned_row));
+  // Swap-with-last keeps the row cache dense.
+  const size_t slot = slot_of_.at(id);
+  const size_t last = slot_ids_.size() - 1;
+  if (slot != last) {
+    std::memcpy(rows_.mutable_row(slot), rows_.row(last),
+                series_length_ * sizeof(double));
+    slot_ids_[slot] = slot_ids_[last];
+    slot_of_[slot_ids_[slot]] = slot;
+  }
+  slot_ids_.pop_back();
+  slot_of_.erase(id);
   members_.erase(id);
   return Status::OK();
 }
@@ -37,7 +75,59 @@ Status DeltaIndex::Clear() {
   S2_ASSIGN_OR_RETURN(tree_,
                       index::VpTreeIndex::CreateEmpty(options_, series_length_));
   members_.clear();
+  rows_ = repr::RowMatrix();
+  slot_ids_.clear();
+  slot_of_.clear();
   return Status::OK();
+}
+
+Result<std::vector<index::Neighbor>> DeltaIndex::Search(
+    const std::vector<double>& query, size_t k,
+    storage::SequenceSource* source, index::VpTreeIndex::SearchStats* stats,
+    index::SharedRadius* shared) const {
+  index::VpTreeIndex::SearchStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  if (source == nullptr) {
+    return Status::InvalidArgument("DeltaIndex: source must not be null");
+  }
+  S2_ASSIGN_OR_RETURN(std::vector<index::VpTreeIndex::Candidate> candidates,
+                      tree_.CollectCandidates(query, k, stats, shared));
+
+  // Verbatim VpTreeIndex::Search verification — ascending lower-bound
+  // order, squared-domain abandon gate — except rows come from the local
+  // RowMatrix cache, not the sequence source. Bitwise-identical results:
+  // the cache holds exactly the row each member was indexed under.
+  index::BestList best(k);
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const index::VpTreeIndex::Candidate& candidate = candidates[i];
+    const auto it = slot_of_.find(candidate.id);
+    if (it == slot_of_.end()) {
+      return Status::Internal("DeltaIndex: candidate row missing from cache");
+    }
+    if (i + 1 < candidates.size()) {
+      const auto next = slot_of_.find(candidates[i + 1].id);
+      if (next != slot_of_.end()) simd::PrefetchRead(rows_.row(next->second));
+    }
+    const double local = best.Threshold();
+    double threshold = local;
+    if (shared != nullptr) threshold = std::min(threshold, shared->load());
+    if (best.Full() && candidate.lower > local) break;
+    if (candidate.lower > threshold) {
+      ++stats->shared_radius_prunes;
+      continue;
+    }
+    ++stats->full_retrievals;
+    const double abandon_sq = std::isinf(threshold)
+                                  ? std::numeric_limits<double>::infinity()
+                                  : threshold * threshold;
+    const double dist_sq = dsp::SquaredEuclideanEarlyAbandon(
+        query.data(), rows_.row(it->second), query.size(), abandon_sq);
+    if (dist_sq <= abandon_sq) {
+      best.Offer(candidate.id, std::sqrt(dist_sq));
+      if (shared != nullptr && best.Full()) shared->Tighten(best.Threshold());
+    }
+  }
+  return std::move(best).Take();
 }
 
 Status DeltaIndex::Validate(storage::SequenceSource* source) const {
@@ -46,6 +136,20 @@ Status DeltaIndex::Validate(storage::SequenceSource* source) const {
   v.Check(tree_.size() == members_.size())
       << "tree holds " << tree_.size() << " objects, member set "
       << members_.size();
+  v.Check(slot_ids_.size() == members_.size())
+      << "row cache holds " << slot_ids_.size() << " rows, member set "
+      << members_.size();
+  v.Check(slot_of_.size() == slot_ids_.size())
+      << "slot map tracks " << slot_of_.size() << " ids, cache holds "
+      << slot_ids_.size();
+  for (size_t slot = 0; slot < slot_ids_.size(); ++slot) {
+    const ts::SeriesId id = slot_ids_[slot];
+    v.Check(members_.count(id) != 0)
+        << "cached slot " << slot << " holds non-member id " << id;
+    const auto it = slot_of_.find(id);
+    v.Check(it != slot_of_.end() && it->second == slot)
+        << "slot maps disagree for id " << id;
+  }
   return v.ToStatus();
 }
 

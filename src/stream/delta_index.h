@@ -3,10 +3,12 @@
 
 #include <cstdint>
 #include <set>
+#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
 #include "index/vp_tree.h"
+#include "repr/row_matrix.h"
 
 namespace s2::stream {
 
@@ -53,12 +55,16 @@ class DeltaIndex {
 
   const index::VpTreeIndex& tree() const { return tree_; }
 
+  /// Exact k-NN over this tier: tree candidate collection, then batched
+  /// verification against the tier's own cache-aligned `repr::RowMatrix`
+  /// row cache — the delta tier is RAM-hot by definition (every member was
+  /// just written), so verification never goes back to the sequence source.
+  /// Same loop, thresholds and squared-domain gate as
+  /// `VpTreeIndex::Search`, so answers are bitwise identical.
   Result<std::vector<index::Neighbor>> Search(
       const std::vector<double>& query, size_t k,
       storage::SequenceSource* source, index::VpTreeIndex::SearchStats* stats,
-      index::SharedRadius* shared = nullptr) const {
-    return tree_.Search(query, k, source, stats, shared);
-  }
+      index::SharedRadius* shared = nullptr) const;
 
   /// Tree self-check plus the membership census (tree size == member set).
   Status Validate(storage::SequenceSource* source = nullptr) const;
@@ -70,10 +76,19 @@ class DeltaIndex {
         options_(options),
         series_length_(series_length) {}
 
+  /// Copies `row` into the slot, growing the matrix capacity as needed.
+  void CacheRow(size_t slot, const std::vector<double>& row);
+
   index::VpTreeIndex tree_;
   index::VpTreeIndex::Options options_;
   uint32_t series_length_;
   std::set<ts::SeriesId> members_;
+  // Verification row cache: one RowMatrix slot per live member, kept dense
+  // by swap-with-last on Remove. rows_ capacity (num_rows) may exceed the
+  // live count; slots >= slot_ids_.size() are unused.
+  repr::RowMatrix rows_;
+  std::vector<ts::SeriesId> slot_ids_;              // slot -> member id
+  std::unordered_map<ts::SeriesId, size_t> slot_of_;  // member id -> slot
 };
 
 }  // namespace s2::stream

@@ -1,0 +1,293 @@
+#include "approx/summary.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dsp/stats.h"
+
+namespace s2::approx {
+namespace {
+
+// Unit coverage for the summarization index: training determinism, the
+// lower-bound soundness chain, envelope maintenance under Append/Update,
+// candidate ranking, serialization, and the quality-bound arithmetic.
+
+std::vector<std::vector<double>> MakeStandardized(size_t n, size_t length,
+                                                  uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> rows(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<double> raw(length);
+    // A mix of periodic structure and noise so spectrum energy is not flat.
+    const double period = 4.0 + static_cast<double>(i % 13);
+    for (size_t t = 0; t < length; ++t) {
+      raw[t] = std::sin(2.0 * M_PI * static_cast<double>(t) / period) +
+               0.3 * rng.Normal(0.0, 1.0);
+    }
+    rows[i] = dsp::Standardize(raw);
+  }
+  return rows;
+}
+
+double TrueDistanceSq(const std::vector<double>& a,
+                      const std::vector<double>& b) {
+  double sum = 0.0;
+  for (size_t t = 0; t < a.size(); ++t) {
+    const double d = a[t] - b[t];
+    sum += d * d;
+  }
+  return sum;
+}
+
+TEST(SummaryConfigTest, TrainIsDeterministicAndValid) {
+  const auto rows = MakeStandardized(50, 64, 7);
+  SummaryOptions options;
+  options.dims = 8;
+  options.cells = 16;
+  auto a = SummaryConfig::Train(rows, options);
+  auto b = SummaryConfig::Train(rows, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(a->Validate().ok());
+  EXPECT_EQ(a->Fingerprint(), b->Fingerprint());
+  EXPECT_EQ(a->dims, 8u);
+  EXPECT_EQ(a->cells, 16u);
+  EXPECT_EQ(a->series_length, 64u);
+  // A different corpus trains a different configuration.
+  auto c = SummaryConfig::Train(MakeStandardized(50, 64, 8), options);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(a->Fingerprint(), c->Fingerprint());
+}
+
+TEST(SummaryConfigTest, TrainRejectsDegenerateInput) {
+  SummaryOptions options;
+  EXPECT_FALSE(SummaryConfig::Train({}, options).ok());
+  std::vector<std::vector<double>> ragged = MakeStandardized(4, 32, 1);
+  ragged.push_back(std::vector<double>(16, 0.0));
+  EXPECT_FALSE(SummaryConfig::Train(ragged, options).ok());
+}
+
+TEST(SummaryConfigTest, ProjectionDistanceLowerBoundsTrueDistance) {
+  // Parseval soundness: for any two series, the projection-space squared
+  // distance never exceeds the time-domain squared distance.
+  const auto rows = MakeStandardized(40, 64, 11);
+  SummaryOptions options;
+  options.dims = 12;
+  options.cells = 8;
+  auto config = SummaryConfig::Train(rows, options);
+  ASSERT_TRUE(config.ok());
+  std::vector<double> pa, pb;
+  for (size_t i = 0; i + 1 < rows.size(); i += 2) {
+    ASSERT_TRUE(config->Project(rows[i], &pa).ok());
+    ASSERT_TRUE(config->Project(rows[i + 1], &pb).ok());
+    const double proj_sq = TrueDistanceSq(pa, pb);
+    const double true_sq = TrueDistanceSq(rows[i], rows[i + 1]);
+    EXPECT_LE(proj_sq, true_sq + 1e-9 * (1.0 + true_sq))
+        << "pair " << i << "," << i + 1;
+  }
+}
+
+TEST(SummaryIndexTest, LowerBoundNeverExceedsTrueDistance) {
+  // The full soundness chain: the envelope lower bound for every candidate
+  // is <= the true time-domain distance, so pruning cannot lose neighbors.
+  const auto rows = MakeStandardized(60, 64, 13);
+  SummaryOptions options;
+  options.dims = 10;
+  options.cells = 12;
+  auto config = SummaryConfig::Train(rows, options);
+  ASSERT_TRUE(config.ok());
+  auto index = SummaryIndex::Build(*config, rows);
+  ASSERT_TRUE(index.ok());
+  ASSERT_TRUE(index->Validate().ok());
+  ASSERT_EQ(index->size(), rows.size());
+
+  std::vector<double> proj;
+  for (size_t q = 0; q < 8; ++q) {
+    ASSERT_TRUE(index->config().Project(rows[q], &proj).ok());
+    // Ask for the full population so every series gets a bound.
+    const auto candidates = index->Candidates(
+        proj, rows.size(), static_cast<ts::SeriesId>(q), nullptr);
+    ASSERT_EQ(candidates.size(), rows.size() - 1);
+    for (const auto& cand : candidates) {
+      const double true_sq = TrueDistanceSq(rows[q], rows[cand.id]);
+      EXPECT_LE(cand.lb_sq, true_sq + 1e-9 * (1.0 + true_sq))
+          << "query " << q << " candidate " << cand.id;
+    }
+  }
+}
+
+TEST(SummaryIndexTest, CandidatesAreSortedDeterministicAndExcludeSelf) {
+  const auto rows = MakeStandardized(80, 64, 17);
+  SummaryOptions options;
+  options.dims = 8;
+  options.cells = 16;
+  auto config = SummaryConfig::Train(rows, options);
+  ASSERT_TRUE(config.ok());
+  auto index = SummaryIndex::Build(*config, rows);
+  ASSERT_TRUE(index.ok());
+
+  std::vector<double> proj;
+  ASSERT_TRUE(index->config().Project(rows[3], &proj).ok());
+  ScanStats stats;
+  const auto a = index->Candidates(proj, 20, 3, &stats);
+  const auto b = index->Candidates(proj, 20, 3, nullptr);
+  ASSERT_EQ(a.size(), 20u);
+  EXPECT_EQ(stats.rows_scanned, rows.size() - 1);
+  EXPECT_EQ(stats.candidates, a.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NE(a[i].id, 3u);
+    EXPECT_EQ(a[i].id, b[i].id);
+    EXPECT_EQ(a[i].lb_sq, b[i].lb_sq);
+    if (i > 0) {
+      // Strict lexicographic (lb_sq, id) ascending order.
+      EXPECT_TRUE(a[i - 1].lb_sq < a[i].lb_sq ||
+                  (a[i - 1].lb_sq == a[i].lb_sq && a[i - 1].id < a[i].id));
+    }
+  }
+}
+
+TEST(SummaryIndexTest, AppendAndUpdateKeepEnvelopesSound) {
+  auto rows = MakeStandardized(30, 64, 19);
+  SummaryOptions options;
+  options.dims = 8;
+  options.cells = 8;
+  auto config = SummaryConfig::Train(rows, options);
+  ASSERT_TRUE(config.ok());
+  auto index = SummaryIndex::Build(*config, rows);
+  ASSERT_TRUE(index.ok());
+
+  // Append rows the breakpoints were never trained on.
+  const auto extra = MakeStandardized(10, 64, 23);
+  for (const auto& z : extra) {
+    ASSERT_TRUE(index->Append(z).ok());
+    rows.push_back(z);
+  }
+  EXPECT_EQ(index->size(), rows.size());
+  ASSERT_TRUE(index->Validate().ok());
+
+  // Slide one window: re-summarize id 5 with fresh values.
+  rows[5] = MakeStandardized(1, 64, 29)[0];
+  ASSERT_TRUE(index->Update(5, rows[5]).ok());
+  EXPECT_FALSE(index->Update(10000, rows[5]).ok());
+  ASSERT_TRUE(index->Validate().ok());
+
+  // Soundness still holds over the mutated population.
+  std::vector<double> proj;
+  ASSERT_TRUE(index->config().Project(rows[0], &proj).ok());
+  const auto candidates = index->Candidates(proj, rows.size(), 0, nullptr);
+  ASSERT_EQ(candidates.size(), rows.size() - 1);
+  for (const auto& cand : candidates) {
+    const double true_sq = TrueDistanceSq(rows[0], rows[cand.id]);
+    EXPECT_LE(cand.lb_sq, true_sq + 1e-9 * (1.0 + true_sq));
+  }
+}
+
+TEST(SummaryIndexTest, SaveLoadRoundTrip) {
+  const auto rows = MakeStandardized(25, 32, 31);
+  SummaryOptions options;
+  options.dims = 6;
+  options.cells = 8;
+  auto config = SummaryConfig::Train(rows, options);
+  ASSERT_TRUE(config.ok());
+  auto index = SummaryIndex::Build(*config, rows);
+  ASSERT_TRUE(index.ok());
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "s2_approx_summary.idx")
+          .string();
+  ASSERT_TRUE(index->Save(path).ok());
+  auto loaded = SummaryIndex::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_TRUE(loaded->Validate().ok());
+  EXPECT_EQ(loaded->size(), index->size());
+  EXPECT_EQ(loaded->config().Fingerprint(), index->config().Fingerprint());
+
+  // The loaded index ranks candidates identically.
+  std::vector<double> proj;
+  ASSERT_TRUE(index->config().Project(rows[1], &proj).ok());
+  const auto a = index->Candidates(proj, 10, 1, nullptr);
+  const auto b = loaded->Candidates(proj, 10, 1, nullptr);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id);
+    EXPECT_EQ(a[i].lb_sq, b[i].lb_sq);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ResolveCandidatesTest, KnobPrecedenceAndClamping) {
+  SummaryOptions options;
+  options.default_candidate_fraction = 0.02;
+  options.min_candidates = 64;
+  options.calibrated_recall = 0.9;
+
+  QueryParams params;
+  // Unset knobs: the default fraction with the floor applied.
+  EXPECT_EQ(ResolveCandidates(params, 100000, options), 2000u);
+  EXPECT_EQ(ResolveCandidates(params, 1000, options), 64u);
+  // Tiny populations clamp to the population.
+  EXPECT_EQ(ResolveCandidates(params, 10, options), 10u);
+
+  // Explicit max_candidates wins over everything.
+  params.max_candidates = 500;
+  params.recall_target = 0.999;
+  EXPECT_EQ(ResolveCandidates(params, 100000, options), 500u);
+  EXPECT_EQ(ResolveCandidates(params, 300, options), 300u);
+
+  // Recall ramp: above the calibration point the budget scales by
+  // (1 - r0) / (1 - r), monotonically in r.
+  params.max_candidates = 0;
+  params.recall_target = 0.95;
+  const size_t at95 = ResolveCandidates(params, 100000, options);
+  params.recall_target = 0.99;
+  const size_t at99 = ResolveCandidates(params, 100000, options);
+  EXPECT_GT(at95, 2000u);
+  EXPECT_GT(at99, at95);
+  // Below the calibration point the default budget is kept.
+  params.recall_target = 0.5;
+  EXPECT_EQ(ResolveCandidates(params, 100000, options), 2000u);
+}
+
+TEST(BoundFromVerificationTest, ExactAndEpsilonRegimes) {
+  std::vector<index::Neighbor> neighbors;
+  neighbors.push_back({0, 1.0});
+  neighbors.push_back({1, 2.0});
+
+  // Full coverage: exact regardless of distances.
+  QualityBound full = BoundFromVerification(0.5, 10, 10, neighbors, 2);
+  EXPECT_TRUE(full.guaranteed_exact);
+  EXPECT_EQ(full.epsilon, 0.0);
+  EXPECT_EQ(full.candidates, 10u);
+  EXPECT_EQ(full.population, 10u);
+
+  // R = 2.0 < threshold_lb = 3.0: every non-candidate provably farther.
+  QualityBound proven = BoundFromVerification(9.0, 5, 10, neighbors, 2);
+  EXPECT_TRUE(proven.guaranteed_exact);
+  EXPECT_EQ(proven.epsilon, 0.0);
+  EXPECT_NEAR(proven.threshold_lb, 3.0, 1e-12);
+
+  // R = 2.0 >= threshold_lb = 1.0: epsilon = R / threshold_lb - 1 = 1.0.
+  QualityBound bounded = BoundFromVerification(1.0, 5, 10, neighbors, 2);
+  EXPECT_FALSE(bounded.guaranteed_exact);
+  EXPECT_NEAR(bounded.epsilon, 1.0, 1e-12);
+
+  // Fewer than k verified neighbors: unbounded.
+  QualityBound starved = BoundFromVerification(1.0, 5, 10, neighbors, 5);
+  EXPECT_FALSE(starved.guaranteed_exact);
+  EXPECT_TRUE(std::isinf(starved.epsilon));
+
+  // Zero threshold (all-identical candidates): unbounded, not a div-by-zero.
+  QualityBound zero = BoundFromVerification(0.0, 5, 10, neighbors, 2);
+  EXPECT_FALSE(zero.guaranteed_exact);
+  EXPECT_TRUE(std::isinf(zero.epsilon));
+}
+
+}  // namespace
+}  // namespace s2::approx

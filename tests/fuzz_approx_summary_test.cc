@@ -1,0 +1,94 @@
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "approx/summary.h"
+#include "common/rng.h"
+#include "dsp/stats.h"
+#include "fuzz_util.h"
+
+namespace s2::approx {
+namespace {
+
+// Corruption fuzzing for the serialized summary index: Load on a mutated
+// image either fails with a Status, or yields an index whose Validate,
+// Project, and Candidates never crash.
+
+std::vector<std::vector<double>> MakeRows(size_t n, size_t length,
+                                          uint64_t seed) {
+  s2::Rng rng(seed);
+  std::vector<std::vector<double>> rows(n);
+  for (auto& row : rows) {
+    std::vector<double> raw(length);
+    for (double& x : raw) x = rng.Normal(0.0, 1.0);
+    row = dsp::Standardize(raw);
+  }
+  return rows;
+}
+
+SummaryIndex BuildIndex(const std::vector<std::vector<double>>& rows) {
+  SummaryOptions options;
+  options.dims = 6;
+  options.cells = 8;
+  auto config = SummaryConfig::Train(rows, options);
+  EXPECT_TRUE(config.ok());
+  auto index = SummaryIndex::Build(*config, rows);
+  EXPECT_TRUE(index.ok());
+  return std::move(index).ValueOrDie();
+}
+
+TEST(FuzzApproxSummary, MutatedImagesNeverCrashLoadOrScan) {
+  s2::Rng rng(0xA99120F1);
+  const auto rows = MakeRows(32, 32, 99);
+  SummaryIndex index = BuildIndex(rows);
+
+  const std::string path = fuzz::TempPath("s2_fuzz_approx_summary.idx");
+  ASSERT_TRUE(index.Save(path).ok());
+  const std::vector<char> image = fuzz::ReadFileBytes(path);
+  ASSERT_FALSE(image.empty());
+
+  for (int round = 0; round < 150; ++round) {
+    fuzz::WriteFileBytes(path, fuzz::Mutate(image, &rng));
+    auto loaded = SummaryIndex::Load(path);
+    if (!loaded.ok()) {
+      EXPECT_NE(loaded.status().code(), StatusCode::kOk);
+      continue;
+    }
+    // A surviving image must still be structurally safe to use.
+    (void)loaded->Validate();
+    std::vector<double> proj;
+    if (loaded->config().Project(rows[0], &proj).ok()) {
+      (void)loaded->Candidates(proj, 8, 0, nullptr);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FuzzApproxSummary, TruncatedImagesAreRejectedAsCorruption) {
+  const auto rows = MakeRows(16, 16, 5);
+  SummaryIndex index = BuildIndex(rows);
+
+  const std::string path = fuzz::TempPath("s2_fuzz_approx_summary_trunc.idx");
+  ASSERT_TRUE(index.Save(path).ok());
+  const std::vector<char> image = fuzz::ReadFileBytes(path);
+
+  for (size_t cut : {0ul, 2ul, 4ul, 8ul, 16ul, 24ul, 64ul}) {
+    if (cut >= image.size()) continue;
+    fuzz::WriteFileBytes(path,
+                         std::vector<char>(image.begin(),
+                                           image.begin() +
+                                               static_cast<ptrdiff_t>(cut)));
+    auto loaded = SummaryIndex::Load(path);
+    EXPECT_FALSE(loaded.ok()) << "cut at " << cut;
+    if (!loaded.ok()) {
+      EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption)
+          << "cut at " << cut;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace s2::approx

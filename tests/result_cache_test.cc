@@ -51,6 +51,38 @@ TEST(ResultCacheTest, KeyDiscriminatesKindKAndHorizon) {
   EXPECT_TRUE(cache.Lookup(long_horizon).has_value());
 }
 
+TEST(ResultCacheTest, KeyDiscriminatesAnswerQuality) {
+  // Regression: an approximate answer must never be served to an exact
+  // request with the same (kind, id, k) — and vice versa. The quality tier
+  // and the knob hash are both part of the cache identity.
+  ResultCache cache(8);
+  CacheKey exact = Key(1, 5, RequestKind::kSimilarTo);
+  CacheKey approximate = exact;
+  approximate.kind = RequestKind::kApproxKnn;
+  approximate.quality = AnswerQuality::kApproximate;
+  approximate.param_hash = 0xBEEF;
+
+  QueryResponse approx_response = NeighborResponse(7);
+  approx_response.approximate = true;
+  cache.Insert(approximate, approx_response);
+  EXPECT_FALSE(cache.Lookup(exact).has_value());
+
+  // Same verb, different knob hash: a different candidate set, so a miss.
+  CacheKey other_knobs = approximate;
+  other_knobs.param_hash = 0xF00D;
+  EXPECT_FALSE(cache.Lookup(other_knobs).has_value());
+
+  auto hit = cache.Lookup(approximate);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(hit->approximate);
+
+  // Even with every other field equal, the quality tier alone separates
+  // entries (belt-and-suspenders beyond the kind separation).
+  CacheKey demoted = approximate;
+  demoted.quality = AnswerQuality::kExact;
+  EXPECT_FALSE(cache.Lookup(demoted).has_value());
+}
+
 TEST(ResultCacheTest, EvictsLeastRecentlyUsed) {
   ResultCache cache(3);
   cache.Insert(Key(1), NeighborResponse(1));

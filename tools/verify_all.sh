@@ -15,6 +15,7 @@
 #        tools/verify_all.sh analysis [jobs]
 #        tools/verify_all.sh durability [jobs]
 #        tools/verify_all.sh kernels [jobs]
+#        tools/verify_all.sh approx [jobs]
 #
 # The `faults` profile is a focused resilience gate: it builds under
 # AddressSanitizer and runs only the fault-injection / crash-safety tests
@@ -67,6 +68,14 @@
 # default dispatch and once with S2_SIMD=off, so both sides of every
 # backend-vs-scalar comparison are themselves exercised under sanitizers.
 # (tools/lint.sh discovers src/simd automatically via its `find src` walk.)
+#
+# The `approx` profile is the approximate-tier gate: it builds under
+# ASan+UBSan (the summary serialization fuzzers in
+# fuzz_approx_summary_test.cc lean on the sanitizers the same way the other
+# decoder fuzzers do) and runs the approx-labelled tests — the soundness /
+# determinism unit suite, the recall + shard-invariance harness, the serving
+# degrade-ladder and cache-identity tests — plus one small bench_approx pass
+# that checks the recall/speedup bar at smoke scale.
 set -u
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -216,6 +225,25 @@ if [ "${1:-}" = "kernels" ]; then
     --json "${build_dir}/BENCH_kernels.json" \
     || { echo "FAIL [kernels]: bench_kernels" >&2; exit 1; }
   echo "verify_all.sh: kernels profile green."
+  exit 0
+fi
+
+if [ "${1:-}" = "approx" ]; then
+  jobs="${2:-$(nproc 2> /dev/null || echo 4)}"
+  build_dir="${repo_root}/build-verify-approx"
+  echo "==== [approx] ASan+UBSan build + approx-labelled tests + bench_approx ===="
+  cmake -S "${repo_root}" -B "${build_dir}" \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DS2_SANITIZE=address,undefined > "${build_dir}.configure.log" 2>&1 \
+    || { echo "FAIL [approx]: configure (see ${build_dir}.configure.log)" >&2; exit 1; }
+  cmake --build "${build_dir}" -j "${jobs}" > "${build_dir}.build.log" 2>&1 \
+    || { echo "FAIL [approx]: build (see ${build_dir}.build.log)" >&2; exit 1; }
+  ctest --test-dir "${build_dir}" -L approx --output-on-failure -j "${jobs}" \
+    || { echo "FAIL [approx]: approx tests" >&2; exit 1; }
+  "${build_dir}/bench/bench_approx" --series 2048 --queries 50 \
+    --json "${build_dir}/BENCH_approx.json" \
+    || { echo "FAIL [approx]: bench_approx" >&2; exit 1; }
+  echo "verify_all.sh: approx profile green."
   exit 0
 fi
 
